@@ -1,0 +1,143 @@
+//! Tree-shaped answers and parameters shared by BANKS-I and BANKS-II.
+
+use kgraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Parameters of a BANKS search.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BanksParams {
+    /// Number of answer trees to return.
+    pub top_k: usize,
+    /// Activation decay per hop (BANKS-II; `μ` in the original paper).
+    pub decay: f32,
+    /// Hard budget on priority-queue pops — the stand-in for the paper's
+    /// 500-second wall-clock cutoff.
+    pub node_budget: usize,
+}
+
+impl Default for BanksParams {
+    fn default() -> Self {
+        BanksParams { top_k: 20, decay: 0.5, node_budget: 2_000_000 }
+    }
+}
+
+impl BanksParams {
+    /// Builder-style override of `top_k`.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Builder-style override of the pop budget.
+    pub fn with_node_budget(mut self, budget: usize) -> Self {
+        self.node_budget = budget;
+        self
+    }
+}
+
+/// A tree answer: root plus one shortest path per keyword group.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TreeAnswer {
+    /// The answer root (the connecting node).
+    pub root: NodeId,
+    /// Per keyword group: the path `root → … → leaf` (leaf ∈ `T_i`).
+    pub paths: Vec<Vec<NodeId>>,
+    /// Union of path nodes, sorted, unique.
+    pub nodes: Vec<NodeId>,
+    /// Union of path edges as `(min, max)` pairs, sorted, unique.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Σ over groups of the root→leaf path weight; smaller is better.
+    pub score: f64,
+}
+
+impl TreeAnswer {
+    /// Assemble a tree answer from per-group root→leaf paths.
+    pub fn from_paths(root: NodeId, paths: Vec<Vec<NodeId>>, score: f64) -> Self {
+        let mut nodes: Vec<NodeId> = paths.iter().flatten().copied().collect();
+        nodes.push(root);
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut edges: Vec<(NodeId, NodeId)> = paths
+            .iter()
+            .flat_map(|p| p.windows(2))
+            .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        TreeAnswer { root, paths, nodes, edges, score }
+    }
+
+    /// `true` if the answer contains `v`.
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Structural invariants (tests): every path starts at the root; node
+    /// and edge lists sorted and unique.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, p) in self.paths.iter().enumerate() {
+            if p.first() != Some(&self.root) {
+                return Err(format!("path {i} does not start at the root"));
+            }
+        }
+        if !self.nodes.windows(2).all(|w| w[0] < w[1]) {
+            return Err("nodes not sorted/unique".into());
+        }
+        if !self.edges.windows(2).all(|w| w[0] < w[1]) {
+            return Err("edges not sorted/unique".into());
+        }
+        if !self.score.is_finite() || self.score < 0.0 {
+            return Err(format!("bad score {}", self.score));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a BANKS search.
+#[derive(Clone, Debug, Default)]
+pub struct BanksOutcome {
+    /// Emitted answers, best score first.
+    pub answers: Vec<TreeAnswer>,
+    /// Total priority-queue pops (the sequential work measure).
+    pub pops: usize,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// `true` if the pop budget cut the search short.
+    pub budget_exhausted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_paths_unions_nodes_and_edges() {
+        let r = NodeId(5);
+        let a = TreeAnswer::from_paths(
+            r,
+            vec![
+                vec![NodeId(5), NodeId(3), NodeId(1)],
+                vec![NodeId(5), NodeId(3), NodeId(2)],
+            ],
+            4.0,
+        );
+        assert_eq!(a.nodes, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(5)]);
+        assert_eq!(a.edges.len(), 3); // (3,5) shared by both paths, deduped
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_reject_path_not_rooted() {
+        let mut a = TreeAnswer::from_paths(NodeId(1), vec![vec![NodeId(1), NodeId(2)]], 1.0);
+        a.paths[0][0] = NodeId(9);
+        assert!(a.check_invariants().is_err());
+    }
+
+    #[test]
+    fn params_builders() {
+        let p = BanksParams::default().with_top_k(5).with_node_budget(100);
+        assert_eq!(p.top_k, 5);
+        assert_eq!(p.node_budget, 100);
+    }
+}

@@ -1,0 +1,334 @@
+//! Shared expansion machinery for BANKS-I and BANKS-II: multi-origin
+//! best-first search per keyword group, candidate-root detection, the
+//! conservative top-k emission test, and answer-tree reconstruction.
+
+use crate::answer::{BanksOutcome, BanksParams, TreeAnswer};
+use kgraph::{KnowledgeGraph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+use textindex::ParsedQuery;
+
+/// How the global priority queue orders expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpansionOrder {
+    /// Dijkstra order (BANKS-I's backward search): nearest node first.
+    Distance,
+    /// Spreading-activation order (BANKS-II): highest activation first,
+    /// decaying by `μ` per hop. Can settle nodes at non-minimal distance,
+    /// paying for later corrections.
+    Activation,
+}
+
+/// Edge cost of stepping *into* `v` — `1 + log2(1 + deg(v))`, the
+/// in-degree-based weighting of the BANKS papers. Stepping into a summary
+/// hub is expensive.
+#[inline]
+pub fn edge_cost(graph: &KnowledgeGraph, v: NodeId) -> f32 {
+    1.0 + (1.0 + graph.degree(v) as f32).log2()
+}
+
+/// Total-order wrapper so `f32` priorities can live in a `BinaryHeap`.
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF32(f32);
+impl Eq for OrdF32 {}
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A pending expansion: priority (max-heap), node, keyword group, the
+/// distance along the discovering path, and the path's activation.
+#[derive(Clone, Copy)]
+struct Entry {
+    priority: OrdF32,
+    node: u32,
+    group: u16,
+    dist: f32,
+    activation: f32,
+}
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority)
+    }
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Per-group single-source-set shortest-path state.
+struct GroupState {
+    dist: Vec<f32>,
+    parent: Vec<u32>,
+}
+
+impl GroupState {
+    fn new(n: usize) -> Self {
+        GroupState { dist: vec![f32::INFINITY; n], parent: vec![NO_PARENT; n] }
+    }
+}
+
+/// Run a BANKS-style search and return the top-k tree answers.
+pub fn run(
+    graph: &KnowledgeGraph,
+    query: &ParsedQuery,
+    params: &BanksParams,
+    order: ExpansionOrder,
+) -> BanksOutcome {
+    let start = Instant::now();
+    let n = graph.num_nodes();
+    let q = query.num_keywords();
+    if q == 0 || n == 0 {
+        return BanksOutcome::default();
+    }
+
+    let mut groups: Vec<GroupState> = (0..q).map(|_| GroupState::new(n)).collect();
+    let mut pq: BinaryHeap<Entry> = BinaryHeap::new();
+    // Per-group min-distance heaps over pending entries: lazily cleaned
+    // lower bounds for the conservative emission test.
+    let mut pending: Vec<BinaryHeap<Reverse<(OrdF32, u32)>>> =
+        (0..q).map(|_| BinaryHeap::new()).collect();
+    // reached[v] counts groups with finite distance; candidate roots have
+    // reached[v] == q.
+    let mut reached: Vec<u16> = vec![0; n];
+    let mut candidates: HashMap<u32, f64> = HashMap::new();
+
+    for (i, group) in query.groups.iter().enumerate() {
+        let activation = 1.0 / group.nodes.len() as f32;
+        for &s in &group.nodes {
+            groups[i].dist[s.index()] = 0.0;
+            reached[s.index()] += 1;
+            if reached[s.index()] as usize == q {
+                candidates.insert(s.0, 0.0);
+            }
+            let priority = match order {
+                ExpansionOrder::Distance => OrdF32(0.0),
+                ExpansionOrder::Activation => OrdF32(activation),
+            };
+            pq.push(Entry { priority, node: s.0, group: i as u16, dist: 0.0, activation });
+            pending[i].push(Reverse((OrdF32(0.0), s.0)));
+        }
+    }
+
+    let mut pops = 0usize;
+    let mut budget_exhausted = false;
+    while let Some(e) = pq.pop() {
+        pops += 1;
+        if pops > params.node_budget {
+            budget_exhausted = true;
+            break;
+        }
+        let i = e.group as usize;
+        // Stale entry: a shorter path to this node was already settled.
+        if e.dist > groups[i].dist[e.node as usize] {
+            continue;
+        }
+        // Relax all neighbors (bi-directed view, as in the evaluated KB).
+        for adj in graph.neighbors(NodeId(e.node)) {
+            let t = adj.target();
+            let nd = e.dist + edge_cost(graph, t);
+            let gs = &mut groups[i];
+            if nd + 1e-6 < gs.dist[t.index()] {
+                let newly_reached = gs.dist[t.index()].is_infinite();
+                gs.dist[t.index()] = nd;
+                gs.parent[t.index()] = e.node;
+                if newly_reached {
+                    reached[t.index()] += 1;
+                }
+                let activation = e.activation * params.decay;
+                let priority = match order {
+                    ExpansionOrder::Distance => OrdF32(-nd),
+                    ExpansionOrder::Activation => OrdF32(activation),
+                };
+                pq.push(Entry { priority, node: t.0, group: e.group, dist: nd, activation });
+                pending[i].push(Reverse((OrdF32(nd), t.0)));
+                if reached[t.index()] as usize == q {
+                    let score: f64 =
+                        (0..q).map(|g| groups[g].dist[t.index()] as f64).sum();
+                    candidates
+                        .entry(t.0)
+                        .and_modify(|s| *s = s.min(score))
+                        .or_insert(score);
+                }
+            }
+        }
+        // Conservative emission test, checked periodically: stop once the
+        // k-th best candidate cannot be beaten by any undiscovered tree.
+        if pops.is_multiple_of(256) && candidates.len() >= params.top_k {
+            let lb = lower_bound(&mut pending, &groups);
+            let mut scores: Vec<f64> = candidates.values().copied().collect();
+            scores.sort_by(f64::total_cmp);
+            if scores[params.top_k - 1] <= lb {
+                break;
+            }
+        }
+    }
+
+    // Refresh candidate scores (later relaxations may have improved paths)
+    // and emit the top-k trees.
+    let mut final_scores: Vec<(u32, f64)> = candidates
+        .keys()
+        .map(|&v| {
+            let score: f64 = (0..q).map(|g| groups[g].dist[v as usize] as f64).sum();
+            (v, score)
+        })
+        .collect();
+    final_scores.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    final_scores.truncate(params.top_k);
+
+    let answers: Vec<TreeAnswer> = final_scores
+        .into_iter()
+        .map(|(root, score)| {
+            let paths: Vec<Vec<NodeId>> = (0..q)
+                .map(|g| reconstruct_path(&groups[g], root))
+                .collect();
+            TreeAnswer::from_paths(NodeId(root), paths, score)
+        })
+        .collect();
+
+    BanksOutcome { answers, pops, elapsed: start.elapsed(), budget_exhausted }
+}
+
+/// Lower bound on the score of any tree not yet fully discovered: the sum
+/// over groups of the smallest pending (non-stale) distance.
+fn lower_bound(
+    pending: &mut [BinaryHeap<Reverse<(OrdF32, u32)>>],
+    groups: &[GroupState],
+) -> f64 {
+    let mut total = 0.0f64;
+    for (i, heap) in pending.iter_mut().enumerate() {
+        // Drop stale tops (their node already settled at a smaller dist).
+        while let Some(Reverse((d, v))) = heap.peek().copied() {
+            if d.0 > groups[i].dist[v as usize] + 1e-6 {
+                heap.pop();
+            } else {
+                break;
+            }
+        }
+        // A drained group is fully settled and contributes 0.
+        if let Some(Reverse((d, _))) = heap.peek() {
+            total += d.0 as f64;
+        }
+    }
+    total
+}
+
+/// Follow parent pointers from `root` down to a group source.
+fn reconstruct_path(gs: &GroupState, root: u32) -> Vec<NodeId> {
+    let mut path = vec![NodeId(root)];
+    let mut cur = root;
+    let mut guard = 0;
+    while gs.parent[cur as usize] != NO_PARENT && gs.dist[cur as usize] > 0.0 {
+        cur = gs.parent[cur as usize];
+        path.push(NodeId(cur));
+        guard += 1;
+        if guard > 10_000 {
+            break; // parent cycle guard (cannot happen with positive costs)
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+    use textindex::InvertedIndex;
+
+    fn line_graph() -> (KnowledgeGraph, ParsedQuery) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", "alpha");
+        let m = b.add_node("m", "mid");
+        let z = b.add_node("z", "omega");
+        b.add_edge(a, m, "e");
+        b.add_edge(m, z, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "alpha omega");
+        (g, q)
+    }
+
+    #[test]
+    fn distance_order_finds_the_connecting_tree() {
+        let (g, q) = line_graph();
+        let out = run(&g, &q, &BanksParams::default(), ExpansionOrder::Distance);
+        assert!(!out.answers.is_empty());
+        let best = &out.answers[0];
+        best.check_invariants().unwrap();
+        // All three nodes participate; the root is one of them.
+        assert_eq!(best.nodes.len(), 3);
+    }
+
+    #[test]
+    fn activation_order_finds_the_same_answer_here() {
+        let (g, q) = line_graph();
+        let d = run(&g, &q, &BanksParams::default(), ExpansionOrder::Distance);
+        let a = run(&g, &q, &BanksParams::default(), ExpansionOrder::Activation);
+        assert_eq!(d.answers[0].nodes, a.answers[0].nodes);
+        assert!((d.answers[0].score - a.answers[0].score).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edge_cost_penalizes_hubs() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("hub", "hub");
+        let leaf = b.add_node("l0", "leaf");
+        b.add_edge(leaf, hub, "e");
+        for i in 1..100 {
+            let l = b.add_node(&format!("l{i}"), "leaf");
+            b.add_edge(l, hub, "e");
+        }
+        let g = b.build();
+        assert!(edge_cost(&g, hub) > edge_cost(&g, leaf));
+    }
+
+    #[test]
+    fn budget_cuts_search_short() {
+        let (g, q) = line_graph();
+        let out = run(&g, &q, &BanksParams::default().with_node_budget(1), ExpansionOrder::Distance);
+        assert!(out.budget_exhausted);
+    }
+
+    #[test]
+    fn disconnected_keywords_produce_no_answers() {
+        let mut b = GraphBuilder::new();
+        b.add_node("a", "alpha");
+        b.add_node("z", "omega");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "alpha omega");
+        let out = run(&g, &q, &BanksParams::default(), ExpansionOrder::Distance);
+        assert!(out.answers.is_empty());
+        assert!(!out.budget_exhausted);
+    }
+
+    #[test]
+    fn co_occurring_keywords_root_at_the_common_node() {
+        let mut b = GraphBuilder::new();
+        let both = b.add_node("b", "alpha omega");
+        let x = b.add_node("x", "filler");
+        b.add_edge(both, x, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "alpha omega");
+        let out = run(&g, &q, &BanksParams::default(), ExpansionOrder::Distance);
+        assert_eq!(out.answers[0].root, both);
+        assert_eq!(out.answers[0].score, 0.0);
+    }
+}

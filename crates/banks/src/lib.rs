@@ -1,0 +1,38 @@
+//! # banks — BANKS-I / BANKS-II keyword-search baselines
+//!
+//! The reproduced paper evaluates against **BANKS-II** (Kacholia et al.,
+//! *Bidirectional Expansion for Keyword Search on Graph Databases*,
+//! VLDB'05), the "established and widely used" Group-Steiner-Tree-style
+//! baseline, and discusses **BANKS-I** (Aditya et al., VLDB'02, pure
+//! backward search). This crate implements both from scratch with the
+//! behaviours the paper's analysis depends on:
+//!
+//! * **single-threaded, priority-queue driven** — each expansion step pops
+//!   the globally best node, creating the sequential dependency that (per
+//!   the paper) prevents parallelization;
+//! * **tree answers**: a root plus one shortest path to a leaf per keyword
+//!   group; the score is the sum of root→leaf path weights (no keyword
+//!   co-occurrence term — the effectiveness experiments hinge on this);
+//! * **in-degree-based edge costs** `log2(1 + deg(v))`, which make
+//!   expansion through summary hubs expensive and slow;
+//! * for BANKS-II, **spreading-activation ordering** (not distance
+//!   ordering) with decay per hop, which can settle a node at a
+//!   non-minimal distance and then pay for recursive distance corrections
+//!   — precisely the third slowness cause the paper identifies;
+//! * a **conservative top-k termination test**: answers are only emitted
+//!   once no undiscovered tree can beat them, which forces broad
+//!   exploration (the second slowness cause).
+//!
+//! Both engines operate on the same bi-directed [`kgraph::KnowledgeGraph`]
+//! view the Central Graph engines use, keeping the comparison fair.
+
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod banks1;
+pub mod banks2;
+pub mod expansion;
+
+pub use answer::{BanksOutcome, BanksParams, TreeAnswer};
+pub use banks1::BanksI;
+pub use banks2::BanksII;

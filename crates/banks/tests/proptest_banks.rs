@@ -1,0 +1,117 @@
+//! Property tests of the BANKS baselines on random graphs: tree answers
+//! are well-formed, cover every keyword group, their scores equal the sum
+//! of the path costs, and BANKS-I (Dijkstra order) never reports a worse
+//! best score than BANKS-II (activation order) when both run to
+//! completion.
+
+use banks::expansion::edge_cost;
+use banks::{BanksI, BanksII, BanksParams};
+use kgraph::{GraphBuilder, KnowledgeGraph};
+use proptest::prelude::*;
+use textindex::{InvertedIndex, ParsedQuery};
+
+const WORDS: &[&str] = &["ant", "bee", "cat", "dog", "elk", "fox"];
+
+fn arb_graph() -> impl Strategy<Value = (KnowledgeGraph, String)> {
+    (2usize..20).prop_flat_map(|nodes| {
+        let texts = proptest::collection::vec(
+            proptest::collection::vec(0usize..WORDS.len(), 1..3),
+            nodes,
+        );
+        let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 1..40);
+        let query = proptest::collection::vec(0usize..WORDS.len(), 2..4);
+        (texts, edges, query).prop_map(move |(texts, edges, query)| {
+            let mut b = GraphBuilder::new();
+            for (i, ws) in texts.iter().enumerate() {
+                let t: Vec<&str> = ws.iter().map(|&w| WORDS[w]).collect();
+                b.add_node(&format!("n{i}"), &t.join(" "));
+            }
+            for &(s, d) in &edges {
+                if s != d {
+                    let s = b.node(&format!("n{s}")).unwrap();
+                    let d = b.node(&format!("n{d}")).unwrap();
+                    b.add_edge(s, d, "rel");
+                }
+            }
+            let q: Vec<&str> = query.iter().map(|&w| WORDS[w]).collect();
+            (b.build(), q.join(" "))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 80, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tree_answers_are_well_formed((graph, raw) in arb_graph()) {
+        let idx = InvertedIndex::build(&graph);
+        let query = ParsedQuery::parse(&idx, &raw);
+        prop_assume!(!query.is_empty());
+        let params = BanksParams::default().with_top_k(5);
+        for out in [
+            BanksI::new().search(&graph, &query, &params),
+            BanksII::new().search(&graph, &query, &params),
+        ] {
+            for tree in &out.answers {
+                prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+                prop_assert_eq!(tree.paths.len(), query.num_keywords());
+                // Each path's leaf belongs to its keyword group.
+                for (i, path) in tree.paths.iter().enumerate() {
+                    let leaf = *path.last().unwrap();
+                    prop_assert!(
+                        query.groups[i].nodes.contains(&leaf),
+                        "path {i} leaf {leaf} not in T_{i}"
+                    );
+                    // Consecutive path nodes are graph neighbors.
+                    for w in path.windows(2) {
+                        let linked = graph
+                            .neighbors(w[0])
+                            .iter()
+                            .any(|a| a.target() == w[1]);
+                        prop_assert!(linked, "path edge {}-{} missing", w[0], w[1]);
+                    }
+                }
+                // Score equals the sum of path costs.
+                // Paths run root -> leaf while distances accumulate from
+                // the leaf (source) outwards, so each step's cost is the
+                // edge cost into the node *farther* from the source, w[0].
+                let recomputed: f64 = tree
+                    .paths
+                    .iter()
+                    .map(|p| {
+                        p.windows(2)
+                            .map(|w| edge_cost(&graph, w[0]) as f64)
+                            .sum::<f64>()
+                    })
+                    .sum();
+                prop_assert!(
+                    (tree.score - recomputed).abs() < 1e-3,
+                    "score {} vs recomputed {recomputed}",
+                    tree.score
+                );
+            }
+            // Ranked output.
+            for w in out.answers.windows(2) {
+                prop_assert!(w[0].score <= w[1].score + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn banks1_best_score_never_worse_than_banks2((graph, raw) in arb_graph()) {
+        let idx = InvertedIndex::build(&graph);
+        let query = ParsedQuery::parse(&idx, &raw);
+        prop_assume!(!query.is_empty());
+        let params = BanksParams::default().with_top_k(3);
+        let b1 = BanksI::new().search(&graph, &query, &params);
+        let b2 = BanksII::new().search(&graph, &query, &params);
+        // Both find answers or neither does (connectivity is order
+        // independent).
+        prop_assert_eq!(b1.answers.is_empty(), b2.answers.is_empty());
+        if let (Some(x), Some(y)) = (b1.answers.first(), b2.answers.first()) {
+            prop_assert!(x.score <= y.score + 1e-3,
+                "distance-ordered best {} worse than activation-ordered best {}",
+                x.score, y.score);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the substrate hot paths: text analysis,
+//! weighting, activation mapping and index lookups.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::synthetic::{SyntheticConfig, ZipfTable};
+use kgraph::weights::degree_of_summary;
+use textindex::{analyze, porter_stem, tokenize, InvertedIndex};
+
+fn bench_text_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text");
+    g.bench_function("porter_stem", |b| {
+        b.iter(|| {
+            for w in ["relational", "connections", "probabilistic", "mining", "retrieval"] {
+                black_box(porter_stem(black_box(w)));
+            }
+        })
+    });
+    g.bench_function("tokenize_label", |b| {
+        b.iter(|| black_box(tokenize(black_box("Statistical Relational Learning, 2nd ed. (AAAI-14)"))))
+    });
+    g.bench_function("analyze_label", |b| {
+        b.iter(|| black_box(analyze(black_box("the bayesian inference of markov networks"))))
+    });
+    g.finish();
+}
+
+fn bench_weights_and_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    let counts: Vec<u32> = (1..40).collect();
+    g.bench_function("degree_of_summary_40_labels", |b| {
+        b.iter(|| black_box(degree_of_summary(black_box(&counts))))
+    });
+    let zipf = ZipfTable::new(100_000, 1.05);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    g.bench_function("zipf_sample_100k", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let ds = SyntheticConfig::tiny(7).generate();
+    let mut g = c.benchmark_group("index");
+    g.bench_function("build_inverted_index_tiny", |b| {
+        b.iter(|| black_box(InvertedIndex::build(black_box(&ds.graph))))
+    });
+    let idx = InvertedIndex::build(&ds.graph);
+    g.bench_function("lookup", |b| b.iter(|| black_box(idx.lookup(black_box("learning")))));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_text_pipeline, bench_weights_and_zipf, bench_index
+}
+criterion_main!(benches);

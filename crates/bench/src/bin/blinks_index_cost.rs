@@ -1,0 +1,6 @@
+//! Appendix experiment: measure the BLINKS index cost that made the paper
+//! exclude BLINKS from its evaluation ("needs to pre-compute keyword-node
+//! lists and node-keyword map, which are infeasible on Wikidata KB").
+fn main() {
+    wikisearch_bench::experiments::blinks_cost::run();
+}

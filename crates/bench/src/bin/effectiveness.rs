@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figs. 11–12 and Table V.
+fn main() {
+    wikisearch_bench::experiments::effectiveness::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figs. 6–7 (Exp-1).
+fn main() {
+    wikisearch_bench::experiments::exp1_knum::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 8 row 1 (Exp-2).
+fn main() {
+    wikisearch_bench::experiments::exp2_topk::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 8 row 2 (Exp-3).
+fn main() {
+    wikisearch_bench::experiments::exp3_alpha::run();
+}

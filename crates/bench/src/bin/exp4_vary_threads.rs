@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figs. 9–10 (Exp-4).
+fn main() {
+    wikisearch_bench::experiments::exp4_threads::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 3.
+fn main() {
+    wikisearch_bench::experiments::fig3_activation::run();
+}

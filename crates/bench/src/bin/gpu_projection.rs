@@ -1,0 +1,6 @@
+//! Appendix experiment: project the measured work profile onto the
+//! paper's hardware (480 GB/s GDDR5X vs ~56 GB/s DDR4) — the bandwidth
+//! basis of the paper's GPU claims.
+fn main() {
+    wikisearch_bench::experiments::gpu_projection::run();
+}

@@ -1,0 +1,6 @@
+//! Appendix experiment: the r-clique parameter-sensitivity argument
+//! ("these parameters may be difficult to fix in a graph with large
+//! variety", reproduced paper Sec. II).
+fn main() {
+    wikisearch_bench::experiments::rclique_sensitivity::run();
+}

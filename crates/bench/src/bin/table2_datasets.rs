@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II. See `wikisearch-bench` docs.
+fn main() {
+    wikisearch_bench::experiments::table2_datasets::run();
+}

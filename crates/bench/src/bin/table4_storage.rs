@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table IV.
+fn main() {
+    wikisearch_bench::experiments::table4_storage::run();
+}

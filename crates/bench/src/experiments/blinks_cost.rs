@@ -1,0 +1,73 @@
+//! Appendix experiment: the BLINKS index-feasibility argument, measured.
+//!
+//! The paper excludes BLINKS from its evaluation because its keyword–node
+//! lists and node–keyword map "are infeasible on Wikidata KB with 30
+//! million nodes and over 5 million keywords" (Sec. VI, *Competitors*).
+//! Here we build the real BLINKS index on growing synthetic KBs and place
+//! its size and build time next to the Central Graph engine's Table IV
+//! running storage on the same graph — then extrapolate both to the
+//! paper's wiki2018 scale.
+
+use blinks::NodeKeywordIndex;
+use datagen::synthetic::SyntheticConfig;
+use eval::runner::ExperimentSink;
+use eval::Table;
+use kgraph::MemoryFootprint;
+use serde_json::json;
+use textindex::InvertedIndex;
+
+/// Entity counts for the sweep.
+pub const SIZES: [usize; 4] = [1000, 2000, 4000, 8000];
+
+/// Run the index-cost sweep.
+pub fn run() -> serde_json::Value {
+    println!("== Appendix: BLINKS index cost vs Central Graph running storage ==");
+    let mut table = Table::new(vec![
+        "entities", "terms", "BLINKS NKM", "BLINKS total", "build(ms)", "CG storage (Knum=8)",
+    ]);
+    let mut points = Vec::new();
+    for &entities in &SIZES {
+        let mut cfg = SyntheticConfig::tiny(31);
+        cfg.num_entities = entities;
+        let ds = cfg.generate();
+        let inverted = InvertedIndex::build(&ds.graph);
+        let index = NodeKeywordIndex::build(&ds.graph, &inverted, 12);
+        let cg = MemoryFootprint::for_search(&ds.graph, 8);
+        table.row(vec![
+            entities.to_string(),
+            index.num_terms().to_string(),
+            MemoryFootprint::human(index.nkm_bytes()),
+            MemoryFootprint::human(index.total_bytes()),
+            format!("{:.1}", index.build_time.as_secs_f64() * 1e3),
+            MemoryFootprint::human(cg.max_running_storage()),
+        ]);
+        points.push(json!({
+            "entities": entities,
+            "terms": index.num_terms(),
+            "nkm_bytes": index.nkm_bytes(),
+            "total_bytes": index.total_bytes(),
+            "build_ms": index.build_time.as_secs_f64() * 1e3,
+            "central_graph_bytes": cg.max_running_storage(),
+        }));
+    }
+    table.print();
+
+    // The paper's scale: 30.6M nodes × 5M keywords, 2 bytes per entry.
+    let wikidata_nkm = 30_600_000u128 * 5_000_000 * 2;
+    println!(
+        "\nExtrapolated to the paper's wiki2018 (30.6M nodes × 5M keywords):\n\
+         BLINKS NKM alone = {:.0} TB; the Central Graph engine's Table IV\n\
+         running storage on the same KB is 2.92 GB — the 5-orders-of-magnitude\n\
+         gap behind the paper's feasibility argument.\n",
+        wikidata_nkm as f64 / 1e12
+    );
+    let record = json!({
+        "experiment": "blinks_index_cost",
+        "points": points,
+        "wikidata_nkm_bytes": wikidata_nkm.to_string(),
+    });
+    if let Ok(path) = ExperimentSink::new().write("blinks_index_cost", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}

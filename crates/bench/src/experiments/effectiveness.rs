@@ -1,0 +1,121 @@
+//! Figs. 11–12 + Table V: top-k precision of WikiSearch (α ∈
+//! {0.05, 0.1, 0.4}) vs BANKS-II on the planted effectiveness dataset,
+//! with the Table V query list and `kwf` statistics.
+
+use crate::banks_budget;
+use banks::{BanksII, BanksParams};
+use central::engine::{KeywordSearchEngine, ParCpuEngine};
+use central::SearchParams;
+use datagen::PlantedDataset;
+use eval::precision::EffectivenessReport;
+use eval::runner::ExperimentSink;
+use eval::Table;
+use kgraph::sampling::estimate_average_distance_sources;
+use kgraph::NodeId;
+use serde_json::json;
+use textindex::{InvertedIndex, ParsedQuery};
+
+/// The WikiSearch α settings plotted in Figs. 11–12.
+pub const ALPHAS: [f32; 3] = [0.05, 0.1, 0.4];
+
+/// Run the effectiveness study.
+pub fn run() -> serde_json::Value {
+    println!("== Figs. 11–12 + Table V: effectiveness (planted ground truth) ==");
+    let ds = PlantedDataset::build(77, 24, 12);
+    let index = InvertedIndex::build(&ds.graph);
+    let a = estimate_average_distance_sources(&ds.graph, 16, 48, 32, 7).mean;
+    println!(
+        "dataset: {} nodes / {} edges, estimated A = {a:.2}",
+        ds.graph.num_nodes(),
+        ds.graph.num_directed_edges()
+    );
+
+    // Table V block: queries + kwf.
+    let mut tv = Table::new(vec!["query", "keywords", "kwf"]);
+    let mut queries_json = Vec::new();
+    for q in ds.queries {
+        let parsed = ParsedQuery::parse(&index, q.raw);
+        tv.row(vec![
+            q.id.to_string(),
+            q.raw.to_string(),
+            format!("{:.0}", parsed.avg_keyword_frequency()),
+        ]);
+        queries_json.push(json!({
+            "id": q.id,
+            "raw": q.raw,
+            "kwf": parsed.avg_keyword_frequency(),
+        }));
+    }
+    println!("\nTable V (queries + average keyword frequency on this dataset):");
+    tv.print();
+
+    // Engines: BANKS-II and WikiSearch at three α settings.
+    let engine = ParCpuEngine::new(crate::default_threads());
+    let banks = BanksII::new();
+    let banks_params = BanksParams::default()
+        .with_top_k(20)
+        .with_node_budget(banks_budget());
+
+    let mut table = Table::new(vec![
+        "query", "setting", "top-5", "top-10", "top-20",
+    ]);
+    let mut results_json = Vec::new();
+    // Figs. 11–12 plot Q1–Q9 (Q10/Q11 are saturated for every engine).
+    for q in ds.queries.iter() {
+        let parsed = ParsedQuery::parse(&index, q.raw);
+        // BANKS-II
+        let banks_out = banks.search(&ds.graph, &parsed, &banks_params);
+        let banks_answers: Vec<Vec<NodeId>> =
+            banks_out.answers.iter().map(|t| t.nodes.clone()).collect();
+        let banks_rep = EffectivenessReport::evaluate(&ds, q, &banks_answers);
+        table.row(vec![
+            q.id.to_string(),
+            "BANKS-II".to_string(),
+            format!("{:.0}%", banks_rep.p_at_5 * 100.0),
+            format!("{:.0}%", banks_rep.p_at_10 * 100.0),
+            format!("{:.0}%", banks_rep.p_at_20 * 100.0),
+        ]);
+        let mut settings = vec![json!({
+            "setting": "BANKS-II",
+            "p5": banks_rep.p_at_5, "p10": banks_rep.p_at_10, "p20": banks_rep.p_at_20,
+        })];
+        // WikiSearch at each α
+        for alpha in ALPHAS {
+            let params = SearchParams::default()
+                .with_top_k(20)
+                .with_alpha(alpha)
+                .with_average_distance(a);
+            let out = engine.search(&ds.graph, &parsed, &params);
+            let answers: Vec<Vec<NodeId>> =
+                out.answers.iter().map(|c| c.nodes.clone()).collect();
+            let rep = EffectivenessReport::evaluate(&ds, q, &answers);
+            table.row(vec![
+                q.id.to_string(),
+                format!("α-{alpha}"),
+                format!("{:.0}%", rep.p_at_5 * 100.0),
+                format!("{:.0}%", rep.p_at_10 * 100.0),
+                format!("{:.0}%", rep.p_at_20 * 100.0),
+            ]);
+            settings.push(json!({
+                "setting": format!("alpha-{alpha}"),
+                "p5": rep.p_at_5, "p10": rep.p_at_10, "p20": rep.p_at_20,
+                "answers": answers.len(),
+            }));
+        }
+        results_json.push(json!({ "query": q.id, "settings": settings }));
+    }
+    println!("\nFigs. 11–12 (top-k precision):");
+    table.print();
+    println!("(paper's shape: some α setting matches or beats BANKS-II on every query;\n BANKS-II fails phrase queries like Q4/Q6/Q7 by splitting phrases)\n");
+
+    let record = json!({
+        "experiment": "effectiveness",
+        "avg_distance": a,
+        "queries": queries_json,
+        "results": results_json,
+    });
+    if let Ok(path) = ExperimentSink::new().write("effectiveness", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}

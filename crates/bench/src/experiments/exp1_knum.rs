@@ -1,0 +1,126 @@
+//! Exp-1 (Figs. 6–7): per-phase running time vs `Knum` on both datasets,
+//! for GPU-Par (structural), CPU-Par and CPU-Par-d, plus BANKS-II total
+//! time. The paper averages 50 queries per datapoint; we default to
+//! `WIKISEARCH_QUERIES` (10) on laptop hardware.
+
+use crate::experiments::{engine_lineup, mean_profile_over};
+use crate::{banks_budget, default_threads, queries_per_point, PreparedDataset};
+use banks::{BanksII, BanksParams};
+use datagen::QueryWorkload;
+use eval::runner::{ms, ExperimentSink};
+use eval::Table;
+use serde_json::json;
+use textindex::ParsedQuery;
+
+/// The `Knum` sweep of Figs. 6–7.
+pub const KNUMS: [usize; 5] = [2, 4, 6, 8, 10];
+
+/// Run Exp-1 on both datasets.
+pub fn run() -> serde_json::Value {
+    let threads = default_threads();
+    let nq = queries_per_point();
+    println!("== Exp-1 (Figs. 6–7): vary Knum | {nq} queries/point, {threads} threads ==");
+    let mut records = Vec::new();
+    for ds in PreparedDataset::both() {
+        records.push(run_dataset(&ds, threads, nq));
+    }
+    let record = json!({ "experiment": "exp1_vary_knum", "datasets": records });
+    if let Ok(path) = ExperimentSink::new().write("exp1_vary_knum", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}
+
+fn run_dataset(ds: &PreparedDataset, threads: usize, nq: usize) -> serde_json::Value {
+    println!("\n-- dataset {} ({} nodes / {} edges) --", ds.name, ds.graph.num_nodes(), ds.graph.num_directed_edges());
+    let params = ds.params();
+    let engines = engine_lineup(threads);
+    let banks = BanksII::new();
+    let banks_params = BanksParams::default().with_node_budget(banks_budget());
+
+    let mut per_knum = Vec::new();
+    for knum in KNUMS {
+        let mut workload = QueryWorkload::new(1000 + knum as u64);
+        let raw = workload.batch(knum, nq);
+        let queries: Vec<ParsedQuery> = raw
+            .iter()
+            .map(|r| ParsedQuery::parse(&ds.index, r))
+            .collect();
+
+        let mut table = Table::new(vec![
+            "engine", "init", "enqueue", "identify", "expansion", "top-down", "total(ms)",
+        ]);
+        let mut engines_json = Vec::new();
+        for e in &engines {
+            let p = mean_profile_over(e.as_ref(), &ds.graph, &queries, &params);
+            table.row(vec![
+                e.name().to_string(),
+                ms(p.init),
+                ms(p.enqueue),
+                ms(p.identify),
+                ms(p.expansion),
+                ms(p.top_down),
+                ms(p.total()),
+            ]);
+            engines_json.push(json!({
+                "engine": e.name(),
+                "init_ms": p.init.as_secs_f64() * 1e3,
+                "enqueue_ms": p.enqueue.as_secs_f64() * 1e3,
+                "identify_ms": p.identify.as_secs_f64() * 1e3,
+                "expansion_ms": p.expansion.as_secs_f64() * 1e3,
+                "top_down_ms": p.top_down.as_secs_f64() * 1e3,
+                "total_ms": p.total().as_secs_f64() * 1e3,
+            }));
+        }
+        // BANKS-II: total time only (as in the paper's last panel). The
+        // paper caps BANKS at 500 s wall-clock; we cap queue pops, and
+        // flag how often the cap truncated the search — a capped time is
+        // a lower bound, not a win.
+        let mut banks_total = std::time::Duration::ZERO;
+        let mut banks_pops = 0usize;
+        let mut banks_truncated = 0usize;
+        for q in &queries {
+            let out = banks.search(&ds.graph, q, &banks_params);
+            banks_total += out.elapsed;
+            banks_pops += out.pops;
+            banks_truncated += out.budget_exhausted as usize;
+        }
+        let banks_mean = banks_total / nq as u32;
+        let banks_cell = if banks_truncated > 0 {
+            format!("{}*", ms(banks_mean))
+        } else {
+            ms(banks_mean)
+        };
+        table.row(vec![
+            "BANKS-II".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            banks_cell,
+        ]);
+        println!("Knum = {knum}");
+        table.print();
+        if banks_truncated > 0 {
+            println!(
+                "  (* BANKS-II hit its pop budget on {banks_truncated}/{nq} queries — its true time is higher)"
+            );
+        }
+        engines_json.push(json!({
+            "engine": "BANKS-II",
+            "total_ms": banks_mean.as_secs_f64() * 1e3,
+            "mean_pops": banks_pops / nq,
+            "budget_truncated": banks_truncated,
+        }));
+        per_knum.push(json!({ "knum": knum, "engines": engines_json }));
+    }
+    json!({
+        "dataset": ds.name,
+        "nodes": ds.graph.num_nodes(),
+        "edges": ds.graph.num_directed_edges(),
+        "queries_per_point": nq,
+        "threads": threads,
+        "points": per_knum,
+    })
+}

@@ -1,0 +1,53 @@
+//! Exp-2 (Fig. 8, row 1): total running time vs `Topk` on both datasets.
+//! The paper's finding: GPU-Par and CPU-Par are stable across `Topk`
+//! because the top-k answers are selected from the already-computed
+//! top-(k,d) set; time only jumps when a larger `d` must be searched.
+
+use crate::experiments::{engine_lineup, mean_profile_over};
+use crate::{default_threads, queries_per_point, PreparedDataset};
+use datagen::QueryWorkload;
+use eval::runner::{ms, ExperimentSink};
+use eval::Table;
+use serde_json::json;
+use textindex::ParsedQuery;
+
+/// The `Topk` sweep of Fig. 8.
+pub const TOPKS: [usize; 6] = [1, 10, 20, 30, 40, 50];
+
+/// Run Exp-2 on both datasets.
+pub fn run() -> serde_json::Value {
+    let threads = default_threads();
+    let nq = queries_per_point();
+    println!("== Exp-2 (Fig. 8 row 1): vary Topk | {nq} queries/point, {threads} threads ==");
+    let mut records = Vec::new();
+    for ds in PreparedDataset::both() {
+        println!("\n-- dataset {} --", ds.name);
+        let engines = engine_lineup(threads);
+        let mut workload = QueryWorkload::new(2000);
+        let raw = workload.batch(6, nq); // Knum fixed at its default, 6
+        let queries: Vec<ParsedQuery> =
+            raw.iter().map(|r| ParsedQuery::parse(&ds.index, r)).collect();
+
+        let mut table = Table::new(vec!["engine", "k=1", "k=10", "k=20", "k=30", "k=40", "k=50"]);
+        let mut engines_json = Vec::new();
+        for e in &engines {
+            let mut cells = vec![e.name().to_string()];
+            let mut totals = Vec::new();
+            for k in TOPKS {
+                let params = ds.params().with_top_k(k);
+                let p = mean_profile_over(e.as_ref(), &ds.graph, &queries, &params);
+                cells.push(ms(p.total()));
+                totals.push(p.total().as_secs_f64() * 1e3);
+            }
+            table.row(cells);
+            engines_json.push(json!({ "engine": e.name(), "totals_ms": totals }));
+        }
+        table.print();
+        records.push(json!({ "dataset": ds.name, "topks": TOPKS, "engines": engines_json }));
+    }
+    let record = json!({ "experiment": "exp2_vary_topk", "datasets": records });
+    if let Ok(path) = ExperimentSink::new().write("exp2_vary_topk", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}

@@ -1,0 +1,54 @@
+//! Exp-3 (Fig. 8, row 2): total running time vs α on both datasets.
+//! The paper's finding: larger α runs faster — more nodes activate early,
+//! so answers (often through summary nodes) are found at smaller depths.
+
+use crate::experiments::{engine_lineup, mean_profile_over};
+use crate::{default_threads, queries_per_point, PreparedDataset};
+use datagen::QueryWorkload;
+use eval::runner::{ms, ExperimentSink};
+use eval::Table;
+use serde_json::json;
+use textindex::ParsedQuery;
+
+/// The α sweep of Fig. 8.
+pub const ALPHAS: [f32; 5] = [0.05, 0.1, 0.2, 0.3, 0.4];
+
+/// Run Exp-3 on both datasets.
+pub fn run() -> serde_json::Value {
+    let threads = default_threads();
+    let nq = queries_per_point();
+    println!("== Exp-3 (Fig. 8 row 2): vary alpha | {nq} queries/point, {threads} threads ==");
+    let mut records = Vec::new();
+    for ds in PreparedDataset::both() {
+        println!("\n-- dataset {} --", ds.name);
+        let engines = engine_lineup(threads);
+        let mut workload = QueryWorkload::new(3000);
+        let raw = workload.batch(6, nq);
+        let queries: Vec<ParsedQuery> =
+            raw.iter().map(|r| ParsedQuery::parse(&ds.index, r)).collect();
+
+        let mut table = Table::new(vec![
+            "engine", "α=0.05", "α=0.1", "α=0.2", "α=0.3", "α=0.4",
+        ]);
+        let mut engines_json = Vec::new();
+        for e in &engines {
+            let mut cells = vec![e.name().to_string()];
+            let mut totals = Vec::new();
+            for alpha in ALPHAS {
+                let params = ds.params().with_alpha(alpha);
+                let p = mean_profile_over(e.as_ref(), &ds.graph, &queries, &params);
+                cells.push(ms(p.total()));
+                totals.push(p.total().as_secs_f64() * 1e3);
+            }
+            table.row(cells);
+            engines_json.push(json!({ "engine": e.name(), "totals_ms": totals }));
+        }
+        table.print();
+        records.push(json!({ "dataset": ds.name, "alphas": ALPHAS, "engines": engines_json }));
+    }
+    let record = json!({ "experiment": "exp3_vary_alpha", "datasets": records });
+    if let Ok(path) = ExperimentSink::new().write("exp3_vary_alpha", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}

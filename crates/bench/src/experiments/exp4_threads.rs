@@ -1,0 +1,78 @@
+//! Exp-4 (Figs. 9–10): per-phase running time vs `Tnum` on both datasets
+//! for CPU-Par, CPU-Par-d and the GPU-structured engine. `Tnum = 1` uses
+//! the sequential reference engine, exactly as in the paper ("Tnum = 1
+//! means we are running everything sequentially on CPU").
+//!
+//! Note: the paper sweeps 1..50 threads on a 52-core Xeon; sweep bounds
+//! here come from `WIKISEARCH_THREADS` and the scaling *shape* (and the
+//! lock penalty of CPU-Par-d) is the reproduced signal.
+
+use crate::experiments::{mean_profile_over, sequential_engine};
+use crate::{queries_per_point, thread_sweep, PreparedDataset};
+use central::engine::{DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine};
+use datagen::QueryWorkload;
+use eval::runner::{ms, ExperimentSink};
+use eval::Table;
+use serde_json::json;
+use textindex::ParsedQuery;
+
+/// Run Exp-4 on both datasets.
+pub fn run() -> serde_json::Value {
+    let sweep = thread_sweep();
+    let nq = queries_per_point();
+    println!("== Exp-4 (Figs. 9–10): vary Tnum {sweep:?} | {nq} queries/point ==");
+    let mut records = Vec::new();
+    for ds in PreparedDataset::both() {
+        println!("\n-- dataset {} --", ds.name);
+        let params = ds.params();
+        let mut workload = QueryWorkload::new(4000);
+        let raw = workload.batch(6, nq);
+        let queries: Vec<ParsedQuery> =
+            raw.iter().map(|r| ParsedQuery::parse(&ds.index, r)).collect();
+
+        let mut dataset_json = Vec::new();
+        for &t in &sweep {
+            let engines: Vec<Box<dyn KeywordSearchEngine>> = if t == 1 {
+                vec![sequential_engine(), Box::new(DynParEngine::new(1))]
+            } else {
+                vec![
+                    Box::new(ParCpuEngine::new(t)),
+                    Box::new(GpuStyleEngine::new(t)),
+                    Box::new(DynParEngine::new(t)),
+                ]
+            };
+            let mut table = Table::new(vec![
+                "engine", "init", "enqueue", "identify", "expansion", "top-down", "total(ms)",
+            ]);
+            let mut point_json = Vec::new();
+            for e in &engines {
+                let p = mean_profile_over(e.as_ref(), &ds.graph, &queries, &params);
+                table.row(vec![
+                    e.name().to_string(),
+                    ms(p.init),
+                    ms(p.enqueue),
+                    ms(p.identify),
+                    ms(p.expansion),
+                    ms(p.top_down),
+                    ms(p.total()),
+                ]);
+                point_json.push(json!({
+                    "engine": e.name(),
+                    "expansion_ms": p.expansion.as_secs_f64() * 1e3,
+                    "identify_ms": p.identify.as_secs_f64() * 1e3,
+                    "top_down_ms": p.top_down.as_secs_f64() * 1e3,
+                    "total_ms": p.total().as_secs_f64() * 1e3,
+                }));
+            }
+            println!("Tnum = {t}");
+            table.print();
+            dataset_json.push(json!({ "threads": t, "engines": point_json }));
+        }
+        records.push(json!({ "dataset": ds.name, "points": dataset_json }));
+    }
+    let record = json!({ "experiment": "exp4_vary_threads", "datasets": records });
+    if let Ok(path) = ExperimentSink::new().write("exp4_vary_threads", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}

@@ -1,0 +1,38 @@
+//! Table IV: pre-storage and maximum running storage of the matrix
+//! engines (`Knum = 8`, `Topk = 50` — the largest configuration of the
+//! paper's experiments).
+
+use crate::PreparedDataset;
+use eval::runner::ExperimentSink;
+use eval::Table;
+use kgraph::MemoryFootprint;
+use serde_json::json;
+
+/// Run the Table IV accounting on both datasets.
+pub fn run() -> serde_json::Value {
+    println!("== Table IV: running storage (Knum = 8, Topk = 50) ==");
+    let mut table = Table::new(vec!["dataset", "pre-storage", "max. running storage"]);
+    let mut records = Vec::new();
+    for ds in PreparedDataset::both() {
+        let f = MemoryFootprint::for_search(&ds.graph, 8);
+        table.row(vec![
+            ds.name.clone(),
+            MemoryFootprint::human(f.pre_storage()),
+            MemoryFootprint::human(f.max_running_storage()),
+        ]);
+        records.push(json!({
+            "dataset": ds.name,
+            "pre_storage_bytes": f.pre_storage(),
+            "max_running_bytes": f.max_running_storage(),
+            "csr_adjacency_bytes": f.csr_adjacency,
+            "node_keyword_matrix_bytes": f.node_keyword_matrix,
+        }));
+    }
+    table.print();
+    println!("(paper: wiki2017 1.19GB / 1.46GB; wiki2018 2.41GB / 2.92GB on the full dumps)\n");
+    let record = json!({ "experiment": "table4_storage", "datasets": records });
+    if let Ok(path) = ExperimentSink::new().write("table4_storage", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}

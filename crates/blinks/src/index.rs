@@ -1,0 +1,201 @@
+//! The BLINKS precomputed index: node–keyword distance map (NKM) and
+//! keyword–node lists (KNL).
+
+use kgraph::{KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use textindex::InvertedIndex;
+
+/// Sentinel for "keyword unreachable from this node".
+pub const UNREACHABLE: u16 = u16::MAX;
+
+/// The full BLINKS index over a graph's keyword vocabulary.
+///
+/// Storage is `|V| × |terms|` u16 distances — the quantity that makes
+/// BLINKS infeasible on web-scale KBs (the paper's argument for not
+/// running it on Wikidata). Build cost is one multi-source BFS per term:
+/// `O(|terms| · (|V| + |E|))`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeKeywordIndex {
+    term_names: Vec<String>,
+    num_nodes: usize,
+    /// Row-major `node × term` hop distances.
+    nkm: Vec<u16>,
+    /// Per term: nodes sorted ascending by distance (the KNL).
+    knl: Vec<Vec<NodeId>>,
+    /// Wall-clock build time, for the index-cost experiment.
+    #[serde(skip)]
+    pub build_time: std::time::Duration,
+}
+
+impl NodeKeywordIndex {
+    /// Build the full index from a graph and its inverted keyword index.
+    /// `max_depth` caps BFS (distances beyond it become [`UNREACHABLE`]).
+    pub fn build(graph: &KnowledgeGraph, inverted: &InvertedIndex, max_depth: u16) -> Self {
+        let start = std::time::Instant::now();
+        let n = graph.num_nodes();
+        let terms: Vec<(String, Vec<NodeId>)> = inverted
+            .term_frequencies()
+            .map(|(t, _)| {
+                (
+                    t.to_string(),
+                    inverted.lookup_analyzed(t).unwrap_or(&[]).to_vec(),
+                )
+            })
+            .collect();
+        let t = terms.len();
+        let mut nkm = vec![UNREACHABLE; n * t];
+        let mut knl = Vec::with_capacity(t);
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for (ti, (_, sources)) in terms.iter().enumerate() {
+            // Multi-source BFS from every node containing the term.
+            queue.clear();
+            for &s in sources {
+                nkm[s.index() * t + ti] = 0;
+                queue.push_back(s);
+            }
+            while let Some(v) = queue.pop_front() {
+                let d = nkm[v.index() * t + ti];
+                if d >= max_depth {
+                    continue;
+                }
+                for adj in graph.neighbors(v) {
+                    let u = adj.target();
+                    if nkm[u.index() * t + ti] == UNREACHABLE {
+                        nkm[u.index() * t + ti] = d + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            let mut list: Vec<NodeId> = (0..n)
+                .filter(|&v| nkm[v * t + ti] != UNREACHABLE)
+                .map(NodeId::from_index)
+                .collect();
+            list.sort_by_key(|v| nkm[v.index() * t + ti]);
+            knl.push(list);
+        }
+        NodeKeywordIndex {
+            term_names: terms.into_iter().map(|(t, _)| t).collect(),
+            num_nodes: n,
+            nkm,
+            knl,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Number of indexed terms.
+    pub fn num_terms(&self) -> usize {
+        self.term_names.len()
+    }
+
+    /// Number of indexed nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Term id by analyzed term.
+    pub fn term_id(&self, term: &str) -> Option<usize> {
+        self.term_names.iter().position(|t| t == term)
+    }
+
+    /// NKM lookup: hop distance from `v` to the nearest node containing
+    /// term `ti` ([`UNREACHABLE`] if none within the build depth).
+    #[inline]
+    pub fn distance(&self, v: NodeId, ti: usize) -> u16 {
+        self.nkm[v.index() * self.num_terms() + ti]
+    }
+
+    /// The keyword–node list of term `ti` (nodes ascending by distance).
+    pub fn knl(&self, ti: usize) -> &[NodeId] {
+        &self.knl[ti]
+    }
+
+    /// NKM bytes — the dominant index cost the paper's feasibility
+    /// argument is about.
+    pub fn nkm_bytes(&self) -> usize {
+        self.nkm.len() * std::mem::size_of::<u16>()
+    }
+
+    /// KNL bytes.
+    pub fn knl_bytes(&self) -> usize {
+        self.knl.iter().map(|l| l.len() * std::mem::size_of::<NodeId>()).sum()
+    }
+
+    /// Total index bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.nkm_bytes() + self.knl_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    /// apple — mid — mid — banana path.
+    fn fixture() -> (KnowledgeGraph, InvertedIndex) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", "apple");
+        let m1 = b.add_node("m1", "mid");
+        let m2 = b.add_node("m2", "mid");
+        let z = b.add_node("z", "banana");
+        b.add_edge(a, m1, "e");
+        b.add_edge(m1, m2, "e");
+        b.add_edge(m2, z, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        (g, idx)
+    }
+
+    #[test]
+    fn nkm_distances_are_hop_counts() {
+        let (g, inv) = fixture();
+        let idx = NodeKeywordIndex::build(&g, &inv, 16);
+        let apple = idx.term_id("appl").unwrap(); // stemmed
+        let banana = idx.term_id("banana").unwrap();
+        let a = g.find_node_by_key("a").unwrap();
+        let z = g.find_node_by_key("z").unwrap();
+        assert_eq!(idx.distance(a, apple), 0);
+        assert_eq!(idx.distance(a, banana), 3);
+        assert_eq!(idx.distance(z, apple), 3);
+        assert_eq!(idx.distance(z, banana), 0);
+    }
+
+    #[test]
+    fn knl_is_distance_sorted() {
+        let (g, inv) = fixture();
+        let idx = NodeKeywordIndex::build(&g, &inv, 16);
+        let apple = idx.term_id("appl").unwrap();
+        let list = idx.knl(apple);
+        assert_eq!(list.len(), 4);
+        for w in list.windows(2) {
+            assert!(idx.distance(w[0], apple) <= idx.distance(w[1], apple));
+        }
+    }
+
+    #[test]
+    fn max_depth_caps_reachability() {
+        let (g, inv) = fixture();
+        let idx = NodeKeywordIndex::build(&g, &inv, 1);
+        let banana = idx.term_id("banana").unwrap();
+        let a = g.find_node_by_key("a").unwrap();
+        assert_eq!(idx.distance(a, banana), UNREACHABLE);
+    }
+
+    #[test]
+    fn index_size_is_nodes_times_terms() {
+        let (g, inv) = fixture();
+        let idx = NodeKeywordIndex::build(&g, &inv, 16);
+        assert_eq!(idx.nkm_bytes(), g.num_nodes() * idx.num_terms() * 2);
+        assert!(idx.total_bytes() > idx.nkm_bytes());
+        assert!(idx.build_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn term_lookup_misses_gracefully() {
+        let (g, inv) = fixture();
+        let idx = NodeKeywordIndex::build(&g, &inv, 16);
+        assert_eq!(idx.term_id("nonexistent"), None);
+        assert_eq!(idx.num_nodes(), g.num_nodes());
+    }
+}

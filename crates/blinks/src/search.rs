@@ -1,0 +1,200 @@
+//! BLINKS query evaluation over the precomputed index.
+//!
+//! With the full node–keyword map in memory, scoring every candidate root
+//! is a linear scan: `score(v) = Σ_i dist(v, T_i)` (the distinct-root
+//! semantics of BLINKS — one answer per root). Trees are reconstructed by
+//! descending the distance gradient: from the root, for each keyword,
+//! repeatedly step to a neighbor whose indexed distance is exactly one
+//! less.
+
+use crate::index::{NodeKeywordIndex, UNREACHABLE};
+use kgraph::{KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use textindex::ParsedQuery;
+
+/// One BLINKS answer: a root plus one shortest path per keyword.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BlinksAnswer {
+    /// The distinct root of this answer.
+    pub root: NodeId,
+    /// Per keyword: the path `root → … → keyword node`.
+    pub paths: Vec<Vec<NodeId>>,
+    /// `Σ_i dist(root, T_i)` in hops; smaller is better.
+    pub score: u32,
+}
+
+impl BlinksAnswer {
+    /// All distinct nodes of the answer.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.paths.iter().flatten().copied().collect();
+        nodes.push(self.root);
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// The BLINKS query engine.
+pub struct BlinksSearch<'a> {
+    graph: &'a KnowledgeGraph,
+    index: &'a NodeKeywordIndex,
+}
+
+impl<'a> BlinksSearch<'a> {
+    /// Bind a graph and its prebuilt index.
+    pub fn new(graph: &'a KnowledgeGraph, index: &'a NodeKeywordIndex) -> Self {
+        BlinksSearch { graph, index }
+    }
+
+    /// Top-k distinct-root answers for `query`.
+    ///
+    /// Returns an empty list when any query term is missing from the
+    /// index (BLINKS cannot answer for unindexed keywords) or no node
+    /// reaches every keyword within the index's build depth.
+    pub fn search(&self, query: &ParsedQuery, top_k: usize) -> Vec<BlinksAnswer> {
+        let term_ids: Option<Vec<usize>> = query
+            .groups
+            .iter()
+            .map(|g| self.index.term_id(&g.term))
+            .collect();
+        let Some(term_ids) = term_ids else {
+            return Vec::new();
+        };
+        if term_ids.is_empty() {
+            return Vec::new();
+        }
+        // Score all candidate roots from the NKM (the index makes this a
+        // linear scan — BLINKS's whole trade).
+        let mut roots: Vec<(u32, NodeId)> = Vec::new();
+        'nodes: for v in self.graph.nodes() {
+            let mut score = 0u32;
+            for &ti in &term_ids {
+                let d = self.index.distance(v, ti);
+                if d == UNREACHABLE {
+                    continue 'nodes;
+                }
+                score += d as u32;
+            }
+            roots.push((score, v));
+        }
+        roots.sort_unstable_by_key(|&(s, v)| (s, v));
+        roots.truncate(top_k);
+        roots
+            .into_iter()
+            .map(|(score, root)| BlinksAnswer {
+                root,
+                paths: term_ids
+                    .iter()
+                    .map(|&ti| self.descend(root, ti))
+                    .collect(),
+                score,
+            })
+            .collect()
+    }
+
+    /// Follow the distance gradient from `v` down to a node containing
+    /// term `ti`.
+    fn descend(&self, v: NodeId, ti: usize) -> Vec<NodeId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        let mut d = self.index.distance(v, ti);
+        while d > 0 {
+            let next = self
+                .graph
+                .neighbors(cur)
+                .iter()
+                .map(|a| a.target())
+                .find(|&u| self.index.distance(u, ti) == d - 1)
+                .expect("gradient step must exist for a finite distance");
+            path.push(next);
+            cur = next;
+            d -= 1;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+    use textindex::InvertedIndex;
+
+    fn fixture() -> (KnowledgeGraph, InvertedIndex) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", "apple");
+        let hub = b.add_node("h", "hub");
+        let z = b.add_node("z", "banana");
+        let far = b.add_node("f", "apple far");
+        b.add_edge(a, hub, "e");
+        b.add_edge(hub, z, "e");
+        b.add_edge(z, far, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        (g, idx)
+    }
+
+    #[test]
+    fn roots_are_distance_scored_and_distinct() {
+        let (g, inv) = fixture();
+        let index = NodeKeywordIndex::build(&g, &inv, 16);
+        let search = BlinksSearch::new(&g, &index);
+        let query = ParsedQuery::parse(&inv, "apple banana");
+        let answers = search.search(&query, 10);
+        assert!(!answers.is_empty());
+        // Best roots score 1: hub (1+1=2)? z: apple at dist 1 (far) + 0 = 1.
+        let best = &answers[0];
+        assert_eq!(best.score, 1);
+        assert_eq!(best.root, g.find_node_by_key("z").unwrap());
+        // Distinct roots, ranked.
+        let mut roots: Vec<_> = answers.iter().map(|a| a.root).collect();
+        roots.dedup();
+        assert_eq!(roots.len(), answers.len());
+        for w in answers.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+    }
+
+    #[test]
+    fn paths_descend_to_keyword_nodes() {
+        let (g, inv) = fixture();
+        let index = NodeKeywordIndex::build(&g, &inv, 16);
+        let search = BlinksSearch::new(&g, &index);
+        let query = ParsedQuery::parse(&inv, "apple banana");
+        for a in search.search(&query, 10) {
+            for (i, p) in a.paths.iter().enumerate() {
+                assert_eq!(p[0], a.root);
+                let leaf = *p.last().unwrap();
+                assert!(query.groups[i].nodes.contains(&leaf));
+            }
+            assert!(!a.nodes().is_empty());
+        }
+    }
+
+    #[test]
+    fn unindexed_terms_yield_no_answers() {
+        let (g, inv) = fixture();
+        let index = NodeKeywordIndex::build(&g, &inv, 16);
+        let search = BlinksSearch::new(&g, &index);
+        // Parse against a different corpus so the term exists in the query
+        // but not in this index.
+        let mut b2 = GraphBuilder::new();
+        b2.add_node("x", "zebra");
+        let g2 = b2.build();
+        let inv2 = InvertedIndex::build(&g2);
+        let query = ParsedQuery::parse(&inv2, "zebra");
+        assert!(search.search(&query, 5).is_empty());
+    }
+
+    #[test]
+    fn disconnected_keywords_yield_no_answers() {
+        let mut b = GraphBuilder::new();
+        b.add_node("a", "apple");
+        b.add_node("z", "banana");
+        let g = b.build();
+        let inv = InvertedIndex::build(&g);
+        let index = NodeKeywordIndex::build(&g, &inv, 16);
+        let query = ParsedQuery::parse(&inv, "apple banana");
+        assert!(BlinksSearch::new(&g, &index).search(&query, 5).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimum activation levels — the Penalty-and-Reward mapping of
+//! Sec. IV of the paper (Eqs. 3–5).
+//!
+//! An unweighted Central Graph search would reduce to arbitrary concurrent
+//! BFS. The paper instead gives every node a **minimum activation level**
+//! `a_i` derived from its degree-of-summary weight `w_i ∈ [0, 1]`: the node
+//! only participates in search once the global BFS level reaches `a_i`.
+//! Informative (low-weight) nodes activate early; summary hubs activate
+//! late and therefore rarely enter compact answers.
+//!
+//! The mapping centers on the dataset's average shortest distance `A`
+//! (Table II) and a user-tunable preference `α ∈ (0, 1)`:
+//!
+//! ```text
+//! Penalty(v) = A · (w − α) / (1 − α)   if w > α        (Eq. 3)
+//! Reward(v)  = A · (α − w) / α         if w < α        (Eq. 4)
+//! a_v = round(A − Reward)   if w < α
+//!     = round(A)            if w = α                   (Eq. 5)
+//!     = round(A + Penalty)  if w > α
+//! ```
+//!
+//! so `a_v` ranges from `0` (maximal reward) to `round(2A)` (maximal
+//! penalty). A larger `α` maps more nodes below the average — the user's
+//! lever for admitting summary nodes (the paper's `data mining` example).
+
+use kgraph::{KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Inputs of the Penalty-and-Reward mapping.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ActivationConfig {
+    /// User preference `α ∈ (0, 1)`.
+    pub alpha: f32,
+    /// Dataset average shortest distance `A` (sampled, Table II).
+    pub average_distance: f64,
+}
+
+impl ActivationConfig {
+    /// Minimum activation level for a normalized weight `w ∈ [0, 1]`
+    /// (Eqs. 3–5). The result is clamped to `[0, 254]` so that `255`
+    /// remains the ∞ sentinel of the hitting-level matrix.
+    pub fn level_for_weight(&self, w: f32) -> u8 {
+        let a = self.average_distance;
+        let alpha = self.alpha as f64;
+        let w = w as f64;
+        let value = if w > alpha {
+            a + a * (w - alpha) / (1.0 - alpha) // penalty
+        } else if w < alpha {
+            a - a * (alpha - w) / alpha // reward
+        } else {
+            a
+        };
+        value.round().clamp(0.0, 254.0) as u8
+    }
+}
+
+/// Per-query activation oracle: either computed on the fly from node
+/// weights (the paper computes `a_f` from `w_f` and `α` inside the
+/// expansion kernel, Alg. 2 line 4) or an explicit per-node table
+/// (tests, ablations).
+#[derive(Clone)]
+pub enum ActivationMap<'g> {
+    /// Compute from the graph's normalized weights.
+    Computed {
+        /// The graph whose weights are consulted.
+        graph: &'g KnowledgeGraph,
+        /// Mapping parameters.
+        config: ActivationConfig,
+    },
+    /// Explicit per-node levels (length = number of nodes).
+    Explicit(&'g [u8]),
+}
+
+impl<'g> ActivationMap<'g> {
+    /// Minimum activation level of `v`.
+    #[inline]
+    pub fn level(&self, v: NodeId) -> u8 {
+        match self {
+            ActivationMap::Computed { graph, config } => {
+                config.level_for_weight(graph.weight(v))
+            }
+            ActivationMap::Explicit(levels) => levels[v.index()],
+        }
+    }
+
+    /// Materialize all levels (used by the Fig. 3 distribution harness).
+    pub fn table(&self, num_nodes: usize) -> Vec<u8> {
+        (0..num_nodes)
+            .map(|i| self.level(NodeId::from_index(i)))
+            .collect()
+    }
+}
+
+/// Histogram of activation levels: counts for levels `0, 1, 2, 3` and a
+/// final bucket for `≥ 4`, exactly the x-axis of the paper's Fig. 3.
+pub fn level_distribution(levels: &[u8]) -> [usize; 5] {
+    let mut hist = [0usize; 5];
+    for &l in levels {
+        hist[(l as usize).min(4)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: f64 = 3.68; // the paper's wiki2018 estimate
+
+    fn cfg(alpha: f32) -> ActivationConfig {
+        ActivationConfig { alpha, average_distance: A }
+    }
+
+    #[test]
+    fn weight_equal_alpha_maps_to_average() {
+        assert_eq!(cfg(0.1).level_for_weight(0.1), A.round() as u8);
+    }
+
+    #[test]
+    fn extremes_map_to_zero_and_double_average() {
+        // w = 0: full reward ⇒ level 0.
+        assert_eq!(cfg(0.1).level_for_weight(0.0), 0);
+        // w = 1: full penalty ⇒ round(2A).
+        assert_eq!(cfg(0.1).level_for_weight(1.0), (2.0 * A).round() as u8);
+    }
+
+    #[test]
+    fn mapping_is_monotone_in_weight() {
+        let c = cfg(0.1);
+        let mut prev = 0u8;
+        for i in 0..=100 {
+            let w = i as f32 / 100.0;
+            let l = c.level_for_weight(w);
+            assert!(l >= prev, "activation must not decrease with weight");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn larger_alpha_never_raises_a_nodes_level() {
+        // Sec. IV-C: larger α "decreases" effective weights — every node's
+        // activation level under α = 0.4 is ≤ its level under α = 0.05.
+        let lo = cfg(0.05);
+        let hi = cfg(0.4);
+        for i in 0..=100 {
+            let w = i as f32 / 100.0;
+            assert!(
+                hi.level_for_weight(w) <= lo.level_for_weight(w),
+                "w = {w}: α = 0.4 gave a higher level than α = 0.05"
+            );
+        }
+    }
+
+    #[test]
+    fn clamping_protects_the_infinity_sentinel() {
+        let c = ActivationConfig { alpha: 0.01, average_distance: 1000.0 };
+        assert!(c.level_for_weight(1.0) <= 254);
+        assert_eq!(c.level_for_weight(0.0), 0);
+    }
+
+    #[test]
+    fn distribution_buckets_match_fig3_axes() {
+        let hist = level_distribution(&[0, 0, 1, 2, 3, 4, 9, 200]);
+        assert_eq!(hist, [2, 1, 1, 1, 3]);
+    }
+
+    #[test]
+    fn explicit_map_reads_table() {
+        let levels = vec![5u8, 7, 0];
+        let m = ActivationMap::Explicit(&levels);
+        assert_eq!(m.level(NodeId(1)), 7);
+        assert_eq!(m.table(3), levels);
+    }
+}

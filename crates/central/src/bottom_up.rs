@@ -1,0 +1,481 @@
+//! Stage 1: bottom-up search (paper Algorithm 1 lines 1–7 and
+//! Algorithm 2), solving the top-(k,d) Central Graph problem.
+//!
+//! The driver is level-synchronous: per level it (1) drains `FIdentifier`
+//! into the joint frontier queue, (2) identifies Central Nodes among the
+//! frontiers (Lemma V.1), (3) stops if `k` central nodes exist (Def. 4 —
+//! the current level is then the minimal depth `d`), and otherwise
+//! (4) runs the expansion procedure. How each step is scheduled (sequential,
+//! coarse-grained rayon, or GPU-kernel-style fine-grained) is delegated to
+//! an [`ExecStrategy`]; the *semantics* are identical across strategies,
+//! which the property suite verifies.
+
+use crate::activation::ActivationMap;
+use crate::profile::PhaseProfile;
+use crate::state::SearchState;
+use crate::{model::INFINITE_LEVEL, SearchParams};
+use kgraph::{KnowledgeGraph, NodeId};
+use std::time::Instant;
+
+/// Everything an expansion step needs (read-only except for `state`'s
+/// atomics).
+pub struct ExpandCtx<'a> {
+    /// The data graph.
+    pub graph: &'a KnowledgeGraph,
+    /// Activation oracle (`a_v` from `w_v` and `α`, or explicit).
+    pub act: &'a ActivationMap<'a>,
+    /// Shared lock-free search state.
+    pub state: &'a SearchState,
+}
+
+/// Expand one frontier node across **all** BFS instances — the body of
+/// Algorithm 2's outer loop. This is the unit of work of the coarse-grained
+/// CPU strategy (one OpenMP/rayon task per frontier, dynamically
+/// scheduled).
+#[inline]
+pub fn expand_frontier(ctx: &ExpandCtx<'_>, f: u32, level: u8) {
+    let state = ctx.state;
+    // Central Nodes are unavailable for expansion (Alg. 2 lines 2–3).
+    if state.is_central(f) {
+        return;
+    }
+    let vf = NodeId(f);
+    // A node expands only once the level reaches its activation (lines 4–7);
+    // until then it stays a frontier.
+    if ctx.act.level(vf) > level {
+        state.mark_frontier(f);
+        return;
+    }
+    for i in 0..state.num_keywords() {
+        expand_instance(ctx, f, vf, i, level);
+    }
+}
+
+/// Expand one `(frontier, BFS instance)` pair — the body of Algorithm 2's
+/// middle loop, and the warp-level work item of the GPU strategy.
+#[inline]
+pub fn expand_work_item(ctx: &ExpandCtx<'_>, f: u32, i: usize, level: u8) {
+    let state = ctx.state;
+    if state.is_central(f) {
+        return;
+    }
+    let vf = NodeId(f);
+    if ctx.act.level(vf) > level {
+        state.mark_frontier(f);
+        return;
+    }
+    expand_instance(ctx, f, vf, i, level);
+}
+
+/// Inner loop shared by both granularities: push instance `i` of frontier
+/// `f` one step (Alg. 2 lines 8–22).
+#[inline]
+fn expand_instance(ctx: &ExpandCtx<'_>, f: u32, vf: NodeId, i: usize, level: u8) {
+    let state = ctx.state;
+    // The frontier must already be hit in this instance (line 9–11).
+    let hf = state.hit(f, i);
+    if hf > level {
+        return; // includes the ∞ sentinel
+    }
+    for adj in ctx.graph.neighbors(vf) {
+        let n = adj.target().0;
+        // Visited in B_i already (lines 13–15): both ∞→l+1 races and
+        // stale reads are benign — any finite value means "skip".
+        if state.hit(n, i) != INFINITE_LEVEL {
+            continue;
+        }
+        // Non-keyword nodes cannot be hit before their activation allows
+        // (lines 16–20); the frontier stays alive to retry next level.
+        if !state.is_keyword_node(n) && ctx.act.level(adj.target()) > level + 1 {
+            state.mark_frontier(f);
+            continue;
+        }
+        state.set_hit(n, i, level + 1); // line 21
+        state.mark_frontier(n); // line 22
+    }
+}
+
+/// Sequential frontier enqueue: scan `FIdentifier`, clearing flags and
+/// appending set nodes. The paper found sequential enqueue fastest on CPU
+/// (locked parallel writes are slower than one linear scan).
+pub fn enqueue_sequential(state: &SearchState, out: &mut Vec<u32>) {
+    out.clear();
+    for v in 0..state.num_nodes() as u32 {
+        if state.take_frontier_flag(v) {
+            out.push(v);
+        }
+    }
+}
+
+/// Parallel frontier enqueue by block compaction — the GPU-style variant
+/// (the paper parallelizes enqueue only on the GPU; on CPU it found the
+/// sequential scan faster, which the `enqueue` Criterion bench confirms).
+/// Each block drains its slice of `FIdentifier` into a local buffer;
+/// blocks concatenate in order, so the result equals the sequential scan.
+pub fn enqueue_parallel_compaction(
+    pool: &rayon::ThreadPool,
+    state: &SearchState,
+    out: &mut Vec<u32>,
+    block: usize,
+) {
+    use rayon::prelude::*;
+    out.clear();
+    let n = state.num_nodes();
+    let blocks: Vec<Vec<u32>> = pool.install(|| {
+        (0..n.div_ceil(block))
+            .into_par_iter()
+            .map(|blk| {
+                let lo = blk * block;
+                let hi = (lo + block).min(n);
+                let mut local = Vec::new();
+                for v in lo as u32..hi as u32 {
+                    if state.take_frontier_flag(v) {
+                        local.push(v);
+                    }
+                }
+                local
+            })
+            .collect()
+    });
+    for b in blocks {
+        out.extend(b);
+    }
+}
+
+/// Sequential Central Node identification over the current frontiers:
+/// a frontier whose `M` row is complete is newly central, with depth =
+/// current level (Lemma V.1). Returns the newly identified nodes (sorted,
+/// since frontiers are produced in id order).
+pub fn identify_sequential(state: &SearchState, frontiers: &[u32], level: u8, newly: &mut Vec<u32>) {
+    newly.clear();
+    for &f in frontiers {
+        if !state.is_central(f) && state.row_complete(f) {
+            state.mark_central(f, level);
+            newly.push(f);
+        }
+    }
+}
+
+/// How each phase of one level executes. Implementations live in
+/// [`crate::engine`].
+pub trait ExecStrategy {
+    /// Drain `FIdentifier` into `out`.
+    fn enqueue(&self, state: &SearchState, out: &mut Vec<u32>);
+    /// Identify new Central Nodes among `frontiers` at `level` (their
+    /// depth, per Lemma V.1), appending them to `newly`.
+    fn identify(&self, state: &SearchState, frontiers: &[u32], level: u8, newly: &mut Vec<u32>);
+    /// Run the expansion procedure for one level.
+    fn expand(&self, ctx: &ExpandCtx<'_>, frontiers: &[u32], level: u8);
+}
+
+/// Why the bottom-up stage stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// At least `top_k` Central Nodes exist — depth `d` is minimal (Def. 4).
+    EnoughCentralNodes,
+    /// The joint frontier queue drained before `k` answers appeared.
+    FrontierExhausted,
+    /// The `lmax` level cap was reached.
+    LevelCap,
+}
+
+/// Per-level trace entry: how the level-synchronous search progressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelTrace {
+    /// BFS expansion level.
+    pub level: u8,
+    /// Joint frontier size at this level.
+    pub frontier: usize,
+    /// Central Nodes newly identified at this level.
+    pub identified: usize,
+}
+
+/// Result of the bottom-up stage.
+pub struct BottomUpOutcome {
+    /// Identified Central Nodes with their depths, in identification order
+    /// (ascending depth, then node id).
+    pub central_nodes: Vec<(NodeId, u8)>,
+    /// The last BFS level processed.
+    pub last_level: u8,
+    /// Why the search stopped.
+    pub terminated: TerminationReason,
+    /// Peak size of the joint frontier queue (reported by experiments).
+    pub peak_frontier: usize,
+    /// One entry per processed level (frontier size, identifications).
+    pub trace: Vec<LevelTrace>,
+}
+
+/// Run the bottom-up stage with the given strategy. `state` must be
+/// freshly constructed from the query (sources seeded). Phase timings are
+/// accumulated into `profile`.
+pub fn run<S: ExecStrategy>(
+    strategy: &S,
+    graph: &KnowledgeGraph,
+    act: &ActivationMap<'_>,
+    state: &SearchState,
+    params: &SearchParams,
+    profile: &mut PhaseProfile,
+) -> BottomUpOutcome {
+    let ctx = ExpandCtx { graph, act, state };
+    let max_level = params.max_level.min(254);
+    let mut frontiers: Vec<u32> = Vec::new();
+    let mut newly: Vec<u32> = Vec::new();
+    let mut central_nodes: Vec<(NodeId, u8)> = Vec::new();
+    let mut peak_frontier = 0usize;
+    let mut trace: Vec<LevelTrace> = Vec::new();
+    let mut level: u8 = 0;
+    let terminated = loop {
+        let t = Instant::now();
+        strategy.enqueue(state, &mut frontiers);
+        profile.enqueue += t.elapsed();
+        peak_frontier = peak_frontier.max(frontiers.len());
+        if frontiers.is_empty() {
+            break TerminationReason::FrontierExhausted;
+        }
+
+        let t = Instant::now();
+        strategy.identify(state, &frontiers, level, &mut newly);
+        profile.identify += t.elapsed();
+        trace.push(LevelTrace { level, frontier: frontiers.len(), identified: newly.len() });
+        central_nodes.extend(newly.iter().map(|&f| (NodeId(f), level)));
+        if central_nodes.len() >= params.top_k {
+            break TerminationReason::EnoughCentralNodes;
+        }
+        if level >= max_level {
+            break TerminationReason::LevelCap;
+        }
+
+        let t = Instant::now();
+        strategy.expand(&ctx, &frontiers, level);
+        profile.expansion += t.elapsed();
+        level += 1;
+    };
+    BottomUpOutcome { central_nodes, last_level: level, terminated, peak_frontier, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ActivationMap;
+    use kgraph::GraphBuilder;
+    use textindex::{InvertedIndex, ParsedQuery};
+
+    /// Sequential strategy for driver tests (the engines define their own).
+    struct Seq;
+    impl ExecStrategy for Seq {
+        fn enqueue(&self, state: &SearchState, out: &mut Vec<u32>) {
+            enqueue_sequential(state, out);
+        }
+        fn identify(&self, state: &SearchState, frontiers: &[u32], level: u8, newly: &mut Vec<u32>) {
+            identify_sequential(state, frontiers, level, newly);
+        }
+        fn expand(&self, ctx: &ExpandCtx<'_>, frontiers: &[u32], level: u8) {
+            for &f in frontiers {
+                expand_frontier(ctx, f, level);
+            }
+        }
+    }
+
+    fn run_on(
+        g: &KnowledgeGraph,
+        raw_query: &str,
+        activation: Vec<u8>,
+        top_k: usize,
+    ) -> (BottomUpOutcome, SearchState) {
+        let idx = InvertedIndex::build(g);
+        let q = ParsedQuery::parse(&idx, raw_query);
+        let state = SearchState::new(g.num_nodes(), &q);
+        let act = ActivationMap::Explicit(&activation);
+        let params = SearchParams::default().with_top_k(top_k);
+        let mut profile = PhaseProfile::default();
+        let out = run(&Seq, g, &act, &state, &params, &mut profile);
+        (out, state)
+    }
+
+    /// The paper's Fig. 2: B0 from v0, B1 from {v1, v2}; v3 central at
+    /// depth 1, v4 central at depth 2.
+    fn fig2_graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node("v0", "alpha");
+        let v1 = b.add_node("v1", "beta");
+        let v2 = b.add_node("v2", "beta");
+        let v3 = b.add_node("v3", "mid");
+        let v4 = b.add_node("v4", "far");
+        b.add_edge(v0, v3, "e");
+        b.add_edge(v1, v3, "e");
+        b.add_edge(v3, v4, "e");
+        b.add_edge(v1, v4, "e");
+        b.add_edge(v2, v4, "e");
+        b.build()
+    }
+
+    #[test]
+    fn fig2_hitting_levels_and_central_nodes() {
+        let g = fig2_graph();
+        let (out, state) = run_on(&g, "alpha beta", vec![0; 5], 10);
+        // Hitting levels per Example 1: h(v3, B0) = h(v3, B1) = 1 and
+        // h(v4, B1) = 1 (v1→v4 directly).
+        assert_eq!(state.hit(3, 0), 1);
+        assert_eq!(state.hit(3, 1), 1);
+        assert_eq!(state.hit(4, 1), 1);
+        // v3 is central at depth 1. Definition 3 alone would also make v4
+        // central at depth 2 (Example 3), but the algorithm's repetition
+        // rule — "once a node is identified as a Central Node, it becomes
+        // unavailable for future expansion" — stops B0 at v3, so B0 never
+        // reaches v4 and the answer at v4 (a strict extension of v3's) is
+        // deliberately not produced.
+        assert_eq!(state.hit(4, 0), INFINITE_LEVEL);
+        assert_eq!(out.central_nodes, vec![(NodeId(3), 1)]);
+        assert_eq!(out.terminated, TerminationReason::FrontierExhausted);
+    }
+
+    #[test]
+    fn top_k_terminates_at_minimal_depth() {
+        let g = fig2_graph();
+        let (out, _) = run_on(&g, "alpha beta", vec![0; 5], 1);
+        // k = 1 ⇒ stop at depth 1 with only v3.
+        assert_eq!(out.central_nodes, vec![(NodeId(3), 1)]);
+        assert_eq!(out.terminated, TerminationReason::EnoughCentralNodes);
+        assert_eq!(out.last_level, 1);
+    }
+
+    #[test]
+    fn activation_delays_hits() {
+        let g = fig2_graph();
+        // v3 requires level 2 to accept expansion: the B0/B1 hits on v3 are
+        // postponed (a_3 = 2 > l+1 until l = 1), and v4 is then reached
+        // through v1/v2 directly for B1 and through v3 late for B0.
+        let (out, state) = run_on(&g, "alpha beta", vec![0, 0, 0, 2, 0], 10);
+        assert_eq!(state.hit(3, 0), 2, "v3 hit by B0 postponed to level 2");
+        assert_eq!(state.hit(3, 1), 2);
+        assert_eq!(state.hit(4, 1), 1, "v4 unaffected: direct from v1/v2");
+        // With the delay, v3 completes its row at level 2 instead of 1.
+        assert_eq!(out.central_nodes, vec![(NodeId(3), 2)]);
+    }
+
+    #[test]
+    fn keyword_nodes_are_hit_regardless_of_activation() {
+        // Sec. IV-B compromise: keyword nodes may be HIT at any level but
+        // only EXPAND once active.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", "alpha");
+        let k = b.add_node("k", "beta hub"); // keyword node with huge activation
+        let c = b.add_node("c", "alpha");
+        b.add_edge(a, k, "e");
+        b.add_edge(k, c, "e");
+        let g = b.build();
+        let (out, state) = run_on(&g, "alpha beta", vec![0, 5, 0], 10);
+        // k is hit by B0 at level 1 despite a_k = 5…
+        assert_eq!(state.hit(1, 0), 1);
+        assert_eq!(out.central_nodes[0], (NodeId(1), 1));
+        // …and, being identified as central right away, never expands, so
+        // c is never hit by B1 (it would also have been gated by a_k = 5).
+        assert_eq!(state.hit(2, 1), INFINITE_LEVEL);
+    }
+
+    #[test]
+    fn sources_covering_all_keywords_are_depth_zero_central() {
+        let mut b = GraphBuilder::new();
+        b.add_node("x", "apple banana");
+        b.add_node("y", "apple");
+        let g = b.build();
+        let (out, _) = run_on(&g, "apple banana", vec![0; 2], 10);
+        assert_eq!(out.central_nodes[0], (NodeId(0), 0));
+    }
+
+    #[test]
+    fn disconnected_keywords_exhaust_frontier() {
+        let mut b = GraphBuilder::new();
+        b.add_node("x", "apple");
+        b.add_node("y", "banana");
+        let g = b.build();
+        let (out, _) = run_on(&g, "apple banana", vec![0; 2], 10);
+        assert!(out.central_nodes.is_empty());
+        assert_eq!(out.terminated, TerminationReason::FrontierExhausted);
+    }
+
+    #[test]
+    fn level_cap_stops_runaway_search() {
+        // A long path between the two keywords; cap the level below the
+        // distance.
+        let mut b = GraphBuilder::new();
+        let first = b.add_node("n0", "apple");
+        let mut prev = first;
+        for i in 1..40 {
+            let v = b.add_node(&format!("n{i}"), "mid");
+            b.add_edge(prev, v, "e");
+            prev = v;
+        }
+        let last = b.add_node("z", "banana");
+        b.add_edge(prev, last, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "apple banana");
+        let state = SearchState::new(g.num_nodes(), &q);
+        let activation = vec![0u8; g.num_nodes()];
+        let act = ActivationMap::Explicit(&activation);
+        let params = SearchParams::default().with_top_k(5);
+        let params = SearchParams { max_level: 6, ..params };
+        let mut profile = PhaseProfile::default();
+        let out = run(&Seq, &g, &act, &state, &params, &mut profile);
+        assert_eq!(out.terminated, TerminationReason::LevelCap);
+        assert!(out.central_nodes.is_empty());
+        assert_eq!(out.last_level, 6);
+    }
+
+    /// Paper Fig. 4 running example: keywords XML (T = {v9}),
+    /// RDF (T = {v4, v5}), SQL (T = {v1}); activations as drawn; v2 is
+    /// identified as the Central Node with depth 4.
+    #[test]
+    fn fig4_running_example() {
+        let mut b = GraphBuilder::new();
+        // Fig. 1 topology (edges as drawn, direction irrelevant to BFS).
+        let texts: [(&str, &str); 10] = [
+            ("v0", "Facebook Query Language"),
+            ("v1", "SQL"),
+            ("v2", "Query language"),
+            ("v3", "XPath"),
+            ("v4", "SPARQL query language for RDF"),
+            ("v5", "RDF query language"),
+            ("v6", "XPath 2"),
+            ("v7", "XPath 3"),
+            ("v8", "XQuery"),
+            ("v9", "XML"),
+        ];
+        let ids: Vec<_> = texts.iter().map(|(k, t)| b.add_node(k, t)).collect();
+        // v2 is the hub the keyword paths converge on; v9 (XML) reaches it
+        // through the XPath family and XQuery, v4/v5 (RDF) both directly
+        // and through XPath, v1 (SQL) directly — multi-paths per keyword,
+        // as in Fig. 1.
+        for (s, d) in [
+            (0, 2), (1, 2), (3, 2), (8, 2), (4, 2), (5, 2),
+            (4, 3), (5, 3), (6, 3), (7, 3),
+            (9, 6), (9, 7), (9, 8),
+        ] {
+            b.add_edge(ids[s], ids[d], "e");
+        }
+        let g = b.build();
+        // Activations from Fig. 4: v0:2, v1:1, v2:4, v3:2, v4:0, v5:1,
+        // v6:0, v7:1, v8:0, v9:1. (Query terms: XML, RDF, SQL.)
+        let activation = vec![2, 1, 4, 2, 0, 1, 0, 1, 0, 1];
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "XML RDF SQL");
+        assert_eq!(q.num_keywords(), 3);
+        let state = SearchState::new(g.num_nodes(), &q);
+        let act = ActivationMap::Explicit(&activation);
+        let params = SearchParams::default().with_top_k(1);
+        let mut profile = PhaseProfile::default();
+        let out = run(&Seq, &g, &act, &state, &params, &mut profile);
+        assert_eq!(out.central_nodes.len(), 1);
+        let (central, depth) = out.central_nodes[0];
+        assert_eq!(central, ids[2], "v2 is the Central Node");
+        assert_eq!(depth, 4, "identified in the iteration after level 3");
+        // Example 4's intermediate hitting levels: h6^0 = h7^0 = h8^0 = 2
+        // via v9's expansion at level 1 — v9's BFS is instance 0 (XML).
+        assert_eq!(state.hit(6, 0), 2);
+        assert_eq!(state.hit(7, 0), 2);
+        assert_eq!(state.hit(8, 0), 2);
+        // h3^1 = 2: v3 accepts RDF expansion at level 1 (a3 = 2 ≤ l+1).
+        assert_eq!(state.hit(3, 1), 2);
+    }
+}

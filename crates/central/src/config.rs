@@ -1,0 +1,145 @@
+//! Search parameters — the paper's Table III plus implementation knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a Central Graph search.
+///
+/// Defaults mirror the paper's Table III: `Topk = 20`, `α = 0.1`,
+/// `λ = 0.2` (Eq. 6). `Knum` is a property of the query, and `Tnum`
+/// (thread count) is a property of the engine, so neither lives here.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Number of answers to return (`Topk`).
+    pub top_k: usize,
+    /// Degree-of-summary preference `α ∈ (0, 1)` (Sec. IV-A). Larger α
+    /// lets more summary nodes activate early.
+    pub alpha: f32,
+    /// Depth-penalty exponent `λ ≥ 0` in the scoring function Eq. 6.
+    pub lambda: f64,
+    /// Maximum BFS expansion depth `lmax`; search stops here even if fewer
+    /// than `top_k` central nodes were found.
+    pub max_level: u8,
+    /// Average shortest distance `A` of the dataset. The activation mapping
+    /// (Eqs. 3–5) scales penalties/rewards by this; compute once per
+    /// dataset with [`kgraph::estimate_average_distance`] (Table II).
+    pub average_distance: f64,
+    /// Remove answers whose node set strictly contains another answer's
+    /// (the repetition-removal rule of the paper's Sec. VI-B).
+    pub dedup_contained: bool,
+    /// Apply the level-cover pruning strategy (Sec. V-C). Disabling it is
+    /// an ablation: answers keep every hitting path, including redundant
+    /// single-keyword satellites.
+    pub level_cover: bool,
+    /// Cap on how many top-(k,d) central nodes are extracted in the
+    /// top-down stage. The paper extracts the whole cohort; on dense
+    /// graphs the final level's cohort can dwarf `top_k`, and extraction
+    /// dominates (visible in Exp-1 at Knum ≥ 8). Candidates are kept in
+    /// identification order (shallowest first). `usize::MAX` = paper
+    /// behaviour.
+    pub max_candidates: usize,
+    /// Override the computed minimum activation levels with explicit
+    /// per-node values. Used by tests reproducing the paper's worked
+    /// examples (Fig. 4) and by ablations; `None` means compute from
+    /// weights via the Penalty-and-Reward mapping.
+    #[serde(skip)]
+    pub explicit_activation: Option<std::sync::Arc<Vec<u8>>>,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            top_k: 20,
+            alpha: 0.1,
+            lambda: 0.2,
+            max_level: 24,
+            average_distance: 3.68, // the paper's wiki2018 estimate
+            dedup_contained: true,
+            level_cover: true,
+            max_candidates: usize::MAX,
+            explicit_activation: None,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Builder-style override of `top_k`.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Builder-style override of `alpha`.
+    pub fn with_alpha(mut self, alpha: f32) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Builder-style override of the dataset's average distance `A`.
+    pub fn with_average_distance(mut self, a: f64) -> Self {
+        self.average_distance = a;
+        self
+    }
+
+    /// Builder-style override of `lambda`.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style explicit activation levels (tests/ablations).
+    pub fn with_explicit_activation(mut self, levels: Vec<u8>) -> Self {
+        self.explicit_activation = Some(std::sync::Arc::new(levels));
+        self
+    }
+
+    /// Validate parameter ranges, returning a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(format!("alpha must be in (0,1), got {}", self.alpha));
+        }
+        if self.lambda < 0.0 {
+            return Err(format!("lambda must be >= 0, got {}", self.lambda));
+        }
+        if self.average_distance < 0.0 {
+            return Err(format!("average_distance must be >= 0, got {}", self.average_distance));
+        }
+        if self.top_k == 0 {
+            return Err("top_k must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iii() {
+        let p = SearchParams::default();
+        assert_eq!(p.top_k, 20);
+        assert!((p.alpha - 0.1).abs() < 1e-6);
+        assert!((p.lambda - 0.2).abs() < 1e-12);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = SearchParams::default()
+            .with_top_k(50)
+            .with_alpha(0.4)
+            .with_average_distance(3.87)
+            .with_lambda(0.0);
+        assert_eq!(p.top_k, 50);
+        assert!((p.alpha - 0.4).abs() < 1e-6);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        assert!(SearchParams::default().with_alpha(0.0).validate().is_err());
+        assert!(SearchParams::default().with_alpha(1.0).validate().is_err());
+        assert!(SearchParams::default().with_lambda(-0.1).validate().is_err());
+        assert!(SearchParams::default().with_top_k(0).validate().is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! The four search engines of the paper's evaluation
+//! (GPU-Par-structure, CPU-Par, CPU-Par-d, and the sequential reference),
+//! behind one [`KeywordSearchEngine`] trait.
+
+mod gpu_style;
+mod par_cpu;
+mod par_dyn;
+mod seq;
+
+pub use gpu_style::GpuStyleEngine;
+pub use par_cpu::ParCpuEngine;
+pub use par_dyn::DynParEngine;
+pub use seq::SeqEngine;
+
+use crate::activation::{ActivationConfig, ActivationMap};
+use crate::bottom_up::{self, ExecStrategy, TerminationReason};
+use crate::model::CentralGraph;
+use crate::profile::PhaseProfile;
+use crate::state::SearchState;
+use crate::top_down;
+use crate::SearchParams;
+use kgraph::KnowledgeGraph;
+use std::time::Instant;
+use textindex::ParsedQuery;
+
+/// Statistics of one search, beyond the answers themselves.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Last BFS level processed (`d` when enough answers were found).
+    pub last_level: u8,
+    /// Central nodes identified by the bottom-up stage (the top-(k,d) set
+    /// size — a superset of the final top-k).
+    pub central_candidates: usize,
+    /// Peak joint-frontier-queue size.
+    pub peak_frontier: usize,
+    /// Per-level progression (frontier size, identifications per level).
+    pub trace: Vec<crate::bottom_up::LevelTrace>,
+}
+
+/// Result of a keyword search: ranked answers plus per-phase timings.
+#[derive(Clone, Debug, Default)]
+pub struct SearchOutcome {
+    /// Final top-k Central Graphs, best (lowest Eq. 6 score) first.
+    pub answers: Vec<CentralGraph>,
+    /// Wall-clock per algorithm phase (Figs. 6–10).
+    pub profile: PhaseProfile,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// A top-k Central Graph keyword-search engine.
+///
+/// All engines are semantically equivalent — same answers for the same
+/// `(graph, query, params)` — and differ only in scheduling; that
+/// equivalence is what makes the paper's efficiency comparison meaningful,
+/// and it is enforced by this workspace's property tests.
+pub trait KeywordSearchEngine {
+    /// Engine display name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Run a top-k search.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`SearchParams::validate`].
+    fn search(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &ParsedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome;
+}
+
+/// Shared driver for the three matrix-based engines (sequential, CPU-Par,
+/// GPU-style): init state → bottom-up via `strategy` → top-down
+/// (optionally parallel over central nodes via `pool`).
+pub(crate) fn run_matrix_search<S: ExecStrategy>(
+    strategy: &S,
+    pool: Option<&rayon::ThreadPool>,
+    graph: &KnowledgeGraph,
+    query: &ParsedQuery,
+    params: &SearchParams,
+) -> SearchOutcome {
+    if let Err(e) = params.validate() {
+        panic!("invalid search parameters: {e}");
+    }
+    if query.is_empty() {
+        return SearchOutcome::default();
+    }
+    let mut profile = PhaseProfile::default();
+
+    // Initialization phase: allocate M / FIdentifier / CIdentifier and
+    // seed the sources.
+    let t = Instant::now();
+    let state = SearchState::new(graph.num_nodes(), query);
+    profile.init = t.elapsed();
+
+    let explicit = params.explicit_activation.clone();
+    let act = match &explicit {
+        Some(levels) => ActivationMap::Explicit(levels),
+        None => ActivationMap::Computed {
+            graph,
+            config: ActivationConfig {
+                alpha: params.alpha,
+                average_distance: params.average_distance,
+            },
+        },
+    };
+
+    let outcome = bottom_up::run(strategy, graph, &act, &state, params, &mut profile);
+    let _ = TerminationReason::LevelCap; // (reason is carried in stats below)
+
+    // Top-down processing: extract, prune, rank. The candidate cohort is
+    // ordered shallowest-first, so a cap keeps the best-depth prefix.
+    let mut outcome = outcome;
+    outcome.central_nodes.truncate(params.max_candidates);
+    let t = Instant::now();
+    let candidates: Vec<CentralGraph> = match pool {
+        Some(pool) => pool.install(|| {
+            use rayon::prelude::*;
+            outcome
+                .central_nodes
+                .par_iter()
+                .map(|&(c, d)| {
+                    let e = top_down::extract(graph, &act, &state, c.0, d);
+                    top_down::prune_and_score(graph, &state, &e, params)
+                })
+                .collect()
+        }),
+        None => outcome
+            .central_nodes
+            .iter()
+            .map(|&(c, d)| {
+                let e = top_down::extract(graph, &act, &state, c.0, d);
+                top_down::prune_and_score(graph, &state, &e, params)
+            })
+            .collect(),
+    };
+    let answers = top_down::select_top_k(candidates, params);
+    profile.top_down = t.elapsed();
+
+    SearchOutcome {
+        answers,
+        profile,
+        stats: SearchStats {
+            last_level: outcome.last_level,
+            central_candidates: outcome.central_nodes.len(),
+            peak_frontier: outcome.peak_frontier,
+            trace: outcome.trace,
+        },
+    }
+}
+
+/// Build a rayon pool with exactly `threads` workers.
+pub(crate) fn build_pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon thread pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+    use textindex::InvertedIndex;
+
+    fn fixture() -> (KnowledgeGraph, InvertedIndex) {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", "xml standard");
+        let r = b.add_node("r", "rdf model");
+        let q = b.add_node("q", "query language");
+        b.add_edge(x, q, "e");
+        b.add_edge(r, q, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        (g, idx)
+    }
+
+    #[test]
+    fn all_engines_agree_on_a_small_graph() {
+        let (g, idx) = fixture();
+        let query = ParsedQuery::parse(&idx, "xml rdf");
+        let params = SearchParams::default().with_average_distance(1.0);
+        let engines: Vec<Box<dyn KeywordSearchEngine>> = vec![
+            Box::new(SeqEngine::new()),
+            Box::new(ParCpuEngine::new(2)),
+            Box::new(GpuStyleEngine::new(2)),
+            Box::new(DynParEngine::new(2)),
+        ];
+        let reference = engines[0].search(&g, &query, &params);
+        assert!(!reference.answers.is_empty());
+        for e in &engines[1..] {
+            let out = e.search(&g, &query, &params);
+            assert_eq!(out.answers.len(), reference.answers.len(), "{}", e.name());
+            for (a, b) in out.answers.iter().zip(&reference.answers) {
+                assert_eq!(a.central, b.central, "{}", e.name());
+                assert_eq!(a.nodes, b.nodes, "{}", e.name());
+                assert_eq!(a.edges, b.edges, "{}", e.name());
+                assert!((a.score - b.score).abs() < 1e-9, "{}", e.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_returns_empty_outcome() {
+        let (g, idx) = fixture();
+        let query = ParsedQuery::parse(&idx, "zzz qqq");
+        let out = SeqEngine::new().search(&g, &query, &SearchParams::default());
+        assert!(out.answers.is_empty());
+    }
+
+    #[test]
+    fn max_candidates_caps_extraction() {
+        // Many central nodes at the same depth; the cap keeps a prefix.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", "alpha");
+        let z = b.add_node("z", "omega");
+        for i in 0..10 {
+            let m = b.add_node(&format!("m{i}"), "mid");
+            b.add_edge(a, m, "e");
+            b.add_edge(z, m, "e");
+        }
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let full = SeqEngine::new().search(
+            &g,
+            &query,
+            &SearchParams::default().with_average_distance(1.0),
+        );
+        assert_eq!(full.stats.central_candidates, 10);
+        let capped_params = SearchParams {
+            max_candidates: 3,
+            ..SearchParams::default().with_average_distance(1.0)
+        };
+        let capped = SeqEngine::new().search(&g, &query, &capped_params);
+        assert_eq!(capped.stats.central_candidates, 3);
+        assert!(capped.answers.len() <= 3);
+        for ans in &capped.answers {
+            ans.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid search parameters")]
+    fn invalid_params_panic() {
+        let (g, idx) = fixture();
+        let query = ParsedQuery::parse(&idx, "xml");
+        let params = SearchParams::default().with_alpha(2.0);
+        SeqEngine::new().search(&g, &query, &params);
+    }
+}

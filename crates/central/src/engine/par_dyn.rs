@@ -1,0 +1,422 @@
+//! CPU-Par-d: the paper's lock-based, dynamic-memory baseline engine.
+//!
+//! This is the design the lock-free matrix engines are validated against
+//! (Exp-1/Exp-4): no node–keyword matrix, per-node state allocated on
+//! demand behind a `parking_lot` mutex, a locked shared frontier queue,
+//! and hitting-path predecessors recorded *during* search — so the
+//! top-down stage needs no extraction (Theorem V.4 unused), only
+//! level-cover pruning and ranking. The paper's finding, which this
+//! reproduction confirms, is that the lock traffic during expansion
+//! overwhelms the saved extraction time.
+
+use crate::activation::{ActivationConfig, ActivationMap};
+use crate::engine::{build_pool, KeywordSearchEngine, SearchOutcome, SearchStats};
+use crate::model::{CentralGraph, INFINITE_LEVEL};
+use crate::profile::PhaseProfile;
+use crate::state::HitLevels;
+use crate::top_down::{self, Extraction};
+use crate::SearchParams;
+use kgraph::{KnowledgeGraph, NodeId};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::time::Instant;
+use textindex::ParsedQuery;
+
+/// Per-node dynamically allocated search record.
+#[derive(Default)]
+struct DynNode {
+    /// Sparse hitting levels: `(keyword, level)`.
+    hits: Vec<(u16, u8)>,
+    /// Recorded hitting-path predecessors: `(keyword, predecessor)`.
+    preds: Vec<(u16, u32)>,
+    /// Already queued for the next level (avoids duplicate enqueue).
+    queued: bool,
+    /// Identification depth + 1 if central (0 = not central).
+    central: u8,
+}
+
+impl DynNode {
+    fn hit_level(&self, i: usize) -> u8 {
+        self.hits
+            .iter()
+            .find(|&&(k, _)| k as usize == i)
+            .map_or(INFINITE_LEVEL, |&(_, l)| l)
+    }
+}
+
+/// Shared locked state of one CPU-Par-d search.
+struct DynState {
+    nodes: Vec<Mutex<DynNode>>,
+    next_frontier: Mutex<Vec<u32>>,
+    is_keyword: Vec<u8>,
+    q: usize,
+}
+
+impl DynState {
+    fn new(n: usize, query: &ParsedQuery) -> Self {
+        
+        DynState {
+            nodes: (0..n).map(|_| Mutex::new(DynNode::default())).collect(),
+            next_frontier: Mutex::new(Vec::new()),
+            is_keyword: vec![0; n],
+            q: query.num_keywords(),
+        }
+    }
+
+    /// Seed sources under locks (the paper: CPU-Par-d "has to add a lock
+    /// to each node to record which keyword it has").
+    fn init_sources(&mut self, query: &ParsedQuery) {
+        for (i, group) in query.groups.iter().enumerate() {
+            for &v in &group.nodes {
+                let mut node = self.nodes[v.index()].lock();
+                node.hits.push((i as u16, 0));
+                self.is_keyword[v.index()] = 1;
+                if !node.queued {
+                    node.queued = true;
+                    self.next_frontier.lock().push(v.0);
+                }
+            }
+        }
+    }
+
+    /// Re-queue a frontier to retry at the next level.
+    fn requeue(&self, f: u32) {
+        let mut node = self.nodes[f as usize].lock();
+        if !node.queued {
+            node.queued = true;
+            self.next_frontier.lock().push(f);
+        }
+    }
+}
+
+impl HitLevels for DynState {
+    fn num_keywords(&self) -> usize {
+        self.q
+    }
+    fn hit(&self, v: u32, i: usize) -> u8 {
+        self.nodes[v as usize].lock().hit_level(i)
+    }
+    fn is_keyword_node(&self, v: u32) -> bool {
+        self.is_keyword[v as usize] == 1
+    }
+    fn central_depth(&self, v: u32) -> Option<u8> {
+        match self.nodes[v as usize].lock().central {
+            0 => None,
+            d => Some(d - 1),
+        }
+    }
+}
+
+/// Lock-based dynamic-memory engine (the paper's **CPU-Par-d**).
+pub struct DynParEngine {
+    pool: rayon::ThreadPool,
+    threads: usize,
+}
+
+impl DynParEngine {
+    /// Engine with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        DynParEngine { pool: build_pool(threads), threads: threads.max(1) }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl KeywordSearchEngine for DynParEngine {
+    fn name(&self) -> &'static str {
+        "CPU-Par-d"
+    }
+
+    fn search(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &ParsedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        if let Err(e) = params.validate() {
+            panic!("invalid search parameters: {e}");
+        }
+        if query.is_empty() {
+            return SearchOutcome::default();
+        }
+        let mut profile = PhaseProfile::default();
+
+        let t = Instant::now();
+        let mut state = DynState::new(graph.num_nodes(), query);
+        state.init_sources(query);
+        profile.init = t.elapsed();
+
+        let explicit = params.explicit_activation.clone();
+        let act = match &explicit {
+            Some(levels) => ActivationMap::Explicit(levels),
+            None => ActivationMap::Computed {
+                graph,
+                config: ActivationConfig {
+                    alpha: params.alpha,
+                    average_distance: params.average_distance,
+                },
+            },
+        };
+
+        let max_level = params.max_level.min(254);
+        let mut central_nodes: Vec<(NodeId, u8)> = Vec::new();
+        let mut peak_frontier = 0usize;
+        let mut trace: Vec<crate::bottom_up::LevelTrace> = Vec::new();
+        let mut level: u8 = 0;
+        loop {
+            // Enqueue: swap out the locked queue, clear queued flags.
+            let t = Instant::now();
+            let mut frontiers = std::mem::take(&mut *state.next_frontier.lock());
+            frontiers.sort_unstable();
+            for &f in &frontiers {
+                state.nodes[f as usize].lock().queued = false;
+            }
+            profile.enqueue += t.elapsed();
+            peak_frontier = peak_frontier.max(frontiers.len());
+            if frontiers.is_empty() {
+                break;
+            }
+
+            // Identify central nodes (locked reads of the sparse hit lists).
+            let t = Instant::now();
+            let before = central_nodes.len();
+            for &f in &frontiers {
+                let mut node = state.nodes[f as usize].lock();
+                if node.central == 0 && node.hits.len() == state.q {
+                    node.central = level + 1;
+                    central_nodes.push((NodeId(f), level));
+                }
+            }
+            trace.push(crate::bottom_up::LevelTrace {
+                level,
+                frontier: frontiers.len(),
+                identified: central_nodes.len() - before,
+            });
+            profile.identify += t.elapsed();
+            if central_nodes.len() >= params.top_k || level >= max_level {
+                break;
+            }
+
+            // Expansion with per-node locks, parallel over frontiers.
+            let t = Instant::now();
+            let state_ref = &state;
+            let act_ref = &act;
+            self.pool.install(|| {
+                frontiers.par_iter().for_each(|&f| {
+                    expand_locked(graph, state_ref, act_ref, f, level);
+                });
+            });
+            profile.expansion += t.elapsed();
+            level += 1;
+        }
+
+        // Top-down: no extraction — assemble per-keyword DAGs from the
+        // recorded predecessors, then the shared pruning/ranking.
+        let full_candidates = central_nodes.len();
+        central_nodes.truncate(params.max_candidates);
+        let _ = full_candidates;
+        let t = Instant::now();
+        let state_ref = &state;
+        let candidates: Vec<CentralGraph> = self.pool.install(|| {
+            central_nodes
+                .par_iter()
+                .map(|&(c, d)| {
+                    let e = assemble_from_records(state_ref, c.0, d);
+                    top_down::prune_and_score(graph, state_ref, &e, params)
+                })
+                .collect()
+        });
+        let answers = top_down::select_top_k(candidates, params);
+        profile.top_down += t.elapsed();
+
+        SearchOutcome {
+            answers,
+            profile,
+            stats: SearchStats {
+                last_level: level,
+                central_candidates: central_nodes.len(),
+                peak_frontier,
+                trace,
+            },
+        }
+    }
+}
+
+/// Expansion of one frontier with per-node locking (the paper's Alg. 2
+/// semantics, lock-based variant).
+fn expand_locked(
+    graph: &KnowledgeGraph,
+    state: &DynState,
+    act: &ActivationMap<'_>,
+    f: u32,
+    level: u8,
+) {
+    // Copy the frontier's state out under its lock, then release before
+    // touching neighbors (no nested locks ⇒ no deadlock).
+    let hits: Vec<(u16, u8)> = {
+        let node = state.nodes[f as usize].lock();
+        if node.central != 0 {
+            return;
+        }
+        node.hits.clone()
+    };
+    let vf = NodeId(f);
+    if act.level(vf) > level {
+        state.requeue(f);
+        return;
+    }
+    for &(kw, hf) in &hits {
+        if hf > level {
+            continue;
+        }
+        let i = kw as usize;
+        for adj in graph.neighbors(vf) {
+            let n = adj.target().0;
+            let n_is_kw = state.is_keyword_node(n);
+            if !n_is_kw && act.level(adj.target()) > level + 1 {
+                // Only an unvisited neighbor keeps the frontier alive.
+                let unhit = state.nodes[n as usize].lock().hit_level(i) == INFINITE_LEVEL;
+                if unhit {
+                    state.requeue(f);
+                }
+                continue;
+            }
+            let mut node = state.nodes[n as usize].lock();
+            match node.hit_level(i) {
+                INFINITE_LEVEL => {
+                    node.hits.push((kw, level + 1));
+                    node.preds.push((kw, f));
+                    if !node.queued {
+                        node.queued = true;
+                        drop(node);
+                        state.next_frontier.lock().push(n);
+                    }
+                }
+                l if l == level + 1
+                    // Another shortest hitting path discovered in the same
+                    // level — record the extra predecessor (multi-paths).
+                    && !node.preds.contains(&(kw, f)) => {
+                        node.preds.push((kw, f));
+                    }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Build the per-keyword hitting-path DAGs of the Central Graph at `c`
+/// directly from the predecessors recorded during search.
+fn assemble_from_records(state: &DynState, c: u32, depth: u8) -> Extraction {
+    let q = state.q;
+    let mut dag_edges: Vec<Vec<(u32, u32)>> = Vec::with_capacity(q);
+    let mut all_nodes: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    all_nodes.insert(c);
+    for i in 0..q {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut stack = vec![c];
+        visited.insert(c);
+        while let Some(j) = stack.pop() {
+            let preds: Vec<u32> = {
+                let node = state.nodes[j as usize].lock();
+                node.preds
+                    .iter()
+                    .filter(|&&(k, _)| k as usize == i)
+                    .map(|&(_, p)| p)
+                    .collect()
+            };
+            for p in preds {
+                edges.push((p, j));
+                if visited.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        for &(a, b) in &edges {
+            all_nodes.insert(a);
+            all_nodes.insert(b);
+        }
+        dag_edges.push(edges);
+    }
+    let mut nodes: Vec<u32> = all_nodes.into_iter().collect();
+    nodes.sort_unstable();
+    Extraction { central: c, depth, dag_edges, nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SeqEngine;
+    use kgraph::GraphBuilder;
+    use textindex::InvertedIndex;
+
+    #[test]
+    fn recorded_paths_match_theorem_v4_extraction() {
+        // The key cross-validation: CPU-Par-d records hitting paths during
+        // search; the matrix engines recover them from M via Theorem V.4.
+        // Both must yield identical answers.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", "alpha");
+        let m1 = b.add_node("m1", "one");
+        let m2 = b.add_node("m2", "two");
+        let z = b.add_node("z", "omega");
+        let w = b.add_node("w", "omega side");
+        b.add_edge(a, m1, "e");
+        b.add_edge(a, m2, "e");
+        b.add_edge(m1, z, "e");
+        b.add_edge(m2, z, "e");
+        b.add_edge(w, m1, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "alpha omega");
+        let params = SearchParams::default().with_average_distance(2.0);
+        let seq = SeqEngine::new().search(&g, &q, &params);
+        let dyn_ = DynParEngine::new(2).search(&g, &q, &params);
+        assert_eq!(seq.answers.len(), dyn_.answers.len());
+        for (x, y) in seq.answers.iter().zip(&dyn_.answers) {
+            assert_eq!(x.central, y.central);
+            assert_eq!(x.nodes, y.nodes, "node sets must match at {}", x.central);
+            assert_eq!(x.edges, y.edges, "hitting paths must match at {}", x.central);
+            assert!((x.score - y.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn activation_gating_matches_matrix_engine() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", "alpha");
+        let h = b.add_node("h", "hub");
+        let z = b.add_node("z", "omega");
+        b.add_edge(a, h, "e");
+        b.add_edge(h, z, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "alpha omega");
+        // Delay the hub: both engines must produce the same depths.
+        let params = SearchParams::default()
+            .with_explicit_activation(vec![0, 3, 0]);
+        let seq = SeqEngine::new().search(&g, &q, &params);
+        let dyn_ = DynParEngine::new(2).search(&g, &q, &params);
+        assert_eq!(seq.answers.len(), dyn_.answers.len());
+        for (x, y) in seq.answers.iter().zip(&dyn_.answers) {
+            assert_eq!(x.depth, y.depth);
+            assert_eq!(x.nodes, y.nodes);
+        }
+    }
+
+    #[test]
+    fn empty_query_short_circuits() {
+        let mut b = GraphBuilder::new();
+        b.add_node("a", "alpha");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "missing");
+        let out = DynParEngine::new(2).search(&g, &q, &SearchParams::default());
+        assert!(out.answers.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Lock-free search state: the node–keyword matrix `M`, the frontier
+//! flags `FIdentifier` and the central flags `CIdentifier` (paper
+//! Sec. V-B, *Initialization*).
+//!
+//! Theorem V.2 of the paper is the correctness anchor: during one
+//! expansion level every write to `M` stores the same value `l + 1` and
+//! every write to `FIdentifier` stores `1`, so concurrent duplicate writes
+//! are benign and no locks are needed. We therefore use plain atomics with
+//! `Relaxed` ordering inside a level; the level-synchronous driver places
+//! the necessary happens-before edges at its fork/join boundaries (rayon's
+//! scope joins synchronize).
+
+use crate::model::INFINITE_LEVEL;
+use std::sync::atomic::{AtomicU8, Ordering};
+use textindex::ParsedQuery;
+
+/// Mutable (atomic) per-search state shared by all threads.
+pub struct SearchState {
+    /// Number of query keywords `q`.
+    q: usize,
+    /// Number of graph nodes.
+    n: usize,
+    /// `M`: row-major `n × q` hitting levels; `255` = ∞.
+    matrix: Vec<AtomicU8>,
+    /// `FIdentifier`: 1 ⇔ node is a frontier at the next level.
+    frontier: Vec<AtomicU8>,
+    /// `CIdentifier`: 0 ⇔ not central; otherwise the node is a Central
+    /// Node identified at depth `value − 1`. Storing the depth (instead of
+    /// the paper's plain flag) lets Theorem V.4 extraction reject
+    /// predecessor edges a frozen central node could never have produced.
+    central: Vec<AtomicU8>,
+    /// 1 ⇔ node contains at least one query keyword (`v ∈ ∪T_i`).
+    /// Immutable after construction; keyword nodes may be *hit* regardless
+    /// of their activation level (Sec. IV-B).
+    is_keyword: Vec<u8>,
+}
+
+impl SearchState {
+    /// Allocate state for `n` nodes and the query's keyword groups, and
+    /// seed the sources: `M[v][i] = 0` and `FIdentifier[v] = 1` for every
+    /// `v ∈ T_i`.
+    pub fn new(n: usize, query: &ParsedQuery) -> Self {
+        let q = query.num_keywords();
+        let mut state = SearchState {
+            q,
+            n,
+            matrix: (0..n * q).map(|_| AtomicU8::new(INFINITE_LEVEL)).collect(),
+            frontier: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            central: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            is_keyword: vec![0; n],
+        };
+        for (i, group) in query.groups.iter().enumerate() {
+            for &v in &group.nodes {
+                state.matrix[v.index() * q + i].store(0, Ordering::Relaxed);
+                state.frontier[v.index()].store(1, Ordering::Relaxed);
+                state.is_keyword[v.index()] = 1;
+            }
+        }
+        state
+    }
+
+    /// Number of query keywords `q`.
+    #[inline]
+    pub fn num_keywords(&self) -> usize {
+        self.q
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Hitting level `M[v][i]` (255 = not yet hit).
+    #[inline]
+    pub fn hit(&self, v: u32, i: usize) -> u8 {
+        self.matrix[v as usize * self.q + i].load(Ordering::Relaxed)
+    }
+
+    /// Record a hit: `M[v][i] ← level`. Racing writers store the same
+    /// value (Theorem V.2), so a plain store suffices.
+    #[inline]
+    pub fn set_hit(&self, v: u32, i: usize, level: u8) {
+        self.matrix[v as usize * self.q + i].store(level, Ordering::Relaxed);
+    }
+
+    /// `true` if `v` has been hit by every BFS instance — the Central Node
+    /// condition (Def. 3).
+    #[inline]
+    pub fn row_complete(&self, v: u32) -> bool {
+        let base = v as usize * self.q;
+        self.matrix[base..base + self.q]
+            .iter()
+            .all(|m| m.load(Ordering::Relaxed) != INFINITE_LEVEL)
+    }
+
+    /// Set `FIdentifier[v] ← 1` (node becomes/stays a frontier).
+    #[inline]
+    pub fn mark_frontier(&self, v: u32) {
+        self.frontier[v as usize].store(1, Ordering::Relaxed);
+    }
+
+    /// Read and clear one frontier flag (sequential enqueue).
+    #[inline]
+    pub fn take_frontier_flag(&self, v: u32) -> bool {
+        if self.frontier[v as usize].load(Ordering::Relaxed) == 1 {
+            self.frontier[v as usize].store(0, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Read a frontier flag without clearing (parallel compaction reads
+    /// first, clears in bulk).
+    #[inline]
+    pub fn frontier_flag(&self, v: u32) -> bool {
+        self.frontier[v as usize].load(Ordering::Relaxed) == 1
+    }
+
+    /// Clear one frontier flag.
+    #[inline]
+    pub fn clear_frontier_flag(&self, v: u32) {
+        self.frontier[v as usize].store(0, Ordering::Relaxed);
+    }
+
+    /// `true` if `v` was identified as a Central Node.
+    #[inline]
+    pub fn is_central(&self, v: u32) -> bool {
+        self.central[v as usize].load(Ordering::Relaxed) != 0
+    }
+
+    /// Mark `v` as a Central Node identified at `depth` (it becomes
+    /// unavailable for expansion from this level on).
+    #[inline]
+    pub fn mark_central(&self, v: u32, depth: u8) {
+        debug_assert!(depth < u8::MAX);
+        self.central[v as usize].store(depth + 1, Ordering::Relaxed);
+    }
+
+    /// The identification depth of `v` if it is a Central Node.
+    #[inline]
+    pub fn central_depth(&self, v: u32) -> Option<u8> {
+        match self.central[v as usize].load(Ordering::Relaxed) {
+            0 => None,
+            d => Some(d - 1),
+        }
+    }
+
+    /// `true` if `v` contains at least one query keyword.
+    #[inline]
+    pub fn is_keyword_node(&self, v: u32) -> bool {
+        self.is_keyword[v as usize] == 1
+    }
+
+    /// `true` if `v` is a source of instance `i` (`v ∈ T_i ⇔ M[v][i] = 0`).
+    #[inline]
+    pub fn is_source(&self, v: u32, i: usize) -> bool {
+        self.hit(v, i) == 0
+    }
+
+    /// Number of keywords contained in `v` (its level-cover class).
+    #[inline]
+    pub fn keyword_count(&self, v: u32) -> usize {
+        (0..self.q).filter(|&i| self.is_source(v, i)).count()
+    }
+
+    /// Copy out the matrix (tests/debugging).
+    pub fn matrix_snapshot(&self) -> Vec<u8> {
+        self.matrix.iter().map(|m| m.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Read-only view of hitting levels, implemented both by the lock-free
+/// [`SearchState`] (matrix engines) and by the dynamic-memory engine's
+/// recorded state (CPU-Par-d), so that the top-down stage is shared.
+pub trait HitLevels {
+    /// Number of query keywords `q`.
+    fn num_keywords(&self) -> usize;
+    /// Hitting level `h_v^i` (255 = never hit).
+    fn hit(&self, v: u32, i: usize) -> u8;
+    /// `true` if `v` contains at least one query keyword.
+    fn is_keyword_node(&self, v: u32) -> bool;
+    /// If `v` is a Central Node, the depth at which it was identified —
+    /// it stopped expanding there, which extraction must respect.
+    fn central_depth(&self, v: u32) -> Option<u8>;
+    /// `true` if `v ∈ T_i`.
+    fn is_source(&self, v: u32, i: usize) -> bool {
+        self.hit(v, i) == 0
+    }
+    /// Number of query keywords contained in `v`.
+    fn keyword_count(&self, v: u32) -> usize {
+        (0..self.num_keywords()).filter(|&i| self.is_source(v, i)).count()
+    }
+}
+
+impl HitLevels for SearchState {
+    fn num_keywords(&self) -> usize {
+        SearchState::num_keywords(self)
+    }
+    fn hit(&self, v: u32, i: usize) -> u8 {
+        SearchState::hit(self, v, i)
+    }
+    fn is_keyword_node(&self, v: u32) -> bool {
+        SearchState::is_keyword_node(self, v)
+    }
+    fn central_depth(&self, v: u32) -> Option<u8> {
+        SearchState::central_depth(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+    use textindex::InvertedIndex;
+
+    fn state() -> SearchState {
+        let mut b = GraphBuilder::new();
+        b.add_node("a", "apple fruit");
+        b.add_node("b", "banana fruit");
+        b.add_node("c", "cherry");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "apple banana fruit");
+        SearchState::new(g.num_nodes(), &q)
+    }
+
+    #[test]
+    fn sources_are_seeded() {
+        let s = state();
+        assert_eq!(s.num_keywords(), 3);
+        // node 0 "apple fruit": source of keyword 0 (apple) and 2 (fruit)
+        assert_eq!(s.hit(0, 0), 0);
+        assert_eq!(s.hit(0, 1), INFINITE_LEVEL);
+        assert_eq!(s.hit(0, 2), 0);
+        assert!(s.frontier_flag(0));
+        assert!(s.frontier_flag(1));
+        assert!(!s.frontier_flag(2), "cherry matches nothing");
+        assert!(s.is_keyword_node(0));
+        assert!(!s.is_keyword_node(2));
+    }
+
+    #[test]
+    fn row_complete_requires_every_keyword() {
+        let s = state();
+        assert!(!s.row_complete(0));
+        s.set_hit(0, 1, 2);
+        assert!(s.row_complete(0));
+    }
+
+    #[test]
+    fn take_frontier_flag_clears() {
+        let s = state();
+        assert!(s.take_frontier_flag(0));
+        assert!(!s.take_frontier_flag(0));
+        s.mark_frontier(0);
+        assert!(s.take_frontier_flag(0));
+    }
+
+    #[test]
+    fn keyword_counts_reflect_sources() {
+        let s = state();
+        assert_eq!(s.keyword_count(0), 2); // apple, fruit
+        assert_eq!(s.keyword_count(1), 2); // banana, fruit
+        assert_eq!(s.keyword_count(2), 0);
+    }
+
+    #[test]
+    fn central_flags_carry_identification_depth() {
+        let s = state();
+        assert!(!s.is_central(1));
+        assert_eq!(s.central_depth(1), None);
+        s.mark_central(1, 3);
+        assert!(s.is_central(1));
+        assert_eq!(s.central_depth(1), Some(3));
+        s.mark_central(2, 0);
+        assert_eq!(s.central_depth(2), Some(0));
+    }
+}

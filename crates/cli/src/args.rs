@@ -1,0 +1,122 @@
+//! Minimal dependency-free argument parsing for the `wikisearch` CLI.
+//!
+//! The grammar is `wikisearch <command> [--flag value]...`; flags may
+//! appear in any order, unknown flags are errors, and every command has a
+//! usage string surfaced by `wikisearch help`.
+
+use std::collections::HashMap;
+
+/// A parsed command line: the command word plus its `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The command word (`generate`, `search`, …).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Parse `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
+    let mut it = argv.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| "missing command; try `wikisearch help`".to_string())?
+        .clone();
+    let mut flags = HashMap::new();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {arg:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} is missing its value"))?
+            .clone();
+        if flags.insert(name.to_string(), value).is_some() {
+            return Err(format!("flag --{name} given twice"));
+        }
+    }
+    Ok(ParsedArgs { command, flags })
+}
+
+impl ParsedArgs {
+    /// Required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Optional flag parsed to a type, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Reject flags outside the allowed set (typo protection).
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown flag --{k} for `{}` (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&argv("search --query xml --top-k 5")).unwrap();
+        assert_eq!(a.command, "search");
+        assert_eq!(a.required("query").unwrap(), "xml");
+        assert_eq!(a.get_or::<usize>("top-k", 20).unwrap(), 5);
+        assert_eq!(a.get_or::<usize>("absent", 20).unwrap(), 20);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("search query")).is_err(), "positional rejected");
+        assert!(parse(&argv("search --query")).is_err(), "dangling flag");
+        assert!(parse(&argv("search --q a --q b")).is_err(), "duplicate flag");
+    }
+
+    #[test]
+    fn allow_only_catches_typos() {
+        let a = parse(&argv("generate --dataste tiny")).unwrap();
+        let err = a.allow_only(&["dataset", "out"]).unwrap_err();
+        assert!(err.contains("--dataste"));
+        assert!(err.contains("--dataset"));
+    }
+
+    #[test]
+    fn typed_parse_errors_are_informative() {
+        let a = parse(&argv("search --top-k five")).unwrap();
+        let err = a.get_or::<usize>("top-k", 20).unwrap_err();
+        assert!(err.contains("five"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The CLI commands: dataset generation, stats, search and conversion.
+
+use crate::args::ParsedArgs;
+use datagen::synthetic::SyntheticConfig;
+use kgraph::{GraphStats, KnowledgeGraph};
+use std::io::Write;
+use std::path::Path;
+use wikisearch_engine::{Backend, WikiSearch};
+
+/// The `wikisearch help` text.
+pub const HELP: &str = "\
+wikisearch — Central Graph keyword search over knowledge graphs
+
+commands:
+  generate --dataset tiny|wiki2017-sim|wiki2018-sim --out FILE
+           [--entities N] [--seed S]      synthesize a Wikidata-shaped KB
+  stats    --graph FILE [--pairs N]       dataset statistics (Table II row)
+  search   --graph FILE --query WORDS
+           [--top-k K] [--alpha A] [--backend seq|cpu|gpu|dyn]
+           [--threads T] [--json true] [--trace true] [--dot true]
+                                           run a top-k keyword search
+  convert  --in FILE --out FILE           convert between .tsv and .bin
+  serve    --graph FILE [--port P] [--backend B] [--top-k K]
+           [--max-requests N]             TCP line-protocol query service
+  help                                    this text
+
+graph files by extension: .tsv (line format), .bin (compact binary),
+.nt (RDF N-Triples, read-only).";
+
+/// `wikisearch generate`.
+pub fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.allow_only(&["dataset", "out", "entities", "seed"])?;
+    let which = args.required("dataset")?;
+    let path = args.required("out")?.to_string();
+    let mut config = match which {
+        "tiny" => SyntheticConfig::tiny(args.get_or("seed", 7u64)?),
+        "wiki2017-sim" => SyntheticConfig::wiki2017_sim(),
+        "wiki2018-sim" => SyntheticConfig::wiki2018_sim(),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    if let Some(e) = args.optional("entities") {
+        config.num_entities = e
+            .parse()
+            .map_err(|_| format!("--entities: cannot parse {e:?}"))?;
+    }
+    if let Some(s) = args.optional("seed") {
+        config.seed = s.parse().map_err(|_| format!("--seed: cannot parse {s:?}"))?;
+    }
+    let ds = config.generate();
+    write_graph(&ds.graph, &path)?;
+    writeln!(
+        out,
+        "wrote {} ({} nodes, {} edges) to {path}",
+        ds.config.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_directed_edges()
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// `wikisearch stats`.
+pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.allow_only(&["graph", "pairs"])?;
+    let graph = read_graph(args.required("graph")?)?;
+    let pairs = args.get_or("pairs", 500usize)?;
+    let s = GraphStats::compute("graph", &graph, pairs, 7);
+    writeln!(out, "{}", GraphStats::table_header()).map_err(|e| e.to_string())?;
+    writeln!(out, "{}", s.table_row()).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "labels: {}, max degree: {}, avg degree: {:.2}",
+        s.labels, s.max_degree, s.avg_degree
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// `wikisearch search`.
+pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.allow_only(&["graph", "query", "top-k", "alpha", "backend", "threads", "json", "trace", "dot"])?;
+    let graph = read_graph(args.required("graph")?)?;
+    let query = args.required("query")?.to_string();
+    let threads: usize = args.get_or("threads", 4)?;
+    let backend = match args.optional("backend").unwrap_or("cpu") {
+        "seq" => Backend::Sequential,
+        "cpu" => Backend::ParCpu(threads),
+        "gpu" => Backend::GpuStyle(threads),
+        "dyn" => Backend::DynPar(threads),
+        other => return Err(format!("unknown backend {other:?}")),
+    };
+    let as_json: bool = args.get_or("json", false)?;
+    let as_dot: bool = args.get_or("dot", false)?;
+
+    let mut ws = WikiSearch::build_with(graph, backend);
+    let mut params = ws.params().clone();
+    params.top_k = args.get_or("top-k", params.top_k)?;
+    params.alpha = args.get_or("alpha", params.alpha)?;
+    params.validate()?;
+    ws.set_params(params);
+
+    let result = ws.search(&query);
+    if as_dot {
+        return match result.answers.first() {
+            Some(best) => {
+                write!(out, "{}", wikisearch_engine::render::render_dot(ws.graph(), best))
+                    .map_err(|e| e.to_string())
+            }
+            None => Err("no answers to render".into()),
+        };
+    }
+    if as_json {
+        let answers: Vec<serde_json::Value> = result
+            .answers
+            .iter()
+            .map(|a| {
+                serde_json::json!({
+                    "central": ws.graph().node_key(a.central),
+                    "central_text": ws.graph().node_text(a.central),
+                    "depth": a.depth,
+                    "score": a.score,
+                    "nodes": a.nodes.iter().map(|&v| ws.graph().node_key(v)).collect::<Vec<_>>(),
+                    "edges": a.edges.iter().map(|&(x, y)| {
+                        (ws.graph().node_key(x), ws.graph().node_key(y))
+                    }).collect::<Vec<_>>(),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "query": query,
+            "matched_keywords": result.query.num_keywords(),
+            "unmatched": result.query.unmatched,
+            "kwf": result.kwf,
+            "total_ms": result.profile.total().as_secs_f64() * 1e3,
+            "answers": answers,
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&doc).unwrap())
+            .map_err(|e| e.to_string())
+    } else {
+        if !result.query.unmatched.is_empty() {
+            writeln!(out, "(no matches for: {})", result.query.unmatched.join(", "))
+                .map_err(|e| e.to_string())?;
+        }
+        writeln!(
+            out,
+            "{} answers in {:.2} ms",
+            result.answers.len(),
+            result.profile.total().as_secs_f64() * 1e3
+        )
+        .map_err(|e| e.to_string())?;
+        for (rank, a) in result.answers.iter().enumerate() {
+            writeln!(out, "#{rank}:").map_err(|e| e.to_string())?;
+            write!(out, "{}", ws.render_answer(a)).map_err(|e| e.to_string())?;
+        }
+        if args.get_or("trace", false)? {
+            writeln!(out, "level  frontier  identified").map_err(|e| e.to_string())?;
+            for t in &result.stats.trace {
+                writeln!(out, "{:>5}  {:>8}  {:>10}", t.level, t.frontier, t.identified)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `wikisearch convert`.
+pub fn convert(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.allow_only(&["in", "out"])?;
+    let src = args.required("in")?;
+    let dst = args.required("out")?.to_string();
+    let graph = read_graph(src)?;
+    write_graph(&graph, &dst)?;
+    writeln!(
+        out,
+        "converted {src} -> {dst} ({} nodes, {} edges)",
+        graph.num_nodes(),
+        graph.num_directed_edges()
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Read a graph, dispatching on extension.
+pub fn read_graph(path: &str) -> Result<KnowledgeGraph, String> {
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    match extension(path) {
+        "bin" => kgraph::binio::from_bytes(&data).map_err(|e| format!("{path}: {e}")),
+        "tsv" | "txt" => {
+            let text = String::from_utf8(data).map_err(|e| format!("{path}: {e}"))?;
+            kgraph::io::from_tsv(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        "nt" => {
+            let text = String::from_utf8(data).map_err(|e| format!("{path}: {e}"))?;
+            kgraph::io::from_ntriples(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        other => Err(format!(
+            "{path}: unsupported extension {other:?} (use .tsv, .bin or .nt)"
+        )),
+    }
+}
+
+/// Write a graph, dispatching on extension.
+pub fn write_graph(graph: &KnowledgeGraph, path: &str) -> Result<(), String> {
+    let bytes = match extension(path) {
+        "bin" => kgraph::binio::to_bytes(graph).to_vec(),
+        "tsv" | "txt" => kgraph::io::to_tsv(graph).into_bytes(),
+        other => {
+            return Err(format!("{path}: unsupported extension {other:?} (use .tsv or .bin)"))
+        }
+    };
+    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn extension(path: &str) -> &str {
+    Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::run;
+
+    fn run_cli(line: &str) -> (i32, String) {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        let code = run(&argv, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("ws-cli-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn generate_stats_search_convert_round_trip() {
+        let tsv = tmp("kb.tsv");
+        let bin = tmp("kb.bin");
+        let (code, out) = run_cli(&format!(
+            "generate --dataset tiny --entities 300 --seed 5 --out {tsv}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("312 nodes"), "300 entities + 12 classes: {out}");
+
+        let (code, out) = run_cli(&format!("stats --graph {tsv} --pairs 50"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# nodes"));
+
+        let (code, out) = run_cli(&format!(
+            "search --graph {tsv} --query learning --backend seq --top-k 3"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("answers in"));
+
+        let (code, out) = run_cli(&format!("convert --in {tsv} --out {bin}"));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cli(&format!(
+            "search --graph {bin} --query learning --backend seq --top-k 3"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let _ = std::fs::remove_file(tsv);
+        let _ = std::fs::remove_file(bin);
+    }
+
+    #[test]
+    fn json_output_is_valid_json() {
+        let tsv = tmp("kb2.tsv");
+        run_cli(&format!("generate --dataset tiny --entities 200 --out {tsv}"));
+        let (code, out) = run_cli(&format!(
+            "search --graph {tsv} --query learning --backend seq --json true"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let doc: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(doc["answers"].is_array());
+        let _ = std::fs::remove_file(tsv);
+    }
+
+    #[test]
+    fn errors_are_reported_with_nonzero_exit() {
+        let (code, out) = run_cli("generate --dataset nope --out x.tsv");
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown dataset"));
+
+        let (code, out) = run_cli("search --graph /does/not/exist.tsv --query x");
+        assert_eq!(code, 1);
+        assert!(out.contains("exist"));
+
+        let (code, _) = run_cli("frobnicate");
+        assert_eq!(code, 1);
+
+        let (code, out) = run_cli("stats");
+        assert_eq!(code, 1);
+        assert!(out.contains("--graph"));
+
+        let (code, out) = run_cli("stats --grph x.tsv");
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown flag"));
+    }
+
+    #[test]
+    fn trace_flag_prints_level_table() {
+        let tsv = tmp("kb4.tsv");
+        run_cli(&format!("generate --dataset tiny --entities 200 --out {tsv}"));
+        let (code, out) = run_cli(&format!(
+            "search --graph {tsv} --query learning --backend seq --trace true"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("level  frontier  identified"), "{out}");
+        let _ = std::fs::remove_file(tsv);
+    }
+
+    #[test]
+    fn ntriples_files_are_readable() {
+        let nt = tmp("kb6.nt");
+        std::fs::write(
+            &nt,
+            "<http://kb/XML> <http://kb/related_to> <http://kb/Query_language> .\n",
+        )
+        .unwrap();
+        let (code, out) = run_cli(&format!("stats --graph {nt} --pairs 10"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# nodes"));
+        let _ = std::fs::remove_file(nt);
+    }
+
+    #[test]
+    fn dot_flag_emits_graphviz() {
+        let tsv = tmp("kb5.tsv");
+        run_cli(&format!("generate --dataset tiny --entities 200 --out {tsv}"));
+        let (code, out) = run_cli(&format!(
+            "search --graph {tsv} --query learning --backend seq --dot true"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.starts_with("graph answer {"), "{out}");
+        let _ = std::fs::remove_file(tsv);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_cli("help");
+        assert_eq!(code, 0);
+        assert!(out.contains("generate"));
+        assert!(out.contains("convert"));
+    }
+
+    #[test]
+    fn unsupported_extension_is_rejected() {
+        let (code, out) = run_cli("generate --dataset tiny --out /tmp/x.parquet");
+        assert_eq!(code, 1);
+        assert!(out.contains("unsupported extension"));
+    }
+
+    #[test]
+    fn alpha_validation_flows_through() {
+        let tsv = tmp("kb3.tsv");
+        run_cli(&format!("generate --dataset tiny --entities 100 --out {tsv}"));
+        let (code, out) = run_cli(&format!(
+            "search --graph {tsv} --query learning --alpha 7.0"
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("alpha"));
+        let _ = std::fs::remove_file(tsv);
+    }
+}

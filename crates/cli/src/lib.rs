@@ -1,0 +1,56 @@
+//! # wikisearch-cli — command-line interface to the WikiSearch engine
+//!
+//! ```text
+//! wikisearch generate --dataset tiny --out kb.tsv [--entities N] [--seed S]
+//! wikisearch stats    --graph kb.tsv [--pairs N]
+//! wikisearch search   --graph kb.tsv --query "xml rdf sql"
+//!                     [--top-k K] [--alpha A] [--backend seq|cpu|gpu|dyn]
+//!                     [--threads T] [--json true]
+//! wikisearch convert  --in kb.tsv --out kb.bin
+//! wikisearch serve    --graph kb.tsv [--port P] [--backend …]
+//!                     [--max-requests N]
+//! wikisearch help
+//! ```
+//!
+//! Graph files are read/written by extension: `.tsv` (the line format of
+//! `kgraph::io`) or `.bin` (the compact format of `kgraph::binio`).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod serve;
+
+use args::parse;
+
+/// Entry point shared by the binary and the tests: run the CLI against
+/// `argv` (without program name), writing to `out`. Returns the process
+/// exit code.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
+    let parsed = match parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "generate" => commands::generate(&parsed, out),
+        "stats" => commands::stats(&parsed, out),
+        "search" => commands::search(&parsed, out),
+        "convert" => commands::convert(&parsed, out),
+        "serve" => serve::serve(&parsed, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `wikisearch help`")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}

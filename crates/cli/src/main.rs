@@ -1,0 +1,8 @@
+//! `wikisearch` binary entry point — see [`wikisearch_cli`] for the
+//! command set.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(wikisearch_cli::run(&argv, &mut stdout));
+}

@@ -1,0 +1,193 @@
+//! `wikisearch serve` — a line-protocol TCP query service, the offline
+//! analogue of the paper's hosted WikiSearch endpoint.
+//!
+//! Protocol: one UTF-8 line per request.
+//!
+//! * `QUERY <keywords…>` → one JSON line with the ranked answers;
+//! * `PING` → `PONG`;
+//! * `QUIT` → closes the connection.
+//!
+//! The server handles one connection at a time (searches themselves are
+//! parallel via the engine's pool); `--max-requests N` makes it exit after
+//! `N` queries, which is how the tests and demo scripts drive it.
+
+use crate::args::ParsedArgs;
+use crate::commands::read_graph;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use wikisearch_engine::{Backend, WikiSearch};
+
+/// Run the server until `max_requests` queries have been answered (or
+/// forever when it is 0).
+pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.allow_only(&["graph", "port", "backend", "threads", "top-k", "max-requests"])?;
+    let graph = read_graph(args.required("graph")?)?;
+    let port: u16 = args.get_or("port", 7878)?;
+    let threads: usize = args.get_or("threads", 4)?;
+    let max_requests: usize = args.get_or("max-requests", 0)?;
+    let backend = match args.optional("backend").unwrap_or("cpu") {
+        "seq" => Backend::Sequential,
+        "cpu" => Backend::ParCpu(threads),
+        "gpu" => Backend::GpuStyle(threads),
+        "dyn" => Backend::DynPar(threads),
+        other => return Err(format!("unknown backend {other:?}")),
+    };
+    let mut ws = WikiSearch::build_with(graph, backend);
+    let mut params = ws.params().clone();
+    params.top_k = args.get_or("top-k", params.top_k)?;
+    ws.set_params(params);
+
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let actual = listener.local_addr().map_err(|e| e.to_string())?.port();
+    writeln!(
+        out,
+        "wikisearch serving on 127.0.0.1:{actual} ({} nodes indexed)",
+        ws.graph().num_nodes()
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| e.to_string())?;
+        served += handle_connection(stream, &ws);
+        if max_requests > 0 && served >= max_requests {
+            break;
+        }
+    }
+    writeln!(out, "served {served} queries, shutting down").map_err(|e| e.to_string())
+}
+
+/// Serve one connection; returns the number of queries answered.
+fn handle_connection(stream: TcpStream, ws: &WikiSearch) -> usize {
+    let Ok(peer) = stream.try_clone() else {
+        return 0;
+    };
+    let reader = BufReader::new(peer);
+    let mut writer = stream;
+    let mut served = 0usize;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.eq_ignore_ascii_case("QUIT") {
+            break;
+        }
+        if line.eq_ignore_ascii_case("PING") {
+            if writeln!(writer, "PONG").is_err() {
+                break;
+            }
+            continue;
+        }
+        let Some(q) = line.strip_prefix("QUERY ") else {
+            let _ = writeln!(writer, r#"{{"error":"expected QUERY/PING/QUIT"}}"#);
+            continue;
+        };
+        let result = ws.search(q);
+        served += 1;
+        let answers: Vec<serde_json::Value> = result
+            .answers
+            .iter()
+            .map(|a| {
+                serde_json::json!({
+                    "central": ws.graph().node_text(a.central),
+                    "depth": a.depth,
+                    "score": a.score,
+                    "nodes": a.nodes.len(),
+                    "edges": a.edges.len(),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "query": q,
+            "answers": answers,
+            "unmatched": result.query.unmatched,
+            "ms": result.profile.total().as_secs_f64() * 1e3,
+        });
+        if writeln!(writer, "{doc}").is_err() {
+            break;
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+
+    #[test]
+    fn serves_queries_over_tcp() {
+        // Build a tiny graph file.
+        let path = std::env::temp_dir()
+            .join(format!("ws-serve-{}.tsv", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let mut b = kgraph::GraphBuilder::new();
+        let x = b.add_node("x", "xml");
+        let q = b.add_node("q", "query language");
+        let s = b.add_node("s", "sql");
+        b.add_edge(x, q, "rel");
+        b.add_edge(s, q, "rel");
+        std::fs::write(&path, kgraph::io::to_tsv(&b.build())).unwrap();
+
+        // Pick a free port by binding and releasing.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = probe.local_addr().unwrap().port();
+        drop(probe);
+
+        let argv: Vec<String> = format!(
+            "serve --graph {path} --port {port} --backend seq --max-requests 2"
+        )
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+        let args = parse(&argv).unwrap();
+        let server = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            serve(&args, &mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        });
+
+        // Connect (retry while the server binds).
+        let mut stream = None;
+        for _ in 0..100 {
+            match TcpStream::connect(("127.0.0.1", port)) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+        let mut stream = stream.expect("server reachable");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+
+        writeln!(stream, "PING").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "PONG");
+
+        line.clear();
+        writeln!(stream, "QUERY xml sql").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc["answers"][0]["central"], "query language");
+
+        line.clear();
+        writeln!(stream, "nonsense protocol line").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("error"));
+
+        line.clear();
+        writeln!(stream, "QUERY sql").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("answers"));
+        writeln!(stream, "QUIT").unwrap();
+
+        let log = server.join().unwrap();
+        assert!(log.contains("served 2 queries"), "{log}");
+        let _ = std::fs::remove_file(path);
+    }
+}

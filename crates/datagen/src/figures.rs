@@ -1,0 +1,110 @@
+//! The paper's worked-example graphs as reusable fixtures.
+
+use kgraph::{GraphBuilder, KnowledgeGraph, NodeId};
+
+/// Fig. 1 / Fig. 4: the ten-node query-language neighborhood for the
+/// keywords *XML, RDF, SQL*, with `v2` ("Query language") as the hub the
+/// keyword paths converge on. Returns the graph and the per-node minimum
+/// activation levels drawn in Fig. 4.
+pub fn fig4_graph() -> (KnowledgeGraph, Vec<u8>) {
+    let mut b = GraphBuilder::new();
+    let texts: [(&str, &str); 10] = [
+        ("v0", "Facebook Query Language"),
+        ("v1", "SQL"),
+        ("v2", "Query language"),
+        ("v3", "XPath"),
+        ("v4", "SPARQL query language for RDF"),
+        ("v5", "RDF query language"),
+        ("v6", "XPath 2"),
+        ("v7", "XPath 3"),
+        ("v8", "XQuery"),
+        ("v9", "XML"),
+    ];
+    let ids: Vec<NodeId> = texts.iter().map(|(k, t)| b.add_node(k, t)).collect();
+    for (s, d, label) in [
+        (0usize, 2usize, "subclass of"),
+        (1, 2, "instance of"),
+        (3, 2, "instance of"),
+        (8, 2, "instance of"),
+        (4, 2, "instance of"),
+        (5, 2, "instance of"),
+        (4, 3, "related to"),
+        (5, 3, "related to"),
+        (6, 3, "version of"),
+        (7, 3, "version of"),
+        (9, 6, "used by"),
+        (9, 7, "used by"),
+        (9, 8, "used by"),
+    ] {
+        b.add_edge(ids[s], ids[d], label);
+    }
+    // Activation levels as drawn in Fig. 4.
+    let activation = vec![2, 1, 4, 2, 0, 1, 0, 1, 0, 1];
+    (b.build(), activation)
+}
+
+/// Fig. 2: five nodes, two BFS instances (`B0` from `v0`, `B1` from
+/// `v1`/`v2`), used by the hitting level/path definitions (Examples 1–3).
+pub fn fig2_graph() -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    let v0 = b.add_node("v0", "alpha");
+    let v1 = b.add_node("v1", "beta");
+    let v2 = b.add_node("v2", "beta two");
+    let v3 = b.add_node("v3", "mid");
+    let v4 = b.add_node("v4", "far");
+    b.add_edge(v0, v3, "e");
+    b.add_edge(v1, v3, "e");
+    b.add_edge(v3, v4, "e");
+    b.add_edge(v1, v4, "e");
+    b.add_edge(v2, v4, "e");
+    b.build()
+}
+
+/// Fig. 5: the level-cover example — *Stanford, Jeffrey, Ullman* with
+/// "Jeffrey Ullman" covering two keywords and three "Jeffrey"-only
+/// satellites that the strategy prunes. Returns the graph plus the ids of
+/// (stanford, ullman, satellites).
+pub fn fig5_graph() -> (KnowledgeGraph, NodeId, NodeId, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let stanford = b.add_node("su", "Stanford University");
+    let ullman = b.add_node("ju", "Jeffrey Ullman");
+    b.add_edge(ullman, stanford, "employer");
+    let mut satellites = Vec::new();
+    for i in 0..3 {
+        let j = b.add_node(&format!("j{i}"), &format!("Jeffrey Person{i}"));
+        b.add_edge(j, stanford, "affiliation");
+        satellites.push(j);
+    }
+    (b.build(), stanford, ullman, satellites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_fixture_shape() {
+        let (g, act) = fig4_graph();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(act.len(), 10);
+        assert_eq!(g.num_directed_edges(), 13);
+        g.check_invariants().unwrap();
+        let v2 = g.find_node_by_key("v2").unwrap();
+        assert_eq!(g.degree(v2), 6, "v2 is the convergence hub");
+    }
+
+    #[test]
+    fn fig2_fixture_shape() {
+        let g = fig2_graph();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_directed_edges(), 5);
+    }
+
+    #[test]
+    fn fig5_fixture_shape() {
+        let (g, stanford, ullman, sats) = fig5_graph();
+        assert_eq!(g.degree(stanford), 4);
+        assert_eq!(g.degree(ullman), 1);
+        assert_eq!(sats.len(), 3);
+    }
+}

@@ -1,0 +1,389 @@
+//! Effectiveness datasets with planted ground truth — the substitute for
+//! the paper's manual relevance judging (Figs. 11–12, Table V).
+//!
+//! The paper's effectiveness analysis identifies two concrete failure
+//! modes of GST-style baselines:
+//!
+//! 1. **phrase splitting** — BANKS-II's score has no keyword
+//!    co-occurrence term, so for Q4 it returns trees where "statistical",
+//!    "relational" and "learning" come from three unrelated nodes
+//!    ("Phrases fail to appear together, which results in irrelevant
+//!    answers");
+//! 2. **meaningless connectors** — answers glued together by generic
+//!    summary nodes (the paper's `human` / `data mining` shortcut
+//!    discussion, and Q11's irrelevant article reused by 16 of the top-20
+//!    trees).
+//!
+//! We make both measurable. Per Table V query the dataset plants:
+//!
+//! * **relevant structures** — an anchor entity whose neighborhood keeps
+//!   every phrase inside a single node. For queries containing multi-word
+//!   phrases, the phrase nodes sit at distance 2 from the anchor
+//!   (phrase-exact nodes are rare and specific in a real KB); for
+//!   all-single-word queries they attach directly (tight relevant answers
+//!   are abundant for such queries).
+//! * **distractor stars** — a `topic directory` centre node per
+//!   structure, boosted into a summary node by a flood of same-label
+//!   filler in-edges, with one satellite per *individual* query word.
+//!   A tree rooted at the centre covers every keyword at minimal cost —
+//!   exactly the cheap-but-wrong answer a co-occurrence-blind tree score
+//!   loves — while the centre's degree-of-summary weight makes the
+//!   Central Graph engines (at small α) activate it too late to matter.
+//!
+//! The [`PlantedDataset::judge`] function encodes the human criterion:
+//! every phrase must co-occur inside some answer node, and the answer
+//! must not be glued together by a planted distractor centre.
+
+use crate::synthetic::SyntheticConfig;
+use kgraph::{GraphBuilder, KnowledgeGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use textindex::analyzer::analyze_unique;
+
+/// One effectiveness query with its phrase structure.
+#[derive(Clone, Debug)]
+pub struct PlantedQuery {
+    /// Query id (`Q1`…`Q11`, matching Table V).
+    pub id: &'static str,
+    /// The raw keyword query, exactly as in the paper's Table V.
+    pub raw: &'static str,
+    /// The phrases a relevant answer must keep together (each inner list
+    /// is one phrase's words).
+    pub phrases: &'static [&'static [&'static str]],
+}
+
+impl PlantedQuery {
+    /// `true` if the query contains a multi-word phrase (these are the
+    /// queries whose relevant structures are rarer/deeper).
+    pub fn has_multiword_phrase(&self) -> bool {
+        self.phrases.iter().any(|p| p.len() > 1)
+    }
+}
+
+/// The Table V query set with phrase groupings (the groupings follow the
+/// paper's own discussion of which phrases must co-occur).
+pub static TABLE_V_QUERIES: &[PlantedQuery] = &[
+    PlantedQuery {
+        id: "Q1",
+        raw: "XML relational search",
+        phrases: &[&["xml"], &["relational"], &["search"]],
+    },
+    PlantedQuery {
+        id: "Q2",
+        raw: "database indexing ranking search",
+        phrases: &[&["database", "indexing"], &["ranking"], &["search"]],
+    },
+    PlantedQuery {
+        id: "Q3",
+        raw: "Bayesian inference Markov network",
+        phrases: &[&["bayesian", "inference"], &["markov", "network"]],
+    },
+    PlantedQuery {
+        id: "Q4",
+        raw: "statistical relational learning inference",
+        phrases: &[&["statistical", "relational", "learning"], &["inference"]],
+    },
+    PlantedQuery {
+        id: "Q5",
+        raw: "SQL RDF knowledge base",
+        phrases: &[&["sql"], &["rdf"], &["knowledge", "base"]],
+    },
+    PlantedQuery {
+        id: "Q6",
+        raw: "supervised learning gradient descent machine translation",
+        phrases: &[
+            &["supervised", "learning"],
+            &["gradient", "descent"],
+            &["machine", "translation"],
+        ],
+    },
+    PlantedQuery {
+        id: "Q7",
+        raw: "transfer learning auxiliary data retrieval text classification",
+        phrases: &[
+            &["transfer", "learning"],
+            &["auxiliary", "data"],
+            &["retrieval"],
+            &["text", "classification"],
+        ],
+    },
+    PlantedQuery {
+        id: "Q8",
+        raw: "XML RDF knowledge base sharing",
+        phrases: &[&["xml"], &["rdf"], &["knowledge", "base"], &["sharing"]],
+    },
+    PlantedQuery {
+        id: "Q9",
+        raw: "network mining medicine retrieval technique",
+        phrases: &[&["network", "mining"], &["medicine", "retrieval"], &["technique"]],
+    },
+    PlantedQuery {
+        id: "Q10",
+        raw: "natural language processing machine learning",
+        phrases: &[&["natural", "language", "processing"], &["machine", "learning"]],
+    },
+    PlantedQuery {
+        id: "Q11",
+        raw: "Wikidata Freebase Yahoo Neo4j SPARQL",
+        phrases: &[&["wikidata"], &["freebase"], &["yahoo"], &["neo4j"], &["sparql"]],
+    },
+];
+
+/// An effectiveness dataset: a background KB with, per query, planted
+/// relevant structures and distractor stars.
+pub struct PlantedDataset {
+    /// The graph (background + planted structures).
+    pub graph: KnowledgeGraph,
+    /// The Table V queries.
+    pub queries: &'static [PlantedQuery],
+    /// Planted distractor centres — meaningless connectors; any answer
+    /// glued together by one is irrelevant.
+    pub distractor_centers: HashSet<NodeId>,
+}
+
+impl PlantedDataset {
+    /// Build with `relevant_per_query` planted relevant structures and
+    /// `distractors_per_query` distractor stars on top of a small
+    /// synthetic background.
+    pub fn build(seed: u64, relevant_per_query: usize, distractors_per_query: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Background KB, re-interned so planted structures share its id
+        // space.
+        let background = SyntheticConfig::tiny(seed).generate().graph;
+        let mut b = GraphBuilder::with_capacity(
+            background.num_nodes() + 8000,
+            background.num_directed_edges() + 24_000,
+        );
+        // Re-intern the background, trimming any label that would cover a
+        // whole Table V query on its own: single-node co-occurrence
+        // answers would saturate every engine at 100% precision (the
+        // paper's Q10 effect) and mask the phrase-splitting signal.
+        let query_terms: Vec<HashSet<String>> = TABLE_V_QUERIES
+            .iter()
+            .map(|q| analyze_unique(q.raw).into_iter().collect())
+            .collect();
+        for v in background.nodes() {
+            let mut text = background.node_text(v).to_string();
+            loop {
+                let terms: HashSet<String> = analyze_unique(&text).into_iter().collect();
+                let covers = query_terms.iter().any(|qs| qs.is_subset(&terms));
+                if !covers {
+                    break;
+                }
+                let words: Vec<&str> = text.split_whitespace().collect();
+                if words.len() <= 1 {
+                    break;
+                }
+                text = words[..words.len() - 1].join(" ");
+            }
+            b.add_node(background.node_key(v), &text);
+        }
+        for (s, l, t) in background.directed_edges() {
+            let label = background.label_name(l).to_string();
+            let (si, ti) = (
+                b.node(background.node_key(s)).unwrap(),
+                b.node(background.node_key(t)).unwrap(),
+            );
+            b.add_edge(si, ti, &label);
+        }
+        let n_background = b.num_nodes();
+        let mut centers: Vec<NodeId> = Vec::new();
+
+        for q in TABLE_V_QUERIES {
+            let deep = q.has_multiword_phrase();
+            // Relevant structures.
+            for r in 0..relevant_per_query {
+                // The anchor's label is deliberately keyword-free: the
+                // relevance of the structure lives in its phrase nodes,
+                // not in a giveaway co-occurrence label.
+                let anchor = b.add_node(
+                    &format!("{}-rel{r}-anchor", q.id),
+                    &format!("proceedings volume {r}"),
+                );
+                for (pi, phrase) in q.phrases.iter().enumerate() {
+                    let pnode = b.add_node(
+                        &format!("{}-rel{r}-p{pi}", q.id),
+                        &format!("{} method", phrase.join(" ")),
+                    );
+                    if deep {
+                        // Phrase-exact nodes are rare and specific: reach
+                        // the anchor through a section node.
+                        let section = b.add_node(
+                            &format!("{}-rel{r}-s{pi}", q.id),
+                            &format!("chapter {pi} of volume {r}"),
+                        );
+                        b.add_edge(pnode, section, "part of");
+                        b.add_edge(section, anchor, "part of");
+                    } else {
+                        b.add_edge(pnode, anchor, "main subject");
+                    }
+                }
+                let bg = NodeId(rng.random_range(0..n_background) as u32);
+                b.add_edge(anchor, bg, "cites work");
+            }
+            // Distractor stars: a summary-weighted centre with one
+            // satellite per individual query word.
+            let all_words: Vec<&str> = q.phrases.iter().flat_map(|p| p.iter().copied()).collect();
+            for d in 0..distractors_per_query {
+                let center = b.add_node(
+                    &format!("{}-dis{d}-center", q.id),
+                    &format!("topic directory {d}"),
+                );
+                centers.push(center);
+                // Same-label filler flood ⇒ high degree of summary.
+                for f in 0..25 {
+                    let filler = b.add_node(
+                        &format!("{}-dis{d}-f{f}", q.id),
+                        &format!("catalogue entry {d} {f}"),
+                    );
+                    b.add_edge(filler, center, "listed in");
+                }
+                for (wi, word) in all_words.iter().enumerate() {
+                    let node = b.add_node(
+                        &format!("{}-dis{d}-w{wi}", q.id),
+                        &format!("{word} miscellany {d}"),
+                    );
+                    b.add_edge(node, center, "listed in");
+                }
+                let bg = NodeId(rng.random_range(0..n_background) as u32);
+                b.add_edge(center, bg, "listed in");
+            }
+        }
+        let graph = b.build();
+        PlantedDataset {
+            graph,
+            queries: TABLE_V_QUERIES,
+            distractor_centers: centers.into_iter().collect(),
+        }
+    }
+
+    /// Relevance judgement, standing in for the paper's manual assessment:
+    /// an answer is relevant iff (a) for **every** phrase there is a
+    /// single answer node containing all of the phrase's (stemmed) terms,
+    /// and (b) the answer is not glued together by a planted distractor
+    /// centre (a meaningless connector).
+    pub fn judge(&self, query: &PlantedQuery, answer_nodes: &[NodeId]) -> bool {
+        if answer_nodes.iter().any(|v| self.distractor_centers.contains(v)) {
+            return false;
+        }
+        query.phrases.iter().all(|phrase| {
+            let terms: Vec<String> = analyze_unique(&phrase.join(" "));
+            answer_nodes.iter().any(|&v| {
+                let node_terms = analyze_unique(self.graph.node_text(v));
+                terms.iter().all(|t| node_terms.contains(t))
+            })
+        })
+    }
+
+    /// The planted-relevant anchor nodes of one query (tests/debugging).
+    pub fn relevant_anchors(&self, q: &PlantedQuery) -> Vec<NodeId> {
+        let prefix = format!("{}-rel", q.id);
+        self.graph
+            .nodes()
+            .filter(|&v| {
+                let key = self.graph.node_key(v);
+                key.starts_with(&prefix) && key.ends_with("anchor")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_has_eleven_queries() {
+        assert_eq!(TABLE_V_QUERIES.len(), 11);
+        assert!(TABLE_V_QUERIES.iter().all(|q| !q.phrases.is_empty()));
+        assert!(TABLE_V_QUERIES[3].has_multiword_phrase()); // Q4
+        assert!(!TABLE_V_QUERIES[0].has_multiword_phrase()); // Q1
+    }
+
+    #[test]
+    fn dataset_builds_and_is_valid() {
+        let ds = PlantedDataset::build(1, 3, 4);
+        ds.graph.check_invariants().unwrap();
+        assert!(ds.graph.num_nodes() > 812, "background plus planted nodes");
+        for q in ds.queries {
+            assert_eq!(ds.relevant_anchors(q).len(), 3, "{}", q.id);
+        }
+        assert_eq!(ds.distractor_centers.len(), 4 * 11);
+    }
+
+    #[test]
+    fn judge_accepts_phrase_preserving_answers() {
+        let ds = PlantedDataset::build(2, 2, 2);
+        let q4 = &ds.queries[3];
+        assert_eq!(q4.id, "Q4");
+        // A relevant structure: anchor + sections + phrase nodes (Q4 is a
+        // deep/multi-word-phrase query).
+        let anchor = ds.relevant_anchors(q4)[0];
+        let mut nodes = vec![anchor];
+        for adj in ds.graph.neighbors(anchor) {
+            nodes.push(adj.target());
+            for adj2 in ds.graph.neighbors(adj.target()) {
+                nodes.push(adj2.target());
+            }
+        }
+        assert!(ds.judge(q4, &nodes));
+    }
+
+    #[test]
+    fn judge_rejects_phrase_splitting_and_center_glued_answers() {
+        let ds = PlantedDataset::build(3, 2, 2);
+        let q4 = &ds.queries[3];
+        // Distractor star: every word present, but split, and glued by a
+        // centre — irrelevant on both criteria.
+        let center = ds
+            .graph
+            .find_node_by_key("Q4-dis0-center")
+            .expect("distractor centre exists");
+        let mut nodes: Vec<NodeId> = ds
+            .graph
+            .nodes()
+            .filter(|&v| ds.graph.node_key(v).starts_with("Q4-dis0-w"))
+            .collect();
+        assert!(!ds.judge(q4, &nodes), "split phrases must be irrelevant");
+        nodes.push(center);
+        assert!(!ds.judge(q4, &nodes), "centre-glued answers must be irrelevant");
+    }
+
+    #[test]
+    fn distractor_centers_are_heavy_summary_nodes() {
+        let ds = PlantedDataset::build(4, 2, 3);
+        let center = ds.graph.find_node_by_key("Q1-dis0-center").unwrap();
+        assert!(ds.graph.in_degree(center) >= 25);
+        assert!(
+            ds.graph.weight(center) > 0.5,
+            "centre weight {} should be summary-grade",
+            ds.graph.weight(center)
+        );
+    }
+
+    #[test]
+    fn deep_queries_place_phrase_nodes_at_distance_two() {
+        let ds = PlantedDataset::build(5, 1, 1);
+        let q4 = &ds.queries[3]; // deep
+        let q1 = &ds.queries[0]; // tight
+        let a4 = ds.relevant_anchors(q4)[0];
+        let a1 = ds.relevant_anchors(q1)[0];
+        // Q4 anchor's graph neighbors are section nodes, not phrase nodes.
+        let n4: Vec<&str> = ds
+            .graph
+            .neighbors(a4)
+            .iter()
+            .map(|a| ds.graph.node_key(a.target()))
+            .collect();
+        assert!(n4.iter().any(|k| k.contains("-s")), "sections expected: {n4:?}");
+        // Q1 anchor connects phrase nodes directly.
+        let n1: Vec<&str> = ds
+            .graph
+            .neighbors(a1)
+            .iter()
+            .map(|a| ds.graph.node_key(a.target()))
+            .collect();
+        assert!(n1.iter().any(|k| k.contains("-p")), "phrase nodes expected: {n1:?}");
+    }
+}

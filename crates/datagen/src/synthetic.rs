@@ -1,0 +1,301 @@
+//! Wikidata-shaped synthetic graph generator.
+//!
+//! The experiments only depend on the *shape* of Wikidata (DESIGN.md §3):
+//!
+//! * **summary/class hubs** — a small set of class nodes (`human`,
+//!   `scholarly article`, …) absorbing one `instance of` edge from every
+//!   entity, with Zipf-skewed popularity: huge same-label in-degree ⇒ the
+//!   top of the degree-of-summary weighting, exactly like the paper's
+//!   `human` node;
+//! * **skewed entity in-degrees** — entity→entity edges choose targets by
+//!   a Zipf law, producing hub entities; popular targets concentrate their
+//!   in-edges in few predicates (low label diversity ⇒ high weight), rare
+//!   targets spread over many predicates;
+//! * **realistic labels** — node texts are drawn from the workload
+//!   vocabulary so query keywords have skewed, non-trivial frequencies
+//!   (the Table V `kwf` columns).
+//!
+//! `wiki2017_sim` / `wiki2018_sim` mirror the two dumps of Table II at
+//! laptop scale; set `WIKISEARCH_SCALE` (a float multiplier) to grow or
+//! shrink them.
+
+use crate::workload::VOCAB;
+use kgraph::{GraphBuilder, KnowledgeGraph};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Labels for class/summary nodes, mirroring Wikidata's biggest classes.
+static CLASS_LABELS: &[&str] = &[
+    "human", "scholarly article", "taxon", "film", "village", "conference proceedings",
+    "research article", "painting", "asteroid", "gene", "protein", "book", "album",
+    "mountain", "river", "road", "railway station", "company", "university", "journal",
+];
+
+/// Predicate vocabulary (Wikidata-property style).
+static PREDICATES: &[&str] = &[
+    "instance of", "subclass of", "part of", "main subject", "author", "published in",
+    "cites work", "educated at", "employer", "member of", "located in", "country",
+    "field of work", "influenced by", "follows", "followed by", "uses", "based on",
+    "named after", "discoverer", "developer", "maintained by", "depicts", "genre",
+    "occupation", "award received", "notable work", "contributor", "editor", "sponsor",
+];
+
+/// Generator parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Dataset display name.
+    pub name: String,
+    /// Number of entity nodes (class nodes come on top).
+    pub num_entities: usize,
+    /// Number of class/summary nodes.
+    pub num_classes: usize,
+    /// Average entity→entity edges per entity (on top of the one
+    /// `instance of` edge per entity).
+    pub entity_edges_per_node: f64,
+    /// Zipf exponent of target popularity (≈1 matches web-like skew).
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Laptop-scale analogue of the paper's wiki2017 dump
+    /// (15.1M nodes / 124M edges ⇒ ~8.2 edges/node).
+    pub fn wiki2017_sim() -> Self {
+        let scale = env_scale();
+        SyntheticConfig {
+            name: "wiki2017-sim".into(),
+            num_entities: (60_000.0 * scale) as usize,
+            num_classes: 150,
+            entity_edges_per_node: 7.2,
+            zipf_exponent: 0.82,
+            seed: 2017,
+        }
+    }
+
+    /// Laptop-scale analogue of the paper's wiki2018 dump
+    /// (30.6M nodes / 271M edges ⇒ ~8.9 edges/node).
+    pub fn wiki2018_sim() -> Self {
+        let scale = env_scale();
+        SyntheticConfig {
+            name: "wiki2018-sim".into(),
+            num_entities: (120_000.0 * scale) as usize,
+            num_classes: 250,
+            entity_edges_per_node: 7.9,
+            zipf_exponent: 0.82,
+            seed: 2018,
+        }
+    }
+
+    /// A small instance for unit/integration tests.
+    pub fn tiny(seed: u64) -> Self {
+        SyntheticConfig {
+            name: "tiny".into(),
+            num_entities: 800,
+            num_classes: 12,
+            entity_edges_per_node: 4.0,
+            zipf_exponent: 1.0,
+            seed,
+        }
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> SyntheticDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.num_entities;
+        let mut b = GraphBuilder::with_capacity(
+            n + self.num_classes,
+            n + (n as f64 * self.entity_edges_per_node) as usize,
+        );
+
+        // Class nodes first (ids 0..num_classes).
+        for c in 0..self.num_classes {
+            let base = CLASS_LABELS[c % CLASS_LABELS.len()];
+            let label = if c < CLASS_LABELS.len() {
+                base.to_string()
+            } else {
+                format!("{base} category {c}")
+            };
+            b.add_node(&format!("C{c}"), &label);
+        }
+
+        // Entity nodes with vocabulary-phrase labels. A fraction get two
+        // phrases (multi-topic entities), creating keyword co-occurrence.
+        for e in 0..n {
+            let p1 = VOCAB.choose(&mut rng).unwrap();
+            let label = if rng.random_bool(0.12) {
+                let p2 = VOCAB.choose(&mut rng).unwrap();
+                format!("{p1} {p2} {e}")
+            } else {
+                format!("{p1} {e}")
+            };
+            b.add_node(&format!("Q{e}"), &label);
+        }
+
+        let class_zipf = ZipfTable::new(self.num_classes, self.zipf_exponent + 0.2);
+        let entity_zipf = ZipfTable::new(n, self.zipf_exponent);
+        let instance_of = b.label("instance of");
+
+        // One `instance of` per entity to a Zipf-popular class: the
+        // single-label floods that create summary hubs.
+        for e in 0..n {
+            let class = class_zipf.sample(&mut rng);
+            let src = b.node(&format!("Q{e}")).unwrap();
+            let dst = b.node(&format!("C{class}")).unwrap();
+            b.add_edge_with_label(src, dst, instance_of);
+        }
+
+        // Entity→entity edges with Zipf-popular targets. Popular targets
+        // use few predicates (low label diversity ⇒ summary-like), rare
+        // targets draw uniformly.
+        let pred_ids: Vec<_> = PREDICATES.iter().map(|p| b.label(p)).collect();
+        let total_extra = (n as f64 * self.entity_edges_per_node) as usize;
+        for _ in 0..total_extra {
+            let s = rng.random_range(0..n);
+            let mut t = entity_zipf.sample(&mut rng);
+            if t == s {
+                t = (t + 1) % n;
+            }
+            let pred = if t < n / 100 {
+                // hot target: concentrate on 3 predicates keyed by target
+                pred_ids[(t * 7 + rng.random_range(0..3)) % 5 + 1]
+            } else {
+                pred_ids[rng.random_range(1..pred_ids.len())]
+            };
+            let src = b.node(&format!("Q{s}")).unwrap();
+            let dst = b.node(&format!("Q{t}")).unwrap();
+            b.add_edge_with_label(src, dst, pred);
+        }
+
+        // Chain stitching: guarantee weak connectivity so sampled average
+        // distances are well-defined (Wikidata is one giant component).
+        for e in 1..n {
+            if rng.random_bool(0.02) {
+                let src = b.node(&format!("Q{e}")).unwrap();
+                let dst = b.node(&format!("Q{}", rng.random_range(0..e))).unwrap();
+                b.add_edge(src, dst, "follows");
+            }
+        }
+        for e in 0..n.min(self.num_classes * 4) {
+            // tie early entities to classes' neighborhood densely enough
+            // that class hubs sit on many shortest paths
+            if e % 4 == 0 {
+                let src = b.node(&format!("Q{e}")).unwrap();
+                let dst = b.node(&format!("C{}", e % self.num_classes)).unwrap();
+                b.add_edge(src, dst, "main subject");
+            }
+        }
+
+        SyntheticDataset { graph: b.build(), config: self.clone() }
+    }
+}
+
+/// A generated dataset: the graph plus the config that produced it.
+pub struct SyntheticDataset {
+    /// The generated knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// Generation parameters (for provenance in experiment output).
+    pub config: SyntheticConfig,
+}
+
+fn env_scale() -> f64 {
+    std::env::var("WIKISEARCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Zipf sampler over `0..n` via a precomputed CDF + binary search.
+/// Rank 0 is the most popular item.
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Table for `n` items with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let table = ZipfTable::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[100] && counts[0] > counts[999]);
+        assert!(counts[0] > 1000, "rank 0 should absorb a large share");
+    }
+
+    #[test]
+    fn tiny_dataset_has_expected_shape() {
+        let ds = SyntheticConfig::tiny(5).generate();
+        let g = &ds.graph;
+        g.check_invariants().unwrap();
+        assert_eq!(g.num_nodes(), 800 + 12);
+        // one instance-of per entity plus the extra edges
+        assert!(g.num_directed_edges() >= 800);
+        // the most popular class is a heavy summary hub
+        let c0 = g.find_node_by_key("C0").unwrap();
+        assert!(g.in_degree(c0) > 50, "class hub in-degree {}", g.in_degree(c0));
+        assert!(g.weight(c0) > 0.5, "class hub weight {}", g.weight(c0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticConfig::tiny(9).generate();
+        let b = SyntheticConfig::tiny(9).generate();
+        assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+        assert_eq!(a.graph.num_directed_edges(), b.graph.num_directed_edges());
+        let v = a.graph.nodes().nth(42).unwrap();
+        assert_eq!(a.graph.node_text(v), b.graph.node_text(v));
+    }
+
+    #[test]
+    fn labels_contain_vocabulary_phrases() {
+        let ds = SyntheticConfig::tiny(3).generate();
+        let g = &ds.graph;
+        let q0 = g.find_node_by_key("Q0").unwrap();
+        let text = g.node_text(q0);
+        assert!(
+            VOCAB.iter().any(|p| text.contains(p)),
+            "entity label {text:?} should embed a vocabulary phrase"
+        );
+    }
+
+    #[test]
+    fn presets_differ_in_size() {
+        // Don't generate the full presets in unit tests; just check configs.
+        let a = SyntheticConfig::wiki2017_sim();
+        let b = SyntheticConfig::wiki2018_sim();
+        assert!(b.num_entities > a.num_entities);
+        assert!(b.entity_edges_per_node > a.entity_edges_per_node);
+    }
+}

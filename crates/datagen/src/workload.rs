@@ -1,0 +1,160 @@
+//! Query workloads: an embedded CS keyword-phrase vocabulary in the style
+//! of the AAAI'14 accepted-paper keyword lists the paper samples from
+//! (UCI repository), and a seeded sampler producing `Knum`-keyword queries.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+/// Keyword phrases in the style of AAAI'14 paper keywords. Multi-word
+/// phrases matter: the effectiveness experiments hinge on whether engines
+/// keep phrase words together (paper Sec. VI-B).
+pub static VOCAB: &[&str] = &[
+    "machine learning", "deep learning", "reinforcement learning", "supervised learning",
+    "unsupervised learning", "transfer learning", "active learning", "online learning",
+    "statistical relational learning", "multi task learning", "metric learning",
+    "representation learning", "feature selection", "feature extraction", "dimensionality reduction",
+    "neural network", "convolutional network", "recurrent network", "belief network",
+    "bayesian inference", "bayesian network", "markov network", "markov decision process",
+    "hidden markov model", "probabilistic inference", "variational inference", "graphical model",
+    "latent variable model", "topic model", "gaussian process", "kernel method",
+    "support vector machine", "decision tree", "random forest", "gradient descent",
+    "stochastic optimization", "convex optimization", "combinatorial optimization",
+    "integer programming", "linear programming", "constraint satisfaction", "heuristic search",
+    "monte carlo tree search", "game theory", "mechanism design", "social choice",
+    "multi agent system", "agent based simulation", "automated planning", "task scheduling",
+    "knowledge representation", "knowledge base", "knowledge graph", "ontology matching",
+    "description logic", "answer set programming", "logic programming", "theorem proving",
+    "model checking", "satisfiability solving", "belief revision", "argumentation framework",
+    "natural language processing", "machine translation", "question answering",
+    "information extraction", "named entity recognition", "relation extraction",
+    "semantic parsing", "sentiment analysis", "text classification", "text summarization",
+    "word embedding", "language model", "dialogue system", "speech recognition",
+    "information retrieval", "document ranking", "query expansion", "relevance feedback",
+    "learning to rank", "recommender system", "collaborative filtering", "matrix factorization",
+    "data mining", "pattern mining", "association rule", "anomaly detection",
+    "outlier detection", "cluster analysis", "spectral clustering", "community detection",
+    "graph mining", "graph partitioning", "graph embedding", "link prediction",
+    "social network analysis", "influence maximization", "network diffusion",
+    "keyword search", "database indexing", "query optimization", "query processing",
+    "relational database", "distributed database", "parallel computing", "distributed computing",
+    "cloud computing", "stream processing", "data integration", "entity resolution",
+    "schema matching", "data cleaning", "data warehousing", "column store",
+    "transaction processing", "concurrency control", "crash recovery", "consensus protocol",
+    "computer vision", "object detection", "image segmentation", "image classification",
+    "face recognition", "pose estimation", "scene understanding", "optical flow",
+    "image retrieval", "visual question answering", "video analysis", "action recognition",
+    "crowdsourcing", "human computation", "preference elicitation", "utility theory",
+    "causal inference", "counterfactual reasoning", "spatial reasoning", "temporal reasoning",
+    "case based reasoning", "commonsense reasoning", "qualitative reasoning",
+    "evolutionary algorithm", "genetic programming", "swarm intelligence", "local search",
+    "simulated annealing", "tabu search", "branch and bound", "dynamic programming",
+    "approximation algorithm", "online algorithm", "streaming algorithm", "sketching technique",
+    "privacy preservation", "differential privacy", "secure computation", "adversarial example",
+    "robust optimization", "sparse coding", "compressed sensing", "signal processing",
+    "time series analysis", "sequence labeling", "structured prediction", "label propagation",
+    "semi supervised learning", "self supervised learning", "few shot learning",
+    "zero shot learning", "domain adaptation", "concept drift", "incremental learning",
+    "ensemble method", "boosting algorithm", "bagging predictor", "model selection",
+    "hyperparameter tuning", "cross validation", "bias variance tradeoff",
+    "explainable model", "interpretable model", "fairness constraint", "algorithmic bias",
+    "medical diagnosis", "clinical decision support", "drug discovery", "bioinformatics pipeline",
+    "gene expression", "protein structure", "medicine retrieval", "health informatics",
+    "sensor network", "internet of things", "edge computing", "mobile computing",
+    "wireless network", "network protocol", "traffic prediction", "route planning",
+    "autonomous driving", "robot navigation", "motion planning", "simultaneous localization",
+    "auction mechanism", "resource allocation", "load balancing", "cache replacement",
+    "memory hierarchy", "hardware acceleration", "gpu computing", "vector processing",
+    "xml retrieval", "rdf store", "sparql endpoint", "semantic web",
+    "linked data", "triple store", "entity linking", "wikidata curation",
+    "freebase migration", "web crawling", "web search", "search engine",
+];
+
+/// A reproducible stream of keyword queries with a target keyword count.
+///
+/// Mirrors the paper's workload: "For each Knum, we randomly select 50
+/// keyword queries from keyword lists of all accepted (over 300) papers in
+/// AAAI'14".
+pub struct QueryWorkload {
+    rng: StdRng,
+}
+
+impl QueryWorkload {
+    /// Workload with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        QueryWorkload { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// One query with exactly `knum` distinct keywords, assembled from
+    /// whole vocabulary phrases (so multi-word phrases stay adjacent, as
+    /// they do in real paper-keyword queries).
+    pub fn query(&mut self, knum: usize) -> String {
+        let mut words: Vec<String> = Vec::with_capacity(knum);
+        let mut guard = 0;
+        while words.len() < knum && guard < 1000 {
+            guard += 1;
+            let phrase = VOCAB.choose(&mut self.rng).expect("vocab non-empty");
+            for w in phrase.split_whitespace() {
+                if words.len() < knum && !words.iter().any(|x| x == w) {
+                    words.push(w.to_string());
+                }
+            }
+        }
+        words.join(" ")
+    }
+
+    /// A batch of `count` queries at `knum` keywords each (one Exp-1
+    /// datapoint's workload).
+    pub fn batch(&mut self, knum: usize, count: usize) -> Vec<String> {
+        (0..count).map(|_| self.query(knum)).collect()
+    }
+
+    /// Sample a raw vocabulary phrase (e.g. for labeling generated nodes).
+    pub fn phrase(&mut self) -> &'static str {
+        VOCAB.choose(&mut self.rng).expect("vocab non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_is_nontrivial_and_multi_word() {
+        assert!(VOCAB.len() >= 200);
+        assert!(VOCAB.iter().all(|p| !p.trim().is_empty()));
+        let multi = VOCAB.iter().filter(|p| p.contains(' ')).count();
+        assert!(multi as f64 / VOCAB.len() as f64 > 0.9, "phrases should dominate");
+    }
+
+    #[test]
+    fn queries_have_exact_keyword_count() {
+        let mut w = QueryWorkload::new(7);
+        for knum in [2, 4, 6, 8, 10] {
+            let q = w.query(knum);
+            let words: Vec<&str> = q.split_whitespace().collect();
+            assert_eq!(words.len(), knum, "query {q:?}");
+            let mut dedup = words.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), knum, "keywords must be distinct in {q:?}");
+        }
+    }
+
+    #[test]
+    fn phrases_come_from_the_vocabulary() {
+        let mut w = QueryWorkload::new(3);
+        for _ in 0..20 {
+            assert!(VOCAB.contains(&w.phrase()));
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a = QueryWorkload::new(42).batch(6, 10);
+        let b = QueryWorkload::new(42).batch(6, 10);
+        assert_eq!(a, b);
+        let c = QueryWorkload::new(43).batch(6, 10);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,196 @@
+//! Maximal r-radius subgraph index.
+//!
+//! EASE precomputes, for every candidate center, the subgraph within
+//! radius `r`, and keeps only the **maximal** ones (balls not contained in
+//! another ball). Containment filtering is what creates the
+//! missed-answer anomaly the reproduced paper cites.
+
+use kgraph::{KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One indexed r-radius subgraph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ball {
+    /// The center node.
+    pub center: NodeId,
+    /// Members sorted by node id, with hop distances from the center.
+    pub members: Vec<(NodeId, u16)>,
+}
+
+impl Ball {
+    /// Hop distance from the center to `v`, if `v` is in the ball.
+    pub fn distance(&self, v: NodeId) -> Option<u16> {
+        self.members
+            .binary_search_by_key(&v, |&(m, _)| m)
+            .ok()
+            .map(|i| self.members[i].1)
+    }
+
+    /// `true` if this ball's member set is a subset of `other`'s.
+    pub fn subset_of(&self, other: &Ball) -> bool {
+        if self.members.len() > other.members.len() {
+            return false;
+        }
+        self.members
+            .iter()
+            .all(|&(m, _)| other.distance(m).is_some())
+    }
+}
+
+/// The EASE index: maximal r-radius balls.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RadiusIndex {
+    /// The index radius `r`.
+    pub radius: u16,
+    /// Maximal balls, ordered by center id.
+    pub balls: Vec<Ball>,
+    /// `true` if non-maximal balls were filtered (EASE's behaviour); the
+    /// tests disable it to demonstrate the missed-answer anomaly.
+    pub maximal_only: bool,
+    /// Wall-clock build time.
+    #[serde(skip)]
+    pub build_time: std::time::Duration,
+}
+
+impl RadiusIndex {
+    /// Build the index: one bounded BFS per node plus (when
+    /// `maximal_only`) pairwise containment filtering — the O(|V|²)
+    /// worst-case step behind "EASE is not scalable for large graphs".
+    pub fn build(graph: &KnowledgeGraph, radius: u16, maximal_only: bool) -> Self {
+        let start = std::time::Instant::now();
+        let n = graph.num_nodes();
+        let mut balls: Vec<Ball> = Vec::with_capacity(n);
+        let mut dist = vec![u16::MAX; n];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for c in graph.nodes() {
+            queue.clear();
+            touched.clear();
+            dist[c.index()] = 0;
+            touched.push(c.index());
+            queue.push_back(c);
+            let mut members: Vec<(NodeId, u16)> = vec![(c, 0)];
+            while let Some(u) = queue.pop_front() {
+                let d = dist[u.index()];
+                if d >= radius {
+                    continue;
+                }
+                for adj in graph.neighbors(u) {
+                    let t = adj.target();
+                    if dist[t.index()] == u16::MAX {
+                        dist[t.index()] = d + 1;
+                        touched.push(t.index());
+                        members.push((t, d + 1));
+                        queue.push_back(t);
+                    }
+                }
+            }
+            members.sort_unstable_by_key(|&(m, _)| m);
+            balls.push(Ball { center: c, members });
+            for &i in &touched {
+                dist[i] = u16::MAX;
+            }
+        }
+        if maximal_only {
+            // Drop balls strictly contained in another ball (ties keep the
+            // lower center id).
+            let mut keep = vec![true; balls.len()];
+            for i in 0..balls.len() {
+                if !keep[i] {
+                    continue;
+                }
+                for j in 0..balls.len() {
+                    if i == j || !keep[j] {
+                        continue;
+                    }
+                    let strict = balls[i].members.len() < balls[j].members.len()
+                        || (balls[i].members.len() == balls[j].members.len() && j < i);
+                    if strict && balls[i].subset_of(&balls[j]) {
+                        keep[i] = false;
+                        break;
+                    }
+                }
+            }
+            balls = balls
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(b, k)| k.then_some(b))
+                .collect();
+        }
+        RadiusIndex { radius, balls, maximal_only, build_time: start.elapsed() }
+    }
+
+    /// Total member entries across balls (the storage measure).
+    pub fn total_entries(&self) -> usize {
+        self.balls.iter().map(|b| b.members.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    fn path(n: usize) -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|i| b.add_node(&format!("n{i}"), "x")).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], "e");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn balls_contain_radius_neighborhoods() {
+        let g = path(7);
+        let idx = RadiusIndex::build(&g, 2, false);
+        assert_eq!(idx.balls.len(), 7);
+        let mid = &idx.balls[3];
+        assert_eq!(mid.members.len(), 5); // n1..n5
+        assert_eq!(mid.distance(NodeId(1)), Some(2));
+        assert_eq!(mid.distance(NodeId(3)), Some(0));
+        assert_eq!(mid.distance(NodeId(6)), None);
+    }
+
+    #[test]
+    fn maximality_filter_drops_contained_balls() {
+        // On a path, end balls are subsets of their inward neighbors'.
+        let g = path(7);
+        let all = RadiusIndex::build(&g, 2, false);
+        let maximal = RadiusIndex::build(&g, 2, true);
+        assert!(maximal.balls.len() < all.balls.len());
+        // No remaining ball is contained in another.
+        for a in &maximal.balls {
+            for b in &maximal.balls {
+                if a.center != b.center {
+                    assert!(
+                        !(a.members.len() < b.members.len() && a.subset_of(b)),
+                        "{} still contained in {}",
+                        a.center,
+                        b.center
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_detection() {
+        let g = path(5);
+        let idx = RadiusIndex::build(&g, 1, false);
+        let end = &idx.balls[0]; // {n0, n1}
+        let inner = &idx.balls[1]; // {n0, n1, n2}
+        assert!(end.subset_of(inner));
+        assert!(!inner.subset_of(end));
+    }
+
+    #[test]
+    fn entries_grow_with_radius() {
+        let g = path(12);
+        let r1 = RadiusIndex::build(&g, 1, false);
+        let r3 = RadiusIndex::build(&g, 3, false);
+        assert!(r3.total_entries() > r1.total_entries());
+        assert!(r3.build_time.as_nanos() > 0);
+    }
+}

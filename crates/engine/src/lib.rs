@@ -1,0 +1,221 @@
+//! # wikisearch-engine — the end-to-end WikiSearch facade
+//!
+//! The paper ships its algorithm as an online service ("WikiSearch") over
+//! the Wikidata KB. This crate is that service's engine layer: it owns the
+//! graph, the inverted keyword index, the dataset's sampled average
+//! distance, and a pluggable search backend, and turns a raw keyword
+//! string into ranked, renderable answer graphs.
+//!
+//! ```
+//! use kgraph::GraphBuilder;
+//! use wikisearch_engine::WikiSearch;
+//!
+//! let mut b = GraphBuilder::new();
+//! let x = b.add_node("Q1", "XML");
+//! let q = b.add_node("Q2", "query language");
+//! let s = b.add_node("Q3", "SQL");
+//! b.add_edge(x, q, "related to");
+//! b.add_edge(s, q, "instance of");
+//!
+//! let ws = WikiSearch::build(b.build());
+//! let result = ws.search("xml sql");
+//! assert_eq!(result.answers.len(), 1);
+//! println!("{}", ws.render_answer(&result.answers[0]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod render;
+
+use central::engine::{
+    DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SearchStats,
+    SeqEngine,
+};
+use central::{CentralGraph, PhaseProfile, SearchParams};
+use kgraph::{estimate_average_distance, KnowledgeGraph};
+use textindex::{InvertedIndex, ParsedQuery};
+
+/// Which backend executes searches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded reference engine.
+    Sequential,
+    /// Lock-free coarse-grained CPU engine with this many threads.
+    ParCpu(usize),
+    /// GPU-kernel-structured engine with this many threads.
+    GpuStyle(usize),
+    /// Lock-based dynamic-memory baseline with this many threads.
+    DynPar(usize),
+}
+
+/// One search's result: the parsed query, the ranked answers, and timing.
+#[derive(Clone, Debug)]
+pub struct WikiSearchResult {
+    /// The analyzed query (matched groups + unmatched terms).
+    pub query: ParsedQuery,
+    /// Ranked Central Graph answers, best first.
+    pub answers: Vec<CentralGraph>,
+    /// Per-phase timings of the search.
+    pub profile: PhaseProfile,
+    /// Average keyword frequency of the query (Table V's `kwf`).
+    pub kwf: f64,
+    /// Search statistics, including the per-level progression trace.
+    pub stats: SearchStats,
+}
+
+/// The WikiSearch engine: graph + index + backend + defaults.
+pub struct WikiSearch {
+    graph: KnowledgeGraph,
+    index: InvertedIndex,
+    params: SearchParams,
+    backend: Box<dyn KeywordSearchEngine + Send + Sync>,
+}
+
+impl WikiSearch {
+    /// Build over `graph` with the default (sequential) backend, Table III
+    /// default parameters, and an average distance sampled from the graph
+    /// itself (200 pairs — callers with a known `A` can override via
+    /// [`WikiSearch::set_params`]).
+    pub fn build(graph: KnowledgeGraph) -> Self {
+        Self::build_with(graph, Backend::Sequential)
+    }
+
+    /// Build with an explicit backend.
+    pub fn build_with(graph: KnowledgeGraph, backend: Backend) -> Self {
+        let index = InvertedIndex::build(&graph);
+        let est = estimate_average_distance(&graph, 200, 32, 0xA11CE);
+        let a = if est.reachable_pairs == 0 { 3.68 } else { est.mean };
+        let params = SearchParams::default().with_average_distance(a);
+        WikiSearch { graph, index, params, backend: make_backend(backend) }
+    }
+
+    /// Swap the search backend.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = make_backend(backend);
+    }
+
+    /// Override the default search parameters (α, top-k, λ, `A`, …).
+    pub fn set_params(&mut self, params: SearchParams) {
+        self.params = params;
+    }
+
+    /// Current default parameters.
+    pub fn params(&self) -> &SearchParams {
+        &self.params
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// The keyword index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Search with the engine's default parameters.
+    pub fn search(&self, raw_query: &str) -> WikiSearchResult {
+        self.search_with(raw_query, &self.params.clone())
+    }
+
+    /// Search with explicit parameters (e.g. a different α or top-k).
+    pub fn search_with(&self, raw_query: &str, params: &SearchParams) -> WikiSearchResult {
+        let query = ParsedQuery::parse(&self.index, raw_query);
+        let kwf = query.avg_keyword_frequency();
+        let SearchOutcome { answers, profile, stats } =
+            self.backend.search(&self.graph, &query, params);
+        WikiSearchResult { query, answers, profile, kwf, stats }
+    }
+
+    /// Parse a query without searching (used by harnesses for kwf stats).
+    pub fn parse(&self, raw_query: &str) -> ParsedQuery {
+        ParsedQuery::parse(&self.index, raw_query)
+    }
+
+    /// Human-readable rendering of one answer graph.
+    pub fn render_answer(&self, answer: &CentralGraph) -> String {
+        render::render_answer(&self.graph, answer)
+    }
+}
+
+fn make_backend(backend: Backend) -> Box<dyn KeywordSearchEngine + Send + Sync> {
+    match backend {
+        Backend::Sequential => Box::new(SeqEngine::new()),
+        Backend::ParCpu(t) => Box::new(ParCpuEngine::new(t)),
+        Backend::GpuStyle(t) => Box::new(GpuStyleEngine::new(t)),
+        Backend::DynPar(t) => Box::new(DynParEngine::new(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    fn small_engine(backend: Backend) -> WikiSearch {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("Q1", "XML");
+        let q = b.add_node("Q2", "query language");
+        let s = b.add_node("Q3", "SQL");
+        let r = b.add_node("Q4", "RDF");
+        b.add_edge(x, q, "related to");
+        b.add_edge(s, q, "instance of");
+        b.add_edge(r, q, "instance of");
+        WikiSearch::build_with(b.build(), backend)
+    }
+
+    #[test]
+    fn end_to_end_search_finds_the_hub() {
+        let ws = small_engine(Backend::Sequential);
+        let result = ws.search("xml sql rdf");
+        assert_eq!(result.query.num_keywords(), 3);
+        assert!(!result.answers.is_empty());
+        let best = &result.answers[0];
+        assert_eq!(ws.graph().node_text(best.central), "query language");
+        assert!(result.kwf > 0.0);
+    }
+
+    #[test]
+    fn backends_are_interchangeable() {
+        let reference = small_engine(Backend::Sequential).search("xml sql");
+        for backend in [Backend::ParCpu(2), Backend::GpuStyle(2), Backend::DynPar(2)] {
+            let result = small_engine(backend).search("xml sql");
+            assert_eq!(result.answers.len(), reference.answers.len(), "{backend:?}");
+            assert_eq!(result.answers[0].nodes, reference.answers[0].nodes, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn unmatched_terms_are_surfaced() {
+        let ws = small_engine(Backend::Sequential);
+        let result = ws.search("xml warpdrive");
+        assert_eq!(result.query.unmatched, vec!["warpdriv"]); // stemmed form
+        assert_eq!(result.query.num_keywords(), 1);
+    }
+
+    #[test]
+    fn stats_trace_records_level_progression() {
+        let ws = small_engine(Backend::Sequential);
+        let result = ws.search("xml sql rdf");
+        let trace = &result.stats.trace;
+        assert!(!trace.is_empty());
+        // Levels are consecutive from 0 and the identified counts sum to
+        // the candidate count.
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(t.level as usize, i);
+            assert!(t.frontier > 0);
+        }
+        let identified: usize = trace.iter().map(|t| t.identified).sum();
+        assert_eq!(identified, result.stats.central_candidates);
+    }
+
+    #[test]
+    fn params_override_applies() {
+        let mut ws = small_engine(Backend::Sequential);
+        let p = ws.params().clone().with_top_k(1);
+        ws.set_params(p);
+        let result = ws.search("xml sql rdf");
+        assert!(result.answers.len() <= 1);
+    }
+}

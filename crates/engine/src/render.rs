@@ -1,0 +1,145 @@
+//! Plain-text rendering of answer graphs (the service's result view).
+
+use central::CentralGraph;
+use kgraph::{KnowledgeGraph, NodeId};
+use std::fmt::Write as _;
+
+/// Render one Central Graph answer as indented text: the central node,
+/// then every edge with its relationship label, then the keyword coverage.
+pub fn render_answer(graph: &KnowledgeGraph, answer: &CentralGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Central Graph @ {} ({:?}) — depth {}, score {:.3}, {} nodes / {} edges",
+        graph.node_text(answer.central),
+        answer.central,
+        answer.depth,
+        answer.score,
+        answer.num_nodes(),
+        answer.num_edges(),
+    );
+    for &(a, b) in &answer.edges {
+        let label = edge_label(graph, a, b).unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "  {} --[{}]-- {}",
+            graph.node_text(a),
+            label,
+            graph.node_text(b)
+        );
+    }
+    for (i, kws) in answer.keyword_nodes.iter().enumerate() {
+        let names: Vec<&str> = kws.iter().map(|&v| graph.node_text(v)).collect();
+        let _ = writeln!(out, "  keyword {i}: {}", names.join(", "));
+    }
+    out
+}
+
+/// Render one answer as a Graphviz DOT graph (keyword nodes filled, the
+/// central node double-circled, edges labeled with their relationship).
+pub fn render_dot(graph: &KnowledgeGraph, answer: &CentralGraph) -> String {
+    let mut out = String::from("graph answer {\n  rankdir=LR;\n");
+    let keyword_nodes: std::collections::HashSet<NodeId> = answer
+        .keyword_nodes
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    for &v in &answer.nodes {
+        let mut attrs = vec![format!("label=\"{}\"", escape(graph.node_text(v)))];
+        if v == answer.central {
+            attrs.push("shape=doublecircle".into());
+        }
+        if keyword_nodes.contains(&v) {
+            attrs.push("style=filled".into());
+            attrs.push("fillcolor=lightblue".into());
+        }
+        let _ = writeln!(out, "  n{} [{}];", v.0, attrs.join(", "));
+    }
+    for &(a, b) in &answer.edges {
+        let label = edge_label(graph, a, b).unwrap_or("?");
+        let _ = writeln!(out, "  n{} -- n{} [label=\"{}\"];", a.0, b.0, escape(label));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The relationship label between two adjacent nodes (first match).
+pub fn edge_label(graph: &KnowledgeGraph, a: NodeId, b: NodeId) -> Option<&str> {
+    graph
+        .neighbors(a)
+        .iter()
+        .find(|adj| adj.target() == b)
+        .map(|adj| graph.label_name(adj.label()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    #[test]
+    fn rendering_includes_labels_and_texts() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", "XML");
+        let q = b.add_node("q", "query language");
+        b.add_edge(x, q, "related to");
+        let g = b.build();
+        let answer = CentralGraph {
+            central: q,
+            depth: 1,
+            nodes: vec![x, q],
+            edges: vec![(x, q)],
+            keyword_nodes: vec![vec![x]],
+            keyword_edges: vec![vec![(x, q)]],
+            score: 0.5,
+        };
+        let text = render_answer(&g, &answer);
+        assert!(text.contains("query language"));
+        assert!(text.contains("related to"));
+        assert!(text.contains("XML"));
+        assert!(text.contains("depth 1"));
+    }
+
+    #[test]
+    fn dot_rendering_is_wellformed() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", "XML \"quoted\"");
+        let q = b.add_node("q", "query language");
+        b.add_edge(x, q, "related to");
+        let g = b.build();
+        let answer = CentralGraph {
+            central: q,
+            depth: 1,
+            nodes: vec![x, q],
+            edges: vec![(x, q)],
+            keyword_nodes: vec![vec![x]],
+            keyword_edges: vec![vec![(x, q)]],
+            score: 0.5,
+        };
+        let dot = render_dot(&g, &answer);
+        assert!(dot.starts_with("graph answer {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("doublecircle"), "central node marked");
+        assert!(dot.contains("fillcolor=lightblue"), "keyword node marked");
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("\\\"quoted\\\""), "quotes escaped: {dot}");
+    }
+
+    #[test]
+    fn edge_label_lookup() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", "a");
+        let y = b.add_node("y", "b");
+        let z = b.add_node("z", "c");
+        b.add_edge(x, y, "p");
+        let g = b.build();
+        assert_eq!(edge_label(&g, x, y), Some("p"));
+        assert_eq!(edge_label(&g, y, x), Some("p")); // bi-directed view
+        assert_eq!(edge_label(&g, x, z), None);
+    }
+}

@@ -1,0 +1,17 @@
+//! # eval — effectiveness metrics and experiment-runner utilities
+//!
+//! * [`precision`] — top-k precision over ranked answers (the metric of
+//!   the paper's Figs. 11–12), with the planted-ground-truth judge from
+//!   `datagen` standing in for the paper's manual assessment.
+//! * [`runner`] — shared harness plumbing: wall-clock measurement over
+//!   query batches, aligned table printing, and machine-readable JSON
+//!   records under `target/experiments/` so EXPERIMENTS.md numbers stay
+//!   traceable.
+
+#![warn(missing_docs)]
+
+pub mod precision;
+pub mod runner;
+
+pub use precision::{top_k_precision, EffectivenessReport};
+pub use runner::{ExperimentSink, Table};

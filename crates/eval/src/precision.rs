@@ -1,0 +1,74 @@
+//! Top-k precision (paper Sec. VI-B): "the percentage of relevant answers
+//! that appear in top-k results".
+
+use datagen::{PlantedDataset, PlantedQuery};
+use kgraph::NodeId;
+use serde::Serialize;
+
+/// Top-k precision of a ranked answer list: the fraction of the first `k`
+/// answers judged relevant. With fewer than `k` answers, the denominator
+/// is still `k` (missing answers count as misses, as in the paper's
+/// evaluation where engines that time out score low).
+pub fn top_k_precision<F>(answers: &[Vec<NodeId>], k: usize, judge: F) -> f64
+where
+    F: Fn(&[NodeId]) -> bool,
+{
+    if k == 0 {
+        return 0.0;
+    }
+    let relevant = answers.iter().take(k).filter(|a| judge(a)).count();
+    relevant as f64 / k as f64
+}
+
+/// Effectiveness results of one engine on one query: precision at 5/10/20,
+/// matching the three panels of Figs. 11–12.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct EffectivenessReport {
+    /// Precision over the top 5 answers.
+    pub p_at_5: f64,
+    /// Precision over the top 10 answers.
+    pub p_at_10: f64,
+    /// Precision over the top 20 answers.
+    pub p_at_20: f64,
+}
+
+impl EffectivenessReport {
+    /// Judge a ranked list of answer node sets against a planted query.
+    pub fn evaluate(
+        dataset: &PlantedDataset,
+        query: &PlantedQuery,
+        answers: &[Vec<NodeId>],
+    ) -> Self {
+        let judge = |nodes: &[NodeId]| dataset.judge(query, nodes);
+        EffectivenessReport {
+            p_at_5: top_k_precision(answers, 5, judge),
+            p_at_10: top_k_precision(answers, 10, judge),
+            p_at_20: top_k_precision(answers, 20, judge),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_counts_relevant_prefix() {
+        let answers: Vec<Vec<NodeId>> =
+            (0..10).map(|i| vec![NodeId(i)]).collect();
+        // even node ids are "relevant"
+        let judge = |a: &[NodeId]| a[0].0.is_multiple_of(2);
+        assert_eq!(top_k_precision(&answers, 10, judge), 0.5);
+        assert_eq!(top_k_precision(&answers, 1, judge), 1.0);
+        assert_eq!(top_k_precision(&answers, 2, judge), 0.5);
+    }
+
+    #[test]
+    fn missing_answers_count_as_misses() {
+        let answers = vec![vec![NodeId(0)]];
+        let judge = |_: &[NodeId]| true;
+        assert_eq!(top_k_precision(&answers, 5, judge), 0.2);
+        assert_eq!(top_k_precision(&[], 5, judge), 0.0);
+        assert_eq!(top_k_precision(&answers, 0, judge), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Harness plumbing shared by the per-table/figure benchmark binaries:
+//! aligned table printing and JSON experiment records.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple fixed-width text table, printed the way the paper's figures
+/// label their series.
+pub struct Table {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let widths = headers.iter().map(|h| h.len()).collect();
+        Table { headers, widths, rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &self.widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &self.widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Writes machine-readable experiment results under `target/experiments/`.
+pub struct ExperimentSink {
+    dir: PathBuf,
+}
+
+impl ExperimentSink {
+    /// Sink rooted at `target/experiments` relative to the workspace (or
+    /// `$WIKISEARCH_EXPERIMENT_DIR` if set).
+    pub fn new() -> Self {
+        let dir = std::env::var("WIKISEARCH_EXPERIMENT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+        ExperimentSink { dir }
+    }
+
+    /// Write one experiment's record as pretty JSON; returns the path.
+    pub fn write<T: Serialize>(&self, name: &str, record: &T) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.dir.join(format!("{name}.json"));
+        fs::write(&path, serde_json::to_string_pretty(record).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+impl Default for ExperimentSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Format a `Duration` in the paper's milliseconds convention.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["engine", "ms"]);
+        t.row(vec!["GPU-Par", "1.25"]);
+        t.row(vec!["BANKS-II", "5000.00"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[3].contains("BANKS-II"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn sink_writes_json() {
+        let dir = std::env::temp_dir().join(format!("ws-exp-{}", std::process::id()));
+        std::env::set_var("WIKISEARCH_EXPERIMENT_DIR", &dir);
+        let sink = ExperimentSink::new();
+        std::env::remove_var("WIKISEARCH_EXPERIMENT_DIR");
+        let path = sink.write("probe", &serde_json::json!({"x": 1})).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"x\": 1"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ms_formats_millis() {
+        assert_eq!(ms(std::time::Duration::from_micros(1250)), "1.25");
+    }
+}

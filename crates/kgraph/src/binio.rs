@@ -1,0 +1,165 @@
+//! Compact binary graph serialization.
+//!
+//! JSON round-trips (via serde) are convenient but ~10× larger than the
+//! in-memory CSR; this module provides a length-prefixed little-endian
+//! binary format sized for the multi-million-edge synthetic dumps:
+//!
+//! ```text
+//! magic "KGR1" | u64 n | u64 m_directed | u64 labels
+//! label table:  labels × (u32 len, bytes)
+//! node table:   n × (u32 key_len, key, u32 text_len, text)
+//! edge table:   m × (u32 src, u32 label, u32 dst)
+//! ```
+//!
+//! The CSR, degrees and weights are rebuilt on load through the normal
+//! builder path, so a loaded graph is bit-identical in behaviour to the
+//! originally built one (property-tested).
+
+use crate::builder::GraphBuilder;
+use crate::error::KgraphError;
+use crate::graph::KnowledgeGraph;
+use crate::ids::LabelId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"KGR1";
+
+/// Serialize to the binary format.
+pub fn to_bytes(g: &KnowledgeGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + g.num_nodes() * 24 + g.num_directed_edges() * 12,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(g.num_nodes() as u64);
+    buf.put_u64_le(g.num_directed_edges() as u64);
+    buf.put_u64_le(g.num_labels() as u64);
+    for l in 0..g.num_labels() {
+        put_str(&mut buf, g.label_name(LabelId::from_index(l)));
+    }
+    for v in g.nodes() {
+        put_str(&mut buf, g.node_key(v));
+        put_str(&mut buf, g.node_text(v));
+    }
+    for (s, l, t) in g.directed_edges() {
+        buf.put_u32_le(s.0);
+        buf.put_u32_le(l.0);
+        buf.put_u32_le(t.0);
+    }
+    buf.freeze()
+}
+
+/// Deserialize from the binary format.
+pub fn from_bytes(mut data: &[u8]) -> Result<KnowledgeGraph, KgraphError> {
+    let err = |m: &str| KgraphError::Parse { line: 0, message: m.to_string() };
+    if data.len() < 28 || &data[..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    data.advance(4);
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    let labels = data.get_u64_le() as usize;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut label_ids = Vec::with_capacity(labels);
+    for _ in 0..labels {
+        let name = get_str(&mut data)?;
+        label_ids.push(b.label(&name));
+    }
+    let mut node_ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = get_str(&mut data)?;
+        let text = get_str(&mut data)?;
+        node_ids.push(b.add_node(&key, &text));
+    }
+    for _ in 0..m {
+        if data.remaining() < 12 {
+            return Err(err("truncated edge table"));
+        }
+        let s = data.get_u32_le() as usize;
+        let l = data.get_u32_le() as usize;
+        let t = data.get_u32_le() as usize;
+        if s >= n || t >= n || l >= labels {
+            return Err(err("edge index out of bounds"));
+        }
+        b.add_edge_with_label(node_ids[s], node_ids[t], label_ids[l]);
+    }
+    Ok(b.build())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut &[u8]) -> Result<String, KgraphError> {
+    let err = |m: &str| KgraphError::Parse { line: 0, message: m.to_string() };
+    if data.remaining() < 4 {
+        return Err(err("truncated string length"));
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() < len {
+        return Err(err("truncated string body"));
+    }
+    let s = String::from_utf8(data[..len].to_vec()).map_err(|_| err("invalid utf-8"))?;
+    data.advance(len);
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("Q1", "XML schema");
+        let y = b.add_node("Q2", "RDF");
+        let z = b.add_node("Q3", "naïve — unicode ✓");
+        b.add_edge(x, y, "related to");
+        b.add_edge(y, z, "instance of");
+        b.add_edge(z, x, "instance of");
+        b.build()
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_everything() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(&bytes).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_directed_edges(), g.num_directed_edges());
+        assert_eq!(g2.num_labels(), g.num_labels());
+        for v in g.nodes() {
+            assert_eq!(g2.node_key(v), g.node_key(v));
+            assert_eq!(g2.node_text(v), g.node_text(v));
+            assert_eq!(g2.degree(v), g.degree(v));
+            assert!((g2.weight(v) - g.weight(v)).abs() < 1e-6);
+        }
+        g2.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let g = sample();
+        let bin = to_bytes(&g).len();
+        let json = serde_json::to_string(&g).unwrap().len();
+        assert!(bin * 2 < json, "binary {bin}B should be far below json {json}B");
+    }
+
+    #[test]
+    fn corrupted_inputs_error_cleanly() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        assert!(from_bytes(&[]).is_err());
+        assert!(from_bytes(b"NOPE").is_err());
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = GraphBuilder::new().build();
+        let g2 = from_bytes(&to_bytes(&g)).unwrap();
+        assert_eq!(g2.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum KgraphError {
+    /// A node id referenced an index outside the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        id: u32,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+    /// A parse error while reading a text format (TSV or N-Triples).
+    Parse {
+        /// 1-based line number (0 when not line-oriented).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A JSON (de)serialization failure.
+    Json(String),
+    /// The builder was asked to create a graph that exceeds `u32` ids.
+    TooLarge {
+        /// Which id space overflowed ("nodes" or "labels").
+        what: &'static str,
+        /// The offending count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for KgraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgraphError::NodeOutOfBounds { id, num_nodes } => {
+                write!(f, "node id v{id} out of bounds for graph with {num_nodes} nodes")
+            }
+            KgraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            KgraphError::Io(e) => write!(f, "i/o error: {e}"),
+            KgraphError::Json(e) => write!(f, "json error: {e}"),
+            KgraphError::TooLarge { what, count } => {
+                write!(f, "{what} count {count} exceeds u32 id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KgraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KgraphError {
+    fn from(e: std::io::Error) -> Self {
+        KgraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KgraphError::NodeOutOfBounds { id: 9, num_nodes: 3 };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains_source() {
+        let e: KgraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,138 @@
+//! Aggregate graph statistics — the rows of the paper's Table II.
+
+use crate::graph::KnowledgeGraph;
+use crate::sampling::{estimate_average_distance, DistanceEstimate};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for one dataset, matching the columns of Table II
+/// (`# nodes`, `# edges`, sampled `A`, `Deviation`) plus a few extras that
+/// the experiments report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Dataset display name (e.g. `wiki2018-sim`).
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges (triples).
+    pub edges: usize,
+    /// Number of distinct edge labels.
+    pub labels: usize,
+    /// Sampled average shortest distance and its deviation.
+    pub distance: DistanceEstimate,
+    /// Maximum bi-directed degree (hubs dominate search cost).
+    pub max_degree: usize,
+    /// Mean bi-directed degree.
+    pub avg_degree: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`, sampling `pairs` node pairs for the
+    /// average-distance estimate (the paper samples 10,000).
+    pub fn compute(name: &str, g: &KnowledgeGraph, pairs: usize, seed: u64) -> Self {
+        let distance = estimate_average_distance(g, pairs, 64, seed);
+        let mut max_degree = 0usize;
+        for v in g.nodes() {
+            max_degree = max_degree.max(g.degree(v));
+        }
+        let avg_degree = if g.num_nodes() == 0 {
+            0.0
+        } else {
+            g.num_adjacency_entries() as f64 / g.num_nodes() as f64
+        };
+        GraphStats {
+            name: name.to_string(),
+            nodes: g.num_nodes(),
+            edges: g.num_directed_edges(),
+            labels: g.num_labels(),
+            distance,
+            max_degree,
+            avg_degree,
+        }
+    }
+
+    /// One row in the style of Table II.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<16} {:>10} {:>12} {:>8.2} {:>10.2}",
+            self.name, self.nodes, self.edges, self.distance.mean, self.distance.deviation
+        )
+    }
+
+    /// Header matching [`GraphStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<16} {:>10} {:>12} {:>8} {:>10}",
+            "dataset", "# nodes", "# edges", "A", "Deviation"
+        )
+    }
+}
+
+/// Histogram of bi-directed degrees in log2 buckets: entry `i` counts
+/// nodes with degree in `[2^i, 2^(i+1))` (entry 0 also counts degree 0).
+/// A heavy tail across many buckets is the power-law signature the
+/// synthetic generator must reproduce (DESIGN.md §3).
+pub fn log2_degree_histogram(g: &KnowledgeGraph) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for v in g.nodes() {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_on_a_small_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", "a");
+        let c = b.add_node("c", "c");
+        let d = b.add_node("d", "d");
+        b.add_edge(a, c, "p");
+        b.add_edge(c, d, "q");
+        let g = b.build();
+        let s = GraphStats::compute("tiny", &g, 50, 3);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.labels, 2);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 4.0 / 3.0).abs() < 1e-9);
+        assert!(s.distance.mean > 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_buckets_by_log2() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("h", "hub");
+        for i in 0..9 {
+            let v = b.add_node(&format!("v{i}"), "leaf");
+            b.add_edge(v, hub, "e");
+        }
+        let g = b.build();
+        let hist = log2_degree_histogram(&g);
+        // 9 leaves with degree 1 (bucket 0); hub with degree 9 (bucket 3).
+        assert_eq!(hist[0], 9);
+        assert_eq!(hist[3], 1);
+        assert_eq!(hist.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_histogram() {
+        let g = GraphBuilder::new().build();
+        assert!(log2_degree_histogram(&g).is_empty());
+    }
+
+    #[test]
+    fn table_row_aligns_with_header() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::compute("empty", &g, 10, 1);
+        assert_eq!(GraphStats::table_header().len(), s.table_row().len());
+    }
+}

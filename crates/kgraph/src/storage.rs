@@ -1,0 +1,134 @@
+//! Memory accounting, reproducing the paper's Table IV methodology.
+//!
+//! The paper reports, for the GPU engine, a **pre-storage** cost (node
+//! weights + CSR adjacency) and a **maximum running storage** cost
+//! (pre-storage + `FIdentifier` + `CIdentifier` + the node-keyword matrix
+//! `M`). Text/content is explicitly excluded ("can be stored in external
+//! memory"), so we exclude node/label strings here too and account for
+//! exactly the arrays the search engine touches.
+
+use crate::graph::{Adjacency, KnowledgeGraph};
+use serde::{Deserialize, Serialize};
+
+/// Byte-level accounting of one dataset's search-time storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// CSR offset array bytes.
+    pub csr_offsets: usize,
+    /// CSR adjacency entry bytes.
+    pub csr_adjacency: usize,
+    /// Normalized node-weight array bytes.
+    pub node_weights: usize,
+    /// `FIdentifier` frontier-flag array bytes (one byte per node).
+    pub f_identifier: usize,
+    /// `CIdentifier` central-flag array bytes (one byte per node).
+    pub c_identifier: usize,
+    /// Node-keyword matrix `M` bytes (`|V| × q`, one byte per hitting level).
+    pub node_keyword_matrix: usize,
+    /// Frontier queue worst-case bytes (`|V|` node ids).
+    pub frontier_queue: usize,
+}
+
+impl MemoryFootprint {
+    /// Footprint of searching `g` with `knum` query keywords.
+    pub fn for_search(g: &KnowledgeGraph, knum: usize) -> Self {
+        let n = g.num_nodes();
+        MemoryFootprint {
+            csr_offsets: (n + 1) * std::mem::size_of::<u64>(),
+            csr_adjacency: g.num_adjacency_entries() * std::mem::size_of::<Adjacency>(),
+            node_weights: n * std::mem::size_of::<f32>(),
+            f_identifier: n,
+            c_identifier: n,
+            node_keyword_matrix: n * knum,
+            frontier_queue: n * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// The paper's "pre-storage": weights + adjacency in CSR.
+    pub fn pre_storage(&self) -> usize {
+        self.csr_offsets + self.csr_adjacency + self.node_weights
+    }
+
+    /// The paper's "max. running storage": pre-storage + per-search state.
+    pub fn max_running_storage(&self) -> usize {
+        self.pre_storage()
+            + self.f_identifier
+            + self.c_identifier
+            + self.node_keyword_matrix
+            + self.frontier_queue
+    }
+
+    /// Format bytes the way Table IV does (GB with two decimals for large
+    /// values, otherwise MB/KB).
+    pub fn human(bytes: usize) -> String {
+        const KB: f64 = 1024.0;
+        let b = bytes as f64;
+        if b >= KB * KB * KB {
+            format!("{:.2}GB", b / (KB * KB * KB))
+        } else if b >= KB * KB {
+            format!("{:.2}MB", b / (KB * KB))
+        } else if b >= KB {
+            format!("{:.2}KB", b / KB)
+        } else {
+            format!("{bytes}B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn small() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", "x");
+        let y = b.add_node("y", "y");
+        b.add_edge(x, y, "p");
+        b.build()
+    }
+
+    #[test]
+    fn footprint_components_add_up() {
+        let g = small();
+        let f = MemoryFootprint::for_search(&g, 8);
+        assert_eq!(f.csr_adjacency, 2 * 8, "two 8-byte adjacency entries");
+        assert_eq!(f.node_keyword_matrix, 2 * 8);
+        assert_eq!(
+            f.max_running_storage(),
+            f.pre_storage() + f.f_identifier + f.c_identifier + f.node_keyword_matrix + f.frontier_queue
+        );
+    }
+
+    #[test]
+    fn matrix_grows_linearly_with_keywords() {
+        let g = small();
+        let f4 = MemoryFootprint::for_search(&g, 4);
+        let f8 = MemoryFootprint::for_search(&g, 8);
+        assert_eq!(f8.node_keyword_matrix, 2 * f4.node_keyword_matrix);
+        assert_eq!(f8.pre_storage(), f4.pre_storage(), "pre-storage is query independent");
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(MemoryFootprint::human(512), "512B");
+        assert_eq!(MemoryFootprint::human(2048), "2.00KB");
+        assert_eq!(MemoryFootprint::human(3 * 1024 * 1024), "3.00MB");
+        assert_eq!(MemoryFootprint::human(5 * 1024 * 1024 * 1024), "5.00GB");
+    }
+
+    #[test]
+    fn paper_scale_sanity_check() {
+        // The paper's example: 30M nodes × 10 keywords ⇒ a 300MB matrix.
+        let f = MemoryFootprint {
+            csr_offsets: 0,
+            csr_adjacency: 0,
+            node_weights: 0,
+            f_identifier: 0,
+            c_identifier: 0,
+            node_keyword_matrix: 30_000_000 * 10,
+            frontier_queue: 0,
+        };
+        assert_eq!(MemoryFootprint::human(f.node_keyword_matrix), "286.10MB");
+    }
+}

@@ -1,0 +1,117 @@
+//! Degree-of-summary node weighting (paper Sec. IV-A, Eq. 2).
+//!
+//! The paper observes that Wikidata has *summary nodes* — nodes like
+//! `human` (over 2M `instance of` in-edges) or a conference node — that act
+//! as meaningless shortcuts during search. It quantifies this as a
+//! **degree of summary**:
+//!
+//! ```text
+//!        Σ_{r ∈ R_i}  r̂ · log2(1 + r̂)
+//! w_i =  ------------------------------          (Eq. 2)
+//!              Σ_{r ∈ R_i}  r̂
+//! ```
+//!
+//! where `R_i` is the set of in-edge labels of node `v_i` and `r̂` the count
+//! of in-edges with that label. Many same-labeled in-edges ⇒ large weight;
+//! diverse in-edge labels ⇒ the average pulls the weight back down. Weights
+//! are then min–max normalized to `[0, 1]`.
+
+/// Degree of summary for one node, given the histogram of its in-edge
+/// label counts (Eq. 2). A node with no in-edges gets weight `0.0` — it
+/// summarizes nothing.
+///
+/// ```
+/// use kgraph::weights::degree_of_summary;
+/// // 1000 in-edges, all the same label: strongly a summary node.
+/// let hub = degree_of_summary(&[1000]);
+/// // 1000 in-edges spread over many labels: much less so.
+/// let varied = degree_of_summary(&[100; 10]);
+/// assert!(hub > varied);
+/// ```
+pub fn degree_of_summary(in_label_counts: &[u32]) -> f32 {
+    let total: u64 = in_label_counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let num: f64 = in_label_counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| (c as f64) * (1.0 + c as f64).log2())
+        .sum();
+    (num / total as f64) as f32
+}
+
+/// Min–max normalize raw weights into `[0, 1]` (the `w'_i` of Sec. IV-A).
+/// If all weights are equal, everything maps to `0.0`.
+pub fn normalize(raw: &[f32]) -> Vec<f32> {
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &w in raw {
+        lo = lo.min(w);
+        hi = hi.max(w);
+    }
+    if raw.is_empty() || hi <= lo {
+        return vec![0.0; raw.len()];
+    }
+    let span = hi - lo;
+    raw.iter().map(|&w| (w - lo) / span).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_in_edges_weighs_zero() {
+        assert_eq!(degree_of_summary(&[]), 0.0);
+        assert_eq!(degree_of_summary(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn single_in_edge_weighs_one() {
+        // r̂ = 1: 1·log2(2) / 1 = 1.
+        assert!((degree_of_summary(&[1]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn same_label_hub_beats_diverse_node() {
+        // The paper's motivating comparison: `human`-like node vs a node
+        // with the same in-degree split over many labels.
+        let hub = degree_of_summary(&[2_000_000]);
+        let diverse = degree_of_summary(&[200_000; 10]);
+        assert!(hub > diverse);
+    }
+
+    #[test]
+    fn data_mining_style_node_has_high_weight() {
+        // "data mining node has over 1000 in-edges but only 11 different
+        // labels" — it should weigh close to the pure-hub case.
+        let mut counts = vec![900u32];
+        counts.extend(std::iter::repeat_n(10, 10));
+        let dm = degree_of_summary(&counts);
+        assert!(dm > degree_of_summary(&[1; 11]));
+    }
+
+    #[test]
+    fn weight_is_monotone_in_count_for_single_label() {
+        let mut prev = 0.0;
+        for c in [1u32, 2, 10, 100, 10_000] {
+            let w = degree_of_summary(&[c]);
+            assert!(w > prev, "weight must grow with same-label in-degree");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_interval_with_extremes() {
+        let norm = normalize(&[2.0, 4.0, 3.0]);
+        assert_eq!(norm[0], 0.0);
+        assert_eq!(norm[1], 1.0);
+        assert!((norm[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_degenerate_inputs() {
+        assert!(normalize(&[]).is_empty());
+        assert_eq!(normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! The neighbor index: for every node, all nodes within hop distance `R`.
+//!
+//! This is the r-clique method's substitute for an all-pairs distance
+//! matrix. Its size is the sum of `R`-ball volumes — on hub-heavy KBs the
+//! balls explode after a few hops, which is the parameter trap the
+//! reproduced paper points out.
+
+use kgraph::{KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-node bounded-radius distance lists.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NeighborIndex {
+    /// Index radius `R` (hops).
+    radius: u16,
+    /// Per node: `(neighbor, distance)` pairs with `0 < distance ≤ R`,
+    /// sorted by node id for binary-search lookups.
+    lists: Vec<Vec<(NodeId, u16)>>,
+    /// Wall-clock build time (for the sensitivity harness).
+    #[serde(skip)]
+    pub build_time: std::time::Duration,
+}
+
+impl NeighborIndex {
+    /// Build by one bounded BFS per node — `O(|V| · ball(R))`.
+    pub fn build(graph: &KnowledgeGraph, radius: u16) -> Self {
+        let start = std::time::Instant::now();
+        let n = graph.num_nodes();
+        let mut lists = Vec::with_capacity(n);
+        let mut dist = vec![u16::MAX; n];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for v in graph.nodes() {
+            queue.clear();
+            touched.clear();
+            dist[v.index()] = 0;
+            touched.push(v.index());
+            queue.push_back(v);
+            let mut list: Vec<(NodeId, u16)> = Vec::new();
+            while let Some(u) = queue.pop_front() {
+                let d = dist[u.index()];
+                if d >= radius {
+                    continue;
+                }
+                for adj in graph.neighbors(u) {
+                    let t = adj.target();
+                    if dist[t.index()] == u16::MAX {
+                        dist[t.index()] = d + 1;
+                        touched.push(t.index());
+                        list.push((t, d + 1));
+                        queue.push_back(t);
+                    }
+                }
+            }
+            list.sort_unstable_by_key(|&(t, _)| t);
+            lists.push(list);
+            for &i in &touched {
+                dist[i] = u16::MAX;
+            }
+        }
+        NeighborIndex { radius, lists, build_time: start.elapsed() }
+    }
+
+    /// The index radius `R`.
+    pub fn radius(&self) -> u16 {
+        self.radius
+    }
+
+    /// Distance between `a` and `b` if it is `≤ R` (0 when `a == b`).
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Option<u16> {
+        if a == b {
+            return Some(0);
+        }
+        self.lists[a.index()]
+            .binary_search_by_key(&b, |&(t, _)| t)
+            .ok()
+            .map(|i| self.lists[a.index()][i].1)
+    }
+
+    /// All nodes within `R` of `v`, with distances.
+    pub fn ball(&self, v: NodeId) -> &[(NodeId, u16)] {
+        &self.lists[v.index()]
+    }
+
+    /// Total index entries (the storage-blowup measure).
+    pub fn total_entries(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.total_entries() * (std::mem::size_of::<NodeId>() + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    fn path(n: usize) -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|i| b.add_node(&format!("n{i}"), "x")).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], "e");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distances_are_exact_within_radius() {
+        let g = path(8);
+        let idx = NeighborIndex::build(&g, 3);
+        let a = NodeId(0);
+        assert_eq!(idx.distance(a, NodeId(0)), Some(0));
+        assert_eq!(idx.distance(a, NodeId(1)), Some(1));
+        assert_eq!(idx.distance(a, NodeId(3)), Some(3));
+        assert_eq!(idx.distance(a, NodeId(4)), None, "beyond R");
+        // symmetry on the bi-directed view
+        assert_eq!(idx.distance(NodeId(4), a), None);
+        assert_eq!(idx.distance(NodeId(3), a), Some(3));
+    }
+
+    #[test]
+    fn ball_sizes_grow_with_radius() {
+        let g = path(20);
+        let small = NeighborIndex::build(&g, 1);
+        let large = NeighborIndex::build(&g, 5);
+        assert!(large.total_entries() > small.total_entries());
+        assert!(large.approx_bytes() > small.approx_bytes());
+        assert_eq!(small.radius(), 1);
+    }
+
+    #[test]
+    fn hub_graphs_blow_up_the_index() {
+        // A star: radius 2 covers everything from every node.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("h", "hub");
+        for i in 0..100 {
+            let v = b.add_node(&format!("s{i}"), "leaf");
+            b.add_edge(v, hub, "e");
+        }
+        let g = b.build();
+        let idx = NeighborIndex::build(&g, 2);
+        // every node sees all 100 others
+        assert_eq!(idx.total_entries(), 101 * 100);
+        let _ = hub;
+    }
+}

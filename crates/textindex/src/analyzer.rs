@@ -1,0 +1,75 @@
+//! The composed analysis pipeline: tokenize → stopword filter → stem.
+//!
+//! Both node labels (at index-build time) and query strings (at search
+//! time) run through exactly this pipeline, so a query term matches a node
+//! iff their analyzed forms collide — the contract the paper's keyword
+//! groups `T_i` rely on.
+
+use crate::stemmer::porter_stem;
+use crate::stopwords::is_stopword;
+use crate::tokenizer::tokenize;
+
+/// Analyze `text` into index terms: lowercase word tokens with stopwords
+/// removed and the Porter stem applied.
+///
+/// ```
+/// use textindex::analyze;
+/// assert_eq!(
+///     analyze("the Bayesian networks of inference"),
+///     vec!["bayesian", "network", "infer"]
+/// );
+/// ```
+pub fn analyze(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .map(|t| porter_stem(&t))
+        .collect()
+}
+
+/// Like [`analyze`] but deduplicated, preserving first-occurrence order —
+/// the form used for node labels (a label mentioning "data ... data" should
+/// index "data" once) and for building keyword groups from a query.
+pub fn analyze_unique(text: &str) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    analyze(text)
+        .into_iter()
+        .filter(|t| seen.insert(t.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_applies_all_three_stages() {
+        // tokenizes, removes "for", stems "graphs" -> "graph"
+        assert_eq!(
+            analyze("Keyword Search for Graphs!"),
+            vec!["keyword", "search", "graph"]
+        );
+    }
+
+    #[test]
+    fn stopword_only_input_is_empty() {
+        assert!(analyze("the of and in").is_empty());
+    }
+
+    #[test]
+    fn query_and_label_forms_collide() {
+        // the core matching contract
+        let label = analyze_unique("SPARQL query language for RDF");
+        for q in ["querying RDF", "query languages", "SPARQL"] {
+            for term in analyze_unique(q) {
+                assert!(label.contains(&term), "query term {term:?} must match label {label:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unique_dedups_after_stemming() {
+        // "mining" and "mined" stem to the same term
+        assert_eq!(analyze_unique("mining mined mine"), vec!["mine"]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Inverted index: analyzed term → sorted posting list of nodes.
+//!
+//! This is the `T_i` provider of the paper (Sec. III): for each query
+//! keyword `t_i`, the set of nodes containing it. Unlike BLINKS-style
+//! approaches the engine needs **no** precomputed keyword–node distance
+//! structures — only these posting lists — which is exactly the paper's
+//! scalability argument against BLINKS on a 5M-keyword KB.
+
+use crate::analyzer::analyze_unique;
+use kgraph::{KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Inverted index over a graph's node texts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    term_ids: HashMap<String, u32>,
+    term_names: Vec<String>,
+    postings: Vec<Vec<NodeId>>,
+    num_nodes: usize,
+}
+
+impl InvertedIndex {
+    /// Build the index by analyzing every node's text.
+    pub fn build(g: &KnowledgeGraph) -> Self {
+        let mut idx = InvertedIndex { num_nodes: g.num_nodes(), ..Default::default() };
+        for v in g.nodes() {
+            for term in analyze_unique(g.node_text(v)) {
+                let id = *idx.term_ids.entry(term.clone()).or_insert_with(|| {
+                    idx.term_names.push(term);
+                    idx.postings.push(Vec::new());
+                    (idx.term_names.len() - 1) as u32
+                });
+                idx.postings[id as usize].push(v);
+            }
+        }
+        // Node texts are analyzed in node-id order with per-text dedup, so
+        // each posting list is already sorted and unique.
+        debug_assert!(idx.postings.iter().all(|p| p.windows(2).all(|w| w[0] < w[1])));
+        idx
+    }
+
+    /// Number of distinct analyzed terms.
+    pub fn num_terms(&self) -> usize {
+        self.term_names.len()
+    }
+
+    /// Number of indexed nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Posting list for a *raw* (unanalyzed) term; the term is pushed
+    /// through the same pipeline as node labels. Multi-word input uses the
+    /// first analyzed token. Returns `None` for stopword-only input or
+    /// terms absent from the corpus.
+    pub fn lookup(&self, raw_term: &str) -> Option<&[NodeId]> {
+        let analyzed = analyze_unique(raw_term);
+        let term = analyzed.first()?;
+        self.lookup_analyzed(term)
+    }
+
+    /// Posting list for an already-analyzed term.
+    pub fn lookup_analyzed(&self, term: &str) -> Option<&[NodeId]> {
+        self.term_ids
+            .get(term)
+            .map(|&id| self.postings[id as usize].as_slice())
+    }
+
+    /// Document frequency of an analyzed term (0 if absent). This is the
+    /// per-keyword `kwf` quantity of the paper's Table V.
+    pub fn frequency(&self, term: &str) -> usize {
+        self.lookup_analyzed(term).map_or(0, |p| p.len())
+    }
+
+    /// Average keyword frequency over a set of analyzed terms — the `kwf`
+    /// column of Table V (terms missing from the corpus count as 0).
+    pub fn avg_frequency<'a>(&self, terms: impl IntoIterator<Item = &'a str>) -> f64 {
+        let mut sum = 0usize;
+        let mut n = 0usize;
+        for t in terms {
+            sum += self.frequency(t);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Iterator over `(term, document frequency)` pairs.
+    pub fn term_frequencies(&self) -> impl Iterator<Item = (&str, usize)> + '_ {
+        self.term_names
+            .iter()
+            .zip(&self.postings)
+            .map(|(t, p)| (t.as_str(), p.len()))
+    }
+
+    /// Approximate heap bytes used by the index (postings + term table).
+    pub fn approx_bytes(&self) -> usize {
+        let postings: usize = self
+            .postings
+            .iter()
+            .map(|p| p.len() * std::mem::size_of::<NodeId>())
+            .sum();
+        let terms: usize = self.term_names.iter().map(|t| t.len() + 24).sum();
+        postings + terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add_node("Q1", "SPARQL query language for RDF");
+        b.add_node("Q2", "RDF query language");
+        b.add_node("Q3", "XPath");
+        b.add_node("Q4", "the of and"); // stopwords only: indexes nothing
+        b.build()
+    }
+
+    #[test]
+    fn postings_are_sorted_unique_node_lists() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        let rdf = idx.lookup("RDF").unwrap();
+        assert_eq!(rdf.len(), 2);
+        assert!(rdf.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn lookup_analyzes_its_argument() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        // "languages" stems to the same term as "language"
+        assert_eq!(idx.lookup("languages").unwrap().len(), 2);
+        // stopword-only lookups miss
+        assert!(idx.lookup("the").is_none());
+        assert!(idx.lookup("nonexistent").is_none());
+    }
+
+    #[test]
+    fn frequencies_and_kwf() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        assert_eq!(idx.frequency("rdf"), 2);
+        assert_eq!(idx.frequency("xpath"), 1);
+        assert_eq!(idx.frequency("missing"), 0);
+        let kwf = idx.avg_frequency(["rdf", "xpath"]);
+        assert!((kwf - 1.5).abs() < 1e-9);
+        assert_eq!(idx.avg_frequency(std::iter::empty::<&str>()), 0.0);
+    }
+
+    #[test]
+    fn stopword_only_node_is_unindexed() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        for (_, freq) in idx.term_frequencies() {
+            assert!(freq >= 1);
+        }
+        // no term points at Q4
+        let q4 = g.find_node_by_key("Q4").unwrap();
+        for (t, _) in idx.term_frequencies() {
+            assert!(!idx.lookup_analyzed(t).unwrap().contains(&q4));
+        }
+    }
+
+    #[test]
+    fn index_counts() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        assert_eq!(idx.num_nodes(), 4);
+        // sparql, query, languag, rdf, xpath
+        assert_eq!(idx.num_terms(), 5);
+        assert!(idx.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicate_words_in_one_label_index_once() {
+        let mut b = GraphBuilder::new();
+        b.add_node("n", "data data data");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        assert_eq!(idx.frequency("data"), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # textindex — keyword matching substrate for WikiSearch
+//!
+//! The paper matches query keywords to *keyword nodes* (`T_i`, the set of
+//! nodes whose label contains term `t_i`) after "stopping word filtering and
+//! word stemming" (Sec. II — this preprocessing is why Wikidata yields over
+//! 5 million distinct keywords). This crate provides that text pipeline and
+//! the inverted index over node labels:
+//!
+//! * [`tokenizer`] — Unicode-aware lowercasing word splitter;
+//! * [`stopwords`] — embedded English stopword list;
+//! * [`stemmer`] — a complete Porter stemmer;
+//! * [`analyzer`] — the composed pipeline (tokenize → stop → stem);
+//! * [`inverted`] — term → posting-list index over a
+//!   [`kgraph::KnowledgeGraph`]'s node texts, plus the keyword-frequency
+//!   statistics reported in the paper's Table V (`kwf` columns);
+//! * [`query`] — parsing a raw query string into matched keyword groups.
+//!
+//! ```
+//! use kgraph::GraphBuilder;
+//! use textindex::InvertedIndex;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_node("Q1", "SPARQL query language for RDF");
+//! b.add_node("Q2", "RDF query language");
+//! let g = b.build();
+//! let idx = InvertedIndex::build(&g);
+//! assert_eq!(idx.lookup("rdf").unwrap().len(), 2);
+//! // stemming: "languages" matches "language"
+//! assert_eq!(idx.lookup("languages").unwrap().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod inverted;
+pub mod query;
+pub mod stemmer;
+pub mod stopwords;
+pub mod tokenizer;
+
+pub use analyzer::analyze;
+pub use inverted::InvertedIndex;
+pub use query::{KeywordGroup, ParsedQuery};
+pub use stemmer::porter_stem;
+pub use stopwords::is_stopword;
+pub use tokenizer::tokenize;

@@ -1,0 +1,121 @@
+//! Query parsing: a raw keyword string → keyword groups with their `T_i`
+//! node sets, ready to seed the per-keyword BFS instances (paper Sec. III).
+
+use crate::analyzer::analyze_unique;
+use crate::inverted::InvertedIndex;
+use kgraph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One query keyword and its matched node set `T_i`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KeywordGroup {
+    /// Analyzed (stemmed) form of the keyword — the BFS instance identity.
+    pub term: String,
+    /// The node set `T_i` containing the keyword, sorted by node id.
+    pub nodes: Vec<NodeId>,
+}
+
+/// A parsed keyword query `Q = {t_0, …, t_{q−1}}`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParsedQuery {
+    /// Groups with at least one matching node, in query order.
+    pub groups: Vec<KeywordGroup>,
+    /// Analyzed terms that matched no node (reported to the user; a term
+    /// with an empty `T_i` can never be covered, so it is excluded from
+    /// search rather than guaranteeing zero answers).
+    pub unmatched: Vec<String>,
+}
+
+impl ParsedQuery {
+    /// Parse `raw` against `idx`. Duplicate keywords (after stemming)
+    /// collapse into one group, matching the paper's set semantics.
+    pub fn parse(idx: &InvertedIndex, raw: &str) -> Self {
+        let mut q = ParsedQuery::default();
+        for term in analyze_unique(raw) {
+            match idx.lookup_analyzed(&term) {
+                Some(nodes) if !nodes.is_empty() => q.groups.push(KeywordGroup {
+                    term,
+                    nodes: nodes.to_vec(),
+                }),
+                _ => q.unmatched.push(term),
+            }
+        }
+        q
+    }
+
+    /// Number of searchable keywords `q`.
+    pub fn num_keywords(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` if no keyword matched any node.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Average keyword frequency of the matched groups — the `kwf`
+    /// statistic of the paper's Table V.
+    pub fn avg_keyword_frequency(&self) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        self.groups.iter().map(|g| g.nodes.len()).sum::<usize>() as f64
+            / self.groups.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    fn index() -> InvertedIndex {
+        let mut b = GraphBuilder::new();
+        b.add_node("Q1", "XML relational search");
+        b.add_node("Q2", "relational databases");
+        b.add_node("Q3", "search engine");
+        InvertedIndex::build(&b.build())
+    }
+
+    #[test]
+    fn parse_builds_groups_in_query_order() {
+        let idx = index();
+        let q = ParsedQuery::parse(&idx, "XML relational search");
+        assert_eq!(q.num_keywords(), 3);
+        assert_eq!(q.groups[0].term, "xml");
+        assert_eq!(q.groups[0].nodes.len(), 1);
+        assert_eq!(q.groups[1].term, "relat"); // stemmed
+        assert_eq!(q.groups[1].nodes.len(), 2);
+        assert!(q.unmatched.is_empty());
+    }
+
+    #[test]
+    fn unmatched_terms_are_reported_not_fatal() {
+        let idx = index();
+        let q = ParsedQuery::parse(&idx, "XML quantum");
+        assert_eq!(q.num_keywords(), 1);
+        assert_eq!(q.unmatched, vec!["quantum"]);
+    }
+
+    #[test]
+    fn duplicate_keywords_collapse() {
+        let idx = index();
+        let q = ParsedQuery::parse(&idx, "search searching searches");
+        assert_eq!(q.num_keywords(), 1);
+    }
+
+    #[test]
+    fn stopwords_vanish_and_empty_query_is_empty() {
+        let idx = index();
+        assert!(ParsedQuery::parse(&idx, "the of and").is_empty());
+        assert!(ParsedQuery::parse(&idx, "").is_empty());
+    }
+
+    #[test]
+    fn kwf_matches_group_sizes() {
+        let idx = index();
+        let q = ParsedQuery::parse(&idx, "XML relational");
+        assert!((q.avg_keyword_frequency() - 1.5).abs() < 1e-9);
+        assert_eq!(ParsedQuery::default().avg_keyword_frequency(), 0.0);
+    }
+}

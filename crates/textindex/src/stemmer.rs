@@ -1,0 +1,497 @@
+//! A complete Porter stemmer (M.F. Porter, *An algorithm for suffix
+//! stripping*, 1980) — the "word stemming" step the paper applies before
+//! building its keyword lists (Sec. II).
+//!
+//! This is a faithful Rust port of the reference algorithm, including the
+//! two widely adopted revisions (`bli → ble` replaced by `abli → able` is
+//! *not* taken; `logi → log` *is* taken, as in the author's updated C
+//! version). Only ASCII-lowercase words are stemmed; anything containing
+//! non-ASCII bytes is returned unchanged (stemming rules are
+//! English-specific).
+
+/// Stem `word` with the Porter algorithm.
+///
+/// ```
+/// use textindex::porter_stem;
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("databases"), "databas");
+/// assert_eq!(porter_stem("mining"), "mine");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer { b: word.as_bytes().to_vec(), k: word.len() - 1, j: 0 };
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    String::from_utf8(s.b[..=s.k].to_vec()).expect("ascii in, ascii out")
+}
+
+struct Stemmer {
+    /// The word buffer (only `b[..=k]` is live).
+    b: Vec<u8>,
+    /// Index of the last live byte.
+    k: usize,
+    /// Stem length set by `ends`: the number of bytes preceding the
+    /// matched suffix (may be 0 when the suffix is the whole word).
+    j: usize,
+}
+
+impl Stemmer {
+    /// Is `b[i]` a consonant? (`y` counts as a consonant at position 0 or
+    /// after a vowel.)
+    fn cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The *measure* of the stem `b[..j]`: the number of
+    /// vowel–consonant sequences `m` in `[C](VC)^m[V]`.
+    fn measure(&self) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        let end = self.j; // measure the stem b[..end]
+        loop {
+            if i >= end {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            loop {
+                if i >= end {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            loop {
+                if i >= end {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Does the stem `b[..j]` contain a vowel?
+    fn vowel_in_stem(&self) -> bool {
+        (0..self.j).any(|i| !self.cons(i))
+    }
+
+    /// Does `b[..=i]` end with a double consonant?
+    fn double_cons(&self, i: usize) -> bool {
+        i >= 1 && self.b[i] == self.b[i - 1] && self.cons(i)
+    }
+
+    /// Does `b[..=i]` end consonant–vowel–consonant, with the final
+    /// consonant not `w`, `x` or `y`? (Restores a trailing `e`, as in
+    /// `cav(e)`, `lov(e)`.)
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// Does the live buffer end with `suffix`? Sets `j` on success.
+    fn ends(&mut self, suffix: &[u8]) -> bool {
+        let len = suffix.len();
+        if len > self.k + 1 {
+            return false;
+        }
+        if &self.b[self.k + 1 - len..=self.k] != suffix {
+            return false;
+        }
+        self.j = self.k + 1 - len;
+        true
+    }
+
+    /// Replace the suffix matched by `ends` with `s` and update `k`.
+    /// Callers guarantee the result is non-empty.
+    fn set_to(&mut self, s: &[u8]) {
+        debug_assert!(self.j + s.len() > 0, "set_to would empty the word");
+        self.b.truncate(self.j);
+        self.b.extend_from_slice(s);
+        self.k = self.j + s.len() - 1;
+    }
+
+    /// `set_to` guarded by `measure() > 0`.
+    fn replace_if_m_gt_0(&mut self, s: &[u8]) {
+        if self.measure() > 0 {
+            self.set_to(s);
+        }
+    }
+
+    /// Step 1a (plurals) and 1b (-ed, -ing).
+    fn step1ab(&mut self) {
+        if self.b[self.k] == b's' {
+            if self.ends(b"sses") {
+                self.k -= 2;
+            } else if self.ends(b"ies") {
+                self.set_to(b"i");
+            } else if self.b[self.k - 1] != b's' {
+                self.k -= 1;
+            }
+        }
+        if self.ends(b"eed") {
+            if self.measure() > 0 {
+                self.k -= 1;
+            }
+        } else if (self.ends(b"ed") || self.ends(b"ing")) && self.vowel_in_stem() {
+            // vowel_in_stem ⇒ the stem is non-empty, so `j - 1` is safe.
+            self.k = self.j - 1;
+            self.b.truncate(self.k + 1);
+            if self.ends(b"at") {
+                self.set_to(b"ate");
+            } else if self.ends(b"bl") {
+                self.set_to(b"ble");
+            } else if self.ends(b"iz") {
+                self.set_to(b"ize");
+            } else if self.double_cons(self.k) {
+                if !matches!(self.b[self.k], b'l' | b's' | b'z') {
+                    self.k -= 1;
+                }
+            } else if self.measure_at_k() == 1 && self.cvc(self.k) {
+                self.j = self.k + 1;
+                self.set_to(b"e");
+            }
+        }
+        self.b.truncate(self.k + 1);
+    }
+
+    /// Measure of the whole live word, used inside step 1b.
+    fn measure_at_k(&mut self) -> usize {
+        let saved = self.j;
+        self.j = self.k + 1;
+        let m = self.measure();
+        self.j = saved;
+        m
+    }
+
+    /// Step 1c: terminal `y` → `i` when there is another vowel in the stem.
+    fn step1c(&mut self) {
+        if self.ends(b"y") && self.vowel_in_stem() {
+            self.b[self.k] = b'i';
+        }
+    }
+
+    /// Step 2: double/triple suffixes mapped to single ones (m > 0).
+    // The single-arm matches mirror Porter's reference switch table.
+    #[allow(clippy::collapsible_match)]
+    fn step2(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        match self.b[self.k - 1] {
+            b'a' => {
+                if self.ends(b"ational") {
+                    self.replace_if_m_gt_0(b"ate");
+                } else if self.ends(b"tional") {
+                    self.replace_if_m_gt_0(b"tion");
+                }
+            }
+            b'c' => {
+                if self.ends(b"enci") {
+                    self.replace_if_m_gt_0(b"ence");
+                } else if self.ends(b"anci") {
+                    self.replace_if_m_gt_0(b"ance");
+                }
+            }
+            b'e' => {
+                if self.ends(b"izer") {
+                    self.replace_if_m_gt_0(b"ize");
+                }
+            }
+            b'l' => {
+                if self.ends(b"bli") {
+                    self.replace_if_m_gt_0(b"ble");
+                } else if self.ends(b"alli") {
+                    self.replace_if_m_gt_0(b"al");
+                } else if self.ends(b"entli") {
+                    self.replace_if_m_gt_0(b"ent");
+                } else if self.ends(b"eli") {
+                    self.replace_if_m_gt_0(b"e");
+                } else if self.ends(b"ousli") {
+                    self.replace_if_m_gt_0(b"ous");
+                }
+            }
+            b'o' => {
+                if self.ends(b"ization") {
+                    self.replace_if_m_gt_0(b"ize");
+                } else if self.ends(b"ation") || self.ends(b"ator") {
+                    // both map to -ate in Porter's table
+                    self.replace_if_m_gt_0(b"ate");
+                }
+            }
+            b's' => {
+                if self.ends(b"alism") {
+                    self.replace_if_m_gt_0(b"al");
+                } else if self.ends(b"iveness") {
+                    self.replace_if_m_gt_0(b"ive");
+                } else if self.ends(b"fulness") {
+                    self.replace_if_m_gt_0(b"ful");
+                } else if self.ends(b"ousness") {
+                    self.replace_if_m_gt_0(b"ous");
+                }
+            }
+            b't' => {
+                if self.ends(b"aliti") {
+                    self.replace_if_m_gt_0(b"al");
+                } else if self.ends(b"iviti") {
+                    self.replace_if_m_gt_0(b"ive");
+                } else if self.ends(b"biliti") {
+                    self.replace_if_m_gt_0(b"ble");
+                }
+            }
+            b'g' => {
+                if self.ends(b"logi") {
+                    self.replace_if_m_gt_0(b"log");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Step 3: -icate, -ative, -alize, -iciti, -ical, -ful, -ness (m > 0).
+    #[allow(clippy::collapsible_match)]
+    fn step3(&mut self) {
+        match self.b[self.k] {
+            b'e' => {
+                if self.ends(b"icate") {
+                    self.replace_if_m_gt_0(b"ic");
+                } else if self.ends(b"ative") {
+                    self.replace_if_m_gt_0(b"");
+                } else if self.ends(b"alize") {
+                    self.replace_if_m_gt_0(b"al");
+                }
+            }
+            b'i' => {
+                if self.ends(b"iciti") {
+                    self.replace_if_m_gt_0(b"ic");
+                }
+            }
+            b'l' => {
+                if self.ends(b"ical") {
+                    self.replace_if_m_gt_0(b"ic");
+                } else if self.ends(b"ful") {
+                    self.replace_if_m_gt_0(b"");
+                }
+            }
+            b's' => {
+                if self.ends(b"ness") {
+                    self.replace_if_m_gt_0(b"");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Step 4: strip residual suffixes when m > 1.
+    fn step4(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        let matched = match self.b[self.k - 1] {
+            b'a' => self.ends(b"al"),
+            b'c' => self.ends(b"ance") || self.ends(b"ence"),
+            b'e' => self.ends(b"er"),
+            b'i' => self.ends(b"ic"),
+            b'l' => self.ends(b"able") || self.ends(b"ible"),
+            b'n' => {
+                self.ends(b"ant")
+                    || self.ends(b"ement")
+                    || self.ends(b"ment")
+                    || self.ends(b"ent")
+            }
+            b'o' => {
+                (self.ends(b"ion") && self.j > 0 && matches!(self.b[self.j - 1], b's' | b't'))
+                    || self.ends(b"ou")
+            }
+            b's' => self.ends(b"ism"),
+            b't' => self.ends(b"ate") || self.ends(b"iti"),
+            b'u' => self.ends(b"ous"),
+            b'v' => self.ends(b"ive"),
+            b'z' => self.ends(b"ize"),
+            _ => false,
+        };
+        if matched && self.measure() > 1 {
+            // m > 1 guarantees a non-empty stem (j ≥ 1).
+            self.k = self.j - 1;
+            self.b.truncate(self.k + 1);
+        }
+    }
+
+    /// Step 5: drop a final `e` (m > 1, or m = 1 and not *cvc) and map
+    /// a final double `l` to single (m > 1).
+    fn step5(&mut self) {
+        self.j = self.k + 1;
+        if self.b[self.k] == b'e' {
+            let m = self.measure();
+            if m > 1 || (m == 1 && !self.cvc(self.k - 1)) {
+                self.k -= 1;
+            }
+        }
+        if self.b[self.k] == b'l' && self.double_cons(self.k) {
+            self.j = self.k + 1;
+            if self.measure() > 1 {
+                self.k -= 1;
+            }
+        }
+        self.b.truncate(self.k + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vocabulary from Porter's paper and reference test set.
+    #[test]
+    fn reference_pairs() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn query_vocabulary_conflates() {
+        // The behaviour the search engine relies on: morphological variants
+        // of query keywords map to the same term.
+        for group in [
+            &["connect", "connected", "connecting", "connection", "connections"][..],
+            &["index", "indexes"][..],
+            &["mining", "mined", "mines"][..],
+            &["relations", "relational"][..],
+        ] {
+            let stems: std::collections::HashSet<_> =
+                group.iter().map(|w| porter_stem(w)).collect();
+            assert_eq!(stems.len(), 1, "{group:?} must share a stem, got {stems:?}");
+        }
+    }
+
+    #[test]
+    fn short_and_non_ascii_words_pass_through() {
+        assert_eq!(porter_stem("go"), "go");
+        assert_eq!(porter_stem("ai"), "ai");
+        assert_eq!(porter_stem("gödel"), "gödel");
+        assert_eq!(porter_stem("sql3"), "sql3"); // digit: not ascii-lowercase-only
+    }
+
+    #[test]
+    fn stems_are_nonempty_and_never_longer_than_input() {
+        // Porter is not idempotent in general (stem("database") = "databas",
+        // stem("databas") = "databa"), but a stem is never empty and never
+        // grows beyond input length + 1 (the restored trailing 'e').
+        for w in [
+            "database", "retrieval", "parallel", "keyword", "graph", "learning", "a", "is",
+            "sses", "ies", "ed", "ing", "eed", "ion", "ational",
+        ] {
+            let s = porter_stem(w);
+            assert!(!s.is_empty(), "stem({w:?}) must be non-empty");
+            assert!(s.len() <= w.len() + 1, "stem({w:?}) = {s:?} grew too much");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Embedded English stopword list.
+//!
+//! The paper applies "stopping word filtering" before indexing (Sec. II).
+//! This is the classic short English list used by most IR systems; it is
+//! checked via binary search over a sorted static table, so lookup is
+//! allocation-free.
+
+/// Sorted list of English stopwords.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "et", "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its",
+    "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own",
+    "s", "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those", "through",
+    "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// `true` if `word` (already lowercased) is an English stopword.
+///
+/// ```
+/// use textindex::is_stopword;
+/// assert!(is_stopword("the"));
+/// assert!(!is_stopword("database"));
+/// ```
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// The number of embedded stopwords (exposed for tests and docs).
+pub fn stopword_count() -> usize {
+    STOPWORDS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_deduped() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOPWORDS, "binary search requires sorted unique table");
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "of", "and", "in", "for", "with", "is"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["database", "rdf", "keyword", "graph", "steiner", "wikidata"] {
+            assert!(!is_stopword(w), "{w} must not be filtered");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_by_contract() {
+        // Callers must lowercase first (the tokenizer does).
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn count_is_plausible() {
+        assert!(stopword_count() > 100);
+    }
+}

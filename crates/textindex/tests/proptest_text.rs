@@ -1,0 +1,99 @@
+//! Property tests of the text pipeline: the stemmer is total and
+//! shrinking, analysis is deterministic, and index lookups agree with a
+//! naive scan.
+
+use kgraph::GraphBuilder;
+use proptest::prelude::*;
+use textindex::analyzer::analyze_unique;
+use textindex::{analyze, porter_stem, tokenize, InvertedIndex};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn stemmer_is_total_and_never_panics(word in "\\PC{0,24}") {
+        let _ = porter_stem(&word);
+    }
+
+    #[test]
+    fn stemmer_output_is_bounded(word in "[a-z]{1,24}") {
+        let s = porter_stem(&word);
+        prop_assert!(!s.is_empty());
+        // At most one byte longer than the input (the restored 'e').
+        prop_assert!(s.len() <= word.len() + 1, "{word} -> {s}");
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()), "{word} -> {s}");
+    }
+
+    #[test]
+    fn tokenizer_never_emits_empty_or_uppercase(text in "\\PC{0,64}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.is_empty());
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+            prop_assert!(!t.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic_and_idempotent_at_set_level(text in "[a-zA-Z ]{0,48}") {
+        let a = analyze(&text);
+        let b = analyze(&text);
+        prop_assert_eq!(&a, &b);
+        // analyzing the joined analysis keeps the same unique term set
+        let joined = analyze_unique(&text).join(" ");
+        let re: std::collections::HashSet<String> =
+            analyze_unique(&joined).into_iter().collect();
+        let orig: std::collections::HashSet<String> =
+            analyze_unique(&text).into_iter().collect();
+        // Re-stemming can only merge terms further, never invent new text
+        // that the index would miss at query time (queries pass through
+        // the same single-pass pipeline).
+        prop_assert!(re.len() <= orig.len());
+    }
+
+    #[test]
+    fn index_lookup_agrees_with_naive_scan(
+        texts in proptest::collection::vec("[a-z]{1,6}( [a-z]{1,6}){0,2}", 1..16),
+        probe in "[a-z]{1,6}",
+    ) {
+        let mut b = GraphBuilder::new();
+        for (i, t) in texts.iter().enumerate() {
+            b.add_node(&format!("n{i}"), t);
+        }
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let term = analyze_unique(&probe);
+        prop_assume!(!term.is_empty());
+        let term = &term[0];
+        let naive: Vec<_> = g
+            .nodes()
+            .filter(|&v| analyze_unique(g.node_text(v)).contains(term))
+            .collect();
+        let posted = idx.lookup_analyzed(term).unwrap_or(&[]);
+        prop_assert_eq!(posted, &naive[..]);
+    }
+
+    #[test]
+    fn query_groups_are_subsets_of_keyword_node_union(
+        texts in proptest::collection::vec("[a-z]{1,5}( [a-z]{1,5}){0,2}", 1..12),
+        q in "[a-z]{1,5}( [a-z]{1,5}){0,3}",
+    ) {
+        let mut b = GraphBuilder::new();
+        for (i, t) in texts.iter().enumerate() {
+            b.add_node(&format!("n{i}"), t);
+        }
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let parsed = textindex::ParsedQuery::parse(&idx, &q);
+        for group in &parsed.groups {
+            prop_assert!(!group.nodes.is_empty());
+            prop_assert!(group.nodes.windows(2).all(|w| w[0] < w[1]));
+            for &v in &group.nodes {
+                prop_assert!(
+                    analyze_unique(g.node_text(v)).contains(&group.term),
+                    "node {v} indexed for {:?} but does not contain it",
+                    group.term
+                );
+            }
+        }
+    }
+}

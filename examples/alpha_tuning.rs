@@ -1,0 +1,108 @@
+//! The α knob in action — the paper's `data mining` story (Sec. IV-C).
+//!
+//! "The topic node data mining has over 1000 in-edges and only 11
+//! different in-edge labels … users can use a larger α to retrieve more
+//! nodes with higher degree of summary."
+//!
+//! Two concrete, reproducible effects of α are shown here:
+//!
+//! 1. the Penalty-and-Reward mapping (Eqs. 3–5): a fixed summary node's
+//!    minimum activation level falls monotonically as α rises;
+//! 2. the search consequence: when a summary node is the connector
+//!    between keywords, the answer it anchors exists at a smaller depth
+//!    under a larger α — in a full KB (where the rest of the graph
+//!    supplies `k` answers at the average-distance depth) this is exactly
+//!    what moves such answers into, or out of, the top-(k,d) pool.
+//!
+//! ```text
+//! cargo run -p wikisearch-examples --bin alpha_tuning
+//! ```
+
+use central::activation::ActivationConfig;
+use kgraph::GraphBuilder;
+use wikisearch_engine::{Backend, WikiSearch};
+
+fn main() {
+    let mut b = GraphBuilder::new();
+
+    // A giant unrelated hub pins the weight normalization (like `human`
+    // in Wikidata: the maximum degree of summary).
+    let mega = b.add_node("H", "popular encyclopedia topic");
+    for i in 0..400 {
+        let p = b.add_node(&format!("h{i}"), &format!("encyclopedia entry {i}"));
+        b.add_edge(p, mega, "instance of");
+    }
+
+    // The `data mining` topic node: a handful of same-labeled in-edges —
+    // the "many edges, few labels" summary signature, scaled down.
+    let topic = b.add_node("T", "data mining");
+    for i in 0..5 {
+        let p = b.add_node(&format!("t{i}"), &format!("archive record {i}"));
+        b.add_edge(p, topic, "main topic");
+    }
+    // The topic node is the only connector between the two keywords.
+    let k1 = b.add_node("K1", "clustering analysis paper");
+    let k2 = b.add_node("K2", "retrieval evaluation paper");
+    b.add_edge(k1, topic, "main topic");
+    b.add_edge(k2, topic, "main topic");
+
+    let graph = b.build();
+    let w_topic = graph.weight(topic);
+    println!(
+        "'data mining': {} same-labeled in-edges, normalized degree-of-summary w = {w_topic:.2}\n",
+        graph.in_degree(topic)
+    );
+
+    // Effect 1: the activation mapping (A fixed at 3, as a stand-in for
+    // the dataset's sampled average distance).
+    const A: f64 = 3.0;
+    println!("minimum activation level of 'data mining' (Eqs. 3-5, A = {A}):");
+    let mut levels = Vec::new();
+    for alpha in [0.05f32, 0.1, 0.2, 0.4] {
+        let cfg = ActivationConfig { alpha, average_distance: A };
+        let a = cfg.level_for_weight(w_topic);
+        println!("  α = {alpha:<5} ->  a = {a}");
+        levels.push(a);
+    }
+    assert!(
+        levels.windows(2).all(|w| w[1] <= w[0]),
+        "activation must fall as α rises"
+    );
+    assert!(
+        levels[0] > levels[3],
+        "the α sweep must actually move the level"
+    );
+
+    // Effect 2: the answer through the summary node gets shallower.
+    let ws = WikiSearch::build_with(graph, Backend::Sequential);
+    let query = "clustering retrieval";
+    println!("\nsearch {query:?} (the topic node is the only connector):");
+    let mut depths = Vec::new();
+    for alpha in [0.05f32, 0.4] {
+        let params = ws
+            .params()
+            .clone()
+            .with_alpha(alpha)
+            .with_average_distance(A)
+            .with_top_k(1);
+        let result = ws.search_with(query, &params);
+        let best = result.answers.first().expect("the connector answer exists");
+        assert!(best.contains_node(topic));
+        println!(
+            "  α = {alpha:<5} ->  answer depth {} (central: {})",
+            best.depth,
+            ws.graph().node_text(best.central)
+        );
+        depths.push(best.depth);
+    }
+    assert!(depths[1] < depths[0], "larger α must shallow the summary answer");
+
+    println!(
+        "\nAt α = 0.05 the summary connector only becomes reachable around depth\n\
+         {}, past the dataset's average distance — in a real KB, other answers\n\
+         fill the top-(k,d) pool first and the summary node stays out of the\n\
+         top answers. At α = 0.4 it is reachable at depth {}, inside the pool —\n\
+         the paper's 'data mining appears when α = 0.4' effect.",
+        depths[0], depths[1]
+    );
+}

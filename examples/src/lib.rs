@@ -1,0 +1,3 @@
+//! Example binaries for the WikiSearch reproduction live at the crate
+//! root (`quickstart.rs`, `wikisearch_repl.rs`, `alpha_tuning.rs`,
+//! `compare_banks.rs`, `export_dot.rs`); this library target is empty.

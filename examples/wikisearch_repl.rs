@@ -1,0 +1,123 @@
+//! WikiSearch service REPL: an interactive command line over a synthetic
+//! Wikidata-like knowledge base — the offline analogue of the paper's
+//! online service at NUS.
+//!
+//! ```text
+//! cargo run --release -p wikisearch-examples --bin wikisearch_repl
+//! ```
+//!
+//! Commands:
+//!
+//! * `<keywords…>` — run a search, print the top answers;
+//! * `:alpha <v>` — set α (degree-of-summary preference, Sec. IV);
+//! * `:topk <k>` — set the number of answers;
+//! * `:backend seq|cpu|gpu|dyn` — switch the engine;
+//! * `:quit` — exit.
+//!
+//! Reads queries from stdin, so it can also be scripted:
+//! `echo "machine learning inference" | cargo run -p wikisearch-examples --bin wikisearch_repl`
+
+use datagen::synthetic::SyntheticConfig;
+use std::io::{self, BufRead, Write};
+use wikisearch_engine::{Backend, WikiSearch};
+
+fn main() {
+    println!("Generating synthetic Wikidata-like KB (set WIKISEARCH_SCALE to resize)...");
+    let mut config = SyntheticConfig::wiki2017_sim();
+    config.num_entities = config.num_entities.min(20_000); // keep the REPL snappy
+    let ds = config.generate();
+    println!(
+        "dataset {}: {} nodes / {} edges",
+        ds.config.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_directed_edges()
+    );
+    let mut ws = WikiSearch::build_with(ds.graph, Backend::ParCpu(4));
+    println!(
+        "index: {} terms; estimated A = {:.2}; defaults: α = {}, top-k = {}",
+        ws.index().num_terms(),
+        ws.params().average_distance,
+        ws.params().alpha,
+        ws.params().top_k
+    );
+    println!("type keywords (e.g. \"machine learning inference\"), :help for commands\n");
+
+    let stdin = io::stdin();
+    loop {
+        print!("wikisearch> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix(':') {
+            let mut parts = cmd.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("quit"), _) | (Some("q"), _) => break,
+                (Some("help"), _) => {
+                    println!(":alpha <v> | :topk <k> | :backend seq|cpu|gpu|dyn | :quit");
+                }
+                (Some("alpha"), Some(v)) => match v.parse::<f32>() {
+                    Ok(a) if a > 0.0 && a < 1.0 => {
+                        let p = ws.params().clone().with_alpha(a);
+                        ws.set_params(p);
+                        println!("α = {a}");
+                    }
+                    _ => println!("alpha must be in (0,1)"),
+                },
+                (Some("topk"), Some(v)) => match v.parse::<usize>() {
+                    Ok(k) if k > 0 => {
+                        let p = ws.params().clone().with_top_k(k);
+                        ws.set_params(p);
+                        println!("top-k = {k}");
+                    }
+                    _ => println!("topk must be >= 1"),
+                },
+                (Some("backend"), Some(which)) => {
+                    let backend = match which {
+                        "seq" => Some(Backend::Sequential),
+                        "cpu" => Some(Backend::ParCpu(4)),
+                        "gpu" => Some(Backend::GpuStyle(4)),
+                        "dyn" => Some(Backend::DynPar(4)),
+                        _ => None,
+                    };
+                    match backend {
+                        Some(b) => {
+                            ws.set_backend(b);
+                            println!("backend = {which}");
+                        }
+                        None => println!("unknown backend {which:?}"),
+                    }
+                }
+                _ => println!("unknown command; :help"),
+            }
+            continue;
+        }
+
+        let result = ws.search(line);
+        if !result.query.unmatched.is_empty() {
+            println!("(no matches for: {})", result.query.unmatched.join(", "));
+        }
+        if result.answers.is_empty() {
+            println!("no answers");
+            continue;
+        }
+        println!(
+            "{} answers in {:.2} ms (kwf {:.0})",
+            result.answers.len(),
+            result.profile.total().as_secs_f64() * 1e3,
+            result.kwf
+        );
+        for (rank, answer) in result.answers.iter().take(5).enumerate() {
+            println!("#{rank}:");
+            print!("{}", ws.render_answer(answer));
+        }
+        println!();
+    }
+    println!("bye");
+}

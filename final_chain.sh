@@ -1,0 +1,12 @@
+#!/bin/bash
+set -x
+cd /root/repo
+cargo build --workspace --release > /root/repo/final_build.log 2>&1
+echo "BUILD_EXIT:$?" > /root/repo/final_status.txt
+WIKISEARCH_QUERIES=30 cargo run --release -q -p wikisearch-bench --bin run_all > /root/repo/run_all_output.txt 2>&1
+echo "RUNALL_EXIT:$?" >> /root/repo/final_status.txt
+cargo test --workspace > /root/repo/test_output.txt 2>&1
+echo "TEST_EXIT:$?" >> /root/repo/final_status.txt
+cargo bench --workspace > /root/repo/bench_output.txt 2>&1
+echo "BENCH_EXIT:$?" >> /root/repo/final_status.txt
+echo "ALL_DONE" >> /root/repo/final_status.txt

@@ -1,0 +1,3 @@
+//! Integration-test crate for the WikiSearch workspace; see `tests/`.
+
+#![warn(missing_docs)]

@@ -1,0 +1,114 @@
+//! All five search models on one fixture: the Central Graph engine and
+//! the four baselines the paper discusses (BANKS-I, BANKS-II, BLINKS,
+//! r-clique, EASE) must each find the obvious connecting answer — and
+//! their different answer shapes are what the paper's Sec. II contrasts.
+
+use banks::{BanksI, BanksII, BanksParams};
+use blinks::{BlinksSearch, NodeKeywordIndex};
+use central::engine::{KeywordSearchEngine, SeqEngine};
+use central::SearchParams;
+use ease::{EaseSearch, RadiusIndex};
+use kgraph::{GraphBuilder, KnowledgeGraph, NodeId};
+use rclique::{NeighborIndex, RCliqueParams, RCliqueSearch};
+use textindex::{InvertedIndex, ParsedQuery};
+
+/// apple — hub — banana, plus periphery.
+fn fixture() -> (KnowledgeGraph, InvertedIndex, NodeId) {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node("a", "apple fruit");
+    let hub = b.add_node("h", "market");
+    let z = b.add_node("z", "banana fruit");
+    b.add_edge(a, hub, "sold at");
+    b.add_edge(z, hub, "sold at");
+    for i in 0..6 {
+        let p = b.add_node(&format!("p{i}"), "shopper");
+        b.add_edge(p, hub, "visits");
+    }
+    let g = b.build();
+    let idx = InvertedIndex::build(&g);
+    (g, idx, hub)
+}
+
+#[test]
+fn every_model_connects_the_keywords_through_the_hub() {
+    let (g, idx, hub) = fixture();
+    let query = ParsedQuery::parse(&idx, "apple banana");
+
+    // Central Graph: graph-shaped answer centered at the hub.
+    let cg = SeqEngine::new().search(
+        &g,
+        &query,
+        &SearchParams::default().with_average_distance(1.5),
+    );
+    assert!(cg.answers.iter().any(|a| a.central == hub));
+
+    // BANKS-I / BANKS-II: tree answers spanning both keywords + hub.
+    for out in [
+        BanksI::new().search(&g, &query, &BanksParams::default()),
+        BanksII::new().search(&g, &query, &BanksParams::default()),
+    ] {
+        let best = &out.answers[0];
+        assert!(best.contains_node(hub), "tree must route through the hub");
+    }
+
+    // BLINKS: distinct-root answers from the precomputed index.
+    let nk = NodeKeywordIndex::build(&g, &idx, 8);
+    let blinks = BlinksSearch::new(&g, &nk).search(&query, 3);
+    assert!(!blinks.is_empty());
+    assert!(blinks.iter().any(|a| a.nodes().contains(&hub)));
+
+    // r-clique: the two keyword nodes form a 2-clique at distance 2.
+    let ni = NeighborIndex::build(&g, 3);
+    let rc = RCliqueSearch::new(&g, &ni).search(&query, &RCliqueParams { r: 2, top_k: 3 });
+    assert!(!rc.is_empty());
+    assert_eq!(rc[0].weight, 2);
+    assert!(rc[0].tree_nodes.contains(&hub));
+
+    // EASE: the hub's radius-1 ball holds both content nodes.
+    let ri = RadiusIndex::build(&g, 1, false);
+    let ea = EaseSearch::new(&g, &ri).search(&query, 3);
+    assert!(!ea.is_empty());
+    assert_eq!(ea[0].center, hub);
+}
+
+#[test]
+fn answer_shapes_differ_as_the_paper_describes() {
+    // Fig. 1's argument: graph answers admit several keyword nodes per
+    // keyword; tree models must emit several trees for the same content.
+    let mut b = GraphBuilder::new();
+    let hub = b.add_node("h", "survey");
+    let a = b.add_node("a", "apple");
+    let z1 = b.add_node("z1", "banana yellow");
+    let z2 = b.add_node("z2", "banana green");
+    b.add_edge(a, hub, "e");
+    b.add_edge(z1, hub, "e");
+    b.add_edge(z2, hub, "e");
+    let g = b.build();
+    let idx = InvertedIndex::build(&g);
+    let query = ParsedQuery::parse(&idx, "apple banana");
+
+    let cg = SeqEngine::new().search(
+        &g,
+        &query,
+        &SearchParams::default().with_average_distance(1.0),
+    );
+    let hub_answer = cg.answers.iter().find(|ans| ans.central == hub).unwrap();
+    // One graph answer carries both banana nodes …
+    assert_eq!(hub_answer.keyword_nodes[1].len(), 2);
+
+    // … while each BANKS tree carries exactly one path per keyword.
+    let banks = BanksII::new().search(&g, &query, &BanksParams::default());
+    for tree in &banks.answers {
+        assert_eq!(tree.paths.len(), 2);
+        let bananas = tree
+            .paths
+            .iter()
+            .filter(|p| {
+                let leaf = *p.last().unwrap();
+                leaf == g.find_node_by_key("z1").unwrap()
+                    || leaf == g.find_node_by_key("z2").unwrap()
+            })
+            .count();
+        assert!(bananas <= 1, "a tree answer holds one banana leaf");
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end scenarios spanning every crate: synthetic datasets, the
+//! text pipeline, all engines, BANKS baselines, serialization and the
+//! effectiveness machinery.
+
+use banks::{BanksI, BanksII, BanksParams};
+use central::SearchParams;
+use datagen::synthetic::SyntheticConfig;
+use datagen::{PlantedDataset, QueryWorkload};
+use eval::precision::EffectivenessReport;
+use kgraph::MemoryFootprint;
+use textindex::{InvertedIndex, ParsedQuery};
+use wikisearch_engine::{Backend, WikiSearch};
+
+#[test]
+fn synthetic_dataset_end_to_end_search() {
+    let ds = SyntheticConfig::tiny(11).generate();
+    let ws = WikiSearch::build_with(ds.graph, Backend::ParCpu(2));
+    let mut workload = QueryWorkload::new(5);
+    let mut answered = 0;
+    for _ in 0..5 {
+        let q = workload.query(4);
+        let result = ws.search(&q);
+        for a in &result.answers {
+            a.check_invariants().unwrap();
+        }
+        if !result.answers.is_empty() {
+            answered += 1;
+        }
+    }
+    assert!(answered >= 3, "most workload queries should be answerable, got {answered}/5");
+}
+
+#[test]
+fn engine_backends_agree_on_synthetic_data() {
+    let ds = SyntheticConfig::tiny(13).generate();
+    let graph = ds.graph;
+    let index = InvertedIndex::build(&graph);
+    let query = ParsedQuery::parse(&index, "machine learning inference");
+    let params = SearchParams::default().with_average_distance(2.5).with_top_k(8);
+
+    use central::engine::*;
+    let seq = SeqEngine::new().search(&graph, &query, &params);
+    let cpu = ParCpuEngine::new(3).search(&graph, &query, &params);
+    let gpu = GpuStyleEngine::new(3).search(&graph, &query, &params);
+    let dyn_ = DynParEngine::new(3).search(&graph, &query, &params);
+    for out in [&cpu, &gpu, &dyn_] {
+        assert_eq!(out.answers.len(), seq.answers.len());
+        for (a, b) in out.answers.iter().zip(&seq.answers) {
+            assert_eq!(a.central, b.central);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.edges, b.edges);
+        }
+    }
+}
+
+#[test]
+fn graph_survives_tsv_round_trip_with_identical_search_results() {
+    let ds = SyntheticConfig::tiny(17).generate();
+    let text = kgraph::io::to_tsv(&ds.graph);
+    let restored = kgraph::io::from_tsv(&text).unwrap();
+    assert_eq!(restored.num_nodes(), ds.graph.num_nodes());
+    assert_eq!(restored.num_directed_edges(), ds.graph.num_directed_edges());
+
+    let q = "graph mining community detection";
+    let params = SearchParams::default().with_average_distance(2.5);
+    let i1 = InvertedIndex::build(&ds.graph);
+    let i2 = InvertedIndex::build(&restored);
+    use central::engine::*;
+    let a = SeqEngine::new().search(&ds.graph, &ParsedQuery::parse(&i1, q), &params);
+    let b = SeqEngine::new().search(&restored, &ParsedQuery::parse(&i2, q), &params);
+    assert_eq!(a.answers.len(), b.answers.len());
+    for (x, y) in a.answers.iter().zip(&b.answers) {
+        assert_eq!(x.depth, y.depth);
+        assert_eq!(x.num_nodes(), y.num_nodes());
+    }
+}
+
+#[test]
+fn banks_baselines_run_on_synthetic_data() {
+    let ds = SyntheticConfig::tiny(19).generate();
+    let index = InvertedIndex::build(&ds.graph);
+    let query = ParsedQuery::parse(&index, "neural network gradient");
+    let params = BanksParams::default().with_top_k(5).with_node_budget(200_000);
+    let b1 = BanksI::new().search(&ds.graph, &query, &params);
+    let b2 = BanksII::new().search(&ds.graph, &query, &params);
+    for out in [&b1, &b2] {
+        for t in &out.answers {
+            t.check_invariants().unwrap();
+            assert!(t.paths.len() == query.num_keywords());
+        }
+        for w in out.answers.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+    }
+    // BANKS-I settles by distance, so its best answer is never worse than
+    // BANKS-II's activation-ordered best (both explore to completion here).
+    if let (Some(x), Some(y)) = (b1.answers.first(), b2.answers.first()) {
+        assert!(x.score <= y.score + 1e-3);
+    }
+}
+
+#[test]
+fn planted_effectiveness_wikisearch_beats_banks_on_phrase_queries() {
+    let ds = PlantedDataset::build(99, 12, 8);
+    let index = InvertedIndex::build(&ds.graph);
+    let a = kgraph::sampling::estimate_average_distance_sources(&ds.graph, 8, 32, 24, 3).mean;
+
+    let engine = central::engine::ParCpuEngine::new(2);
+    let banks = BanksII::new();
+    let q7 = ds.queries.iter().find(|q| q.id == "Q7").unwrap();
+    let parsed = ParsedQuery::parse(&index, q7.raw);
+
+    let params = SearchParams::default().with_top_k(20).with_average_distance(a);
+    use central::engine::KeywordSearchEngine;
+    let ws_answers: Vec<Vec<kgraph::NodeId>> = engine
+        .search(&ds.graph, &parsed, &params)
+        .answers
+        .iter()
+        .map(|c| c.nodes.clone())
+        .collect();
+    let banks_answers: Vec<Vec<kgraph::NodeId>> = banks
+        .search(&ds.graph, &parsed, &BanksParams::default().with_top_k(20))
+        .answers
+        .iter()
+        .map(|t| t.nodes.clone())
+        .collect();
+    let ws = EffectivenessReport::evaluate(&ds, q7, &ws_answers);
+    let bk = EffectivenessReport::evaluate(&ds, q7, &banks_answers);
+    assert!(
+        ws.p_at_10 >= bk.p_at_10,
+        "WikiSearch ({}) must match/beat BANKS-II ({}) on the phrase-heavy Q7",
+        ws.p_at_10,
+        bk.p_at_10
+    );
+    assert!(ws.p_at_10 > 0.5, "WikiSearch should find the planted structures");
+}
+
+#[test]
+fn memory_footprint_matches_table_iv_structure() {
+    let ds = SyntheticConfig::tiny(23).generate();
+    let f = MemoryFootprint::for_search(&ds.graph, 8);
+    // CSR adjacency dominates pre-storage; the matrix adds n×q bytes.
+    assert!(f.pre_storage() > 0);
+    assert_eq!(f.node_keyword_matrix, ds.graph.num_nodes() * 8);
+    assert!(f.max_running_storage() > f.pre_storage());
+}
+
+#[test]
+fn unmatched_and_empty_queries_are_graceful_everywhere() {
+    let ds = SyntheticConfig::tiny(29).generate();
+    let ws = WikiSearch::build(ds.graph);
+    assert!(ws.search("").answers.is_empty());
+    assert!(ws.search("zzzz qqqq xxxx").answers.is_empty());
+    let r = ws.search("the of and");
+    assert!(r.answers.is_empty());
+    assert!(r.query.is_empty());
+}
+
+#[test]
+fn single_keyword_queries_return_cooccurrence_answers() {
+    let ds = SyntheticConfig::tiny(31).generate();
+    let ws = WikiSearch::build(ds.graph);
+    let r = ws.search("learning");
+    // Single-keyword answers are the keyword nodes themselves (depth 0).
+    assert!(!r.answers.is_empty());
+    assert!(r.answers.iter().all(|a| a.depth == 0 && a.num_nodes() == 1));
+}

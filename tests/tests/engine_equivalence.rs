@@ -1,0 +1,148 @@
+//! The workspace's central correctness property: all four engines —
+//! sequential, lock-free coarse-grained (CPU-Par), lock-free fine-grained
+//! (GPU-Par structure) and lock-based dynamic (CPU-Par-d) — return
+//! identical answers on arbitrary graphs and queries.
+//!
+//! This is the test form of the paper's Theorems V.2 (lock-free writes are
+//! benign), V.3 (bottom-up solves top-(k,d)) and V.4 (extraction from `M`
+//! recovers exactly the hitting paths that CPU-Par-d records during
+//! search).
+
+use central::engine::{
+    DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine,
+};
+use central::SearchParams;
+use kgraph::{GraphBuilder, KnowledgeGraph};
+use proptest::prelude::*;
+use textindex::{InvertedIndex, ParsedQuery};
+
+/// Small word pool; several words per node text creates overlapping
+/// keyword groups and co-occurrence nodes.
+const WORDS: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "lambda",
+];
+
+#[derive(Debug, Clone)]
+struct Case {
+    nodes: usize,
+    texts: Vec<Vec<usize>>,           // word indices per node
+    edges: Vec<(usize, usize)>,       // node index pairs
+    activation: Vec<u8>,              // explicit per-node activation
+    query: Vec<usize>,                // word indices
+    top_k: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..28).prop_flat_map(|nodes| {
+        let texts = proptest::collection::vec(
+            proptest::collection::vec(0usize..WORDS.len(), 1..3),
+            nodes,
+        );
+        let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 1..60);
+        let activation = proptest::collection::vec(0u8..5, nodes);
+        let query = proptest::collection::vec(0usize..WORDS.len(), 2..4);
+        let top_k = 1usize..8;
+        (texts, edges, activation, query, top_k).prop_map(
+            move |(texts, edges, activation, query, top_k)| Case {
+                nodes,
+                texts,
+                edges,
+                activation,
+                query,
+                top_k,
+            },
+        )
+    })
+}
+
+fn build_graph(case: &Case) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    for (i, words) in case.texts.iter().enumerate() {
+        let text: Vec<&str> = words.iter().map(|&w| WORDS[w]).collect();
+        b.add_node(&format!("n{i}"), &text.join(" "));
+    }
+    for (idx, &(s, d)) in case.edges.iter().enumerate() {
+        if s != d {
+            let s = b.node(&format!("n{s}")).unwrap();
+            let d = b.node(&format!("n{d}")).unwrap();
+            b.add_edge(s, d, if idx % 3 == 0 { "p" } else { "q" });
+        }
+    }
+    let _ = case.nodes;
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_engines_agree(case in case_strategy()) {
+        let graph = build_graph(&case);
+        let idx = InvertedIndex::build(&graph);
+        let raw: Vec<&str> = case.query.iter().map(|&w| WORDS[w]).collect();
+        let query = ParsedQuery::parse(&idx, &raw.join(" "));
+        let params = SearchParams {
+            top_k: case.top_k,
+            max_level: 12,
+            ..SearchParams::default()
+        }
+        .with_explicit_activation(case.activation.clone());
+
+        let engines: Vec<Box<dyn KeywordSearchEngine>> = vec![
+            Box::new(SeqEngine::new()),
+            Box::new(ParCpuEngine::new(3)),
+            Box::new(GpuStyleEngine::new(3)),
+            Box::new(DynParEngine::new(3)),
+        ];
+        let reference = engines[0].search(&graph, &query, &params);
+        // Every answer satisfies the model invariants.
+        for a in &reference.answers {
+            prop_assert!(a.check_invariants().is_ok(), "{:?}", a.check_invariants());
+        }
+        for engine in &engines[1..] {
+            let out = engine.search(&graph, &query, &params);
+            prop_assert_eq!(
+                out.answers.len(),
+                reference.answers.len(),
+                "answer count differs for {}",
+                engine.name()
+            );
+            for (a, b) in out.answers.iter().zip(&reference.answers) {
+                prop_assert_eq!(a.central, b.central, "central differs for {}", engine.name());
+                prop_assert_eq!(a.depth, b.depth, "depth differs for {}", engine.name());
+                prop_assert_eq!(&a.nodes, &b.nodes, "nodes differ for {}", engine.name());
+                prop_assert_eq!(&a.edges, &b.edges, "edges differ for {}", engine.name());
+                prop_assert_eq!(
+                    &a.keyword_edges,
+                    &b.keyword_edges,
+                    "per-keyword hitting paths differ for {}",
+                    engine.name()
+                );
+                prop_assert!((a.score - b.score).abs() < 1e-9, "score differs for {}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engines_are_deterministic_across_runs(case in case_strategy()) {
+        let graph = build_graph(&case);
+        let idx = InvertedIndex::build(&graph);
+        let raw: Vec<&str> = case.query.iter().map(|&w| WORDS[w]).collect();
+        let query = ParsedQuery::parse(&idx, &raw.join(" "));
+        let params = SearchParams {
+            top_k: case.top_k,
+            max_level: 12,
+            ..SearchParams::default()
+        }
+        .with_explicit_activation(case.activation.clone());
+        let engine = ParCpuEngine::new(4);
+        let a = engine.search(&graph, &query, &params);
+        let b = engine.search(&graph, &query, &params);
+        prop_assert_eq!(a.answers.len(), b.answers.len());
+        for (x, y) in a.answers.iter().zip(&b.answers) {
+            prop_assert_eq!(x.central, y.central);
+            prop_assert_eq!(&x.nodes, &y.nodes);
+            prop_assert_eq!(&x.edges, &y.edges);
+        }
+    }
+}

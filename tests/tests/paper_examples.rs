@@ -1,0 +1,96 @@
+//! The paper's worked examples, end to end through the public API:
+//! Fig. 2 (hitting levels), Fig. 4 / Example 4 (the running example),
+//! Fig. 5 / Example 5 (level-cover pruning).
+
+use central::SearchParams;
+use datagen::figures::{fig2_graph, fig4_graph, fig5_graph};
+use wikisearch_engine::{Backend, WikiSearch};
+
+#[test]
+fn fig4_example_answer_is_centered_at_query_language_with_depth_4() {
+    let (graph, activation) = fig4_graph();
+    let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
+    let params = ws
+        .params()
+        .clone()
+        .with_top_k(1)
+        .with_explicit_activation(activation);
+    ws.set_params(params);
+    let result = ws.search("XML RDF SQL");
+    assert_eq!(result.answers.len(), 1);
+    let best = &result.answers[0];
+    assert_eq!(ws.graph().node_text(best.central), "Query language");
+    assert_eq!(best.depth, 4);
+    // The graph-shaped answer admits multiple RDF keyword nodes (v4 and
+    // v5) — the paper's Fig. 1 argument for graphs over trees.
+    let rdf_nodes = &best.keyword_nodes[1];
+    assert_eq!(rdf_nodes.len(), 2, "both RDF nodes belong to the answer");
+    // Multi-paths from XML: the answer keeps more than one hitting path.
+    assert!(best.num_edges() > best.num_nodes() - 1, "graph, not a tree");
+}
+
+#[test]
+fn fig2_central_graph_has_multi_paths() {
+    let graph = fig2_graph();
+    let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
+    let params = ws
+        .params()
+        .clone()
+        .with_top_k(5)
+        .with_explicit_activation(vec![0; 5]);
+    ws.set_params(params);
+    let result = ws.search("alpha beta");
+    // v3 is the depth-1 central node (Example 3); its Central Graph
+    // covers the hitting paths v0→v3 and v1→v3.
+    assert_eq!(result.answers.len(), 1);
+    let best = &result.answers[0];
+    assert_eq!(ws.graph().node_key(best.central), "v3");
+    assert_eq!(best.depth, 1);
+    assert_eq!(best.num_nodes(), 3);
+    assert_eq!(best.num_edges(), 2);
+}
+
+#[test]
+fn fig5_level_cover_prunes_jeffrey_satellites() {
+    let (graph, stanford, ullman, satellites) = fig5_graph();
+    let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
+    let params = ws
+        .params()
+        .clone()
+        .with_top_k(10)
+        .with_explicit_activation(vec![0; 5]);
+    ws.set_params(params);
+    let result = ws.search("Stanford Jeffrey Ullman");
+    let stanford_answer = result
+        .answers
+        .iter()
+        .find(|a| a.central == stanford)
+        .expect("the Stanford-centered answer exists");
+    // Example 5: "After pruning nodes with only one keyword 'Jeffrey', we
+    // have an answer with only Stanford University and Jeffrey Ullman".
+    assert!(stanford_answer.contains_node(ullman));
+    for s in &satellites {
+        assert!(!stanford_answer.contains_node(*s));
+    }
+    assert_eq!(stanford_answer.num_nodes(), 2);
+}
+
+#[test]
+fn fig4_sequential_and_parallel_backends_reproduce_the_same_example() {
+    for backend in [Backend::ParCpu(3), Backend::GpuStyle(3), Backend::DynPar(3)] {
+        let (graph, activation) = fig4_graph();
+        let mut ws = WikiSearch::build_with(graph, backend);
+        let params = SearchParams::default()
+            .with_top_k(1)
+            .with_explicit_activation(activation);
+        ws.set_params(params);
+        let result = ws.search("XML RDF SQL");
+        assert_eq!(result.answers.len(), 1, "{backend:?}");
+        assert_eq!(
+            ws.graph().node_text(result.answers[0].central),
+            "Query language",
+            "{backend:?}"
+        );
+        assert_eq!(result.answers[0].depth, 4, "{backend:?}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Pinned end-to-end snapshots: exact expected outputs for the paper's
+//! worked example. These catch silent behavioural drift that looser
+//! invariant tests would let through.
+
+use datagen::figures::fig4_graph;
+use wikisearch_engine::{Backend, WikiSearch};
+
+#[test]
+fn fig4_answer_snapshot() {
+    let (graph, activation) = fig4_graph();
+    let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
+    let params = ws
+        .params()
+        .clone()
+        .with_top_k(1)
+        .with_explicit_activation(activation);
+    ws.set_params(params);
+    let result = ws.search("XML RDF SQL");
+    let best = &result.answers[0];
+
+    // The exact answer graph of the quickstart example.
+    let nodes: Vec<&str> = best
+        .nodes
+        .iter()
+        .map(|&v| ws.graph().node_text(v))
+        .collect();
+    assert_eq!(
+        nodes,
+        vec![
+            "SQL",
+            "Query language",
+            "XPath",
+            "SPARQL query language for RDF",
+            "RDF query language",
+            "XPath 2",
+            "XPath 3",
+            "XQuery",
+            "XML",
+        ]
+    );
+    assert_eq!(best.num_edges(), 12);
+    assert_eq!(best.depth, 4);
+    assert!((best.score - 4f64.powf(0.2) * sum_weights(&ws, best)).abs() < 1e-9);
+
+    // The rendered text form is stable.
+    let rendered = ws.render_answer(best);
+    let expected_lines = [
+        "SQL --[instance of]-- Query language",
+        "XPath 2 --[used by]-- XML",
+        "keyword 1: SPARQL query language for RDF, RDF query language",
+    ];
+    for line in expected_lines {
+        assert!(rendered.contains(line), "missing {line:?} in:\n{rendered}");
+    }
+}
+
+fn sum_weights(ws: &WikiSearch, a: &central::CentralGraph) -> f64 {
+    a.nodes.iter().map(|&v| ws.graph().weight(v) as f64).sum()
+}
+
+#[test]
+fn fig4_per_keyword_paths_snapshot() {
+    let (graph, activation) = fig4_graph();
+    let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
+    let params = ws
+        .params()
+        .clone()
+        .with_top_k(1)
+        .with_explicit_activation(activation);
+    ws.set_params(params);
+    let result = ws.search("XML RDF SQL");
+    let best = &result.answers[0];
+    // XML reaches v2 through three parallel families (XPath 2/3 → XPath,
+    // XQuery direct): 7 hitting-path edges. SQL is a single edge.
+    assert_eq!(best.keyword_edges.len(), 3);
+    assert_eq!(best.keyword_edges[0].len(), 7, "XML multi-paths");
+    assert_eq!(best.keyword_edges[2].len(), 1, "SQL direct edge");
+    // Union equals the answer's edge set (Def. 3).
+    let mut union: Vec<_> = best.keyword_edges.iter().flatten().copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    assert_eq!(union, best.edges);
+}

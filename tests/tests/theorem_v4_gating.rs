@@ -1,0 +1,84 @@
+//! Theorem V.4 extraction must respect central-node freezing.
+//!
+//! The paper's Theorem V.4 recovers hitting paths from the matrix `M` via
+//! level arithmetic alone. One interaction its proof glosses over: a node
+//! identified as central stops expanding ("becomes unavailable for future
+//! expansion"), so it can satisfy the level equation for a later hit it
+//! never actually produced. This workspace's extraction therefore rejects
+//! predecessors whose identification depth precedes the hit
+//! (`crates/central/src/top_down.rs`), keeping the matrix engines in
+//! exact agreement with CPU-Par-d, which records the true paths during
+//! search.
+//!
+//! The fixture below is the minimal trap:
+//!
+//! ```text
+//!  a(alpha) — x — b1(beta)        x: central at depth 1, frozen
+//!  a(alpha) — y — x               y: hit alpha from a at level 1
+//!  b2(beta) — w — y               y: hit beta through w at level 2
+//! ```
+//!
+//! Ungated extraction would attribute y's beta hit to the frozen x
+//! (`1 + max(a_x, h_x^beta) = 2 = h_y^beta`) and drag `b1` into the
+//! answer; the true path runs through `w` only.
+
+use central::engine::{DynParEngine, KeywordSearchEngine, SeqEngine};
+use central::SearchParams;
+use kgraph::GraphBuilder;
+use textindex::{InvertedIndex, ParsedQuery};
+
+#[test]
+fn frozen_central_nodes_are_not_fabricated_as_predecessors() {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node("a", "alpha");
+    let b1 = b.add_node("b1", "beta one");
+    let b2 = b.add_node("b2", "beta two");
+    let x = b.add_node("x", "bridge x");
+    let y = b.add_node("y", "target y");
+    let w = b.add_node("w", "bridge w");
+    b.add_edge(a, x, "e");
+    b.add_edge(b1, x, "e");
+    b.add_edge(a, y, "e");
+    b.add_edge(x, y, "e");
+    b.add_edge(b2, w, "e");
+    b.add_edge(w, y, "e");
+    let g = b.build();
+
+    let idx = InvertedIndex::build(&g);
+    let query = ParsedQuery::parse(&idx, "alpha beta");
+    assert_eq!(query.num_keywords(), 2);
+    let params = SearchParams::default()
+        .with_top_k(3)
+        .with_explicit_activation(vec![0; 6]);
+
+    let seq = SeqEngine::new().search(&g, &query, &params);
+    // x is central at depth 1; y and w complete at depth 2.
+    let y_answer = seq
+        .answers
+        .iter()
+        .find(|ans| ans.central == y)
+        .expect("y-centered answer exists");
+    assert!(
+        !y_answer.contains_node(b1),
+        "b1 reachable only through the frozen x must not appear: {:?}",
+        y_answer.nodes
+    );
+    assert!(
+        !y_answer.contains_node(x),
+        "the frozen x never expanded to y: {:?}",
+        y_answer.nodes
+    );
+    assert!(y_answer.contains_node(w), "the true beta path runs through w");
+    assert!(y_answer.contains_node(b2));
+
+    // CPU-Par-d records the actual expansion paths; the matrix engines'
+    // gated extraction must agree exactly.
+    let dyn_ = DynParEngine::new(2).search(&g, &query, &params);
+    assert_eq!(seq.answers.len(), dyn_.answers.len());
+    for (m, d) in seq.answers.iter().zip(&dyn_.answers) {
+        assert_eq!(m.central, d.central);
+        assert_eq!(m.nodes, d.nodes);
+        assert_eq!(m.edges, d.edges);
+        assert_eq!(m.keyword_edges, d.keyword_edges);
+    }
+}
