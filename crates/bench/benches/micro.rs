@@ -1,10 +1,14 @@
 //! Criterion micro-benchmarks of the substrate hot paths: text analysis,
-//! weighting, activation mapping and index lookups.
+//! weighting, activation mapping, index lookups, and session (epoch-
+//! stamped state) reuse vs per-query allocation.
 
+use central::engine::{KeywordSearchEngine, SeqEngine};
+use central::state::SearchState;
+use central::{SearchParams, SearchSession};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use datagen::synthetic::{SyntheticConfig, ZipfTable};
 use kgraph::weights::degree_of_summary;
-use textindex::{analyze, porter_stem, tokenize, InvertedIndex};
+use textindex::{analyze, porter_stem, tokenize, InvertedIndex, ParsedQuery};
 
 fn bench_text_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("text");
@@ -47,6 +51,53 @@ fn bench_index(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cold vs warm state setup, and cold vs warm full searches: the cold
+/// path allocates and seeds `M`/`FIdentifier`/`CIdentifier` per query,
+/// the warm path re-arms one epoch-stamped allocation (a single epoch
+/// bump plus source seeding). The gap is the Initialization-phase saving
+/// a reused `SearchSession` delivers on every query after the first.
+fn bench_warm_vs_cold_state(c: &mut Criterion) {
+    let ds = SyntheticConfig::tiny(11).generate();
+    let idx = InvertedIndex::build(&ds.graph);
+    let query = ParsedQuery::parse(&idx, "learning networks");
+    let params = SearchParams::default().with_average_distance(2.5);
+
+    let mut g = c.benchmark_group("warm_vs_cold_state");
+    // State-level: allocate-and-seed vs epoch-bump-and-seed at a
+    // wiki-dump-scale n, where the O(n·q) cold setup is the entire cost.
+    let n = 200_000;
+    g.bench_function("state_cold_alloc", |b| {
+        b.iter(|| black_box(SearchState::new(black_box(n), black_box(&query))))
+    });
+    let mut warm = SearchState::new(n, &query);
+    g.bench_function("state_warm_epoch_bump", |b| {
+        b.iter(|| {
+            warm.begin_query(black_box(n), black_box(&query));
+            black_box(warm.epoch())
+        })
+    });
+    // End-to-end on the tiny graph: here expansion dominates, so warm and
+    // cold should be statistically indistinguishable — the session must
+    // never be *slower*.
+    let n = ds.graph.num_nodes();
+    let engine = SeqEngine::new();
+    g.bench_function("search_cold", |b| {
+        b.iter(|| black_box(engine.search(&ds.graph, &query, &params).answers.len()))
+    });
+    let mut session = SearchSession::new();
+    g.bench_function("search_warm_session", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .search_session(&mut session, &ds.graph, &query, &params)
+                    .answers
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -57,6 +108,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_text_pipeline, bench_weights_and_zipf, bench_index
+    targets = bench_text_pipeline, bench_weights_and_zipf, bench_index, bench_warm_vs_cold_state
 }
 criterion_main!(benches);

@@ -16,7 +16,7 @@ pub mod table4_storage;
 use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine,
 };
-use central::{PhaseProfile, SearchParams};
+use central::{PhaseProfile, SearchParams, SearchSession};
 use kgraph::KnowledgeGraph;
 use textindex::ParsedQuery;
 
@@ -35,16 +35,20 @@ pub fn sequential_engine() -> Box<dyn KeywordSearchEngine> {
 }
 
 /// Run one engine over a query batch, returning the mean per-phase
-/// profile (the paper averages 50 queries per datapoint).
+/// profile (the paper averages 50 queries per datapoint). The batch runs
+/// through one reusable [`SearchSession`], so all but the first query
+/// take the warm allocation-free path — the datapoints measure search
+/// work, not allocator traffic.
 pub fn mean_profile_over(
     engine: &dyn KeywordSearchEngine,
     graph: &KnowledgeGraph,
     queries: &[ParsedQuery],
     params: &SearchParams,
 ) -> PhaseProfile {
+    let mut session = SearchSession::new();
     let profiles: Vec<PhaseProfile> = queries
         .iter()
-        .map(|q| engine.search(graph, q, params).profile)
+        .map(|q| engine.search_session(&mut session, graph, q, params).profile)
         .collect();
     central::profile::mean_profile(&profiles)
 }

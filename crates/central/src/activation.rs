@@ -159,6 +159,67 @@ mod tests {
     }
 
     #[test]
+    fn closed_form_of_eqs_3_to_5_on_exact_inputs() {
+        // A = 4, α = 0.5 keeps every intermediate value exact in binary
+        // floating point, so the three branches can be checked against
+        // hand-evaluated Eq. 3 (penalty), Eq. 4 (reward) and Eq. 5.
+        let c = ActivationConfig { alpha: 0.5, average_distance: 4.0 };
+        // Reward branch (w < α): a = A − A(α − w)/α = 4 − 4·0.25/0.5 = 2.
+        assert_eq!(c.level_for_weight(0.25), 2);
+        // Eq. 5 middle case (w = α): a = A = 4.
+        assert_eq!(c.level_for_weight(0.5), 4);
+        // Penalty branch (w > α): a = A + A(w − α)/(1 − α) = 4 + 4·0.25/0.5 = 6.
+        assert_eq!(c.level_for_weight(0.75), 6);
+    }
+
+    #[test]
+    fn levels_round_to_the_nearest_integer() {
+        // Eq. 5 rounds, it does not truncate: A = 3.68 sits between
+        // levels 3 and 4 and must land on 4 at w = α.
+        assert_eq!(cfg(0.5).level_for_weight(0.5), 4);
+        // A = 3.4 rounds down…
+        let low = ActivationConfig { alpha: 0.5, average_distance: 3.4 };
+        assert_eq!(low.level_for_weight(0.5), 3);
+        // …and the half-way point 3.5 rounds away from zero, to 4.
+        let half = ActivationConfig { alpha: 0.5, average_distance: 3.5 };
+        assert_eq!(half.level_for_weight(0.5), 4);
+    }
+
+    #[test]
+    fn boundary_alpha_values_stay_in_range() {
+        // α near its open-interval boundaries must keep every level inside
+        // [0, round(2A)] — no overflow, no sentinel collision.
+        for alpha in [0.001f32, 0.01, 0.99, 0.999] {
+            let c = cfg(alpha);
+            let ceiling = (2.0 * A).round() as u8;
+            for i in 0..=100 {
+                let w = i as f32 / 100.0;
+                let l = c.level_for_weight(w);
+                assert!(l <= ceiling, "α = {alpha}, w = {w}: level {l} above 2A");
+            }
+            assert_eq!(c.level_for_weight(0.0), 0, "full reward at α = {alpha}");
+            assert_eq!(
+                c.level_for_weight(1.0),
+                ceiling,
+                "full penalty at α = {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_is_continuous_across_the_alpha_pivot() {
+        // Approaching w = α from either side converges to round(A): the
+        // penalty and reward branches agree at the pivot (no jump in Eq. 5).
+        let c = cfg(0.3);
+        let at_pivot = c.level_for_weight(0.3);
+        let below = c.level_for_weight(0.3 - 1e-6);
+        let above = c.level_for_weight(0.3 + 1e-6);
+        assert_eq!(at_pivot, A.round() as u8);
+        assert_eq!(below, at_pivot);
+        assert_eq!(above, at_pivot);
+    }
+
+    #[test]
     fn distribution_buckets_match_fig3_axes() {
         let hist = level_distribution(&[0, 0, 1, 2, 3, 4, 9, 200]);
         assert_eq!(hist, [2, 1, 1, 1, 3]);

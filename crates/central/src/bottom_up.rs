@@ -190,6 +190,18 @@ pub struct LevelTrace {
     pub identified: usize,
 }
 
+/// Reusable scratch buffers of the level-synchronous driver: the joint
+/// frontier queue and the per-level identification buffer. A
+/// [`crate::session::SearchSession`] keeps one across queries so the warm
+/// path re-enters [`run`] with capacity already grown to the working set.
+#[derive(Default)]
+pub struct BottomUpScratch {
+    /// Joint frontier queue, refilled per level by `ExecStrategy::enqueue`.
+    pub frontiers: Vec<u32>,
+    /// Central Nodes newly identified at the current level.
+    pub newly: Vec<u32>,
+}
+
 /// Result of the bottom-up stage.
 pub struct BottomUpOutcome {
     /// Identified Central Nodes with their depths, in identification order
@@ -206,27 +218,28 @@ pub struct BottomUpOutcome {
 }
 
 /// Run the bottom-up stage with the given strategy. `state` must be
-/// freshly constructed from the query (sources seeded). Phase timings are
-/// accumulated into `profile`.
+/// freshly armed for the query (sources seeded); `scratch` may carry
+/// capacity from earlier queries. Phase timings are accumulated into
+/// `profile`.
 pub fn run<S: ExecStrategy>(
     strategy: &S,
     graph: &KnowledgeGraph,
     act: &ActivationMap<'_>,
     state: &SearchState,
+    scratch: &mut BottomUpScratch,
     params: &SearchParams,
     profile: &mut PhaseProfile,
 ) -> BottomUpOutcome {
     let ctx = ExpandCtx { graph, act, state };
     let max_level = params.max_level.min(254);
-    let mut frontiers: Vec<u32> = Vec::new();
-    let mut newly: Vec<u32> = Vec::new();
+    let BottomUpScratch { frontiers, newly } = scratch;
     let mut central_nodes: Vec<(NodeId, u8)> = Vec::new();
     let mut peak_frontier = 0usize;
     let mut trace: Vec<LevelTrace> = Vec::new();
     let mut level: u8 = 0;
     let terminated = loop {
         let t = Instant::now();
-        strategy.enqueue(state, &mut frontiers);
+        strategy.enqueue(state, frontiers);
         profile.enqueue += t.elapsed();
         peak_frontier = peak_frontier.max(frontiers.len());
         if frontiers.is_empty() {
@@ -234,7 +247,7 @@ pub fn run<S: ExecStrategy>(
         }
 
         let t = Instant::now();
-        strategy.identify(state, &frontiers, level, &mut newly);
+        strategy.identify(state, frontiers, level, newly);
         profile.identify += t.elapsed();
         trace.push(LevelTrace { level, frontier: frontiers.len(), identified: newly.len() });
         central_nodes.extend(newly.iter().map(|&f| (NodeId(f), level)));
@@ -246,7 +259,7 @@ pub fn run<S: ExecStrategy>(
         }
 
         let t = Instant::now();
-        strategy.expand(&ctx, &frontiers, level);
+        strategy.expand(&ctx, frontiers, level);
         profile.expansion += t.elapsed();
         level += 1;
     };
@@ -288,7 +301,7 @@ mod tests {
         let act = ActivationMap::Explicit(&activation);
         let params = SearchParams::default().with_top_k(top_k);
         let mut profile = PhaseProfile::default();
-        let out = run(&Seq, g, &act, &state, &params, &mut profile);
+        let out = run(&Seq, g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
         (out, state)
     }
 
@@ -417,7 +430,7 @@ mod tests {
         let params = SearchParams::default().with_top_k(5);
         let params = SearchParams { max_level: 6, ..params };
         let mut profile = PhaseProfile::default();
-        let out = run(&Seq, &g, &act, &state, &params, &mut profile);
+        let out = run(&Seq, &g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
         assert_eq!(out.terminated, TerminationReason::LevelCap);
         assert!(out.central_nodes.is_empty());
         assert_eq!(out.last_level, 6);
@@ -465,7 +478,7 @@ mod tests {
         let act = ActivationMap::Explicit(&activation);
         let params = SearchParams::default().with_top_k(1);
         let mut profile = PhaseProfile::default();
-        let out = run(&Seq, &g, &act, &state, &params, &mut profile);
+        let out = run(&Seq, &g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
         assert_eq!(out.central_nodes.len(), 1);
         let (central, depth) = out.central_nodes[0];
         assert_eq!(central, ids[2], "v2 is the Central Node");

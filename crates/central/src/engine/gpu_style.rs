@@ -22,6 +22,7 @@
 
 use crate::bottom_up::{enqueue_parallel_compaction, expand_work_item, ExecStrategy, ExpandCtx};
 use crate::engine::{build_pool, run_matrix_search, KeywordSearchEngine, SearchOutcome};
+use crate::session::SearchSession;
 use crate::state::SearchState;
 use crate::SearchParams;
 use kgraph::KnowledgeGraph;
@@ -101,14 +102,15 @@ impl KeywordSearchEngine for GpuStyleEngine {
         "GPU-Par"
     }
 
-    fn search(
+    fn search_session(
         &self,
+        session: &mut SearchSession,
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
     ) -> SearchOutcome {
         let strategy = GpuStrategy { pool: &self.pool };
-        run_matrix_search(&strategy, Some(&self.pool), graph, query, params)
+        run_matrix_search(&strategy, Some(&self.pool), session, graph, query, params)
     }
 }
 

@@ -4,7 +4,7 @@
 
 mod gpu_style;
 mod par_cpu;
-mod par_dyn;
+pub(crate) mod par_dyn;
 mod seq;
 
 pub use gpu_style::GpuStyleEngine;
@@ -16,7 +16,7 @@ use crate::activation::{ActivationConfig, ActivationMap};
 use crate::bottom_up::{self, ExecStrategy, TerminationReason};
 use crate::model::CentralGraph;
 use crate::profile::PhaseProfile;
-use crate::state::SearchState;
+use crate::session::SearchSession;
 use crate::top_down;
 use crate::SearchParams;
 use kgraph::KnowledgeGraph;
@@ -58,7 +58,23 @@ pub trait KeywordSearchEngine {
     /// Engine display name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
-    /// Run a top-k search.
+    /// Run a top-k search through a reusable [`SearchSession`] — the warm
+    /// path. The session's epoch-stamped state and scratch buffers are
+    /// re-armed in place, so a query on an already-used session allocates
+    /// nothing proportional to `n · q`.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`SearchParams::validate`].
+    fn search_session(
+        &self,
+        session: &mut SearchSession,
+        graph: &KnowledgeGraph,
+        query: &ParsedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome;
+
+    /// Run a one-shot top-k search (cold path): opens a throwaway
+    /// [`SearchSession`] and runs [`Self::search_session`] through it.
     ///
     /// # Panics
     /// Panics if `params` fail [`SearchParams::validate`].
@@ -67,15 +83,19 @@ pub trait KeywordSearchEngine {
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
-    ) -> SearchOutcome;
+    ) -> SearchOutcome {
+        let mut session = SearchSession::new();
+        self.search_session(&mut session, graph, query, params)
+    }
 }
 
 /// Shared driver for the three matrix-based engines (sequential, CPU-Par,
-/// GPU-style): init state → bottom-up via `strategy` → top-down
-/// (optionally parallel over central nodes via `pool`).
+/// GPU-style): re-arm the session's state → bottom-up via `strategy` →
+/// top-down (optionally parallel over central nodes via `pool`).
 pub(crate) fn run_matrix_search<S: ExecStrategy>(
     strategy: &S,
     pool: Option<&rayon::ThreadPool>,
+    session: &mut SearchSession,
     graph: &KnowledgeGraph,
     query: &ParsedQuery,
     params: &SearchParams,
@@ -88,11 +108,14 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
     }
     let mut profile = PhaseProfile::default();
 
-    // Initialization phase: allocate M / FIdentifier / CIdentifier and
-    // seed the sources.
+    // Initialization phase: arm M / FIdentifier / CIdentifier for this
+    // query (epoch bump + source seeding; allocation only on first use or
+    // growth) — the paper's per-query allocate-and-seed, amortized.
     let t = Instant::now();
-    let state = SearchState::new(graph.num_nodes(), query);
+    session.state.begin_query(graph.num_nodes(), query);
+    session.queries_run += 1;
     profile.init = t.elapsed();
+    let SearchSession { ref state, scratch, .. } = session;
 
     let explicit = params.explicit_activation.clone();
     let act = match &explicit {
@@ -106,7 +129,7 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
         },
     };
 
-    let outcome = bottom_up::run(strategy, graph, &act, &state, params, &mut profile);
+    let outcome = bottom_up::run(strategy, graph, &act, state, scratch, params, &mut profile);
     let _ = TerminationReason::LevelCap; // (reason is carried in stats below)
 
     // Top-down processing: extract, prune, rank. The candidate cohort is
@@ -121,8 +144,8 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
                 .central_nodes
                 .par_iter()
                 .map(|&(c, d)| {
-                    let e = top_down::extract(graph, &act, &state, c.0, d);
-                    top_down::prune_and_score(graph, &state, &e, params)
+                    let e = top_down::extract(graph, &act, state, c.0, d);
+                    top_down::prune_and_score(graph, state, &e, params)
                 })
                 .collect()
         }),
@@ -130,8 +153,8 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
             .central_nodes
             .iter()
             .map(|&(c, d)| {
-                let e = top_down::extract(graph, &act, &state, c.0, d);
-                top_down::prune_and_score(graph, &state, &e, params)
+                let e = top_down::extract(graph, &act, state, c.0, d);
+                top_down::prune_and_score(graph, state, &e, params)
             })
             .collect(),
     };

@@ -18,6 +18,7 @@ use crate::bottom_up::{
     enqueue_sequential, expand_frontier, ExecStrategy, ExpandCtx,
 };
 use crate::engine::{build_pool, run_matrix_search, KeywordSearchEngine, SearchOutcome};
+use crate::session::SearchSession;
 use crate::state::SearchState;
 use crate::SearchParams;
 use kgraph::KnowledgeGraph;
@@ -85,14 +86,15 @@ impl KeywordSearchEngine for ParCpuEngine {
         "CPU-Par"
     }
 
-    fn search(
+    fn search_session(
         &self,
+        session: &mut SearchSession,
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
     ) -> SearchOutcome {
         let strategy = ParCpuStrategy { pool: &self.pool };
-        run_matrix_search(&strategy, Some(&self.pool), graph, query, params)
+        run_matrix_search(&strategy, Some(&self.pool), session, graph, query, params)
     }
 }
 

@@ -13,6 +13,7 @@ use crate::activation::{ActivationConfig, ActivationMap};
 use crate::engine::{build_pool, KeywordSearchEngine, SearchOutcome, SearchStats};
 use crate::model::{CentralGraph, INFINITE_LEVEL};
 use crate::profile::PhaseProfile;
+use crate::session::SearchSession;
 use crate::state::HitLevels;
 use crate::top_down::{self, Extraction};
 use crate::SearchParams;
@@ -25,6 +26,11 @@ use textindex::ParsedQuery;
 /// Per-node dynamically allocated search record.
 #[derive(Default)]
 struct DynNode {
+    /// Query epoch this record belongs to; a mismatching stamp means the
+    /// record is leftover from an earlier session query and reads as empty
+    /// (it is cleared — capacity kept — the first time the node is locked
+    /// in the new epoch).
+    stamp: u32,
     /// Sparse hitting levels: `(keyword, level)`.
     hits: Vec<(u16, u8)>,
     /// Recorded hitting-path predecessors: `(keyword, predecessor)`.
@@ -44,46 +50,86 @@ impl DynNode {
     }
 }
 
-/// Shared locked state of one CPU-Par-d search.
-struct DynState {
+/// Shared locked state of CPU-Par-d searches, reusable across a session's
+/// queries the same way the matrix engines' [`crate::state::SearchState`]
+/// is: a query-epoch counter plus per-node stamps. Every node access goes
+/// through [`DynState::node`], which freshens a stale record under its
+/// lock before returning it.
+pub(crate) struct DynState {
+    epoch: u32,
     nodes: Vec<Mutex<DynNode>>,
     next_frontier: Mutex<Vec<u32>>,
-    is_keyword: Vec<u8>,
+    /// Epoch stamp per node: current ⇔ keyword node. Written only under
+    /// `&mut` in [`DynState::begin_query`].
+    is_keyword: Vec<u32>,
     q: usize,
 }
 
 impl DynState {
-    fn new(n: usize, query: &ParsedQuery) -> Self {
-        
+    /// An empty state; arm it with [`DynState::begin_query`].
+    pub(crate) fn empty() -> Self {
         DynState {
-            nodes: (0..n).map(|_| Mutex::new(DynNode::default())).collect(),
+            epoch: 0,
+            nodes: Vec::new(),
             next_frontier: Mutex::new(Vec::new()),
-            is_keyword: vec![0; n],
-            q: query.num_keywords(),
+            is_keyword: Vec::new(),
+            q: 0,
         }
     }
 
-    /// Seed sources under locks (the paper: CPU-Par-d "has to add a lock
-    /// to each node to record which keyword it has").
-    fn init_sources(&mut self, query: &ParsedQuery) {
+    /// Re-arm for a new query: bump the epoch (logically clearing every
+    /// node record), grow the node table if needed, and seed the sources
+    /// under locks (the paper: CPU-Par-d "has to add a lock to each node
+    /// to record which keyword it has").
+    fn begin_query(&mut self, n: usize, query: &ParsedQuery) {
+        self.epoch = self.epoch.checked_add(1).unwrap_or_else(|| {
+            // Epoch wrap after 2^32 queries: clear every stamp once.
+            for node in &mut self.nodes {
+                *node.get_mut() = DynNode::default();
+            }
+            self.is_keyword.fill(0);
+            1
+        });
+        self.q = query.num_keywords();
+        if self.nodes.len() < n {
+            self.nodes.resize_with(n, || Mutex::new(DynNode::default()));
+            self.is_keyword.resize(n, 0);
+        }
+        self.next_frontier.get_mut().clear();
         for (i, group) in query.groups.iter().enumerate() {
             for &v in &group.nodes {
-                let mut node = self.nodes[v.index()].lock();
+                self.is_keyword[v.index()] = self.epoch;
+                let mut node = self.node(v.0);
                 node.hits.push((i as u16, 0));
-                self.is_keyword[v.index()] = 1;
                 if !node.queued {
                     node.queued = true;
+                    drop(node);
                     self.next_frontier.lock().push(v.0);
                 }
             }
         }
     }
 
+    /// Lock node `v`, freshening a stale record (clear, keep capacity) so
+    /// callers always see current-epoch state.
+    fn node(&self, v: u32) -> parking_lot::MutexGuard<'_, DynNode> {
+        let mut node = self.nodes[v as usize].lock();
+        if node.stamp != self.epoch {
+            node.stamp = self.epoch;
+            node.hits.clear();
+            node.preds.clear();
+            node.queued = false;
+            node.central = 0;
+        }
+        node
+    }
+
     /// Re-queue a frontier to retry at the next level.
     fn requeue(&self, f: u32) {
-        let mut node = self.nodes[f as usize].lock();
+        let mut node = self.node(f);
         if !node.queued {
             node.queued = true;
+            drop(node);
             self.next_frontier.lock().push(f);
         }
     }
@@ -94,13 +140,13 @@ impl HitLevels for DynState {
         self.q
     }
     fn hit(&self, v: u32, i: usize) -> u8 {
-        self.nodes[v as usize].lock().hit_level(i)
+        self.node(v).hit_level(i)
     }
     fn is_keyword_node(&self, v: u32) -> bool {
-        self.is_keyword[v as usize] == 1
+        self.is_keyword[v as usize] == self.epoch
     }
     fn central_depth(&self, v: u32) -> Option<u8> {
-        match self.nodes[v as usize].lock().central {
+        match self.node(v).central {
             0 => None,
             d => Some(d - 1),
         }
@@ -130,8 +176,9 @@ impl KeywordSearchEngine for DynParEngine {
         "CPU-Par-d"
     }
 
-    fn search(
+    fn search_session(
         &self,
+        session: &mut SearchSession,
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
@@ -144,9 +191,12 @@ impl KeywordSearchEngine for DynParEngine {
         }
         let mut profile = PhaseProfile::default();
 
+        // Arm (or lazily materialize) the session's lock-based state.
         let t = Instant::now();
-        let mut state = DynState::new(graph.num_nodes(), query);
-        state.init_sources(query);
+        let state = session.dyn_state.get_or_insert_with(DynState::empty);
+        state.begin_query(graph.num_nodes(), query);
+        session.queries_run += 1;
+        let state = &*state;
         profile.init = t.elapsed();
 
         let explicit = params.explicit_activation.clone();
@@ -172,7 +222,7 @@ impl KeywordSearchEngine for DynParEngine {
             let mut frontiers = std::mem::take(&mut *state.next_frontier.lock());
             frontiers.sort_unstable();
             for &f in &frontiers {
-                state.nodes[f as usize].lock().queued = false;
+                state.node(f).queued = false;
             }
             profile.enqueue += t.elapsed();
             peak_frontier = peak_frontier.max(frontiers.len());
@@ -184,7 +234,7 @@ impl KeywordSearchEngine for DynParEngine {
             let t = Instant::now();
             let before = central_nodes.len();
             for &f in &frontiers {
-                let mut node = state.nodes[f as usize].lock();
+                let mut node = state.node(f);
                 if node.central == 0 && node.hits.len() == state.q {
                     node.central = level + 1;
                     central_nodes.push((NodeId(f), level));
@@ -202,7 +252,7 @@ impl KeywordSearchEngine for DynParEngine {
 
             // Expansion with per-node locks, parallel over frontiers.
             let t = Instant::now();
-            let state_ref = &state;
+            let state_ref = state;
             let act_ref = &act;
             self.pool.install(|| {
                 frontiers.par_iter().for_each(|&f| {
@@ -219,7 +269,7 @@ impl KeywordSearchEngine for DynParEngine {
         central_nodes.truncate(params.max_candidates);
         let _ = full_candidates;
         let t = Instant::now();
-        let state_ref = &state;
+        let state_ref = state;
         let candidates: Vec<CentralGraph> = self.pool.install(|| {
             central_nodes
                 .par_iter()
@@ -257,7 +307,7 @@ fn expand_locked(
     // Copy the frontier's state out under its lock, then release before
     // touching neighbors (no nested locks ⇒ no deadlock).
     let hits: Vec<(u16, u8)> = {
-        let node = state.nodes[f as usize].lock();
+        let node = state.node(f);
         if node.central != 0 {
             return;
         }
@@ -278,13 +328,13 @@ fn expand_locked(
             let n_is_kw = state.is_keyword_node(n);
             if !n_is_kw && act.level(adj.target()) > level + 1 {
                 // Only an unvisited neighbor keeps the frontier alive.
-                let unhit = state.nodes[n as usize].lock().hit_level(i) == INFINITE_LEVEL;
+                let unhit = state.node(n).hit_level(i) == INFINITE_LEVEL;
                 if unhit {
                     state.requeue(f);
                 }
                 continue;
             }
-            let mut node = state.nodes[n as usize].lock();
+            let mut node = state.node(n);
             match node.hit_level(i) {
                 INFINITE_LEVEL => {
                     node.hits.push((kw, level + 1));
@@ -321,7 +371,7 @@ fn assemble_from_records(state: &DynState, c: u32, depth: u8) -> Extraction {
         visited.insert(c);
         while let Some(j) = stack.pop() {
             let preds: Vec<u32> = {
-                let node = state.nodes[j as usize].lock();
+                let node = state.node(j);
                 node.preds
                     .iter()
                     .filter(|&&(k, _)| k as usize == i)

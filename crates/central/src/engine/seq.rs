@@ -9,6 +9,7 @@ use crate::bottom_up::{
     enqueue_sequential, expand_frontier, identify_sequential, ExecStrategy, ExpandCtx,
 };
 use crate::engine::{run_matrix_search, KeywordSearchEngine, SearchOutcome};
+use crate::session::SearchSession;
 use crate::state::SearchState;
 use crate::SearchParams;
 use kgraph::KnowledgeGraph;
@@ -48,13 +49,14 @@ impl KeywordSearchEngine for SeqEngine {
         "Seq"
     }
 
-    fn search(
+    fn search_session(
         &self,
+        session: &mut SearchSession,
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
     ) -> SearchOutcome {
-        run_matrix_search(&SeqStrategy, None, graph, query, params)
+        run_matrix_search(&SeqStrategy, None, session, graph, query, params)
     }
 }
 

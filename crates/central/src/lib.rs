@@ -74,6 +74,7 @@ pub mod costmodel;
 pub mod engine;
 pub mod model;
 pub mod profile;
+pub mod session;
 pub mod state;
 pub mod top_down;
 
@@ -84,3 +85,4 @@ pub use engine::{
 };
 pub use model::{CentralGraph, INFINITE_LEVEL};
 pub use profile::PhaseProfile;
+pub use session::SearchSession;

@@ -1,0 +1,134 @@
+//! Reusable per-engine search sessions.
+//!
+//! Every search needs an `n × q` hitting-level matrix, frontier/central
+//! flag arrays, and the driver's queue buffers. Allocating (and zeroing)
+//! those per query dominates the paper's *Initialization* phase on warm
+//! services — WikiSearch answers a stream of queries over one graph, so
+//! the state should be paid for once. A [`SearchSession`] owns the
+//! epoch-stamped [`SearchState`] plus all scratch buffers; "resetting" for
+//! the next query is a single epoch increment
+//! ([`SearchState::begin_query`]), making the warm path allocation-free.
+//!
+//! Sessions are engine-agnostic: the same session can be handed to any of
+//! the four engines ([`crate::engine::KeywordSearchEngine::search_session`]).
+//! The matrix engines (Seq, CPU-Par, GPU-Par) share the epoch-stamped
+//! state; CPU-Par-d lazily materializes its lock-based [`DynState`] inside
+//! the same session and reuses it the same way (per-node epoch stamps,
+//! freshened under the node lock).
+//!
+//! A session is deliberately `!Sync`-shaped at the API level: searches
+//! take `&mut self`, so one session serves one query at a time. Wrap it in
+//! a mutex (as `wikisearch-engine` does) to share across request handlers,
+//! or keep one session per worker.
+
+use crate::bottom_up::BottomUpScratch;
+use crate::engine::par_dyn::DynState;
+use crate::state::SearchState;
+
+/// Reusable search state + scratch buffers for a stream of queries.
+///
+/// ```
+/// use kgraph::GraphBuilder;
+/// use textindex::{InvertedIndex, ParsedQuery};
+/// use central::{engine::{KeywordSearchEngine, SeqEngine}, SearchParams, SearchSession};
+///
+/// let mut b = GraphBuilder::new();
+/// let x = b.add_node("x", "XML");
+/// let q = b.add_node("q", "query language");
+/// let s = b.add_node("s", "SQL");
+/// b.add_edge(x, q, "related");
+/// b.add_edge(s, q, "instance of");
+/// let g = b.build();
+/// let idx = InvertedIndex::build(&g);
+///
+/// let engine = SeqEngine::new();
+/// let mut session = SearchSession::new();
+/// for raw in ["XML SQL", "SQL language", "XML SQL"] {
+///     let query = ParsedQuery::parse(&idx, raw);
+///     let out = engine.search_session(&mut session, &g, &query, &SearchParams::default());
+///     assert!(!out.answers.is_empty());
+/// }
+/// assert_eq!(session.queries_run(), 3);
+/// ```
+#[derive(Default)]
+pub struct SearchSession {
+    /// Epoch-stamped matrix state shared by the three matrix engines.
+    pub(crate) state: SearchState,
+    /// Driver queue buffers (frontier queue, per-level identifications).
+    pub(crate) scratch: BottomUpScratch,
+    /// CPU-Par-d's lock-based state, materialized on first use.
+    pub(crate) dyn_state: Option<DynState>,
+    /// Number of queries answered through this session.
+    pub(crate) queries_run: u64,
+}
+
+impl SearchSession {
+    /// A fresh session holding no allocations; buffers grow to the working
+    /// set over the first query and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queries answered through this session so far.
+    pub fn queries_run(&self) -> u64 {
+        self.queries_run
+    }
+
+    /// The matrix state (current as of the last matrix-engine query).
+    /// Exposed for diagnostics and the test suite.
+    pub fn state(&self) -> &SearchState {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{KeywordSearchEngine, SeqEngine};
+    use crate::SearchParams;
+    use kgraph::GraphBuilder;
+    use textindex::{InvertedIndex, ParsedQuery};
+
+    #[test]
+    fn session_counts_queries_and_reuses_state() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", "alpha");
+        let y = b.add_node("y", "beta");
+        let m = b.add_node("m", "middle");
+        b.add_edge(x, m, "e");
+        b.add_edge(y, m, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "alpha beta");
+
+        let engine = SeqEngine::new();
+        let mut session = SearchSession::new();
+        assert_eq!(session.queries_run(), 0);
+        let first = engine.search_session(&mut session, &g, &q, &SearchParams::default());
+        let epoch_after_first = session.state().epoch();
+        let second = engine.search_session(&mut session, &g, &q, &SearchParams::default());
+        assert_eq!(session.queries_run(), 2);
+        assert_eq!(session.state().epoch(), epoch_after_first + 1);
+        assert_eq!(first.answers.len(), second.answers.len());
+        assert_eq!(first.answers[0].central, second.answers[0].central);
+        assert_eq!(first.answers[0].nodes, second.answers[0].nodes);
+    }
+
+    #[test]
+    fn empty_query_does_not_disturb_the_session() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", "alpha");
+        let y = b.add_node("y", "beta");
+        b.add_edge(x, y, "e");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let engine = SeqEngine::new();
+        let mut session = SearchSession::new();
+        let miss = ParsedQuery::parse(&idx, "zzz");
+        let out = engine.search_session(&mut session, &g, &miss, &SearchParams::default());
+        assert!(out.answers.is_empty());
+        let hit = ParsedQuery::parse(&idx, "alpha beta");
+        let out = engine.search_session(&mut session, &g, &hit, &SearchParams::default());
+        assert!(!out.answers.is_empty());
+    }
+}

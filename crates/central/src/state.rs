@@ -1,6 +1,7 @@
 //! Lock-free search state: the node–keyword matrix `M`, the frontier
 //! flags `FIdentifier` and the central flags `CIdentifier` (paper
-//! Sec. V-B, *Initialization*).
+//! Sec. V-B, *Initialization*) — **epoch-stamped** so one allocation can
+//! serve many queries (DESIGN.md, *Session reuse & epoch stamping*).
 //!
 //! Theorem V.2 of the paper is the correctness anchor: during one
 //! expansion level every write to `M` stores the same value `l + 1` and
@@ -9,54 +10,167 @@
 //! `Relaxed` ordering inside a level; the level-synchronous driver places
 //! the necessary happens-before edges at its fork/join boundaries (rayon's
 //! scope joins synchronize).
+//!
+//! ## Epoch stamping
+//!
+//! Each cell is an `AtomicU32` packing `(epoch << 8) | value`, where the
+//! value byte holds the cell's logical `u8` payload (a hitting level, a
+//! frontier flag, or a central depth + 1). A cell is *current* iff its
+//! stamped epoch equals the state's query epoch; any other stamp reads as
+//! the unset value (`∞` / `0`). [`SearchState::begin_query`] therefore
+//! resets the entire `n × q` matrix with a single epoch increment instead
+//! of an `O(n·q)` clear — the warm path of a [`crate::session::SearchSession`]
+//! allocates nothing and touches only the source cells.
+//!
+//! Epochs are 24-bit and start at 1; 0 is the never-current stamp of a
+//! freshly zeroed cell. On wrap-around (once every 2²⁴ queries) the state
+//! zeroes every cell once and restarts at epoch 1, so a recycled stamp can
+//! never masquerade as current. Theorem V.2 is unaffected: within one
+//! query all racing writers pack the *same* epoch with the *same* value,
+//! so duplicate packed writes remain benign (see DESIGN.md for the full
+//! argument).
 
 use crate::model::INFINITE_LEVEL;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use textindex::ParsedQuery;
 
+/// Bits of the value byte in a packed cell.
+const VALUE_BITS: u32 = 8;
+/// Mask of the value byte.
+const VALUE_MASK: u32 = 0xFF;
+/// First epoch past the 24-bit range — triggers the hard reset.
+const EPOCH_LIMIT: u32 = 1 << (32 - VALUE_BITS);
+
+/// Pack an epoch stamp and a value byte into one cell word.
+#[inline]
+fn pack(epoch: u32, value: u8) -> u32 {
+    (epoch << VALUE_BITS) | u32::from(value)
+}
+
+/// The value byte of `cell` if its stamp matches `epoch`, else `default`.
+#[inline]
+fn unpack(cell: u32, epoch: u32, default: u8) -> u8 {
+    if cell >> VALUE_BITS == epoch {
+        (cell & VALUE_MASK) as u8
+    } else {
+        default
+    }
+}
+
 /// Mutable (atomic) per-search state shared by all threads.
+///
+/// Constructed once (ideally inside a [`crate::session::SearchSession`])
+/// and re-armed per query by [`SearchState::begin_query`]; the classic
+/// [`SearchState::new`] remains as the one-shot convenience path.
 pub struct SearchState {
     /// Number of query keywords `q`.
     q: usize,
     /// Number of graph nodes.
     n: usize,
-    /// `M`: row-major `n × q` hitting levels; `255` = ∞.
-    matrix: Vec<AtomicU8>,
-    /// `FIdentifier`: 1 ⇔ node is a frontier at the next level.
-    frontier: Vec<AtomicU8>,
-    /// `CIdentifier`: 0 ⇔ not central; otherwise the node is a Central
-    /// Node identified at depth `value − 1`. Storing the depth (instead of
-    /// the paper's plain flag) lets Theorem V.4 extraction reject
-    /// predecessor edges a frozen central node could never have produced.
-    central: Vec<AtomicU8>,
-    /// 1 ⇔ node contains at least one query keyword (`v ∈ ∪T_i`).
-    /// Immutable after construction; keyword nodes may be *hit* regardless
-    /// of their activation level (Sec. IV-B).
-    is_keyword: Vec<u8>,
+    /// Current query epoch (24-bit, ≥ 1 once a query began).
+    epoch: u32,
+    /// `M`: row-major `n × q` hitting levels; value byte `255` = ∞.
+    matrix: Vec<AtomicU32>,
+    /// `FIdentifier`: value byte 1 ⇔ node is a frontier at the next level.
+    frontier: Vec<AtomicU32>,
+    /// `CIdentifier`: value byte 0 ⇔ not central; otherwise the node is a
+    /// Central Node identified at depth `value − 1`. Storing the depth
+    /// (instead of the paper's plain flag) lets Theorem V.4 extraction
+    /// reject predecessor edges a frozen central node could never have
+    /// produced.
+    central: Vec<AtomicU32>,
+    /// Epoch stamp per node: current ⇔ node contains at least one query
+    /// keyword (`v ∈ ∪T_i`). Written only under `&mut` in `begin_query`;
+    /// keyword nodes may be *hit* regardless of their activation level
+    /// (Sec. IV-B).
+    is_keyword: Vec<u32>,
+}
+
+impl Default for SearchState {
+    /// Same as [`SearchState::empty`].
+    fn default() -> Self {
+        SearchState::empty()
+    }
 }
 
 impl SearchState {
+    /// An empty state holding no allocation; arm it with
+    /// [`SearchState::begin_query`].
+    pub fn empty() -> Self {
+        SearchState {
+            q: 0,
+            n: 0,
+            epoch: 0,
+            matrix: Vec::new(),
+            frontier: Vec::new(),
+            central: Vec::new(),
+            is_keyword: Vec::new(),
+        }
+    }
+
     /// Allocate state for `n` nodes and the query's keyword groups, and
     /// seed the sources: `M[v][i] = 0` and `FIdentifier[v] = 1` for every
-    /// `v ∈ T_i`.
+    /// `v ∈ T_i`. One-shot equivalent of `empty()` + `begin_query`.
     pub fn new(n: usize, query: &ParsedQuery) -> Self {
-        let q = query.num_keywords();
-        let mut state = SearchState {
-            q,
-            n,
-            matrix: (0..n * q).map(|_| AtomicU8::new(INFINITE_LEVEL)).collect(),
-            frontier: (0..n).map(|_| AtomicU8::new(0)).collect(),
-            central: (0..n).map(|_| AtomicU8::new(0)).collect(),
-            is_keyword: vec![0; n],
-        };
+        let mut state = Self::empty();
+        state.begin_query(n, query);
+        state
+    }
+
+    /// Re-arm the state for a new query over `n` nodes: bump the epoch
+    /// (logically clearing every cell at once), grow the buffers if this
+    /// query needs more room than any before it, and seed the sources.
+    ///
+    /// On the warm path — same graph, any query — this performs **zero
+    /// allocations** and writes only the source cells; cells stamped by
+    /// earlier queries read as unset through the epoch check.
+    pub fn begin_query(&mut self, n: usize, query: &ParsedQuery) {
+        self.epoch += 1;
+        if self.epoch == EPOCH_LIMIT {
+            // Once every 2^24 queries: zero all stamps so recycled epochs
+            // can never read as current, then restart at 1.
+            self.hard_reset();
+            self.epoch = 1;
+        }
+        self.q = query.num_keywords();
+        self.n = n;
+        let cells = n * self.q;
+        if self.matrix.len() < cells {
+            self.matrix.resize_with(cells, || AtomicU32::new(0));
+        }
+        if self.frontier.len() < n {
+            self.frontier.resize_with(n, || AtomicU32::new(0));
+            self.central.resize_with(n, || AtomicU32::new(0));
+            self.is_keyword.resize(n, 0);
+        }
+        let epoch = self.epoch;
         for (i, group) in query.groups.iter().enumerate() {
             for &v in &group.nodes {
-                state.matrix[v.index() * q + i].store(0, Ordering::Relaxed);
-                state.frontier[v.index()].store(1, Ordering::Relaxed);
-                state.is_keyword[v.index()] = 1;
+                self.matrix[v.index() * self.q + i].store(pack(epoch, 0), Ordering::Relaxed);
+                self.frontier[v.index()].store(pack(epoch, 1), Ordering::Relaxed);
+                self.is_keyword[v.index()] = epoch;
             }
         }
-        state
+    }
+
+    /// Zero every cell (stamps included). Only needed on epoch wrap.
+    fn hard_reset(&mut self) {
+        for cell in &mut self.matrix {
+            *cell.get_mut() = 0;
+        }
+        for cell in &mut self.frontier {
+            *cell.get_mut() = 0;
+        }
+        for cell in &mut self.central {
+            *cell.get_mut() = 0;
+        }
+        self.is_keyword.fill(0);
+    }
+
+    /// The current query epoch (diagnostics/tests).
+    #[inline]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Number of query keywords `q`.
@@ -74,14 +188,16 @@ impl SearchState {
     /// Hitting level `M[v][i]` (255 = not yet hit).
     #[inline]
     pub fn hit(&self, v: u32, i: usize) -> u8 {
-        self.matrix[v as usize * self.q + i].load(Ordering::Relaxed)
+        let cell = self.matrix[v as usize * self.q + i].load(Ordering::Relaxed);
+        unpack(cell, self.epoch, INFINITE_LEVEL)
     }
 
     /// Record a hit: `M[v][i] ← level`. Racing writers store the same
-    /// value (Theorem V.2), so a plain store suffices.
+    /// packed `(epoch, level)` word (Theorem V.2), so a plain store
+    /// suffices.
     #[inline]
     pub fn set_hit(&self, v: u32, i: usize, level: u8) {
-        self.matrix[v as usize * self.q + i].store(level, Ordering::Relaxed);
+        self.matrix[v as usize * self.q + i].store(pack(self.epoch, level), Ordering::Relaxed);
     }
 
     /// `true` if `v` has been hit by every BFS instance — the Central Node
@@ -91,20 +207,22 @@ impl SearchState {
         let base = v as usize * self.q;
         self.matrix[base..base + self.q]
             .iter()
-            .all(|m| m.load(Ordering::Relaxed) != INFINITE_LEVEL)
+            .all(|m| unpack(m.load(Ordering::Relaxed), self.epoch, INFINITE_LEVEL) != INFINITE_LEVEL)
     }
 
     /// Set `FIdentifier[v] ← 1` (node becomes/stays a frontier).
     #[inline]
     pub fn mark_frontier(&self, v: u32) {
-        self.frontier[v as usize].store(1, Ordering::Relaxed);
+        self.frontier[v as usize].store(pack(self.epoch, 1), Ordering::Relaxed);
     }
 
-    /// Read and clear one frontier flag (sequential enqueue).
+    /// Read and clear one frontier flag (sequential enqueue). A stale
+    /// stamp reads as clear and is left untouched.
     #[inline]
     pub fn take_frontier_flag(&self, v: u32) -> bool {
-        if self.frontier[v as usize].load(Ordering::Relaxed) == 1 {
-            self.frontier[v as usize].store(0, Ordering::Relaxed);
+        let cell = self.frontier[v as usize].load(Ordering::Relaxed);
+        if unpack(cell, self.epoch, 0) == 1 {
+            self.frontier[v as usize].store(pack(self.epoch, 0), Ordering::Relaxed);
             true
         } else {
             false
@@ -115,19 +233,19 @@ impl SearchState {
     /// first, clears in bulk).
     #[inline]
     pub fn frontier_flag(&self, v: u32) -> bool {
-        self.frontier[v as usize].load(Ordering::Relaxed) == 1
+        unpack(self.frontier[v as usize].load(Ordering::Relaxed), self.epoch, 0) == 1
     }
 
     /// Clear one frontier flag.
     #[inline]
     pub fn clear_frontier_flag(&self, v: u32) {
-        self.frontier[v as usize].store(0, Ordering::Relaxed);
+        self.frontier[v as usize].store(pack(self.epoch, 0), Ordering::Relaxed);
     }
 
     /// `true` if `v` was identified as a Central Node.
     #[inline]
     pub fn is_central(&self, v: u32) -> bool {
-        self.central[v as usize].load(Ordering::Relaxed) != 0
+        unpack(self.central[v as usize].load(Ordering::Relaxed), self.epoch, 0) != 0
     }
 
     /// Mark `v` as a Central Node identified at `depth` (it becomes
@@ -135,13 +253,13 @@ impl SearchState {
     #[inline]
     pub fn mark_central(&self, v: u32, depth: u8) {
         debug_assert!(depth < u8::MAX);
-        self.central[v as usize].store(depth + 1, Ordering::Relaxed);
+        self.central[v as usize].store(pack(self.epoch, depth + 1), Ordering::Relaxed);
     }
 
     /// The identification depth of `v` if it is a Central Node.
     #[inline]
     pub fn central_depth(&self, v: u32) -> Option<u8> {
-        match self.central[v as usize].load(Ordering::Relaxed) {
+        match unpack(self.central[v as usize].load(Ordering::Relaxed), self.epoch, 0) {
             0 => None,
             d => Some(d - 1),
         }
@@ -150,7 +268,7 @@ impl SearchState {
     /// `true` if `v` contains at least one query keyword.
     #[inline]
     pub fn is_keyword_node(&self, v: u32) -> bool {
-        self.is_keyword[v as usize] == 1
+        self.is_keyword[v as usize] == self.epoch
     }
 
     /// `true` if `v` is a source of instance `i` (`v ∈ T_i ⇔ M[v][i] = 0`).
@@ -165,9 +283,12 @@ impl SearchState {
         (0..self.q).filter(|&i| self.is_source(v, i)).count()
     }
 
-    /// Copy out the matrix (tests/debugging).
+    /// Copy out the matrix (tests/debugging). Stale cells read as ∞.
     pub fn matrix_snapshot(&self) -> Vec<u8> {
-        self.matrix.iter().map(|m| m.load(Ordering::Relaxed)).collect()
+        self.matrix[..self.n * self.q]
+            .iter()
+            .map(|m| unpack(m.load(Ordering::Relaxed), self.epoch, INFINITE_LEVEL))
+            .collect()
     }
 }
 
@@ -215,7 +336,7 @@ mod tests {
     use kgraph::GraphBuilder;
     use textindex::InvertedIndex;
 
-    fn state() -> SearchState {
+    fn fixture() -> (kgraph::KnowledgeGraph, ParsedQuery) {
         let mut b = GraphBuilder::new();
         b.add_node("a", "apple fruit");
         b.add_node("b", "banana fruit");
@@ -223,6 +344,11 @@ mod tests {
         let g = b.build();
         let idx = InvertedIndex::build(&g);
         let q = ParsedQuery::parse(&idx, "apple banana fruit");
+        (g, q)
+    }
+
+    fn state() -> SearchState {
+        let (g, q) = fixture();
         SearchState::new(g.num_nodes(), &q)
     }
 
@@ -276,5 +402,82 @@ mod tests {
         assert_eq!(s.central_depth(1), Some(3));
         s.mark_central(2, 0);
         assert_eq!(s.central_depth(2), Some(0));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_previous_query_writes() {
+        let (g, q) = fixture();
+        let mut s = SearchState::new(g.num_nodes(), &q);
+        s.set_hit(2, 0, 4);
+        s.mark_central(2, 4);
+        s.mark_frontier(2);
+        assert_eq!(s.hit(2, 0), 4);
+        // Re-arm: everything from the old epoch must read as unset.
+        s.begin_query(g.num_nodes(), &q);
+        assert_eq!(s.hit(2, 0), INFINITE_LEVEL);
+        assert!(!s.is_central(2));
+        assert_eq!(s.central_depth(2), None);
+        assert!(!s.frontier_flag(2));
+        assert!(!s.take_frontier_flag(2));
+        // But the new query's sources were re-seeded.
+        assert_eq!(s.hit(0, 0), 0);
+        assert!(s.frontier_flag(0));
+        assert!(s.is_keyword_node(0));
+    }
+
+    #[test]
+    fn warm_begin_query_does_not_reallocate() {
+        let (g, q) = fixture();
+        let mut s = SearchState::new(g.num_nodes(), &q);
+        let matrix_ptr = s.matrix.as_ptr();
+        let frontier_ptr = s.frontier.as_ptr();
+        for _ in 0..10 {
+            s.begin_query(g.num_nodes(), &q);
+        }
+        assert_eq!(s.matrix.as_ptr(), matrix_ptr, "matrix must be reused in place");
+        assert_eq!(s.frontier.as_ptr(), frontier_ptr, "flags must be reused in place");
+        assert_eq!(s.epoch(), 11);
+    }
+
+    #[test]
+    fn buffers_grow_for_larger_queries() {
+        let (g, q) = fixture();
+        let mut s = SearchState::empty();
+        assert_eq!(s.epoch(), 0);
+        s.begin_query(g.num_nodes(), &q);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_keywords(), 3);
+        // A wider graph with the same query grows the buffers.
+        s.begin_query(g.num_nodes() + 5, &q);
+        assert_eq!(s.num_nodes(), 8);
+        assert_eq!(s.hit(7, 0), INFINITE_LEVEL);
+        assert!(!s.is_central(7));
+    }
+
+    #[test]
+    fn epoch_wrap_hard_resets() {
+        let (g, q) = fixture();
+        let mut s = SearchState::new(g.num_nodes(), &q);
+        s.set_hit(2, 1, 7);
+        // Force the wrap: the next begin_query hits EPOCH_LIMIT, zeroes all
+        // cells and restarts at epoch 1.
+        s.epoch = EPOCH_LIMIT - 1;
+        s.begin_query(g.num_nodes(), &q);
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.hit(2, 1), INFINITE_LEVEL, "pre-wrap write must not survive");
+        assert_eq!(s.hit(0, 0), 0, "sources re-seeded after the wrap");
+    }
+
+    #[test]
+    fn stale_epoch_cells_never_alias_current_values() {
+        // A cell written at epoch e must not read as value 0 ("source") at
+        // epoch e+1 — the bug class epoch stamping exists to prevent.
+        let (g, q) = fixture();
+        let mut s = SearchState::new(g.num_nodes(), &q);
+        s.set_hit(2, 0, 0); // node 2 becomes a "source" this epoch
+        assert!(s.is_source(2, 0));
+        s.begin_query(g.num_nodes(), &q);
+        assert!(!s.is_source(2, 0), "stale zero must read as ∞, not source");
+        assert_eq!(s.keyword_count(2), 0);
     }
 }

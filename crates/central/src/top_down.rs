@@ -356,7 +356,15 @@ mod tests {
         let activation = vec![0u8; g.num_nodes()];
         let act = ActivationMap::Explicit(&activation);
         let mut profile = PhaseProfile::default();
-        let out = crate::bottom_up::run(&Seq, g, &act, &state, params, &mut profile);
+        let out = crate::bottom_up::run(
+            &Seq,
+            g,
+            &act,
+            &state,
+            &mut crate::bottom_up::BottomUpScratch::default(),
+            params,
+            &mut profile,
+        );
         let answers: Vec<CentralGraph> = out
             .central_nodes
             .iter()

@@ -160,7 +160,7 @@ impl SyntheticConfig {
             }
             let pred = if t < n / 100 {
                 // hot target: concentrate on 3 predicates keyed by target
-                pred_ids[(t * 7 + rng.random_range(0..3)) % 5 + 1]
+                pred_ids[(t * 7 + rng.random_range(0..3usize)) % 5 + 1]
             } else {
                 pred_ids[rng.random_range(1..pred_ids.len())]
             };

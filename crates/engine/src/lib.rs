@@ -31,8 +31,9 @@ use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SearchStats,
     SeqEngine,
 };
-use central::{CentralGraph, PhaseProfile, SearchParams};
+use central::{CentralGraph, PhaseProfile, SearchParams, SearchSession};
 use kgraph::{estimate_average_distance, KnowledgeGraph};
+use parking_lot::Mutex;
 use textindex::{InvertedIndex, ParsedQuery};
 
 /// Which backend executes searches.
@@ -64,11 +65,17 @@ pub struct WikiSearchResult {
 }
 
 /// The WikiSearch engine: graph + index + backend + defaults.
+///
+/// The engine keeps one [`SearchSession`] for its lifetime: the first
+/// query pays the `n × q` state allocation, every later query re-arms it
+/// with a single epoch bump (see `central::session`). The session is
+/// engine-agnostic, so swapping backends keeps the warm state.
 pub struct WikiSearch {
     graph: KnowledgeGraph,
     index: InvertedIndex,
     params: SearchParams,
     backend: Box<dyn KeywordSearchEngine + Send + Sync>,
+    session: Mutex<SearchSession>,
 }
 
 impl WikiSearch {
@@ -86,7 +93,13 @@ impl WikiSearch {
         let est = estimate_average_distance(&graph, 200, 32, 0xA11CE);
         let a = if est.reachable_pairs == 0 { 3.68 } else { est.mean };
         let params = SearchParams::default().with_average_distance(a);
-        WikiSearch { graph, index, params, backend: make_backend(backend) }
+        WikiSearch {
+            graph,
+            index,
+            params,
+            backend: make_backend(backend),
+            session: Mutex::new(SearchSession::new()),
+        }
     }
 
     /// Swap the search backend.
@@ -120,12 +133,19 @@ impl WikiSearch {
     }
 
     /// Search with explicit parameters (e.g. a different α or top-k).
+    /// Runs through the engine's persistent session — the warm path.
     pub fn search_with(&self, raw_query: &str, params: &SearchParams) -> WikiSearchResult {
         let query = ParsedQuery::parse(&self.index, raw_query);
         let kwf = query.avg_keyword_frequency();
         let SearchOutcome { answers, profile, stats } =
-            self.backend.search(&self.graph, &query, params);
+            self.backend
+                .search_session(&mut self.session.lock(), &self.graph, &query, params);
         WikiSearchResult { query, answers, profile, kwf, stats }
+    }
+
+    /// Number of queries answered through the engine's reusable session.
+    pub fn session_queries_run(&self) -> u64 {
+        self.session.lock().queries_run()
     }
 
     /// Parse a query without searching (used by harnesses for kwf stats).
@@ -208,6 +228,34 @@ mod tests {
         }
         let identified: usize = trace.iter().map(|t| t.identified).sum();
         assert_eq!(identified, result.stats.central_candidates);
+    }
+
+    #[test]
+    fn repeated_searches_reuse_one_session() {
+        let ws = small_engine(Backend::Sequential);
+        assert_eq!(ws.session_queries_run(), 0);
+        let first = ws.search("xml sql rdf");
+        let second = ws.search("xml sql");
+        let third = ws.search("xml sql rdf");
+        assert_eq!(ws.session_queries_run(), 3);
+        // Warm-path answers match the corresponding fresh ones.
+        assert_eq!(first.answers[0].nodes, third.answers[0].nodes);
+        assert_eq!(first.answers[0].edges, third.answers[0].edges);
+        assert!(!second.answers.is_empty());
+    }
+
+    #[test]
+    fn backend_swap_keeps_the_warm_session() {
+        let mut ws = small_engine(Backend::Sequential);
+        let seq = ws.search("xml sql rdf");
+        ws.set_backend(Backend::GpuStyle(2));
+        let gpu = ws.search("xml sql rdf");
+        assert_eq!(ws.session_queries_run(), 2);
+        assert_eq!(seq.answers[0].nodes, gpu.answers[0].nodes);
+        ws.set_backend(Backend::DynPar(2));
+        let dy = ws.search("xml sql rdf");
+        assert_eq!(seq.answers[0].nodes, dy.answers[0].nodes);
+        assert_eq!(ws.session_queries_run(), 3);
     }
 
     #[test]

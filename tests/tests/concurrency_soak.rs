@@ -7,7 +7,7 @@
 use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine,
 };
-use central::SearchParams;
+use central::{SearchParams, SearchSession};
 use datagen::synthetic::SyntheticConfig;
 use datagen::QueryWorkload;
 use textindex::{InvertedIndex, ParsedQuery};
@@ -69,4 +69,85 @@ fn parallel_engines_agree_on_a_large_graph_under_contention() {
             }
         }
     }
+}
+
+/// Session soak: ONE `SearchSession` is hammered with a stream of
+/// sequential queries while the executing engine and its thread count
+/// keep changing underneath it. Every warm answer must match a fresh
+/// sequential search of the same query — any stale-epoch leakage (a
+/// matrix cell, frontier flag, central flag, or CPU-Par-d node record
+/// surviving from an earlier query) would corrupt hitting levels and
+/// diverge from the cold reference.
+#[test]
+fn one_session_survives_a_query_stream_across_thread_counts() {
+    let mut cfg = SyntheticConfig::tiny(77);
+    cfg.num_entities = 1200;
+    let ds = cfg.generate();
+    let index = InvertedIndex::build(&ds.graph);
+    let params = SearchParams::default()
+        .with_average_distance(2.5)
+        .with_top_k(8);
+
+    let mut workload = QueryWorkload::new(31);
+    let queries: Vec<ParsedQuery> = workload
+        .batch(4, 3)
+        .iter()
+        .map(|q| ParsedQuery::parse(&index, q))
+        .collect();
+    let seq = SeqEngine::new();
+    let references: Vec<_> = queries
+        .iter()
+        .map(|q| seq.search(&ds.graph, q, &params))
+        .collect();
+
+    let mut session = SearchSession::new();
+    let mut runs = 0u64;
+    for threads in [1usize, 2, 4, 8] {
+        let engines: Vec<Box<dyn KeywordSearchEngine>> = vec![
+            Box::new(SeqEngine::new()),
+            Box::new(ParCpuEngine::new(threads)),
+            Box::new(GpuStyleEngine::new(threads)),
+            Box::new(DynParEngine::new(threads)),
+        ];
+        for engine in &engines {
+            for (qi, query) in queries.iter().enumerate() {
+                let out = engine.search_session(&mut session, &ds.graph, query, &params);
+                if query.num_keywords() > 0 {
+                    runs += 1;
+                }
+                let reference = &references[qi];
+                assert_eq!(
+                    out.answers.len(),
+                    reference.answers.len(),
+                    "threads {threads} query {qi}: answer count for {}",
+                    engine.name()
+                );
+                for (a, b) in out.answers.iter().zip(&reference.answers) {
+                    assert_eq!(
+                        a.central,
+                        b.central,
+                        "threads {threads} query {qi}: {}",
+                        engine.name()
+                    );
+                    assert_eq!(a.nodes, b.nodes, "threads {threads} query {qi}: {}", engine.name());
+                    assert_eq!(a.edges, b.edges, "threads {threads} query {qi}: {}", engine.name());
+                    assert_eq!(
+                        a.keyword_edges,
+                        b.keyword_edges,
+                        "threads {threads} query {qi}: {}",
+                        engine.name()
+                    );
+                }
+                assert_eq!(
+                    out.stats.central_candidates, reference.stats.central_candidates,
+                    "threads {threads} query {qi}: top-(k,d) cohort for {}",
+                    engine.name()
+                );
+                assert_eq!(out.stats.last_level, reference.stats.last_level);
+            }
+        }
+    }
+    // Every non-empty query in the stream went through the one session.
+    assert_eq!(session.queries_run(), runs);
+    assert!(session.queries_run() > 0);
 }

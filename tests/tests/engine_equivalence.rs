@@ -11,7 +11,7 @@
 use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine,
 };
-use central::SearchParams;
+use central::{SearchParams, SearchSession};
 use kgraph::{GraphBuilder, KnowledgeGraph};
 use proptest::prelude::*;
 use textindex::{InvertedIndex, ParsedQuery};
@@ -120,6 +120,110 @@ proptest! {
                 );
                 prop_assert!((a.score - b.score).abs() < 1e-9, "score differs for {}", engine.name());
             }
+        }
+    }
+
+    /// The session property: running a stream of (at least three)
+    /// consecutive *distinct* queries through one reused [`SearchSession`]
+    /// must be bit-identical — answers, scores, statistics, and the
+    /// per-level trace — to running each query through a fresh session,
+    /// for all four engines. A stale-epoch leak (a cell from query `i`
+    /// read as current by query `i+1`) would surface here as a diverging
+    /// hitting level, candidate cohort, or answer set.
+    #[test]
+    fn session_reuse_is_bit_identical_to_fresh(case in case_strategy()) {
+        let graph = build_graph(&case);
+        let idx = InvertedIndex::build(&graph);
+        // Three consecutive distinct queries derived from the base query
+        // by rotating the word pool, so keyword sets differ per query.
+        let queries: Vec<ParsedQuery> = (0..3)
+            .map(|k| {
+                let raw: Vec<&str> = case
+                    .query
+                    .iter()
+                    .map(|&w| WORDS[(w + k) % WORDS.len()])
+                    .collect();
+                ParsedQuery::parse(&idx, &raw.join(" "))
+            })
+            .collect();
+        let params = SearchParams {
+            top_k: case.top_k,
+            max_level: 12,
+            ..SearchParams::default()
+        }
+        .with_explicit_activation(case.activation.clone());
+
+        let engines: Vec<Box<dyn KeywordSearchEngine>> = vec![
+            Box::new(SeqEngine::new()),
+            Box::new(ParCpuEngine::new(3)),
+            Box::new(GpuStyleEngine::new(3)),
+            Box::new(DynParEngine::new(3)),
+        ];
+        for engine in &engines {
+            let mut session = SearchSession::new();
+            for (qi, query) in queries.iter().enumerate() {
+                let fresh = engine.search(&graph, query, &params);
+                let warm = engine.search_session(&mut session, &graph, query, &params);
+                prop_assert_eq!(
+                    warm.answers.len(),
+                    fresh.answers.len(),
+                    "answer count: query {} via {}",
+                    qi,
+                    engine.name()
+                );
+                for (a, b) in warm.answers.iter().zip(&fresh.answers) {
+                    prop_assert_eq!(a.central, b.central, "central: query {} via {}", qi, engine.name());
+                    prop_assert_eq!(a.depth, b.depth, "depth: query {} via {}", qi, engine.name());
+                    prop_assert_eq!(&a.nodes, &b.nodes, "nodes: query {} via {}", qi, engine.name());
+                    prop_assert_eq!(&a.edges, &b.edges, "edges: query {} via {}", qi, engine.name());
+                    prop_assert_eq!(
+                        &a.keyword_edges,
+                        &b.keyword_edges,
+                        "keyword paths: query {} via {}",
+                        qi,
+                        engine.name()
+                    );
+                    prop_assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "score bits: query {} via {}",
+                        qi,
+                        engine.name()
+                    );
+                }
+                prop_assert_eq!(
+                    warm.stats.central_candidates,
+                    fresh.stats.central_candidates,
+                    "cohort: query {} via {}",
+                    qi,
+                    engine.name()
+                );
+                prop_assert_eq!(
+                    warm.stats.last_level,
+                    fresh.stats.last_level,
+                    "last level: query {} via {}",
+                    qi,
+                    engine.name()
+                );
+                prop_assert_eq!(
+                    warm.stats.peak_frontier,
+                    fresh.stats.peak_frontier,
+                    "peak frontier: query {} via {}",
+                    qi,
+                    engine.name()
+                );
+                prop_assert_eq!(
+                    &warm.stats.trace,
+                    &fresh.stats.trace,
+                    "level trace: query {} via {}",
+                    qi,
+                    engine.name()
+                );
+            }
+            // Queries that match no keyword short-circuit before touching
+            // the session, so only non-empty parses count as runs.
+            let expected_runs = queries.iter().filter(|q| q.num_keywords() > 0).count() as u64;
+            prop_assert_eq!(session.queries_run(), expected_runs);
         }
     }
 

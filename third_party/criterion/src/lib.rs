@@ -1,0 +1,217 @@
+//! Minimal `criterion` shim: same macro/API shape, but measurement is a
+//! plain warm-up + timed-batches loop reporting mean/min per iteration.
+//! No statistics, plots, or baseline files. `--bench --test` (what
+//! `cargo test` passes) runs each benchmark once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    smoke_test_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            smoke_test_only: smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_benchmark(self, &id, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &id, f);
+    }
+
+    /// Finish the group (report-flush hook in real criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(config: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    if config.smoke_test_only {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{id}: smoke test ok");
+        return;
+    }
+
+    // Warm-up: discover a per-sample iteration count that fits the budget.
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    let mut per_iter = Duration::from_secs(1);
+    while warm_up_start.elapsed() < config.warm_up_time {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b.elapsed.checked_div(iters as u32).unwrap_or(Duration::ZERO);
+        if b.elapsed < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+    let per_sample = config.measurement_time.as_nanos() / config.sample_size.max(1) as u128;
+    if per_iter.as_nanos() > 0 {
+        iters = ((per_sample / per_iter.as_nanos()).max(1) as u64).min(1 << 30);
+    }
+
+    let mut samples = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    println!(
+        "{id}: mean {} median {} min {} ({} samples x {iters} iters)",
+        fmt_time(mean),
+        fmt_time(median),
+        fmt_time(samples[0]),
+        samples.len(),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declare a benchmark group: plain form or `name =`/`config =` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let counter = std::cell::Cell::new(0u64);
+        let mut b = Bencher { iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| counter.set(counter.get() + 1));
+        assert_eq!(counter.get(), 17);
+        assert!(b.elapsed > Duration::ZERO || counter.get() == 17);
+    }
+
+    #[test]
+    fn group_runs_functions() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+            smoke_test_only: false,
+        };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("t");
+            g.bench_function("noop", |b| {
+                b.iter(|| 1 + 1);
+            });
+            g.finish();
+        }
+        c.bench_function("standalone", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,199 @@
+//! Generation of strings matching a small regex subset: literal chars,
+//! `[...]` classes (ranges and singletons), `(...)` groups, `{m}`/`{m,n}`
+//! repetition, and `\PC` (any non-control character).
+
+use crate::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Piece>),
+    AnyNonControl,
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Printable pool for `\PC`: ASCII plus multibyte chars so UTF-8 boundary
+/// handling gets exercised.
+const NON_CONTROL_EXTRA: &[char] =
+    &['é', 'ß', 'λ', 'Ж', '中', '語', '🌍', 'ñ', '�', '„'];
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let pieces = parse_sequence(&chars, &mut pos, pattern);
+    assert!(pos == chars.len(), "unsupported regex `{pattern}` (stopped at {pos})");
+    let mut out = String::new();
+    emit_sequence(&pieces, rng, &mut out);
+    out
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let atom = parse_atom(chars, pos, pattern);
+        let (min, max) = parse_repeat(chars, pos, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize, pattern: &str) -> Atom {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            while chars[*pos] != ']' {
+                let lo = chars[*pos];
+                *pos += 1;
+                if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                    let hi = chars[*pos + 1];
+                    *pos += 2;
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            *pos += 1;
+            Atom::Class(ranges)
+        }
+        '(' => {
+            *pos += 1;
+            let inner = parse_sequence(chars, pos, pattern);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unbalanced group in regex `{pattern}`"
+            );
+            *pos += 1;
+            Atom::Group(inner)
+        }
+        '\\' => {
+            assert!(
+                chars.get(*pos + 1) == Some(&'P') && chars.get(*pos + 2) == Some(&'C'),
+                "unsupported escape in regex `{pattern}`"
+            );
+            *pos += 3;
+            Atom::AnyNonControl
+        }
+        c => {
+            *pos += 1;
+            Atom::Literal(c)
+        }
+    }
+}
+
+fn parse_repeat(chars: &[char], pos: &mut usize, pattern: &str) -> (usize, usize) {
+    if *pos >= chars.len() || chars[*pos] != '{' {
+        return match chars.get(*pos) {
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+    }
+    *pos += 1;
+    let mut min = 0usize;
+    while chars[*pos].is_ascii_digit() {
+        min = min * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+        *pos += 1;
+    }
+    let max = if chars[*pos] == ',' {
+        *pos += 1;
+        let mut max = 0usize;
+        while chars[*pos].is_ascii_digit() {
+            max = max * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+            *pos += 1;
+        }
+        max
+    } else {
+        min
+    };
+    assert!(chars[*pos] == '}', "malformed repetition in regex `{pattern}`");
+    *pos += 1;
+    (min, max)
+}
+
+fn emit_sequence(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let count = rng.range_usize(piece.min, piece.max + 1);
+        for _ in 0..count {
+            emit_atom(&piece.atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.range_usize(0, ranges.len())];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                .expect("class range stays inside valid scalar values");
+            out.push(c);
+        }
+        Atom::Group(inner) => emit_sequence(inner, rng, out),
+        Atom::AnyNonControl => {
+            // 3/4 printable ASCII, 1/4 multibyte.
+            if rng.below(4) < 3 {
+                out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap());
+            } else {
+                out.push(NON_CONTROL_EXTRA[rng.range_usize(0, NON_CONTROL_EXTRA.len())]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_pattern_generates_words() {
+        let mut rng = TestRng::from_name("regex-words");
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,6}( [a-z]{1,6}){0,2}", &mut rng);
+            for word in s.split(' ') {
+                assert!((1..=6).contains(&word.len()), "bad word in `{s}`");
+                assert!(word.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_space() {
+        let mut rng = TestRng::from_name("regex-mixed");
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z ]{0,48}", &mut rng);
+            assert!(s.len() <= 48);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn non_control_escape() {
+        let mut rng = TestRng::from_name("regex-pc");
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let s = generate_matching("\\PC{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_multibyte |= s.chars().any(|c| c.len_utf8() > 1);
+        }
+        assert!(saw_multibyte, "pool should exercise multibyte chars");
+    }
+}

@@ -1,0 +1,249 @@
+//! Minimal `rand` 0.9 shim.
+//!
+//! One generator (SplitMix64 seeded, xorshift-mixed) stands in for both
+//! `StdRng` and `SmallRng`. The workspace only relies on *determinism for
+//! a fixed seed*, not on the exact stream of any upstream generator.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+    /// Build from OS entropy; here: from a clock-derived seed.
+    fn from_os_rng() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x1234_5678);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// Types that can be drawn uniformly by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+impl Standard for bool {
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() & 1 == 1
+    }
+}
+impl Standard for u32 {
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 32) as u32
+    }
+}
+impl Standard for u64 {
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng()
+    }
+}
+impl Standard for u8 {
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 56) as u8
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+sint_range!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let unit = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (self.start as f64 + unit * (self.end as f64 - self.start as f64)) as $t
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// High-level sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Standard>::draw(&mut || self.next_u64()) < p
+    }
+
+    /// Uniform draw of a primitive.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(&mut || self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64: tiny, fast, full-period, excellent equidistribution for
+/// test workloads.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed ^ 0x5DEE_CE66_D42D_9876 }
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    /// The "standard" generator (shim: SplitMix64).
+    pub type StdRng = super::SplitMix64;
+    /// The "small" generator (shim: SplitMix64).
+    pub type SmallRng = super::SplitMix64;
+}
+
+/// Sequence-related sampling helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random element selection from indexable collections.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+        /// Uniformly random element, `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let x = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3];
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        for _ in 0..10 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Indexed parallel iterators: sources (slices, ranges, vectors) compose
+//! with `copied`/`map`/`filter` adapters; `for_each`/`collect` drive the
+//! pipeline through [`crate::bridge`].
+
+use std::sync::Mutex;
+
+/// An indexed source of items: random access by position, where a
+/// position may produce nothing (after `filter`).
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced by the pipeline.
+    type Item: Send;
+
+    /// Upper bound of the index space.
+    fn range_len(&self) -> usize;
+
+    /// Produce the item at index `i`, if the pipeline keeps it.
+    fn produce(&self, i: usize) -> Option<Self::Item>;
+
+    /// Dereference-copy the items (`&T → T`).
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: 'a + Copy + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    /// Clone the items (`&T → T`).
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        T: 'a + Clone + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Cloned { base: self }
+    }
+
+    /// Transform each item.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Keep items satisfying `pred`.
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, pred: F) -> Filter<Self, F> {
+        Filter { base: self, pred }
+    }
+
+    /// Run `f` on every item, in parallel over the ambient pool.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        crate::bridge(self.range_len(), &|lo, hi| {
+            for i in lo..hi {
+                if let Some(item) = self.produce(i) {
+                    f(item);
+                }
+            }
+        });
+    }
+
+    /// Number of items the pipeline keeps.
+    fn count(self) -> usize {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        crate::bridge(self.range_len(), &|lo, hi| {
+            let mut local = 0usize;
+            for i in lo..hi {
+                if self.produce(i).is_some() {
+                    local += 1;
+                }
+            }
+            counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+        });
+        counter.into_inner()
+    }
+
+    /// Collect kept items, preserving index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types a parallel iterator can gather into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Gather all produced items in index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        // Each block pushes `(lo, items)`; blocks are then concatenated in
+        // ascending `lo`, which equals sequential order.
+        let buckets: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+        crate::bridge(iter.range_len(), &|lo, hi| {
+            let mut local = Vec::new();
+            for i in lo..hi {
+                if let Some(item) = iter.produce(i) {
+                    local.push(item);
+                }
+            }
+            buckets.lock().unwrap().push((lo, local));
+        });
+        let mut buckets = buckets.into_inner().unwrap();
+        buckets.sort_unstable_by_key(|&(lo, _)| lo);
+        let mut out = Vec::with_capacity(buckets.iter().map(|(_, b)| b.len()).sum());
+        for (_, mut bucket) in buckets.drain(..) {
+            out.append(&mut bucket);
+        }
+        out
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn range_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn produce(&self, i: usize) -> Option<&'a T> {
+        Some(&self.slice[i])
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>` (items cloned out; the
+/// workspace only moves `Copy`-like data through this path).
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn range_len(&self) -> usize {
+        self.items.len()
+    }
+    fn produce(&self, i: usize) -> Option<T> {
+        Some(self.items[i].clone())
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn range_len(&self) -> usize {
+        self.len
+    }
+    fn produce(&self, i: usize) -> Option<usize> {
+        Some(self.start + i)
+    }
+}
+
+/// Adapter: `copied`.
+pub struct Copied<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Copied<P>
+where
+    T: 'a + Copy + Send + Sync,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn range_len(&self) -> usize {
+        self.base.range_len()
+    }
+    fn produce(&self, i: usize) -> Option<T> {
+        self.base.produce(i).copied()
+    }
+}
+
+/// Adapter: `cloned`.
+pub struct Cloned<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Cloned<P>
+where
+    T: 'a + Clone + Send + Sync,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn range_len(&self) -> usize {
+        self.base.range_len()
+    }
+    fn produce(&self, i: usize) -> Option<T> {
+        self.base.produce(i).cloned()
+    }
+}
+
+/// Adapter: `map`.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn range_len(&self) -> usize {
+        self.base.range_len()
+    }
+    fn produce(&self, i: usize) -> Option<R> {
+        self.base.produce(i).map(&self.f)
+    }
+}
+
+/// Adapter: `filter`.
+pub struct Filter<P, F> {
+    base: P,
+    pred: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+    fn range_len(&self) -> usize {
+        self.base.range_len()
+    }
+    fn produce(&self, i: usize) -> Option<P::Item> {
+        self.base.produce(i).filter(|item| (self.pred)(item))
+    }
+}
+
+/// Owned-to-parallel conversion (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { start: self.start, len: self.end.saturating_sub(self.start) }
+    }
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// Borrowed-to-parallel conversion (`par_iter`).
+pub trait IntoParallelRefIterator<'d> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over borrowed items.
+    fn par_iter(&'d self) -> Self::Iter;
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for [T] {
+    type Item = &'d T;
+    type Iter = SliceIter<'d, T>;
+    fn par_iter(&'d self) -> SliceIter<'d, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for Vec<T> {
+    type Item = &'d T;
+    type Iter = SliceIter<'d, T>;
+    fn par_iter(&'d self) -> SliceIter<'d, T> {
+        SliceIter { slice: self }
+    }
+}

@@ -1,0 +1,316 @@
+//! Minimal `rayon` shim: a real thread pool plus the indexed
+//! parallel-iterator subset this workspace uses.
+//!
+//! Parallel iterators are *eagerly chunked*: the index space is split into
+//! one contiguous block per pool thread, blocks run concurrently, and
+//! ordered operations (`collect`) reassemble blocks in index order, so the
+//! ordering guarantees match rayon's. There is no work stealing; the
+//! workspace's level-synchronous workloads are uniform enough that block
+//! scheduling is an adequate stand-in.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+pub mod iter;
+
+/// `use rayon::prelude::*` — the parallel iterator traits.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Inner {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn submit(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+}
+
+/// A pool of worker threads.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Error building a thread pool (the shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 = one per logical CPU).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        // With a single thread every bridge runs inline on the caller, so
+        // no workers are needed; more threads get `threads` real workers.
+        let worker_count = if threads > 1 { threads } else { 0 };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(ThreadPool { inner, threads, workers })
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner.available.wait(queue).unwrap();
+            }
+        };
+        // Panics are caught at the latch; the worker itself must survive.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool as the ambient pool: parallel iterators
+    /// inside `f` distribute work over this pool's threads.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = CURRENT.with(|c| {
+            c.replace(Some(Ambient { inner: Arc::clone(&self.inner), threads: self.threads }))
+        });
+        let result = catch_unwind(AssertUnwindSafe(f));
+        CURRENT.with(|c| c.replace(previous));
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Ambient {
+    inner: Arc<Inner>,
+    threads: usize,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ambient>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Worker count of the ambient pool (1 outside any `install`).
+pub fn current_num_threads() -> usize {
+    CURRENT.with(|c| c.borrow().as_ref().map_or(1, |a| a.threads))
+}
+
+/// Run two closures, returning both results. The shim runs them
+/// sequentially — semantically equivalent, as rayon guarantees both have
+/// completed on return.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Completion latch for one bridge invocation.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch { remaining: Mutex::new(count), done: Condvar::new(), poisoned: AtomicBool::new(false) }
+    }
+
+    fn complete_one(&self, panicked: bool) {
+        if panicked {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap();
+        }
+    }
+}
+
+/// Split `0..n` into one contiguous block per ambient pool thread and run
+/// `body(lo, hi)` on each block concurrently. Blocks on completion of all
+/// blocks before returning (also on panic), so `body` may borrow from the
+/// caller's stack.
+pub(crate) fn bridge(n: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let ambient = CURRENT.with(|c| c.borrow().clone());
+    let Some(ambient) = ambient else {
+        body(0, n);
+        return;
+    };
+    let k = ambient.threads.min(n);
+    if k <= 1 {
+        body(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(k);
+    let latch = Latch::new(k - 1);
+    // SAFETY: every job signals `latch` when finished and `wait` below does
+    // not return (even on panic in the caller's own block) until all jobs
+    // have signalled, so the borrows of `body` and `latch` outlive all use.
+    let body_static: &'static (dyn Fn(usize, usize) + Sync) =
+        unsafe { std::mem::transmute(body) };
+    let latch_static: &'static Latch = unsafe { &*std::ptr::from_ref(&latch) };
+    for c in 1..k {
+        let lo = c * chunk;
+        let hi = ((c + 1) * chunk).min(n);
+        ambient.inner.submit(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| body_static(lo, hi)));
+            latch_static.complete_one(result.is_err());
+        }));
+    }
+    let own = catch_unwind(AssertUnwindSafe(|| body(0, chunk.min(n))));
+    latch.wait();
+    match own {
+        Err(payload) => std::panic::resume_unwind(payload),
+        Ok(()) if latch.poisoned.load(Ordering::Acquire) => {
+            panic!("a parallel task panicked");
+        }
+        Ok(()) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_work_on_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..1000usize).into_par_iter().for_each(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let data: Vec<usize> = (0..101).collect();
+        let doubled: Vec<usize> =
+            pool.install(|| data.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..101).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_and_copied_compose() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let data: Vec<u32> = (0..50).collect();
+        let even: Vec<u32> =
+            pool.install(|| data.par_iter().copied().filter(|x| x % 2 == 0).collect());
+        assert_eq!(even, (0..50).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_without_install() {
+        let total: Vec<usize> = (0..10usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(total, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    if i == 63 {
+                        panic!("boom");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err());
+        // The pool remains usable after a propagated panic.
+        let sum: Vec<usize> = pool.install(|| (0..8usize).into_par_iter().collect());
+        assert_eq!(sum.len(), 8);
+    }
+}

@@ -1,0 +1,397 @@
+//! The owned value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON-like value. Integers keep their signedness so `u64::MAX`
+/// (and `usize::MAX` sentinels in configs) survive round-trips exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (only used for negative values on parse).
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered list of key/value pairs (insertion order
+    /// preserved; lookups are linear — fine at config scale).
+    Object(Vec<(String, Value)>),
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Value {
+    /// Human label for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Build a "expected X, found Y" error for this value.
+    pub fn type_error(&self, expected: &str) -> DeError {
+        DeError(format!("expected {expected}, found {}", self.kind()))
+    }
+
+    /// As `u64` if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(x) => Some(x),
+            Value::I64(x) => u64::try_from(x).ok(),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                Some(x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// As `i64` if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) => i64::try_from(x).ok(),
+            Value::F64(x) if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 => {
+                Some(x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// As `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::I64(x) => Some(x as f64),
+            Value::U64(x) => Some(x as f64),
+            _ => None,
+        }
+    }
+
+    /// As boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// As string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// As object entry list.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Is this an array?
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Is this an object?
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Is this a string?
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Is this a number?
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::I64(_) | Value::U64(_) | Value::F64(_))
+    }
+
+    /// Field lookup on objects (`None` for missing key or non-object).
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// `serde_json::Value::get` compatibility: same as [`Self::get_field`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.get_field(key)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering (matches `serde_json::to_string`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_json(self, f, None, 0)
+    }
+}
+
+impl Value {
+    /// Pretty JSON rendering with two-space indent
+    /// (matches `serde_json::to_string_pretty`).
+    pub fn to_json_pretty(&self) -> String {
+        struct Pretty<'a>(&'a Value);
+        impl fmt::Display for Pretty<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write_json(self.0, f, Some(2), 0)
+            }
+        }
+        Pretty(self).to_string()
+    }
+}
+
+fn write_json(
+    v: &Value,
+    f: &mut fmt::Formatter<'_>,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
+    let newline = |f: &mut fmt::Formatter<'_>, depth: usize| -> fmt::Result {
+        match indent {
+            Some(width) => write!(f, "\n{:1$}", "", width * depth),
+            None => Ok(()),
+        }
+    };
+    match v {
+        Value::Null => write!(f, "null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::I64(x) => write!(f, "{x}"),
+        Value::U64(x) => write!(f, "{x}"),
+        Value::F64(x) => write_f64(*x, f),
+        Value::String(s) => write_escaped(s, f),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return write!(f, "[]");
+            }
+            write!(f, "[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                newline(f, depth + 1)?;
+                write_json(item, f, indent, depth + 1)?;
+            }
+            newline(f, depth)?;
+            write!(f, "]")
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                return write!(f, "{{}}");
+            }
+            write!(f, "{{")?;
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                newline(f, depth + 1)?;
+                write_escaped(key, f)?;
+                write!(f, ":")?;
+                if indent.is_some() {
+                    write!(f, " ")?;
+                }
+                write_json(val, f, indent, depth + 1)?;
+            }
+            newline(f, depth)?;
+            write!(f, "}}")
+        }
+    }
+}
+
+fn write_f64(x: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if !x.is_finite() {
+        // JSON has no NaN/inf; serde_json refuses to emit them.
+        write!(f, "null")
+    } else if x.fract() == 0.0 && x.abs() < 1e16 {
+        // Keep a trailing `.0` so the value re-parses as a float.
+        write!(f, "{x:.1}")
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+fn write_escaped(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            '\u{08}' => write!(f, "\\b")?,
+            '\u{0c}' => write!(f, "\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get_field(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::F64(x)
+    }
+}
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value { Value::U64(x as u64) }
+        }
+    )*};
+}
+from_uint!(u8, u16, u32, u64, usize);
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value { Value::I64(x as i64) }
+        }
+    )*};
+}
+from_int!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_missing_field_is_null() {
+        let v = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn display_renders_compact_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Array(vec![Value::F64(1.5), Value::Null])),
+            ("c".into(), Value::String("x\"y".into())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[1.5,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_renders_indented_json() {
+        let v = Value::Object(vec![("x".into(), Value::U64(1))]);
+        assert_eq!(v.to_json_pretty(), "{\n  \"x\": 1\n}");
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal_point() {
+        assert_eq!(Value::F64(2.0).to_string(), "2.0");
+        assert_eq!(Value::F64(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::U64(5).as_i64(), Some(5));
+        assert_eq!(Value::I64(-5).as_u64(), None);
+        assert_eq!(Value::F64(2.0).as_u64(), Some(2));
+        assert_eq!(Value::F64(2.5).as_u64(), None);
+    }
+}

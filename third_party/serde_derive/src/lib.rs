@@ -1,0 +1,246 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim. No `syn`/`quote`: the struct item is parsed
+//! directly from the token stream and the impl is emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - named-field structs, with `#[serde(skip)]` on fields
+//! - tuple structs (newtypes serialize transparently, wider ones as arrays)
+//! - unit structs
+//!
+//! Enums, generics, and other serde attributes are rejected loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+    };
+    let code = format!(
+        "impl serde::Serialize for {} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n",
+        item.name
+    );
+    code.parse().expect("derived Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: serde::Deserialize::from_value(\
+                             v.get_field(\"{0}\").unwrap_or(&serde::Value::Null))?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "if v.as_object().is_none() {{ return Err(v.type_error(\"object\")); }}\n\
+                 Ok(Self {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => "Ok(Self(serde::Deserialize::from_value(v)?))".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| v.type_error(\"array\"))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(serde::DeError(format!(\
+                         \"expected array of length {n}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => "Ok(Self)".to_string(),
+    };
+    let code = format!(
+        "impl serde::Deserialize for {} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}\n",
+        item.name
+    );
+    code.parse().expect("derived Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+
+    // Item-level attributes (doc comments, #[derive], ...), then visibility.
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => panic!("serde shim derive supports structs only, found {other:?}"),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+            name,
+            shape: Shape::Named(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+            name,
+            shape: Shape::Tuple(count_tuple_fields(g.stream())),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input { name, shape: Shape::Unit },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive does not support generic struct `{name}`")
+        }
+        other => panic!("unexpected tokens after struct name: {other:?}"),
+    }
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume leading `#[...]` attributes; return whether any was `#[serde(skip)]`.
+fn skip_attributes(tokens: &mut Tokens) -> bool {
+    let mut skip = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(g.stream());
+            }
+            other => panic!("malformed attribute: {other:?}"),
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        let skip = skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(Field { name, skip });
+        consume_type(&mut tokens);
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut tokens = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        if tokens.peek().is_none() {
+            return count;
+        }
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        count += 1;
+        consume_type(&mut tokens);
+    }
+}
+
+/// Consume one type, up to and including the next comma at angle-depth 0.
+/// Commas inside `<...>` (e.g. `HashMap<String, u32>`) belong to the type;
+/// commas inside `(...)`/`[...]` arrive pre-grouped and need no tracking.
+fn consume_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    for token in tokens.by_ref() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}

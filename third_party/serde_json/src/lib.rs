@@ -1,0 +1,381 @@
+//! Minimal `serde_json` shim: text parsing/printing plus the `json!`
+//! macro, over the shared [`serde::Value`] model.
+
+// The `json!` macro necessarily builds containers by pushing entry by
+// entry; the lint fires only on same-crate expansions (the tests below).
+#![allow(clippy::vec_init_then_push)]
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// JSON error (parse or data-model mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize to pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstruct a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Build a [`Value`] from a JSON literal with interpolated expressions.
+///
+/// Object/array literals recurse; any other value position accepts an
+/// arbitrary Rust expression whose type implements `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut array: Vec<$crate::Value> = Vec::new();
+        $crate::json_array_entries!(array; (); $($body)*);
+        $crate::Value::Array(array)
+    }};
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_object_entries!(object; $($body)*);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: munch object entries `"key": <value tokens>, ...`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : $($rest:tt)*) => {
+        $crate::json_object_value!($obj; $key; (); $($rest)*);
+    };
+}
+
+/// Internal: accumulate one object value up to a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value {
+    ($obj:ident; $key:literal; ($($val:tt)*); , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!($($val)*)));
+        $crate::json_object_entries!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal; ($($val:tt)*);) => {
+        $obj.push(($key.to_string(), $crate::json!($($val)*)));
+    };
+    ($obj:ident; $key:literal; ($($val:tt)*); $next:tt $($rest:tt)*) => {
+        $crate::json_object_value!($obj; $key; ($($val)* $next); $($rest)*);
+    };
+}
+
+/// Internal: munch array elements up to top-level commas.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_entries {
+    ($arr:ident; ();) => {};
+    ($arr:ident; ($($val:tt)+);) => {
+        $arr.push($crate::json!($($val)+));
+    };
+    ($arr:ident; ($($val:tt)+); , $($rest:tt)*) => {
+        $arr.push($crate::json!($($val)+));
+        $crate::json_array_entries!($arr; (); $($rest)*);
+    };
+    ($arr:ident; ($($val:tt)*); $next:tt $($rest:tt)*) => {
+        $crate::json_array_entries!($arr; ($($val)* $next); $($rest)*);
+    };
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: must pair with `\uDC00..`.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + (((unit - 0xD800) << 10) | (low - 0xDC00));
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("invalid escape character")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a valid &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(x) = text.parse::<i64>() {
+                    return Ok(Value::I64(x));
+                }
+            } else if let Ok(x) = text.parse::<u64>() {
+                return Ok(Value::U64(x));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_nested_document() {
+        let text = r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "hi\nA"}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_i64(), Some(-2));
+        assert_eq!(v["a"][2].as_f64(), Some(3.5));
+        assert_eq!(v["b"]["c"].as_str(), Some("hi\nA"));
+        let reparsed: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn json_macro_handles_expressions_and_nesting() {
+        let n = 7u32;
+        let words = vec!["a".to_string(), "b".to_string()];
+        let v = json!({
+            "n": n,
+            "sum": n * 2 + 1,
+            "words": words,
+            "nested": { "flag": true, "list": [1, n, null] },
+            "empty": [],
+        });
+        assert_eq!(v["n"].as_u64(), Some(7));
+        assert_eq!(v["sum"].as_u64(), Some(15));
+        assert_eq!(v["words"][1].as_str(), Some("b"));
+        assert_eq!(v["nested"]["list"][1].as_u64(), Some(7));
+        assert_eq!(v["empty"].as_array().map(<[Value]>::len), Some(0));
+    }
+
+    #[test]
+    fn large_integers_survive_round_trip() {
+        let v: Value = from_str(&u64::MAX.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
