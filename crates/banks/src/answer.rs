@@ -116,10 +116,7 @@ mod tests {
         let r = NodeId(5);
         let a = TreeAnswer::from_paths(
             r,
-            vec![
-                vec![NodeId(5), NodeId(3), NodeId(1)],
-                vec![NodeId(5), NodeId(3), NodeId(2)],
-            ],
+            vec![vec![NodeId(5), NodeId(3), NodeId(1)], vec![NodeId(5), NodeId(3), NodeId(2)]],
             4.0,
         );
         assert_eq!(a.nodes, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(5)]);

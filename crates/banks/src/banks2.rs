@@ -75,7 +75,11 @@ mod tests {
         let mut b = GraphBuilder::new();
         let mut ids = Vec::new();
         for i in 0..20 {
-            let text = if i % 2 == 0 { "alpha item" } else { "omega item" };
+            let text = if i % 2 == 0 {
+                "alpha item"
+            } else {
+                "omega item"
+            };
             ids.push(b.add_node(&format!("n{i}"), text));
         }
         for i in 0..20 {

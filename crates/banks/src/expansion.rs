@@ -159,12 +159,8 @@ pub fn run(
                 pq.push(Entry { priority, node: t.0, group: e.group, dist: nd, activation });
                 pending[i].push(Reverse((OrdF32(nd), t.0)));
                 if reached[t.index()] as usize == q {
-                    let score: f64 =
-                        (0..q).map(|g| groups[g].dist[t.index()] as f64).sum();
-                    candidates
-                        .entry(t.0)
-                        .and_modify(|s| *s = s.min(score))
-                        .or_insert(score);
+                    let score: f64 = (0..q).map(|g| groups[g].dist[t.index()] as f64).sum();
+                    candidates.entry(t.0).and_modify(|s| *s = s.min(score)).or_insert(score);
                 }
             }
         }
@@ -195,9 +191,8 @@ pub fn run(
     let answers: Vec<TreeAnswer> = final_scores
         .into_iter()
         .map(|(root, score)| {
-            let paths: Vec<Vec<NodeId>> = (0..q)
-                .map(|g| reconstruct_path(&groups[g], root))
-                .collect();
+            let paths: Vec<Vec<NodeId>> =
+                (0..q).map(|g| reconstruct_path(&groups[g], root)).collect();
             TreeAnswer::from_paths(NodeId(root), paths, score)
         })
         .collect();
@@ -207,10 +202,7 @@ pub fn run(
 
 /// Lower bound on the score of any tree not yet fully discovered: the sum
 /// over groups of the smallest pending (non-stale) distance.
-fn lower_bound(
-    pending: &mut [BinaryHeap<Reverse<(OrdF32, u32)>>],
-    groups: &[GroupState],
-) -> f64 {
+fn lower_bound(pending: &mut [BinaryHeap<Reverse<(OrdF32, u32)>>], groups: &[GroupState]) -> f64 {
     let mut total = 0.0f64;
     for (i, heap) in pending.iter_mut().enumerate() {
         // Drop stale tops (their node already settled at a smaller dist).
@@ -301,7 +293,8 @@ mod tests {
     #[test]
     fn budget_cuts_search_short() {
         let (g, q) = line_graph();
-        let out = run(&g, &q, &BanksParams::default().with_node_budget(1), ExpansionOrder::Distance);
+        let out =
+            run(&g, &q, &BanksParams::default().with_node_budget(1), ExpansionOrder::Distance);
         assert!(out.budget_exhausted);
     }
 

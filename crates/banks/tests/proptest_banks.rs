@@ -14,10 +14,8 @@ const WORDS: &[&str] = &["ant", "bee", "cat", "dog", "elk", "fox"];
 
 fn arb_graph() -> impl Strategy<Value = (KnowledgeGraph, String)> {
     (2usize..20).prop_flat_map(|nodes| {
-        let texts = proptest::collection::vec(
-            proptest::collection::vec(0usize..WORDS.len(), 1..3),
-            nodes,
-        );
+        let texts =
+            proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 1..3), nodes);
         let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 1..40);
         let query = proptest::collection::vec(0usize..WORDS.len(), 2..4);
         (texts, edges, query).prop_map(move |(texts, edges, query)| {

@@ -20,7 +20,9 @@ fn bench_text_pipeline(c: &mut Criterion) {
         })
     });
     g.bench_function("tokenize_label", |b| {
-        b.iter(|| black_box(tokenize(black_box("Statistical Relational Learning, 2nd ed. (AAAI-14)"))))
+        b.iter(|| {
+            black_box(tokenize(black_box("Statistical Relational Learning, 2nd ed. (AAAI-14)")))
+        })
     });
     g.bench_function("analyze_label", |b| {
         b.iter(|| black_box(analyze(black_box("the bayesian inference of markov networks"))))
@@ -79,7 +81,6 @@ fn bench_warm_vs_cold_state(c: &mut Criterion) {
     // End-to-end on the tiny graph: here expansion dominates, so warm and
     // cold should be statistically indistinguishable — the session must
     // never be *slower*.
-    let n = ds.graph.num_nodes();
     let engine = SeqEngine::new();
     g.bench_function("search_cold", |b| {
         b.iter(|| black_box(engine.search(&ds.graph, &query, &params).answers.len()))
@@ -87,12 +88,7 @@ fn bench_warm_vs_cold_state(c: &mut Criterion) {
     let mut session = SearchSession::new();
     g.bench_function("search_warm_session", |b| {
         b.iter(|| {
-            black_box(
-                engine
-                    .search_session(&mut session, &ds.graph, &query, &params)
-                    .answers
-                    .len(),
-            )
+            black_box(engine.search_session(&mut session, &ds.graph, &query, &params).answers.len())
         })
     });
     g.finish();

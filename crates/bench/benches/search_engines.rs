@@ -5,9 +5,7 @@
 //! locks in the bottom-up stage).
 
 use banks::{BanksI, BanksII, BanksParams};
-use central::engine::{
-    DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine,
-};
+use central::engine::{DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine};
 use central::SearchParams;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use datagen::synthetic::SyntheticConfig;
@@ -25,11 +23,8 @@ fn fixture() -> Fixture {
     let ds = cfg.generate();
     let index = InvertedIndex::build(&ds.graph);
     let mut workload = datagen::QueryWorkload::new(50);
-    let queries: Vec<ParsedQuery> = workload
-        .batch(6, 4)
-        .iter()
-        .map(|q| ParsedQuery::parse(&index, q))
-        .collect();
+    let queries: Vec<ParsedQuery> =
+        workload.batch(6, 4).iter().map(|q| ParsedQuery::parse(&index, q)).collect();
     let a = kgraph::sampling::estimate_average_distance_sources(&ds.graph, 8, 16, 24, 1).mean;
     Fixture {
         graph: ds.graph,

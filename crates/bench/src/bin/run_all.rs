@@ -9,6 +9,7 @@ fn main() {
     exp::exp2_topk::run();
     exp::exp3_alpha::run();
     exp::exp4_threads::run();
+    exp::throughput::run();
     exp::effectiveness::run();
     // Appendix experiments (the paper's excluded-competitor arguments).
     exp::blinks_cost::run();

@@ -1,0 +1,5 @@
+//! Service-level throughput: queries/sec vs concurrent clients on one
+//! shared engine (the session-pool scaling experiment).
+fn main() {
+    wikisearch_bench::experiments::throughput::run();
+}

@@ -23,7 +23,12 @@ pub const SIZES: [usize; 4] = [1000, 2000, 4000, 8000];
 pub fn run() -> serde_json::Value {
     println!("== Appendix: BLINKS index cost vs Central Graph running storage ==");
     let mut table = Table::new(vec![
-        "entities", "terms", "BLINKS NKM", "BLINKS total", "build(ms)", "CG storage (Knum=8)",
+        "entities",
+        "terms",
+        "BLINKS NKM",
+        "BLINKS total",
+        "build(ms)",
+        "CG storage (Knum=8)",
     ]);
     let mut points = Vec::new();
     for &entities in &SIZES {

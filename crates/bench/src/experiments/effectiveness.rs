@@ -52,13 +52,9 @@ pub fn run() -> serde_json::Value {
     // Engines: BANKS-II and WikiSearch at three α settings.
     let engine = ParCpuEngine::new(crate::default_threads());
     let banks = BanksII::new();
-    let banks_params = BanksParams::default()
-        .with_top_k(20)
-        .with_node_budget(banks_budget());
+    let banks_params = BanksParams::default().with_top_k(20).with_node_budget(banks_budget());
 
-    let mut table = Table::new(vec![
-        "query", "setting", "top-5", "top-10", "top-20",
-    ]);
+    let mut table = Table::new(vec!["query", "setting", "top-5", "top-10", "top-20"]);
     let mut results_json = Vec::new();
     // Figs. 11–12 plot Q1–Q9 (Q10/Q11 are saturated for every engine).
     for q in ds.queries.iter() {
@@ -86,8 +82,7 @@ pub fn run() -> serde_json::Value {
                 .with_alpha(alpha)
                 .with_average_distance(a);
             let out = engine.search(&ds.graph, &parsed, &params);
-            let answers: Vec<Vec<NodeId>> =
-                out.answers.iter().map(|c| c.nodes.clone()).collect();
+            let answers: Vec<Vec<NodeId>> = out.answers.iter().map(|c| c.nodes.clone()).collect();
             let rep = EffectivenessReport::evaluate(&ds, q, &answers);
             table.row(vec![
                 q.id.to_string(),

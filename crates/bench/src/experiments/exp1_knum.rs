@@ -32,7 +32,12 @@ pub fn run() -> serde_json::Value {
 }
 
 fn run_dataset(ds: &PreparedDataset, threads: usize, nq: usize) -> serde_json::Value {
-    println!("\n-- dataset {} ({} nodes / {} edges) --", ds.name, ds.graph.num_nodes(), ds.graph.num_directed_edges());
+    println!(
+        "\n-- dataset {} ({} nodes / {} edges) --",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_directed_edges()
+    );
     let params = ds.params();
     let engines = engine_lineup(threads);
     let banks = BanksII::new();
@@ -42,13 +47,17 @@ fn run_dataset(ds: &PreparedDataset, threads: usize, nq: usize) -> serde_json::V
     for knum in KNUMS {
         let mut workload = QueryWorkload::new(1000 + knum as u64);
         let raw = workload.batch(knum, nq);
-        let queries: Vec<ParsedQuery> = raw
-            .iter()
-            .map(|r| ParsedQuery::parse(&ds.index, r))
-            .collect();
+        let queries: Vec<ParsedQuery> =
+            raw.iter().map(|r| ParsedQuery::parse(&ds.index, r)).collect();
 
         let mut table = Table::new(vec![
-            "engine", "init", "enqueue", "identify", "expansion", "top-down", "total(ms)",
+            "engine",
+            "init",
+            "enqueue",
+            "identify",
+            "expansion",
+            "top-down",
+            "total(ms)",
         ]);
         let mut engines_json = Vec::new();
         for e in &engines {

@@ -27,9 +27,7 @@ pub fn run() -> serde_json::Value {
         let queries: Vec<ParsedQuery> =
             raw.iter().map(|r| ParsedQuery::parse(&ds.index, r)).collect();
 
-        let mut table = Table::new(vec![
-            "engine", "α=0.05", "α=0.1", "α=0.2", "α=0.3", "α=0.4",
-        ]);
+        let mut table = Table::new(vec!["engine", "α=0.05", "α=0.1", "α=0.2", "α=0.3", "α=0.4"]);
         let mut engines_json = Vec::new();
         for e in &engines {
             let mut cells = vec![e.name().to_string()];

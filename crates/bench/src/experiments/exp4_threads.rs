@@ -42,7 +42,13 @@ pub fn run() -> serde_json::Value {
                 ]
             };
             let mut table = Table::new(vec![
-                "engine", "init", "enqueue", "identify", "expansion", "top-down", "total(ms)",
+                "engine",
+                "init",
+                "enqueue",
+                "identify",
+                "expansion",
+                "top-down",
+                "total(ms)",
             ]);
             let mut point_json = Vec::new();
             for e in &engines {

@@ -26,17 +26,20 @@ pub fn run() -> serde_json::Value {
     let params = ds.params();
     let nq = queries_per_point();
     let mut workload = QueryWorkload::new(6000);
-    let queries: Vec<ParsedQuery> = workload
-        .batch(6, nq)
-        .iter()
-        .map(|r| ParsedQuery::parse(&ds.index, r))
-        .collect();
+    let queries: Vec<ParsedQuery> =
+        workload.batch(6, nq).iter().map(|r| ParsedQuery::parse(&ds.index, r)).collect();
     println!("dataset {}, {} six-keyword queries", ds.name, queries.len());
 
     let gpu = HardwareModel::paper_gpu();
     let cpu = HardwareModel::paper_cpu();
     let mut table = Table::new(vec![
-        "query", "levels", "adj scans", "matrix ops", "GPU proj (ms)", "CPU proj (ms)", "ratio",
+        "query",
+        "levels",
+        "adj scans",
+        "matrix ops",
+        "GPU proj (ms)",
+        "CPU proj (ms)",
+        "ratio",
     ]);
     let mut total = WorkMeasure::default();
     let mut points = Vec::new();

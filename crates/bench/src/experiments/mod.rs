@@ -12,10 +12,9 @@ pub mod gpu_projection;
 pub mod rclique_sensitivity;
 pub mod table2_datasets;
 pub mod table4_storage;
+pub mod throughput;
 
-use central::engine::{
-    DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine,
-};
+use central::engine::{DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine};
 use central::{PhaseProfile, SearchParams, SearchSession};
 use kgraph::KnowledgeGraph;
 use textindex::ParsedQuery;

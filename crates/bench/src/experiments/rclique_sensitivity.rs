@@ -34,11 +34,8 @@ pub fn run() -> serde_json::Value {
     let inverted = InvertedIndex::build(&ds.graph);
     let nq = queries_per_point();
     let mut workload = QueryWorkload::new(5000);
-    let queries: Vec<ParsedQuery> = workload
-        .batch(4, nq)
-        .iter()
-        .map(|r| ParsedQuery::parse(&inverted, r))
-        .collect();
+    let queries: Vec<ParsedQuery> =
+        workload.batch(4, nq).iter().map(|r| ParsedQuery::parse(&inverted, r)).collect();
     println!(
         "dataset: {} nodes / {} edges, {} queries (Knum = 4)",
         ds.graph.num_nodes(),
@@ -46,9 +43,8 @@ pub fn run() -> serde_json::Value {
         queries.len()
     );
 
-    let mut table = Table::new(vec![
-        "R=r", "index size", "build(ms)", "answered", "avg answers", "query(ms)",
-    ]);
+    let mut table =
+        Table::new(vec!["R=r", "index size", "build(ms)", "answered", "avg answers", "query(ms)"]);
     let mut points = Vec::new();
     for &radius in &RADII {
         let index = NeighborIndex::build(&ds.graph, radius);

@@ -32,16 +32,11 @@ pub fn run() -> serde_json::Value {
         }));
     }
     table.print();
-    println!(
-        "(paper: wiki2017 15.1M/124M A=3.87 σ=0.81; wiki2018 30.6M/271M A=3.68 σ=0.98)"
-    );
+    println!("(paper: wiki2017 15.1M/124M A=3.87 σ=0.81; wiki2018 30.6M/271M A=3.68 σ=0.98)");
     for ds in &datasets {
         let hist = kgraph::stats::log2_degree_histogram(&ds.graph);
-        let cells: Vec<String> = hist
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("2^{i}:{c}"))
-            .collect();
+        let cells: Vec<String> =
+            hist.iter().enumerate().map(|(i, c)| format!("2^{i}:{c}")).collect();
         println!("{} degree histogram (log2 buckets): {}", ds.name, cells.join(" "));
     }
     println!();

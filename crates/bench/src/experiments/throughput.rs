@@ -1,0 +1,145 @@
+//! Service-level throughput: queries/sec vs number of concurrent
+//! clients against **one** shared `WikiSearch` engine.
+//!
+//! The paper's efficiency experiments (Exp-1..4) measure one query at a
+//! time; its WikiSearch deployment, however, is a hosted multi-user
+//! service. This experiment measures that axis: `C` clients — each a
+//! thread holding the same `Arc<WikiSearch>` — fire `Q` queries apiece
+//! as fast as the engine answers them, for `C` in `WIKISEARCH_CLIENTS`
+//! (default `1,2,4,8`). Because every search checks its state out of the
+//! engine's session pool instead of serializing on a process-wide lock,
+//! queries/sec should rise with the client count until the cores are
+//! saturated; the pre-pool architecture flatlines at the 1-client rate.
+//!
+//! Two backends are swept: the sequential reference (pure inter-query
+//! scaling — every added client is new work on a new core) and CPU-Par
+//! with 2 threads (inter-query concurrency composed with intra-query
+//! parallelism, the `serve --workers N` configuration).
+
+use crate::{client_sweep, queries_per_point};
+use datagen::synthetic::SyntheticConfig;
+use datagen::QueryWorkload;
+use eval::runner::ExperimentSink;
+use eval::Table;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+use wikisearch_engine::{Backend, WikiSearch};
+
+/// One measured datapoint.
+struct Point {
+    backend: &'static str,
+    clients: usize,
+    total_queries: usize,
+    wall_ms: f64,
+    qps: f64,
+    sessions: usize,
+}
+
+/// Run `clients` threads × `per_client` queries against `ws`, returning
+/// the wall-clock of the whole volley.
+fn volley(ws: &Arc<WikiSearch>, queries: &[String], clients: usize, per_client: usize) -> f64 {
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let ws = Arc::clone(ws);
+            scope.spawn(move || {
+                // Each client walks the shared query list from its own
+                // offset, so concurrent clients are rarely on the same
+                // query at the same moment.
+                for j in 0..per_client {
+                    let q = &queries[(client + j) % queries.len()];
+                    let result = ws.search(q);
+                    std::hint::black_box(result.answers.len());
+                }
+            });
+        }
+    });
+    t.elapsed().as_secs_f64()
+}
+
+/// Run the throughput sweep.
+pub fn run() -> serde_json::Value {
+    let sweep = client_sweep();
+    let per_client = queries_per_point().max(10);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("== throughput: C concurrent clients x {per_client} queries, one shared engine ==");
+    println!("   clients {sweep:?} | dataset wiki2017-sim | {cores} core(s) available");
+    if cores < 2 {
+        println!("   note: single-core runner — expect flat qps; scaling needs >= 2 cores");
+    }
+
+    let ds = SyntheticConfig::wiki2017_sim().generate();
+    let name = ds.config.name.clone();
+    let mut workload = QueryWorkload::new(6021);
+    let queries: Vec<String> = workload.batch(4, 16);
+
+    let mut points: Vec<Point> = Vec::new();
+    for (backend_name, backend) in
+        [("Seq", Backend::Sequential), ("CPU-Par(2)", Backend::ParCpu(2))]
+    {
+        let ws = Arc::new(WikiSearch::build_with(ds.graph.clone(), backend));
+        // Warmup: populate the session pool up to the largest client
+        // count so measured volleys are allocation-free.
+        let max_clients = sweep.iter().copied().max().unwrap_or(1);
+        volley(&ws, &queries, max_clients, 2);
+        for &clients in &sweep {
+            let wall = volley(&ws, &queries, clients, per_client);
+            let total_queries = clients * per_client;
+            points.push(Point {
+                backend: backend_name,
+                clients,
+                total_queries,
+                wall_ms: wall * 1e3,
+                qps: total_queries as f64 / wall,
+                sessions: ws.session_pool().sessions_created(),
+            });
+        }
+    }
+
+    let mut table =
+        Table::new(vec!["backend", "clients", "queries", "wall(ms)", "qps", "sessions"]);
+    for p in &points {
+        table.row(vec![
+            p.backend.to_string(),
+            p.clients.to_string(),
+            p.total_queries.to_string(),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.1}", p.qps),
+            p.sessions.to_string(),
+        ]);
+    }
+    table.print();
+    for backend in ["Seq", "CPU-Par(2)"] {
+        let qps_at = |c: usize| {
+            points.iter().find(|p| p.backend == backend && p.clients == c).map(|p| p.qps)
+        };
+        if let (Some(one), Some(four)) = (qps_at(1), qps_at(4)) {
+            println!("{backend}: qps x{:.2} going from 1 -> 4 clients", four / one);
+        }
+    }
+
+    let record = json!({
+        "experiment": "throughput",
+        "dataset": name,
+        "cores": cores,
+        "queries_per_client": per_client,
+        "points": points
+            .iter()
+            .map(|p| {
+                json!({
+                    "backend": p.backend,
+                    "clients": p.clients,
+                    "total_queries": p.total_queries,
+                    "wall_ms": p.wall_ms,
+                    "qps": p.qps,
+                    "sessions_created": p.sessions,
+                })
+            })
+            .collect::<Vec<_>>(),
+    });
+    if let Ok(path) = ExperimentSink::new().write("throughput", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}

@@ -11,6 +11,7 @@
 //! | `exp3_vary_alpha` | Fig. 8 row 2 (time vs α) |
 //! | `exp4_vary_threads` | Figs. 9–10 (per-phase time vs `Tnum`) |
 //! | `table4_storage` | Table IV (pre/running storage) |
+//! | `throughput` | service-level: queries/sec vs concurrent clients on one engine |
 //! | `effectiveness` | Figs. 11–12 + Table V (top-k precision, kwf) |
 //! | `run_all` | everything above in sequence |
 //! | `blinks_index_cost` | appendix: the BLINKS feasibility argument, measured |
@@ -25,6 +26,8 @@
 //!   averages 50);
 //! * `WIKISEARCH_THREADS` — comma-separated `Tnum` sweep for Exp-4
 //!   (default `1,2,4,8`);
+//! * `WIKISEARCH_CLIENTS` — comma-separated concurrent-client sweep for
+//!   the `throughput` experiment (default `1,2,4,8`);
 //! * `WIKISEARCH_BANKS_BUDGET` — BANKS pop budget standing in for the
 //!   paper's 500 s timeout (default 500000).
 
@@ -89,7 +92,17 @@ pub fn banks_budget() -> usize {
 
 /// The Exp-4 thread sweep (`WIKISEARCH_THREADS`, default `1,2,4,8`).
 pub fn thread_sweep() -> Vec<usize> {
-    std::env::var("WIKISEARCH_THREADS")
+    env_usize_list("WIKISEARCH_THREADS")
+}
+
+/// The `throughput` experiment's concurrent-client sweep
+/// (`WIKISEARCH_CLIENTS`, default `1,2,4,8`).
+pub fn client_sweep() -> Vec<usize> {
+    env_usize_list("WIKISEARCH_CLIENTS")
+}
+
+fn env_usize_list(key: &str) -> Vec<usize> {
+    std::env::var(key)
         .ok()
         .map(|s| {
             s.split(',')

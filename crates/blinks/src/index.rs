@@ -36,12 +36,7 @@ impl NodeKeywordIndex {
         let n = graph.num_nodes();
         let terms: Vec<(String, Vec<NodeId>)> = inverted
             .term_frequencies()
-            .map(|(t, _)| {
-                (
-                    t.to_string(),
-                    inverted.lookup_analyzed(t).unwrap_or(&[]).to_vec(),
-                )
-            })
+            .map(|(t, _)| (t.to_string(), inverted.lookup_analyzed(t).unwrap_or(&[]).to_vec()))
             .collect();
         let t = terms.len();
         let mut nkm = vec![UNREACHABLE; n * t];

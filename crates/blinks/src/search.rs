@@ -52,11 +52,8 @@ impl<'a> BlinksSearch<'a> {
     /// index (BLINKS cannot answer for unindexed keywords) or no node
     /// reaches every keyword within the index's build depth.
     pub fn search(&self, query: &ParsedQuery, top_k: usize) -> Vec<BlinksAnswer> {
-        let term_ids: Option<Vec<usize>> = query
-            .groups
-            .iter()
-            .map(|g| self.index.term_id(&g.term))
-            .collect();
+        let term_ids: Option<Vec<usize>> =
+            query.groups.iter().map(|g| self.index.term_id(&g.term)).collect();
         let Some(term_ids) = term_ids else {
             return Vec::new();
         };
@@ -83,10 +80,7 @@ impl<'a> BlinksSearch<'a> {
             .into_iter()
             .map(|(score, root)| BlinksAnswer {
                 root,
-                paths: term_ids
-                    .iter()
-                    .map(|&ti| self.descend(root, ti))
-                    .collect(),
+                paths: term_ids.iter().map(|&ti| self.descend(root, ti)).collect(),
                 score,
             })
             .collect()

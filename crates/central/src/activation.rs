@@ -76,18 +76,14 @@ impl<'g> ActivationMap<'g> {
     #[inline]
     pub fn level(&self, v: NodeId) -> u8 {
         match self {
-            ActivationMap::Computed { graph, config } => {
-                config.level_for_weight(graph.weight(v))
-            }
+            ActivationMap::Computed { graph, config } => config.level_for_weight(graph.weight(v)),
             ActivationMap::Explicit(levels) => levels[v.index()],
         }
     }
 
     /// Materialize all levels (used by the Fig. 3 distribution harness).
     pub fn table(&self, num_nodes: usize) -> Vec<u8> {
-        (0..num_nodes)
-            .map(|i| self.level(NodeId::from_index(i)))
-            .collect()
+        (0..num_nodes).map(|i| self.level(NodeId::from_index(i))).collect()
     }
 }
 
@@ -198,11 +194,7 @@ mod tests {
                 assert!(l <= ceiling, "α = {alpha}, w = {w}: level {l} above 2A");
             }
             assert_eq!(c.level_for_weight(0.0), 0, "full reward at α = {alpha}");
-            assert_eq!(
-                c.level_for_weight(1.0),
-                ceiling,
-                "full penalty at α = {alpha}"
-            );
+            assert_eq!(c.level_for_weight(1.0), ceiling, "full penalty at α = {alpha}");
         }
     }
 

@@ -146,7 +146,12 @@ pub fn enqueue_parallel_compaction(
 /// a frontier whose `M` row is complete is newly central, with depth =
 /// current level (Lemma V.1). Returns the newly identified nodes (sorted,
 /// since frontiers are produced in id order).
-pub fn identify_sequential(state: &SearchState, frontiers: &[u32], level: u8, newly: &mut Vec<u32>) {
+pub fn identify_sequential(
+    state: &SearchState,
+    frontiers: &[u32],
+    level: u8,
+    newly: &mut Vec<u32>,
+) {
     newly.clear();
     for &f in frontiers {
         if !state.is_central(f) && state.row_complete(f) {
@@ -279,7 +284,13 @@ mod tests {
         fn enqueue(&self, state: &SearchState, out: &mut Vec<u32>) {
             enqueue_sequential(state, out);
         }
-        fn identify(&self, state: &SearchState, frontiers: &[u32], level: u8, newly: &mut Vec<u32>) {
+        fn identify(
+            &self,
+            state: &SearchState,
+            frontiers: &[u32],
+            level: u8,
+            newly: &mut Vec<u32>,
+        ) {
             identify_sequential(state, frontiers, level, newly);
         }
         fn expand(&self, ctx: &ExpandCtx<'_>, frontiers: &[u32], level: u8) {
@@ -301,7 +312,8 @@ mod tests {
         let act = ActivationMap::Explicit(&activation);
         let params = SearchParams::default().with_top_k(top_k);
         let mut profile = PhaseProfile::default();
-        let out = run(&Seq, g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
+        let out =
+            run(&Seq, g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
         (out, state)
     }
 
@@ -430,7 +442,8 @@ mod tests {
         let params = SearchParams::default().with_top_k(5);
         let params = SearchParams { max_level: 6, ..params };
         let mut profile = PhaseProfile::default();
-        let out = run(&Seq, &g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
+        let out =
+            run(&Seq, &g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
         assert_eq!(out.terminated, TerminationReason::LevelCap);
         assert!(out.central_nodes.is_empty());
         assert_eq!(out.last_level, 6);
@@ -461,9 +474,19 @@ mod tests {
         // and through XPath, v1 (SQL) directly — multi-paths per keyword,
         // as in Fig. 1.
         for (s, d) in [
-            (0, 2), (1, 2), (3, 2), (8, 2), (4, 2), (5, 2),
-            (4, 3), (5, 3), (6, 3), (7, 3),
-            (9, 6), (9, 7), (9, 8),
+            (0, 2),
+            (1, 2),
+            (3, 2),
+            (8, 2),
+            (4, 2),
+            (5, 2),
+            (4, 3),
+            (5, 3),
+            (6, 3),
+            (7, 3),
+            (9, 6),
+            (9, 7),
+            (9, 8),
         ] {
             b.add_edge(ids[s], ids[d], "e");
         }
@@ -478,7 +501,8 @@ mod tests {
         let act = ActivationMap::Explicit(&activation);
         let params = SearchParams::default().with_top_k(1);
         let mut profile = PhaseProfile::default();
-        let out = run(&Seq, &g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
+        let out =
+            run(&Seq, &g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
         assert_eq!(out.central_nodes.len(), 1);
         let (central, depth) = out.central_nodes[0];
         assert_eq!(central, ids[2], "v2 is the Central Node");

@@ -104,8 +104,7 @@ impl HardwareModel {
     /// Projected time in milliseconds for the bottom-up phases of a
     /// measured search.
     pub fn project_ms(&self, work: &WorkMeasure, q: usize) -> f64 {
-        let bytes =
-            work.expansion_bytes() + work.enqueue_bytes() + work.identify_bytes(q);
+        let bytes = work.expansion_bytes() + work.enqueue_bytes() + work.identify_bytes(q);
         let effective = self.bandwidth_gbps * 1e9 * self.efficiency;
         let transfer_ms = bytes as f64 / effective * 1e3;
         let overhead_ms = work.levels as f64 * self.per_level_overhead_us / 1e3;

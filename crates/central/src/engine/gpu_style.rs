@@ -74,13 +74,11 @@ impl ExecStrategy for GpuStrategy<'_> {
         let q = ctx.state.num_keywords();
         // The warp grid: one work item per (frontier, BFS instance).
         self.pool.install(|| {
-            (0..frontiers.len() * q)
-                .into_par_iter()
-                .for_each(|item| {
-                    let f = frontiers[item / q];
-                    let i = item % q;
-                    expand_work_item(ctx, f, i, level);
-                });
+            (0..frontiers.len() * q).into_par_iter().for_each(|item| {
+                let f = frontiers[item / q];
+                let i = item % q;
+                expand_work_item(ctx, f, i, level);
+            });
         });
     }
 }

@@ -14,9 +14,7 @@
 //! * **Top-down** is parallel over central nodes, one task per Central
 //!   Graph, dynamically scheduled (Sec. V-C).
 
-use crate::bottom_up::{
-    enqueue_sequential, expand_frontier, ExecStrategy, ExpandCtx,
-};
+use crate::bottom_up::{enqueue_sequential, expand_frontier, ExecStrategy, ExpandCtx};
 use crate::engine::{build_pool, run_matrix_search, KeywordSearchEngine, SearchOutcome};
 use crate::session::SearchSession;
 use crate::state::SearchState;
@@ -62,9 +60,7 @@ impl ExecStrategy for ParCpuStrategy<'_> {
 
     fn expand(&self, ctx: &ExpandCtx<'_>, frontiers: &[u32], level: u8) {
         self.pool.install(|| {
-            frontiers
-                .par_iter()
-                .for_each(|&f| expand_frontier(ctx, f, level));
+            frontiers.par_iter().for_each(|&f| expand_frontier(ctx, f, level));
         });
     }
 }

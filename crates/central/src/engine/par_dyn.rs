@@ -348,9 +348,10 @@ fn expand_locked(
                 l if l == level + 1
                     // Another shortest hitting path discovered in the same
                     // level — record the extra predecessor (multi-paths).
-                    && !node.preds.contains(&(kw, f)) => {
-                        node.preds.push((kw, f));
-                    }
+                    && !node.preds.contains(&(kw, f)) =>
+                {
+                    node.preds.push((kw, f));
+                }
                 _ => {}
             }
         }
@@ -372,11 +373,7 @@ fn assemble_from_records(state: &DynState, c: u32, depth: u8) -> Extraction {
         while let Some(j) = stack.pop() {
             let preds: Vec<u32> = {
                 let node = state.node(j);
-                node.preds
-                    .iter()
-                    .filter(|&&(k, _)| k as usize == i)
-                    .map(|&(_, p)| p)
-                    .collect()
+                node.preds.iter().filter(|&&(k, _)| k as usize == i).map(|&(_, p)| p).collect()
             };
             for p in preds {
                 edges.push((p, j));
@@ -448,8 +445,7 @@ mod tests {
         let idx = InvertedIndex::build(&g);
         let q = ParsedQuery::parse(&idx, "alpha omega");
         // Delay the hub: both engines must produce the same depths.
-        let params = SearchParams::default()
-            .with_explicit_activation(vec![0, 3, 0]);
+        let params = SearchParams::default().with_explicit_activation(vec![0, 3, 0]);
         let seq = SeqEngine::new().search(&g, &q, &params);
         let dyn_ = DynParEngine::new(2).search(&g, &q, &params);
         assert_eq!(seq.answers.len(), dyn_.answers.len());

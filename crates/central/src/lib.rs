@@ -73,6 +73,7 @@ pub mod config;
 pub mod costmodel;
 pub mod engine;
 pub mod model;
+pub mod pool;
 pub mod profile;
 pub mod session;
 pub mod state;
@@ -84,5 +85,6 @@ pub use engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SeqEngine,
 };
 pub use model::{CentralGraph, INFINITE_LEVEL};
+pub use pool::{PooledSession, SessionPool};
 pub use profile::PhaseProfile;
 pub use session::SearchSession;

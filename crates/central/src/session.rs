@@ -17,9 +17,10 @@
 //! freshened under the node lock).
 //!
 //! A session is deliberately `!Sync`-shaped at the API level: searches
-//! take `&mut self`, so one session serves one query at a time. Wrap it in
-//! a mutex (as `wikisearch-engine` does) to share across request handlers,
-//! or keep one session per worker.
+//! take `&mut self`, so one session serves one query at a time. To serve
+//! concurrent request handlers, check sessions out of a
+//! [`crate::pool::SessionPool`] (as `wikisearch-engine` does) or keep one
+//! session per worker.
 
 use crate::bottom_up::BottomUpScratch;
 use crate::engine::par_dyn::DynState;

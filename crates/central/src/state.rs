@@ -205,9 +205,9 @@ impl SearchState {
     #[inline]
     pub fn row_complete(&self, v: u32) -> bool {
         let base = v as usize * self.q;
-        self.matrix[base..base + self.q]
-            .iter()
-            .all(|m| unpack(m.load(Ordering::Relaxed), self.epoch, INFINITE_LEVEL) != INFINITE_LEVEL)
+        self.matrix[base..base + self.q].iter().all(|m| {
+            unpack(m.load(Ordering::Relaxed), self.epoch, INFINITE_LEVEL) != INFINITE_LEVEL
+        })
     }
 
     /// Set `FIdentifier[v] ← 1` (node becomes/stays a frontier).

@@ -208,8 +208,7 @@ pub fn prune_and_score<H: HitLevels + ?Sized>(
             per_keyword.push(kept);
         }
         // Soundness check: every keyword must still be covered.
-        let all_covered =
-            (0..q).all(|i| nodes.iter().any(|&v| state.is_source(v, i)));
+        let all_covered = (0..q).all(|i| nodes.iter().any(|&v| state.is_source(v, i)));
         all_covered.then_some((nodes, edges, per_keyword))
     } else {
         None
@@ -235,20 +234,12 @@ pub fn prune_and_score<H: HitLevels + ?Sized>(
 
     let mut nodes: Vec<NodeId> = final_nodes.iter().map(|&v| NodeId(v)).collect();
     nodes.sort_unstable();
-    let mut edges: Vec<(NodeId, NodeId)> = final_edges
-        .iter()
-        .map(|&(a, b)| (NodeId(a), NodeId(b)))
-        .collect();
+    let mut edges: Vec<(NodeId, NodeId)> =
+        final_edges.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
     edges.sort_unstable();
 
     let keyword_nodes: Vec<Vec<NodeId>> = (0..q)
-        .map(|i| {
-            nodes
-                .iter()
-                .copied()
-                .filter(|v| state.is_source(v.0, i))
-                .collect()
-        })
+        .map(|i| nodes.iter().copied().filter(|v| state.is_source(v.0, i)).collect())
         .collect();
     let keyword_edges: Vec<Vec<(NodeId, NodeId)>> = per_keyword_edges
         .into_iter()
@@ -275,11 +266,7 @@ fn full_nodes(e: &Extraction) -> HashSet<u32> {
 }
 
 fn full_edges(e: &Extraction) -> HashSet<(u32, u32)> {
-    e.dag_edges
-        .iter()
-        .flatten()
-        .map(|&(a, b)| (a.min(b), a.max(b)))
-        .collect()
+    e.dag_edges.iter().flatten().map(|&(a, b)| (a.min(b), a.max(b))).collect()
 }
 
 /// Final selection: sort by Eq. 6 score, remove answers that strictly
@@ -333,7 +320,13 @@ mod tests {
         fn enqueue(&self, state: &SearchState, out: &mut Vec<u32>) {
             enqueue_sequential(state, out);
         }
-        fn identify(&self, state: &SearchState, frontiers: &[u32], level: u8, newly: &mut Vec<u32>) {
+        fn identify(
+            &self,
+            state: &SearchState,
+            frontiers: &[u32],
+            level: u8,
+            newly: &mut Vec<u32>,
+        ) {
             identify_sequential(state, frontiers, level, newly);
         }
         fn expand(&self, ctx: &ExpandCtx<'_>, frontiers: &[u32], level: u8) {
@@ -469,11 +462,8 @@ mod tests {
         let pruned_params = SearchParams::default();
         // Disable containment dedup too: the unpruned Stanford answer
         // strictly contains the Ullman-centered one and would be dropped.
-        let raw_params = SearchParams {
-            level_cover: false,
-            dedup_contained: false,
-            ..SearchParams::default()
-        };
+        let raw_params =
+            SearchParams { level_cover: false, dedup_contained: false, ..SearchParams::default() };
         let (pruned, _) = search_all(&g, "stanford jeffrey ullman", &pruned_params);
         let (raw, _) = search_all(&g, "stanford jeffrey ullman", &raw_params);
         let pruned_su = pruned.iter().find(|a| a.central == stanford).unwrap();

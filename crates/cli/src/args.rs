@@ -26,10 +26,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected positional argument {arg:?}"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("flag --{name} is missing its value"))?
-            .clone();
+        let value = it.next().ok_or_else(|| format!("flag --{name} is missing its value"))?.clone();
         if flags.insert(name.to_string(), value).is_some() {
             return Err(format!("flag --{name} given twice"));
         }
@@ -55,9 +52,7 @@ impl ParsedArgs {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse::<T>()
-                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+            Some(v) => v.parse::<T>().map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
         }
     }
 
@@ -68,11 +63,7 @@ impl ParsedArgs {
                 return Err(format!(
                     "unknown flag --{k} for `{}` (allowed: {})",
                     self.command,
-                    allowed
-                        .iter()
-                        .map(|a| format!("--{a}"))
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
                 ));
             }
         }

@@ -21,7 +21,9 @@ commands:
                                            run a top-k keyword search
   convert  --in FILE --out FILE           convert between .tsv and .bin
   serve    --graph FILE [--port P] [--backend B] [--top-k K]
-           [--max-requests N]             TCP line-protocol query service
+           [--workers W] [--max-requests N]
+                                           TCP line-protocol query service
+                                           (W concurrent connection workers)
   help                                    this text
 
 graph files by extension: .tsv (line format), .bin (compact binary),
@@ -39,9 +41,7 @@ pub fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         other => return Err(format!("unknown dataset {other:?}")),
     };
     if let Some(e) = args.optional("entities") {
-        config.num_entities = e
-            .parse()
-            .map_err(|_| format!("--entities: cannot parse {e:?}"))?;
+        config.num_entities = e.parse().map_err(|_| format!("--entities: cannot parse {e:?}"))?;
     }
     if let Some(s) = args.optional("seed") {
         config.seed = s.parse().map_err(|_| format!("--seed: cannot parse {s:?}"))?;
@@ -76,17 +76,13 @@ pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
 
 /// `wikisearch search`.
 pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
-    args.allow_only(&["graph", "query", "top-k", "alpha", "backend", "threads", "json", "trace", "dot"])?;
+    args.allow_only(&[
+        "graph", "query", "top-k", "alpha", "backend", "threads", "json", "trace", "dot",
+    ])?;
     let graph = read_graph(args.required("graph")?)?;
     let query = args.required("query")?.to_string();
     let threads: usize = args.get_or("threads", 4)?;
-    let backend = match args.optional("backend").unwrap_or("cpu") {
-        "seq" => Backend::Sequential,
-        "cpu" => Backend::ParCpu(threads),
-        "gpu" => Backend::GpuStyle(threads),
-        "dyn" => Backend::DynPar(threads),
-        other => return Err(format!("unknown backend {other:?}")),
-    };
+    let backend = Backend::parse(args.optional("backend").unwrap_or("cpu"), threads)?;
     let as_json: bool = args.get_or("json", false)?;
     let as_dot: bool = args.get_or("dot", false)?;
 
@@ -132,8 +128,7 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
             "total_ms": result.profile.total().as_secs_f64() * 1e3,
             "answers": answers,
         });
-        writeln!(out, "{}", serde_json::to_string_pretty(&doc).unwrap())
-            .map_err(|e| e.to_string())
+        writeln!(out, "{}", serde_json::to_string_pretty(&doc).unwrap()).map_err(|e| e.to_string())
     } else {
         if !result.query.unmatched.is_empty() {
             writeln!(out, "(no matches for: {})", result.query.unmatched.join(", "))
@@ -190,9 +185,7 @@ pub fn read_graph(path: &str) -> Result<KnowledgeGraph, String> {
             let text = String::from_utf8(data).map_err(|e| format!("{path}: {e}"))?;
             kgraph::io::from_ntriples(&text).map_err(|e| format!("{path}: {e}"))
         }
-        other => Err(format!(
-            "{path}: unsupported extension {other:?} (use .tsv, .bin or .nt)"
-        )),
+        other => Err(format!("{path}: unsupported extension {other:?} (use .tsv, .bin or .nt)")),
     }
 }
 
@@ -201,9 +194,7 @@ pub fn write_graph(graph: &KnowledgeGraph, path: &str) -> Result<(), String> {
     let bytes = match extension(path) {
         "bin" => kgraph::binio::to_bytes(graph).to_vec(),
         "tsv" | "txt" => kgraph::io::to_tsv(graph).into_bytes(),
-        other => {
-            return Err(format!("{path}: unsupported extension {other:?} (use .tsv or .bin)"))
-        }
+        other => return Err(format!("{path}: unsupported extension {other:?} (use .tsv or .bin)")),
     };
     std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
 }
@@ -214,7 +205,7 @@ fn extension(path: &str) -> &str {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::run;
 
     fn run_cli(line: &str) -> (i32, String) {
@@ -235,9 +226,8 @@ mod tests {
     fn generate_stats_search_convert_round_trip() {
         let tsv = tmp("kb.tsv");
         let bin = tmp("kb.bin");
-        let (code, out) = run_cli(&format!(
-            "generate --dataset tiny --entities 300 --seed 5 --out {tsv}"
-        ));
+        let (code, out) =
+            run_cli(&format!("generate --dataset tiny --entities 300 --seed 5 --out {tsv}"));
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("312 nodes"), "300 entities + 12 classes: {out}");
 
@@ -245,17 +235,15 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("# nodes"));
 
-        let (code, out) = run_cli(&format!(
-            "search --graph {tsv} --query learning --backend seq --top-k 3"
-        ));
+        let (code, out) =
+            run_cli(&format!("search --graph {tsv} --query learning --backend seq --top-k 3"));
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("answers in"));
 
         let (code, out) = run_cli(&format!("convert --in {tsv} --out {bin}"));
         assert_eq!(code, 0, "{out}");
-        let (code, out) = run_cli(&format!(
-            "search --graph {bin} --query learning --backend seq --top-k 3"
-        ));
+        let (code, out) =
+            run_cli(&format!("search --graph {bin} --query learning --backend seq --top-k 3"));
         assert_eq!(code, 0, "{out}");
         let _ = std::fs::remove_file(tsv);
         let _ = std::fs::remove_file(bin);
@@ -265,9 +253,8 @@ mod tests {
     fn json_output_is_valid_json() {
         let tsv = tmp("kb2.tsv");
         run_cli(&format!("generate --dataset tiny --entities 200 --out {tsv}"));
-        let (code, out) = run_cli(&format!(
-            "search --graph {tsv} --query learning --backend seq --json true"
-        ));
+        let (code, out) =
+            run_cli(&format!("search --graph {tsv} --query learning --backend seq --json true"));
         assert_eq!(code, 0, "{out}");
         let doc: serde_json::Value = serde_json::from_str(&out).expect("valid json");
         assert!(doc["answers"].is_array());
@@ -300,9 +287,8 @@ mod tests {
     fn trace_flag_prints_level_table() {
         let tsv = tmp("kb4.tsv");
         run_cli(&format!("generate --dataset tiny --entities 200 --out {tsv}"));
-        let (code, out) = run_cli(&format!(
-            "search --graph {tsv} --query learning --backend seq --trace true"
-        ));
+        let (code, out) =
+            run_cli(&format!("search --graph {tsv} --query learning --backend seq --trace true"));
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("level  frontier  identified"), "{out}");
         let _ = std::fs::remove_file(tsv);
@@ -326,9 +312,8 @@ mod tests {
     fn dot_flag_emits_graphviz() {
         let tsv = tmp("kb5.tsv");
         run_cli(&format!("generate --dataset tiny --entities 200 --out {tsv}"));
-        let (code, out) = run_cli(&format!(
-            "search --graph {tsv} --query learning --backend seq --dot true"
-        ));
+        let (code, out) =
+            run_cli(&format!("search --graph {tsv} --query learning --backend seq --dot true"));
         assert_eq!(code, 0, "{out}");
         assert!(out.starts_with("graph answer {"), "{out}");
         let _ = std::fs::remove_file(tsv);
@@ -353,9 +338,7 @@ mod tests {
     fn alpha_validation_flows_through() {
         let tsv = tmp("kb3.tsv");
         run_cli(&format!("generate --dataset tiny --entities 100 --out {tsv}"));
-        let (code, out) = run_cli(&format!(
-            "search --graph {tsv} --query learning --alpha 7.0"
-        ));
+        let (code, out) = run_cli(&format!("search --graph {tsv} --query learning --alpha 7.0"));
         assert_eq!(code, 1);
         assert!(out.contains("alpha"));
         let _ = std::fs::remove_file(tsv);

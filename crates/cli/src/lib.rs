@@ -8,7 +8,7 @@
 //!                     [--threads T] [--json true]
 //! wikisearch convert  --in kb.tsv --out kb.bin
 //! wikisearch serve    --graph kb.tsv [--port P] [--backend …]
-//!                     [--max-requests N]
+//!                     [--workers W] [--max-requests N]
 //! wikisearch help
 //! ```
 //!

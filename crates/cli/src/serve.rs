@@ -1,113 +1,220 @@
 //! `wikisearch serve` — a line-protocol TCP query service, the offline
 //! analogue of the paper's hosted WikiSearch endpoint.
 //!
-//! Protocol: one UTF-8 line per request.
+//! Protocol: one UTF-8 line per request, one line per response.
 //!
 //! * `QUERY <keywords…>` → one JSON line with the ranked answers;
 //! * `PING` → `PONG`;
-//! * `QUIT` → closes the connection.
+//! * `QUIT` → closes the connection;
+//! * anything else — an unknown command, an empty line, or a `QUERY`
+//!   with no keywords — is answered with a one-line JSON error
+//!   (`{"error": …}`) on the same connection; no request is ever
+//!   silently dropped.
 //!
-//! The server handles one connection at a time (searches themselves are
-//! parallel via the engine's pool); `--max-requests N` makes it exit after
-//! `N` queries, which is how the tests and demo scripts drive it.
+//! Connections are handled by a bounded worker pool (`--workers N`,
+//! default 4): the acceptor hands each connection to an idle worker, and
+//! all workers share one `Arc<WikiSearch>`, so inter-query concurrency
+//! composes with the intra-query parallelism of the engine backends —
+//! each in-flight query checks a warm session out of the engine's
+//! session pool instead of contending on a process-wide lock.
+//! `--max-requests N` makes the server drain gracefully after `N`
+//! queries (in-flight connections finish, then the listener closes),
+//! which is how the tests and demo scripts drive it.
 
 use crate::args::ParsedArgs;
 use crate::commands::read_graph;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use wikisearch_engine::{Backend, WikiSearch};
+
+/// How often a blocked worker wakes up to check for drain.
+const DRAIN_POLL: Duration = Duration::from_millis(50);
 
 /// Run the server until `max_requests` queries have been answered (or
 /// forever when it is 0).
 pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
-    args.allow_only(&["graph", "port", "backend", "threads", "top-k", "max-requests"])?;
-    let graph = read_graph(args.required("graph")?)?;
+    args.allow_only(&["graph", "port", "backend", "threads", "top-k", "max-requests", "workers"])?;
     let port: u16 = args.get_or("port", 7878)?;
     let threads: usize = args.get_or("threads", 4)?;
     let max_requests: usize = args.get_or("max-requests", 0)?;
-    let backend = match args.optional("backend").unwrap_or("cpu") {
-        "seq" => Backend::Sequential,
-        "cpu" => Backend::ParCpu(threads),
-        "gpu" => Backend::GpuStyle(threads),
-        "dyn" => Backend::DynPar(threads),
-        other => return Err(format!("unknown backend {other:?}")),
-    };
+    let workers: usize = args.get_or("workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be >= 1".into());
+    }
+    let backend = Backend::parse(args.optional("backend").unwrap_or("cpu"), threads)?;
+    let graph = read_graph(args.required("graph")?)?;
     let mut ws = WikiSearch::build_with(graph, backend);
     let mut params = ws.params().clone();
     params.top_k = args.get_or("top-k", params.top_k)?;
     ws.set_params(params);
+    let ws = Arc::new(ws);
 
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
-    let actual = listener.local_addr().map_err(|e| e.to_string())?.port();
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
     writeln!(
         out,
-        "wikisearch serving on 127.0.0.1:{actual} ({} nodes indexed)",
+        "wikisearch serving on 127.0.0.1:{} ({} nodes indexed, {workers} workers)",
+        addr.port(),
         ws.graph().num_nodes()
     )
     .map_err(|e| e.to_string())?;
 
-    let mut served = 0usize;
-    for stream in listener.incoming() {
-        let stream = stream.map_err(|e| e.to_string())?;
-        served += handle_connection(stream, &ws);
-        if max_requests > 0 && served >= max_requests {
-            break;
+    let served = AtomicUsize::new(0);
+    let draining = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Mutex::new(rx);
+    let mut accept_error = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Hold the receiver lock only while dequeuing, so idle
+                // workers take turns; a closed channel means the acceptor
+                // is done and the queue is drained.
+                let next = rx.lock().expect("receiver lock").recv();
+                let Ok(stream) = next else { break };
+                handle_connection(stream, &ws, &served, max_requests, &draining, addr);
+            });
         }
+        for stream in listener.incoming() {
+            if draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    accept_error = Some(format!("accept: {e}"));
+                    break;
+                }
+            };
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        // Closing the channel lets workers finish queued connections and
+        // exit; the scope joins them before returning.
+        drop(tx);
+    });
+
+    if let Some(e) = accept_error {
+        return Err(e);
     }
-    writeln!(out, "served {served} queries, shutting down").map_err(|e| e.to_string())
+    writeln!(out, "served {} queries, shutting down", served.load(Ordering::SeqCst))
+        .map_err(|e| e.to_string())
 }
 
-/// Serve one connection; returns the number of queries answered.
-fn handle_connection(stream: TcpStream, ws: &WikiSearch) -> usize {
+/// Serve one connection until the peer quits, hangs up, or the server
+/// drains. Increments `served` per answered query; the query that
+/// reaches `max_requests` flips `draining` and dials the listener once
+/// to wake the blocked acceptor.
+fn handle_connection(
+    stream: TcpStream,
+    ws: &WikiSearch,
+    served: &AtomicUsize,
+    max_requests: usize,
+    draining: &AtomicBool,
+    addr: SocketAddr,
+) {
+    // A finite read timeout lets the worker notice a drain even while its
+    // client sits idle on an open connection.
+    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
     let Ok(peer) = stream.try_clone() else {
-        return 0;
+        return;
     };
-    let reader = BufReader::new(peer);
+    let mut reader = BufReader::new(peer);
     let mut writer = stream;
-    let mut served = 0usize;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        let line = line.trim();
-        if line.eq_ignore_ascii_case("QUIT") {
+    let mut line = String::new();
+    loop {
+        // `read_line` appends, so a line split across timeout wakeups
+        // accumulates until its newline arrives; `line` is only cleared
+        // after a complete request was handled.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let request = line.trim();
+        if request.eq_ignore_ascii_case("QUIT") {
             break;
         }
-        if line.eq_ignore_ascii_case("PING") {
+        let mut done = false;
+        if request.eq_ignore_ascii_case("PING") {
             if writeln!(writer, "PONG").is_err() {
                 break;
             }
-            continue;
-        }
-        let Some(q) = line.strip_prefix("QUERY ") else {
-            let _ = writeln!(writer, r#"{{"error":"expected QUERY/PING/QUIT"}}"#);
-            continue;
-        };
-        let result = ws.search(q);
-        served += 1;
-        let answers: Vec<serde_json::Value> = result
-            .answers
-            .iter()
-            .map(|a| {
-                serde_json::json!({
-                    "central": ws.graph().node_text(a.central),
-                    "depth": a.depth,
-                    "score": a.score,
-                    "nodes": a.nodes.len(),
-                    "edges": a.edges.len(),
-                })
-            })
-            .collect();
-        let doc = serde_json::json!({
-            "query": q,
-            "answers": answers,
-            "unmatched": result.query.unmatched,
-            "ms": result.profile.total().as_secs_f64() * 1e3,
-        });
-        if writeln!(writer, "{doc}").is_err() {
+        } else if let Some(keywords) = query_keywords(request) {
+            if keywords.is_empty() {
+                if writeln!(writer, r#"{{"error":"empty query"}}"#).is_err() {
+                    break;
+                }
+            } else {
+                let doc = answer_query(ws, keywords);
+                let n = served.fetch_add(1, Ordering::SeqCst) + 1;
+                if max_requests > 0 && n >= max_requests && !draining.swap(true, Ordering::SeqCst) {
+                    // Wake the acceptor blocked in accept() so it can
+                    // observe the drain; the throwaway connection is
+                    // dropped by whichever worker receives it.
+                    let _ = TcpStream::connect(addr);
+                    done = true;
+                }
+                if writeln!(writer, "{doc}").is_err() {
+                    break;
+                }
+            }
+        } else if writeln!(writer, r#"{{"error":"expected QUERY/PING/QUIT"}}"#).is_err() {
             break;
         }
+        if done {
+            break;
+        }
+        line.clear();
     }
-    served
+}
+
+/// The keyword part of a `QUERY …` request, or `None` if the line is not
+/// a QUERY at all. `QUERY` with nothing after it parses as an empty
+/// keyword list (answered with an error, not ignored).
+fn query_keywords(request: &str) -> Option<&str> {
+    let rest = request.strip_prefix("QUERY")?;
+    if !rest.is_empty() && !rest.starts_with(char::is_whitespace) {
+        return None; // e.g. "QUERYX" — an unknown command, not a query
+    }
+    Some(rest.trim())
+}
+
+/// One response line for one query.
+fn answer_query(ws: &WikiSearch, q: &str) -> serde_json::Value {
+    let result = ws.search(q);
+    let answers: Vec<serde_json::Value> = result
+        .answers
+        .iter()
+        .map(|a| {
+            serde_json::json!({
+                "central": ws.graph().node_text(a.central),
+                "depth": a.depth,
+                "score": a.score,
+                "nodes": a.nodes.len(),
+                "edges": a.edges.len(),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "query": q,
+        "answers": answers,
+        "unmatched": result.query.unmatched,
+        "ms": result.profile.total().as_secs_f64() * 1e3,
+    })
 }
 
 #[cfg(test)]
@@ -117,11 +224,16 @@ mod tests {
     use std::io::{BufRead, BufReader};
     use std::net::TcpStream;
 
-    #[test]
-    fn serves_queries_over_tcp() {
-        // Build a tiny graph file.
+    fn free_port() -> u16 {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = probe.local_addr().unwrap().port();
+        drop(probe);
+        port
+    }
+
+    fn tiny_graph_file(tag: &str) -> String {
         let path = std::env::temp_dir()
-            .join(format!("ws-serve-{}.tsv", std::process::id()))
+            .join(format!("ws-serve-{}-{tag}.tsv", std::process::id()))
             .to_string_lossy()
             .into_owned();
         let mut b = kgraph::GraphBuilder::new();
@@ -131,18 +243,28 @@ mod tests {
         b.add_edge(x, q, "rel");
         b.add_edge(s, q, "rel");
         std::fs::write(&path, kgraph::io::to_tsv(&b.build())).unwrap();
+        path
+    }
 
-        // Pick a free port by binding and releasing.
-        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
-        let port = probe.local_addr().unwrap().port();
-        drop(probe);
+    fn connect(port: u16) -> TcpStream {
+        for _ in 0..100 {
+            if let Ok(s) = TcpStream::connect(("127.0.0.1", port)) {
+                return s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        panic!("server not reachable on port {port}");
+    }
 
-        let argv: Vec<String> = format!(
-            "serve --graph {path} --port {port} --backend seq --max-requests 2"
-        )
-        .split_whitespace()
-        .map(String::from)
-        .collect();
+    #[test]
+    fn serves_queries_over_tcp() {
+        let path = tiny_graph_file("basic");
+        let port = free_port();
+        let argv: Vec<String> =
+            format!("serve --graph {path} --port {port} --backend seq --max-requests 2")
+                .split_whitespace()
+                .map(String::from)
+                .collect();
         let args = parse(&argv).unwrap();
         let server = std::thread::spawn(move || {
             let mut out = Vec::new();
@@ -150,18 +272,7 @@ mod tests {
             String::from_utf8(out).unwrap()
         });
 
-        // Connect (retry while the server binds).
-        let mut stream = None;
-        for _ in 0..100 {
-            match TcpStream::connect(("127.0.0.1", port)) {
-                Ok(s) => {
-                    stream = Some(s);
-                    break;
-                }
-                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
-            }
-        }
-        let mut stream = stream.expect("server reachable");
+        let mut stream = connect(port);
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut line = String::new();
 
@@ -181,6 +292,17 @@ mod tests {
         assert!(line.contains("error"));
 
         line.clear();
+        writeln!(stream, "QUERY").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc["error"], "empty query", "{line}");
+
+        line.clear();
+        writeln!(stream).unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("error"), "empty line answered, not ignored: {line}");
+
+        line.clear();
         writeln!(stream, "QUERY sql").unwrap();
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("answers"));
@@ -188,6 +310,63 @@ mod tests {
 
         let log = server.join().unwrap();
         assert!(log.contains("served 2 queries"), "{log}");
+        assert!(log.contains("4 workers"), "{log}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn drains_even_when_another_connection_stays_open() {
+        // A second client holds its connection open without ever sending
+        // QUIT; reaching --max-requests on the first must still shut the
+        // server down (workers poll the drain flag on read timeout).
+        let path = tiny_graph_file("drain");
+        let port = free_port();
+        let argv: Vec<String> = format!(
+            "serve --graph {path} --port {port} --backend seq --workers 2 --max-requests 1"
+        )
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+        let args = parse(&argv).unwrap();
+        let server = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            serve(&args, &mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        });
+
+        let idle = connect(port); // parked on a worker, never speaks
+        let mut stream = connect(port);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        writeln!(stream, "QUERY xml sql").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("answers"), "{line}");
+
+        let log = server.join().unwrap();
+        assert!(log.contains("served 1 queries"), "{log}");
+        drop(idle);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let argv: Vec<String> = "serve --graph kb.tsv --workers 0"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let args = parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let err = serve(&args, &mut out).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+    }
+
+    #[test]
+    fn query_keyword_extraction_is_strict() {
+        assert_eq!(query_keywords("QUERY xml sql"), Some("xml sql"));
+        assert_eq!(query_keywords("QUERY"), Some(""));
+        assert_eq!(query_keywords("QUERY   "), Some(""));
+        assert_eq!(query_keywords("QUERYX xml"), None);
+        assert_eq!(query_keywords("PING"), None);
+        assert_eq!(query_keywords(""), None);
     }
 }

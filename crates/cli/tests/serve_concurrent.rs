@@ -1,0 +1,149 @@
+//! Concurrent-serving integration test: `serve --workers 4` hammered by
+//! interleaved clients must answer every query with exactly the bytes a
+//! sequential `WikiSearch::search` over the same graph produces (modulo
+//! the per-response `"ms"` timing field, which is stripped before
+//! comparison). This is the service-level form of the engine-equivalence
+//! property: pooled sessions + connection workers must not change a
+//! single answer.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use wikisearch_engine::{Backend, WikiSearch};
+
+/// Serialize a response document with its timing field removed, so two
+/// docs can be compared byte-for-byte.
+fn without_ms(doc: &serde_json::Value) -> String {
+    match doc {
+        serde_json::Value::Object(entries) => {
+            let kept: Vec<(String, serde_json::Value)> =
+                entries.iter().filter(|(k, _)| k != "ms").cloned().collect();
+            serde_json::Value::Object(kept).to_string()
+        }
+        other => other.to_string(),
+    }
+}
+
+/// The exact response document `serve` produces for one query (minus
+/// timing), computed through the public engine API.
+fn expected_response(ws: &WikiSearch, q: &str) -> String {
+    let result = ws.search(q);
+    let answers: Vec<serde_json::Value> = result
+        .answers
+        .iter()
+        .map(|a| {
+            serde_json::json!({
+                "central": ws.graph().node_text(a.central),
+                "depth": a.depth,
+                "score": a.score,
+                "nodes": a.nodes.len(),
+                "edges": a.edges.len(),
+            })
+        })
+        .collect();
+    without_ms(&serde_json::json!({
+        "query": q,
+        "answers": answers,
+        "unmatched": result.query.unmatched,
+    }))
+}
+
+#[test]
+fn concurrent_clients_get_sequential_answers() {
+    // A synthetic KB large enough that queries differ in depth/answers.
+    let cfg = {
+        let mut c = datagen::synthetic::SyntheticConfig::tiny(42);
+        c.num_entities = 400;
+        c
+    };
+    let graph = cfg.generate().graph;
+    let path = std::env::temp_dir()
+        .join(format!("ws-serve-conc-{}.tsv", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    std::fs::write(&path, kgraph::io::to_tsv(&graph)).unwrap();
+
+    // Interleaved workload: per-client query lists drawn from the same
+    // vocabulary the generator labels nodes with, plus edge cases that
+    // must still be answered deterministically.
+    let mut workload = datagen::QueryWorkload::new(7);
+    let mut queries: Vec<String> = workload.batch(3, 12);
+    queries.push("learning".into());
+    queries.push("zzz unmatched zzz".into());
+    queries.push("machine learning inference".into());
+    queries.push("database systems".into());
+    let total = queries.len();
+
+    // Reference: a sequential engine over the same graph file.
+    let reference = WikiSearch::build_with(graph, Backend::Sequential);
+    let expected: Vec<String> = queries.iter().map(|q| expected_response(&reference, q)).collect();
+
+    // Spawn the server in-process, draining after exactly `total` queries.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = probe.local_addr().unwrap().port();
+    drop(probe);
+    let argv: Vec<String> = format!(
+        "serve --graph {path} --port {port} --backend seq --workers 4 --max-requests {total}"
+    )
+    .split_whitespace()
+    .map(String::from)
+    .collect();
+    let server = std::thread::spawn(move || {
+        let mut out = Vec::new();
+        let code = wikisearch_cli::run(&argv, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    });
+
+    // 4 clients, queries dealt round-robin, all connections interleaved.
+    let got: Vec<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|client| {
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut stream = None;
+                    for _ in 0..100 {
+                        if let Ok(s) = TcpStream::connect(("127.0.0.1", port)) {
+                            stream = Some(s);
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    let mut stream = stream.expect("server reachable");
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut responses = Vec::new();
+                    for (qi, q) in queries.iter().enumerate() {
+                        if qi % 4 != client {
+                            continue;
+                        }
+                        writeln!(stream, "QUERY {q}").unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        responses.push((qi, line));
+                        std::thread::yield_now();
+                    }
+                    let _ = writeln!(stream, "QUIT");
+                    responses
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+
+    let (code, log) = server.join().unwrap();
+    assert_eq!(code, 0, "{log}");
+    assert!(log.contains(&format!("served {total} queries")), "{log}");
+
+    assert_eq!(got.len(), total, "every query answered exactly once");
+    for (qi, line) in &got {
+        let doc: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("query {qi}: bad JSON {e}: {line}"));
+        assert!(doc.get("error").is_none(), "query {qi} errored: {line}");
+        assert_eq!(
+            without_ms(&doc),
+            expected[*qi],
+            "query {qi} ({:?}) diverged from the sequential reference",
+            queries[*qi]
+        );
+    }
+
+    let _ = std::fs::remove_file(path);
+}

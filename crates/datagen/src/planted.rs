@@ -181,10 +181,8 @@ impl PlantedDataset {
         }
         for (s, l, t) in background.directed_edges() {
             let label = background.label_name(l).to_string();
-            let (si, ti) = (
-                b.node(background.node_key(s)).unwrap(),
-                b.node(background.node_key(t)).unwrap(),
-            );
+            let (si, ti) =
+                (b.node(background.node_key(s)).unwrap(), b.node(background.node_key(t)).unwrap());
             b.add_edge(si, ti, &label);
         }
         let n_background = b.num_nodes();
@@ -226,10 +224,8 @@ impl PlantedDataset {
             // satellite per individual query word.
             let all_words: Vec<&str> = q.phrases.iter().flat_map(|p| p.iter().copied()).collect();
             for d in 0..distractors_per_query {
-                let center = b.add_node(
-                    &format!("{}-dis{d}-center", q.id),
-                    &format!("topic directory {d}"),
-                );
+                let center =
+                    b.add_node(&format!("{}-dis{d}-center", q.id), &format!("topic directory {d}"));
                 centers.push(center);
                 // Same-label filler flood ⇒ high degree of summary.
                 for f in 0..25 {
@@ -336,10 +332,7 @@ mod tests {
         let q4 = &ds.queries[3];
         // Distractor star: every word present, but split, and glued by a
         // centre — irrelevant on both criteria.
-        let center = ds
-            .graph
-            .find_node_by_key("Q4-dis0-center")
-            .expect("distractor centre exists");
+        let center = ds.graph.find_node_by_key("Q4-dis0-center").expect("distractor centre exists");
         let mut nodes: Vec<NodeId> = ds
             .graph
             .nodes()
@@ -370,20 +363,12 @@ mod tests {
         let a4 = ds.relevant_anchors(q4)[0];
         let a1 = ds.relevant_anchors(q1)[0];
         // Q4 anchor's graph neighbors are section nodes, not phrase nodes.
-        let n4: Vec<&str> = ds
-            .graph
-            .neighbors(a4)
-            .iter()
-            .map(|a| ds.graph.node_key(a.target()))
-            .collect();
+        let n4: Vec<&str> =
+            ds.graph.neighbors(a4).iter().map(|a| ds.graph.node_key(a.target())).collect();
         assert!(n4.iter().any(|k| k.contains("-s")), "sections expected: {n4:?}");
         // Q1 anchor connects phrase nodes directly.
-        let n1: Vec<&str> = ds
-            .graph
-            .neighbors(a1)
-            .iter()
-            .map(|a| ds.graph.node_key(a.target()))
-            .collect();
+        let n1: Vec<&str> =
+            ds.graph.neighbors(a1).iter().map(|a| ds.graph.node_key(a.target())).collect();
         assert!(n1.iter().any(|k| k.contains("-p")), "phrase nodes expected: {n1:?}");
     }
 }

@@ -28,18 +28,60 @@ use serde::{Deserialize, Serialize};
 
 /// Labels for class/summary nodes, mirroring Wikidata's biggest classes.
 static CLASS_LABELS: &[&str] = &[
-    "human", "scholarly article", "taxon", "film", "village", "conference proceedings",
-    "research article", "painting", "asteroid", "gene", "protein", "book", "album",
-    "mountain", "river", "road", "railway station", "company", "university", "journal",
+    "human",
+    "scholarly article",
+    "taxon",
+    "film",
+    "village",
+    "conference proceedings",
+    "research article",
+    "painting",
+    "asteroid",
+    "gene",
+    "protein",
+    "book",
+    "album",
+    "mountain",
+    "river",
+    "road",
+    "railway station",
+    "company",
+    "university",
+    "journal",
 ];
 
 /// Predicate vocabulary (Wikidata-property style).
 static PREDICATES: &[&str] = &[
-    "instance of", "subclass of", "part of", "main subject", "author", "published in",
-    "cites work", "educated at", "employer", "member of", "located in", "country",
-    "field of work", "influenced by", "follows", "followed by", "uses", "based on",
-    "named after", "discoverer", "developer", "maintained by", "depicts", "genre",
-    "occupation", "award received", "notable work", "contributor", "editor", "sponsor",
+    "instance of",
+    "subclass of",
+    "part of",
+    "main subject",
+    "author",
+    "published in",
+    "cites work",
+    "educated at",
+    "employer",
+    "member of",
+    "located in",
+    "country",
+    "field of work",
+    "influenced by",
+    "follows",
+    "followed by",
+    "uses",
+    "based on",
+    "named after",
+    "discoverer",
+    "developer",
+    "maintained by",
+    "depicts",
+    "genre",
+    "occupation",
+    "award received",
+    "notable work",
+    "contributor",
+    "editor",
+    "sponsor",
 ];
 
 /// Generator parameters.

@@ -10,64 +10,230 @@ use rand::SeedableRng;
 /// phrases matter: the effectiveness experiments hinge on whether engines
 /// keep phrase words together (paper Sec. VI-B).
 pub static VOCAB: &[&str] = &[
-    "machine learning", "deep learning", "reinforcement learning", "supervised learning",
-    "unsupervised learning", "transfer learning", "active learning", "online learning",
-    "statistical relational learning", "multi task learning", "metric learning",
-    "representation learning", "feature selection", "feature extraction", "dimensionality reduction",
-    "neural network", "convolutional network", "recurrent network", "belief network",
-    "bayesian inference", "bayesian network", "markov network", "markov decision process",
-    "hidden markov model", "probabilistic inference", "variational inference", "graphical model",
-    "latent variable model", "topic model", "gaussian process", "kernel method",
-    "support vector machine", "decision tree", "random forest", "gradient descent",
-    "stochastic optimization", "convex optimization", "combinatorial optimization",
-    "integer programming", "linear programming", "constraint satisfaction", "heuristic search",
-    "monte carlo tree search", "game theory", "mechanism design", "social choice",
-    "multi agent system", "agent based simulation", "automated planning", "task scheduling",
-    "knowledge representation", "knowledge base", "knowledge graph", "ontology matching",
-    "description logic", "answer set programming", "logic programming", "theorem proving",
-    "model checking", "satisfiability solving", "belief revision", "argumentation framework",
-    "natural language processing", "machine translation", "question answering",
-    "information extraction", "named entity recognition", "relation extraction",
-    "semantic parsing", "sentiment analysis", "text classification", "text summarization",
-    "word embedding", "language model", "dialogue system", "speech recognition",
-    "information retrieval", "document ranking", "query expansion", "relevance feedback",
-    "learning to rank", "recommender system", "collaborative filtering", "matrix factorization",
-    "data mining", "pattern mining", "association rule", "anomaly detection",
-    "outlier detection", "cluster analysis", "spectral clustering", "community detection",
-    "graph mining", "graph partitioning", "graph embedding", "link prediction",
-    "social network analysis", "influence maximization", "network diffusion",
-    "keyword search", "database indexing", "query optimization", "query processing",
-    "relational database", "distributed database", "parallel computing", "distributed computing",
-    "cloud computing", "stream processing", "data integration", "entity resolution",
-    "schema matching", "data cleaning", "data warehousing", "column store",
-    "transaction processing", "concurrency control", "crash recovery", "consensus protocol",
-    "computer vision", "object detection", "image segmentation", "image classification",
-    "face recognition", "pose estimation", "scene understanding", "optical flow",
-    "image retrieval", "visual question answering", "video analysis", "action recognition",
-    "crowdsourcing", "human computation", "preference elicitation", "utility theory",
-    "causal inference", "counterfactual reasoning", "spatial reasoning", "temporal reasoning",
-    "case based reasoning", "commonsense reasoning", "qualitative reasoning",
-    "evolutionary algorithm", "genetic programming", "swarm intelligence", "local search",
-    "simulated annealing", "tabu search", "branch and bound", "dynamic programming",
-    "approximation algorithm", "online algorithm", "streaming algorithm", "sketching technique",
-    "privacy preservation", "differential privacy", "secure computation", "adversarial example",
-    "robust optimization", "sparse coding", "compressed sensing", "signal processing",
-    "time series analysis", "sequence labeling", "structured prediction", "label propagation",
-    "semi supervised learning", "self supervised learning", "few shot learning",
-    "zero shot learning", "domain adaptation", "concept drift", "incremental learning",
-    "ensemble method", "boosting algorithm", "bagging predictor", "model selection",
-    "hyperparameter tuning", "cross validation", "bias variance tradeoff",
-    "explainable model", "interpretable model", "fairness constraint", "algorithmic bias",
-    "medical diagnosis", "clinical decision support", "drug discovery", "bioinformatics pipeline",
-    "gene expression", "protein structure", "medicine retrieval", "health informatics",
-    "sensor network", "internet of things", "edge computing", "mobile computing",
-    "wireless network", "network protocol", "traffic prediction", "route planning",
-    "autonomous driving", "robot navigation", "motion planning", "simultaneous localization",
-    "auction mechanism", "resource allocation", "load balancing", "cache replacement",
-    "memory hierarchy", "hardware acceleration", "gpu computing", "vector processing",
-    "xml retrieval", "rdf store", "sparql endpoint", "semantic web",
-    "linked data", "triple store", "entity linking", "wikidata curation",
-    "freebase migration", "web crawling", "web search", "search engine",
+    "machine learning",
+    "deep learning",
+    "reinforcement learning",
+    "supervised learning",
+    "unsupervised learning",
+    "transfer learning",
+    "active learning",
+    "online learning",
+    "statistical relational learning",
+    "multi task learning",
+    "metric learning",
+    "representation learning",
+    "feature selection",
+    "feature extraction",
+    "dimensionality reduction",
+    "neural network",
+    "convolutional network",
+    "recurrent network",
+    "belief network",
+    "bayesian inference",
+    "bayesian network",
+    "markov network",
+    "markov decision process",
+    "hidden markov model",
+    "probabilistic inference",
+    "variational inference",
+    "graphical model",
+    "latent variable model",
+    "topic model",
+    "gaussian process",
+    "kernel method",
+    "support vector machine",
+    "decision tree",
+    "random forest",
+    "gradient descent",
+    "stochastic optimization",
+    "convex optimization",
+    "combinatorial optimization",
+    "integer programming",
+    "linear programming",
+    "constraint satisfaction",
+    "heuristic search",
+    "monte carlo tree search",
+    "game theory",
+    "mechanism design",
+    "social choice",
+    "multi agent system",
+    "agent based simulation",
+    "automated planning",
+    "task scheduling",
+    "knowledge representation",
+    "knowledge base",
+    "knowledge graph",
+    "ontology matching",
+    "description logic",
+    "answer set programming",
+    "logic programming",
+    "theorem proving",
+    "model checking",
+    "satisfiability solving",
+    "belief revision",
+    "argumentation framework",
+    "natural language processing",
+    "machine translation",
+    "question answering",
+    "information extraction",
+    "named entity recognition",
+    "relation extraction",
+    "semantic parsing",
+    "sentiment analysis",
+    "text classification",
+    "text summarization",
+    "word embedding",
+    "language model",
+    "dialogue system",
+    "speech recognition",
+    "information retrieval",
+    "document ranking",
+    "query expansion",
+    "relevance feedback",
+    "learning to rank",
+    "recommender system",
+    "collaborative filtering",
+    "matrix factorization",
+    "data mining",
+    "pattern mining",
+    "association rule",
+    "anomaly detection",
+    "outlier detection",
+    "cluster analysis",
+    "spectral clustering",
+    "community detection",
+    "graph mining",
+    "graph partitioning",
+    "graph embedding",
+    "link prediction",
+    "social network analysis",
+    "influence maximization",
+    "network diffusion",
+    "keyword search",
+    "database indexing",
+    "query optimization",
+    "query processing",
+    "relational database",
+    "distributed database",
+    "parallel computing",
+    "distributed computing",
+    "cloud computing",
+    "stream processing",
+    "data integration",
+    "entity resolution",
+    "schema matching",
+    "data cleaning",
+    "data warehousing",
+    "column store",
+    "transaction processing",
+    "concurrency control",
+    "crash recovery",
+    "consensus protocol",
+    "computer vision",
+    "object detection",
+    "image segmentation",
+    "image classification",
+    "face recognition",
+    "pose estimation",
+    "scene understanding",
+    "optical flow",
+    "image retrieval",
+    "visual question answering",
+    "video analysis",
+    "action recognition",
+    "crowdsourcing",
+    "human computation",
+    "preference elicitation",
+    "utility theory",
+    "causal inference",
+    "counterfactual reasoning",
+    "spatial reasoning",
+    "temporal reasoning",
+    "case based reasoning",
+    "commonsense reasoning",
+    "qualitative reasoning",
+    "evolutionary algorithm",
+    "genetic programming",
+    "swarm intelligence",
+    "local search",
+    "simulated annealing",
+    "tabu search",
+    "branch and bound",
+    "dynamic programming",
+    "approximation algorithm",
+    "online algorithm",
+    "streaming algorithm",
+    "sketching technique",
+    "privacy preservation",
+    "differential privacy",
+    "secure computation",
+    "adversarial example",
+    "robust optimization",
+    "sparse coding",
+    "compressed sensing",
+    "signal processing",
+    "time series analysis",
+    "sequence labeling",
+    "structured prediction",
+    "label propagation",
+    "semi supervised learning",
+    "self supervised learning",
+    "few shot learning",
+    "zero shot learning",
+    "domain adaptation",
+    "concept drift",
+    "incremental learning",
+    "ensemble method",
+    "boosting algorithm",
+    "bagging predictor",
+    "model selection",
+    "hyperparameter tuning",
+    "cross validation",
+    "bias variance tradeoff",
+    "explainable model",
+    "interpretable model",
+    "fairness constraint",
+    "algorithmic bias",
+    "medical diagnosis",
+    "clinical decision support",
+    "drug discovery",
+    "bioinformatics pipeline",
+    "gene expression",
+    "protein structure",
+    "medicine retrieval",
+    "health informatics",
+    "sensor network",
+    "internet of things",
+    "edge computing",
+    "mobile computing",
+    "wireless network",
+    "network protocol",
+    "traffic prediction",
+    "route planning",
+    "autonomous driving",
+    "robot navigation",
+    "motion planning",
+    "simultaneous localization",
+    "auction mechanism",
+    "resource allocation",
+    "load balancing",
+    "cache replacement",
+    "memory hierarchy",
+    "hardware acceleration",
+    "gpu computing",
+    "vector processing",
+    "xml retrieval",
+    "rdf store",
+    "sparql endpoint",
+    "semantic web",
+    "linked data",
+    "triple store",
+    "entity linking",
+    "wikidata curation",
+    "freebase migration",
+    "web crawling",
+    "web search",
+    "search engine",
 ];
 
 /// A reproducible stream of keyword queries with a target keyword count.

@@ -32,9 +32,7 @@ impl Ball {
         if self.members.len() > other.members.len() {
             return false;
         }
-        self.members
-            .iter()
-            .all(|&(m, _)| other.distance(m).is_some())
+        self.members.iter().all(|&(m, _)| other.distance(m).is_some())
     }
 }
 
@@ -112,11 +110,7 @@ impl RadiusIndex {
                     }
                 }
             }
-            balls = balls
-                .into_iter()
-                .zip(keep)
-                .filter_map(|(b, k)| k.then_some(b))
-                .collect();
+            balls = balls.into_iter().zip(keep).filter_map(|(b, k)| k.then_some(b)).collect();
         }
         RadiusIndex { radius, balls, maximal_only, build_time: start.elapsed() }
     }

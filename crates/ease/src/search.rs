@@ -46,11 +46,8 @@ impl<'a> EaseSearch<'a> {
             let mut content = Vec::with_capacity(q);
             let mut score = 0u32;
             for group in &query.groups {
-                let best = group
-                    .nodes
-                    .iter()
-                    .filter_map(|&v| ball.distance(v).map(|d| (d, v)))
-                    .min();
+                let best =
+                    group.nodes.iter().filter_map(|&v| ball.distance(v).map(|d| (d, v))).min();
                 match best {
                     Some((d, v)) => {
                         content.push(v);

@@ -31,9 +31,8 @@ use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SearchStats,
     SeqEngine,
 };
-use central::{CentralGraph, PhaseProfile, SearchParams, SearchSession};
+use central::{CentralGraph, PhaseProfile, SearchParams, SessionPool};
 use kgraph::{estimate_average_distance, KnowledgeGraph};
-use parking_lot::Mutex;
 use textindex::{InvertedIndex, ParsedQuery};
 
 /// Which backend executes searches.
@@ -47,6 +46,48 @@ pub enum Backend {
     GpuStyle(usize),
     /// Lock-based dynamic-memory baseline with this many threads.
     DynPar(usize),
+}
+
+impl Backend {
+    /// Thread count used when a backend spec names no explicit count
+    /// (matches the CLI's `--threads` default).
+    pub const DEFAULT_THREADS: usize = 4;
+
+    /// Parse a backend name (`seq` | `cpu` | `gpu` | `dyn`) with an
+    /// explicit thread count for the parallel engines. This is the one
+    /// place backend strings are interpreted — the CLI's `search` and
+    /// `serve` both route through it.
+    pub fn parse(name: &str, threads: usize) -> Result<Backend, String> {
+        if threads == 0 {
+            return Err(format!("backend {name:?}: thread count must be >= 1"));
+        }
+        match name {
+            "seq" => Ok(Backend::Sequential),
+            "cpu" => Ok(Backend::ParCpu(threads)),
+            "gpu" => Ok(Backend::GpuStyle(threads)),
+            "dyn" => Ok(Backend::DynPar(threads)),
+            other => Err(format!("unknown backend {other:?} (expected seq|cpu|gpu|dyn)")),
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    /// Parse a `name[:threads]` spec: `"seq"`, `"cpu"`, `"gpu:8"`,
+    /// `"dyn:2"`, … Without an explicit count, parallel backends get
+    /// [`Backend::DEFAULT_THREADS`].
+    fn from_str(spec: &str) -> Result<Backend, String> {
+        match spec.split_once(':') {
+            Some((name, t)) => {
+                let threads = t
+                    .parse::<usize>()
+                    .map_err(|_| format!("backend {spec:?}: cannot parse thread count {t:?}"))?;
+                Backend::parse(name, threads)
+            }
+            None => Backend::parse(spec, Backend::DEFAULT_THREADS),
+        }
+    }
 }
 
 /// One search's result: the parsed query, the ranked answers, and timing.
@@ -66,16 +107,22 @@ pub struct WikiSearchResult {
 
 /// The WikiSearch engine: graph + index + backend + defaults.
 ///
-/// The engine keeps one [`SearchSession`] for its lifetime: the first
-/// query pays the `n × q` state allocation, every later query re-arms it
-/// with a single epoch bump (see `central::session`). The session is
+/// The engine is `Send + Sync` and every search path takes `&self`, so
+/// one `Arc<WikiSearch>` serves any number of threads concurrently (the
+/// CLI's `serve --workers N` does exactly that). Warm per-query state
+/// lives in a [`SessionPool`]: each search checks a [`central::SearchSession`]
+/// out of the pool, so concurrent queries run on distinct sessions
+/// without contending on a process-wide lock, while a sequential caller
+/// keeps hitting the same warm session — the first query pays the
+/// `n × q` state allocation, every later query re-arms it with a single
+/// epoch bump (see `central::session` and `central::pool`). Sessions are
 /// engine-agnostic, so swapping backends keeps the warm state.
 pub struct WikiSearch {
     graph: KnowledgeGraph,
     index: InvertedIndex,
     params: SearchParams,
     backend: Box<dyn KeywordSearchEngine + Send + Sync>,
-    session: Mutex<SearchSession>,
+    sessions: SessionPool,
 }
 
 impl WikiSearch {
@@ -91,14 +138,18 @@ impl WikiSearch {
     pub fn build_with(graph: KnowledgeGraph, backend: Backend) -> Self {
         let index = InvertedIndex::build(&graph);
         let est = estimate_average_distance(&graph, 200, 32, 0xA11CE);
-        let a = if est.reachable_pairs == 0 { 3.68 } else { est.mean };
+        let a = if est.reachable_pairs == 0 {
+            3.68
+        } else {
+            est.mean
+        };
         let params = SearchParams::default().with_average_distance(a);
         WikiSearch {
             graph,
             index,
             params,
             backend: make_backend(backend),
-            session: Mutex::new(SearchSession::new()),
+            sessions: SessionPool::new(),
         }
     }
 
@@ -129,23 +180,39 @@ impl WikiSearch {
 
     /// Search with the engine's default parameters.
     pub fn search(&self, raw_query: &str) -> WikiSearchResult {
-        self.search_with(raw_query, &self.params.clone())
+        self.search_with_params(raw_query, &self.params)
     }
 
-    /// Search with explicit parameters (e.g. a different α or top-k).
-    /// Runs through the engine's persistent session — the warm path.
-    pub fn search_with(&self, raw_query: &str, params: &SearchParams) -> WikiSearchResult {
+    /// Search with explicit per-request parameters (e.g. a different α or
+    /// top-k) without touching the engine's defaults — callers holding
+    /// only `&self` (a shared `Arc<WikiSearch>`, a server worker) override
+    /// params per query through here. Runs through the session pool: the
+    /// warm path for a sequential caller, a distinct session per query
+    /// for concurrent ones.
+    pub fn search_with_params(&self, raw_query: &str, params: &SearchParams) -> WikiSearchResult {
         let query = ParsedQuery::parse(&self.index, raw_query);
         let kwf = query.avg_keyword_frequency();
+        let mut session = self.sessions.checkout();
         let SearchOutcome { answers, profile, stats } =
-            self.backend
-                .search_session(&mut self.session.lock(), &self.graph, &query, params);
+            self.backend.search_session(&mut session, &self.graph, &query, params);
         WikiSearchResult { query, answers, profile, kwf, stats }
     }
 
-    /// Number of queries answered through the engine's reusable session.
+    /// Backwards-compatible alias of [`WikiSearch::search_with_params`].
+    pub fn search_with(&self, raw_query: &str, params: &SearchParams) -> WikiSearchResult {
+        self.search_with_params(raw_query, params)
+    }
+
+    /// Number of queries answered through the engine's session pool
+    /// (checked-in sessions; a query in flight counts once it completes).
     pub fn session_queries_run(&self) -> u64 {
-        self.session.lock().queries_run()
+        self.sessions.queries_run()
+    }
+
+    /// The engine's session pool (diagnostics: idle/created/in-flight
+    /// session counts).
+    pub fn session_pool(&self) -> &SessionPool {
+        &self.sessions
     }
 
     /// Parse a query without searching (used by harnesses for kwf stats).
@@ -238,10 +305,77 @@ mod tests {
         let second = ws.search("xml sql");
         let third = ws.search("xml sql rdf");
         assert_eq!(ws.session_queries_run(), 3);
+        // A sequential caller keeps hitting one pooled session.
+        assert_eq!(ws.session_pool().sessions_created(), 1);
+        assert_eq!(ws.session_pool().idle_sessions(), 1);
         // Warm-path answers match the corresponding fresh ones.
         assert_eq!(first.answers[0].nodes, third.answers[0].nodes);
         assert_eq!(first.answers[0].edges, third.answers[0].edges);
         assert!(!second.answers.is_empty());
+    }
+
+    #[test]
+    fn wikisearch_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WikiSearch>();
+    }
+
+    #[test]
+    fn concurrent_searches_agree_with_sequential() {
+        use std::sync::Arc;
+        let ws = Arc::new(small_engine(Backend::Sequential));
+        let reference = ws.search("xml sql rdf");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ws = Arc::clone(&ws);
+                let reference = &reference;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let out = ws.search("xml sql rdf");
+                        assert_eq!(out.answers.len(), reference.answers.len());
+                        assert_eq!(out.answers[0].nodes, reference.answers[0].nodes);
+                        assert_eq!(out.answers[0].edges, reference.answers[0].edges);
+                    }
+                });
+            }
+        });
+        // 4 workers × 8 queries + the reference, all accounted pool-wide.
+        assert_eq!(ws.session_queries_run(), 33);
+        let pool = ws.session_pool();
+        assert!(pool.sessions_created() <= 5, "pool capped by concurrency peak");
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn per_request_params_need_only_a_shared_reference() {
+        let ws = small_engine(Backend::Sequential);
+        let deep = ws.search("xml sql rdf");
+        let narrow = ws.search_with_params("xml sql rdf", &ws.params().clone().with_top_k(1));
+        assert!(narrow.answers.len() <= 1);
+        assert!(deep.answers.len() >= narrow.answers.len());
+        // The engine's defaults are untouched by the per-request override.
+        let again = ws.search("xml sql rdf");
+        assert_eq!(again.answers.len(), deep.answers.len());
+    }
+
+    #[test]
+    fn backend_parse_accepts_the_cli_names() {
+        assert_eq!(Backend::parse("seq", 3).unwrap(), Backend::Sequential);
+        assert_eq!(Backend::parse("cpu", 3).unwrap(), Backend::ParCpu(3));
+        assert_eq!(Backend::parse("gpu", 8).unwrap(), Backend::GpuStyle(8));
+        assert_eq!(Backend::parse("dyn", 2).unwrap(), Backend::DynPar(2));
+        assert!(Backend::parse("cuda", 2).unwrap_err().contains("unknown backend"));
+        assert!(Backend::parse("cpu", 0).unwrap_err().contains(">= 1"));
+    }
+
+    #[test]
+    fn backend_from_str_parses_specs() {
+        assert_eq!("seq".parse::<Backend>().unwrap(), Backend::Sequential);
+        assert_eq!("cpu".parse::<Backend>().unwrap(), Backend::ParCpu(Backend::DEFAULT_THREADS));
+        assert_eq!("gpu:8".parse::<Backend>().unwrap(), Backend::GpuStyle(8));
+        assert_eq!("dyn:2".parse::<Backend>().unwrap(), Backend::DynPar(2));
+        assert!("cpu:many".parse::<Backend>().is_err());
+        assert!("warp:4".parse::<Backend>().is_err());
     }
 
     #[test]

@@ -20,13 +20,7 @@ pub fn render_answer(graph: &KnowledgeGraph, answer: &CentralGraph) -> String {
     );
     for &(a, b) in &answer.edges {
         let label = edge_label(graph, a, b).unwrap_or("?");
-        let _ = writeln!(
-            out,
-            "  {} --[{}]-- {}",
-            graph.node_text(a),
-            label,
-            graph.node_text(b)
-        );
+        let _ = writeln!(out, "  {} --[{}]-- {}", graph.node_text(a), label, graph.node_text(b));
     }
     for (i, kws) in answer.keyword_nodes.iter().enumerate() {
         let names: Vec<&str> = kws.iter().map(|&v| graph.node_text(v)).collect();
@@ -39,12 +33,8 @@ pub fn render_answer(graph: &KnowledgeGraph, answer: &CentralGraph) -> String {
 /// central node double-circled, edges labeled with their relationship).
 pub fn render_dot(graph: &KnowledgeGraph, answer: &CentralGraph) -> String {
     let mut out = String::from("graph answer {\n  rankdir=LR;\n");
-    let keyword_nodes: std::collections::HashSet<NodeId> = answer
-        .keyword_nodes
-        .iter()
-        .flatten()
-        .copied()
-        .collect();
+    let keyword_nodes: std::collections::HashSet<NodeId> =
+        answer.keyword_nodes.iter().flatten().copied().collect();
     for &v in &answer.nodes {
         let mut attrs = vec![format!("label=\"{}\"", escape(graph.node_text(v)))];
         if v == answer.central {

@@ -54,8 +54,7 @@ mod tests {
 
     #[test]
     fn precision_counts_relevant_prefix() {
-        let answers: Vec<Vec<NodeId>> =
-            (0..10).map(|i| vec![NodeId(i)]).collect();
+        let answers: Vec<Vec<NodeId>> = (0..10).map(|i| vec![NodeId(i)]).collect();
         // even node ids are "relevant"
         let judge = |a: &[NodeId]| a[0].0.is_multiple_of(2);
         assert_eq!(top_k_precision(&answers, 10, judge), 0.5);

@@ -25,9 +25,7 @@ const MAGIC: &[u8; 4] = b"KGR1";
 
 /// Serialize to the binary format.
 pub fn to_bytes(g: &KnowledgeGraph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        64 + g.num_nodes() * 24 + g.num_directed_edges() * 12,
-    );
+    let mut buf = BytesMut::with_capacity(64 + g.num_nodes() * 24 + g.num_directed_edges() * 12);
     buf.put_slice(MAGIC);
     buf.put_u64_le(g.num_nodes() as u64);
     buf.put_u64_le(g.num_directed_edges() as u64);

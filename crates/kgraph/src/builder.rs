@@ -137,11 +137,7 @@ impl GraphBuilder {
         // Degree-of-summary weights (Eq. 2) from per-node in-edge label
         // histograms. Edges are sorted by (src, label, dst); re-sort a copy
         // by (dst, label) to count label runs per destination.
-        let mut by_dst: Vec<(u32, u32)> = self
-            .edges
-            .iter()
-            .map(|&(_, l, d)| (d.0, l.0))
-            .collect();
+        let mut by_dst: Vec<(u32, u32)> = self.edges.iter().map(|&(_, l, d)| (d.0, l.0)).collect();
         by_dst.sort_unstable();
         let mut raw = vec![0.0f32; n];
         let mut i = 0;

@@ -31,10 +31,7 @@ impl Adjacency {
     #[inline]
     pub fn new(target: NodeId, label: LabelId, outgoing: bool) -> Self {
         debug_assert!(label.0 < OUTGOING_BIT, "label id overflows packed field");
-        Adjacency {
-            target,
-            label_dir: label.0 | if outgoing { OUTGOING_BIT } else { 0 },
-        }
+        Adjacency { target, label_dir: label.0 | if outgoing { OUTGOING_BIT } else { 0 } }
     }
 
     /// The neighboring node.
@@ -170,18 +167,12 @@ impl KnowledgeGraph {
     /// Linear scan lookup of a node by its external key. Intended for tests
     /// and examples; production callers keep their own key map.
     pub fn find_node_by_key(&self, key: &str) -> Option<NodeId> {
-        self.node_keys
-            .iter()
-            .position(|k| k == key)
-            .map(NodeId::from_index)
+        self.node_keys.iter().position(|k| k == key).map(NodeId::from_index)
     }
 
     /// Linear scan lookup of a node by its exact text.
     pub fn find_node_by_text(&self, text: &str) -> Option<NodeId> {
-        self.node_texts
-            .iter()
-            .position(|t| t == text)
-            .map(NodeId::from_index)
+        self.node_texts.iter().position(|t| t == text).map(NodeId::from_index)
     }
 
     /// Iterator over all node ids.
@@ -334,7 +325,13 @@ mod tests {
         let g = diamond();
         let mut edges: Vec<_> = g
             .directed_edges()
-            .map(|(s, l, t)| (g.node_key(s).to_string(), g.label_name(l).to_string(), g.node_key(t).to_string()))
+            .map(|(s, l, t)| {
+                (
+                    g.node_key(s).to_string(),
+                    g.label_name(l).to_string(),
+                    g.node_key(t).to_string(),
+                )
+            })
             .collect();
         edges.sort();
         assert_eq!(edges.len(), 4);

@@ -21,7 +21,8 @@ use std::io::{BufReader, Read, Write};
 /// Serialize `g` to the TSV triple format.
 pub fn to_tsv(g: &KnowledgeGraph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# kgraph tsv: {} nodes, {} edges", g.num_nodes(), g.num_directed_edges());
+    let _ =
+        writeln!(out, "# kgraph tsv: {} nodes, {} edges", g.num_nodes(), g.num_directed_edges());
     for v in g.nodes() {
         let _ = writeln!(out, "N\t{}\t{}", g.node_key(v), g.node_text(v));
     }
@@ -133,9 +134,7 @@ pub fn from_ntriples(text: &str) -> Result<KnowledgeGraph, KgraphError> {
                 message: format!("unexpected trailing content {trailing:?}"),
             });
         }
-        let o = b
-            .node(&object_iri)
-            .unwrap_or_else(|| b.add_node(&object_iri, &object_iri));
+        let o = b.node(&object_iri).unwrap_or_else(|| b.add_node(&object_iri, &object_iri));
         b.add_edge(s, o, &predicate);
     }
     Ok(b.build())
@@ -152,11 +151,7 @@ fn take_iri(input: &str, lineno: usize) -> Result<(String, &str), KgraphError> {
         return Err(err("unterminated IRI".into()));
     };
     let iri = &rest[..end];
-    let local = iri
-        .rsplit(['/', '#'])
-        .next()
-        .filter(|s| !s.is_empty())
-        .unwrap_or(iri);
+    let local = iri.rsplit(['/', '#']).next().filter(|s| !s.is_empty()).unwrap_or(iri);
     Ok((local.replace('_', " "), &rest[end + 1..]))
 }
 
@@ -198,11 +193,23 @@ mod tests {
         assert_eq!(g2.node_text(q1), "SPARQL query language");
         let mut e1: Vec<_> = g
             .directed_edges()
-            .map(|(s, l, t)| (g.node_key(s).to_string(), g.label_name(l).to_string(), g.node_key(t).to_string()))
+            .map(|(s, l, t)| {
+                (
+                    g.node_key(s).to_string(),
+                    g.label_name(l).to_string(),
+                    g.node_key(t).to_string(),
+                )
+            })
             .collect();
         let mut e2: Vec<_> = g2
             .directed_edges()
-            .map(|(s, l, t)| (g2.node_key(s).to_string(), g2.label_name(l).to_string(), g2.node_key(t).to_string()))
+            .map(|(s, l, t)| {
+                (
+                    g2.node_key(s).to_string(),
+                    g2.label_name(l).to_string(),
+                    g2.node_key(t).to_string(),
+                )
+            })
             .collect();
         e1.sort();
         e2.sort();

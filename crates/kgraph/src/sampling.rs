@@ -77,7 +77,12 @@ pub fn estimate_average_distance(
 ) -> DistanceEstimate {
     let n = g.num_nodes();
     if n < 2 || pairs == 0 {
-        return DistanceEstimate { mean: 0.0, deviation: 0.0, reachable_pairs: 0, sampled_pairs: 0 };
+        return DistanceEstimate {
+            mean: 0.0,
+            deviation: 0.0,
+            reachable_pairs: 0,
+            sampled_pairs: 0,
+        };
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut distances: Vec<u32> = Vec::with_capacity(pairs);
@@ -92,7 +97,12 @@ pub fn estimate_average_distance(
         }
     }
     if distances.is_empty() {
-        return DistanceEstimate { mean: 0.0, deviation: 0.0, reachable_pairs: 0, sampled_pairs: pairs };
+        return DistanceEstimate {
+            mean: 0.0,
+            deviation: 0.0,
+            reachable_pairs: 0,
+            sampled_pairs: pairs,
+        };
     }
     let mean = distances.iter().map(|&d| d as f64).sum::<f64>() / distances.len() as f64;
     let var = distances
@@ -147,7 +157,12 @@ pub fn estimate_average_distance_sources(
 ) -> DistanceEstimate {
     let n = g.num_nodes();
     if n < 2 || sources == 0 || targets_per_source == 0 {
-        return DistanceEstimate { mean: 0.0, deviation: 0.0, reachable_pairs: 0, sampled_pairs: 0 };
+        return DistanceEstimate {
+            mean: 0.0,
+            deviation: 0.0,
+            reachable_pairs: 0,
+            sampled_pairs: 0,
+        };
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut distances: Vec<u32> = Vec::with_capacity(sources * targets_per_source);
@@ -163,7 +178,12 @@ pub fn estimate_average_distance_sources(
     }
     let sampled = sources * targets_per_source;
     if distances.is_empty() {
-        return DistanceEstimate { mean: 0.0, deviation: 0.0, reachable_pairs: 0, sampled_pairs: sampled };
+        return DistanceEstimate {
+            mean: 0.0,
+            deviation: 0.0,
+            reachable_pairs: 0,
+            sampled_pairs: sampled,
+        };
     }
     let mean = distances.iter().map(|&d| d as f64).sum::<f64>() / distances.len() as f64;
     let var = distances
@@ -189,9 +209,8 @@ mod tests {
 
     fn path_graph(len: usize) -> KnowledgeGraph {
         let mut b = GraphBuilder::new();
-        let nodes: Vec<_> = (0..len)
-            .map(|i| b.add_node(&format!("n{i}"), &format!("node {i}")))
-            .collect();
+        let nodes: Vec<_> =
+            (0..len).map(|i| b.add_node(&format!("n{i}"), &format!("node {i}"))).collect();
         for w in nodes.windows(2) {
             b.add_edge(w[0], w[1], "next");
         }

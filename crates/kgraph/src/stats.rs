@@ -75,7 +75,11 @@ pub fn log2_degree_histogram(g: &KnowledgeGraph) -> Vec<usize> {
     let mut hist: Vec<usize> = Vec::new();
     for v in g.nodes() {
         let d = g.degree(v);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }

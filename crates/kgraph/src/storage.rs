@@ -96,7 +96,11 @@ mod tests {
         assert_eq!(f.node_keyword_matrix, 2 * 8);
         assert_eq!(
             f.max_running_storage(),
-            f.pre_storage() + f.f_identifier + f.c_identifier + f.node_keyword_matrix + f.frontier_queue
+            f.pre_storage()
+                + f.f_identifier
+                + f.c_identifier
+                + f.node_keyword_matrix
+                + f.frontier_queue
         );
     }
 

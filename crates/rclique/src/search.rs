@@ -67,9 +67,7 @@ impl<'a> RCliqueSearch<'a> {
             return Vec::new();
         }
         // Anchor on the smallest keyword group (fewest candidates).
-        let anchor_group = (0..q)
-            .min_by_key(|&i| query.groups[i].nodes.len())
-            .expect("q > 0");
+        let anchor_group = (0..q).min_by_key(|&i| query.groups[i].nodes.len()).expect("q > 0");
         let mut answers: Vec<CliqueAnswer> = Vec::new();
         'anchors: for &u in &query.groups[anchor_group].nodes {
             let mut members: Vec<NodeId> = Vec::with_capacity(q);
@@ -102,11 +100,7 @@ impl<'a> RCliqueSearch<'a> {
             let (tree_nodes, tree_edges) = extract_tree(self.graph, &members);
             answers.push(CliqueAnswer { members, weight, tree_nodes, tree_edges });
         }
-        answers.sort_by(|a, b| {
-            a.weight
-                .cmp(&b.weight)
-                .then_with(|| a.members.cmp(&b.members))
-        });
+        answers.sort_by(|a, b| a.weight.cmp(&b.weight).then_with(|| a.members.cmp(&b.members)));
         answers.dedup_by(|a, b| a.members == b.members);
         answers.truncate(params.top_k);
         answers
@@ -255,10 +249,7 @@ mod tests {
     #[test]
     fn extract_tree_connects_members() {
         let (g, _) = fixture();
-        let members = vec![
-            g.find_node_by_key("a1").unwrap(),
-            g.find_node_by_key("z1").unwrap(),
-        ];
+        let members = vec![g.find_node_by_key("a1").unwrap(), g.find_node_by_key("z1").unwrap()];
         let (nodes, edges) = extract_tree(&g, &members);
         assert_eq!(nodes.len(), 3);
         assert_eq!(edges.len(), 2);

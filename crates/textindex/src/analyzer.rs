@@ -32,10 +32,7 @@ pub fn analyze(text: &str) -> Vec<String> {
 /// index "data" once) and for building keyword groups from a query.
 pub fn analyze_unique(text: &str) -> Vec<String> {
     let mut seen = std::collections::HashSet::new();
-    analyze(text)
-        .into_iter()
-        .filter(|t| seen.insert(t.clone()))
-        .collect()
+    analyze(text).into_iter().filter(|t| seen.insert(t.clone())).collect()
 }
 
 #[cfg(test)]
@@ -45,10 +42,7 @@ mod tests {
     #[test]
     fn pipeline_applies_all_three_stages() {
         // tokenizes, removes "for", stems "graphs" -> "graph"
-        assert_eq!(
-            analyze("Keyword Search for Graphs!"),
-            vec!["keyword", "search", "graph"]
-        );
+        assert_eq!(analyze("Keyword Search for Graphs!"), vec!["keyword", "search", "graph"]);
     }
 
     #[test]

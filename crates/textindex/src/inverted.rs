@@ -62,9 +62,7 @@ impl InvertedIndex {
 
     /// Posting list for an already-analyzed term.
     pub fn lookup_analyzed(&self, term: &str) -> Option<&[NodeId]> {
-        self.term_ids
-            .get(term)
-            .map(|&id| self.postings[id as usize].as_slice())
+        self.term_ids.get(term).map(|&id| self.postings[id as usize].as_slice())
     }
 
     /// Document frequency of an analyzed term (0 if absent). This is the
@@ -91,19 +89,13 @@ impl InvertedIndex {
 
     /// Iterator over `(term, document frequency)` pairs.
     pub fn term_frequencies(&self) -> impl Iterator<Item = (&str, usize)> + '_ {
-        self.term_names
-            .iter()
-            .zip(&self.postings)
-            .map(|(t, p)| (t.as_str(), p.len()))
+        self.term_names.iter().zip(&self.postings).map(|(t, p)| (t.as_str(), p.len()))
     }
 
     /// Approximate heap bytes used by the index (postings + term table).
     pub fn approx_bytes(&self) -> usize {
-        let postings: usize = self
-            .postings
-            .iter()
-            .map(|p| p.len() * std::mem::size_of::<NodeId>())
-            .sum();
+        let postings: usize =
+            self.postings.iter().map(|p| p.len() * std::mem::size_of::<NodeId>()).sum();
         let terms: usize = self.term_names.iter().map(|t| t.len() + 24).sum();
         postings + terms
     }

@@ -33,10 +33,9 @@ impl ParsedQuery {
         let mut q = ParsedQuery::default();
         for term in analyze_unique(raw) {
             match idx.lookup_analyzed(&term) {
-                Some(nodes) if !nodes.is_empty() => q.groups.push(KeywordGroup {
-                    term,
-                    nodes: nodes.to_vec(),
-                }),
+                Some(nodes) if !nodes.is_empty() => {
+                    q.groups.push(KeywordGroup { term, nodes: nodes.to_vec() })
+                }
                 _ => q.unmatched.push(term),
             }
         }
@@ -59,8 +58,7 @@ impl ParsedQuery {
         if self.groups.is_empty() {
             return 0.0;
         }
-        self.groups.iter().map(|g| g.nodes.len()).sum::<usize>() as f64
-            / self.groups.len() as f64
+        self.groups.iter().map(|g| g.nodes.len()).sum::<usize>() as f64 / self.groups.len() as f64
     }
 }
 

@@ -324,10 +324,7 @@ impl Stemmer {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
                 (self.ends(b"ion") && self.j > 0 && matches!(self.b[self.j - 1], b's' | b't'))
@@ -486,8 +483,21 @@ mod tests {
         // stem("databas") = "databa"), but a stem is never empty and never
         // grows beyond input length + 1 (the restored trailing 'e').
         for w in [
-            "database", "retrieval", "parallel", "keyword", "graph", "learning", "a", "is",
-            "sses", "ies", "ed", "ing", "eed", "ion", "ational",
+            "database",
+            "retrieval",
+            "parallel",
+            "keyword",
+            "graph",
+            "learning",
+            "a",
+            "is",
+            "sses",
+            "ies",
+            "ed",
+            "ing",
+            "eed",
+            "ion",
+            "ational",
         ] {
             let s = porter_stem(w);
             assert!(!s.is_empty(), "stem({w:?}) must be non-empty");

@@ -23,10 +23,7 @@ pub fn tokenize(text: &str) -> Vec<String> {
 /// node labels where repeated words should index once.
 pub fn tokenize_unique(text: &str) -> Vec<String> {
     let mut seen = std::collections::HashSet::new();
-    tokenize(text)
-        .into_iter()
-        .filter(|t| seen.insert(t.clone()))
-        .collect()
+    tokenize(text).into_iter().filter(|t| seen.insert(t.clone())).collect()
 }
 
 #[cfg(test)]
@@ -35,10 +32,7 @@ mod tests {
 
     #[test]
     fn splits_on_punctuation_and_whitespace() {
-        assert_eq!(
-            tokenize("Facebook Query Language"),
-            vec!["facebook", "query", "language"]
-        );
+        assert_eq!(tokenize("Facebook Query Language"), vec!["facebook", "query", "language"]);
         assert_eq!(tokenize("XPath-2/XPath 3"), vec!["xpath", "xpath"]);
     }
 

@@ -64,14 +64,8 @@ fn main() {
         println!("  α = {alpha:<5} ->  a = {a}");
         levels.push(a);
     }
-    assert!(
-        levels.windows(2).all(|w| w[1] <= w[0]),
-        "activation must fall as α rises"
-    );
-    assert!(
-        levels[0] > levels[3],
-        "the α sweep must actually move the level"
-    );
+    assert!(levels.windows(2).all(|w| w[1] <= w[0]), "activation must fall as α rises");
+    assert!(levels[0] > levels[3], "the α sweep must actually move the level");
 
     // Effect 2: the answer through the summary node gets shallower.
     let ws = WikiSearch::build_with(graph, Backend::Sequential);
@@ -79,12 +73,7 @@ fn main() {
     println!("\nsearch {query:?} (the topic node is the only connector):");
     let mut depths = Vec::new();
     for alpha in [0.05f32, 0.4] {
-        let params = ws
-            .params()
-            .clone()
-            .with_alpha(alpha)
-            .with_average_distance(A)
-            .with_top_k(1);
+        let params = ws.params().clone().with_alpha(alpha).with_average_distance(A).with_top_k(1);
         let result = ws.search_with(query, &params);
         let best = result.answers.first().expect("the connector answer exists");
         assert!(best.contains_node(topic));

@@ -60,7 +60,11 @@ fn main() {
             bout.elapsed.as_secs_f64() * 1e3,
             bout.answers.len(),
             bout.pops,
-            if bout.budget_exhausted { ", budget hit" } else { "" }
+            if bout.budget_exhausted {
+                ", budget hit"
+            } else {
+                ""
+            }
         );
 
         // Show what the two models return for the same query.

@@ -14,11 +14,7 @@ use wikisearch_engine::{Backend, WikiSearch};
 fn main() {
     let (graph, activation) = fig4_graph();
     let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
-    let params = ws
-        .params()
-        .clone()
-        .with_top_k(1)
-        .with_explicit_activation(activation);
+    let params = ws.params().clone().with_top_k(1).with_explicit_activation(activation);
     ws.set_params(params);
 
     let result = ws.search("XML RDF SQL");

@@ -24,11 +24,7 @@ fn main() {
     let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
     // Use the paper's drawn activation levels so the run reproduces the
     // Example 4 trace exactly (normally these come from node weights).
-    let params = ws
-        .params()
-        .clone()
-        .with_top_k(3)
-        .with_explicit_activation(activation);
+    let params = ws.params().clone().with_top_k(3).with_explicit_activation(activation);
     ws.set_params(params);
 
     let query = "XML RDF SQL";

@@ -14,10 +14,8 @@ const WORDS: &[&str] = &["apple", "pear", "plum", "fig", "kiwi", "mango"];
 
 fn graph_strategy() -> impl Strategy<Value = (KnowledgeGraph, String, Vec<u8>)> {
     (3usize..25).prop_flat_map(|nodes| {
-        let texts = proptest::collection::vec(
-            proptest::collection::vec(0usize..WORDS.len(), 1..3),
-            nodes,
-        );
+        let texts =
+            proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 1..3), nodes);
         let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 2..50);
         let activation = proptest::collection::vec(0u8..4, nodes);
         let query = proptest::collection::vec(0usize..WORDS.len(), 2..4);
@@ -42,11 +40,7 @@ fn graph_strategy() -> impl Strategy<Value = (KnowledgeGraph, String, Vec<u8>)> 
 
 /// The answer graph must be connected: every node reaches the central
 /// node through answer edges (hitting paths all end at the centre).
-fn is_connected_to_central(
-    central: NodeId,
-    nodes: &[NodeId],
-    edges: &[(NodeId, NodeId)],
-) -> bool {
+fn is_connected_to_central(central: NodeId, nodes: &[NodeId], edges: &[(NodeId, NodeId)]) -> bool {
     if nodes.len() <= 1 {
         return true;
     }

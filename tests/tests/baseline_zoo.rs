@@ -35,11 +35,8 @@ fn every_model_connects_the_keywords_through_the_hub() {
     let query = ParsedQuery::parse(&idx, "apple banana");
 
     // Central Graph: graph-shaped answer centered at the hub.
-    let cg = SeqEngine::new().search(
-        &g,
-        &query,
-        &SearchParams::default().with_average_distance(1.5),
-    );
+    let cg =
+        SeqEngine::new().search(&g, &query, &SearchParams::default().with_average_distance(1.5));
     assert!(cg.answers.iter().any(|a| a.central == hub));
 
     // BANKS-I / BANKS-II: tree answers spanning both keywords + hub.
@@ -87,11 +84,8 @@ fn answer_shapes_differ_as_the_paper_describes() {
     let idx = InvertedIndex::build(&g);
     let query = ParsedQuery::parse(&idx, "apple banana");
 
-    let cg = SeqEngine::new().search(
-        &g,
-        &query,
-        &SearchParams::default().with_average_distance(1.0),
-    );
+    let cg =
+        SeqEngine::new().search(&g, &query, &SearchParams::default().with_average_distance(1.0));
     let hub_answer = cg.answers.iter().find(|ans| ans.central == hub).unwrap();
     // One graph answer carries both banana nodes …
     assert_eq!(hub_answer.keyword_nodes[1].len(), 2);

@@ -4,9 +4,7 @@
 //! thread counts. This is Theorem V.2 under real contention: thousands of
 //! frontier tasks racing on the shared matrix.
 
-use central::engine::{
-    DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine,
-};
+use central::engine::{DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine};
 use central::{SearchParams, SearchSession};
 use datagen::synthetic::SyntheticConfig;
 use datagen::QueryWorkload;
@@ -18,16 +16,11 @@ fn parallel_engines_agree_on_a_large_graph_under_contention() {
     cfg.num_entities = 2500;
     let ds = cfg.generate();
     let index = InvertedIndex::build(&ds.graph);
-    let params = SearchParams::default()
-        .with_average_distance(2.5)
-        .with_top_k(10);
+    let params = SearchParams::default().with_average_distance(2.5).with_top_k(10);
 
     let mut workload = QueryWorkload::new(9);
-    let queries: Vec<ParsedQuery> = workload
-        .batch(5, 3)
-        .iter()
-        .map(|q| ParsedQuery::parse(&index, q))
-        .collect();
+    let queries: Vec<ParsedQuery> =
+        workload.batch(5, 3).iter().map(|q| ParsedQuery::parse(&index, q)).collect();
 
     let seq = SeqEngine::new();
     let engines: Vec<Box<dyn KeywordSearchEngine>> = vec![
@@ -54,14 +47,11 @@ fn parallel_engines_agree_on_a_large_graph_under_contention() {
                     assert_eq!(a.central, b.central, "query {qi}: {}", engine.name());
                     assert_eq!(a.nodes, b.nodes, "query {qi}: {}", engine.name());
                     assert_eq!(a.edges, b.edges, "query {qi}: {}", engine.name());
-                    assert_eq!(
-                        a.keyword_edges, b.keyword_edges,
-                        "query {qi}: {}",
-                        engine.name()
-                    );
+                    assert_eq!(a.keyword_edges, b.keyword_edges, "query {qi}: {}", engine.name());
                 }
                 assert_eq!(
-                    out.stats.central_candidates, reference.stats.central_candidates,
+                    out.stats.central_candidates,
+                    reference.stats.central_candidates,
                     "query {qi}: top-(k,d) cohort for {}",
                     engine.name()
                 );
@@ -84,21 +74,13 @@ fn one_session_survives_a_query_stream_across_thread_counts() {
     cfg.num_entities = 1200;
     let ds = cfg.generate();
     let index = InvertedIndex::build(&ds.graph);
-    let params = SearchParams::default()
-        .with_average_distance(2.5)
-        .with_top_k(8);
+    let params = SearchParams::default().with_average_distance(2.5).with_top_k(8);
 
     let mut workload = QueryWorkload::new(31);
-    let queries: Vec<ParsedQuery> = workload
-        .batch(4, 3)
-        .iter()
-        .map(|q| ParsedQuery::parse(&index, q))
-        .collect();
+    let queries: Vec<ParsedQuery> =
+        workload.batch(4, 3).iter().map(|q| ParsedQuery::parse(&index, q)).collect();
     let seq = SeqEngine::new();
-    let references: Vec<_> = queries
-        .iter()
-        .map(|q| seq.search(&ds.graph, q, &params))
-        .collect();
+    let references: Vec<_> = queries.iter().map(|q| seq.search(&ds.graph, q, &params)).collect();
 
     let mut session = SearchSession::new();
     let mut runs = 0u64;
@@ -139,7 +121,8 @@ fn one_session_survives_a_query_stream_across_thread_counts() {
                     );
                 }
                 assert_eq!(
-                    out.stats.central_candidates, reference.stats.central_candidates,
+                    out.stats.central_candidates,
+                    reference.stats.central_candidates,
                     "threads {threads} query {qi}: top-(k,d) cohort for {}",
                     engine.name()
                 );

@@ -8,36 +8,30 @@
 //! recovers exactly the hitting paths that CPU-Par-d records during
 //! search).
 
-use central::engine::{
-    DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine,
-};
-use central::{SearchParams, SearchSession};
+use central::engine::{DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine};
+use central::{SearchParams, SearchSession, SessionPool};
 use kgraph::{GraphBuilder, KnowledgeGraph};
 use proptest::prelude::*;
 use textindex::{InvertedIndex, ParsedQuery};
 
 /// Small word pool; several words per node text creates overlapping
 /// keyword groups and co-occurrence nodes.
-const WORDS: &[&str] = &[
-    "alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "lambda",
-];
+const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "lambda"];
 
 #[derive(Debug, Clone)]
 struct Case {
     nodes: usize,
-    texts: Vec<Vec<usize>>,           // word indices per node
-    edges: Vec<(usize, usize)>,       // node index pairs
-    activation: Vec<u8>,              // explicit per-node activation
-    query: Vec<usize>,                // word indices
+    texts: Vec<Vec<usize>>,     // word indices per node
+    edges: Vec<(usize, usize)>, // node index pairs
+    activation: Vec<u8>,        // explicit per-node activation
+    query: Vec<usize>,          // word indices
     top_k: usize,
 }
 
 fn case_strategy() -> impl Strategy<Value = Case> {
     (2usize..28).prop_flat_map(|nodes| {
-        let texts = proptest::collection::vec(
-            proptest::collection::vec(0usize..WORDS.len(), 1..3),
-            nodes,
-        );
+        let texts =
+            proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 1..3), nodes);
         let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 1..60);
         let activation = proptest::collection::vec(0u8..5, nodes);
         let query = proptest::collection::vec(0usize..WORDS.len(), 2..4);
@@ -225,6 +219,95 @@ proptest! {
             let expected_runs = queries.iter().filter(|q| q.num_keywords() > 0).count() as u64;
             prop_assert_eq!(session.queries_run(), expected_runs);
         }
+    }
+
+    /// The pool form of the session property: queries alternating across
+    /// two *live* pool guards (the shape of two concurrent server
+    /// workers) must stay bit-identical to fresh-session searches, for
+    /// all four engines, and the pool must account every query. Guards
+    /// hold distinct sessions, so interleaving them cannot leak state
+    /// between in-flight queries.
+    #[test]
+    fn pooled_sessions_are_bit_identical_to_fresh(case in case_strategy()) {
+        let graph = build_graph(&case);
+        let idx = InvertedIndex::build(&graph);
+        let queries: Vec<ParsedQuery> = (0..4)
+            .map(|k| {
+                let raw: Vec<&str> = case
+                    .query
+                    .iter()
+                    .map(|&w| WORDS[(w + k) % WORDS.len()])
+                    .collect();
+                ParsedQuery::parse(&idx, &raw.join(" "))
+            })
+            .collect();
+        let params = SearchParams {
+            top_k: case.top_k,
+            max_level: 12,
+            ..SearchParams::default()
+        }
+        .with_explicit_activation(case.activation.clone());
+
+        let engines: Vec<Box<dyn KeywordSearchEngine>> = vec![
+            Box::new(SeqEngine::new()),
+            Box::new(ParCpuEngine::new(3)),
+            Box::new(GpuStyleEngine::new(3)),
+            Box::new(DynParEngine::new(3)),
+        ];
+        let pool = SessionPool::new();
+        for engine in &engines {
+            let mut left = pool.checkout();
+            let mut right = pool.checkout();
+            prop_assert_ne!(left.session_id(), right.session_id());
+            for (qi, query) in queries.iter().enumerate() {
+                let guard = if qi % 2 == 0 { &mut left } else { &mut right };
+                let fresh = engine.search(&graph, query, &params);
+                let warm = engine.search_session(guard, &graph, query, &params);
+                prop_assert_eq!(
+                    warm.answers.len(),
+                    fresh.answers.len(),
+                    "answer count: query {} via {}",
+                    qi,
+                    engine.name()
+                );
+                for (a, b) in warm.answers.iter().zip(&fresh.answers) {
+                    prop_assert_eq!(a.central, b.central, "central: query {} via {}", qi, engine.name());
+                    prop_assert_eq!(&a.nodes, &b.nodes, "nodes: query {} via {}", qi, engine.name());
+                    prop_assert_eq!(&a.edges, &b.edges, "edges: query {} via {}", qi, engine.name());
+                    prop_assert_eq!(
+                        &a.keyword_edges,
+                        &b.keyword_edges,
+                        "keyword paths: query {} via {}",
+                        qi,
+                        engine.name()
+                    );
+                    prop_assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "score bits: query {} via {}",
+                        qi,
+                        engine.name()
+                    );
+                }
+                prop_assert_eq!(
+                    warm.stats.central_candidates,
+                    fresh.stats.central_candidates,
+                    "cohort: query {} via {}",
+                    qi,
+                    engine.name()
+                );
+                prop_assert_eq!(&warm.stats.trace, &fresh.stats.trace,
+                    "level trace: query {} via {}", qi, engine.name());
+            }
+        }
+        // Both sessions return to the freelist; the pool saw every
+        // non-empty query and never grew past the two live guards.
+        prop_assert_eq!(pool.sessions_created(), 2);
+        prop_assert_eq!(pool.idle_sessions(), 2);
+        prop_assert_eq!(pool.in_flight(), 0);
+        let expected_runs = queries.iter().filter(|q| q.num_keywords() > 0).count() as u64
+            * engines.len() as u64;
+        prop_assert_eq!(pool.queries_run(), expected_runs);
     }
 
     #[test]

@@ -10,11 +10,7 @@ use wikisearch_engine::{Backend, WikiSearch};
 fn fig4_example_answer_is_centered_at_query_language_with_depth_4() {
     let (graph, activation) = fig4_graph();
     let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
-    let params = ws
-        .params()
-        .clone()
-        .with_top_k(1)
-        .with_explicit_activation(activation);
+    let params = ws.params().clone().with_top_k(1).with_explicit_activation(activation);
     ws.set_params(params);
     let result = ws.search("XML RDF SQL");
     assert_eq!(result.answers.len(), 1);
@@ -33,11 +29,7 @@ fn fig4_example_answer_is_centered_at_query_language_with_depth_4() {
 fn fig2_central_graph_has_multi_paths() {
     let graph = fig2_graph();
     let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
-    let params = ws
-        .params()
-        .clone()
-        .with_top_k(5)
-        .with_explicit_activation(vec![0; 5]);
+    let params = ws.params().clone().with_top_k(5).with_explicit_activation(vec![0; 5]);
     ws.set_params(params);
     let result = ws.search("alpha beta");
     // v3 is the depth-1 central node (Example 3); its Central Graph
@@ -54,11 +46,7 @@ fn fig2_central_graph_has_multi_paths() {
 fn fig5_level_cover_prunes_jeffrey_satellites() {
     let (graph, stanford, ullman, satellites) = fig5_graph();
     let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
-    let params = ws
-        .params()
-        .clone()
-        .with_top_k(10)
-        .with_explicit_activation(vec![0; 5]);
+    let params = ws.params().clone().with_top_k(10).with_explicit_activation(vec![0; 5]);
     ws.set_params(params);
     let result = ws.search("Stanford Jeffrey Ullman");
     let stanford_answer = result
@@ -80,9 +68,7 @@ fn fig4_sequential_and_parallel_backends_reproduce_the_same_example() {
     for backend in [Backend::ParCpu(3), Backend::GpuStyle(3), Backend::DynPar(3)] {
         let (graph, activation) = fig4_graph();
         let mut ws = WikiSearch::build_with(graph, backend);
-        let params = SearchParams::default()
-            .with_top_k(1)
-            .with_explicit_activation(activation);
+        let params = SearchParams::default().with_top_k(1).with_explicit_activation(activation);
         ws.set_params(params);
         let result = ws.search("XML RDF SQL");
         assert_eq!(result.answers.len(), 1, "{backend:?}");

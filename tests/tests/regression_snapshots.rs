@@ -9,21 +9,13 @@ use wikisearch_engine::{Backend, WikiSearch};
 fn fig4_answer_snapshot() {
     let (graph, activation) = fig4_graph();
     let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
-    let params = ws
-        .params()
-        .clone()
-        .with_top_k(1)
-        .with_explicit_activation(activation);
+    let params = ws.params().clone().with_top_k(1).with_explicit_activation(activation);
     ws.set_params(params);
     let result = ws.search("XML RDF SQL");
     let best = &result.answers[0];
 
     // The exact answer graph of the quickstart example.
-    let nodes: Vec<&str> = best
-        .nodes
-        .iter()
-        .map(|&v| ws.graph().node_text(v))
-        .collect();
+    let nodes: Vec<&str> = best.nodes.iter().map(|&v| ws.graph().node_text(v)).collect();
     assert_eq!(
         nodes,
         vec![
@@ -62,11 +54,7 @@ fn sum_weights(ws: &WikiSearch, a: &central::CentralGraph) -> f64 {
 fn fig4_per_keyword_paths_snapshot() {
     let (graph, activation) = fig4_graph();
     let mut ws = WikiSearch::build_with(graph, Backend::Sequential);
-    let params = ws
-        .params()
-        .clone()
-        .with_top_k(1)
-        .with_explicit_activation(activation);
+    let params = ws.params().clone().with_top_k(1).with_explicit_activation(activation);
     ws.set_params(params);
     let result = ws.search("XML RDF SQL");
     let best = &result.answers[0];

@@ -47,9 +47,7 @@ fn frozen_central_nodes_are_not_fabricated_as_predecessors() {
     let idx = InvertedIndex::build(&g);
     let query = ParsedQuery::parse(&idx, "alpha beta");
     assert_eq!(query.num_keywords(), 2);
-    let params = SearchParams::default()
-        .with_top_k(3)
-        .with_explicit_activation(vec![0; 6]);
+    let params = SearchParams::default().with_top_k(3).with_explicit_activation(vec![0; 6]);
 
     let seq = SeqEngine::new().search(&g, &query, &params);
     // x is central at depth 1; y and w complete at depth 2.

@@ -103,10 +103,7 @@ pub trait Strategy {
     }
 
     /// Derive a second strategy from each generated value.
-    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(
-        self,
-        f: F,
-    ) -> FlatMapStrategy<Self, F>
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMapStrategy<Self, F>
     where
         Self: Sized,
     {
@@ -348,9 +345,10 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (left, right) = (&$left, &$right);
         if left == right {
-            return ::std::result::Result::Err($crate::TestCaseError::Fail(
-                format!("assertion failed: `{:?}` != `{:?}`", left, right),
-            ));
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
         }
     }};
 }
@@ -393,9 +391,8 @@ mod tests {
     #[test]
     fn map_and_flat_map_compose() {
         let mut rng = TestRng::from_name("compose");
-        let strat = (2usize..6).prop_flat_map(|n| {
-            crate::collection::vec(0usize..n, n).prop_map(move |v| (n, v))
-        });
+        let strat = (2usize..6)
+            .prop_flat_map(|n| crate::collection::vec(0usize..n, n).prop_map(move |v| (n, v)));
         for _ in 0..200 {
             let (n, v) = strat.generate(&mut rng);
             assert_eq!(v.len(), n);

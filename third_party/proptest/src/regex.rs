@@ -19,8 +19,7 @@ struct Piece {
 
 /// Printable pool for `\PC`: ASCII plus multibyte chars so UTF-8 boundary
 /// handling gets exercised.
-const NON_CONTROL_EXTRA: &[char] =
-    &['é', 'ß', 'λ', 'Ж', '中', '語', '🌍', 'ñ', '�', '„'];
+const NON_CONTROL_EXTRA: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '語', '🌍', 'ñ', '�', '„'];
 
 /// Generate one string matching `pattern`.
 pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {

@@ -187,7 +187,11 @@ struct Latch {
 
 impl Latch {
     fn new(count: usize) -> Self {
-        Latch { remaining: Mutex::new(count), done: Condvar::new(), poisoned: AtomicBool::new(false) }
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
     }
 
     fn complete_one(&self, panicked: bool) {
@@ -232,8 +236,7 @@ pub(crate) fn bridge(n: usize, body: &(dyn Fn(usize, usize) + Sync)) {
     // SAFETY: every job signals `latch` when finished and `wait` below does
     // not return (even on panic in the caller's own block) until all jobs
     // have signalled, so the borrows of `body` and `latch` outlive all use.
-    let body_static: &'static (dyn Fn(usize, usize) + Sync) =
-        unsafe { std::mem::transmute(body) };
+    let body_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(body) };
     let latch_static: &'static Latch = unsafe { &*std::ptr::from_ref(&latch) };
     for c in 1..k {
         let lo = c * chunk;
@@ -276,8 +279,7 @@ mod tests {
     fn collect_preserves_order() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         let data: Vec<usize> = (0..101).collect();
-        let doubled: Vec<usize> =
-            pool.install(|| data.par_iter().map(|&x| x * 2).collect());
+        let doubled: Vec<usize> = pool.install(|| data.par_iter().map(|&x| x * 2).collect());
         assert_eq!(doubled, (0..101).map(|x| x * 2).collect::<Vec<_>>());
     }
 

@@ -288,7 +288,10 @@ impl Serialize for std::time::Duration {
 }
 impl Deserialize for std::time::Duration {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let secs = v.get_field("secs").and_then(Value::as_u64).ok_or_else(|| v.type_error("duration"))?;
+        let secs = v
+            .get_field("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| v.type_error("duration"))?;
         let nanos = v.get_field("nanos").and_then(Value::as_u64).unwrap_or(0);
         Ok(std::time::Duration::new(secs, nanos as u32))
     }
@@ -301,9 +304,7 @@ impl Serialize for std::path::PathBuf {
 }
 impl Deserialize for std::path::PathBuf {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        Ok(std::path::PathBuf::from(
-            v.as_str().ok_or_else(|| v.type_error("path string"))?,
-        ))
+        Ok(std::path::PathBuf::from(v.as_str().ok_or_else(|| v.type_error("path string"))?))
     }
 }
 

@@ -60,9 +60,7 @@ impl Value {
         match *self {
             Value::U64(x) => Some(x),
             Value::I64(x) => u64::try_from(x).ok(),
-            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
-                Some(x as u64)
-            }
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Some(x as u64),
             _ => None,
         }
     }

@@ -46,9 +46,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
         Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Tuple(n) => {
-            let items: Vec<String> = (0..*n)
-                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
-                .collect();
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
             format!("serde::Value::Array(vec![{}])", items.join(", "))
         }
         Shape::Unit => "serde::Value::Null".to_string(),
@@ -131,14 +130,12 @@ fn parse(input: TokenStream) -> Input {
     };
 
     match tokens.next() {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
-            name,
-            shape: Shape::Named(parse_named_fields(g.stream())),
-        },
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
-            name,
-            shape: Shape::Tuple(count_tuple_fields(g.stream())),
-        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Input { name, shape: Shape::Named(parse_named_fields(g.stream())) }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Input { name, shape: Shape::Tuple(count_tuple_fields(g.stream())) }
+        }
         Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input { name, shape: Shape::Unit },
         Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
             panic!("serde shim derive does not support generic struct `{name}`")

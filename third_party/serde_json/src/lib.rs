@@ -263,8 +263,7 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(self.error("invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + (((unit - 0xD800) << 10) | (low - 0xDC00));
+                                let combined = 0x10000 + (((unit - 0xD800) << 10) | (low - 0xDC00));
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.error("invalid surrogate pair"))?
                             } else {
