@@ -1,0 +1,5 @@
+//! Result-cache effectiveness: qps with/without the sharded result cache
+//! under a Zipf-skewed repeated-query stream.
+fn main() {
+    wikisearch_bench::experiments::cache_hit_rate::run();
+}

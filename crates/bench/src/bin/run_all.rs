@@ -10,6 +10,7 @@ fn main() {
     exp::exp3_alpha::run();
     exp::exp4_threads::run();
     exp::throughput::run();
+    exp::cache_hit_rate::run();
     exp::effectiveness::run();
     // Appendix experiments (the paper's excluded-competitor arguments).
     exp::blinks_cost::run();

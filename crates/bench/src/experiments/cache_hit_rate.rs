@@ -1,0 +1,191 @@
+//! Result-cache effectiveness: queries/sec with and without the sharded
+//! result cache under a Zipf-skewed query stream, vs concurrent clients.
+//!
+//! Real keyword-search traffic is heavily repeated — a few popular
+//! queries dominate — which is the workload the serving path's result
+//! cache (`central::cache`, `serve --cache-capacity`) exists for. This
+//! experiment samples each client's stream from a Zipf(s=2) distribution
+//! over a pool of distinct queries (the top 8 of 64 carry ~94% of the
+//! mass), runs the identical streams against one engine with the cache
+//! enabled and one with it disabled, and reports the measured hit rate
+//! and the qps speedup for `C` clients in `WIKISEARCH_CLIENTS` (default
+//! `1,2,4,8`).
+//!
+//! Expectation: the stream is >90% repeats, a hit skips the session pool
+//! and the whole two-stage search, so cached qps should exceed uncached
+//! qps by well over 5x at every client count; hit rate approaches the
+//! repeat fraction as the stream warms the cache.
+
+use crate::{client_sweep, queries_per_point};
+use datagen::synthetic::SyntheticConfig;
+use datagen::QueryWorkload;
+use eval::runner::ExperimentSink;
+use eval::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+use wikisearch_engine::{Backend, WikiSearch};
+
+/// Distinct queries in the pool.
+const POOL: usize = 64;
+/// Zipf exponent; s=2 concentrates ~94% of mass on the top 8 ranks.
+const ZIPF_S: f64 = 2.0;
+
+/// One measured datapoint.
+struct Point {
+    clients: usize,
+    total_queries: usize,
+    repeat_fraction: f64,
+    uncached_qps: f64,
+    cached_qps: f64,
+    speedup: f64,
+    hit_rate: f64,
+}
+
+/// Precomputed Zipf CDF over ranks `0..POOL`.
+fn zipf_cdf() -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf = Vec::with_capacity(POOL);
+    for k in 1..=POOL {
+        acc += 1.0 / (k as f64).powf(ZIPF_S);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// A client's query stream: `len` Zipf-ranked pool indices, seeded per
+/// client so cached and uncached runs replay the identical stream.
+fn zipf_stream(cdf: &[f64], client: usize, len: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(0xCAFE + client as u64);
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.random();
+            cdf.iter().position(|&c| u <= c).unwrap_or(POOL - 1)
+        })
+        .collect()
+}
+
+/// Run every client's stream concurrently against `ws`; wall seconds.
+fn volley(ws: &Arc<WikiSearch>, queries: &[String], streams: &[Vec<usize>]) -> f64 {
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in streams {
+            let ws = Arc::clone(ws);
+            scope.spawn(move || {
+                for &qi in stream {
+                    let result = ws.search(&queries[qi]);
+                    std::hint::black_box(result.answers.len());
+                }
+            });
+        }
+    });
+    t.elapsed().as_secs_f64()
+}
+
+/// Run the cache-hit-rate sweep.
+pub fn run() -> serde_json::Value {
+    let sweep = client_sweep();
+    let per_client = queries_per_point().max(200);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "== cache_hit_rate: Zipf(s={ZIPF_S}) stream over {POOL} queries, cached vs uncached =="
+    );
+    println!(
+        "   clients {sweep:?} x {per_client} queries | dataset wiki2017-sim | {cores} core(s)"
+    );
+
+    let ds = SyntheticConfig::wiki2017_sim().generate();
+    let name = ds.config.name.clone();
+    let mut workload = QueryWorkload::new(5150);
+    let queries: Vec<String> = workload.batch(3, POOL);
+    let cdf = zipf_cdf();
+
+    let mut points: Vec<Point> = Vec::new();
+    for &clients in &sweep {
+        let streams: Vec<Vec<usize>> =
+            (0..clients).map(|c| zipf_stream(&cdf, c, per_client)).collect();
+        let total_queries = clients * per_client;
+        let distinct: std::collections::HashSet<usize> =
+            streams.iter().flatten().copied().collect();
+        let repeat_fraction = 1.0 - distinct.len() as f64 / total_queries as f64;
+
+        let uncached = Arc::new(WikiSearch::build_with(ds.graph.clone(), Backend::ParCpu(2)));
+        let mut cached = WikiSearch::build_with(ds.graph.clone(), Backend::ParCpu(2));
+        cached.set_cache_capacity(64 << 20);
+        let cached = Arc::new(cached);
+
+        // Session-pool warmup only (two queries per client); the cache
+        // itself starts cold so misses are part of the measurement.
+        let warm: Vec<Vec<usize>> = (0..clients).map(|c| vec![c % POOL, (c + 1) % POOL]).collect();
+        volley(&uncached, &queries, &warm);
+
+        let uncached_wall = volley(&uncached, &queries, &streams);
+        let cached_wall = volley(&cached, &queries, &streams);
+        let stats = cached.cache_stats().expect("cache enabled");
+
+        points.push(Point {
+            clients,
+            total_queries,
+            repeat_fraction,
+            uncached_qps: total_queries as f64 / uncached_wall,
+            cached_qps: total_queries as f64 / cached_wall,
+            speedup: uncached_wall / cached_wall,
+            hit_rate: stats.hit_rate(),
+        });
+    }
+
+    let mut table = Table::new(vec![
+        "clients",
+        "queries",
+        "repeat%",
+        "uncached qps",
+        "cached qps",
+        "speedup",
+        "hit rate",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.clients.to_string(),
+            p.total_queries.to_string(),
+            format!("{:.1}", p.repeat_fraction * 100.0),
+            format!("{:.1}", p.uncached_qps),
+            format!("{:.1}", p.cached_qps),
+            format!("{:.2}x", p.speedup),
+            format!("{:.3}", p.hit_rate),
+        ]);
+    }
+    table.print();
+
+    let record = json!({
+        "experiment": "cache_hit_rate",
+        "dataset": name,
+        "cores": cores,
+        "pool": POOL,
+        "zipf_s": ZIPF_S,
+        "queries_per_client": per_client,
+        "points": points
+            .iter()
+            .map(|p| {
+                json!({
+                    "clients": p.clients,
+                    "total_queries": p.total_queries,
+                    "repeat_fraction": p.repeat_fraction,
+                    "uncached_qps": p.uncached_qps,
+                    "cached_qps": p.cached_qps,
+                    "speedup": p.speedup,
+                    "hit_rate": p.hit_rate,
+                })
+            })
+            .collect::<Vec<_>>(),
+    });
+    if let Ok(path) = ExperimentSink::new().write("cache_hit_rate", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}

@@ -2,6 +2,7 @@
 //! prints the paper-style output and writes a JSON record.
 
 pub mod blinks_cost;
+pub mod cache_hit_rate;
 pub mod effectiveness;
 pub mod exp1_knum;
 pub mod exp2_topk;

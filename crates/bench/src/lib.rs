@@ -12,6 +12,7 @@
 //! | `exp4_vary_threads` | Figs. 9–10 (per-phase time vs `Tnum`) |
 //! | `table4_storage` | Table IV (pre/running storage) |
 //! | `throughput` | service-level: queries/sec vs concurrent clients on one engine |
+//! | `cache_hit_rate` | service-level: result-cache qps speedup + hit rate on a Zipf-skewed stream |
 //! | `effectiveness` | Figs. 11–12 + Table V (top-k precision, kwf) |
 //! | `run_all` | everything above in sequence |
 //! | `blinks_index_cost` | appendix: the BLINKS feasibility argument, measured |

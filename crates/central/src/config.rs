@@ -92,6 +92,27 @@ impl SearchParams {
         self
     }
 
+    /// The answer-relevant identity of these parameters, for use in cache
+    /// keys (see [`crate::cache`]). Two `SearchParams` with equal
+    /// fingerprints produce identical answers for the same graph and
+    /// query; any knob that can change an answer — `top_k`, `α`, `λ`,
+    /// `max_level`, `A`, the pruning toggles, `max_candidates`, and an
+    /// explicit activation override — is folded in bit-exactly, so a
+    /// cached result can never alias across parameter settings.
+    pub fn fingerprint(&self) -> ParamsFingerprint {
+        ParamsFingerprint {
+            top_k: self.top_k,
+            alpha_bits: self.alpha.to_bits(),
+            lambda_bits: self.lambda.to_bits(),
+            max_level: self.max_level,
+            average_distance_bits: self.average_distance.to_bits(),
+            dedup_contained: self.dedup_contained,
+            level_cover: self.level_cover,
+            max_candidates: self.max_candidates,
+            explicit_activation: self.explicit_activation.clone(),
+        }
+    }
+
     /// Validate parameter ranges, returning a human-readable complaint.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
@@ -108,6 +129,28 @@ impl SearchParams {
         }
         Ok(())
     }
+}
+
+/// Hashable, comparable identity of a [`SearchParams`] — every field that
+/// can influence an answer, with floats captured bit-exactly. Built by
+/// [`SearchParams::fingerprint`]; used as the parameter half of a result
+/// cache key ([`crate::cache::QueryKey`]).
+///
+/// The explicit activation override participates by *contents* (the
+/// `Arc<Vec<u8>>` hashes and compares through its pointee), so two params
+/// that override the same levels collide and any differing override does
+/// not.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ParamsFingerprint {
+    top_k: usize,
+    alpha_bits: u32,
+    lambda_bits: u64,
+    max_level: u8,
+    average_distance_bits: u64,
+    dedup_contained: bool,
+    level_cover: bool,
+    max_candidates: usize,
+    explicit_activation: Option<std::sync::Arc<Vec<u8>>>,
 }
 
 #[cfg(test)]
@@ -141,5 +184,35 @@ mod tests {
         assert!(SearchParams::default().with_alpha(1.0).validate().is_err());
         assert!(SearchParams::default().with_lambda(-0.1).validate().is_err());
         assert!(SearchParams::default().with_top_k(0).validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_every_answer_relevant_knob() {
+        let base = SearchParams::default();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint(), "clone collides");
+        assert_ne!(base.fingerprint(), base.clone().with_top_k(1).fingerprint());
+        assert_ne!(base.fingerprint(), base.clone().with_alpha(0.4).fingerprint());
+        assert_ne!(base.fingerprint(), base.clone().with_lambda(0.0).fingerprint());
+        assert_ne!(base.fingerprint(), base.clone().with_average_distance(4.0).fingerprint());
+        let mut toggles = base.clone();
+        toggles.level_cover = false;
+        assert_ne!(base.fingerprint(), toggles.fingerprint());
+        toggles = base.clone();
+        toggles.dedup_contained = false;
+        assert_ne!(base.fingerprint(), toggles.fingerprint());
+        toggles = base.clone();
+        toggles.max_candidates = 7;
+        assert_ne!(base.fingerprint(), toggles.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_compares_explicit_activation_by_contents() {
+        let base = SearchParams::default();
+        let a = base.clone().with_explicit_activation(vec![0, 1, 2]);
+        let b = base.clone().with_explicit_activation(vec![0, 1, 2]);
+        let c = base.clone().with_explicit_activation(vec![0, 1, 3]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same levels, distinct Arcs");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), base.fingerprint());
     }
 }

@@ -69,6 +69,7 @@
 
 pub mod activation;
 pub mod bottom_up;
+pub mod cache;
 pub mod config;
 pub mod costmodel;
 pub mod engine;
@@ -80,11 +81,12 @@ pub mod state;
 pub mod top_down;
 
 pub use activation::{ActivationConfig, ActivationMap};
-pub use config::SearchParams;
+pub use cache::{CacheStats, QueryKey, ShardedLruCache};
+pub use config::{ParamsFingerprint, SearchParams};
 pub use engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SeqEngine,
 };
 pub use model::{CentralGraph, INFINITE_LEVEL};
-pub use pool::{PooledSession, SessionPool};
+pub use pool::{PoolStats, PooledSession, SessionPool};
 pub use profile::PhaseProfile;
 pub use session::SearchSession;

@@ -116,6 +116,19 @@ impl SessionPool {
         self.in_flight.load(Ordering::Relaxed)
     }
 
+    /// One consistent-enough snapshot of the pool counters, for status
+    /// endpoints (the CLI server's `STATS` line). Each field is read
+    /// atomically; the set is not a transaction, which is fine for
+    /// monitoring output.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            queries_run: self.queries_run(),
+            sessions_created: self.sessions_created(),
+            idle_sessions: self.idle_sessions(),
+            in_flight: self.in_flight(),
+        }
+    }
+
     /// Checkin path shared by `Drop` (and tests): fold the guard's query
     /// delta into the pool total and push the session back on the
     /// freelist.
@@ -125,6 +138,19 @@ impl SessionPool {
         self.free.lock().push((id, session));
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// A snapshot of a [`SessionPool`]'s counters (see [`SessionPool::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct PoolStats {
+    /// Queries completed through checked-in sessions.
+    pub queries_run: u64,
+    /// Sessions ever created (the pool's concurrency peak).
+    pub sessions_created: usize,
+    /// Sessions idle in the freelist.
+    pub idle_sessions: usize,
+    /// Guards currently checked out.
+    pub in_flight: usize,
 }
 
 /// RAII guard over one checked-out [`SearchSession`].
@@ -247,6 +273,21 @@ mod tests {
         engine.search_session(&mut guard, &g, &q, &SearchParams::default());
         drop(guard);
         assert_eq!(pool.queries_run(), 3);
+    }
+
+    #[test]
+    fn stats_snapshot_mirrors_the_individual_counters() {
+        let pool = SessionPool::new();
+        let guard = pool.checkout();
+        let stats = pool.stats();
+        assert_eq!(stats.sessions_created, 1);
+        assert_eq!(stats.in_flight, 1);
+        assert_eq!(stats.idle_sessions, 0);
+        assert_eq!(stats.queries_run, 0);
+        drop(guard);
+        let stats = pool.stats();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.idle_sessions, 1);
     }
 
     #[test]

@@ -56,6 +56,24 @@ impl ParsedArgs {
         }
     }
 
+    /// Optional byte-size flag with a `k`/`m`/`g` suffix (powers of
+    /// 1024, case-insensitive); a bare number is bytes. `0` is valid
+    /// and conventionally means "disabled".
+    pub fn get_bytes(&self, name: &str, default: usize) -> Result<usize, String> {
+        let Some(raw) = self.flags.get(name) else {
+            return Ok(default);
+        };
+        let bad = || format!("flag --{name}: cannot parse {raw:?} as a byte size (try 64m, 1g)");
+        let (digits, shift) = match raw.trim().to_ascii_lowercase() {
+            s if s.ends_with('k') => (s[..s.len() - 1].to_string(), 10),
+            s if s.ends_with('m') => (s[..s.len() - 1].to_string(), 20),
+            s if s.ends_with('g') => (s[..s.len() - 1].to_string(), 30),
+            s => (s, 0),
+        };
+        let n: usize = digits.parse().map_err(|_| bad())?;
+        n.checked_shl(shift).filter(|v| v >> shift == n).ok_or_else(bad)
+    }
+
     /// Reject flags outside the allowed set (typo protection).
     pub fn allow_only(&self, allowed: &[&str]) -> Result<(), String> {
         for k in self.flags.keys() {
@@ -102,6 +120,25 @@ mod tests {
         let err = a.allow_only(&["dataset", "out"]).unwrap_err();
         assert!(err.contains("--dataste"));
         assert!(err.contains("--dataset"));
+    }
+
+    #[test]
+    fn byte_sizes_accept_suffixes() {
+        let a = parse(&argv("serve --a 64m --b 2K --c 1g --d 4096 --e 0")).unwrap();
+        assert_eq!(a.get_bytes("a", 0).unwrap(), 64 << 20);
+        assert_eq!(a.get_bytes("b", 0).unwrap(), 2 << 10);
+        assert_eq!(a.get_bytes("c", 0).unwrap(), 1 << 30);
+        assert_eq!(a.get_bytes("d", 0).unwrap(), 4096);
+        assert_eq!(a.get_bytes("e", 7).unwrap(), 0, "explicit 0 beats the default");
+        assert_eq!(a.get_bytes("absent", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn byte_sizes_reject_garbage() {
+        let a = parse(&argv("serve --a 64q --b lots --c 99999999999999999999g")).unwrap();
+        assert!(a.get_bytes("a", 0).is_err());
+        assert!(a.get_bytes("b", 0).is_err());
+        assert!(a.get_bytes("c", 0).is_err(), "overflow is an error, not a wrap");
     }
 
     #[test]

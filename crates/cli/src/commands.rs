@@ -18,12 +18,16 @@ commands:
   search   --graph FILE --query WORDS
            [--top-k K] [--alpha A] [--backend seq|cpu|gpu|dyn]
            [--threads T] [--json true] [--trace true] [--dot true]
-                                           run a top-k keyword search
+           [--cache-capacity BYTES]        run a top-k keyword search
   convert  --in FILE --out FILE           convert between .tsv and .bin
   serve    --graph FILE [--port P] [--backend B] [--top-k K]
-           [--workers W] [--max-requests N]
+           [--workers W] [--max-requests N] [--cache-capacity BYTES]
                                            TCP line-protocol query service
-                                           (W concurrent connection workers)
+                                           (W concurrent connection workers;
+                                           result cache sized by BYTES with
+                                           k/m/g suffixes, default 64m,
+                                           0 disables; STATS line reports
+                                           hit/miss counters)
   help                                    this text
 
 graph files by extension: .tsv (line format), .bin (compact binary),
@@ -77,7 +81,16 @@ pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
 /// `wikisearch search`.
 pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     args.allow_only(&[
-        "graph", "query", "top-k", "alpha", "backend", "threads", "json", "trace", "dot",
+        "graph",
+        "query",
+        "top-k",
+        "alpha",
+        "backend",
+        "threads",
+        "json",
+        "trace",
+        "dot",
+        "cache-capacity",
     ])?;
     let graph = read_graph(args.required("graph")?)?;
     let query = args.required("query")?.to_string();
@@ -92,6 +105,9 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     params.alpha = args.get_or("alpha", params.alpha)?;
     params.validate()?;
     ws.set_params(params);
+    // One-shot searches cannot repeat a query, so the cache is off
+    // unless asked for (useful for scripted multi-search shells).
+    ws.set_cache_capacity(args.get_bytes("cache-capacity", 0)?);
 
     let result = ws.search(&query);
     if as_dot {

@@ -5,6 +5,10 @@
 //!
 //! * `QUERY <keywords…>` → one JSON line with the ranked answers;
 //! * `PING` → `PONG`;
+//! * `STATS` → one JSON line with serving counters: queries served, the
+//!   session-pool snapshot, and the result-cache snapshot (`null` when
+//!   the cache is disabled). Diagnostic — does not count toward
+//!   `--max-requests`;
 //! * `QUIT` → closes the connection;
 //! * anything else — an unknown command, an empty line, or a `QUERY`
 //!   with no keywords — is answered with a one-line JSON error
@@ -20,6 +24,12 @@
 //! `--max-requests N` makes the server drain gracefully after `N`
 //! queries (in-flight connections finish, then the listener closes),
 //! which is how the tests and demo scripts drive it.
+//!
+//! A sharded result cache (see `central::cache`) sits in front of the
+//! session pool; `--cache-capacity BYTES` sizes it (suffixes `k`/`m`/`g`
+//! accepted, default 64m, `0` disables). Repeated queries — including
+//! reorderings, case changes, and stopword variations of one another —
+//! are answered from the cache without touching a session.
 
 use crate::args::ParsedArgs;
 use crate::commands::read_graph;
@@ -37,11 +47,21 @@ const DRAIN_POLL: Duration = Duration::from_millis(50);
 /// Run the server until `max_requests` queries have been answered (or
 /// forever when it is 0).
 pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
-    args.allow_only(&["graph", "port", "backend", "threads", "top-k", "max-requests", "workers"])?;
+    args.allow_only(&[
+        "graph",
+        "port",
+        "backend",
+        "threads",
+        "top-k",
+        "max-requests",
+        "workers",
+        "cache-capacity",
+    ])?;
     let port: u16 = args.get_or("port", 7878)?;
     let threads: usize = args.get_or("threads", 4)?;
     let max_requests: usize = args.get_or("max-requests", 0)?;
     let workers: usize = args.get_or("workers", 4)?;
+    let cache_capacity = args.get_bytes("cache-capacity", 64 << 20)?;
     if workers == 0 {
         return Err("--workers must be >= 1".into());
     }
@@ -51,6 +71,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let mut params = ws.params().clone();
     params.top_k = args.get_or("top-k", params.top_k)?;
     ws.set_params(params);
+    ws.set_cache_capacity(cache_capacity);
     let ws = Arc::new(ws);
 
     let listener = TcpListener::bind(("127.0.0.1", port))
@@ -153,6 +174,11 @@ fn handle_connection(
             if writeln!(writer, "PONG").is_err() {
                 break;
             }
+        } else if request.eq_ignore_ascii_case("STATS") {
+            let doc = stats_snapshot(ws, served.load(Ordering::SeqCst));
+            if writeln!(writer, "{doc}").is_err() {
+                break;
+            }
         } else if let Some(keywords) = query_keywords(request) {
             if keywords.is_empty() {
                 if writeln!(writer, r#"{{"error":"empty query"}}"#).is_err() {
@@ -172,7 +198,7 @@ fn handle_connection(
                     break;
                 }
             }
-        } else if writeln!(writer, r#"{{"error":"expected QUERY/PING/QUIT"}}"#).is_err() {
+        } else if writeln!(writer, r#"{{"error":"expected QUERY/PING/STATS/QUIT"}}"#).is_err() {
             break;
         }
         if done {
@@ -191,6 +217,16 @@ fn query_keywords(request: &str) -> Option<&str> {
         return None; // e.g. "QUERYX" — an unknown command, not a query
     }
     Some(rest.trim())
+}
+
+/// One `STATS` response line: queries served so far plus live pool and
+/// cache counters. `cache` is JSON `null` when `--cache-capacity 0`.
+fn stats_snapshot(ws: &WikiSearch, served: usize) -> serde_json::Value {
+    serde_json::json!({
+        "served": served,
+        "pool": ws.session_pool().stats(),
+        "cache": ws.cache_stats(),
+    })
 }
 
 /// One response line for one query.

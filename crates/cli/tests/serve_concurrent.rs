@@ -147,3 +147,105 @@ fn concurrent_clients_get_sequential_answers() {
 
     let _ = std::fs::remove_file(path);
 }
+
+/// Protocol edge cases on one connection: unknown commands and empty
+/// queries come back as one-line JSON errors, `STATS` reports live pool
+/// and cache counters without counting toward `--max-requests`, and a
+/// reworded repeat of an earlier query is answered from the cache with
+/// the same answers while still echoing its own raw query string.
+#[test]
+fn error_paths_and_stats_are_one_line_json() {
+    let path = std::env::temp_dir()
+        .join(format!("ws-serve-stats-{}.tsv", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut b = kgraph::GraphBuilder::new();
+    let x = b.add_node("x", "xml");
+    let q = b.add_node("q", "query language");
+    let s = b.add_node("s", "sql");
+    b.add_edge(x, q, "rel");
+    b.add_edge(s, q, "rel");
+    std::fs::write(&path, kgraph::io::to_tsv(&b.build())).unwrap();
+
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = probe.local_addr().unwrap().port();
+    drop(probe);
+    let argv: Vec<String> = format!(
+        "serve --graph {path} --port {port} --backend seq --max-requests 4 --cache-capacity 64k"
+    )
+    .split_whitespace()
+    .map(String::from)
+    .collect();
+    let server = std::thread::spawn(move || {
+        let mut out = Vec::new();
+        let code = wikisearch_cli::run(&argv, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    });
+
+    let mut stream = None;
+    for _ in 0..100 {
+        if let Ok(s) = TcpStream::connect(("127.0.0.1", port)) {
+            stream = Some(s);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let mut stream = stream.expect("server reachable");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |req: &str| -> serde_json::Value {
+        writeln!(stream, "{req}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.ends_with('\n'), "{req}: response is one full line");
+        assert_eq!(line.trim_end().lines().count(), 1, "{req}: single line");
+        serde_json::from_str(line.trim_end())
+            .unwrap_or_else(|e| panic!("{req}: bad JSON {e}: {line}"))
+    };
+
+    // Unknown command and empty query: JSON errors, never dropped.
+    let doc = send("FROB 1");
+    assert_eq!(doc["error"], "expected QUERY/PING/STATS/QUIT");
+    let doc = send("QUERY");
+    assert_eq!(doc["error"], "empty query");
+
+    // Request 1: all stopwords — the engine's empty-query path, which
+    // must bypass the cache entirely (lookups stays 0 below).
+    let doc = send("QUERY the of");
+    assert_eq!(doc["answers"].as_array().map(<[serde_json::Value]>::len), Some(0), "{doc}");
+
+    // Request 2: a real query, necessarily a cache miss.
+    let first = send("QUERY xml sql");
+    assert_eq!(first["answers"][0]["central"], "query language");
+
+    let stats = send("STATS");
+    assert_eq!(stats["served"], 2u64, "errors and STATS are not served requests");
+    // Only the real query armed a session; the stopword-only one
+    // short-circuits inside the engine.
+    assert_eq!(stats["pool"]["queries_run"], 1u64);
+    assert_eq!(stats["cache"]["lookups"], 1u64, "stopword query bypassed");
+    assert_eq!(stats["cache"]["misses"], 1u64);
+    assert_eq!(stats["cache"]["hits"], 0u64);
+    assert_eq!(stats["cache"]["entries"], 1u64);
+
+    // Request 3: a case-flipped reordering of request 2 — a cache hit.
+    // Answers are identical; the echoed query string is its own.
+    let repeat = send("QUERY SQL xml");
+    assert_eq!(repeat["query"].as_str(), Some("SQL xml"));
+    assert_eq!(repeat["answers"], first["answers"]);
+    assert_eq!(repeat["unmatched"], first["unmatched"]);
+    let stats = send("STATS");
+    assert_eq!(stats["served"], 3u64);
+    assert_eq!(stats["pool"]["queries_run"], 1u64, "hits never touch the pool");
+    assert_eq!(stats["cache"]["hits"], 1u64);
+
+    // Request 4: a stopword-padded variant — also a hit; reaching
+    // --max-requests drains the server right after this response.
+    let repeat = send("QUERY the xml of sql");
+    assert_eq!(repeat["query"].as_str(), Some("the xml of sql"));
+    assert_eq!(repeat["answers"], first["answers"]);
+
+    let (code, log) = server.join().unwrap();
+    assert_eq!(code, 0, "{log}");
+    assert!(log.contains("served 4 queries"), "{log}");
+    let _ = std::fs::remove_file(path);
+}

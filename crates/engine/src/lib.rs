@@ -31,8 +31,9 @@ use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SearchStats,
     SeqEngine,
 };
-use central::{CentralGraph, PhaseProfile, SearchParams, SessionPool};
+use central::{CacheStats, CentralGraph, PhaseProfile, QueryKey, SearchParams, SessionPool};
 use kgraph::{estimate_average_distance, KnowledgeGraph};
+use std::sync::Arc;
 use textindex::{InvertedIndex, ParsedQuery};
 
 /// Which backend executes searches.
@@ -117,12 +118,48 @@ pub struct WikiSearchResult {
 /// `n × q` state allocation, every later query re-arms it with a single
 /// epoch bump (see `central::session` and `central::pool`). Sessions are
 /// engine-agnostic, so swapping backends keeps the warm state.
+///
+/// An optional **result cache** ([`WikiSearch::set_cache_capacity`])
+/// sits in front of the pool: repeated queries — same analyzed keyword
+/// set under the same parameters, regardless of word order, case,
+/// stopwords or duplicates — are answered from a sharded LRU cache
+/// without running the two-stage search at all (see `central::cache`).
+/// Cached answers are observably identical to freshly computed ones;
+/// the differential tests in `tests/tests/cache_equivalence.rs` enforce
+/// this across all four backends.
 pub struct WikiSearch {
     graph: KnowledgeGraph,
     index: InvertedIndex,
     params: SearchParams,
     backend: Box<dyn KeywordSearchEngine + Send + Sync>,
     sessions: SessionPool,
+    cache: Option<ResultCache>,
+}
+
+/// The engine's result cache: normalized-query + params key, `Arc`-shared
+/// payloads so a hit clones a pointer.
+type ResultCache = central::ShardedLruCache<QueryKey, Arc<CachedSearch>>;
+
+/// What a cache entry stores: everything a [`WikiSearchResult`] needs
+/// except the [`ParsedQuery`], which is re-derived per request so the
+/// response always reflects the *request's* raw string (its word order,
+/// its unmatched-term order), never the string that happened to populate
+/// the cache.
+///
+/// Answers are stored in the orientation of the populating query;
+/// `group_terms` records that orientation so a hit from a reordered
+/// near-duplicate can permute the per-keyword fields back into the
+/// request's keyword order (see [`reorient_answers`]).
+struct CachedSearch {
+    /// Matched keyword terms in the populating query's group order.
+    group_terms: Vec<String>,
+    answers: Vec<CentralGraph>,
+    stats: SearchStats,
+    /// Per-phase timings of the search that populated the entry. A hit
+    /// returns this profile unchanged: it documents what the answer
+    /// *cost to compute*, while the serving layer's own wall-clock
+    /// captures what the hit cost to serve.
+    profile: PhaseProfile,
 }
 
 impl WikiSearch {
@@ -150,12 +187,42 @@ impl WikiSearch {
             params,
             backend: make_backend(backend),
             sessions: SessionPool::new(),
+            cache: None,
         }
     }
 
-    /// Swap the search backend.
+    /// Swap the search backend. The result cache (if any) survives the
+    /// swap: all backends return identical answers for identical
+    /// `(query, params)` — the workspace's central property — so entries
+    /// computed by one engine are valid answers for every other.
     pub fn set_backend(&mut self, backend: Backend) {
         self.backend = make_backend(backend);
+    }
+
+    /// Enable (or, with `0`, disable) the sharded result cache with a
+    /// byte budget of `bytes` over the default shard count. Repeated
+    /// queries — equal after tokenization, stopword filtering, stemming
+    /// and reordering, under the same [`SearchParams`] — are then
+    /// answered from memory without touching the session pool. See
+    /// [`central::cache`] for the key scheme and eviction policy.
+    pub fn set_cache_capacity(&mut self, bytes: usize) {
+        self.set_cache_config(bytes, central::cache::DEFAULT_SHARDS);
+    }
+
+    /// [`WikiSearch::set_cache_capacity`] with an explicit shard count
+    /// (tests use one or two shards to force eviction churn).
+    pub fn set_cache_config(&mut self, bytes: usize, shards: usize) {
+        self.cache = if bytes == 0 {
+            None
+        } else {
+            Some(central::ShardedLruCache::with_shards(bytes, shards))
+        };
+    }
+
+    /// A snapshot of the result-cache counters, `None` while the cache
+    /// is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Override the default search parameters (α, top-k, λ, `A`, …).
@@ -186,15 +253,53 @@ impl WikiSearch {
     /// Search with explicit per-request parameters (e.g. a different α or
     /// top-k) without touching the engine's defaults — callers holding
     /// only `&self` (a shared `Arc<WikiSearch>`, a server worker) override
-    /// params per query through here. Runs through the session pool: the
-    /// warm path for a sequential caller, a distinct session per query
-    /// for concurrent ones.
+    /// params per query through here.
+    ///
+    /// With the result cache enabled ([`WikiSearch::set_cache_capacity`])
+    /// the cache is consulted *before* a session is checked out: a hit
+    /// returns the stored answers (re-oriented to this request's keyword
+    /// order when the raw strings differ only in word order) with a
+    /// freshly parsed [`ParsedQuery`], and is observably identical to an
+    /// uncached search except for timing. A miss — and every query while
+    /// the cache is disabled — runs through the session pool: the warm
+    /// path for a sequential caller, a distinct session per query for
+    /// concurrent ones. Queries that normalize to no keywords bypass the
+    /// cache entirely and keep the engine's empty-query behaviour.
     pub fn search_with_params(&self, raw_query: &str, params: &SearchParams) -> WikiSearchResult {
         let query = ParsedQuery::parse(&self.index, raw_query);
         let kwf = query.avg_keyword_frequency();
-        let mut session = self.sessions.checkout();
-        let SearchOutcome { answers, profile, stats } =
-            self.backend.search_session(&mut session, &self.graph, &query, params);
+        let key = match &self.cache {
+            Some(cache) if !query.is_empty() => {
+                let key = QueryKey::new(textindex::normalize_query(raw_query), params);
+                if let Some(entry) = cache.get(&key) {
+                    if let Some(answers) = reorient_answers(&entry, &query) {
+                        return WikiSearchResult {
+                            query,
+                            answers,
+                            profile: entry.profile,
+                            kwf,
+                            stats: entry.stats.clone(),
+                        };
+                    }
+                }
+                Some(key)
+            }
+            _ => None,
+        };
+        let SearchOutcome { answers, profile, stats } = {
+            let mut session = self.sessions.checkout();
+            self.backend.search_session(&mut session, &self.graph, &query, params)
+        };
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            let entry = CachedSearch {
+                group_terms: query.groups.iter().map(|g| g.term.clone()).collect(),
+                answers: answers.clone(),
+                stats: stats.clone(),
+                profile,
+            };
+            let bytes = key.approx_bytes() + approx_entry_bytes(&entry);
+            cache.insert(key, Arc::new(entry), bytes);
+        }
         WikiSearchResult { query, answers, profile, kwf, stats }
     }
 
@@ -224,6 +329,67 @@ impl WikiSearch {
     pub fn render_answer(&self, answer: &CentralGraph) -> String {
         render::render_answer(&self.graph, answer)
     }
+}
+
+/// Produce `entry`'s answers in `query`'s keyword order.
+///
+/// `CentralGraph::keyword_nodes`/`keyword_edges` are indexed by query
+/// keyword *in query order*, so an entry populated by `"xml sql"` stores
+/// them xml-first. A hit from `"sql xml"` (same normalized key) must
+/// return sql-first vectors to be byte-identical to an uncached search —
+/// everything else in an answer (nodes, edges, central, depth, score) is
+/// a set-shaped or order-free quantity and needs no adjustment. Returns
+/// `None` if the stored orientation cannot be mapped onto the request's
+/// groups (which would mean the key collided across different keyword
+/// sets — impossible while the index is immutable, but a silent wrong
+/// answer if it ever happened, so the caller falls back to a full
+/// search).
+fn reorient_answers(entry: &CachedSearch, query: &ParsedQuery) -> Option<Vec<CentralGraph>> {
+    if entry.group_terms.len() != query.groups.len() {
+        return None;
+    }
+    if entry.group_terms.iter().zip(&query.groups).all(|(t, g)| *t == g.term) {
+        return Some(entry.answers.clone());
+    }
+    let perm: Vec<usize> = query
+        .groups
+        .iter()
+        .map(|g| entry.group_terms.iter().position(|t| *t == g.term))
+        .collect::<Option<_>>()?;
+    entry
+        .answers
+        .iter()
+        .map(|a| {
+            if a.keyword_nodes.len() != perm.len() || a.keyword_edges.len() != perm.len() {
+                return None;
+            }
+            Some(CentralGraph {
+                central: a.central,
+                depth: a.depth,
+                nodes: a.nodes.clone(),
+                edges: a.edges.clone(),
+                keyword_nodes: perm.iter().map(|&j| a.keyword_nodes[j].clone()).collect(),
+                keyword_edges: perm.iter().map(|&j| a.keyword_edges[j].clone()).collect(),
+                score: a.score,
+            })
+        })
+        .collect()
+}
+
+/// Rough heap footprint of one cache entry, for the cache's byte budget.
+/// Counts the dominant vectors (node ids, edge pairs, per-keyword sets,
+/// the level trace) plus per-allocation overheads; exactness doesn't
+/// matter, monotonicity with answer size does.
+fn approx_entry_bytes(entry: &CachedSearch) -> usize {
+    let node = std::mem::size_of::<kgraph::NodeId>();
+    let edge = 2 * node;
+    let mut bytes = 128 + entry.group_terms.iter().map(|t| 24 + t.len()).sum::<usize>();
+    for a in &entry.answers {
+        bytes += 96 + a.nodes.len() * node + a.edges.len() * edge;
+        bytes += a.keyword_nodes.iter().map(|v| 24 + v.len() * node).sum::<usize>();
+        bytes += a.keyword_edges.iter().map(|v| 24 + v.len() * edge).sum::<usize>();
+    }
+    bytes + entry.stats.trace.len() * 24
 }
 
 fn make_backend(backend: Backend) -> Box<dyn KeywordSearchEngine + Send + Sync> {
@@ -390,6 +556,120 @@ mod tests {
         let dy = ws.search("xml sql rdf");
         assert_eq!(seq.answers[0].nodes, dy.answers[0].nodes);
         assert_eq!(ws.session_queries_run(), 3);
+    }
+
+    /// Everything observable about a result except timings, as one
+    /// comparable string.
+    fn digest(ws: &WikiSearch, r: &WikiSearchResult) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        write!(
+            s,
+            "groups:{:?} unmatched:{:?} kwf:{} ",
+            r.query.groups, r.query.unmatched, r.kwf
+        )
+        .unwrap();
+        write!(
+            s,
+            "stats:{}/{}/{}/{:?} ",
+            r.stats.last_level, r.stats.central_candidates, r.stats.peak_frontier, r.stats.trace
+        )
+        .unwrap();
+        for a in &r.answers {
+            write!(
+                s,
+                "[c:{} d:{} n:{:?} e:{:?} kn:{:?} ke:{:?} s:{}]",
+                ws.graph().node_key(a.central),
+                a.depth,
+                a.nodes,
+                a.edges,
+                a.keyword_nodes,
+                a.keyword_edges,
+                a.score.to_bits()
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn cache_hits_are_observably_identical_to_uncached_searches() {
+        let uncached = small_engine(Backend::Sequential);
+        let mut cached = small_engine(Backend::Sequential);
+        cached.set_cache_capacity(1 << 20);
+        // Near-duplicates: word order, case, stopwords, duplicate words.
+        let variants =
+            ["xml sql rdf", "RDF sql XML", "the xml of sql and rdf", "sql sql rdf xml rdf"];
+        for (i, raw) in variants.iter().enumerate() {
+            let warm = cached.search(raw);
+            let cold = uncached.search(raw);
+            assert_eq!(digest(&cached, &warm), digest(&uncached, &cold), "variant {i}: {raw}");
+        }
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!(stats.lookups, 4);
+        assert_eq!(stats.misses, 1, "only the first variant computes");
+        assert_eq!(stats.hits, 3, "every normalized duplicate hits");
+        assert_eq!(stats.entries, 1);
+        // The session pool saw exactly one query — hits never touch it.
+        assert_eq!(cached.session_queries_run(), 1);
+    }
+
+    #[test]
+    fn cache_never_aliases_across_params() {
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        let deep = ws.search("xml sql rdf");
+        let narrow = ws.search_with_params("xml sql rdf", &ws.params().clone().with_top_k(1));
+        assert!(narrow.answers.len() <= 1);
+        let stats = ws.cache_stats().unwrap();
+        assert_eq!(stats.misses, 2, "different top-k keys a different slot");
+        assert_eq!(stats.entries, 2);
+        // Ask both again: both hit, both unchanged.
+        let deep2 = ws.search("xml sql rdf");
+        let narrow2 = ws.search_with_params("xml sql rdf", &ws.params().clone().with_top_k(1));
+        assert_eq!(ws.cache_stats().unwrap().hits, 2);
+        assert_eq!(deep2.answers.len(), deep.answers.len());
+        assert_eq!(narrow2.answers.len(), narrow.answers.len());
+    }
+
+    #[test]
+    fn empty_after_stopword_queries_bypass_the_cache() {
+        let uncached = small_engine(Backend::Sequential);
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        for raw in ["the of and", "", "   "] {
+            let got = ws.search(raw);
+            let want = uncached.search(raw);
+            assert!(got.answers.is_empty());
+            assert_eq!(digest(&ws, &got), digest(&uncached, &want), "{raw:?}");
+        }
+        let stats = ws.cache_stats().unwrap();
+        assert_eq!(stats.lookups, 0, "bypass means the cache is never consulted");
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn cache_survives_a_backend_swap() {
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        let seq = ws.search("xml sql rdf");
+        ws.set_backend(Backend::ParCpu(2));
+        let par = ws.search("xml sql rdf");
+        assert_eq!(ws.cache_stats().unwrap().hits, 1, "entry valid across backends");
+        assert_eq!(seq.answers[0].nodes, par.answers[0].nodes);
+        assert_eq!(ws.session_queries_run(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        assert!(ws.cache_stats().is_some());
+        ws.set_cache_capacity(0);
+        assert!(ws.cache_stats().is_none());
+        ws.search("xml sql");
+        ws.search("xml sql");
+        assert_eq!(ws.session_queries_run(), 2, "every query computes");
     }
 
     #[test]

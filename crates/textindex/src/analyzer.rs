@@ -35,6 +35,28 @@ pub fn analyze_unique(text: &str) -> Vec<String> {
     analyze(text).into_iter().filter(|t| seen.insert(t.clone())).collect()
 }
 
+/// The canonical, order-insensitive form of a query: analyzed terms
+/// (tokenize → stopword filter → stem), deduplicated and **sorted**.
+///
+/// Two raw strings normalize to the same term list iff they drive the
+/// same keyword search — capitalization, word order, duplicate words and
+/// stopwords all vanish. This is the cache-key normalization of the
+/// serving layer's result cache: `"Einstein physics"`,
+/// `"physics  EINSTEIN"` and `"the physics of einstein"` must all
+/// collide on one cache slot.
+///
+/// ```
+/// use textindex::normalize_query;
+/// assert_eq!(normalize_query("the physics of Einstein"), vec!["einstein", "physic"]);
+/// assert_eq!(normalize_query("physics  EINSTEIN"), normalize_query("Einstein physics"));
+/// assert!(normalize_query("the of and").is_empty());
+/// ```
+pub fn normalize_query(raw: &str) -> Vec<String> {
+    let mut terms = analyze_unique(raw);
+    terms.sort_unstable();
+    terms
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +87,26 @@ mod tests {
     fn unique_dedups_after_stemming() {
         // "mining" and "mined" stem to the same term
         assert_eq!(analyze_unique("mining mined mine"), vec!["mine"]);
+    }
+
+    #[test]
+    fn normalize_collapses_case_order_and_stopwords() {
+        let a = normalize_query("Einstein physics");
+        assert_eq!(a, normalize_query("physics  EINSTEIN"), "word order and case");
+        assert_eq!(a, normalize_query("the physics of einstein"), "stopwords");
+        assert_eq!(a, vec!["einstein", "physic"], "sorted analyzed terms");
+    }
+
+    #[test]
+    fn normalize_distinguishes_different_keyword_sets() {
+        assert_ne!(normalize_query("einstein"), normalize_query("einstein physics"));
+        assert_ne!(normalize_query("relativity einstein"), normalize_query("einstein physics"));
+    }
+
+    #[test]
+    fn normalize_of_stopword_only_input_is_empty() {
+        assert!(normalize_query("the of and in").is_empty());
+        assert!(normalize_query("").is_empty());
+        assert!(normalize_query("  !!  ").is_empty());
     }
 }

@@ -38,7 +38,7 @@ pub mod stemmer;
 pub mod stopwords;
 pub mod tokenizer;
 
-pub use analyzer::analyze;
+pub use analyzer::{analyze, normalize_query};
 pub use inverted::InvertedIndex;
 pub use query::{KeywordGroup, ParsedQuery};
 pub use stemmer::porter_stem;

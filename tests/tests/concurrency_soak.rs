@@ -134,3 +134,106 @@ fn one_session_survives_a_query_stream_across_thread_counts() {
     assert_eq!(session.queries_run(), runs);
     assert!(session.queries_run() > 0);
 }
+
+/// Cache soak: 8 threads hammer one `Arc<WikiSearch>` whose result cache
+/// is deliberately too small for the working set, so entries are
+/// inserted, evicted and re-inserted continuously while hits race
+/// misses on every shard. The test asserts the three things that must
+/// survive that churn: no panics or deadlocks, exact counter accounting
+/// (`hits + misses == lookups`, byte usage within budget), and — query
+/// for query — answers identical to a sequential uncached oracle.
+#[test]
+fn concurrent_cached_searches_match_a_sequential_oracle() {
+    let mut cfg = SyntheticConfig::tiny(4242);
+    cfg.num_entities = 900;
+    let ds = cfg.generate();
+
+    let mut workload = QueryWorkload::new(17);
+    let queries: Vec<String> = workload.batch(3, 16);
+
+    // Oracle: sequential, uncached.
+    let oracle = wikisearch_engine::WikiSearch::build_with(
+        ds.graph.clone(),
+        wikisearch_engine::Backend::Sequential,
+    );
+    let expected: Vec<String> = queries.iter().map(|q| result_digest(&oracle.search(q))).collect();
+
+    // Device under test: parallel backend behind a cache sized to a
+    // third of the working set, split over 2 shards so eviction churn is
+    // constant. First measure the stream's total entry footprint with a
+    // roomy cache, then rebuild with the tight one.
+    let mut probe = wikisearch_engine::WikiSearch::build_with(
+        ds.graph.clone(),
+        wikisearch_engine::Backend::Sequential,
+    );
+    probe.set_cache_config(64 << 20, 2);
+    for q in &queries {
+        probe.search(q);
+    }
+    let working_set = probe.cache_stats().unwrap().bytes.max(1);
+
+    let mut ws = wikisearch_engine::WikiSearch::build_with(
+        ds.graph.clone(),
+        wikisearch_engine::Backend::ParCpu(4),
+    );
+    ws.set_cache_config(working_set / 3, 2);
+    let ws = std::sync::Arc::new(ws);
+
+    let threads = 8;
+    let rounds = 6;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let ws = std::sync::Arc::clone(&ws);
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Deterministic per-thread schedule: every thread walks
+                // the whole query list, each starting at a different
+                // offset, so the same key is concurrently looked up,
+                // inserted and evicted across threads.
+                for r in 0..rounds {
+                    for i in 0..queries.len() {
+                        let qi = (i + t * 3 + r) % queries.len();
+                        let got = result_digest(&ws.search(&queries[qi]));
+                        assert_eq!(got, expected[qi], "thread {t} round {r} query {qi}");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = ws.cache_stats().unwrap();
+    assert_eq!(stats.hits + stats.misses, stats.lookups, "{stats:?}");
+    assert!(stats.bytes <= stats.capacity_bytes, "{stats:?}");
+    assert!(stats.lookups > 0, "{stats:?}");
+    assert!(stats.evictions > 0, "capacity must be tight enough to churn: {stats:?}");
+}
+
+/// Everything answer-relevant about one search result, as a comparable
+/// string (timings excluded).
+fn result_digest(r: &wikisearch_engine::WikiSearchResult) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    write!(s, "groups:{:?} unmatched:{:?} ", r.query.groups, r.query.unmatched).unwrap();
+    write!(
+        s,
+        "stats:{}/{}/{:?} ",
+        r.stats.last_level, r.stats.central_candidates, r.stats.trace
+    )
+    .unwrap();
+    for a in &r.answers {
+        write!(
+            s,
+            "[c:{:?} d:{} n:{:?} e:{:?} kn:{:?} ke:{:?} s:{}]",
+            a.central,
+            a.depth,
+            a.nodes,
+            a.edges,
+            a.keyword_nodes,
+            a.keyword_edges,
+            a.score.to_bits()
+        )
+        .unwrap();
+    }
+    s
+}
