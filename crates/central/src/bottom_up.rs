@@ -11,6 +11,8 @@
 //! which the property suite verifies.
 
 use crate::activation::ActivationMap;
+use crate::budget::BudgetTracker;
+use crate::error::SearchError;
 use crate::profile::PhaseProfile;
 use crate::state::SearchState;
 use crate::{model::INFINITE_LEVEL, SearchParams};
@@ -19,6 +21,7 @@ use std::time::Instant;
 
 /// Everything an expansion step needs (read-only except for `state`'s
 /// atomics).
+#[derive(Clone, Copy)]
 pub struct ExpandCtx<'a> {
     /// The data graph.
     pub graph: &'a KnowledgeGraph,
@@ -26,6 +29,10 @@ pub struct ExpandCtx<'a> {
     pub act: &'a ActivationMap<'a>,
     /// Shared lock-free search state.
     pub state: &'a SearchState,
+    /// Budget accounting: every expansion unit is charged here, and a
+    /// tripped budget makes further expansion a no-op (the driver then
+    /// surfaces the error at its next level checkpoint).
+    pub budget: &'a BudgetTracker,
 }
 
 /// Expand one frontier node across **all** BFS instances — the body of
@@ -35,6 +42,10 @@ pub struct ExpandCtx<'a> {
 #[inline]
 pub fn expand_frontier(ctx: &ExpandCtx<'_>, f: u32, level: u8) {
     let state = ctx.state;
+    if ctx.budget.cancelled() {
+        return;
+    }
+    ctx.budget.charge(state.num_keywords() as u64);
     // Central Nodes are unavailable for expansion (Alg. 2 lines 2–3).
     if state.is_central(f) {
         return;
@@ -56,6 +67,10 @@ pub fn expand_frontier(ctx: &ExpandCtx<'_>, f: u32, level: u8) {
 #[inline]
 pub fn expand_work_item(ctx: &ExpandCtx<'_>, f: u32, i: usize, level: u8) {
     let state = ctx.state;
+    if ctx.budget.cancelled() {
+        return;
+    }
+    ctx.budget.charge(1);
     if state.is_central(f) {
         return;
     }
@@ -208,6 +223,7 @@ pub struct BottomUpScratch {
 }
 
 /// Result of the bottom-up stage.
+#[derive(Debug)]
 pub struct BottomUpOutcome {
     /// Identified Central Nodes with their depths, in identification order
     /// (ascending depth, then node id).
@@ -222,20 +238,20 @@ pub struct BottomUpOutcome {
     pub trace: Vec<LevelTrace>,
 }
 
-/// Run the bottom-up stage with the given strategy. `state` must be
+/// Run the bottom-up stage with the given strategy. `ctx.state` must be
 /// freshly armed for the query (sources seeded); `scratch` may carry
 /// capacity from earlier queries. Phase timings are accumulated into
-/// `profile`.
+/// `profile`. The `ctx.budget` tracker is checkpointed at every level
+/// boundary and charged inside the expansion procedure; a tripped budget
+/// aborts the stage with the corresponding [`SearchError`].
 pub fn run<S: ExecStrategy>(
     strategy: &S,
-    graph: &KnowledgeGraph,
-    act: &ActivationMap<'_>,
-    state: &SearchState,
+    ctx: &ExpandCtx<'_>,
     scratch: &mut BottomUpScratch,
     params: &SearchParams,
     profile: &mut PhaseProfile,
-) -> BottomUpOutcome {
-    let ctx = ExpandCtx { graph, act, state };
+) -> Result<BottomUpOutcome, SearchError> {
+    let ExpandCtx { state, budget, .. } = *ctx;
     let max_level = params.max_level.min(254);
     let BottomUpScratch { frontiers, newly } = scratch;
     let mut central_nodes: Vec<(NodeId, u8)> = Vec::new();
@@ -243,6 +259,7 @@ pub fn run<S: ExecStrategy>(
     let mut trace: Vec<LevelTrace> = Vec::new();
     let mut level: u8 = 0;
     let terminated = loop {
+        budget.checkpoint()?;
         let t = Instant::now();
         strategy.enqueue(state, frontiers);
         profile.enqueue += t.elapsed();
@@ -264,18 +281,20 @@ pub fn run<S: ExecStrategy>(
         }
 
         let t = Instant::now();
-        strategy.expand(&ctx, frontiers, level);
+        strategy.expand(ctx, frontiers, level);
         profile.expansion += t.elapsed();
         level += 1;
     };
-    BottomUpOutcome { central_nodes, last_level: level, terminated, peak_frontier, trace }
+    Ok(BottomUpOutcome { central_nodes, last_level: level, terminated, peak_frontier, trace })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::activation::ActivationMap;
+    use crate::budget::QueryBudget;
     use kgraph::GraphBuilder;
+    use std::time::Duration;
     use textindex::{InvertedIndex, ParsedQuery};
 
     /// Sequential strategy for driver tests (the engines define their own).
@@ -312,8 +331,10 @@ mod tests {
         let act = ActivationMap::Explicit(&activation);
         let params = SearchParams::default().with_top_k(top_k);
         let mut profile = PhaseProfile::default();
-        let out =
-            run(&Seq, g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
+        let budget = QueryBudget::unlimited().start();
+        let ctx = ExpandCtx { graph: g, act: &act, state: &state, budget: &budget };
+        let out = run(&Seq, &ctx, &mut BottomUpScratch::default(), &params, &mut profile)
+            .expect("unlimited budget");
         (out, state)
     }
 
@@ -442,11 +463,54 @@ mod tests {
         let params = SearchParams::default().with_top_k(5);
         let params = SearchParams { max_level: 6, ..params };
         let mut profile = PhaseProfile::default();
-        let out =
-            run(&Seq, &g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
+        let budget = QueryBudget::unlimited().start();
+        let ctx = ExpandCtx { graph: &g, act: &act, state: &state, budget: &budget };
+        let out = run(&Seq, &ctx, &mut BottomUpScratch::default(), &params, &mut profile)
+            .expect("unlimited budget");
         assert_eq!(out.terminated, TerminationReason::LevelCap);
         assert!(out.central_nodes.is_empty());
         assert_eq!(out.last_level, 6);
+    }
+
+    /// Run the driver on the Fig. 2 graph under `budget` and return the
+    /// result.
+    fn run_budgeted(budget: QueryBudget) -> Result<BottomUpOutcome, SearchError> {
+        let g = fig2_graph();
+        let idx = InvertedIndex::build(&g);
+        let q = ParsedQuery::parse(&idx, "alpha beta");
+        let state = SearchState::new(g.num_nodes(), &q);
+        let activation = vec![0u8; g.num_nodes()];
+        let act = ActivationMap::Explicit(&activation);
+        let params = SearchParams::default().with_top_k(10);
+        let mut profile = PhaseProfile::default();
+        let tracker = budget.start();
+        let ctx = ExpandCtx { graph: &g, act: &act, state: &state, budget: &tracker };
+        run(&Seq, &ctx, &mut BottomUpScratch::default(), &params, &mut profile)
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_level() {
+        let err = run_budgeted(QueryBudget::unlimited().with_timeout(Duration::ZERO)).unwrap_err();
+        assert_eq!(err, SearchError::DeadlineExceeded { limit: Duration::ZERO });
+    }
+
+    #[test]
+    fn tiny_expansion_cap_aborts_the_search() {
+        // Every frontier expansion charges q = 2 units; a 1-unit budget
+        // trips during level 0 and surfaces at the level-1 checkpoint.
+        let err = run_budgeted(QueryBudget::unlimited().with_max_expansions(1)).unwrap_err();
+        assert_eq!(err, SearchError::BudgetExhausted { limit: 1 });
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let out = run_budgeted(
+            QueryBudget::unlimited()
+                .with_timeout(Duration::from_secs(60))
+                .with_max_expansions(1_000_000),
+        )
+        .expect("generous budget must not trip");
+        assert_eq!(out.central_nodes, vec![(NodeId(3), 1)]);
     }
 
     /// Paper Fig. 4 running example: keywords XML (T = {v9}),
@@ -501,8 +565,10 @@ mod tests {
         let act = ActivationMap::Explicit(&activation);
         let params = SearchParams::default().with_top_k(1);
         let mut profile = PhaseProfile::default();
-        let out =
-            run(&Seq, &g, &act, &state, &mut BottomUpScratch::default(), &params, &mut profile);
+        let budget = QueryBudget::unlimited().start();
+        let ctx = ExpandCtx { graph: &g, act: &act, state: &state, budget: &budget };
+        let out = run(&Seq, &ctx, &mut BottomUpScratch::default(), &params, &mut profile)
+            .expect("unlimited budget");
         assert_eq!(out.central_nodes.len(), 1);
         let (central, depth) = out.central_nodes[0];
         assert_eq!(central, ids[2], "v2 is the Central Node");

@@ -21,7 +21,9 @@
 //! fine-grained decomposition is race-free and returns the same answers.
 
 use crate::bottom_up::{enqueue_parallel_compaction, expand_work_item, ExecStrategy, ExpandCtx};
+use crate::budget::QueryBudget;
 use crate::engine::{build_pool, run_matrix_search, KeywordSearchEngine, SearchOutcome};
+use crate::error::SearchError;
 use crate::session::SearchSession;
 use crate::state::SearchState;
 use crate::SearchParams;
@@ -100,15 +102,16 @@ impl KeywordSearchEngine for GpuStyleEngine {
         "GPU-Par"
     }
 
-    fn search_session(
+    fn try_search_session(
         &self,
         session: &mut SearchSession,
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
-    ) -> SearchOutcome {
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, SearchError> {
         let strategy = GpuStrategy { pool: &self.pool };
-        run_matrix_search(&strategy, Some(&self.pool), session, graph, query, params)
+        run_matrix_search(&strategy, Some(&self.pool), session, graph, query, params, budget)
     }
 }
 

@@ -13,7 +13,9 @@ pub use par_dyn::DynParEngine;
 pub use seq::SeqEngine;
 
 use crate::activation::{ActivationConfig, ActivationMap};
-use crate::bottom_up::{self, ExecStrategy, TerminationReason};
+use crate::bottom_up::{self, ExecStrategy};
+use crate::budget::QueryBudget;
+use crate::error::SearchError;
 use crate::model::CentralGraph;
 use crate::profile::PhaseProfile;
 use crate::session::SearchSession;
@@ -58,10 +60,30 @@ pub trait KeywordSearchEngine {
     /// Engine display name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
-    /// Run a top-k search through a reusable [`SearchSession`] — the warm
-    /// path. The session's epoch-stamped state and scratch buffers are
-    /// re-armed in place, so a query on an already-used session allocates
-    /// nothing proportional to `n · q`.
+    /// Run a budgeted top-k search through a reusable [`SearchSession`] —
+    /// the warm path, and the one method engines implement. The session's
+    /// epoch-stamped state and scratch buffers are re-armed in place, so a
+    /// query on an already-used session allocates nothing proportional to
+    /// `n · q`.
+    ///
+    /// A tripped budget returns `Err` and never a partial answer set; the
+    /// session stays reusable (the next `begin_query` re-arms its state
+    /// regardless of where this search stopped).
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`SearchParams::validate`].
+    fn try_search_session(
+        &self,
+        session: &mut SearchSession,
+        graph: &KnowledgeGraph,
+        query: &ParsedQuery,
+        params: &SearchParams,
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, SearchError>;
+
+    /// Run an unbudgeted top-k search through a reusable
+    /// [`SearchSession`] — [`Self::try_search_session`] with
+    /// [`QueryBudget::unlimited`], which cannot fail.
     ///
     /// # Panics
     /// Panics if `params` fail [`SearchParams::validate`].
@@ -71,10 +93,29 @@ pub trait KeywordSearchEngine {
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
-    ) -> SearchOutcome;
+    ) -> SearchOutcome {
+        self.try_search_session(session, graph, query, params, &QueryBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
 
-    /// Run a one-shot top-k search (cold path): opens a throwaway
-    /// [`SearchSession`] and runs [`Self::search_session`] through it.
+    /// Run a one-shot budgeted top-k search (cold path): opens a
+    /// throwaway [`SearchSession`] and runs [`Self::try_search_session`]
+    /// through it.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`SearchParams::validate`].
+    fn try_search(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &ParsedQuery,
+        params: &SearchParams,
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, SearchError> {
+        let mut session = SearchSession::new();
+        self.try_search_session(&mut session, graph, query, params, budget)
+    }
+
+    /// Run a one-shot unbudgeted top-k search (cold path).
     ///
     /// # Panics
     /// Panics if `params` fail [`SearchParams::validate`].
@@ -99,12 +140,18 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
     graph: &KnowledgeGraph,
     query: &ParsedQuery,
     params: &SearchParams,
-) -> SearchOutcome {
+    budget: &QueryBudget,
+) -> Result<SearchOutcome, SearchError> {
     if let Err(e) = params.validate() {
         panic!("invalid search parameters: {e}");
     }
+    let tracker = budget.start();
+    // An already-expired deadline fails deterministically before any work.
+    tracker.checkpoint()?;
+    #[cfg(feature = "fault-inject")]
+    crate::fault::inject(query, &tracker)?;
     if query.is_empty() {
-        return SearchOutcome::default();
+        return Ok(SearchOutcome::default());
     }
     let mut profile = PhaseProfile::default();
 
@@ -129,23 +176,28 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
         },
     };
 
-    let outcome = bottom_up::run(strategy, graph, &act, state, scratch, params, &mut profile);
-    let _ = TerminationReason::LevelCap; // (reason is carried in stats below)
+    let ctx = bottom_up::ExpandCtx { graph, act: &act, state, budget: &tracker };
+    let mut outcome = bottom_up::run(strategy, &ctx, scratch, params, &mut profile)?;
 
     // Top-down processing: extract, prune, rank. The candidate cohort is
-    // ordered shallowest-first, so a cap keeps the best-depth prefix.
-    let mut outcome = outcome;
+    // ordered shallowest-first, so a cap keeps the best-depth prefix. The
+    // budget is polled once per extracted candidate; a trip mid-stage
+    // yields `None` and the whole search fails rather than returning a
+    // silently truncated answer set.
     outcome.central_nodes.truncate(params.max_candidates);
     let t = Instant::now();
-    let candidates: Vec<CentralGraph> = match pool {
+    let candidates: Option<Vec<CentralGraph>> = match pool {
         Some(pool) => pool.install(|| {
             use rayon::prelude::*;
             outcome
                 .central_nodes
                 .par_iter()
                 .map(|&(c, d)| {
+                    if tracker.should_stop() {
+                        return None;
+                    }
                     let e = top_down::extract(graph, &act, state, c.0, d);
-                    top_down::prune_and_score(graph, state, &e, params)
+                    Some(top_down::prune_and_score(graph, state, &e, params))
                 })
                 .collect()
         }),
@@ -153,15 +205,21 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
             .central_nodes
             .iter()
             .map(|&(c, d)| {
+                if tracker.should_stop() {
+                    return None;
+                }
                 let e = top_down::extract(graph, &act, state, c.0, d);
-                top_down::prune_and_score(graph, state, &e, params)
+                Some(top_down::prune_and_score(graph, state, &e, params))
             })
             .collect(),
+    };
+    let Some(candidates) = candidates else {
+        return Err(tracker.error().expect("a stopped top-down stage implies a tripped budget"));
     };
     let answers = top_down::select_top_k(candidates, params);
     profile.top_down = t.elapsed();
 
-    SearchOutcome {
+    Ok(SearchOutcome {
         answers,
         profile,
         stats: SearchStats {
@@ -170,7 +228,7 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
             peak_frontier: outcome.peak_frontier,
             trace: outcome.trace,
         },
-    }
+    })
 }
 
 /// Build a rayon pool with exactly `threads` workers.

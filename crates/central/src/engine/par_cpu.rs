@@ -15,7 +15,9 @@
 //!   Graph, dynamically scheduled (Sec. V-C).
 
 use crate::bottom_up::{enqueue_sequential, expand_frontier, ExecStrategy, ExpandCtx};
+use crate::budget::QueryBudget;
 use crate::engine::{build_pool, run_matrix_search, KeywordSearchEngine, SearchOutcome};
+use crate::error::SearchError;
 use crate::session::SearchSession;
 use crate::state::SearchState;
 use crate::SearchParams;
@@ -82,15 +84,16 @@ impl KeywordSearchEngine for ParCpuEngine {
         "CPU-Par"
     }
 
-    fn search_session(
+    fn try_search_session(
         &self,
         session: &mut SearchSession,
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
-    ) -> SearchOutcome {
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, SearchError> {
         let strategy = ParCpuStrategy { pool: &self.pool };
-        run_matrix_search(&strategy, Some(&self.pool), session, graph, query, params)
+        run_matrix_search(&strategy, Some(&self.pool), session, graph, query, params, budget)
     }
 }
 

@@ -10,7 +10,9 @@
 //! overwhelms the saved extraction time.
 
 use crate::activation::{ActivationConfig, ActivationMap};
+use crate::budget::{BudgetTracker, QueryBudget};
 use crate::engine::{build_pool, KeywordSearchEngine, SearchOutcome, SearchStats};
+use crate::error::SearchError;
 use crate::model::{CentralGraph, INFINITE_LEVEL};
 use crate::profile::PhaseProfile;
 use crate::session::SearchSession;
@@ -176,18 +178,23 @@ impl KeywordSearchEngine for DynParEngine {
         "CPU-Par-d"
     }
 
-    fn search_session(
+    fn try_search_session(
         &self,
         session: &mut SearchSession,
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
-    ) -> SearchOutcome {
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, SearchError> {
         if let Err(e) = params.validate() {
             panic!("invalid search parameters: {e}");
         }
+        let tracker = budget.start();
+        tracker.checkpoint()?;
+        #[cfg(feature = "fault-inject")]
+        crate::fault::inject(query, &tracker)?;
         if query.is_empty() {
-            return SearchOutcome::default();
+            return Ok(SearchOutcome::default());
         }
         let mut profile = PhaseProfile::default();
 
@@ -217,6 +224,7 @@ impl KeywordSearchEngine for DynParEngine {
         let mut trace: Vec<crate::bottom_up::LevelTrace> = Vec::new();
         let mut level: u8 = 0;
         loop {
+            tracker.checkpoint()?;
             // Enqueue: swap out the locked queue, clear queued flags.
             let t = Instant::now();
             let mut frontiers = std::mem::take(&mut *state.next_frontier.lock());
@@ -254,9 +262,10 @@ impl KeywordSearchEngine for DynParEngine {
             let t = Instant::now();
             let state_ref = state;
             let act_ref = &act;
+            let tracker_ref = &tracker;
             self.pool.install(|| {
                 frontiers.par_iter().for_each(|&f| {
-                    expand_locked(graph, state_ref, act_ref, f, level);
+                    expand_locked(graph, state_ref, act_ref, f, level, tracker_ref);
                 });
             });
             profile.expansion += t.elapsed();
@@ -270,19 +279,28 @@ impl KeywordSearchEngine for DynParEngine {
         let _ = full_candidates;
         let t = Instant::now();
         let state_ref = state;
-        let candidates: Vec<CentralGraph> = self.pool.install(|| {
+        let tracker_ref = &tracker;
+        let candidates: Option<Vec<CentralGraph>> = self.pool.install(|| {
             central_nodes
                 .par_iter()
                 .map(|&(c, d)| {
+                    if tracker_ref.should_stop() {
+                        return None;
+                    }
                     let e = assemble_from_records(state_ref, c.0, d);
-                    top_down::prune_and_score(graph, state_ref, &e, params)
+                    Some(top_down::prune_and_score(graph, state_ref, &e, params))
                 })
                 .collect()
         });
+        let Some(candidates) = candidates else {
+            return Err(tracker
+                .error()
+                .expect("a stopped top-down stage implies a tripped budget"));
+        };
         let answers = top_down::select_top_k(candidates, params);
         profile.top_down += t.elapsed();
 
-        SearchOutcome {
+        Ok(SearchOutcome {
             answers,
             profile,
             stats: SearchStats {
@@ -291,7 +309,7 @@ impl KeywordSearchEngine for DynParEngine {
                 peak_frontier,
                 trace,
             },
-        }
+        })
     }
 }
 
@@ -303,7 +321,12 @@ fn expand_locked(
     act: &ActivationMap<'_>,
     f: u32,
     level: u8,
+    tracker: &BudgetTracker,
 ) {
+    if tracker.cancelled() {
+        return;
+    }
+    tracker.charge(state.q as u64);
     // Copy the frontier's state out under its lock, then release before
     // touching neighbors (no nested locks ⇒ no deadlock).
     let hits: Vec<(u16, u8)> = {

@@ -8,7 +8,9 @@
 use crate::bottom_up::{
     enqueue_sequential, expand_frontier, identify_sequential, ExecStrategy, ExpandCtx,
 };
+use crate::budget::QueryBudget;
 use crate::engine::{run_matrix_search, KeywordSearchEngine, SearchOutcome};
+use crate::error::SearchError;
 use crate::session::SearchSession;
 use crate::state::SearchState;
 use crate::SearchParams;
@@ -49,14 +51,15 @@ impl KeywordSearchEngine for SeqEngine {
         "Seq"
     }
 
-    fn search_session(
+    fn try_search_session(
         &self,
         session: &mut SearchSession,
         graph: &KnowledgeGraph,
         query: &ParsedQuery,
         params: &SearchParams,
-    ) -> SearchOutcome {
-        run_matrix_search(&SeqStrategy, None, session, graph, query, params)
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, SearchError> {
+        run_matrix_search(&SeqStrategy, None, session, graph, query, params, budget)
     }
 }
 

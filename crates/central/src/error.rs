@@ -1,0 +1,73 @@
+//! Structured failures of a budgeted search.
+//!
+//! A search that exceeds its [`crate::budget::QueryBudget`] does not hang
+//! and does not return a silently truncated answer — it stops
+//! cooperatively at the next budget checkpoint and surfaces one of these
+//! errors. The serving layer maps [`SearchError::kind`] onto its one-line
+//! JSON error protocol, so clients can distinguish "the query was too
+//! expensive" from "the request was malformed".
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a budgeted search was cut short.
+///
+/// Carried by `Err` results of the `try_*` search entry points
+/// ([`crate::engine::KeywordSearchEngine::try_search_session`] and the
+/// engine facade built on it). A failed search never produces partial
+/// answers: callers get the error *instead of* an answer set, and the
+/// result cache is never populated from one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchError {
+    /// The wall-clock deadline passed before the search completed.
+    DeadlineExceeded {
+        /// The wall-clock allowance the query started with.
+        limit: Duration,
+    },
+    /// The expansion cap was spent before the search completed.
+    BudgetExhausted {
+        /// The expansion-unit allowance the query started with.
+        limit: u64,
+    },
+}
+
+impl SearchError {
+    /// Stable machine-readable code, used verbatim as the serving layer's
+    /// JSON `"error"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SearchError::DeadlineExceeded { .. } => "deadline_exceeded",
+            SearchError::BudgetExhausted { .. } => "budget_exhausted",
+        }
+    }
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::DeadlineExceeded { limit } => {
+                write!(f, "search exceeded its {:.0} ms deadline", limit.as_secs_f64() * 1e3)
+            }
+            SearchError::BudgetExhausted { limit } => {
+                write!(f, "search exhausted its budget of {limit} expansion units")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_protocol_codes() {
+        let d = SearchError::DeadlineExceeded { limit: Duration::from_millis(250) };
+        let b = SearchError::BudgetExhausted { limit: 1000 };
+        assert_eq!(d.kind(), "deadline_exceeded");
+        assert_eq!(b.kind(), "budget_exhausted");
+        assert!(d.to_string().contains("250 ms"));
+        assert!(b.to_string().contains("1000 expansion units"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Test-only fault injection (feature `fault-inject`).
+//!
+//! The fault-isolation guarantees of the serving layer — panic
+//! quarantine, deadline enforcement, budget shedding — are only worth
+//! having if they are *proven* against real faults. This module lets the
+//! integration suite create those faults deterministically from the
+//! outside, through the ordinary query protocol, with no special test
+//! API on the server: a query containing one of the magic tokens below
+//! misbehaves inside the engine exactly where a real pathological query
+//! would.
+//!
+//! | token | behaviour |
+//! |---|---|
+//! | `fault0panic` | panics inside the search (after session checkout) |
+//! | `fault0sleep` / `fault0sleepNNN` | stalls `NNN` ms (default/cap 30 s), honouring the deadline cooperatively |
+//! | `fault0alloc` | allocates 1 MiB slabs, charging the expansion budget per byte |
+//!
+//! Tokens are chosen to survive the text pipeline unmangled: they contain
+//! a digit, so the tokenizer keeps them (not purely numeric) and the
+//! Porter stemmer leaves them untouched (not all-lowercase-alpha), and
+//! they match no real node label, so a fault query parses to an empty
+//! keyword set and would otherwise be a cheap no-answer query.
+//!
+//! The hook runs at the top of every engine's search, after parameter
+//! validation and budget arming but before the empty-query short-circuit.
+//! It is compiled only under the `fault-inject` feature; release builds
+//! carry no trace of it.
+
+use crate::budget::BudgetTracker;
+use crate::error::SearchError;
+use std::time::{Duration, Instant};
+use textindex::ParsedQuery;
+
+/// Token that panics the search.
+pub const PANIC_TOKEN: &str = "fault0panic";
+/// Token prefix that stalls the search (optional trailing milliseconds).
+pub const SLEEP_TOKEN: &str = "fault0sleep";
+/// Token that allocates until the expansion budget trips.
+pub const ALLOC_TOKEN: &str = "fault0alloc";
+
+/// Hard cap on an injected stall, so an uncapped sleep token cannot hang
+/// a suite forever.
+const MAX_SLEEP: Duration = Duration::from_secs(30);
+/// Granularity of the cooperative stall's deadline polling.
+const SLEEP_TICK: Duration = Duration::from_millis(2);
+
+/// Inspect `query` for fault tokens and misbehave accordingly. Called by
+/// every engine right after its budget tracker is armed.
+///
+/// # Panics
+/// Panics when the query carries [`PANIC_TOKEN`] — that is the point.
+pub fn inject(query: &ParsedQuery, tracker: &BudgetTracker) -> Result<(), SearchError> {
+    let tokens = query
+        .groups
+        .iter()
+        .map(|g| g.term.as_str())
+        .chain(query.unmatched.iter().map(String::as_str));
+    for token in tokens {
+        if token == PANIC_TOKEN {
+            panic!("fault-inject: query requested a panic");
+        }
+        if let Some(ms) = token.strip_prefix(SLEEP_TOKEN) {
+            let total = match ms.parse::<u64>() {
+                Ok(ms) => Duration::from_millis(ms).min(MAX_SLEEP),
+                Err(_) => MAX_SLEEP,
+            };
+            let start = Instant::now();
+            while start.elapsed() < total {
+                std::thread::sleep(SLEEP_TICK);
+                tracker.poll_deadline();
+                if let Some(e) = tracker.error() {
+                    return Err(e);
+                }
+            }
+        }
+        if token == ALLOC_TOKEN {
+            // 1 MiB slabs, each charged against the expansion budget; the
+            // slab count is bounded so an uncapped run cannot OOM a test
+            // host.
+            let mut slabs: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..64 {
+                slabs.push(vec![0xAB; 1 << 20]);
+                tracker.charge(1 << 20);
+                if let Some(e) = tracker.error() {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryBudget;
+    use kgraph::GraphBuilder;
+    use textindex::InvertedIndex;
+
+    fn parse(raw: &str) -> ParsedQuery {
+        let mut b = GraphBuilder::new();
+        b.add_node("x", "alpha");
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        ParsedQuery::parse(&idx, raw)
+    }
+
+    #[test]
+    fn fault_tokens_survive_the_text_pipeline() {
+        for raw in [PANIC_TOKEN, "fault0sleep250", ALLOC_TOKEN] {
+            let q = parse(raw);
+            assert_eq!(q.unmatched, vec![raw.to_string()], "{raw} mangled by analyzer");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-inject")]
+    fn panic_token_panics() {
+        let tracker = QueryBudget::unlimited().start();
+        let _ = inject(&parse(PANIC_TOKEN), &tracker);
+    }
+
+    #[test]
+    fn sleep_token_honours_the_deadline() {
+        let tracker = QueryBudget::unlimited().with_timeout(Duration::from_millis(20)).start();
+        let start = Instant::now();
+        let err = inject(&parse("fault0sleep10000"), &tracker).unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert!(start.elapsed() < Duration::from_secs(5), "stall must stop at the deadline");
+    }
+
+    #[test]
+    fn bounded_sleep_completes_without_a_deadline() {
+        let tracker = QueryBudget::unlimited().start();
+        assert_eq!(inject(&parse("fault0sleep10"), &tracker), Ok(()));
+    }
+
+    #[test]
+    fn alloc_token_trips_the_expansion_cap() {
+        let tracker = QueryBudget::unlimited().with_max_expansions(1 << 21).start();
+        let err = inject(&parse(ALLOC_TOKEN), &tracker).unwrap_err();
+        assert_eq!(err.kind(), "budget_exhausted");
+    }
+
+    #[test]
+    fn plain_queries_are_untouched() {
+        let tracker = QueryBudget::unlimited().start();
+        assert_eq!(inject(&parse("alpha beta"), &tracker), Ok(()));
+    }
+}

@@ -69,10 +69,14 @@
 
 pub mod activation;
 pub mod bottom_up;
+pub mod budget;
 pub mod cache;
 pub mod config;
 pub mod costmodel;
 pub mod engine;
+pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod model;
 pub mod pool;
 pub mod profile;
@@ -81,11 +85,13 @@ pub mod state;
 pub mod top_down;
 
 pub use activation::{ActivationConfig, ActivationMap};
+pub use budget::{BudgetTracker, QueryBudget};
 pub use cache::{CacheStats, QueryKey, ShardedLruCache};
 pub use config::{ParamsFingerprint, SearchParams};
 pub use engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SeqEngine,
 };
+pub use error::SearchError;
 pub use model::{CentralGraph, INFINITE_LEVEL};
 pub use pool::{PoolStats, PooledSession, SessionPool};
 pub use profile::PhaseProfile;

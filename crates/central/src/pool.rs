@@ -24,6 +24,17 @@
 //! absorbed while checked out and folds them into the pool total at
 //! checkin, so [`SessionPool::queries_run`] reports the service-level
 //! figure the old single-session `queries_run` used to.
+//!
+//! **Panic quarantine.** If a search panics while a guard is checked out,
+//! the guard's `Drop` runs during the unwind. Returning that session to
+//! the freelist would hand later queries a session whose internal state
+//! stopped at an arbitrary point mid-search — epoch stamping makes that
+//! *probably* fine, but a panic means an invariant already failed, so the
+//! pool does not gamble: the session is dropped on the spot (quarantined),
+//! [`PoolStats::quarantined`] counts it, and the pool simply creates a
+//! fresh session the next time the freelist runs dry. A *failed* search
+//! (deadline, budget) is not a panic — those sessions check in normally
+//! and are reused.
 
 use crate::session::SearchSession;
 use parking_lot::Mutex;
@@ -56,6 +67,9 @@ pub struct SessionPool {
     completed: AtomicU64,
     /// Guards currently alive.
     in_flight: AtomicUsize,
+    /// Sessions destroyed instead of checked in because their guard was
+    /// dropped during a panic unwind.
+    quarantined: AtomicU64,
 }
 
 impl SessionPool {
@@ -116,6 +130,13 @@ impl SessionPool {
         self.in_flight.load(Ordering::Relaxed)
     }
 
+    /// Number of sessions quarantined after a panic unwound through their
+    /// guard. Quarantined sessions are gone for good; the pool recreates
+    /// capacity on demand.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     /// One consistent-enough snapshot of the pool counters, for status
     /// endpoints (the CLI server's `STATS` line). Each field is read
     /// atomically; the set is not a transaction, which is fine for
@@ -126,6 +147,7 @@ impl SessionPool {
             sessions_created: self.sessions_created(),
             idle_sessions: self.idle_sessions(),
             in_flight: self.in_flight(),
+            quarantined: self.quarantined(),
         }
     }
 
@@ -136,6 +158,14 @@ impl SessionPool {
         let delta = session.queries_run() - queries_at_checkout;
         self.completed.fetch_add(delta, Ordering::Relaxed);
         self.free.lock().push((id, session));
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Quarantine path: destroy a session whose guard dropped during a
+    /// panic unwind. The session never rejoins the freelist.
+    fn quarantine(&self, session: SearchSession) {
+        drop(session);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -151,6 +181,8 @@ pub struct PoolStats {
     pub idle_sessions: usize,
     /// Guards currently checked out.
     pub in_flight: usize,
+    /// Sessions destroyed because a panic unwound through their guard.
+    pub quarantined: u64,
 }
 
 /// RAII guard over one checked-out [`SearchSession`].
@@ -190,7 +222,14 @@ impl DerefMut for PooledSession<'_> {
 impl Drop for PooledSession<'_> {
     fn drop(&mut self) {
         if let Some(session) = self.session.take() {
-            self.pool.checkin(self.id, session, self.queries_at_checkout);
+            if std::thread::panicking() {
+                // A panic is unwinding through this guard: the session's
+                // state stopped mid-search at an arbitrary point, so it is
+                // quarantined rather than recycled.
+                self.pool.quarantine(session);
+            } else {
+                self.pool.checkin(self.id, session, self.queries_at_checkout);
+            }
         }
     }
 }
@@ -301,6 +340,33 @@ mod tests {
         drop(a);
         drop(b);
         assert_eq!(pool.sessions_created(), 2);
+    }
+
+    #[test]
+    fn panicking_guard_quarantines_its_session() {
+        let pool = SessionPool::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.checkout();
+            panic!("simulated worker crash");
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.quarantined(), 1);
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.idle_sessions(), 0, "a quarantined session never rejoins the freelist");
+        // The pool recovers by creating a fresh session on demand.
+        let guard = pool.checkout();
+        assert_eq!(guard.session_id(), 1);
+        drop(guard);
+        assert_eq!(pool.idle_sessions(), 1);
+        assert_eq!(pool.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn clean_drops_do_not_quarantine() {
+        let pool = SessionPool::new();
+        drop(pool.checkout());
+        assert_eq!(pool.quarantined(), 0);
+        assert_eq!(pool.idle_sessions(), 1);
     }
 
     #[test]

@@ -349,15 +349,16 @@ mod tests {
         let activation = vec![0u8; g.num_nodes()];
         let act = ActivationMap::Explicit(&activation);
         let mut profile = PhaseProfile::default();
+        let budget = crate::budget::QueryBudget::unlimited().start();
+        let ctx = ExpandCtx { graph: g, act: &act, state: &state, budget: &budget };
         let out = crate::bottom_up::run(
             &Seq,
-            g,
-            &act,
-            &state,
+            &ctx,
             &mut crate::bottom_up::BottomUpScratch::default(),
             params,
             &mut profile,
-        );
+        )
+        .expect("unlimited budget");
         let answers: Vec<CentralGraph> = out
             .central_nodes
             .iter()

@@ -1,6 +1,7 @@
 //! The CLI commands: dataset generation, stats, search and conversion.
 
 use crate::args::ParsedArgs;
+use central::QueryBudget;
 use datagen::synthetic::SyntheticConfig;
 use kgraph::{GraphStats, KnowledgeGraph};
 use std::io::Write;
@@ -18,16 +19,27 @@ commands:
   search   --graph FILE --query WORDS
            [--top-k K] [--alpha A] [--backend seq|cpu|gpu|dyn]
            [--threads T] [--json true] [--trace true] [--dot true]
-           [--cache-capacity BYTES]        run a top-k keyword search
+           [--cache-capacity BYTES]
+           [--timeout-ms MS] [--max-expansions N]
+                                           run a top-k keyword search
+                                           (a query past its deadline or
+                                           expansion cap aborts with a
+                                           structured error, 0 = off)
   convert  --in FILE --out FILE           convert between .tsv and .bin
   serve    --graph FILE [--port P] [--backend B] [--top-k K]
            [--workers W] [--max-requests N] [--cache-capacity BYTES]
+           [--timeout-ms MS] [--max-expansions N] [--max-queue Q]
                                            TCP line-protocol query service
                                            (W concurrent connection workers;
                                            result cache sized by BYTES with
                                            k/m/g suffixes, default 64m,
-                                           0 disables; STATS line reports
-                                           hit/miss counters)
+                                           0 disables; per-query deadline
+                                           MS ms / expansion cap N, 0 = off;
+                                           at most Q connections queued,
+                                           beyond that new connections get
+                                           an `overloaded` error; STATS
+                                           line reports cache hit/miss and
+                                           shed/timeout/panic counters)
   help                                    this text
 
 graph files by extension: .tsv (line format), .bin (compact binary),
@@ -91,6 +103,8 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "trace",
         "dot",
         "cache-capacity",
+        "timeout-ms",
+        "max-expansions",
     ])?;
     let graph = read_graph(args.required("graph")?)?;
     let query = args.required("query")?.to_string();
@@ -98,6 +112,15 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let backend = Backend::parse(args.optional("backend").unwrap_or("cpu"), threads)?;
     let as_json: bool = args.get_or("json", false)?;
     let as_dot: bool = args.get_or("dot", false)?;
+    let timeout_ms: u64 = args.get_or("timeout-ms", 0)?;
+    let max_expansions: u64 = args.get_or("max-expansions", 0)?;
+    let mut budget = QueryBudget::unlimited();
+    if timeout_ms > 0 {
+        budget = budget.with_timeout(std::time::Duration::from_millis(timeout_ms));
+    }
+    if max_expansions > 0 {
+        budget = budget.with_max_expansions(max_expansions);
+    }
 
     let mut ws = WikiSearch::build_with(graph, backend);
     let mut params = ws.params().clone();
@@ -109,7 +132,9 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     // unless asked for (useful for scripted multi-search shells).
     ws.set_cache_capacity(args.get_bytes("cache-capacity", 0)?);
 
-    let result = ws.search(&query);
+    let result = ws
+        .try_search(&query, &budget)
+        .map_err(|e| format!("query aborted ({}): {e}", e.kind()))?;
     if as_dot {
         return match result.answers.first() {
             Some(best) => {
@@ -332,6 +357,61 @@ mod tests {
             run_cli(&format!("search --graph {tsv} --query learning --backend seq --dot true"));
         assert_eq!(code, 0, "{out}");
         assert!(out.starts_with("graph answer {"), "{out}");
+        let _ = std::fs::remove_file(tsv);
+    }
+
+    #[test]
+    fn budget_flags_abort_with_structured_errors() {
+        let tsv = tmp("kb7.tsv");
+        let mut b = kgraph::GraphBuilder::new();
+        let x = b.add_node("x", "xml");
+        let q = b.add_node("q", "query language");
+        let s = b.add_node("s", "sql");
+        let r = b.add_node("r", "rdf");
+        b.add_edge(x, q, "rel");
+        b.add_edge(s, q, "rel");
+        b.add_edge(r, q, "rel");
+        std::fs::write(&tsv, kgraph::io::to_tsv(&b.build())).unwrap();
+
+        let run_argv = |argv: &[&str]| {
+            let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            let code = crate::run(&argv, &mut out);
+            (code, String::from_utf8(out).unwrap())
+        };
+
+        // A starved expansion cap aborts with a structured error and a
+        // nonzero exit instead of a truncated answer.
+        let (code, out) = run_argv(&[
+            "search",
+            "--graph",
+            &tsv,
+            "--query",
+            "xml sql rdf",
+            "--backend",
+            "seq",
+            "--max-expansions",
+            "1",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("budget_exhausted"), "{out}");
+
+        // The same query under generous limits completes normally.
+        let (code, out) = run_argv(&[
+            "search",
+            "--graph",
+            &tsv,
+            "--query",
+            "xml sql rdf",
+            "--backend",
+            "seq",
+            "--timeout-ms",
+            "60000",
+            "--max-expansions",
+            "1000000",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("answers in"), "{out}");
         let _ = std::fs::remove_file(tsv);
     }
 

@@ -6,43 +6,106 @@
 //! * `QUERY <keywords…>` → one JSON line with the ranked answers;
 //! * `PING` → `PONG`;
 //! * `STATS` → one JSON line with serving counters: queries served, the
-//!   session-pool snapshot, and the result-cache snapshot (`null` when
-//!   the cache is disabled). Diagnostic — does not count toward
-//!   `--max-requests`;
+//!   fault/overload counters (`shed`, `timeouts`, `budget_exhausted`,
+//!   `panics`, `oversized`), the session-pool snapshot, and the
+//!   result-cache snapshot (`null` when the cache is disabled).
+//!   Diagnostic — does not count toward `--max-requests`;
 //! * `QUIT` → closes the connection;
-//! * anything else — an unknown command, an empty line, or a `QUERY`
-//!   with no keywords — is answered with a one-line JSON error
+//! * anything else — an unknown command, an empty line, a `QUERY` with no
+//!   keywords, a line that is not UTF-8, or a line longer than
+//!   [`MAX_LINE`] bytes — is answered with a one-line JSON error
 //!   (`{"error": …}`) on the same connection; no request is ever
-//!   silently dropped.
+//!   silently dropped and no byte sequence crashes the server.
+//!
+//! ## Fault isolation
+//!
+//! The serving path is built so that one misbehaving client cannot take
+//! the service down or corrupt another client's answers:
+//!
+//! * **Deadlines and budgets** — `--timeout-ms` / `--max-expansions`
+//!   bound every query via a [`QueryBudget`]; a query that trips its
+//!   budget gets a structured JSON error (`deadline_exceeded` /
+//!   `budget_exhausted`) and its warm session is reused as usual.
+//! * **Panic quarantine** — query execution runs under `catch_unwind`;
+//!   a panicking query answers `{"error":"internal"}`, its session is
+//!   quarantined by the pool (never recycled), and the worker thread
+//!   lives on to serve the next connection.
+//! * **Load shedding** — the acceptor hands connections to workers over
+//!   a *bounded* queue (`--max-queue`, default 64). When every worker is
+//!   busy and the queue is full, a new connection is answered
+//!   immediately with `{"error":"overloaded"}` and closed, instead of
+//!   queueing without bound.
+//! * **Bounded request lines** — request lines are read byte-wise with a
+//!   hard [`MAX_LINE`] cap; an over-long line is answered with an error
+//!   and discarded up to its newline, so the connection stays usable and
+//!   memory stays bounded.
 //!
 //! Connections are handled by a bounded worker pool (`--workers N`,
-//! default 4): the acceptor hands each connection to an idle worker, and
-//! all workers share one `Arc<WikiSearch>`, so inter-query concurrency
-//! composes with the intra-query parallelism of the engine backends —
-//! each in-flight query checks a warm session out of the engine's
-//! session pool instead of contending on a process-wide lock.
+//! default 4): all workers share one `Arc<WikiSearch>`, so inter-query
+//! concurrency composes with the intra-query parallelism of the engine
+//! backends — each in-flight query checks a warm session out of the
+//! engine's session pool instead of contending on a process-wide lock.
 //! `--max-requests N` makes the server drain gracefully after `N`
-//! queries (in-flight connections finish, then the listener closes),
-//! which is how the tests and demo scripts drive it.
+//! *successful* queries (in-flight connections finish, then the listener
+//! closes), which is how the tests and demo scripts drive it.
 //!
 //! A sharded result cache (see `central::cache`) sits in front of the
 //! session pool; `--cache-capacity BYTES` sizes it (suffixes `k`/`m`/`g`
 //! accepted, default 64m, `0` disables). Repeated queries — including
 //! reorderings, case changes, and stopword variations of one another —
-//! are answered from the cache without touching a session.
+//! are answered from the cache without touching a session. Failed
+//! queries never populate it.
 
 use crate::args::ParsedArgs;
 use crate::commands::read_graph;
+use central::{QueryBudget, SearchError};
+use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::Arc;
 use std::time::Duration;
 use wikisearch_engine::{Backend, WikiSearch};
 
 /// How often a blocked worker wakes up to check for drain.
 const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// Hard cap on one request line (bytes, newline excluded). Long enough
+/// for any sane keyword query; short enough that a hostile client cannot
+/// grow a worker's buffer without bound.
+pub(crate) const MAX_LINE: usize = 64 * 1024;
+
+/// Serving counters beyond the pool/cache snapshots, all surfaced on the
+/// `STATS` line.
+#[derive(Default)]
+struct ServeCounters {
+    /// Successful query responses (what `--max-requests` counts).
+    served: AtomicUsize,
+    /// Connections refused with `overloaded` because the worker queue was
+    /// full.
+    shed: AtomicU64,
+    /// Queries answered with `deadline_exceeded`.
+    timeouts: AtomicU64,
+    /// Queries answered with `budget_exhausted`.
+    budget_exhausted: AtomicU64,
+    /// Queries that panicked (their sessions were quarantined).
+    panics: AtomicU64,
+    /// Request lines rejected for exceeding [`MAX_LINE`].
+    oversized: AtomicU64,
+}
+
+/// Everything a worker needs to serve connections, shared by reference
+/// across the pool.
+struct Shared<'a> {
+    ws: &'a WikiSearch,
+    counters: &'a ServeCounters,
+    budget: QueryBudget,
+    max_requests: usize,
+    draining: &'a AtomicBool,
+    addr: SocketAddr,
+}
 
 /// Run the server until `max_requests` queries have been answered (or
 /// forever when it is 0).
@@ -56,14 +119,30 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "max-requests",
         "workers",
         "cache-capacity",
+        "timeout-ms",
+        "max-expansions",
+        "max-queue",
     ])?;
     let port: u16 = args.get_or("port", 7878)?;
     let threads: usize = args.get_or("threads", 4)?;
     let max_requests: usize = args.get_or("max-requests", 0)?;
     let workers: usize = args.get_or("workers", 4)?;
     let cache_capacity = args.get_bytes("cache-capacity", 64 << 20)?;
+    let timeout_ms: u64 = args.get_or("timeout-ms", 0)?;
+    let max_expansions: u64 = args.get_or("max-expansions", 0)?;
+    let max_queue: usize = args.get_or("max-queue", 64)?;
     if workers == 0 {
         return Err("--workers must be >= 1".into());
+    }
+    if max_queue == 0 {
+        return Err("--max-queue must be >= 1".into());
+    }
+    let mut budget = QueryBudget::unlimited();
+    if timeout_ms > 0 {
+        budget = budget.with_timeout(Duration::from_millis(timeout_ms));
+    }
+    if max_expansions > 0 {
+        budget = budget.with_max_expansions(max_expansions);
     }
     let backend = Backend::parse(args.optional("backend").unwrap_or("cpu"), threads)?;
     let graph = read_graph(args.required("graph")?)?;
@@ -85,21 +164,30 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
 
-    let served = AtomicUsize::new(0);
+    let counters = ServeCounters::default();
     let draining = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let shared =
+        Shared { ws: &ws, counters: &counters, budget, max_requests, draining: &draining, addr };
+    // Bounded handoff queue: when it is full, new connections are shed
+    // instead of queueing without limit.
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(max_queue);
+    // parking_lot::Mutex does not poison: a worker that panics while
+    // dequeuing (it cannot — but the type guarantees it) would not wedge
+    // the other workers' receiver access.
     let rx = Mutex::new(rx);
     let mut accept_error = None;
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let shared = &shared;
+            let rx = &rx;
+            scope.spawn(move || loop {
                 // Hold the receiver lock only while dequeuing, so idle
                 // workers take turns; a closed channel means the acceptor
                 // is done and the queue is drained.
-                let next = rx.lock().expect("receiver lock").recv();
+                let next = rx.lock().recv();
                 let Ok(stream) = next else { break };
-                handle_connection(stream, &ws, &served, max_requests, &draining, addr);
+                handle_connection(stream, shared);
             });
         }
         for stream in listener.incoming() {
@@ -113,8 +201,10 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
                     break;
                 }
             };
-            if tx.send(stream).is_err() {
-                break;
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => shed(stream, &counters),
+                Err(TrySendError::Disconnected(_)) => break,
             }
         }
         // Closing the channel lets workers finish queued connections and
@@ -125,22 +215,112 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     if let Some(e) = accept_error {
         return Err(e);
     }
-    writeln!(out, "served {} queries, shutting down", served.load(Ordering::SeqCst))
+    writeln!(out, "served {} queries, shutting down", counters.served.load(Ordering::SeqCst))
         .map_err(|e| e.to_string())
 }
 
+/// Refuse one connection because every worker is busy and the queue is
+/// full: one `overloaded` line, then close. The client learns
+/// immediately instead of waiting in an unbounded backlog.
+fn shed(mut stream: TcpStream, counters: &ServeCounters) {
+    counters.shed.fetch_add(1, Ordering::SeqCst);
+    let _ =
+        writeln!(stream, r#"{{"error":"overloaded","detail":"request queue full, retry later"}}"#);
+}
+
+/// How one attempt to read a request line ended.
+enum LineRead {
+    /// A complete line (newline stripped), within the size cap.
+    Line(Vec<u8>),
+    /// The line exceeded [`MAX_LINE`]; its remainder was discarded up to
+    /// the newline, so the connection is resynchronized.
+    Oversized,
+    /// Clean EOF, drain, or a connection error — stop serving this peer.
+    Closed,
+}
+
+/// Read one `\n`-terminated request line, byte-wise and bounded.
+///
+/// Reads through the connection's [`DRAIN_POLL`] timeout (so a worker
+/// notices a drain while its client idles) and enforces [`MAX_LINE`]
+/// *during* accumulation — a client streaming an endless line costs a
+/// bounded buffer, not memory proportional to what it sends.
+fn read_request_line(reader: &mut BufReader<TcpStream>, draining: &AtomicBool) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok([]) => {
+                // EOF: a non-empty unterminated tail still gets answered.
+                return if buf.is_empty() {
+                    LineRead::Closed
+                } else {
+                    LineRead::Line(buf)
+                };
+            }
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if draining.load(Ordering::SeqCst) {
+                    return LineRead::Closed;
+                }
+                continue;
+            }
+            Err(_) => return LineRead::Closed,
+        };
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                if buf.len() > MAX_LINE {
+                    return LineRead::Oversized;
+                }
+                return LineRead::Line(buf);
+            }
+            None => {
+                let n = available.len();
+                buf.extend_from_slice(available);
+                reader.consume(n);
+                if buf.len() > MAX_LINE {
+                    return discard_rest_of_line(reader, draining);
+                }
+            }
+        }
+    }
+}
+
+/// The line already blew the cap: drop bytes until its newline so the
+/// next request starts clean. Returns [`LineRead::Oversized`] once
+/// resynchronized, [`LineRead::Closed`] if the peer goes away first.
+fn discard_rest_of_line(reader: &mut BufReader<TcpStream>, draining: &AtomicBool) -> LineRead {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok([]) => return LineRead::Closed,
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if draining.load(Ordering::SeqCst) {
+                    return LineRead::Closed;
+                }
+                continue;
+            }
+            Err(_) => return LineRead::Closed,
+        };
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return LineRead::Oversized;
+            }
+            None => {
+                let n = available.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
 /// Serve one connection until the peer quits, hangs up, or the server
-/// drains. Increments `served` per answered query; the query that
+/// drains. Increments `served` per successful query; the query that
 /// reaches `max_requests` flips `draining` and dials the listener once
 /// to wake the blocked acceptor.
-fn handle_connection(
-    stream: TcpStream,
-    ws: &WikiSearch,
-    served: &AtomicUsize,
-    max_requests: usize,
-    draining: &AtomicBool,
-    addr: SocketAddr,
-) {
+fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
     // A finite read timeout lets the worker notice a drain even while its
     // client sits idle on an open connection.
     let _ = stream.set_read_timeout(Some(DRAIN_POLL));
@@ -149,22 +329,27 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(peer);
     let mut writer = stream;
-    let mut line = String::new();
     loop {
-        // `read_line` appends, so a line split across timeout wakeups
-        // accumulates until its newline arrives; `line` is only cleared
-        // after a complete request was handled.
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {}
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if draining.load(Ordering::SeqCst) {
+        let raw = match read_request_line(&mut reader, shared.draining) {
+            LineRead::Line(raw) => raw,
+            LineRead::Oversized => {
+                shared.counters.oversized.fetch_add(1, Ordering::SeqCst);
+                let doc = format!(
+                    r#"{{"error":"oversized line","detail":"request lines are capped at {MAX_LINE} bytes"}}"#
+                );
+                if writeln!(writer, "{doc}").is_err() {
                     break;
                 }
                 continue;
             }
-            Err(_) => break,
-        }
+            LineRead::Closed => break,
+        };
+        let Ok(line) = String::from_utf8(raw) else {
+            if writeln!(writer, r#"{{"error":"invalid utf-8"}}"#).is_err() {
+                break;
+            }
+            continue;
+        };
         let request = line.trim();
         if request.eq_ignore_ascii_case("QUIT") {
             break;
@@ -175,7 +360,7 @@ fn handle_connection(
                 break;
             }
         } else if request.eq_ignore_ascii_case("STATS") {
-            let doc = stats_snapshot(ws, served.load(Ordering::SeqCst));
+            let doc = stats_snapshot(shared.ws, shared.counters);
             if writeln!(writer, "{doc}").is_err() {
                 break;
             }
@@ -185,14 +370,20 @@ fn handle_connection(
                     break;
                 }
             } else {
-                let doc = answer_query(ws, keywords);
-                let n = served.fetch_add(1, Ordering::SeqCst) + 1;
-                if max_requests > 0 && n >= max_requests && !draining.swap(true, Ordering::SeqCst) {
-                    // Wake the acceptor blocked in accept() so it can
-                    // observe the drain; the throwaway connection is
-                    // dropped by whichever worker receives it.
-                    let _ = TcpStream::connect(addr);
-                    done = true;
+                let (doc, succeeded) =
+                    answer_query(shared.ws, keywords, &shared.budget, shared.counters);
+                if succeeded {
+                    let n = shared.counters.served.fetch_add(1, Ordering::SeqCst) + 1;
+                    if shared.max_requests > 0
+                        && n >= shared.max_requests
+                        && !shared.draining.swap(true, Ordering::SeqCst)
+                    {
+                        // Wake the acceptor blocked in accept() so it can
+                        // observe the drain; the throwaway connection is
+                        // dropped by whichever worker receives it.
+                        let _ = TcpStream::connect(shared.addr);
+                        done = true;
+                    }
                 }
                 if writeln!(writer, "{doc}").is_err() {
                     break;
@@ -204,7 +395,6 @@ fn handle_connection(
         if done {
             break;
         }
-        line.clear();
     }
 }
 
@@ -219,19 +409,65 @@ fn query_keywords(request: &str) -> Option<&str> {
     Some(rest.trim())
 }
 
-/// One `STATS` response line: queries served so far plus live pool and
-/// cache counters. `cache` is JSON `null` when `--cache-capacity 0`.
-fn stats_snapshot(ws: &WikiSearch, served: usize) -> serde_json::Value {
+/// One `STATS` response line: serving counters plus live pool and cache
+/// snapshots. `cache` is JSON `null` when `--cache-capacity 0`.
+fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Value {
     serde_json::json!({
-        "served": served,
+        "served": counters.served.load(Ordering::SeqCst),
+        "shed": counters.shed.load(Ordering::SeqCst),
+        "timeouts": counters.timeouts.load(Ordering::SeqCst),
+        "budget_exhausted": counters.budget_exhausted.load(Ordering::SeqCst),
+        "panics": counters.panics.load(Ordering::SeqCst),
+        "oversized": counters.oversized.load(Ordering::SeqCst),
         "pool": ws.session_pool().stats(),
         "cache": ws.cache_stats(),
     })
 }
 
-/// One response line for one query.
-fn answer_query(ws: &WikiSearch, q: &str) -> serde_json::Value {
-    let result = ws.search(q);
+/// One response line for one query, under the server's budget and panic
+/// isolation. Returns the JSON document and whether the query succeeded
+/// (only successes count toward `--max-requests`).
+fn answer_query(
+    ws: &WikiSearch,
+    q: &str,
+    budget: &QueryBudget,
+    counters: &ServeCounters,
+) -> (serde_json::Value, bool) {
+    // Panic isolation boundary: a panicking search unwinds through the
+    // pooled session's guard (quarantining the session) and is caught
+    // here, so the worker and its other clients are unaffected.
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| ws.try_search(q, budget)));
+    let result = match result {
+        Ok(result) => result,
+        Err(_panic) => {
+            counters.panics.fetch_add(1, Ordering::SeqCst);
+            let doc = serde_json::json!({
+                "error": "internal",
+                "detail": "query execution panicked; its session was quarantined",
+                "query": q,
+            });
+            return (doc, false);
+        }
+    };
+    let result = match result {
+        Ok(result) => result,
+        Err(e) => {
+            match e {
+                SearchError::DeadlineExceeded { .. } => {
+                    counters.timeouts.fetch_add(1, Ordering::SeqCst)
+                }
+                SearchError::BudgetExhausted { .. } => {
+                    counters.budget_exhausted.fetch_add(1, Ordering::SeqCst)
+                }
+            };
+            let doc = serde_json::json!({
+                "error": e.kind(),
+                "detail": e.to_string(),
+                "query": q,
+            });
+            return (doc, false);
+        }
+    };
     let answers: Vec<serde_json::Value> = result
         .answers
         .iter()
@@ -245,12 +481,13 @@ fn answer_query(ws: &WikiSearch, q: &str) -> serde_json::Value {
             })
         })
         .collect();
-    serde_json::json!({
+    let doc = serde_json::json!({
         "query": q,
         "answers": answers,
         "unmatched": result.query.unmatched,
         "ms": result.profile.total().as_secs_f64() * 1e3,
-    })
+    });
+    (doc, true)
 }
 
 #[cfg(test)]
@@ -397,6 +634,18 @@ mod tests {
     }
 
     #[test]
+    fn rejects_zero_queue() {
+        let argv: Vec<String> = "serve --graph kb.tsv --max-queue 0"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let args = parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let err = serve(&args, &mut out).unwrap_err();
+        assert!(err.contains("--max-queue"), "{err}");
+    }
+
+    #[test]
     fn query_keyword_extraction_is_strict() {
         assert_eq!(query_keywords("QUERY xml sql"), Some("xml sql"));
         assert_eq!(query_keywords("QUERY"), Some(""));
@@ -404,5 +653,79 @@ mod tests {
         assert_eq!(query_keywords("QUERYX xml"), None);
         assert_eq!(query_keywords("PING"), None);
         assert_eq!(query_keywords(""), None);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_and_the_connection_resyncs() {
+        let path = tiny_graph_file("oversized");
+        let port = free_port();
+        let argv: Vec<String> =
+            format!("serve --graph {path} --port {port} --backend seq --max-requests 1")
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let args = parse(&argv).unwrap();
+        let server = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            serve(&args, &mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        });
+
+        let mut stream = connect(port);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+
+        // A 3 × MAX_LINE query line: rejected with one error line, and the
+        // bytes past the cap are discarded without desynchronizing.
+        let huge = format!("QUERY {}\n", "x".repeat(3 * MAX_LINE));
+        stream.write_all(huge.as_bytes()).unwrap();
+        reader.read_line(&mut line).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc["error"], "oversized line", "{line}");
+
+        // Invalid UTF-8 on the same connection: one structured error line.
+        line.clear();
+        stream.write_all(b"QUERY \xff\xfe\x00garbage\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc["error"], "invalid utf-8", "{line}");
+
+        // The connection still serves real queries afterwards.
+        line.clear();
+        writeln!(stream, "STATS").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc["oversized"], 1u64, "{line}");
+
+        line.clear();
+        writeln!(stream, "QUERY xml sql").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("answers"), "{line}");
+        writeln!(stream, "QUIT").unwrap();
+
+        let log = server.join().unwrap();
+        assert!(log.contains("served 1 queries"), "{log}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn deadline_zero_timeout_yields_structured_error() {
+        // --timeout-ms cannot be 0 (that means "off"), so drive an
+        // always-expiring deadline through answer_query directly.
+        let mut b = kgraph::GraphBuilder::new();
+        let x = b.add_node("x", "xml");
+        let s = b.add_node("s", "sql");
+        b.add_edge(x, s, "rel");
+        let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
+        let counters = ServeCounters::default();
+        let budget = QueryBudget::unlimited().with_timeout(Duration::ZERO);
+        let (doc, ok) = answer_query(&ws, "xml sql", &budget, &counters);
+        assert!(!ok);
+        assert_eq!(doc["error"], "deadline_exceeded");
+        assert_eq!(counters.timeouts.load(Ordering::SeqCst), 1);
+        // And an unlimited budget still answers.
+        let (doc, ok) = answer_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters);
+        assert!(ok, "{doc}");
+        assert_eq!(counters.served.load(Ordering::SeqCst), 0, "served is counted by the caller");
     }
 }

@@ -31,7 +31,10 @@ use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SearchStats,
     SeqEngine,
 };
-use central::{CacheStats, CentralGraph, PhaseProfile, QueryKey, SearchParams, SessionPool};
+use central::{
+    CacheStats, CentralGraph, PhaseProfile, QueryBudget, QueryKey, SearchError, SearchParams,
+    SessionPool,
+};
 use kgraph::{estimate_average_distance, KnowledgeGraph};
 use std::sync::Arc;
 use textindex::{InvertedIndex, ParsedQuery};
@@ -266,6 +269,38 @@ impl WikiSearch {
     /// concurrent ones. Queries that normalize to no keywords bypass the
     /// cache entirely and keep the engine's empty-query behaviour.
     pub fn search_with_params(&self, raw_query: &str, params: &SearchParams) -> WikiSearchResult {
+        self.try_search_with_params(raw_query, params, &QueryBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// Budgeted search with the engine's default parameters — see
+    /// [`WikiSearch::try_search_with_params`].
+    pub fn try_search(
+        &self,
+        raw_query: &str,
+        budget: &QueryBudget,
+    ) -> Result<WikiSearchResult, SearchError> {
+        self.try_search_with_params(raw_query, &self.params, budget)
+    }
+
+    /// Budgeted search with explicit per-request parameters. This is the
+    /// fallible spine every search path routes through.
+    ///
+    /// A tripped budget returns `Err` with *no* partial answers, and a
+    /// failed search **never populates the result cache** — a later retry
+    /// of the same query (with a laxer budget or none) computes the full
+    /// answer and caches that. Cache *hits* are served before the budget
+    /// is even armed: an answer that is already in memory costs no search
+    /// work, so it is never charged as if it did. The pooled session a
+    /// failed search used checks in normally and is reused — epoch
+    /// stamping re-arms its state on the next query (only a *panic*
+    /// quarantines a session; see [`central::pool`]).
+    pub fn try_search_with_params(
+        &self,
+        raw_query: &str,
+        params: &SearchParams,
+        budget: &QueryBudget,
+    ) -> Result<WikiSearchResult, SearchError> {
         let query = ParsedQuery::parse(&self.index, raw_query);
         let kwf = query.avg_keyword_frequency();
         let key = match &self.cache {
@@ -273,13 +308,13 @@ impl WikiSearch {
                 let key = QueryKey::new(textindex::normalize_query(raw_query), params);
                 if let Some(entry) = cache.get(&key) {
                     if let Some(answers) = reorient_answers(&entry, &query) {
-                        return WikiSearchResult {
+                        return Ok(WikiSearchResult {
                             query,
                             answers,
                             profile: entry.profile,
                             kwf,
                             stats: entry.stats.clone(),
-                        };
+                        });
                     }
                 }
                 Some(key)
@@ -288,7 +323,8 @@ impl WikiSearch {
         };
         let SearchOutcome { answers, profile, stats } = {
             let mut session = self.sessions.checkout();
-            self.backend.search_session(&mut session, &self.graph, &query, params)
+            self.backend
+                .try_search_session(&mut session, &self.graph, &query, params, budget)?
         };
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             let entry = CachedSearch {
@@ -300,7 +336,7 @@ impl WikiSearch {
             let bytes = key.approx_bytes() + approx_entry_bytes(&entry);
             cache.insert(key, Arc::new(entry), bytes);
         }
-        WikiSearchResult { query, answers, profile, kwf, stats }
+        Ok(WikiSearchResult { query, answers, profile, kwf, stats })
     }
 
     /// Backwards-compatible alias of [`WikiSearch::search_with_params`].
@@ -670,6 +706,60 @@ mod tests {
         ws.search("xml sql");
         ws.search("xml sql");
         assert_eq!(ws.session_queries_run(), 2, "every query computes");
+    }
+
+    #[test]
+    fn failed_searches_never_populate_the_cache() {
+        use std::time::Duration;
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        // An already-expired deadline fails deterministically before any
+        // search work.
+        let expired = QueryBudget::unlimited().with_timeout(Duration::ZERO);
+        let err = ws.try_search("xml sql rdf", &expired).unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        let stats = ws.cache_stats().unwrap();
+        assert_eq!(stats.entries, 0, "a failed search must not cache anything");
+        assert_eq!(stats.lookups, 1, "the miss was recorded before the search failed");
+        // A retry without the deadline computes the full answer and caches
+        // it — the timeout left no poisoned or partial entry behind.
+        let full = ws.try_search("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+        assert!(!full.answers.is_empty());
+        assert_eq!(ws.cache_stats().unwrap().entries, 1);
+        let hit = ws.search("xml sql rdf");
+        assert_eq!(ws.cache_stats().unwrap().hits, 1, "the retry's answer is servable from cache");
+        assert_eq!(digest(&ws, &hit), digest(&ws, &full));
+    }
+
+    #[test]
+    fn failed_searches_keep_the_session_reusable() {
+        use std::time::Duration;
+        let ws = small_engine(Backend::Sequential);
+        let expired = QueryBudget::unlimited().with_timeout(Duration::ZERO);
+        assert!(ws.try_search("xml sql rdf", &expired).is_err());
+        let pool = ws.session_pool();
+        assert_eq!(pool.quarantined(), 0, "a budget failure is not a panic");
+        assert_eq!(pool.idle_sessions(), 1, "the session checked back in");
+        let ok = ws.try_search("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+        assert!(!ok.answers.is_empty());
+        assert_eq!(pool.sessions_created(), 1, "the same session served the retry");
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_from_every_backend() {
+        for backend in [
+            Backend::Sequential,
+            Backend::ParCpu(2),
+            Backend::GpuStyle(2),
+            Backend::DynPar(2),
+        ] {
+            let ws = small_engine(backend);
+            let starved = QueryBudget::unlimited().with_max_expansions(1);
+            let err = ws.try_search("xml sql rdf", &starved).unwrap_err();
+            assert_eq!(err.kind(), "budget_exhausted", "{backend:?}");
+            let ok = ws.try_search("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+            assert!(!ok.answers.is_empty(), "{backend:?}");
+        }
     }
 
     #[test]

@@ -106,6 +106,16 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     }
 }
 
+impl<T: Send> FromParallelIterator<Option<T>> for Option<Vec<T>> {
+    /// Short-circuiting collect, as in upstream rayon: `None` as soon as
+    /// any item is `None`, else `Some(Vec)` in index order. (The shim
+    /// still produces every item; only the gathering short-circuits.)
+    fn from_par_iter<P: ParallelIterator<Item = Option<T>>>(iter: P) -> Self {
+        let items: Vec<Option<T>> = Vec::from_par_iter(iter);
+        items.into_iter().collect()
+    }
+}
+
 /// Parallel iterator over `&[T]`.
 pub struct SliceIter<'a, T> {
     slice: &'a [T],
