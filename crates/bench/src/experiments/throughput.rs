@@ -17,6 +17,7 @@
 //! parallelism, the `serve --workers N` configuration).
 
 use crate::{client_sweep, queries_per_point};
+use central::{HistogramSnapshot, LogHistogram};
 use datagen::synthetic::SyntheticConfig;
 use datagen::QueryWorkload;
 use eval::runner::ExperimentSink;
@@ -34,28 +35,43 @@ struct Point {
     wall_ms: f64,
     qps: f64,
     sessions: usize,
+    /// Per-query latency distribution across all clients of the volley.
+    latency_us: HistogramSnapshot,
 }
 
 /// Run `clients` threads × `per_client` queries against `ws`, returning
-/// the wall-clock of the whole volley.
-fn volley(ws: &Arc<WikiSearch>, queries: &[String], clients: usize, per_client: usize) -> f64 {
+/// the wall-clock of the whole volley and the per-query latency
+/// histogram (every client records into one shared lock-free
+/// `LogHistogram`, so tail percentiles cover the whole volley, not one
+/// lucky thread).
+fn volley(
+    ws: &Arc<WikiSearch>,
+    queries: &[String],
+    clients: usize,
+    per_client: usize,
+) -> (f64, HistogramSnapshot) {
+    let latency = LogHistogram::new();
     let t = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..clients {
             let ws = Arc::clone(ws);
+            let latency = &latency;
             scope.spawn(move || {
                 // Each client walks the shared query list from its own
                 // offset, so concurrent clients are rarely on the same
                 // query at the same moment.
                 for j in 0..per_client {
                     let q = &queries[(client + j) % queries.len()];
+                    let started = Instant::now();
                     let result = ws.search(q);
+                    let us = started.elapsed().as_micros();
+                    latency.record(u64::try_from(us).unwrap_or(u64::MAX));
                     std::hint::black_box(result.answers.len());
                 }
             });
         }
     });
-    t.elapsed().as_secs_f64()
+    (t.elapsed().as_secs_f64(), latency.snapshot())
 }
 
 /// Run the throughput sweep.
@@ -84,7 +100,7 @@ pub fn run() -> serde_json::Value {
         let max_clients = sweep.iter().copied().max().unwrap_or(1);
         volley(&ws, &queries, max_clients, 2);
         for &clients in &sweep {
-            let wall = volley(&ws, &queries, clients, per_client);
+            let (wall, latency_us) = volley(&ws, &queries, clients, per_client);
             let total_queries = clients * per_client;
             points.push(Point {
                 backend: backend_name,
@@ -93,12 +109,16 @@ pub fn run() -> serde_json::Value {
                 wall_ms: wall * 1e3,
                 qps: total_queries as f64 / wall,
                 sessions: ws.session_pool().sessions_created(),
+                latency_us,
             });
         }
     }
 
-    let mut table =
-        Table::new(vec!["backend", "clients", "queries", "wall(ms)", "qps", "sessions"]);
+    let mut table = Table::new(vec![
+        "backend", "clients", "queries", "wall(ms)", "qps", "p50(ms)", "p95(ms)", "p99(ms)",
+        "sessions",
+    ]);
+    let ms = |us: u64| us as f64 / 1e3;
     for p in &points {
         table.row(vec![
             p.backend.to_string(),
@@ -106,6 +126,9 @@ pub fn run() -> serde_json::Value {
             p.total_queries.to_string(),
             format!("{:.1}", p.wall_ms),
             format!("{:.1}", p.qps),
+            format!("{:.2}", ms(p.latency_us.percentile(0.50))),
+            format!("{:.2}", ms(p.latency_us.percentile(0.95))),
+            format!("{:.2}", ms(p.latency_us.percentile(0.99))),
             p.sessions.to_string(),
         ]);
     }
@@ -134,6 +157,10 @@ pub fn run() -> serde_json::Value {
                     "wall_ms": p.wall_ms,
                     "qps": p.qps,
                     "sessions_created": p.sessions,
+                    "latency_p50_ms": ms(p.latency_us.percentile(0.50)),
+                    "latency_p95_ms": ms(p.latency_us.percentile(0.95)),
+                    "latency_p99_ms": ms(p.latency_us.percentile(0.99)),
+                    "latency_mean_ms": p.latency_us.mean() / 1e3,
                 })
             })
             .collect::<Vec<_>>(),

@@ -15,6 +15,7 @@ use crate::budget::BudgetTracker;
 use crate::error::SearchError;
 use crate::profile::PhaseProfile;
 use crate::state::SearchState;
+use crate::trace::TraceLevelRecord;
 use crate::{model::INFINITE_LEVEL, SearchParams};
 use kgraph::{KnowledgeGraph, NodeId};
 use std::time::Instant;
@@ -236,6 +237,9 @@ pub struct BottomUpOutcome {
     pub peak_frontier: usize,
     /// One entry per processed level (frontier size, identifications).
     pub trace: Vec<LevelTrace>,
+    /// Rich per-level records, collected only when the query asked for
+    /// tracing (`params.trace`); `None` on the untraced path.
+    pub records: Option<Vec<TraceLevelRecord>>,
 }
 
 /// Run the bottom-up stage with the given strategy. `ctx.state` must be
@@ -257,6 +261,7 @@ pub fn run<S: ExecStrategy>(
     let mut central_nodes: Vec<(NodeId, u8)> = Vec::new();
     let mut peak_frontier = 0usize;
     let mut trace: Vec<LevelTrace> = Vec::new();
+    let mut records: Option<Vec<TraceLevelRecord>> = params.trace.enabled().then(Vec::new);
     let mut level: u8 = 0;
     let terminated = loop {
         budget.checkpoint()?;
@@ -272,6 +277,9 @@ pub fn run<S: ExecStrategy>(
         strategy.identify(state, frontiers, level, newly);
         profile.identify += t.elapsed();
         trace.push(LevelTrace { level, frontier: frontiers.len(), identified: newly.len() });
+        if let Some(recs) = records.as_mut() {
+            recs.push(observe_level(ctx, frontiers, newly, level));
+        }
         central_nodes.extend(newly.iter().map(|&f| (NodeId(f), level)));
         if central_nodes.len() >= params.top_k {
             break TerminationReason::EnoughCentralNodes;
@@ -280,12 +288,63 @@ pub fn run<S: ExecStrategy>(
             break TerminationReason::LevelCap;
         }
 
+        let charged_before = if records.is_some() {
+            budget.expansions()
+        } else {
+            0
+        };
         let t = Instant::now();
         strategy.expand(ctx, frontiers, level);
         profile.expansion += t.elapsed();
+        if let Some(last) = records.as_mut().and_then(|r| r.last_mut()) {
+            last.expansions = budget.expansions() - charged_before;
+            last.budget_remaining = budget.remaining();
+        }
         level += 1;
     };
-    Ok(BottomUpOutcome { central_nodes, last_level: level, terminated, peak_frontier, trace })
+    Ok(BottomUpOutcome {
+        central_nodes,
+        last_level: level,
+        terminated,
+        peak_frontier,
+        trace,
+        records,
+    })
+}
+
+/// Build the rich trace record for one level: how many keyword-hit cells
+/// were first covered here and how many frontier nodes are still gated by
+/// their activation level. O(frontier · q) scans, paid only on traced
+/// queries.
+fn observe_level(
+    ctx: &ExpandCtx<'_>,
+    frontiers: &[u32],
+    newly: &[u32],
+    level: u8,
+) -> TraceLevelRecord {
+    let state = ctx.state;
+    let q = state.num_keywords();
+    let mut new_hits = 0usize;
+    let mut activation_deferred = 0usize;
+    for &f in frontiers {
+        for i in 0..q {
+            if state.hit(f, i) == level {
+                new_hits += 1;
+            }
+        }
+        if ctx.act.level(NodeId(f)) > level {
+            activation_deferred += 1;
+        }
+    }
+    TraceLevelRecord {
+        level: u32::from(level),
+        frontier: frontiers.len(),
+        identified: newly.len(),
+        new_hits,
+        activation_deferred,
+        expansions: 0, // filled in after this level's expansion runs
+        budget_remaining: ctx.budget.remaining(),
+    }
 }
 
 #[cfg(test)]

@@ -75,11 +75,25 @@ impl QueryBudget {
 
     /// Arm a tracker for one search starting now.
     pub fn start(&self) -> BudgetTracker {
+        self.start_with_counting(false)
+    }
+
+    /// Arm a tracker that always accounts charged units, even when the
+    /// budget itself is unlimited. Used by the tracing path, where
+    /// per-level expansion counts are part of the trace; the plain
+    /// [`QueryBudget::start`] keeps the zero-atomic fast path for every
+    /// untraced unlimited query.
+    pub fn start_counting(&self) -> BudgetTracker {
+        self.start_with_counting(true)
+    }
+
+    fn start_with_counting(&self, counting: bool) -> BudgetTracker {
         BudgetTracker {
             deadline: self.timeout.map(|t| Instant::now() + t),
             timeout: self.timeout.unwrap_or_default(),
             max_expansions: self.max_expansions.unwrap_or(u64::MAX),
             capped: self.max_expansions.is_some(),
+            counting,
             charged: AtomicU64::new(0),
             cancelled: AtomicU8::new(LIVE),
         }
@@ -97,6 +111,9 @@ pub struct BudgetTracker {
     /// Whether an expansion cap was configured (`max_expansions` holds
     /// `u64::MAX` otherwise).
     capped: bool,
+    /// Keep the expansion account even without a cap or deadline
+    /// (tracing mode); disables the zero-atomic fast path.
+    counting: bool,
     charged: AtomicU64,
     cancelled: AtomicU8,
 }
@@ -107,7 +124,7 @@ impl BudgetTracker {
     /// fast path returns before touching any atomic.
     #[inline]
     pub fn charge(&self, units: u64) {
-        if !self.capped && self.deadline.is_none() {
+        if !self.capped && !self.counting && self.deadline.is_none() {
             return;
         }
         let total = self.charged.fetch_add(units, Ordering::Relaxed) + units;
@@ -154,9 +171,22 @@ impl BudgetTracker {
         self.cancelled()
     }
 
-    /// Expansion units charged so far.
+    /// Expansion units charged so far. Always zero for an unlimited
+    /// tracker armed with [`QueryBudget::start`] (its fast path skips
+    /// accounting); use [`QueryBudget::start_counting`] when the count
+    /// itself is the point.
     pub fn expansions(&self) -> u64 {
         self.charged.load(Ordering::Relaxed)
+    }
+
+    /// Budget units remaining under the expansion cap, or `None` when
+    /// no cap was configured.
+    pub fn remaining(&self) -> Option<u64> {
+        if self.capped {
+            Some(self.max_expansions.saturating_sub(self.expansions()))
+        } else {
+            None
+        }
     }
 
     /// The error corresponding to the tripped budget, if any.
@@ -190,6 +220,18 @@ mod tests {
         assert_eq!(tracker.error(), None);
         // The fast path skips accounting entirely.
         assert_eq!(tracker.expansions(), 0);
+    }
+
+    #[test]
+    fn counting_mode_accounts_without_tripping() {
+        let tracker = QueryBudget::unlimited().start_counting();
+        tracker.charge(10_000);
+        assert_eq!(tracker.expansions(), 10_000);
+        assert!(!tracker.cancelled());
+        assert_eq!(tracker.remaining(), None, "no cap, no remaining figure");
+        let capped = QueryBudget::unlimited().with_max_expansions(100).start_counting();
+        capped.charge(40);
+        assert_eq!(capped.remaining(), Some(60));
     }
 
     #[test]

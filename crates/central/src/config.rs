@@ -43,6 +43,13 @@ pub struct SearchParams {
     /// weights via the Penalty-and-Reward mapping.
     #[serde(skip)]
     pub explicit_activation: Option<std::sync::Arc<Vec<u8>>>,
+    /// How much per-query execution trace to collect (see
+    /// [`crate::trace`]). Diagnostic only — tracing never changes
+    /// answers, so this knob is deliberately *not* part of
+    /// [`SearchParams::fingerprint`] and cached results alias across
+    /// trace settings.
+    #[serde(default)]
+    pub trace: crate::trace::TraceLevel,
 }
 
 impl Default for SearchParams {
@@ -57,6 +64,7 @@ impl Default for SearchParams {
             level_cover: true,
             max_candidates: usize::MAX,
             explicit_activation: None,
+            trace: crate::trace::TraceLevel::Off,
         }
     }
 }
@@ -89,6 +97,12 @@ impl SearchParams {
     /// Builder-style explicit activation levels (tests/ablations).
     pub fn with_explicit_activation(mut self, levels: Vec<u8>) -> Self {
         self.explicit_activation = Some(std::sync::Arc::new(levels));
+        self
+    }
+
+    /// Builder-style trace level.
+    pub fn with_trace(mut self, trace: crate::trace::TraceLevel) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -214,5 +228,12 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint(), "same levels, distinct Arcs");
         assert_ne!(a.fingerprint(), c.fingerprint());
         assert_ne!(a.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn trace_level_does_not_change_the_fingerprint() {
+        let base = SearchParams::default();
+        let traced = base.clone().with_trace(crate::trace::TraceLevel::Full);
+        assert_eq!(base.fingerprint(), traced.fingerprint());
     }
 }

@@ -111,7 +111,16 @@ impl KeywordSearchEngine for GpuStyleEngine {
         budget: &QueryBudget,
     ) -> Result<SearchOutcome, SearchError> {
         let strategy = GpuStrategy { pool: &self.pool };
-        run_matrix_search(&strategy, Some(&self.pool), session, graph, query, params, budget)
+        run_matrix_search(
+            &strategy,
+            self.name(),
+            Some(&self.pool),
+            session,
+            graph,
+            query,
+            params,
+            budget,
+        )
     }
 }
 

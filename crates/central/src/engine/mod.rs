@@ -20,6 +20,7 @@ use crate::model::CentralGraph;
 use crate::profile::PhaseProfile;
 use crate::session::SearchSession;
 use crate::top_down;
+use crate::trace::{PhaseMillis, QueryTrace};
 use crate::SearchParams;
 use kgraph::KnowledgeGraph;
 use std::time::Instant;
@@ -48,6 +49,10 @@ pub struct SearchOutcome {
     pub profile: PhaseProfile,
     /// Search statistics.
     pub stats: SearchStats,
+    /// Rich per-query execution trace, present only when the query asked
+    /// for it (`params.trace`). Boxed so the untraced path carries one
+    /// null pointer.
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 /// A top-k Central Graph keyword-search engine.
@@ -133,8 +138,10 @@ pub trait KeywordSearchEngine {
 /// Shared driver for the three matrix-based engines (sequential, CPU-Par,
 /// GPU-style): re-arm the session's state → bottom-up via `strategy` →
 /// top-down (optionally parallel over central nodes via `pool`).
+#[allow(clippy::too_many_arguments)] // internal driver; args mirror the trait call plus strategy/pool
 pub(crate) fn run_matrix_search<S: ExecStrategy>(
     strategy: &S,
+    name: &'static str,
     pool: Option<&rayon::ThreadPool>,
     session: &mut SearchSession,
     graph: &KnowledgeGraph,
@@ -145,13 +152,26 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
     if let Err(e) = params.validate() {
         panic!("invalid search parameters: {e}");
     }
-    let tracker = budget.start();
+    // Tracing arms the tracker in counting mode so per-level expansion
+    // deltas are observable even without a cap; the untraced unlimited
+    // path keeps its zero-atomic charge fast path.
+    let tracker = if params.trace.enabled() {
+        budget.start_counting()
+    } else {
+        budget.start()
+    };
     // An already-expired deadline fails deterministically before any work.
     tracker.checkpoint()?;
     #[cfg(feature = "fault-inject")]
     crate::fault::inject(query, &tracker)?;
     if query.is_empty() {
-        return Ok(SearchOutcome::default());
+        let mut out = SearchOutcome::default();
+        if params.trace.enabled() {
+            // A trace with no levels: nothing matched, no search ran.
+            out.trace =
+                Some(Box::new(QueryTrace { engine: name.to_string(), ..QueryTrace::default() }));
+        }
+        return Ok(out);
     }
     let mut profile = PhaseProfile::default();
 
@@ -219,6 +239,19 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
     let answers = top_down::select_top_k(candidates, params);
     profile.top_down = t.elapsed();
 
+    let trace = outcome.records.take().map(|levels| {
+        Box::new(QueryTrace {
+            engine: name.to_string(),
+            keywords: query.num_keywords(),
+            total_expansions: tracker.expansions(),
+            terminated: outcome.terminated == bottom_up::TerminationReason::LevelCap,
+            levels,
+            cache: None,
+            session_id: None,
+            session_queries: None,
+            phase_ms: PhaseMillis::from(&profile),
+        })
+    });
     Ok(SearchOutcome {
         answers,
         profile,
@@ -228,6 +261,7 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
             peak_frontier: outcome.peak_frontier,
             trace: outcome.trace,
         },
+        trace,
     })
 }
 

@@ -93,7 +93,16 @@ impl KeywordSearchEngine for ParCpuEngine {
         budget: &QueryBudget,
     ) -> Result<SearchOutcome, SearchError> {
         let strategy = ParCpuStrategy { pool: &self.pool };
-        run_matrix_search(&strategy, Some(&self.pool), session, graph, query, params, budget)
+        run_matrix_search(
+            &strategy,
+            self.name(),
+            Some(&self.pool),
+            session,
+            graph,
+            query,
+            params,
+            budget,
+        )
     }
 }
 

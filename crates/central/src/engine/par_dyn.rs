@@ -18,6 +18,7 @@ use crate::profile::PhaseProfile;
 use crate::session::SearchSession;
 use crate::state::HitLevels;
 use crate::top_down::{self, Extraction};
+use crate::trace::{PhaseMillis, QueryTrace, TraceLevelRecord};
 use crate::SearchParams;
 use kgraph::{KnowledgeGraph, NodeId};
 use parking_lot::Mutex;
@@ -189,12 +190,23 @@ impl KeywordSearchEngine for DynParEngine {
         if let Err(e) = params.validate() {
             panic!("invalid search parameters: {e}");
         }
-        let tracker = budget.start();
+        let tracker = if params.trace.enabled() {
+            budget.start_counting()
+        } else {
+            budget.start()
+        };
         tracker.checkpoint()?;
         #[cfg(feature = "fault-inject")]
         crate::fault::inject(query, &tracker)?;
         if query.is_empty() {
-            return Ok(SearchOutcome::default());
+            let mut out = SearchOutcome::default();
+            if params.trace.enabled() {
+                out.trace = Some(Box::new(QueryTrace {
+                    engine: self.name().to_string(),
+                    ..QueryTrace::default()
+                }));
+            }
+            return Ok(out);
         }
         let mut profile = PhaseProfile::default();
 
@@ -222,6 +234,8 @@ impl KeywordSearchEngine for DynParEngine {
         let mut central_nodes: Vec<(NodeId, u8)> = Vec::new();
         let mut peak_frontier = 0usize;
         let mut trace: Vec<crate::bottom_up::LevelTrace> = Vec::new();
+        let mut records: Option<Vec<TraceLevelRecord>> = params.trace.enabled().then(Vec::new);
+        let mut hit_level_cap = false;
         let mut level: u8 = 0;
         loop {
             tracker.checkpoint()?;
@@ -253,12 +267,39 @@ impl KeywordSearchEngine for DynParEngine {
                 frontier: frontiers.len(),
                 identified: central_nodes.len() - before,
             });
+            if let Some(recs) = records.as_mut() {
+                // Locked scans, paid only on traced queries: keyword-hit
+                // cells first covered here and activation-gated frontiers.
+                let mut new_hits = 0usize;
+                let mut activation_deferred = 0usize;
+                for &f in &frontiers {
+                    new_hits += state.node(f).hits.iter().filter(|&&(_, l)| l == level).count();
+                    if act.level(NodeId(f)) > level {
+                        activation_deferred += 1;
+                    }
+                }
+                recs.push(TraceLevelRecord {
+                    level: u32::from(level),
+                    frontier: frontiers.len(),
+                    identified: central_nodes.len() - before,
+                    new_hits,
+                    activation_deferred,
+                    expansions: 0,
+                    budget_remaining: tracker.remaining(),
+                });
+            }
             profile.identify += t.elapsed();
             if central_nodes.len() >= params.top_k || level >= max_level {
+                hit_level_cap = central_nodes.len() < params.top_k;
                 break;
             }
 
             // Expansion with per-node locks, parallel over frontiers.
+            let charged_before = if records.is_some() {
+                tracker.expansions()
+            } else {
+                0
+            };
             let t = Instant::now();
             let state_ref = state;
             let act_ref = &act;
@@ -269,6 +310,10 @@ impl KeywordSearchEngine for DynParEngine {
                 });
             });
             profile.expansion += t.elapsed();
+            if let Some(last) = records.as_mut().and_then(|r| r.last_mut()) {
+                last.expansions = tracker.expansions() - charged_before;
+                last.budget_remaining = tracker.remaining();
+            }
             level += 1;
         }
 
@@ -300,6 +345,19 @@ impl KeywordSearchEngine for DynParEngine {
         let answers = top_down::select_top_k(candidates, params);
         profile.top_down += t.elapsed();
 
+        let query_trace = records.map(|levels| {
+            Box::new(QueryTrace {
+                engine: self.name().to_string(),
+                keywords: query.num_keywords(),
+                total_expansions: tracker.expansions(),
+                terminated: hit_level_cap,
+                levels,
+                cache: None,
+                session_id: None,
+                session_queries: None,
+                phase_ms: PhaseMillis::from(&profile),
+            })
+        });
         Ok(SearchOutcome {
             answers,
             profile,
@@ -309,6 +367,7 @@ impl KeywordSearchEngine for DynParEngine {
                 peak_frontier,
                 trace,
             },
+            trace: query_trace,
         })
     }
 }

@@ -59,7 +59,7 @@ impl KeywordSearchEngine for SeqEngine {
         params: &SearchParams,
         budget: &QueryBudget,
     ) -> Result<SearchOutcome, SearchError> {
-        run_matrix_search(&SeqStrategy, None, session, graph, query, params, budget)
+        run_matrix_search(&SeqStrategy, self.name(), None, session, graph, query, params, budget)
     }
 }
 

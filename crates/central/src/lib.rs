@@ -77,12 +77,14 @@ pub mod engine;
 pub mod error;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+pub mod metrics;
 pub mod model;
 pub mod pool;
 pub mod profile;
 pub mod session;
 pub mod state;
 pub mod top_down;
+pub mod trace;
 
 pub use activation::{ActivationConfig, ActivationMap};
 pub use budget::{BudgetTracker, QueryBudget};
@@ -92,7 +94,9 @@ pub use engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SeqEngine,
 };
 pub use error::SearchError;
+pub use metrics::{HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use model::{CentralGraph, INFINITE_LEVEL};
 pub use pool::{PoolStats, PooledSession, SessionPool};
 pub use profile::PhaseProfile;
 pub use session::SearchSession;
+pub use trace::{CacheOutcome, QueryTrace, TraceLevel, TraceLevelRecord};

@@ -1,0 +1,235 @@
+//! Per-query execution traces: what [`crate::profile::PhaseProfile`] is to
+//! wall-clock phases, [`QueryTrace`] is to the *shape* of a search — one
+//! record per BFS level of Algorithm 1/2 (frontier size, expansion work,
+//! newly covered keywords, activation gating, budget headroom) plus the
+//! cache and session-pool events around it.
+//!
+//! Tracing is opt-in via [`TraceLevel`] on `SearchParams` and is designed
+//! to be zero-cost when disabled: every collection site is gated on
+//! `params.trace.enabled()`, the budget tracker only arms its expansion
+//! counter in tracing (or capped) mode, and `SearchOutcome` carries the
+//! trace as `Option<Box<QueryTrace>>` so the disabled path moves one null
+//! pointer. A differential test asserts that enabling tracing leaves
+//! search results byte-for-byte identical.
+
+use crate::profile::PhaseProfile;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// How much per-query trace detail to collect.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// No trace (the default): collection sites compile down to a
+    /// predictable branch, and no allocation happens on the query path.
+    #[default]
+    Off,
+    /// Collect the full per-level trace.
+    Full,
+}
+
+impl TraceLevel {
+    /// Whether any trace should be collected.
+    #[inline]
+    pub fn enabled(self) -> bool {
+        !matches!(self, TraceLevel::Off)
+    }
+}
+
+// The vendored serde shim derives structs only; enums carry hand-written
+// impls. `TraceLevel` encodes as `"off"` / `"full"`, and an absent field
+// (`null`) reads as the default, matching `#[serde(default)]`.
+impl Serialize for TraceLevel {
+    fn to_value(&self) -> Value {
+        Value::String(match self {
+            TraceLevel::Off => "off".to_owned(),
+            TraceLevel::Full => "full".to_owned(),
+        })
+    }
+}
+
+impl Deserialize for TraceLevel {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(TraceLevel::default()),
+            _ => match v.as_str() {
+                Some("off") => Ok(TraceLevel::Off),
+                Some("full") => Ok(TraceLevel::Full),
+                _ => Err(v.type_error("trace level (\"off\" or \"full\")")),
+            },
+        }
+    }
+}
+
+/// One bottom-up BFS level as the search engine saw it.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceLevelRecord {
+    /// BFS level (0 = the keyword hit nodes themselves).
+    pub level: u32,
+    /// Nodes in the frontier entering this level.
+    pub frontier: usize,
+    /// Central nodes identified (all `q` keywords covered) at this level.
+    pub identified: usize,
+    /// Keyword-hit cells `(node, keyword)` first covered at this level —
+    /// how much new keyword coverage the level bought.
+    pub new_hits: usize,
+    /// Frontier nodes whose activation level exceeds this level: they are
+    /// carried in the frontier but not yet allowed to identify (the
+    /// paper's activation-level pruning in action).
+    pub activation_deferred: usize,
+    /// Budget units charged while expanding this frontier (Algorithm 2
+    /// work items, weighted by keyword count).
+    pub expansions: u64,
+    /// Budget units remaining after this level (`None` when the query
+    /// ran without an expansion cap).
+    pub budget_remaining: Option<u64>,
+}
+
+/// How the result cache participated in a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache; no search ran.
+    Hit,
+    /// Looked up, not found; the search ran and the result was inserted.
+    Miss,
+    /// The cache was not consulted (disabled, or an EXPLAIN query).
+    Bypass,
+}
+
+impl Serialize for CacheOutcome {
+    fn to_value(&self) -> Value {
+        Value::String(
+            match self {
+                CacheOutcome::Hit => "hit",
+                CacheOutcome::Miss => "miss",
+                CacheOutcome::Bypass => "bypass",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for CacheOutcome {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_str() {
+            Some("hit") => Ok(CacheOutcome::Hit),
+            Some("miss") => Ok(CacheOutcome::Miss),
+            Some("bypass") => Ok(CacheOutcome::Bypass),
+            _ => Err(v.type_error("cache outcome (\"hit\", \"miss\" or \"bypass\")")),
+        }
+    }
+}
+
+/// Phase wall-times in milliseconds, the serialization-friendly face of
+/// [`PhaseProfile`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMillis {
+    /// State initialisation / epoch bump.
+    pub init_ms: f64,
+    /// Frontier enqueue (Algorithm 1 lines 3–5).
+    pub enqueue_ms: f64,
+    /// Central-node identification.
+    pub identify_ms: f64,
+    /// Frontier expansion (Algorithm 2).
+    pub expansion_ms: f64,
+    /// Top-down extraction, pruning and ranking (Algorithm 3).
+    pub top_down_ms: f64,
+}
+
+impl From<&PhaseProfile> for PhaseMillis {
+    fn from(p: &PhaseProfile) -> Self {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        PhaseMillis {
+            init_ms: ms(p.init),
+            enqueue_ms: ms(p.enqueue),
+            identify_ms: ms(p.identify),
+            expansion_ms: ms(p.expansion),
+            top_down_ms: ms(p.top_down),
+        }
+    }
+}
+
+/// The full execution trace of one query, carried on `SearchOutcome`
+/// when [`TraceLevel::Full`] is requested and surfaced verbatim by the
+/// server's `EXPLAIN` verb and the slow-query log.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryTrace {
+    /// Engine that executed the search (`"Seq"`, `"CPU-Par"`,
+    /// `"GPU-Par"`, `"CPU-Par-d"`), or `"cache"` for a cache hit.
+    pub engine: String,
+    /// Number of query keywords after index lookup.
+    pub keywords: usize,
+    /// One record per bottom-up BFS level, in level order.
+    pub levels: Vec<TraceLevelRecord>,
+    /// Total budget units charged across the whole search.
+    pub total_expansions: u64,
+    /// Whether the bottom-up stage was stopped by the `lmax` level cap
+    /// rather than finding enough answers or exhausting the frontier.
+    /// (Budget/deadline trips surface as errors, never as a trace.)
+    pub terminated: bool,
+    /// How the result cache participated, if it was on the path
+    /// (serialized as `null` when the query never saw a cache).
+    pub cache: Option<CacheOutcome>,
+    /// Pool session that executed the search.
+    pub session_id: Option<u64>,
+    /// Queries that session had run before this one (warmth indicator).
+    pub session_queries: Option<u64>,
+    /// Phase wall-times in milliseconds.
+    pub phase_ms: PhaseMillis,
+}
+
+impl QueryTrace {
+    /// Total wall time across all profiled phases, in milliseconds.
+    pub fn total_phase_ms(&self) -> f64 {
+        self.phase_ms.init_ms
+            + self.phase_ms.enqueue_ms
+            + self.phase_ms.identify_ms
+            + self.phase_ms.expansion_ms
+            + self.phase_ms.top_down_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_level_default_is_off() {
+        assert_eq!(TraceLevel::default(), TraceLevel::Off);
+        assert!(!TraceLevel::Off.enabled());
+        assert!(TraceLevel::Full.enabled());
+    }
+
+    #[test]
+    fn query_trace_round_trips_through_serde() {
+        let t = QueryTrace {
+            engine: "CPU-Seq".into(),
+            keywords: 2,
+            levels: vec![TraceLevelRecord {
+                level: 0,
+                frontier: 10,
+                identified: 1,
+                new_hits: 12,
+                activation_deferred: 3,
+                expansions: 20,
+                budget_remaining: Some(980),
+            }],
+            total_expansions: 20,
+            terminated: false,
+            cache: Some(CacheOutcome::Miss),
+            session_id: Some(4),
+            session_queries: Some(7),
+            phase_ms: PhaseMillis::default(),
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"cache\":\"miss\""));
+        let back: QueryTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn absent_events_read_back_as_none() {
+        let json = serde_json::to_string(&QueryTrace::default()).unwrap();
+        let back: QueryTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.session_id, None);
+        assert_eq!(back.cache, None);
+    }
+}

@@ -19,16 +19,20 @@ commands:
   search   --graph FILE --query WORDS
            [--top-k K] [--alpha A] [--backend seq|cpu|gpu|dyn]
            [--threads T] [--json true] [--trace true] [--dot true]
-           [--cache-capacity BYTES]
+           [--explain true] [--cache-capacity BYTES]
            [--timeout-ms MS] [--max-expansions N]
                                            run a top-k keyword search
                                            (a query past its deadline or
                                            expansion cap aborts with a
-                                           structured error, 0 = off)
+                                           structured error, 0 = off;
+                                           --explain runs the query traced
+                                           and prints the per-level
+                                           execution trace as JSON)
   convert  --in FILE --out FILE           convert between .tsv and .bin
   serve    --graph FILE [--port P] [--backend B] [--top-k K]
            [--workers W] [--max-requests N] [--cache-capacity BYTES]
            [--timeout-ms MS] [--max-expansions N] [--max-queue Q]
+           [--slow-query-ms MS] [--slow-query-log PATH]
                                            TCP line-protocol query service
                                            (W concurrent connection workers;
                                            result cache sized by BYTES with
@@ -37,9 +41,15 @@ commands:
                                            MS ms / expansion cap N, 0 = off;
                                            at most Q connections queued,
                                            beyond that new connections get
-                                           an `overloaded` error; STATS
-                                           line reports cache hit/miss and
-                                           shed/timeout/panic counters)
+                                           an `overloaded` error; verbs:
+                                           QUERY, EXPLAIN (query + trace),
+                                           PING, STATS (JSON counters +
+                                           latency percentiles), METRICS
+                                           (Prometheus text, ends with
+                                           `# EOF`), QUIT; --slow-query-ms
+                                           appends a JSON trace line per
+                                           over-threshold query to PATH,
+                                           default slow_queries.jsonl)
   help                                    this text
 
 graph files by extension: .tsv (line format), .bin (compact binary),
@@ -102,6 +112,7 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "json",
         "trace",
         "dot",
+        "explain",
         "cache-capacity",
         "timeout-ms",
         "max-expansions",
@@ -112,6 +123,7 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let backend = Backend::parse(args.optional("backend").unwrap_or("cpu"), threads)?;
     let as_json: bool = args.get_or("json", false)?;
     let as_dot: bool = args.get_or("dot", false)?;
+    let as_explain: bool = args.get_or("explain", false)?;
     let timeout_ms: u64 = args.get_or("timeout-ms", 0)?;
     let max_expansions: u64 = args.get_or("max-expansions", 0)?;
     let mut budget = QueryBudget::unlimited();
@@ -132,9 +144,12 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     // unless asked for (useful for scripted multi-search shells).
     ws.set_cache_capacity(args.get_bytes("cache-capacity", 0)?);
 
-    let result = ws
-        .try_search(&query, &budget)
-        .map_err(|e| format!("query aborted ({}): {e}", e.kind()))?;
+    let result = if as_explain {
+        ws.explain(&query, &budget)
+    } else {
+        ws.try_search(&query, &budget)
+    }
+    .map_err(|e| format!("query aborted ({}): {e}", e.kind()))?;
     if as_dot {
         return match result.answers.first() {
             Some(best) => {
@@ -168,6 +183,7 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
             "kwf": result.kwf,
             "total_ms": result.profile.total().as_secs_f64() * 1e3,
             "answers": answers,
+            "trace": result.trace.as_deref().map(serde_json::to_value),
         });
         writeln!(out, "{}", serde_json::to_string_pretty(&doc).unwrap()).map_err(|e| e.to_string())
     } else {
@@ -192,6 +208,10 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
                 writeln!(out, "{:>5}  {:>8}  {:>10}", t.level, t.frontier, t.identified)
                     .map_err(|e| e.to_string())?;
             }
+        }
+        if let Some(trace) = result.trace.as_deref() {
+            writeln!(out, "{}", serde_json::to_string_pretty(trace).unwrap())
+                .map_err(|e| e.to_string())?;
         }
         Ok(())
     }
@@ -332,6 +352,32 @@ mod tests {
             run_cli(&format!("search --graph {tsv} --query learning --backend seq --trace true"));
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("level  frontier  identified"), "{out}");
+        let _ = std::fs::remove_file(tsv);
+    }
+
+    #[test]
+    fn explain_flag_prints_the_execution_trace() {
+        let tsv = tmp("kb8.tsv");
+        run_cli(&format!("generate --dataset tiny --entities 200 --out {tsv}"));
+        let (code, out) =
+            run_cli(&format!("search --graph {tsv} --query learning --backend seq --explain true"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"levels\""), "trace JSON follows the answers: {out}");
+
+        // With --json, the trace is embedded in the one JSON document.
+        let (code, out) = run_cli(&format!(
+            "search --graph {tsv} --query learning --backend seq --explain true --json true"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let doc: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(doc["trace"]["levels"].is_array(), "{out}");
+
+        // Without --explain, the JSON document's trace is null.
+        let (code, out) =
+            run_cli(&format!("search --graph {tsv} --query learning --backend seq --json true"));
+        assert_eq!(code, 0, "{out}");
+        let doc: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(doc["trace"].is_null(), "{out}");
         let _ = std::fs::remove_file(tsv);
     }
 

@@ -4,12 +4,21 @@
 //! Protocol: one UTF-8 line per request, one line per response.
 //!
 //! * `QUERY <keywords…>` → one JSON line with the ranked answers;
+//! * `EXPLAIN <keywords…>` → one JSON line with the answers *and* the
+//!   full per-level execution trace (`central::QueryTrace`), bypassing
+//!   the result cache so the trace reflects a real search. Diagnostic —
+//!   does not count toward `--max-requests`;
 //! * `PING` → `PONG`;
 //! * `STATS` → one JSON line with serving counters: queries served, the
 //!   fault/overload counters (`shed`, `timeouts`, `budget_exhausted`,
-//!   `panics`, `oversized`), the session-pool snapshot, and the
-//!   result-cache snapshot (`null` when the cache is disabled).
+//!   `panics`, `oversized`, `slow_queries`), the engine's metrics
+//!   counters, latency and expansion percentiles from the metrics
+//!   histograms, the session-pool snapshot, and the result-cache
+//!   snapshot (`null` when the cache is disabled).
 //!   Diagnostic — does not count toward `--max-requests`;
+//! * `METRICS` → the metrics registry in Prometheus text exposition
+//!   format — multiple lines, terminated by a literal `# EOF` line so a
+//!   line-protocol client knows where the response ends. Diagnostic;
 //! * `QUIT` → closes the connection;
 //! * anything else — an unknown command, an empty line, a `QUERY` with no
 //!   keywords, a line that is not UTF-8, or a line longer than
@@ -55,10 +64,21 @@
 //! reorderings, case changes, and stopword variations of one another —
 //! are answered from the cache without touching a session. Failed
 //! queries never populate it.
+//!
+//! ## Slow-query log
+//!
+//! `--slow-query-ms N` arms a slow-query log: every `QUERY` runs with
+//! tracing enabled, the server measures its own wall time around the
+//! search, and a query at or over the threshold appends one JSON line —
+//! `{"ts_ms", "query", "ms", "threshold_ms", "error", "trace"}` — to the
+//! file named by `--slow-query-log` (default `slow_queries.jsonl`).
+//! Tracing never changes answers (differential-tested in the engine), so
+//! arming the log is observably free apart from the trace allocations.
 
 use crate::args::ParsedArgs;
 use crate::commands::read_graph;
-use central::{QueryBudget, SearchError};
+use central::metrics::{prometheus_counter, prometheus_gauge, prometheus_histogram};
+use central::{QueryBudget, QueryTrace, SearchError, TraceLevel};
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,7 +86,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use wikisearch_engine::{Backend, WikiSearch};
 
 /// How often a blocked worker wakes up to check for drain.
@@ -94,6 +114,52 @@ struct ServeCounters {
     panics: AtomicU64,
     /// Request lines rejected for exceeding [`MAX_LINE`].
     oversized: AtomicU64,
+    /// Queries at or over the `--slow-query-ms` threshold (logged).
+    slow_queries: AtomicU64,
+}
+
+/// The armed slow-query log: a threshold and an append-mode file handle.
+struct SlowLog {
+    /// Queries taking at least this many wall-clock milliseconds
+    /// (measured by the server around the whole search) are logged.
+    threshold_ms: u64,
+    /// Appended one JSON line per slow query; the mutex serializes
+    /// writers so lines never interleave.
+    file: Mutex<std::fs::File>,
+}
+
+impl SlowLog {
+    /// Open (append/create) the log file.
+    fn open(path: &str, threshold_ms: u64) -> Result<SlowLog, String> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("--slow-query-log {path}: {e}"))?;
+        Ok(SlowLog { threshold_ms, file: Mutex::new(file) })
+    }
+
+    /// Append one line for `answer` if it crossed the threshold.
+    fn maybe_log(&self, q: &str, answer: &Answer, counters: &ServeCounters) {
+        if answer.wall_ms < self.threshold_ms as f64 {
+            return;
+        }
+        counters.slow_queries.fetch_add(1, Ordering::SeqCst);
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let doc = serde_json::json!({
+            "ts_ms": ts_ms,
+            "query": q,
+            "ms": answer.wall_ms,
+            "threshold_ms": self.threshold_ms,
+            "error": answer.error,
+            "trace": answer.trace.as_deref().map(serde_json::to_value),
+        });
+        let mut file = self.file.lock();
+        let _ = writeln!(file, "{doc}");
+    }
 }
 
 /// Everything a worker needs to serve connections, shared by reference
@@ -105,6 +171,9 @@ struct Shared<'a> {
     max_requests: usize,
     draining: &'a AtomicBool,
     addr: SocketAddr,
+    /// `Some` when `--slow-query-ms` armed the slow-query log; queries
+    /// then run traced so the log line can carry the execution trace.
+    slow: Option<SlowLog>,
 }
 
 /// Run the server until `max_requests` queries have been answered (or
@@ -122,6 +191,8 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "timeout-ms",
         "max-expansions",
         "max-queue",
+        "slow-query-ms",
+        "slow-query-log",
     ])?;
     let port: u16 = args.get_or("port", 7878)?;
     let threads: usize = args.get_or("threads", 4)?;
@@ -131,12 +202,22 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let timeout_ms: u64 = args.get_or("timeout-ms", 0)?;
     let max_expansions: u64 = args.get_or("max-expansions", 0)?;
     let max_queue: usize = args.get_or("max-queue", 64)?;
+    let slow_query_ms: u64 = args.get_or("slow-query-ms", 0)?;
     if workers == 0 {
         return Err("--workers must be >= 1".into());
     }
     if max_queue == 0 {
         return Err("--max-queue must be >= 1".into());
     }
+    if slow_query_ms == 0 && args.optional("slow-query-log").is_some() {
+        return Err("--slow-query-log requires --slow-query-ms N (N >= 1)".into());
+    }
+    let slow = if slow_query_ms > 0 {
+        let path = args.optional("slow-query-log").unwrap_or("slow_queries.jsonl");
+        Some(SlowLog::open(path, slow_query_ms)?)
+    } else {
+        None
+    };
     let mut budget = QueryBudget::unlimited();
     if timeout_ms > 0 {
         budget = budget.with_timeout(Duration::from_millis(timeout_ms));
@@ -166,8 +247,15 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
 
     let counters = ServeCounters::default();
     let draining = AtomicBool::new(false);
-    let shared =
-        Shared { ws: &ws, counters: &counters, budget, max_requests, draining: &draining, addr };
+    let shared = Shared {
+        ws: &ws,
+        counters: &counters,
+        budget,
+        max_requests,
+        draining: &draining,
+        addr,
+        slow,
+    };
     // Bounded handoff queue: when it is full, new connections are shed
     // instead of queueing without limit.
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(max_queue);
@@ -364,15 +452,35 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
             if writeln!(writer, "{doc}").is_err() {
                 break;
             }
+        } else if request.eq_ignore_ascii_case("METRICS") {
+            let text = metrics_exposition(shared.ws, shared.counters);
+            if writer.write_all(text.as_bytes()).is_err() {
+                break;
+            }
+        } else if let Some(keywords) = verb_rest(request, "EXPLAIN") {
+            if keywords.is_empty() {
+                if writeln!(writer, r#"{{"error":"empty query"}}"#).is_err() {
+                    break;
+                }
+            } else {
+                let doc = explain_query(shared.ws, keywords, &shared.budget, shared.counters);
+                if writeln!(writer, "{doc}").is_err() {
+                    break;
+                }
+            }
         } else if let Some(keywords) = query_keywords(request) {
             if keywords.is_empty() {
                 if writeln!(writer, r#"{{"error":"empty query"}}"#).is_err() {
                     break;
                 }
             } else {
-                let (doc, succeeded) =
-                    answer_query(shared.ws, keywords, &shared.budget, shared.counters);
-                if succeeded {
+                let traced = shared.slow.is_some();
+                let answer =
+                    answer_query(shared.ws, keywords, &shared.budget, shared.counters, traced);
+                if let Some(slow) = &shared.slow {
+                    slow.maybe_log(keywords, &answer, shared.counters);
+                }
+                if answer.succeeded {
                     let n = shared.counters.served.fetch_add(1, Ordering::SeqCst) + 1;
                     if shared.max_requests > 0
                         && n >= shared.max_requests
@@ -385,11 +493,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
                         done = true;
                     }
                 }
-                if writeln!(writer, "{doc}").is_err() {
+                if writeln!(writer, "{}", answer.doc).is_err() {
                     break;
                 }
             }
-        } else if writeln!(writer, r#"{{"error":"expected QUERY/PING/STATS/QUIT"}}"#).is_err() {
+        } else if writeln!(
+            writer,
+            r#"{{"error":"expected QUERY/EXPLAIN/PING/STATS/METRICS/QUIT"}}"#
+        )
+        .is_err()
+        {
             break;
         }
         if done {
@@ -398,20 +511,31 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
     }
 }
 
-/// The keyword part of a `QUERY …` request, or `None` if the line is not
-/// a QUERY at all. `QUERY` with nothing after it parses as an empty
-/// keyword list (answered with an error, not ignored).
-fn query_keywords(request: &str) -> Option<&str> {
-    let rest = request.strip_prefix("QUERY")?;
+/// The argument part of a `<VERB> …` request, or `None` if the line does
+/// not start with that verb followed by whitespace (or end-of-line).
+/// `"QUERYX xml"` is an unknown command, not a `QUERY`.
+fn verb_rest<'a>(request: &'a str, verb: &str) -> Option<&'a str> {
+    let rest = request.strip_prefix(verb)?;
     if !rest.is_empty() && !rest.starts_with(char::is_whitespace) {
-        return None; // e.g. "QUERYX" — an unknown command, not a query
+        return None;
     }
     Some(rest.trim())
 }
 
-/// One `STATS` response line: serving counters plus live pool and cache
+/// The keyword part of a `QUERY …` request, or `None` if the line is not
+/// a QUERY at all. `QUERY` with nothing after it parses as an empty
+/// keyword list (answered with an error, not ignored).
+fn query_keywords(request: &str) -> Option<&str> {
+    verb_rest(request, "QUERY")
+}
+
+/// One `STATS` response line: serving counters, the engine's metrics
+/// counters, latency/expansion percentiles, plus live pool and cache
 /// snapshots. `cache` is JSON `null` when `--cache-capacity 0`.
 fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Value {
+    let m = ws.metrics_snapshot();
+    let lat = &m.latency_us;
+    let exp = &m.expansions;
     serde_json::json!({
         "served": counters.served.load(Ordering::SeqCst),
         "shed": counters.shed.load(Ordering::SeqCst),
@@ -419,24 +543,206 @@ fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Valu
         "budget_exhausted": counters.budget_exhausted.load(Ordering::SeqCst),
         "panics": counters.panics.load(Ordering::SeqCst),
         "oversized": counters.oversized.load(Ordering::SeqCst),
+        "slow_queries": counters.slow_queries.load(Ordering::SeqCst),
+        "engine": {
+            "queries": m.queries,
+            "cache_hits": m.cache_hits,
+            "cache_misses": m.cache_misses,
+            "deadline_exceeded": m.deadline_exceeded,
+            "budget_exhausted": m.budget_exhausted,
+        },
+        "latency": {
+            "count": lat.count,
+            "mean_ms": lat.mean() / 1e3,
+            "p50_ms": lat.percentile(0.50) as f64 / 1e3,
+            "p95_ms": lat.percentile(0.95) as f64 / 1e3,
+            "p99_ms": lat.percentile(0.99) as f64 / 1e3,
+        },
+        "expansions": {
+            "count": exp.count,
+            "mean": exp.mean(),
+            "p50": exp.percentile(0.50),
+            "p95": exp.percentile(0.95),
+            "p99": exp.percentile(0.99),
+        },
         "pool": ws.session_pool().stats(),
         "cache": ws.cache_stats(),
     })
 }
 
+/// The `METRICS` response: the engine's metrics registry plus the pool,
+/// cache and serving counters in Prometheus text exposition format,
+/// terminated by a literal `# EOF` line (the line-protocol framing for
+/// this one multi-line response).
+fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters) -> String {
+    let m = ws.metrics_snapshot();
+    let mut out = String::new();
+    prometheus_counter(&mut out, "ws_queries_total", "Queries answered by the engine.", m.queries);
+    prometheus_counter(
+        &mut out,
+        "ws_cache_hits_total",
+        "Queries answered from the result cache.",
+        m.cache_hits,
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_cache_misses_total",
+        "Queries that missed the result cache and ran a search.",
+        m.cache_misses,
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_deadline_exceeded_total",
+        "Queries aborted by their wall-clock deadline.",
+        m.deadline_exceeded,
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_budget_exhausted_total",
+        "Queries aborted by their expansion cap.",
+        m.budget_exhausted,
+    );
+    prometheus_histogram(
+        &mut out,
+        "ws_latency_seconds",
+        "End-to-end query latency (successful queries).",
+        &m.latency_us,
+        1e-6,
+    );
+    prometheus_histogram(
+        &mut out,
+        "ws_expansions",
+        "Expansion units per computed search.",
+        &m.expansions,
+        1.0,
+    );
+    let pool = ws.session_pool().stats();
+    prometheus_counter(
+        &mut out,
+        "ws_pool_queries_total",
+        "Queries completed through pooled sessions.",
+        pool.queries_run,
+    );
+    prometheus_gauge(
+        &mut out,
+        "ws_pool_sessions_created",
+        "Sessions ever created (concurrency peak).",
+        pool.sessions_created as f64,
+    );
+    prometheus_gauge(
+        &mut out,
+        "ws_pool_idle_sessions",
+        "Sessions idle in the freelist.",
+        pool.idle_sessions as f64,
+    );
+    prometheus_gauge(
+        &mut out,
+        "ws_pool_in_flight",
+        "Sessions currently checked out.",
+        pool.in_flight as f64,
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_pool_quarantined_total",
+        "Sessions destroyed after a panic.",
+        pool.quarantined,
+    );
+    if let Some(cache) = ws.cache_stats() {
+        prometheus_counter(&mut out, "ws_cache_lookups_total", "Result-cache gets.", cache.lookups);
+        prometheus_counter(
+            &mut out,
+            "ws_cache_evictions_total",
+            "Result-cache evictions.",
+            cache.evictions,
+        );
+        prometheus_gauge(
+            &mut out,
+            "ws_cache_entries",
+            "Result-cache entries resident.",
+            cache.entries as f64,
+        );
+        prometheus_gauge(
+            &mut out,
+            "ws_cache_bytes",
+            "Result-cache bytes resident (estimate).",
+            cache.bytes as f64,
+        );
+    }
+    prometheus_counter(
+        &mut out,
+        "ws_server_served_total",
+        "Successful query responses.",
+        counters.served.load(Ordering::SeqCst) as u64,
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_server_shed_total",
+        "Connections refused because the worker queue was full.",
+        counters.shed.load(Ordering::SeqCst),
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_server_panics_total",
+        "Queries that panicked (sessions quarantined).",
+        counters.panics.load(Ordering::SeqCst),
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_server_oversized_total",
+        "Request lines rejected for exceeding the size cap.",
+        counters.oversized.load(Ordering::SeqCst),
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_server_slow_queries_total",
+        "Queries at or over the slow-query threshold.",
+        counters.slow_queries.load(Ordering::SeqCst),
+    );
+    out.push_str("# EOF\n");
+    out
+}
+
+/// The outcome of one served query: the JSON response line, whether it
+/// succeeded (only successes count toward `--max-requests`), and the
+/// server-side observations the slow-query log needs.
+struct Answer {
+    /// The one-line JSON response.
+    doc: serde_json::Value,
+    /// Whether the query produced an answer document (vs. an error).
+    succeeded: bool,
+    /// Server-measured wall time around the whole search, in ms.
+    wall_ms: f64,
+    /// The execution trace, when the query ran traced.
+    trace: Option<Box<QueryTrace>>,
+    /// The error kind (`"internal"`, `"deadline_exceeded"`,
+    /// `"budget_exhausted"`) when the query failed.
+    error: Option<&'static str>,
+}
+
 /// One response line for one query, under the server's budget and panic
-/// isolation. Returns the JSON document and whether the query succeeded
-/// (only successes count toward `--max-requests`).
+/// isolation. With `traced`, the search runs with [`TraceLevel::Full`]
+/// so the slow-query log can attach the execution trace (tracing never
+/// changes answers).
 fn answer_query(
     ws: &WikiSearch,
     q: &str,
     budget: &QueryBudget,
     counters: &ServeCounters,
-) -> (serde_json::Value, bool) {
+    traced: bool,
+) -> Answer {
+    let started = Instant::now();
     // Panic isolation boundary: a panicking search unwinds through the
     // pooled session's guard (quarantining the session) and is caught
     // here, so the worker and its other clients are unaffected.
-    let result = std::panic::catch_unwind(AssertUnwindSafe(|| ws.try_search(q, budget)));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if traced {
+            let params = ws.params().clone().with_trace(TraceLevel::Full);
+            ws.try_search_with_params(q, &params, budget)
+        } else {
+            ws.try_search(q, budget)
+        }
+    }));
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let result = match result {
         Ok(result) => result,
         Err(_panic) => {
@@ -446,10 +752,10 @@ fn answer_query(
                 "detail": "query execution panicked; its session was quarantined",
                 "query": q,
             });
-            return (doc, false);
+            return Answer { doc, succeeded: false, wall_ms, trace: None, error: Some("internal") };
         }
     };
-    let result = match result {
+    let mut result = match result {
         Ok(result) => result,
         Err(e) => {
             match e {
@@ -465,9 +771,19 @@ fn answer_query(
                 "detail": e.to_string(),
                 "query": q,
             });
-            return (doc, false);
+            return Answer { doc, succeeded: false, wall_ms, trace: None, error: Some(e.kind()) };
         }
     };
+    let doc = answer_document(ws, q, &result);
+    Answer { doc, succeeded: true, wall_ms, trace: result.trace.take(), error: None }
+}
+
+/// The success-path JSON document shared by `QUERY` and `EXPLAIN`.
+fn answer_document(
+    ws: &WikiSearch,
+    q: &str,
+    result: &wikisearch_engine::WikiSearchResult,
+) -> serde_json::Value {
     let answers: Vec<serde_json::Value> = result
         .answers
         .iter()
@@ -481,13 +797,66 @@ fn answer_query(
             })
         })
         .collect();
-    let doc = serde_json::json!({
+    serde_json::json!({
         "query": q,
         "answers": answers,
         "unmatched": result.query.unmatched,
         "ms": result.profile.total().as_secs_f64() * 1e3,
-    });
-    (doc, true)
+    })
+}
+
+/// One `EXPLAIN` response line: the regular answer document with the
+/// full execution trace attached. Runs under the same budget and panic
+/// isolation as `QUERY`, but bypasses the result cache so the trace
+/// describes a real search. Diagnostic — never counts toward
+/// `--max-requests`.
+fn explain_query(
+    ws: &WikiSearch,
+    q: &str,
+    budget: &QueryBudget,
+    counters: &ServeCounters,
+) -> serde_json::Value {
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| ws.explain(q, budget)));
+    let result = match result {
+        Ok(result) => result,
+        Err(_panic) => {
+            counters.panics.fetch_add(1, Ordering::SeqCst);
+            return serde_json::json!({
+                "error": "internal",
+                "detail": "query execution panicked; its session was quarantined",
+                "query": q,
+            });
+        }
+    };
+    match result {
+        Ok(result) => {
+            let mut doc = answer_document(ws, q, &result);
+            if let serde_json::Value::Object(entries) = &mut doc {
+                let trace = result
+                    .trace
+                    .as_deref()
+                    .map(serde_json::to_value)
+                    .unwrap_or(serde_json::Value::Null);
+                entries.push(("trace".to_owned(), trace));
+            }
+            doc
+        }
+        Err(e) => {
+            match e {
+                SearchError::DeadlineExceeded { .. } => {
+                    counters.timeouts.fetch_add(1, Ordering::SeqCst)
+                }
+                SearchError::BudgetExhausted { .. } => {
+                    counters.budget_exhausted.fetch_add(1, Ordering::SeqCst)
+                }
+            };
+            serde_json::json!({
+                "error": e.kind(),
+                "detail": e.to_string(),
+                "query": q,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -719,13 +1088,107 @@ mod tests {
         let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
         let counters = ServeCounters::default();
         let budget = QueryBudget::unlimited().with_timeout(Duration::ZERO);
-        let (doc, ok) = answer_query(&ws, "xml sql", &budget, &counters);
-        assert!(!ok);
-        assert_eq!(doc["error"], "deadline_exceeded");
+        let answer = answer_query(&ws, "xml sql", &budget, &counters, false);
+        assert!(!answer.succeeded);
+        assert_eq!(answer.doc["error"], "deadline_exceeded");
+        assert_eq!(answer.error, Some("deadline_exceeded"));
         assert_eq!(counters.timeouts.load(Ordering::SeqCst), 1);
         // And an unlimited budget still answers.
-        let (doc, ok) = answer_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters);
-        assert!(ok, "{doc}");
+        let answer = answer_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters, false);
+        assert!(answer.succeeded, "{}", answer.doc);
+        assert!(answer.trace.is_none(), "untraced queries carry no trace");
         assert_eq!(counters.served.load(Ordering::SeqCst), 0, "served is counted by the caller");
+    }
+
+    #[test]
+    fn traced_answers_carry_a_trace_without_changing_the_document() {
+        let mut b = kgraph::GraphBuilder::new();
+        let x = b.add_node("x", "xml");
+        let q = b.add_node("q", "query language");
+        let s = b.add_node("s", "sql");
+        b.add_edge(x, q, "rel");
+        b.add_edge(s, q, "rel");
+        let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
+        let counters = ServeCounters::default();
+        let budget = QueryBudget::unlimited();
+        let plain = answer_query(&ws, "xml sql", &budget, &counters, false);
+        let traced = answer_query(&ws, "xml sql", &budget, &counters, true);
+        assert!(traced.succeeded);
+        let trace = traced.trace.expect("traced query carries its trace");
+        assert!(!trace.levels.is_empty(), "per-level records present");
+        // The client-visible document is identical either way.
+        assert_eq!(
+            serde_json::to_string(&plain.doc["answers"]).unwrap(),
+            serde_json::to_string(&traced.doc["answers"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn explain_attaches_the_trace_to_the_answer_document() {
+        let mut b = kgraph::GraphBuilder::new();
+        let x = b.add_node("x", "xml");
+        let q = b.add_node("q", "query language");
+        let s = b.add_node("s", "sql");
+        b.add_edge(x, q, "rel");
+        b.add_edge(s, q, "rel");
+        let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
+        let counters = ServeCounters::default();
+        let doc = explain_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters);
+        assert_eq!(doc["answers"][0]["central"], "query language", "{doc}");
+        assert!(doc["trace"]["levels"].is_array(), "{doc}");
+        assert_eq!(doc["trace"]["keywords"], 2u64, "{doc}");
+        // EXPLAIN under an expired deadline reports the structured error.
+        let budget = QueryBudget::unlimited().with_timeout(Duration::ZERO);
+        let doc = explain_query(&ws, "xml sql", &budget, &counters);
+        assert_eq!(doc["error"], "deadline_exceeded", "{doc}");
+        assert_eq!(counters.timeouts.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn slow_log_records_only_over_threshold_queries() {
+        let path = std::env::temp_dir()
+            .join(format!("ws-slowlog-unit-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&path);
+        let slow = SlowLog::open(&path, 50).unwrap();
+        let counters = ServeCounters::default();
+        let fast = Answer {
+            doc: serde_json::json!({}),
+            succeeded: true,
+            wall_ms: 1.0,
+            trace: None,
+            error: None,
+        };
+        slow.maybe_log("quick", &fast, &counters);
+        let slow_answer = Answer {
+            doc: serde_json::json!({}),
+            succeeded: true,
+            wall_ms: 80.0,
+            trace: Some(Box::new(QueryTrace::default())),
+            error: None,
+        };
+        slow.maybe_log("laggard", &slow_answer, &counters);
+        assert_eq!(counters.slow_queries.load(Ordering::SeqCst), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "only the over-threshold query is logged: {text}");
+        let doc: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(doc["query"], "laggard");
+        assert_eq!(doc["threshold_ms"], 50u64);
+        assert!(doc["trace"]["levels"].is_array(), "{doc}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn slow_query_log_flag_requires_a_threshold() {
+        let argv: Vec<String> = "serve --graph kb.tsv --slow-query-log /tmp/x.jsonl"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let args = parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let err = serve(&args, &mut out).unwrap_err();
+        assert!(err.contains("--slow-query-ms"), "{err}");
     }
 }

@@ -1,0 +1,312 @@
+//! End-to-end observability over a live server: the `STATS` document's
+//! exact key set (a snapshot-style contract test — every documented
+//! field present, nothing undocumented sneaks in), the `EXPLAIN` verb's
+//! per-level trace, and the `METRICS` verb's Prometheus text exposition
+//! checked against a hand-rolled line grammar.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One shared server for the whole suite; the thread is leaked and dies
+/// with the test process.
+fn server_port() -> u16 {
+    static PORT: OnceLock<u16> = OnceLock::new();
+    *PORT.get_or_init(|| {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = probe.local_addr().unwrap().port();
+        drop(probe);
+
+        let path = std::env::temp_dir()
+            .join(format!("ws-observability-{}.tsv", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let mut b = kgraph::GraphBuilder::new();
+        let x = b.add_node("x", "xml");
+        let q = b.add_node("q", "query language");
+        let s = b.add_node("s", "sql");
+        let r = b.add_node("r", "rdf");
+        b.add_edge(x, q, "rel");
+        b.add_edge(s, q, "rel");
+        b.add_edge(r, q, "rel");
+        std::fs::write(&path, kgraph::io::to_tsv(&b.build())).unwrap();
+
+        std::thread::spawn(move || {
+            let argv: Vec<String> =
+                format!("serve --graph {path} --port {port} --backend seq --workers 2")
+                    .split_whitespace()
+                    .map(String::from)
+                    .collect();
+            let args = wikisearch_cli::args::parse(&argv).unwrap();
+            let mut out = Vec::new();
+            let _ = wikisearch_cli::serve::serve(&args, &mut out);
+        });
+        for _ in 0..150 {
+            if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+                return port;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("observability server never came up on port {port}");
+    })
+}
+
+fn connect() -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(("127.0.0.1", server_port())).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn request_line(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(stream, "{line}").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn stats_document_has_exactly_the_documented_key_set() {
+    let (mut stream, mut reader) = connect();
+    // At least one query first, so the histograms are non-degenerate.
+    let answer = request_line(&mut stream, &mut reader, "QUERY xml sql");
+    assert!(answer.contains("answers"), "{answer}");
+
+    let response = request_line(&mut stream, &mut reader, "STATS");
+    let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+    let keys: Vec<&str> = doc.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    // The snapshot contract: exactly these top-level fields, all
+    // documented in the README's STATS table. A new field must be added
+    // there and here together.
+    assert_eq!(
+        sorted,
+        vec![
+            "budget_exhausted",
+            "cache",
+            "engine",
+            "expansions",
+            "latency",
+            "oversized",
+            "panics",
+            "pool",
+            "served",
+            "shed",
+            "slow_queries",
+            "timeouts",
+        ],
+        "{response}"
+    );
+
+    // The nested metrics blocks carry their full documented key sets too.
+    let block_keys = |v: &serde_json::Value| -> Vec<String> {
+        let mut ks: Vec<String> = v.as_object().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        ks.sort_unstable();
+        ks
+    };
+    assert_eq!(
+        block_keys(&doc["engine"]),
+        vec!["budget_exhausted", "cache_hits", "cache_misses", "deadline_exceeded", "queries"]
+    );
+    assert_eq!(
+        block_keys(&doc["latency"]),
+        vec!["count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"]
+    );
+    assert_eq!(block_keys(&doc["expansions"]), vec!["count", "mean", "p50", "p95", "p99"]);
+
+    // Sanity on the values: the query above was observed.
+    assert!(doc["engine"]["queries"].as_u64().unwrap() >= 1, "{response}");
+    assert!(doc["latency"]["count"].as_u64().unwrap() >= 1, "{response}");
+    let p50 = doc["latency"]["p50_ms"].as_f64().unwrap();
+    let p99 = doc["latency"]["p99_ms"].as_f64().unwrap();
+    assert!(p50 > 0.0 && p99 >= p50, "{response}");
+    writeln!(stream, "QUIT").unwrap();
+}
+
+#[test]
+fn explain_returns_the_per_level_trace_over_the_wire() {
+    let (mut stream, mut reader) = connect();
+    let response = request_line(&mut stream, &mut reader, "EXPLAIN xml sql rdf");
+    let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+    assert_eq!(doc["answers"][0]["central"], "query language", "{response}");
+    assert_eq!(doc["trace"]["engine"], "Seq", "{response}");
+    assert_eq!(doc["trace"]["keywords"], 3u64, "{response}");
+    let levels = doc["trace"]["levels"].as_array().unwrap();
+    assert!(!levels.is_empty(), "{response}");
+    for (i, level) in levels.iter().enumerate() {
+        assert_eq!(level["level"].as_u64().unwrap(), i as u64, "{response}");
+        assert!(level["frontier"].as_u64().is_some(), "{response}");
+        assert!(level["new_hits"].as_u64().is_some(), "{response}");
+    }
+    // EXPLAIN with no keywords is an error, like QUERY.
+    let response = request_line(&mut stream, &mut reader, "EXPLAIN");
+    let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+    assert_eq!(doc["error"], "empty query", "{response}");
+    writeln!(stream, "QUIT").unwrap();
+}
+
+#[test]
+fn metrics_verb_emits_valid_prometheus_exposition() {
+    let (mut stream, mut reader) = connect();
+    // Give the histograms something to chew on.
+    for _ in 0..3 {
+        let answer = request_line(&mut stream, &mut reader, "QUERY xml sql");
+        assert!(answer.contains("answers"), "{answer}");
+    }
+    writeln!(stream, "METRICS").unwrap();
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end().to_string();
+        if line == "# EOF" {
+            break;
+        }
+        lines.push(line);
+    }
+    assert_prometheus_grammar(&lines);
+
+    // The required series families are all present.
+    let text = lines.join("\n");
+    for series in [
+        "ws_queries_total",
+        "ws_cache_hits_total",
+        "ws_cache_misses_total",
+        "ws_deadline_exceeded_total",
+        "ws_budget_exhausted_total",
+        "ws_latency_seconds_bucket",
+        "ws_latency_seconds_sum",
+        "ws_latency_seconds_count",
+        "ws_expansions_bucket",
+        "ws_pool_queries_total",
+        "ws_pool_idle_sessions",
+        "ws_cache_entries",
+        "ws_server_served_total",
+        "ws_server_slow_queries_total",
+    ] {
+        assert!(text.contains(series), "missing series {series}:\n{text}");
+    }
+    // The connection still serves requests after the multi-line response.
+    let response = request_line(&mut stream, &mut reader, "PING");
+    assert_eq!(response.trim(), "PONG");
+    writeln!(stream, "QUIT").unwrap();
+}
+
+/// A hand-rolled check of the Prometheus text exposition line grammar
+/// (no external parser in the vendored workspace):
+///
+/// * every line is `# HELP <name> <text>`, `# TYPE <name> counter|gauge|histogram`,
+///   or `<name>[{<label>="<value>"}] <number>`;
+/// * every sample's metric family was declared by a preceding `# TYPE`;
+/// * histogram `_bucket` cumulative counts are non-decreasing and end at
+///   the `le="+Inf"` bucket, which equals `_count`.
+fn assert_prometheus_grammar(lines: &[String]) {
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+    };
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut bucket_state: Option<(String, u64, Option<u64>)> = None; // (family, last cumulative, +Inf)
+    let mut counts: Vec<(String, u64)> = Vec::new();
+
+    for line in lines {
+        assert!(!line.is_empty(), "blank line inside exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            assert!(name_ok(name), "bad HELP name in {line:?}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            assert!(name_ok(name), "bad TYPE name in {line:?}");
+            assert!(["counter", "gauge", "histogram"].contains(&kind), "bad TYPE kind in {line:?}");
+            typed.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment form {line:?}");
+
+        // A sample line: name[{labels}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line without value: {line:?}"));
+        assert!(value.parse::<f64>().is_ok(), "non-numeric sample value in {line:?}");
+        let (name, labels) = match series.split_once('{') {
+            Some((n, l)) => {
+                let l = l
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unterminated label set in {line:?}"));
+                (n, Some(l))
+            }
+            None => (series, None),
+        };
+        assert!(name_ok(name), "bad sample name in {line:?}");
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let (k, v) =
+                    pair.split_once('=').unwrap_or_else(|| panic!("label without '=' in {line:?}"));
+                assert!(name_ok(k), "bad label name in {line:?}");
+                assert!(
+                    v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                    "unquoted label value in {line:?}"
+                );
+            }
+        }
+
+        // Family resolution: strip histogram suffixes.
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.iter().any(|(n, k)| n == *f && k == "histogram"))
+            .unwrap_or(name);
+        assert!(
+            typed.iter().any(|(n, _)| n == family),
+            "sample {name} has no preceding # TYPE: {line:?}"
+        );
+
+        if name.ends_with("_bucket") {
+            let cumulative: u64 = value.parse().expect("bucket counts are integers");
+            let le = labels
+                .and_then(|l| l.split(',').find(|p| p.starts_with("le=")))
+                .expect("bucket without le label")
+                .trim_start_matches("le=")
+                .trim_matches('"')
+                .to_string();
+            match &mut bucket_state {
+                Some((f, last, inf)) if f == family => {
+                    assert!(cumulative >= *last, "bucket counts decreased: {line:?}");
+                    *last = cumulative;
+                    if le == "+Inf" {
+                        *inf = Some(cumulative);
+                    }
+                }
+                _ => {
+                    bucket_state = Some((
+                        family.to_string(),
+                        cumulative,
+                        (le == "+Inf").then_some(cumulative),
+                    ));
+                }
+            }
+        } else if name.ends_with("_count") && family != name {
+            counts.push((family.to_string(), value.parse().expect("count is an integer")));
+        }
+    }
+    // Each histogram's +Inf bucket equals its _count.
+    for (family, count) in counts {
+        let inf = bucket_state
+            .as_ref()
+            .filter(|(f, _, _)| *f == family)
+            .and_then(|(_, _, inf)| *inf);
+        // bucket_state only remembers the most recent family; check when
+        // it is the one this _count closes.
+        if let Some(inf) = inf {
+            assert_eq!(inf, count, "{family}: le=\"+Inf\" != _count");
+        }
+    }
+}

@@ -32,11 +32,12 @@ use central::engine::{
     SeqEngine,
 };
 use central::{
-    CacheStats, CentralGraph, PhaseProfile, QueryBudget, QueryKey, SearchError, SearchParams,
-    SessionPool,
+    CacheOutcome, CacheStats, CentralGraph, MetricsRegistry, MetricsSnapshot, PhaseProfile,
+    QueryBudget, QueryKey, QueryTrace, SearchError, SearchParams, SessionPool, TraceLevel,
 };
 use kgraph::{estimate_average_distance, KnowledgeGraph};
 use std::sync::Arc;
+use std::time::Instant;
 use textindex::{InvertedIndex, ParsedQuery};
 
 /// Which backend executes searches.
@@ -107,6 +108,9 @@ pub struct WikiSearchResult {
     pub kwf: f64,
     /// Search statistics, including the per-level progression trace.
     pub stats: SearchStats,
+    /// Rich per-query execution trace, present only when the request
+    /// asked for tracing (`params.trace`, or [`WikiSearch::explain`]).
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 /// The WikiSearch engine: graph + index + backend + defaults.
@@ -137,6 +141,7 @@ pub struct WikiSearch {
     backend: Box<dyn KeywordSearchEngine + Send + Sync>,
     sessions: SessionPool,
     cache: Option<ResultCache>,
+    metrics: MetricsRegistry,
 }
 
 /// The engine's result cache: normalized-query + params key, `Arc`-shared
@@ -191,6 +196,7 @@ impl WikiSearch {
             backend: make_backend(backend),
             sessions: SessionPool::new(),
             cache: None,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -301,31 +307,110 @@ impl WikiSearch {
         params: &SearchParams,
         budget: &QueryBudget,
     ) -> Result<WikiSearchResult, SearchError> {
+        self.run_search(raw_query, params, budget, true)
+    }
+
+    /// Run `raw_query` with full tracing and the result cache bypassed,
+    /// so the returned [`WikiSearchResult::trace`] always describes a
+    /// *live* search — the substrate of the server's `EXPLAIN` verb.
+    /// Uses the engine's default parameters plus [`TraceLevel::Full`].
+    pub fn explain(
+        &self,
+        raw_query: &str,
+        budget: &QueryBudget,
+    ) -> Result<WikiSearchResult, SearchError> {
+        self.explain_with_params(raw_query, &self.params, budget)
+    }
+
+    /// [`WikiSearch::explain`] with explicit base parameters (the trace
+    /// level is forced to [`TraceLevel::Full`] regardless).
+    pub fn explain_with_params(
+        &self,
+        raw_query: &str,
+        params: &SearchParams,
+        budget: &QueryBudget,
+    ) -> Result<WikiSearchResult, SearchError> {
+        let params = params.clone().with_trace(TraceLevel::Full);
+        self.run_search(raw_query, &params, budget, false)
+    }
+
+    /// The one fallible spine: cache consultation (unless bypassed),
+    /// session checkout, backend dispatch, cache population, and metrics
+    /// accounting around all of it.
+    fn run_search(
+        &self,
+        raw_query: &str,
+        params: &SearchParams,
+        budget: &QueryBudget,
+        use_cache: bool,
+    ) -> Result<WikiSearchResult, SearchError> {
+        let started = Instant::now();
+        self.metrics.queries.inc();
         let query = ParsedQuery::parse(&self.index, raw_query);
         let kwf = query.avg_keyword_frequency();
         let key = match &self.cache {
-            Some(cache) if !query.is_empty() => {
+            Some(cache) if use_cache && !query.is_empty() => {
                 let key = QueryKey::new(textindex::normalize_query(raw_query), params);
                 if let Some(entry) = cache.get(&key) {
                     if let Some(answers) = reorient_answers(&entry, &query) {
+                        self.metrics.cache_hits.inc();
+                        // A traced hit reports "cache" as its engine: no
+                        // search ran, so there are no levels to show.
+                        let trace = params.trace.enabled().then(|| {
+                            Box::new(QueryTrace {
+                                engine: "cache".to_string(),
+                                keywords: query.num_keywords(),
+                                cache: Some(CacheOutcome::Hit),
+                                ..QueryTrace::default()
+                            })
+                        });
+                        self.metrics.latency_us.record(elapsed_us(started));
                         return Ok(WikiSearchResult {
                             query,
                             answers,
                             profile: entry.profile,
                             kwf,
                             stats: entry.stats.clone(),
+                            trace,
                         });
                     }
                 }
+                self.metrics.cache_misses.inc();
                 Some(key)
             }
             _ => None,
         };
-        let SearchOutcome { answers, profile, stats } = {
+        let outcome = {
             let mut session = self.sessions.checkout();
-            self.backend
-                .try_search_session(&mut session, &self.graph, &query, params, budget)?
+            let result =
+                self.backend
+                    .try_search_session(&mut session, &self.graph, &query, params, budget);
+            match result {
+                Ok(mut outcome) => {
+                    if let Some(trace) = outcome.trace.as_deref_mut() {
+                        trace.session_id = Some(session.session_id());
+                        // queries_run was already bumped for this query;
+                        // report the session's warmth *entering* it.
+                        trace.session_queries = Some(session.queries_run().saturating_sub(1));
+                        trace.cache = Some(if key.is_some() {
+                            CacheOutcome::Miss
+                        } else {
+                            CacheOutcome::Bypass
+                        });
+                    }
+                    outcome
+                }
+                Err(e) => {
+                    match e.kind() {
+                        "deadline_exceeded" => self.metrics.deadline_exceeded.inc(),
+                        "budget_exhausted" => self.metrics.budget_exhausted.inc(),
+                        _ => {}
+                    }
+                    return Err(e);
+                }
+            }
         };
+        let SearchOutcome { answers, profile, stats, trace } = outcome;
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             let entry = CachedSearch {
                 group_terms: query.groups.iter().map(|g| g.term.clone()).collect(),
@@ -336,7 +421,14 @@ impl WikiSearch {
             let bytes = key.approx_bytes() + approx_entry_bytes(&entry);
             cache.insert(key, Arc::new(entry), bytes);
         }
-        Ok(WikiSearchResult { query, answers, profile, kwf, stats })
+        // Expansion-work estimate from the always-collected level trace
+        // (Σ frontier × q — the units Algorithm 2 charges), so the
+        // histogram costs no hot-path atomics on untraced queries.
+        let q = query.num_keywords() as u64;
+        let frontier_sum: u64 = stats.trace.iter().map(|t| t.frontier as u64).sum();
+        self.metrics.expansions.record(frontier_sum * q);
+        self.metrics.latency_us.record(elapsed_us(started));
+        Ok(WikiSearchResult { query, answers, profile, kwf, stats, trace })
     }
 
     /// Backwards-compatible alias of [`WikiSearch::search_with_params`].
@@ -354,6 +446,19 @@ impl WikiSearch {
     /// session counts).
     pub fn session_pool(&self) -> &SessionPool {
         &self.sessions
+    }
+
+    /// The engine's live serving-metrics registry (see
+    /// [`central::metrics`]). Counters and histograms accumulate across
+    /// every search path — cache hits, computed searches, and failures.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A plain-data snapshot of the metrics registry — what the server's
+    /// `STATS` and `METRICS` verbs are rendered from.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Parse a query without searching (used by harnesses for kwf stats).
@@ -426,6 +531,11 @@ fn approx_entry_bytes(entry: &CachedSearch) -> usize {
         bytes += a.keyword_edges.iter().map(|v| 24 + v.len() * edge).sum::<usize>();
     }
     bytes + entry.stats.trace.len() * 24
+}
+
+/// Microseconds elapsed since `started`, saturated into a `u64`.
+fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 fn make_backend(backend: Backend) -> Box<dyn KeywordSearchEngine + Send + Sync> {
@@ -759,6 +869,105 @@ mod tests {
             assert_eq!(err.kind(), "budget_exhausted", "{backend:?}");
             let ok = ws.try_search("xml sql rdf", &QueryBudget::unlimited()).unwrap();
             assert!(!ok.answers.is_empty(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn tracing_is_opt_in_and_does_not_change_results() {
+        let ws = small_engine(Backend::Sequential);
+        let plain = ws.search("xml sql rdf");
+        assert!(plain.trace.is_none(), "tracing must be opt-in");
+        let traced =
+            ws.search_with_params("xml sql rdf", &ws.params().clone().with_trace(TraceLevel::Full));
+        assert!(traced.trace.is_some());
+        assert_eq!(digest(&ws, &plain), digest(&ws, &traced), "tracing changed the answers");
+    }
+
+    #[test]
+    fn explain_returns_a_live_trace_and_bypasses_the_cache() {
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        ws.search("xml sql rdf"); // populate the cache
+        let explained = ws.explain("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+        let trace = explained.trace.as_deref().unwrap();
+        assert_eq!(trace.engine, "Seq");
+        assert_eq!(trace.keywords, 3);
+        assert_eq!(trace.cache, Some(CacheOutcome::Bypass), "EXPLAIN never serves from cache");
+        assert!(trace.session_id.is_some());
+        assert!(!trace.levels.is_empty());
+        for (i, l) in trace.levels.iter().enumerate() {
+            assert_eq!(l.level as usize, i);
+            assert!(l.frontier > 0);
+        }
+        assert_eq!(
+            trace.levels.iter().map(|l| l.identified).sum::<usize>(),
+            explained.stats.central_candidates
+        );
+        let total: u64 = trace.levels.iter().map(|l| l.expansions).sum();
+        assert_eq!(total, trace.total_expansions);
+        assert!(total > 0, "counting mode must account expansion work");
+        // The cache was untouched: still exactly one entry, zero hits.
+        let stats = ws.cache_stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn traced_cache_hits_report_the_cache_as_engine() {
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        let traced_params = ws.params().clone().with_trace(TraceLevel::Full);
+        let miss = ws.search_with_params("xml sql", &traced_params);
+        assert_eq!(miss.trace.as_deref().unwrap().cache, Some(CacheOutcome::Miss));
+        let hit = ws.search_with_params("xml sql", &traced_params);
+        let trace = hit.trace.as_deref().unwrap();
+        assert_eq!(trace.engine, "cache");
+        assert_eq!(trace.cache, Some(CacheOutcome::Hit));
+        assert!(trace.levels.is_empty(), "a hit runs no levels");
+    }
+
+    #[test]
+    fn metrics_account_every_search_path() {
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        ws.search("xml sql rdf");
+        ws.search("xml sql rdf"); // hit
+        let starved = QueryBudget::unlimited().with_max_expansions(1);
+        assert!(ws.try_search("xml rdf", &starved).is_err());
+        let snap = ws.metrics_snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.budget_exhausted, 1);
+        assert_eq!(snap.deadline_exceeded, 0);
+        // Latency is recorded for the two successful queries only, and
+        // expansion work for the one computed success.
+        assert_eq!(snap.latency_us.count, 2);
+        assert_eq!(snap.expansions.count, 1);
+        assert!(snap.expansions.sum > 0);
+        assert!(snap.latency_us.percentile(0.99) >= snap.latency_us.percentile(0.5));
+    }
+
+    #[test]
+    fn all_backends_produce_per_level_explain_traces() {
+        for backend in [
+            Backend::Sequential,
+            Backend::ParCpu(2),
+            Backend::GpuStyle(2),
+            Backend::DynPar(2),
+        ] {
+            let ws = small_engine(backend);
+            let out = ws.explain("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+            let trace = out.trace.as_deref().unwrap_or_else(|| panic!("{backend:?}: no trace"));
+            assert!(!trace.levels.is_empty(), "{backend:?}");
+            assert!(trace.total_expansions > 0, "{backend:?}");
+            // The rich records agree with the always-on level trace.
+            assert_eq!(trace.levels.len(), out.stats.trace.len(), "{backend:?}");
+            for (rich, plain) in trace.levels.iter().zip(&out.stats.trace) {
+                assert_eq!(rich.level, u32::from(plain.level), "{backend:?}");
+                assert_eq!(rich.frontier, plain.frontier, "{backend:?}");
+                assert_eq!(rich.identified, plain.identified, "{backend:?}");
+            }
         }
     }
 
