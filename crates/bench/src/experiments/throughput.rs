@@ -15,6 +15,11 @@
 //! scaling — every added client is new work on a new core) and CPU-Par
 //! with 2 threads (inter-query concurrency composed with intra-query
 //! parallelism, the `serve --workers N` configuration).
+//!
+//! A third sweep runs the **shards axis**: the same volley through the
+//! in-process scatter-gather coordinator (`--shards {1,2,4}`) at equal
+//! worker counts, reporting qps and p95 relative to the unsharded
+//! baseline (written to `BENCH_shards.json`).
 
 use crate::{client_sweep, queries_per_point};
 use central::{HistogramSnapshot, LogHistogram};
@@ -142,6 +147,8 @@ pub fn run() -> serde_json::Value {
         }
     }
 
+    let _ = run_shards(&ds.graph, &name, &queries, per_client, cores);
+
     let record = json!({
         "experiment": "throughput",
         "dataset": name,
@@ -166,6 +173,121 @@ pub fn run() -> serde_json::Value {
             .collect::<Vec<_>>(),
     });
     if let Ok(path) = ExperimentSink::new().write("throughput", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}
+
+/// The shards axis in [`SHARD_SWEEP`].
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// The shards axis: the same client volley through the scatter-gather
+/// coordinator at every shard count, with **equal worker counts** —
+/// CPU-Par(2) kernels and 4 concurrent clients in every configuration,
+/// so the only variable is how many shards the graph is cut into.
+/// `shards = 1` is the monolithic baseline (the facade serves it without
+/// a coordinator); each point reports its qps and p95 relative to that
+/// baseline. Answers are byte-identical across the axis (pinned by the
+/// shard-invariance suite), so this measures pure coordination overhead
+/// vs. partitioned-locality gain. Writes `BENCH_shards.json`.
+fn run_shards(
+    graph: &kgraph::KnowledgeGraph,
+    dataset: &str,
+    queries: &[String],
+    per_client: usize,
+    cores: usize,
+) -> serde_json::Value {
+    let clients = 4usize;
+    println!(
+        "== throughput/shards: {clients} clients x {per_client} queries, \
+         CPU-Par(2), shards {SHARD_SWEEP:?} =="
+    );
+
+    struct ShardPoint {
+        shards: usize,
+        wall_ms: f64,
+        qps: f64,
+        latency_us: HistogramSnapshot,
+        rounds: u64,
+        notifications: u64,
+    }
+    let mut points: Vec<ShardPoint> = Vec::new();
+    for &shards in &SHARD_SWEEP {
+        let ws = Arc::new(WikiSearch::open_sharded(graph.clone(), Backend::ParCpu(2), shards));
+        volley(&ws, queries, clients, 2); // warmup: pools + page cache
+        let (wall, latency_us) = volley(&ws, queries, clients, per_client);
+        let coordinator = ws.shard_stats();
+        points.push(ShardPoint {
+            shards,
+            wall_ms: wall * 1e3,
+            qps: (clients * per_client) as f64 / wall,
+            latency_us,
+            rounds: coordinator.as_ref().map_or(0, |s| s.rounds),
+            notifications: coordinator.as_ref().map_or(0, |s| s.notifications),
+        });
+    }
+
+    let ms = |us: u64| us as f64 / 1e3;
+    let base_qps = points[0].qps;
+    let base_p95 = ms(points[0].latency_us.percentile(0.95));
+    let mut table = Table::new(vec![
+        "shards",
+        "wall(ms)",
+        "qps",
+        "qps/base",
+        "p50(ms)",
+        "p95(ms)",
+        "p95/base",
+        "rounds",
+        "notifications",
+    ]);
+    for p in &points {
+        let p95 = ms(p.latency_us.percentile(0.95));
+        table.row(vec![
+            p.shards.to_string(),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.1}", p.qps),
+            format!("{:.2}", p.qps / base_qps),
+            format!("{:.2}", ms(p.latency_us.percentile(0.50))),
+            format!("{:.2}", p95),
+            if base_p95 > 0.0 {
+                format!("{:.2}", p95 / base_p95)
+            } else {
+                "-".into()
+            },
+            p.rounds.to_string(),
+            p.notifications.to_string(),
+        ]);
+    }
+    table.print();
+
+    let record = json!({
+        "experiment": "shards",
+        "dataset": dataset,
+        "cores": cores,
+        "backend": "CPU-Par(2)",
+        "clients": clients,
+        "queries_per_client": per_client,
+        "points": points
+            .iter()
+            .map(|p| {
+                let p95 = ms(p.latency_us.percentile(0.95));
+                json!({
+                    "shards": p.shards,
+                    "wall_ms": p.wall_ms,
+                    "qps": p.qps,
+                    "qps_vs_unsharded": p.qps / base_qps,
+                    "latency_p50_ms": ms(p.latency_us.percentile(0.50)),
+                    "latency_p95_ms": p95,
+                    "p95_vs_unsharded": if base_p95 > 0.0 { p95 / base_p95 } else { 1.0 },
+                    "latency_p99_ms": ms(p.latency_us.percentile(0.99)),
+                    "exchange_rounds": p.rounds,
+                    "boundary_notifications": p.notifications,
+                })
+            })
+            .collect::<Vec<_>>(),
+    });
+    if let Ok(path) = ExperimentSink::new().write("BENCH_shards", &record) {
         println!("json: {}", path.display());
     }
     record

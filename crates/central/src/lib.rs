@@ -82,6 +82,7 @@ pub mod model;
 pub mod pool;
 pub mod profile;
 pub mod session;
+pub mod shard;
 pub mod state;
 pub mod top_down;
 pub mod trace;
@@ -99,4 +100,5 @@ pub use model::{CentralGraph, INFINITE_LEVEL};
 pub use pool::{PoolStats, PooledSession, SessionPool};
 pub use profile::PhaseProfile;
 pub use session::SearchSession;
+pub use shard::{ShardBackend, ShardPlan, ShardedSearch, ShardedStats};
 pub use trace::{CacheOutcome, QueryTrace, TraceLevel, TraceLevelRecord};

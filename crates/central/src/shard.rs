@@ -1,0 +1,1066 @@
+//! In-process sharded scatter-gather search: an edge-cut graph
+//! partitioner with boundary-node replication, per-shard local search over
+//! the existing session machinery, and a level-synchronous coordinator
+//! that exchanges frontier/hitting-level state across shard boundaries
+//! between BFS rounds.
+//!
+//! This is phase 1 of the distributed design sketched by DKWS
+//! (arXiv:2309.01199): every shard runs the paper's two-stage algorithm
+//! *locally* on its sub-graph, and the only cross-shard traffic is the
+//! per-round exchange of newly hit boundary cells. Because all shards
+//! live in one process, "traffic" here is a vector of `(node, instance)`
+//! pairs — but the protocol (scatter, local expand, boundary exchange,
+//! merge) is exactly what a cross-process split will reuse.
+//!
+//! ## Partitioning ([`ShardPlan`])
+//!
+//! Node ownership is a deterministic seeded hash: `owner(v) =
+//! splitmix64(seed ^ v) mod N`. Each [`ShardPart`] materializes
+//!
+//! * its **owned** nodes, assigned local ids `0..num_owned` in ascending
+//!   global-id order (this makes per-shard frontier scans produce
+//!   globally ordered cohorts, which the answer-identity proof relies
+//!   on);
+//! * **halo** replicas of every remote-owned node adjacent to an owned
+//!   node, with local ids after the owned block;
+//! * a local CSR sub-graph holding every global directed edge incident
+//!   to an owned node (owned nodes have *complete* adjacency; halos have
+//!   partial adjacency and are never expanded);
+//! * per-node weights copied from the global graph
+//!   ([`kgraph::KnowledgeGraph::override_weights`]) so activation levels
+//!   and Eq. 6 scores are identical to the monolithic engine's — the
+//!   builder would otherwise re-normalize over the shard-local maximum;
+//! * the **boundary** (frontier-exchange) table: local ids of every node
+//!   replicated in more than one shard.
+//!
+//! ## The round protocol ([`ShardedSearch`])
+//!
+//! The coordinator mirrors [`crate::bottom_up::run`] phase for phase; the
+//! global level barrier is simply a fork-join over the shard lanes:
+//!
+//! 1. **enqueue** (parallel): each shard drains the frontier flags of its
+//!    *owned* nodes — every global frontier node is counted exactly once,
+//!    by its owner.
+//! 2. **identify** (parallel): [`crate::bottom_up::identify_sequential`]
+//!    over each shard's owned frontiers; the owner's replica always holds
+//!    the complete `M` row (see the sync invariant below).
+//! 3. **merge** (coordinator): per-shard cohorts map back to global ids
+//!    and merge in ascending order — the same within-level order the
+//!    monolithic frontier scan produces.
+//! 4. **expand** (parallel): the backend's expansion kernel runs over
+//!    each shard's owned frontiers against its local sub-graph, charging
+//!    the one shared [`crate::budget::BudgetTracker`].
+//! 5. **exchange** (coordinator): each shard scans its boundary table for
+//!    cells that became `level + 1` this round; the coordinator dedups
+//!    the union and broadcasts each surviving `(node, instance)` pair to
+//!    every holder whose replica still reads `∞`.
+//!
+//! The dedup in step 5 is the synchronous degenerate form of DKWS's
+//! monotone upper-bound pruning: in a level-synchronous search every
+//! notification generated during round `l` carries the same level
+//! `l + 1`, so a notification is useful iff the receiving replica has no
+//! finite level yet — anything else cannot lower the bound and is
+//! dropped ([`ShardedStats::notifications_suppressed`] counts these).
+//!
+//! **Sync invariant:** at every round boundary, all replicas of a node
+//! carry identical `M` rows. Seeding establishes it (each shard's
+//! localized query seeds keyword sources on owned *and* halo replicas),
+//! and step 5 restores it after each round (every newly finite boundary
+//! cell is broadcast to every holder). Within a round, writes race only
+//! with equal-valued writes (Theorem V.2 of the paper, unchanged).
+//! Identification therefore sees exactly the monolithic `M`, and the
+//! byte-identity of answers, stats and traces follows — which is what the
+//! `shard_equivalence` differential suite pins.
+//!
+//! ## Top-down
+//!
+//! Extraction and pruning run over the *global* graph through a
+//! [`crate::state::HitLevels`] adapter that routes each node to its
+//! owner's state (authoritative by the sync invariant), so the top-down
+//! stage is byte-for-byte the monolithic one.
+//!
+//! ## Serving semantics
+//!
+//! One query checks out one session per shard (each shard has its own
+//! [`SessionPool`]); a panic unwinding through the coordinator quarantines
+//! all of them, so the facade's panic-isolation contract survives
+//! sharding (`quarantined` grows by `N` per poisoned query, which the
+//! sharded soak test accounts for exactly). Budgets and deadlines are
+//! enforced by the single shared tracker at the same points the
+//! monolithic driver polls it. The `CPU-Par-d` backend runs its shards on
+//! the matrix substrate: the dynamic-memory engine is answer- and
+//! trace-identical to the matrix engines (pinned by the workspace
+//! differential tests), so the sharded path reuses the matrix kernels for
+//! all four backend names.
+
+use crate::activation::{ActivationConfig, ActivationMap};
+use crate::bottom_up::{self, ExpandCtx, LevelTrace, TerminationReason};
+use crate::budget::QueryBudget;
+use crate::engine::{SearchOutcome, SearchStats};
+use crate::error::SearchError;
+use crate::model::{CentralGraph, INFINITE_LEVEL};
+use crate::pool::{PoolStats, SessionPool};
+use crate::profile::PhaseProfile;
+use crate::state::{HitLevels, SearchState};
+use crate::top_down;
+use crate::trace::{PhaseMillis, QueryTrace, TraceLevelRecord};
+use crate::SearchParams;
+use kgraph::{GraphBuilder, KnowledgeGraph, NodeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use textindex::{KeywordGroup, ParsedQuery};
+
+/// Default ownership-hash seed. Any fixed seed yields a valid (and
+/// deterministic) partition; this one is the splitmix64 increment.
+pub const DEFAULT_PARTITION_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 finalizer — a cheap, well-mixed hash for node→shard
+/// assignment. Deterministic across runs and platforms.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One shard of an edge-cut partition: the local sub-graph plus the id
+/// maps and boundary table the coordinator routes through.
+pub struct ShardPart {
+    /// Local CSR sub-graph: owned nodes first (complete adjacency), then
+    /// halo replicas (partial adjacency, never expanded). Node weights
+    /// are copied from the global graph.
+    pub graph: KnowledgeGraph,
+    /// Local id → global id. The first [`ShardPart::num_owned`] entries
+    /// are the owned nodes in ascending global order; the rest are halos,
+    /// also ascending.
+    pub locals: Vec<u32>,
+    /// Global id → local id — the inverse of [`ShardPart::locals`].
+    pub local_index: HashMap<u32, u32>,
+    /// Number of owned nodes; local ids `0..num_owned` are owned.
+    pub num_owned: u32,
+    /// Frontier-exchange table: local ids (ascending) of every node
+    /// replicated in more than one shard — owned boundary nodes and all
+    /// halos.
+    pub boundary: Vec<u32>,
+}
+
+impl ShardPart {
+    /// Remap a global query onto this shard: same groups in the same
+    /// order (the BFS instance identity must agree across shards), node
+    /// sets restricted to the replicas — owned *and* halo — present
+    /// here. Halo sources must be seeded too, or a shard expanding into
+    /// an unseeded source replica would treat it as unhit.
+    fn localize_query(&self, query: &ParsedQuery) -> ParsedQuery {
+        ParsedQuery {
+            groups: query
+                .groups
+                .iter()
+                .map(|g| KeywordGroup {
+                    term: g.term.clone(),
+                    nodes: g
+                        .nodes
+                        .iter()
+                        .filter_map(|v| self.local_index.get(&v.0).map(|&l| NodeId(l)))
+                        .collect(),
+                })
+                .collect(),
+            unmatched: query.unmatched.clone(),
+        }
+    }
+}
+
+/// A deterministic edge-cut partition of a [`KnowledgeGraph`] into `N`
+/// sub-graphs with boundary-node replication.
+pub struct ShardPlan {
+    /// Number of shards `N ≥ 1`.
+    pub shards: usize,
+    /// Seed of the ownership hash.
+    pub seed: u64,
+    /// Global node id → owning shard.
+    pub owner: Vec<u32>,
+    /// The `N` shard parts.
+    pub parts: Vec<ShardPart>,
+    /// For every node replicated in more than one shard: the shards
+    /// holding a replica (owner first, then halo shards ascending).
+    pub holders: HashMap<u32, Vec<u32>>,
+}
+
+impl ShardPlan {
+    /// Partition `graph` into `shards` parts under `seed`. Handles
+    /// `shards` exceeding the node count (some parts are simply empty)
+    /// and the empty graph.
+    pub fn build(graph: &KnowledgeGraph, shards: usize, seed: u64) -> ShardPlan {
+        assert!(shards >= 1, "a plan needs at least one shard");
+        let n = graph.num_nodes();
+        let owner: Vec<u32> =
+            (0..n as u64).map(|v| (splitmix64(seed ^ v) % shards as u64) as u32).collect();
+
+        // Halo sets: v is a halo of shard s iff owner[v] != s and v is
+        // adjacent to a node owned by s. The bi-directed CSR lists every
+        // incident edge from both endpoints, so one pass over all
+        // adjacency covers both directions.
+        let mut halos: Vec<std::collections::BTreeSet<u32>> =
+            (0..shards).map(|_| Default::default()).collect();
+        for v in 0..n as u32 {
+            let ov = owner[v as usize];
+            for adj in graph.neighbors(NodeId(v)) {
+                let ou = owner[adj.target().index()];
+                if ou != ov {
+                    halos[ou as usize].insert(v);
+                }
+            }
+        }
+
+        // Replica holders: owner first, then halo shards in ascending
+        // shard order. Only replicated nodes get an entry.
+        let mut holders: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (s, halo) in halos.iter().enumerate() {
+            for &v in halo {
+                holders.entry(v).or_insert_with(|| vec![owner[v as usize]]).push(s as u32);
+            }
+        }
+
+        let mut parts = Vec::with_capacity(shards);
+        for (s, halo) in halos.iter().enumerate() {
+            let owned: Vec<u32> =
+                (0..n as u32).filter(|&v| owner[v as usize] == s as u32).collect();
+            let num_owned = owned.len() as u32;
+            let mut locals = owned;
+            locals.extend(halo.iter().copied());
+            let local_index: HashMap<u32, u32> =
+                locals.iter().enumerate().map(|(l, &v)| (v, l as u32)).collect();
+
+            // Local sub-graph: every node in local order, every global
+            // directed edge incident to an owned node. A non-owned
+            // endpoint of such an edge is by definition a halo, so both
+            // endpoints are always present. Halo↔halo edges are omitted —
+            // halos are never expanded, so their adjacency is never read.
+            let mut b = GraphBuilder::with_capacity(locals.len(), locals.len() * 4);
+            let ids: Vec<NodeId> = locals
+                .iter()
+                .map(|&v| b.add_node(graph.node_key(NodeId(v)), graph.node_text(NodeId(v))))
+                .collect();
+            for (l, &v) in locals.iter().enumerate().take(num_owned as usize) {
+                for adj in graph.neighbors(NodeId(v)) {
+                    let t = local_index[&adj.target().0];
+                    let label = graph.label_name(adj.label());
+                    if adj.is_outgoing() {
+                        b.add_edge(ids[l], ids[t as usize], label);
+                    } else if owner[adj.target().index()] != s as u32 {
+                        // Incoming edge from a halo source; owned→owned
+                        // edges are already covered by the source's
+                        // outgoing pass (the builder would dedup them
+                        // anyway, but skipping keeps the pass linear).
+                        b.add_edge(ids[t as usize], ids[l], label);
+                    }
+                }
+            }
+            let mut local_graph = b.build();
+            // Global weights, not re-normalized over the shard-local max.
+            let raw = locals.iter().map(|&v| graph.raw_weight(NodeId(v))).collect();
+            let norm = locals.iter().map(|&v| graph.weight(NodeId(v))).collect();
+            local_graph.override_weights(raw, norm);
+
+            let boundary: Vec<u32> = locals
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| holders.contains_key(v))
+                .map(|(l, _)| l as u32)
+                .collect();
+            parts.push(ShardPart { graph: local_graph, locals, local_index, num_owned, boundary });
+        }
+        ShardPlan { shards, seed, owner, parts, holders }
+    }
+}
+
+/// Which expansion kernel each shard runs. Mirrors the four engine names;
+/// `CPU-Par-d` shards run on the matrix substrate (the dynamic engine is
+/// answer- and trace-identical, so the kernels are interchangeable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// Sequential expansion per shard (shards still run concurrently).
+    Seq,
+    /// Coarse-grained rayon expansion (one task per frontier node).
+    ParCpu(usize),
+    /// Fine-grained GPU-style expansion (one task per work item).
+    GpuStyle(usize),
+    /// The dynamic-engine name, served by the matrix substrate.
+    DynPar(usize),
+}
+
+impl ShardBackend {
+    /// The monolithic engine name this backend corresponds to.
+    pub fn base_name(&self) -> &'static str {
+        match self {
+            ShardBackend::Seq => "Seq",
+            ShardBackend::ParCpu(_) => "CPU-Par",
+            ShardBackend::GpuStyle(_) => "GPU-Par",
+            ShardBackend::DynPar(_) => "CPU-Par-d",
+        }
+    }
+
+    /// Worker threads the backend was configured with (1 for `Seq`).
+    pub fn threads(&self) -> usize {
+        match *self {
+            ShardBackend::Seq => 1,
+            ShardBackend::ParCpu(t) | ShardBackend::GpuStyle(t) | ShardBackend::DynPar(t) => {
+                t.max(1)
+            }
+        }
+    }
+}
+
+/// Cross-query counters of one [`ShardedSearch`].
+#[derive(Default)]
+struct ShardCounters {
+    /// BFS rounds that ran an expansion + exchange step.
+    rounds: AtomicU64,
+    /// Unique `(node, instance)` boundary updates broadcast to replicas.
+    notifications: AtomicU64,
+    /// Outbox entries dropped by the monotone-bound dedup before
+    /// broadcast.
+    suppressed: AtomicU64,
+}
+
+/// A monitoring snapshot of a [`ShardedSearch`] (`STATS` / `METRICS`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
+pub struct ShardedStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Expansion/exchange rounds executed across all queries.
+    pub rounds: u64,
+    /// Unique boundary notifications broadcast across all queries.
+    pub notifications: u64,
+    /// Boundary notifications suppressed by the monotone-bound dedup.
+    pub notifications_suppressed: u64,
+    /// Per-shard session-pool counters, summed over all shards.
+    pub pools: PoolStats,
+}
+
+/// Per-shard shared (read-only) state of one in-flight query.
+struct Lane<'a> {
+    part: &'a ShardPart,
+    state: &'a SearchState,
+    act: ActivationMap<'a>,
+}
+
+/// Per-shard mutable buffers of one in-flight query. Kept behind one
+/// uncontended mutex per shard so the fork-join phases can write them
+/// from pool workers (exactly one worker touches each lane per phase).
+#[derive(Default)]
+struct LaneBufs {
+    frontiers: Vec<u32>,
+    newly: Vec<u32>,
+    /// `(global node, instance)` cells that became `level + 1` this round.
+    outbox: Vec<(u32, u32)>,
+    /// Traced-query observation: keyword cells first covered this level.
+    new_hits: usize,
+    /// Traced-query observation: frontier nodes still activation-gated.
+    deferred: usize,
+}
+
+/// Routes global node ids to the owning shard's search state, so the
+/// shared top-down stage runs over the global graph unchanged. By the
+/// sync invariant the owner's replica is authoritative.
+struct ShardedHitLevels<'a> {
+    plan: &'a ShardPlan,
+    states: Vec<&'a SearchState>,
+    q: usize,
+}
+
+impl ShardedHitLevels<'_> {
+    #[inline]
+    fn route(&self, v: u32) -> (&SearchState, u32) {
+        let s = self.plan.owner[v as usize] as usize;
+        (self.states[s], self.plan.parts[s].local_index[&v])
+    }
+}
+
+impl HitLevels for ShardedHitLevels<'_> {
+    fn num_keywords(&self) -> usize {
+        self.q
+    }
+    fn hit(&self, v: u32, i: usize) -> u8 {
+        let (state, l) = self.route(v);
+        state.hit(l, i)
+    }
+    fn is_keyword_node(&self, v: u32) -> bool {
+        let (state, l) = self.route(v);
+        state.is_keyword_node(l)
+    }
+    fn central_depth(&self, v: u32) -> Option<u8> {
+        let (state, l) = self.route(v);
+        state.central_depth(l)
+    }
+}
+
+/// Scatter-gather coordinator over an in-process [`ShardPlan`]: scatters
+/// a query to all shards, drives the round protocol, and merges per-shard
+/// candidates into the monolithic top-(k,d) answer set. See the module
+/// docs for the protocol and its identity argument.
+pub struct ShardedSearch {
+    plan: ShardPlan,
+    pools: Vec<SessionPool>,
+    compute: rayon::ThreadPool,
+    backend: ShardBackend,
+    name: String,
+    counters: ShardCounters,
+}
+
+impl ShardedSearch {
+    /// Partition `graph` into `shards` parts (default seed) and set up
+    /// one session pool per shard plus a shared compute pool sized for
+    /// `max(backend threads, shards)` workers.
+    pub fn new(graph: &KnowledgeGraph, backend: ShardBackend, shards: usize) -> ShardedSearch {
+        assert!(shards >= 1, "sharded search needs at least one shard");
+        let plan = ShardPlan::build(graph, shards, DEFAULT_PARTITION_SEED);
+        let pools = (0..shards).map(|_| SessionPool::new()).collect();
+        let compute = crate::engine::build_pool(backend.threads().max(shards));
+        let name = format!("{}[shards={shards}]", backend.base_name());
+        ShardedSearch { plan, pools, compute, backend, name, counters: ShardCounters::default() }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.plan.shards
+    }
+
+    /// The partition, for introspection and tests.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Engine display name carried on traces (`"CPU-Par[shards=4]"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monitoring snapshot: round/notification counters plus the summed
+    /// per-shard pool counters.
+    pub fn stats(&self) -> ShardedStats {
+        let mut pools = PoolStats::default();
+        for p in &self.pools {
+            let s = p.stats();
+            pools.queries_run += s.queries_run;
+            pools.sessions_created += s.sessions_created;
+            pools.idle_sessions += s.idle_sessions;
+            pools.in_flight += s.in_flight;
+            pools.quarantined += s.quarantined;
+        }
+        ShardedStats {
+            shards: self.plan.shards,
+            rounds: self.counters.rounds.load(Ordering::Relaxed),
+            notifications: self.counters.notifications.load(Ordering::Relaxed),
+            notifications_suppressed: self.counters.suppressed.load(Ordering::Relaxed),
+            pools,
+        }
+    }
+
+    /// Run one budgeted sharded search. Same contract as
+    /// [`crate::engine::KeywordSearchEngine::try_search_session`]: a
+    /// tripped budget returns `Err` and never a partial answer set, and a
+    /// panic unwinding through the search quarantines every shard
+    /// session it had checked out.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`SearchParams::validate`].
+    pub fn try_search(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &ParsedQuery,
+        params: &SearchParams,
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, SearchError> {
+        use rayon::prelude::*;
+
+        if let Err(e) = params.validate() {
+            panic!("invalid search parameters: {e}");
+        }
+        // One session per shard, checked out for the whole query: a panic
+        // from here on unwinds through all the guards and quarantines the
+        // whole cohort (PooledSession::drop sees thread::panicking()).
+        let mut sessions: Vec<_> = self.pools.iter().map(|p| p.checkout()).collect();
+        let tracker = if params.trace.enabled() {
+            budget.start_counting()
+        } else {
+            budget.start()
+        };
+        tracker.checkpoint()?;
+        #[cfg(feature = "fault-inject")]
+        crate::fault::inject(query, &tracker)?;
+        if query.is_empty() {
+            let mut out = SearchOutcome::default();
+            if params.trace.enabled() {
+                out.trace = Some(Box::new(QueryTrace {
+                    engine: self.name.clone(),
+                    ..QueryTrace::default()
+                }));
+            }
+            return Ok(out);
+        }
+        let mut profile = PhaseProfile::default();
+        let q = query.num_keywords();
+
+        // Scatter: localize the query per shard (halo sources included)
+        // and re-arm every shard session.
+        let t = Instant::now();
+        let local_queries: Vec<ParsedQuery> =
+            self.plan.parts.iter().map(|p| p.localize_query(query)).collect();
+        for (session, (part, lq)) in
+            sessions.iter_mut().zip(self.plan.parts.iter().zip(&local_queries))
+        {
+            session.state.begin_query(part.graph.num_nodes(), lq);
+            session.queries_run += 1;
+        }
+        profile.init = t.elapsed();
+
+        let explicit = params.explicit_activation.clone();
+        let config =
+            ActivationConfig { alpha: params.alpha, average_distance: params.average_distance };
+        // Explicit activation tables remap global → local per shard.
+        let local_acts: Vec<Option<Vec<u8>>> = self
+            .plan
+            .parts
+            .iter()
+            .map(|p| {
+                explicit
+                    .as_ref()
+                    .map(|levels| p.locals.iter().map(|&v| levels[v as usize]).collect())
+            })
+            .collect();
+        let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(self.plan.shards);
+        for (s, part) in self.plan.parts.iter().enumerate() {
+            let act = match &local_acts[s] {
+                Some(table) => ActivationMap::Explicit(table),
+                None => ActivationMap::Computed { graph: &part.graph, config },
+            };
+            lanes.push(Lane { part, state: sessions[s].state(), act });
+        }
+        let lanes = &lanes[..];
+        let bufs: Vec<parking_lot::Mutex<LaneBufs>> =
+            lanes.iter().map(|_| parking_lot::Mutex::new(LaneBufs::default())).collect();
+        let bufs = &bufs[..];
+        let shards = self.plan.shards;
+
+        // The level-synchronous round loop — a fork-join mirror of
+        // `bottom_up::run`, with the boundary exchange as step 5.
+        let max_level = params.max_level.min(254);
+        let backend = self.backend;
+        let traced = params.trace.enabled();
+        let mut cohort: Vec<(NodeId, u8)> = Vec::new();
+        let mut level_trace: Vec<LevelTrace> = Vec::new();
+        let mut records: Option<Vec<TraceLevelRecord>> = traced.then(Vec::new);
+        let mut peak_frontier = 0usize;
+        let mut level: u8 = 0;
+        let terminated = loop {
+            tracker.checkpoint()?;
+            let t = Instant::now();
+            self.compute.install(|| {
+                (0..shards).into_par_iter().for_each(|s| {
+                    let lane = &lanes[s];
+                    let b = &mut *bufs[s].lock();
+                    // Owned nodes only: halo flags are never scanned, so
+                    // each global frontier node is drained exactly once.
+                    b.frontiers.clear();
+                    for v in 0..lane.part.num_owned {
+                        if lane.state.take_frontier_flag(v) {
+                            b.frontiers.push(v);
+                        }
+                    }
+                });
+            });
+            profile.enqueue += t.elapsed();
+            let frontier_total: usize = bufs.iter().map(|b| b.lock().frontiers.len()).sum();
+            peak_frontier = peak_frontier.max(frontier_total);
+            if frontier_total == 0 {
+                break TerminationReason::FrontierExhausted;
+            }
+
+            let t = Instant::now();
+            self.compute.install(|| {
+                (0..shards).into_par_iter().for_each(|s| {
+                    let lane = &lanes[s];
+                    let b = &mut *bufs[s].lock();
+                    bottom_up::identify_sequential(lane.state, &b.frontiers, level, &mut b.newly);
+                    if traced {
+                        b.new_hits = b
+                            .frontiers
+                            .iter()
+                            .map(|&f| (0..q).filter(|&i| lane.state.hit(f, i) == level).count())
+                            .sum();
+                        b.deferred = b
+                            .frontiers
+                            .iter()
+                            .filter(|&&f| lane.act.level(NodeId(f)) > level)
+                            .count();
+                    }
+                });
+            });
+            profile.identify += t.elapsed();
+            // Merge per-shard cohorts back to ascending global ids — the
+            // within-level order of the monolithic frontier scan.
+            let mut newly: Vec<u32> = Vec::new();
+            let (mut new_hits, mut deferred) = (0usize, 0usize);
+            for (s, lane) in lanes.iter().enumerate() {
+                let b = bufs[s].lock();
+                newly.extend(b.newly.iter().map(|&loc| lane.part.locals[loc as usize]));
+                new_hits += b.new_hits;
+                deferred += b.deferred;
+            }
+            newly.sort_unstable();
+            level_trace.push(LevelTrace {
+                level,
+                frontier: frontier_total,
+                identified: newly.len(),
+            });
+            if let Some(recs) = records.as_mut() {
+                recs.push(TraceLevelRecord {
+                    level: u32::from(level),
+                    frontier: frontier_total,
+                    identified: newly.len(),
+                    new_hits,
+                    activation_deferred: deferred,
+                    expansions: 0, // filled in after this level's expansion
+                    budget_remaining: tracker.remaining(),
+                });
+            }
+            cohort.extend(newly.iter().map(|&v| (NodeId(v), level)));
+            if cohort.len() >= params.top_k {
+                break TerminationReason::EnoughCentralNodes;
+            }
+            if level >= max_level {
+                break TerminationReason::LevelCap;
+            }
+
+            let charged_before = if records.is_some() {
+                tracker.expansions()
+            } else {
+                0
+            };
+            let t = Instant::now();
+            self.compute.install(|| {
+                (0..shards).into_par_iter().for_each(|s| {
+                    let lane = &lanes[s];
+                    let b = &mut *bufs[s].lock();
+                    let ctx = ExpandCtx {
+                        graph: &lane.part.graph,
+                        act: &lane.act,
+                        state: lane.state,
+                        budget: &tracker,
+                    };
+                    match backend {
+                        ShardBackend::Seq | ShardBackend::DynPar(_) => {
+                            for &f in &b.frontiers {
+                                bottom_up::expand_frontier(&ctx, f, level);
+                            }
+                        }
+                        ShardBackend::ParCpu(_) => {
+                            b.frontiers
+                                .par_iter()
+                                .for_each(|&f| bottom_up::expand_frontier(&ctx, f, level));
+                        }
+                        ShardBackend::GpuStyle(_) => {
+                            let frontiers = &b.frontiers;
+                            (0..frontiers.len() * q).into_par_iter().for_each(|w| {
+                                bottom_up::expand_work_item(&ctx, frontiers[w / q], w % q, level);
+                            });
+                        }
+                    }
+                    // Boundary scan: cells that became `level + 1` this
+                    // round, whether written by local expansion into an
+                    // owned node or into a halo replica.
+                    b.outbox.clear();
+                    for &bl in &lane.part.boundary {
+                        for i in 0..q {
+                            if lane.state.hit(bl, i) == level + 1 {
+                                b.outbox.push((lane.part.locals[bl as usize], i as u32));
+                            }
+                        }
+                    }
+                });
+            });
+            // Exchange: dedup the union (the synchronous monotone-bound
+            // prune) and broadcast each survivor to every replica still
+            // reading ∞. Frontier flags are raised only on owners — the
+            // only replicas whose flags are scanned.
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            for b in bufs {
+                pairs.extend_from_slice(&b.lock().outbox);
+            }
+            let sent = pairs.len();
+            pairs.sort_unstable();
+            pairs.dedup();
+            self.counters.rounds.fetch_add(1, Ordering::Relaxed);
+            self.counters.notifications.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+            self.counters
+                .suppressed
+                .fetch_add((sent - pairs.len()) as u64, Ordering::Relaxed);
+            for &(v, i) in &pairs {
+                for &s in &self.plan.holders[&v] {
+                    let lane = &lanes[s as usize];
+                    let l = lane.part.local_index[&v];
+                    if lane.state.hit(l, i as usize) == INFINITE_LEVEL {
+                        lane.state.set_hit(l, i as usize, level + 1);
+                        if l < lane.part.num_owned {
+                            lane.state.mark_frontier(l);
+                        }
+                    }
+                }
+            }
+            profile.expansion += t.elapsed();
+            if let Some(last) = records.as_mut().and_then(|r| r.last_mut()) {
+                last.expansions = tracker.expansions() - charged_before;
+                last.budget_remaining = tracker.remaining();
+            }
+            level += 1;
+        };
+        let last_level = level;
+
+        // Top-down over the *global* graph, routing hitting levels to the
+        // owning shard — byte-for-byte the monolithic stage.
+        cohort.truncate(params.max_candidates);
+        let global_act = match &explicit {
+            Some(levels) => ActivationMap::Explicit(levels),
+            None => ActivationMap::Computed { graph, config },
+        };
+        let hits = ShardedHitLevels {
+            plan: &self.plan,
+            states: lanes.iter().map(|l| l.state).collect(),
+            q,
+        };
+        let t = Instant::now();
+        let candidates: Option<Vec<CentralGraph>> = self.compute.install(|| {
+            cohort
+                .par_iter()
+                .map(|&(c, d)| {
+                    if tracker.should_stop() {
+                        return None;
+                    }
+                    let e = top_down::extract(graph, &global_act, &hits, c.0, d);
+                    Some(top_down::prune_and_score(graph, &hits, &e, params))
+                })
+                .collect()
+        });
+        let Some(candidates) = candidates else {
+            return Err(tracker
+                .error()
+                .expect("a stopped top-down stage implies a tripped budget"));
+        };
+        let answers = top_down::select_top_k(candidates, params);
+        profile.top_down = t.elapsed();
+
+        let trace = records.take().map(|levels| {
+            Box::new(QueryTrace {
+                engine: self.name.clone(),
+                keywords: q,
+                total_expansions: tracker.expansions(),
+                terminated: terminated == TerminationReason::LevelCap,
+                levels,
+                cache: None,
+                session_id: None,
+                session_queries: None,
+                phase_ms: PhaseMillis::from(&profile),
+            })
+        });
+        Ok(SearchOutcome {
+            answers,
+            profile,
+            stats: SearchStats {
+                last_level,
+                central_candidates: cohort.len(),
+                peak_frontier,
+                trace: level_trace,
+            },
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{KeywordSearchEngine, SeqEngine};
+    use kgraph::GraphBuilder;
+    use std::collections::HashSet;
+    use textindex::InvertedIndex;
+
+    /// A 12-node graph with two keyword clusters bridged by a hub.
+    fn fixture() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("hub", "junction");
+        for i in 0..5 {
+            let a = b.add_node(&format!("a{i}"), "alpha");
+            b.add_edge(a, hub, "p");
+        }
+        for i in 0..5 {
+            let z = b.add_node(&format!("z{i}"), "omega");
+            b.add_edge(hub, z, if i % 2 == 0 { "p" } else { "q" });
+        }
+        let lone = b.add_node("lone", "isolated");
+        let _ = lone;
+        b.build()
+    }
+
+    #[test]
+    fn every_node_is_owned_exactly_once() {
+        let g = fixture();
+        for shards in [1, 2, 3, 4, 8] {
+            let plan = ShardPlan::build(&g, shards, DEFAULT_PARTITION_SEED);
+            let mut seen = vec![0usize; g.num_nodes()];
+            for part in &plan.parts {
+                for &v in &part.locals[..part.num_owned as usize] {
+                    seen[v as usize] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{shards} shards: ownership not a partition");
+            // The owner table agrees with the parts.
+            for (s, part) in plan.parts.iter().enumerate() {
+                for &v in &part.locals[..part.num_owned as usize] {
+                    assert_eq!(plan.owner[v as usize] as usize, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn id_maps_are_inverse_bijections() {
+        let g = fixture();
+        let plan = ShardPlan::build(&g, 3, DEFAULT_PARTITION_SEED);
+        for part in &plan.parts {
+            assert_eq!(part.local_index.len(), part.locals.len(), "local ids collide");
+            for (l, &v) in part.locals.iter().enumerate() {
+                assert_eq!(part.local_index[&v], l as u32, "maps disagree on node {v}");
+                assert_eq!(
+                    part.graph.node_key(NodeId(l as u32)),
+                    g.node_key(NodeId(v)),
+                    "local graph node order must follow `locals`"
+                );
+            }
+            // Owned block first, each block in ascending global order.
+            let (owned, halo) = part.locals.split_at(part.num_owned as usize);
+            assert!(owned.windows(2).all(|w| w[0] < w[1]), "owned ids must ascend");
+            assert!(halo.windows(2).all(|w| w[0] < w[1]), "halo ids must ascend");
+        }
+    }
+
+    #[test]
+    fn boundary_replicas_cover_the_edge_cut() {
+        let g = fixture();
+        let plan = ShardPlan::build(&g, 4, DEFAULT_PARTITION_SEED);
+        for (s, l, d) in g.directed_edges() {
+            let (os, od) = (plan.owner[s.index()], plan.owner[d.index()]);
+            let _ = l;
+            if os == od {
+                continue;
+            }
+            // Each endpoint must be replicated into the other's shard and
+            // listed in both boundary tables.
+            for (node, shard) in [(s.0, od), (d.0, os)] {
+                let part = &plan.parts[shard as usize];
+                let local = *part
+                    .local_index
+                    .get(&node)
+                    .unwrap_or_else(|| panic!("cut node {node} missing from shard {shard}"));
+                assert!(local >= part.num_owned, "replica of {node} must be a halo");
+                assert!(part.boundary.contains(&local), "halo {node} missing from boundary");
+                let holders = &plan.holders[&node];
+                assert!(holders.contains(&shard) && holders[0] == plan.owner[node as usize]);
+            }
+        }
+        // Boundary tables contain exactly the replicated nodes.
+        for part in &plan.parts {
+            let from_boundary: HashSet<u32> =
+                part.boundary.iter().map(|&l| part.locals[l as usize]).collect();
+            let replicated: HashSet<u32> =
+                part.locals.iter().copied().filter(|v| plan.holders.contains_key(v)).collect();
+            assert_eq!(from_boundary, replicated);
+        }
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_for_a_fixed_seed() {
+        let g = fixture();
+        let a = ShardPlan::build(&g, 3, 42);
+        let b = ShardPlan::build(&g, 3, 42);
+        assert_eq!(a.owner, b.owner);
+        for (pa, pb) in a.parts.iter().zip(&b.parts) {
+            assert_eq!(pa.locals, pb.locals);
+            assert_eq!(pa.boundary, pb.boundary);
+            assert_eq!(pa.graph.num_directed_edges(), pb.graph.num_directed_edges());
+        }
+        // A different seed is allowed to (and here does) move nodes.
+        let c = ShardPlan::build(&g, 3, 43);
+        assert_eq!(c.owner.len(), a.owner.len());
+    }
+
+    #[test]
+    fn local_graphs_keep_global_weights() {
+        let g = fixture();
+        let plan = ShardPlan::build(&g, 3, DEFAULT_PARTITION_SEED);
+        for part in &plan.parts {
+            for (l, &v) in part.locals.iter().enumerate() {
+                assert_eq!(
+                    part.graph.weight(NodeId(l as u32)).to_bits(),
+                    g.weight(NodeId(v)).to_bits(),
+                    "node {v}: local weight re-normalized"
+                );
+                assert_eq!(
+                    part.graph.raw_weight(NodeId(l as u32)).to_bits(),
+                    g.raw_weight(NodeId(v)).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn owned_nodes_have_complete_adjacency() {
+        let g = fixture();
+        let plan = ShardPlan::build(&g, 4, DEFAULT_PARTITION_SEED);
+        for part in &plan.parts {
+            for l in 0..part.num_owned {
+                let v = part.locals[l as usize];
+                let mut global: Vec<(u32, bool)> = g
+                    .neighbors(NodeId(v))
+                    .iter()
+                    .map(|a| (a.target().0, a.is_outgoing()))
+                    .collect();
+                let mut local: Vec<(u32, bool)> = part
+                    .graph
+                    .neighbors(NodeId(l))
+                    .iter()
+                    .map(|a| (part.locals[a.target().index()], a.is_outgoing()))
+                    .collect();
+                global.sort_unstable();
+                local.sort_unstable();
+                assert_eq!(local, global, "owned node {v} lost adjacency");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_empty_parts() {
+        let mut b = GraphBuilder::new();
+        b.add_node("only", "alpha");
+        let g = b.build();
+        let plan = ShardPlan::build(&g, 8, DEFAULT_PARTITION_SEED);
+        let owned_total: usize = plan.parts.iter().map(|p| p.num_owned as usize).sum();
+        assert_eq!(owned_total, 1);
+        assert!(plan.parts.iter().any(|p| p.num_owned == 0), "some parts must be empty");
+        assert!(plan.holders.is_empty(), "an isolated node is never replicated");
+    }
+
+    #[test]
+    fn empty_graph_partitions() {
+        let g = GraphBuilder::new().build();
+        let plan = ShardPlan::build(&g, 4, DEFAULT_PARTITION_SEED);
+        assert!(plan.parts.iter().all(|p| p.locals.is_empty() && p.boundary.is_empty()));
+    }
+
+    /// Digest used by the in-crate equivalence checks: everything the
+    /// workspace-level differential suite compares, minus the engine
+    /// name.
+    fn digest(out: &SearchOutcome) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "stats:{}/{}/{}/{:?} ",
+            out.stats.last_level,
+            out.stats.central_candidates,
+            out.stats.peak_frontier,
+            out.stats.trace
+        );
+        for a in &out.answers {
+            let _ = write!(
+                s,
+                "[c:{} d:{} n:{:?} e:{:?} kn:{:?} ke:{:?} s:{}]",
+                a.central.0,
+                a.depth,
+                a.nodes,
+                a.edges,
+                a.keyword_nodes,
+                a.keyword_edges,
+                a.score.to_bits()
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn sharded_search_matches_the_monolithic_engine() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let params = SearchParams::default().with_average_distance(1.0);
+        for raw in ["alpha omega", "alpha junction", "omega", "alpha omega junction"] {
+            let query = ParsedQuery::parse(&idx, raw);
+            let mono = SeqEngine::new().search(&g, &query, &params);
+            for shards in [1, 2, 3, 4, 8] {
+                let sharded = ShardedSearch::new(&g, ShardBackend::Seq, shards);
+                let out = sharded
+                    .try_search(&g, &query, &params, &QueryBudget::unlimited())
+                    .expect("unlimited budget");
+                assert_eq!(digest(&out), digest(&mono), "query {raw:?}, {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_sharded_search_matches_including_levels() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let params = SearchParams::default()
+            .with_average_distance(1.0)
+            .with_trace(crate::trace::TraceLevel::Full);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let mono = SeqEngine::new().search(&g, &query, &params);
+        let sharded = ShardedSearch::new(&g, ShardBackend::GpuStyle(2), 3);
+        let out = sharded
+            .try_search(&g, &query, &params, &QueryBudget::unlimited())
+            .expect("unlimited budget");
+        let (mt, st) = (mono.trace.unwrap(), out.trace.unwrap());
+        assert_eq!(st.levels, mt.levels, "per-level records must match");
+        assert_eq!(st.total_expansions, mt.total_expansions);
+        assert_eq!(st.terminated, mt.terminated);
+        assert_eq!(st.keywords, mt.keywords);
+        assert_eq!(st.engine, "GPU-Par[shards=3]");
+    }
+
+    #[test]
+    fn sessions_check_back_in_after_each_query() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let sharded = ShardedSearch::new(&g, ShardBackend::Seq, 4);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let params = SearchParams::default().with_average_distance(1.0);
+        for _ in 0..3 {
+            sharded.try_search(&g, &query, &params, &QueryBudget::unlimited()).unwrap();
+        }
+        let stats = sharded.stats();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.pools.sessions_created, 4, "one warm session per shard");
+        assert_eq!(stats.pools.idle_sessions, 4);
+        assert_eq!(stats.pools.in_flight, 0);
+        assert_eq!(stats.pools.queries_run, 12, "3 queries × 4 shard sessions");
+        assert!(stats.rounds > 0);
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_partial_answers() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let sharded = ShardedSearch::new(&g, ShardBackend::Seq, 2);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let err = sharded
+            .try_search(
+                &g,
+                &query,
+                &SearchParams::default(),
+                &QueryBudget::unlimited().with_timeout(std::time::Duration::ZERO),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        // The sessions were checked back in cleanly (no quarantine).
+        assert_eq!(sharded.stats().pools.quarantined, 0);
+        assert_eq!(sharded.stats().pools.in_flight, 0);
+    }
+}

@@ -20,19 +20,23 @@ commands:
            [--top-k K] [--alpha A] [--backend seq|cpu|gpu|dyn]
            [--threads T] [--json true] [--trace true] [--dot true]
            [--explain true] [--cache-capacity BYTES]
-           [--timeout-ms MS] [--max-expansions N]
+           [--timeout-ms MS] [--max-expansions N] [--shards N]
                                            run a top-k keyword search
                                            (a query past its deadline or
                                            expansion cap aborts with a
                                            structured error, 0 = off;
                                            --explain runs the query traced
                                            and prints the per-level
-                                           execution trace as JSON)
+                                           execution trace as JSON;
+                                           --shards N > 1 partitions the
+                                           graph and answers through the
+                                           scatter-gather coordinator,
+                                           byte-identical answers)
   convert  --in FILE --out FILE           convert between .tsv and .bin
   serve    --graph FILE [--port P] [--backend B] [--top-k K]
            [--workers W] [--max-requests N] [--cache-capacity BYTES]
            [--timeout-ms MS] [--max-expansions N] [--max-queue Q]
-           [--slow-query-ms MS] [--slow-query-log PATH]
+           [--slow-query-ms MS] [--slow-query-log PATH] [--shards N]
                                            TCP line-protocol query service
                                            (W concurrent connection workers;
                                            result cache sized by BYTES with
@@ -49,7 +53,11 @@ commands:
                                            `# EOF`), QUIT; --slow-query-ms
                                            appends a JSON trace line per
                                            over-threshold query to PATH,
-                                           default slow_queries.jsonl)
+                                           default slow_queries.jsonl;
+                                           --shards N > 1 serves through
+                                           the sharded scatter-gather
+                                           coordinator, byte-identical
+                                           to --shards 1)
   help                                    this text
 
 graph files by extension: .tsv (line format), .bin (compact binary),
@@ -116,10 +124,15 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "cache-capacity",
         "timeout-ms",
         "max-expansions",
+        "shards",
     ])?;
     let graph = read_graph(args.required("graph")?)?;
     let query = args.required("query")?.to_string();
     let threads: usize = args.get_or("threads", 4)?;
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
     let backend = Backend::parse(args.optional("backend").unwrap_or("cpu"), threads)?;
     let as_json: bool = args.get_or("json", false)?;
     let as_dot: bool = args.get_or("dot", false)?;
@@ -134,7 +147,7 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         budget = budget.with_max_expansions(max_expansions);
     }
 
-    let mut ws = WikiSearch::build_with(graph, backend);
+    let mut ws = WikiSearch::open_sharded(graph, backend, shards);
     let mut params = ws.params().clone();
     params.top_k = args.get_or("top-k", params.top_k)?;
     params.alpha = args.get_or("alpha", params.alpha)?;

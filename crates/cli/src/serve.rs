@@ -13,8 +13,9 @@
 //!   fault/overload counters (`shed`, `timeouts`, `budget_exhausted`,
 //!   `panics`, `oversized`, `slow_queries`), the engine's metrics
 //!   counters, latency and expansion percentiles from the metrics
-//!   histograms, the session-pool snapshot, and the result-cache
-//!   snapshot (`null` when the cache is disabled).
+//!   histograms, the session-pool snapshot, the result-cache
+//!   snapshot (`null` when the cache is disabled), and the
+//!   shard-coordinator snapshot (`null` when serving unsharded).
 //!   Diagnostic — does not count toward `--max-requests`;
 //! * `METRICS` → the metrics registry in Prometheus text exposition
 //!   format — multiple lines, terminated by a literal `# EOF` line so a
@@ -64,6 +65,17 @@
 //! reorderings, case changes, and stopword variations of one another —
 //! are answered from the cache without touching a session. Failed
 //! queries never populate it.
+//!
+//! ## Sharded serving
+//!
+//! `--shards N` (default 1) partitions the graph into `N` edge-cut
+//! shards and answers every query through the scatter-gather
+//! coordinator (`central::shard`) instead of a single monolithic
+//! session. Answers, traces and error semantics are byte-identical to
+//! `--shards 1` (differential-tested); the result cache, budgets,
+//! panic quarantine and slow-query log all sit in front of the
+//! coordinator unchanged. `STATS` gains a `shards` object and
+//! `METRICS` gains `ws_shard_*` series when sharded.
 //!
 //! ## Slow-query log
 //!
@@ -193,9 +205,11 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "max-queue",
         "slow-query-ms",
         "slow-query-log",
+        "shards",
     ])?;
     let port: u16 = args.get_or("port", 7878)?;
     let threads: usize = args.get_or("threads", 4)?;
+    let shards: usize = args.get_or("shards", 1)?;
     let max_requests: usize = args.get_or("max-requests", 0)?;
     let workers: usize = args.get_or("workers", 4)?;
     let cache_capacity = args.get_bytes("cache-capacity", 64 << 20)?;
@@ -205,6 +219,9 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let slow_query_ms: u64 = args.get_or("slow-query-ms", 0)?;
     if workers == 0 {
         return Err("--workers must be >= 1".into());
+    }
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
     }
     if max_queue == 0 {
         return Err("--max-queue must be >= 1".into());
@@ -227,7 +244,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     }
     let backend = Backend::parse(args.optional("backend").unwrap_or("cpu"), threads)?;
     let graph = read_graph(args.required("graph")?)?;
-    let mut ws = WikiSearch::build_with(graph, backend);
+    let mut ws = WikiSearch::open_sharded(graph, backend, shards);
     let mut params = ws.params().clone();
     params.top_k = args.get_or("top-k", params.top_k)?;
     ws.set_params(params);
@@ -237,9 +254,13 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let sharding = match ws.num_shards() {
+        Some(n) => format!(", {n} shards"),
+        None => String::new(),
+    };
     writeln!(
         out,
-        "wikisearch serving on 127.0.0.1:{} ({} nodes indexed, {workers} workers)",
+        "wikisearch serving on 127.0.0.1:{} ({} nodes indexed, {workers} workers{sharding})",
         addr.port(),
         ws.graph().num_nodes()
     )
@@ -530,8 +551,9 @@ fn query_keywords(request: &str) -> Option<&str> {
 }
 
 /// One `STATS` response line: serving counters, the engine's metrics
-/// counters, latency/expansion percentiles, plus live pool and cache
-/// snapshots. `cache` is JSON `null` when `--cache-capacity 0`.
+/// counters, latency/expansion percentiles, plus live pool, cache and
+/// shard snapshots. `cache` is JSON `null` when `--cache-capacity 0`;
+/// `shards` is JSON `null` when serving unsharded (`--shards 1`).
 fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Value {
     let m = ws.metrics_snapshot();
     let lat = &m.latency_us;
@@ -567,6 +589,7 @@ fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Valu
         },
         "pool": ws.session_pool().stats(),
         "cache": ws.cache_stats(),
+        "shards": ws.shard_stats(),
     })
 }
 
@@ -666,6 +689,44 @@ fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters) -> String {
             "ws_cache_bytes",
             "Result-cache bytes resident (estimate).",
             cache.bytes as f64,
+        );
+    }
+    if let Some(shards) = ws.shard_stats() {
+        prometheus_gauge(
+            &mut out,
+            "ws_shard_count",
+            "Graph shards in the scatter-gather plan.",
+            shards.shards as f64,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_shard_rounds_total",
+            "Cross-shard frontier-exchange rounds.",
+            shards.rounds,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_shard_notifications_total",
+            "Boundary hit notifications broadcast to replica holders.",
+            shards.notifications,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_shard_notifications_suppressed_total",
+            "Duplicate boundary notifications pruned before broadcast.",
+            shards.notifications_suppressed,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_shard_pool_queries_total",
+            "Per-shard session checkouts (shards x sharded queries).",
+            shards.pools.queries_run,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_shard_pool_quarantined_total",
+            "Shard sessions destroyed after a panic.",
+            shards.pools.quarantined,
         );
     }
     prometheus_counter(

@@ -93,12 +93,16 @@ fn stats_document_has_exactly_the_documented_key_set() {
             "panics",
             "pool",
             "served",
+            "shards",
             "shed",
             "slow_queries",
             "timeouts",
         ],
         "{response}"
     );
+    // This server runs unsharded: the key is present but null, like a
+    // disabled cache.
+    assert!(doc["shards"].is_null(), "{response}");
 
     // The nested metrics blocks carry their full documented key sets too.
     let block_keys = |v: &serde_json::Value| -> Vec<String> {
@@ -191,6 +195,98 @@ fn metrics_verb_emits_valid_prometheus_exposition() {
     // The connection still serves requests after the multi-line response.
     let response = request_line(&mut stream, &mut reader, "PING");
     assert_eq!(response.trim(), "PONG");
+    writeln!(stream, "QUIT").unwrap();
+}
+
+#[test]
+fn sharded_server_exposes_per_shard_counters() {
+    // A dedicated --shards 3 server: the STATS `shards` block carries
+    // exactly the documented keys and METRICS gains the ws_shard_*
+    // series, still under the same exposition grammar.
+    let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = probe.local_addr().unwrap().port();
+    drop(probe);
+    let path = std::env::temp_dir()
+        .join(format!("ws-observability-sharded-{}.tsv", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut b = kgraph::GraphBuilder::new();
+    let x = b.add_node("x", "xml");
+    let q = b.add_node("q", "query language");
+    let s = b.add_node("s", "sql");
+    let r = b.add_node("r", "rdf");
+    b.add_edge(x, q, "rel");
+    b.add_edge(s, q, "rel");
+    b.add_edge(r, q, "rel");
+    std::fs::write(&path, kgraph::io::to_tsv(&b.build())).unwrap();
+    std::thread::spawn(move || {
+        let argv: Vec<String> =
+            format!("serve --graph {path} --port {port} --backend seq --workers 2 --shards 3")
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let args = wikisearch_cli::args::parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let _ = wikisearch_cli::serve::serve(&args, &mut out);
+    });
+    let mut stream = {
+        let mut connected = None;
+        for _ in 0..150 {
+            if let Ok(s) = TcpStream::connect(("127.0.0.1", port)) {
+                connected = Some(s);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        connected.expect("sharded observability server never came up")
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let answer = request_line(&mut stream, &mut reader, "QUERY xml sql rdf");
+    assert!(answer.contains("answers"), "{answer}");
+
+    let response = request_line(&mut stream, &mut reader, "STATS");
+    let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+    let shards = &doc["shards"];
+    let mut keys: Vec<&str> = shards.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    keys.sort_unstable();
+    assert_eq!(
+        keys,
+        vec!["notifications", "notifications_suppressed", "pools", "rounds", "shards"],
+        "{response}"
+    );
+    assert_eq!(shards["shards"], 3u64, "{response}");
+    assert!(shards["rounds"].as_u64().unwrap() >= 1, "{response}");
+    // One sharded query checks one session out of each shard's pool.
+    assert_eq!(shards["pools"]["queries_run"], 3u64, "{response}");
+    assert_eq!(shards["pools"]["quarantined"], 0u64, "{response}");
+    // The facade pool is bypassed on the sharded path.
+    assert_eq!(doc["pool"]["queries_run"], 0u64, "{response}");
+
+    writeln!(stream, "METRICS").unwrap();
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end().to_string();
+        if line == "# EOF" {
+            break;
+        }
+        lines.push(line);
+    }
+    assert_prometheus_grammar(&lines);
+    let text = lines.join("\n");
+    for series in [
+        "ws_shard_count",
+        "ws_shard_rounds_total",
+        "ws_shard_notifications_total",
+        "ws_shard_notifications_suppressed_total",
+        "ws_shard_pool_queries_total",
+        "ws_shard_pool_quarantined_total",
+    ] {
+        assert!(text.contains(series), "missing series {series}:\n{text}");
+    }
     writeln!(stream, "QUIT").unwrap();
 }
 

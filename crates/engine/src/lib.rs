@@ -33,7 +33,8 @@ use central::engine::{
 };
 use central::{
     CacheOutcome, CacheStats, CentralGraph, MetricsRegistry, MetricsSnapshot, PhaseProfile,
-    QueryBudget, QueryKey, QueryTrace, SearchError, SearchParams, SessionPool, TraceLevel,
+    QueryBudget, QueryKey, QueryTrace, SearchError, SearchParams, SessionPool, ShardBackend,
+    ShardedSearch, ShardedStats, TraceLevel,
 };
 use kgraph::{estimate_average_distance, KnowledgeGraph};
 use std::sync::Arc;
@@ -139,7 +140,15 @@ pub struct WikiSearch {
     index: InvertedIndex,
     params: SearchParams,
     backend: Box<dyn KeywordSearchEngine + Send + Sync>,
+    /// Which [`Backend`] `backend` was built from, kept so the sharded
+    /// coordinator can be rebuilt with the same kernels on
+    /// [`WikiSearch::set_backend`]/[`WikiSearch::set_shards`].
+    backend_kind: Backend,
     sessions: SessionPool,
+    /// When `Some`, searches scatter-gather over this in-process shard
+    /// set ([`central::shard`]) instead of the monolithic `backend`;
+    /// answers are byte-identical either way.
+    sharded: Option<ShardedSearch>,
     cache: Option<ResultCache>,
     metrics: MetricsRegistry,
 }
@@ -194,18 +203,60 @@ impl WikiSearch {
             index,
             params,
             backend: make_backend(backend),
+            backend_kind: backend,
             sessions: SessionPool::new(),
+            sharded: None,
             cache: None,
             metrics: MetricsRegistry::new(),
         }
     }
 
+    /// Build with an explicit backend over an in-process shard set:
+    /// the graph is edge-cut into `shards` sub-graphs and every search
+    /// scatter-gathers across them (see [`central::shard`]). `shards <= 1`
+    /// is the monolithic engine — there is nothing to exchange, so the
+    /// single-shard configuration *is* the unsharded one. Answers, stats
+    /// and traces are byte-identical to [`WikiSearch::build_with`]; the
+    /// shard-invariance suite pins that.
+    pub fn open_sharded(graph: KnowledgeGraph, backend: Backend, shards: usize) -> Self {
+        let mut ws = Self::build_with(graph, backend);
+        ws.set_shards(shards);
+        ws
+    }
+
+    /// Re-partition the engine across `shards` in-process shards
+    /// (`<= 1` returns to the monolithic path). Existing cache entries
+    /// survive: sharded and unsharded searches produce identical answers.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.sharded = (shards > 1)
+            .then(|| ShardedSearch::new(&self.graph, shard_backend(self.backend_kind), shards));
+    }
+
     /// Swap the search backend. The result cache (if any) survives the
     /// swap: all backends return identical answers for identical
     /// `(query, params)` — the workspace's central property — so entries
-    /// computed by one engine are valid answers for every other.
+    /// computed by one engine are valid answers for every other. On a
+    /// sharded engine the shard set is rebuilt with the new backend's
+    /// kernels (same partition — the plan seed is fixed).
     pub fn set_backend(&mut self, backend: Backend) {
         self.backend = make_backend(backend);
+        self.backend_kind = backend;
+        if let Some(sharded) = &self.sharded {
+            let shards = sharded.num_shards();
+            self.sharded = Some(ShardedSearch::new(&self.graph, shard_backend(backend), shards));
+        }
+    }
+
+    /// Number of in-process shards searches scatter over, `None` on the
+    /// monolithic path.
+    pub fn num_shards(&self) -> Option<usize> {
+        self.sharded.as_ref().map(ShardedSearch::num_shards)
+    }
+
+    /// Counters of the sharded coordinator (rounds, boundary
+    /// notifications, per-shard pools), `None` on the monolithic path.
+    pub fn shard_stats(&self) -> Option<ShardedStats> {
+        self.sharded.as_ref().map(ShardedSearch::stats)
     }
 
     /// Enable (or, with `0`, disable) the sharded result cache with a
@@ -380,13 +431,27 @@ impl WikiSearch {
             }
             _ => None,
         };
-        let outcome = {
+        let result = if let Some(sharded) = &self.sharded {
+            // Sharded scatter-gather path: the coordinator owns one
+            // session per shard in its own pools, so the facade pool is
+            // not consulted (its counters stay zero; `shard_stats` has
+            // the per-shard ones). Traces carry no session identity —
+            // there is no single session to name.
+            sharded.try_search(&self.graph, &query, params, budget).map(|mut outcome| {
+                if let Some(trace) = outcome.trace.as_deref_mut() {
+                    trace.cache = Some(if key.is_some() {
+                        CacheOutcome::Miss
+                    } else {
+                        CacheOutcome::Bypass
+                    });
+                }
+                outcome
+            })
+        } else {
             let mut session = self.sessions.checkout();
-            let result =
-                self.backend
-                    .try_search_session(&mut session, &self.graph, &query, params, budget);
-            match result {
-                Ok(mut outcome) => {
+            self.backend
+                .try_search_session(&mut session, &self.graph, &query, params, budget)
+                .map(|mut outcome| {
                     if let Some(trace) = outcome.trace.as_deref_mut() {
                         trace.session_id = Some(session.session_id());
                         // queries_run was already bumped for this query;
@@ -399,15 +464,17 @@ impl WikiSearch {
                         });
                     }
                     outcome
+                })
+        };
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                match e.kind() {
+                    "deadline_exceeded" => self.metrics.deadline_exceeded.inc(),
+                    "budget_exhausted" => self.metrics.budget_exhausted.inc(),
+                    _ => {}
                 }
-                Err(e) => {
-                    match e.kind() {
-                        "deadline_exceeded" => self.metrics.deadline_exceeded.inc(),
-                        "budget_exhausted" => self.metrics.budget_exhausted.inc(),
-                        _ => {}
-                    }
-                    return Err(e);
-                }
+                return Err(e);
             }
         };
         let SearchOutcome { answers, profile, stats, trace } = outcome;
@@ -544,6 +611,17 @@ fn make_backend(backend: Backend) -> Box<dyn KeywordSearchEngine + Send + Sync> 
         Backend::ParCpu(t) => Box::new(ParCpuEngine::new(t)),
         Backend::GpuStyle(t) => Box::new(GpuStyleEngine::new(t)),
         Backend::DynPar(t) => Box::new(DynParEngine::new(t)),
+    }
+}
+
+/// Map the facade's backend enum onto the shard coordinator's expansion
+/// kernels (same names, same thread counts).
+fn shard_backend(backend: Backend) -> ShardBackend {
+    match backend {
+        Backend::Sequential => ShardBackend::Seq,
+        Backend::ParCpu(t) => ShardBackend::ParCpu(t),
+        Backend::GpuStyle(t) => ShardBackend::GpuStyle(t),
+        Backend::DynPar(t) => ShardBackend::DynPar(t),
     }
 }
 
@@ -978,5 +1056,116 @@ mod tests {
         ws.set_params(p);
         let result = ws.search("xml sql rdf");
         assert!(result.answers.len() <= 1);
+    }
+
+    fn small_sharded(backend: Backend, shards: usize) -> WikiSearch {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("Q1", "XML");
+        let q = b.add_node("Q2", "query language");
+        let s = b.add_node("Q3", "SQL");
+        let r = b.add_node("Q4", "RDF");
+        b.add_edge(x, q, "related to");
+        b.add_edge(s, q, "instance of");
+        b.add_edge(r, q, "instance of");
+        WikiSearch::open_sharded(b.build(), backend, shards)
+    }
+
+    #[test]
+    fn sharded_searches_are_byte_identical_to_monolithic() {
+        for backend in [Backend::Sequential, Backend::GpuStyle(2), Backend::DynPar(2)] {
+            let mono = small_engine(backend);
+            for shards in [2, 3, 8] {
+                let ws = small_sharded(backend, shards);
+                assert_eq!(ws.num_shards(), Some(shards));
+                for raw in ["xml sql rdf", "xml sql", "rdf", "xml warpdrive", ""] {
+                    let a = ws.search(raw);
+                    let b = mono.search(raw);
+                    assert_eq!(
+                        digest(&ws, &a),
+                        digest(&mono, &b),
+                        "{backend:?} × {shards} shards, query {raw:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_is_the_monolithic_path() {
+        let ws = small_sharded(Backend::Sequential, 1);
+        assert_eq!(ws.num_shards(), None);
+        assert!(ws.shard_stats().is_none());
+        ws.search("xml sql");
+        assert_eq!(ws.session_queries_run(), 1, "the facade pool serves shards <= 1");
+    }
+
+    #[test]
+    fn shard_stats_account_pools_and_rounds() {
+        let ws = small_sharded(Backend::Sequential, 3);
+        ws.search("xml sql rdf");
+        ws.search("xml sql");
+        let stats = ws.shard_stats().unwrap();
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.pools.queries_run, 6, "2 queries × 3 shard sessions");
+        assert_eq!(stats.pools.in_flight, 0);
+        assert_eq!(stats.pools.quarantined, 0);
+        assert!(stats.rounds > 0);
+        // The facade pool is bypassed entirely on the sharded path.
+        assert_eq!(ws.session_queries_run(), 0);
+    }
+
+    #[test]
+    fn sharded_cache_hits_match_sharded_and_monolithic_answers() {
+        let mono = small_engine(Backend::Sequential);
+        let mut ws = small_sharded(Backend::Sequential, 4);
+        ws.set_cache_capacity(1 << 20);
+        let miss = ws.search("xml sql rdf");
+        let hit = ws.search("RDF sql XML"); // normalized duplicate
+        assert_eq!(digest(&ws, &miss), digest(&mono, &mono.search("xml sql rdf")));
+        assert_eq!(digest(&ws, &hit), digest(&mono, &mono.search("RDF sql XML")));
+        let stats = ws.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(ws.shard_stats().unwrap().pools.queries_run, 4, "hits skip the shards");
+    }
+
+    #[test]
+    fn sharded_explain_names_the_sharded_engine() {
+        let ws = small_sharded(Backend::GpuStyle(2), 3);
+        let out = ws.explain("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+        let trace = out.trace.as_deref().unwrap();
+        assert_eq!(trace.engine, "GPU-Par[shards=3]");
+        assert_eq!(trace.cache, Some(CacheOutcome::Bypass));
+        assert!(trace.session_id.is_none(), "no single session to name");
+        assert!(!trace.levels.is_empty());
+        assert!(trace.total_expansions > 0);
+        // Per-level records match the monolithic engine's exactly.
+        let mono = small_engine(Backend::GpuStyle(2));
+        let reference = mono.explain("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+        assert_eq!(trace.levels, reference.trace.as_deref().unwrap().levels);
+    }
+
+    #[test]
+    fn sharded_budget_failures_surface_and_leave_pools_clean() {
+        use std::time::Duration;
+        let ws = small_sharded(Backend::Sequential, 2);
+        let expired = QueryBudget::unlimited().with_timeout(Duration::ZERO);
+        let err = ws.try_search("xml sql rdf", &expired).unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert_eq!(ws.metrics_snapshot().deadline_exceeded, 1);
+        let stats = ws.shard_stats().unwrap();
+        assert_eq!(stats.pools.quarantined, 0, "a budget failure is not a panic");
+        assert_eq!(stats.pools.in_flight, 0, "all shard sessions checked back in");
+        let ok = ws.try_search("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+        assert!(!ok.answers.is_empty());
+    }
+
+    #[test]
+    fn sharded_backend_swap_rebuilds_the_shard_set() {
+        let mut ws = small_sharded(Backend::Sequential, 3);
+        let seq = ws.search("xml sql rdf");
+        ws.set_backend(Backend::ParCpu(2));
+        assert_eq!(ws.num_shards(), Some(3), "shard count survives the swap");
+        let par = ws.search("xml sql rdf");
+        assert_eq!(digest(&ws, &seq), digest(&ws, &par));
     }
 }

@@ -146,6 +146,25 @@ impl KnowledgeGraph {
         &self.weights
     }
 
+    /// Replace both weight arrays with externally computed values.
+    ///
+    /// `GraphBuilder::build` normalizes weights over the *local* maximum,
+    /// which is the right thing for a self-contained graph but wrong for a
+    /// sub-graph that must score nodes exactly like its parent: a shard of
+    /// a partitioned graph needs every node to keep the weight it had in
+    /// the whole graph, or activation levels (and Eq. 6 scores) drift. Both
+    /// arrays must have one entry per node, and `normalized` must stay in
+    /// `[0, 1]` — the same invariants `check_invariants` enforces.
+    ///
+    /// # Panics
+    /// Panics if either array's length differs from the node count.
+    pub fn override_weights(&mut self, raw: Vec<f32>, normalized: Vec<f32>) {
+        assert_eq!(raw.len(), self.num_nodes(), "raw weights: one entry per node");
+        assert_eq!(normalized.len(), self.num_nodes(), "normalized weights: one entry per node");
+        self.weights_raw = raw;
+        self.weights = normalized;
+    }
+
     /// Stable external key of a node (e.g. a Wikidata `Q...` id).
     #[inline]
     pub fn node_key(&self, v: NodeId) -> &str {

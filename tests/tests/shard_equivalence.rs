@@ -1,0 +1,215 @@
+//! The shard-invariance property: partitioning the graph into N edge-cut
+//! shards and answering through the `ShardedSearch` scatter-gather
+//! coordinator is *byte-identical* to the monolithic engine — answers,
+//! score bits, statistics, and the per-level trace — for every backend
+//! and for shard counts {1, 2, 3, 4, 8}, including counts exceeding the
+//! node count and single-node/disconnected graphs.
+//!
+//! This is the sharded form of `engine_equivalence`: the coordinator's
+//! frontier-exchange rounds must reproduce exactly the hitting-level
+//! matrix a single engine computes, so every downstream artifact matches
+//! bit for bit.
+
+use central::engine::{DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine};
+use central::{QueryBudget, SearchParams, ShardBackend, ShardedSearch};
+use kgraph::{GraphBuilder, KnowledgeGraph};
+use proptest::prelude::*;
+use textindex::{InvertedIndex, ParsedQuery};
+
+/// Small word pool; several words per node text creates overlapping
+/// keyword groups and co-occurrence nodes.
+const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "lambda"];
+
+/// The shard counts every property runs under; 1 pins the degenerate
+/// plan, 8 usually exceeds the generated node count per shard.
+const SHARD_COUNTS: &[usize] = &[1, 2, 3, 4, 8];
+
+#[derive(Debug, Clone)]
+struct Case {
+    nodes: usize,
+    texts: Vec<Vec<usize>>,     // word indices per node
+    edges: Vec<(usize, usize)>, // node index pairs
+    activation: Vec<u8>,        // explicit per-node activation
+    query: Vec<usize>,          // word indices
+    top_k: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..24).prop_flat_map(|nodes| {
+        let texts =
+            proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 1..3), nodes);
+        let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 1..50);
+        let activation = proptest::collection::vec(0u8..5, nodes);
+        let query = proptest::collection::vec(0usize..WORDS.len(), 2..4);
+        let top_k = 1usize..8;
+        (texts, edges, activation, query, top_k).prop_map(
+            move |(texts, edges, activation, query, top_k)| Case {
+                nodes,
+                texts,
+                edges,
+                activation,
+                query,
+                top_k,
+            },
+        )
+    })
+}
+
+fn build_graph(case: &Case) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    for (i, words) in case.texts.iter().enumerate() {
+        let text: Vec<&str> = words.iter().map(|&w| WORDS[w]).collect();
+        b.add_node(&format!("n{i}"), &text.join(" "));
+    }
+    for (idx, &(s, d)) in case.edges.iter().enumerate() {
+        if s != d {
+            let s = b.node(&format!("n{s}")).unwrap();
+            let d = b.node(&format!("n{d}")).unwrap();
+            b.add_edge(s, d, if idx % 3 == 0 { "p" } else { "q" });
+        }
+    }
+    let _ = case.nodes;
+    b.build()
+}
+
+/// The four sharded backends paired with their monolithic references.
+fn backends() -> Vec<(ShardBackend, Box<dyn KeywordSearchEngine>)> {
+    vec![
+        (ShardBackend::Seq, Box::new(SeqEngine::new())),
+        (ShardBackend::ParCpu(3), Box::new(ParCpuEngine::new(3))),
+        (ShardBackend::GpuStyle(3), Box::new(GpuStyleEngine::new(3))),
+        (ShardBackend::DynPar(3), Box::new(DynParEngine::new(3))),
+    ]
+}
+
+/// Byte-level comparison of a sharded outcome against its monolithic
+/// reference: answers (ids, paths, score *bits*) and the search
+/// statistics including the per-level trace.
+fn assert_identical(
+    sharded: &central::SearchOutcome,
+    reference: &central::SearchOutcome,
+    label: &str,
+) {
+    assert_eq!(sharded.answers.len(), reference.answers.len(), "answer count: {label}");
+    for (a, b) in sharded.answers.iter().zip(&reference.answers) {
+        assert_eq!(a.central, b.central, "central: {label}");
+        assert_eq!(a.depth, b.depth, "depth: {label}");
+        assert_eq!(a.nodes, b.nodes, "nodes: {label}");
+        assert_eq!(a.edges, b.edges, "edges: {label}");
+        assert_eq!(a.keyword_nodes, b.keyword_nodes, "keyword nodes: {label}");
+        assert_eq!(a.keyword_edges, b.keyword_edges, "keyword paths: {label}");
+        assert_eq!(a.score.to_bits(), b.score.to_bits(), "score bits: {label}");
+    }
+    assert_eq!(sharded.stats.last_level, reference.stats.last_level, "last level: {label}");
+    assert_eq!(
+        sharded.stats.central_candidates, reference.stats.central_candidates,
+        "cohort: {label}"
+    );
+    assert_eq!(
+        sharded.stats.peak_frontier, reference.stats.peak_frontier,
+        "peak frontier: {label}"
+    );
+    assert_eq!(sharded.stats.trace, reference.stats.trace, "level trace: {label}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The tentpole property: for arbitrary graphs, queries, explicit
+    /// activation maps and top-k, every sharded backend at every shard
+    /// count returns exactly what its monolithic counterpart returns.
+    #[test]
+    fn sharded_search_is_byte_identical_to_unsharded(case in case_strategy()) {
+        let graph = build_graph(&case);
+        let idx = InvertedIndex::build(&graph);
+        let raw: Vec<&str> = case.query.iter().map(|&w| WORDS[w]).collect();
+        let query = ParsedQuery::parse(&idx, &raw.join(" "));
+        let params = SearchParams {
+            top_k: case.top_k,
+            max_level: 12,
+            ..SearchParams::default()
+        }
+        .with_explicit_activation(case.activation.clone());
+        let budget = QueryBudget::unlimited();
+
+        for (backend, reference_engine) in backends() {
+            let reference = reference_engine.search(&graph, &query, &params);
+            for &shards in SHARD_COUNTS {
+                let coordinator = ShardedSearch::new(&graph, backend, shards);
+                let out = coordinator
+                    .try_search(&graph, &query, &params, &budget)
+                    .expect("unlimited budget cannot trip");
+                let label = format!("{} x {shards} shards", reference_engine.name());
+                assert_identical(&out, &reference, &label);
+            }
+        }
+    }
+}
+
+/// Monolithic reference digests compared against every backend × shard
+/// count for one fixed graph and query set (cheap deterministic edge
+/// cases that a shrunken proptest case may never reach).
+fn assert_all_shardings_match(graph: &KnowledgeGraph, queries: &[&str]) {
+    let idx = InvertedIndex::build(graph);
+    let params = SearchParams { max_level: 12, ..SearchParams::default() };
+    let budget = QueryBudget::unlimited();
+    for (backend, reference_engine) in backends() {
+        for q in queries {
+            let query = ParsedQuery::parse(&idx, q);
+            let reference = reference_engine.search(graph, &query, &params);
+            for &shards in SHARD_COUNTS {
+                let coordinator = ShardedSearch::new(graph, backend, shards);
+                let out = coordinator
+                    .try_search(graph, &query, &params, &budget)
+                    .expect("unlimited budget cannot trip");
+                let label = format!("{} x {shards} shards on {q:?}", reference_engine.name());
+                assert_identical(&out, &reference, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_node_graphs_survive_any_shard_count() {
+    let mut b = GraphBuilder::new();
+    b.add_node("solo", "alpha beta");
+    let graph = b.build();
+    assert_all_shardings_match(&graph, &["alpha beta", "alpha", "gamma", ""]);
+}
+
+#[test]
+fn disconnected_graphs_survive_any_shard_count() {
+    // Two components plus two isolated nodes: cross-component queries
+    // must fail identically, intra-component ones must answer
+    // identically, at every shard count.
+    let mut b = GraphBuilder::new();
+    let a1 = b.add_node("a1", "alpha");
+    let a2 = b.add_node("a2", "beta");
+    let a3 = b.add_node("a3", "gamma hub");
+    b.add_edge(a1, a3, "p");
+    b.add_edge(a2, a3, "q");
+    let b1 = b.add_node("b1", "delta");
+    let b2 = b.add_node("b2", "omega");
+    b.add_edge(b1, b2, "p");
+    b.add_node("iso1", "sigma");
+    b.add_node("iso2", "kappa");
+    let graph = b.build();
+    assert_all_shardings_match(
+        &graph,
+        &["alpha beta", "delta omega", "alpha delta", "sigma kappa", "sigma"],
+    );
+}
+
+#[test]
+fn more_shards_than_nodes_is_byte_identical() {
+    // 3 nodes, up to 8 shards: most shards own nothing and must stay
+    // inert without perturbing the merged answers.
+    let mut b = GraphBuilder::new();
+    let x = b.add_node("x", "alpha");
+    let y = b.add_node("y", "beta bridge");
+    let z = b.add_node("z", "gamma");
+    b.add_edge(x, y, "p");
+    b.add_edge(z, y, "q");
+    let graph = b.build();
+    assert_all_shardings_match(&graph, &["alpha gamma", "alpha beta gamma", "beta"]);
+}
