@@ -1,0 +1,5 @@
+//! Cold-start cost: open-to-first-answer latency and steady-state qps,
+//! memory-mapped `.wsnap` snapshot (cold and warm) vs in-RAM build.
+fn main() {
+    wikisearch_bench::experiments::cold_start::run();
+}

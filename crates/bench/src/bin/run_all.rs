@@ -11,6 +11,7 @@ fn main() {
     exp::exp4_threads::run();
     exp::throughput::run();
     exp::cache_hit_rate::run();
+    exp::cold_start::run();
     exp::effectiveness::run();
     // Appendix experiments (the paper's excluded-competitor arguments).
     exp::blinks_cost::run();

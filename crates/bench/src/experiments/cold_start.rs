@@ -1,0 +1,173 @@
+//! Cold-start cost: time from "dataset on disk" to "first answer
+//! served", memory-mapped snapshot vs in-RAM build, across engines.
+//!
+//! The zero-copy `.wsnap` path exists for exactly this number. A heap
+//! server must parse the dataset, rebuild the inverted index and
+//! re-sample the average distance before it can answer anything; a
+//! snapshot server maps the file, validates one header page, and serves.
+//! This experiment measures, per backend:
+//!
+//! * `open_ms` — constructing a ready `WikiSearch` from the on-disk
+//!   artifact (`.bin` parse + index build + sampling for RAM; header
+//!   validation only for mmap),
+//! * `first_answer_ms` — open plus the first query (the mmap side pays
+//!   its page faults here),
+//! * `steady_qps` — throughput once warm, which must *not* differ
+//!   between backings (same columns, same engines).
+//!
+//! The mmap point is measured twice: `mmap_cold` is the first open after
+//! the snapshot is compiled (page cache as cold as an unprivileged
+//! process can make it — the file is freshly written, read back through
+//! the mapping for the first time), `mmap_warm` is a re-open with every
+//! page resident. Writes `BENCH_coldstart.json`.
+
+use crate::queries_per_point;
+use datagen::synthetic::SyntheticConfig;
+use datagen::QueryWorkload;
+use eval::runner::ExperimentSink;
+use eval::Table;
+use serde_json::json;
+use std::path::PathBuf;
+use std::time::Instant;
+use wikisearch_engine::{compile_snapshot, Backend, WikiSearch};
+
+/// One measured mode under one backend.
+struct Point {
+    backend: &'static str,
+    mode: &'static str,
+    open_ms: f64,
+    first_answer_ms: f64,
+    steady_qps: f64,
+}
+
+/// The backend lineup (thread counts match the other service benches).
+fn backends() -> Vec<(&'static str, Backend)> {
+    vec![
+        ("Seq", Backend::Sequential),
+        ("Par-CPU", Backend::ParCpu(2)),
+        ("GPU-style", Backend::GpuStyle(2)),
+        ("Dyn-Par", Backend::DynPar(2)),
+    ]
+}
+
+/// Open + first answer + steady-state throughput for one ready engine
+/// constructor. `open` builds the engine; the measurement brackets it.
+fn measure(open: impl FnOnce() -> WikiSearch, queries: &[String]) -> (f64, f64, f64, usize) {
+    let t0 = Instant::now();
+    let ws = open();
+    let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let first = ws.search(&queries[0]);
+    let first_answer_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut answered = first.answers.len();
+    let t1 = Instant::now();
+    for q in queries {
+        answered += ws.search(q).answers.len();
+    }
+    let steady_qps = queries.len() as f64 / t1.elapsed().as_secs_f64();
+    (open_ms, first_answer_ms, steady_qps, answered)
+}
+
+/// Run the cold-start sweep.
+pub fn run() -> serde_json::Value {
+    let per_point = queries_per_point().max(20);
+    println!("== cold_start: open-to-first-answer, mmap snapshot vs in-RAM build ==");
+
+    let ds = SyntheticConfig::wiki2017_sim().generate();
+    let name = ds.config.name.clone();
+    let dir = std::env::temp_dir();
+    let bin_path: PathBuf = dir.join(format!("ws-coldstart-{}.bin", std::process::id()));
+    let snap_path: PathBuf = dir.join(format!("ws-coldstart-{}.wsnap", std::process::id()));
+    kgraph::store::save_graph(&ds.graph, &bin_path).expect("write .bin");
+    let t = Instant::now();
+    let info = compile_snapshot(&ds.graph, &snap_path).expect("compile snapshot");
+    let compile_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "   dataset {name}: {} nodes, {} edges | snapshot {} bytes compiled in {:.0} ms | {} queries/point",
+        info.nodes, info.edges, info.file_bytes, compile_ms, per_point
+    );
+
+    let mut workload = QueryWorkload::new(777);
+    let queries = workload.batch(2, per_point);
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut sanity: Vec<usize> = Vec::new();
+    for (bname, backend) in backends() {
+        // In-RAM: parse the compact binary, rebuild everything.
+        let (open_ms, first_ms, qps, answered) = measure(
+            || {
+                let g = kgraph::store::load_graph(&bin_path).expect(".bin").into_graph();
+                WikiSearch::build_with(g, backend)
+            },
+            &queries,
+        );
+        points.push(Point {
+            backend: bname,
+            mode: "ram",
+            open_ms,
+            first_answer_ms: first_ms,
+            steady_qps: qps,
+        });
+        sanity.push(answered);
+
+        // Mmap, first touch after compile, then again fully resident.
+        for mode in ["mmap_cold", "mmap_warm"] {
+            let (open_ms, first_ms, qps, answered) = measure(
+                || WikiSearch::open_snapshot(&snap_path, backend).expect("open snapshot"),
+                &queries,
+            );
+            points.push(Point {
+                backend: bname,
+                mode,
+                open_ms,
+                first_answer_ms: first_ms,
+                steady_qps: qps,
+            });
+            sanity.push(answered);
+        }
+    }
+    // Every mode answered the identical stream: identical answer counts.
+    assert!(
+        sanity.windows(2).all(|w| w[0] == w[1]),
+        "backings disagreed on answers: {sanity:?}"
+    );
+
+    let mut table = Table::new(vec!["backend", "mode", "open ms", "first answer ms", "steady qps"]);
+    for p in &points {
+        table.row(vec![
+            p.backend.to_string(),
+            p.mode.to_string(),
+            format!("{:.2}", p.open_ms),
+            format!("{:.2}", p.first_answer_ms),
+            format!("{:.1}", p.steady_qps),
+        ]);
+    }
+    table.print();
+
+    let record = json!({
+        "experiment": "cold_start",
+        "dataset": name,
+        "nodes": info.nodes,
+        "edges": info.edges,
+        "snapshot_bytes": info.file_bytes,
+        "compile_ms": compile_ms,
+        "queries_per_point": per_point,
+        "points": points
+            .iter()
+            .map(|p| {
+                json!({
+                    "backend": p.backend,
+                    "mode": p.mode,
+                    "open_ms": p.open_ms,
+                    "first_answer_ms": p.first_answer_ms,
+                    "steady_qps": p.steady_qps,
+                })
+            })
+            .collect::<Vec<_>>(),
+    });
+    if let Ok(path) = ExperimentSink::new().write("BENCH_coldstart", &record) {
+        println!("record: {}", path.display());
+    }
+    let _ = std::fs::remove_file(bin_path);
+    let _ = std::fs::remove_file(snap_path);
+    record
+}

@@ -3,6 +3,7 @@
 
 pub mod blinks_cost;
 pub mod cache_hit_rate;
+pub mod cold_start;
 pub mod effectiveness;
 pub mod exp1_knum;
 pub mod exp2_topk;

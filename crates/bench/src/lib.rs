@@ -13,6 +13,7 @@
 //! | `table4_storage` | Table IV (pre/running storage) |
 //! | `throughput` | service-level: queries/sec vs concurrent clients on one engine |
 //! | `cache_hit_rate` | service-level: result-cache qps speedup + hit rate on a Zipf-skewed stream |
+//! | `cold_start` | storage-level: open-to-first-answer latency, mmap snapshot vs in-RAM build (`BENCH_coldstart.json`) |
 //! | `effectiveness` | Figs. 11–12 + Table V (top-k precision, kwf) |
 //! | `run_all` | everything above in sequence |
 //! | `blinks_index_cost` | appendix: the BLINKS feasibility argument, measured |

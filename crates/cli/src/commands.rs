@@ -16,7 +16,7 @@ commands:
   generate --dataset tiny|wiki2017-sim|wiki2018-sim --out FILE
            [--entities N] [--seed S]      synthesize a Wikidata-shaped KB
   stats    --graph FILE [--pairs N]       dataset statistics (Table II row)
-  search   --graph FILE --query WORDS
+  search   --graph FILE|--mmap SNAP --query WORDS
            [--top-k K] [--alpha A] [--backend seq|cpu|gpu|dyn]
            [--threads T] [--json true] [--trace true] [--dot true]
            [--explain true] [--cache-capacity BYTES]
@@ -32,8 +32,14 @@ commands:
                                            graph and answers through the
                                            scatter-gather coordinator,
                                            byte-identical answers)
-  convert  --in FILE --out FILE           convert between .tsv and .bin
-  serve    --graph FILE [--port P] [--backend B] [--top-k K]
+  convert  --in FILE --out FILE           convert between graph formats
+  build-snapshot --in FILE --out FILE.wsnap
+                                          compile a dataset into one
+                                          memory-mappable snapshot
+                                          (graph columns + inverted index
+                                          + engine metadata); serve it
+                                          zero-copy with --mmap
+  serve    --graph FILE|--mmap SNAP [--port P] [--backend B] [--top-k K]
            [--workers W] [--max-requests N] [--cache-capacity BYTES]
            [--timeout-ms MS] [--max-expansions N] [--max-queue Q]
            [--slow-query-ms MS] [--slow-query-log PATH] [--shards N]
@@ -57,11 +63,15 @@ commands:
                                            --shards N > 1 serves through
                                            the sharded scatter-gather
                                            coordinator, byte-identical
-                                           to --shards 1)
+                                           to --shards 1; --mmap SNAP
+                                           memory-maps a compiled .wsnap
+                                           snapshot and is ready without
+                                           rebuilding the index)
   help                                    this text
 
 graph files by extension: .tsv (line format), .bin (compact binary),
-.nt (RDF N-Triples, read-only).";
+.json (serde), .nt (RDF N-Triples, read-only), .wsnap (memory-mapped
+zero-copy snapshot; answers are byte-identical to every other format).";
 
 /// `wikisearch generate`.
 pub fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
@@ -112,6 +122,7 @@ pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
 pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     args.allow_only(&[
         "graph",
+        "mmap",
         "query",
         "top-k",
         "alpha",
@@ -126,7 +137,6 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "max-expansions",
         "shards",
     ])?;
-    let graph = read_graph(args.required("graph")?)?;
     let query = args.required("query")?.to_string();
     let threads: usize = args.get_or("threads", 4)?;
     let shards: usize = args.get_or("shards", 1)?;
@@ -147,7 +157,7 @@ pub fn search(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         budget = budget.with_max_expansions(max_expansions);
     }
 
-    let mut ws = WikiSearch::open_sharded(graph, backend, shards);
+    let mut ws = open_engine(args, backend, shards)?;
     let mut params = ws.params().clone();
     params.top_k = args.get_or("top-k", params.top_k)?;
     params.alpha = args.get_or("alpha", params.alpha)?;
@@ -246,35 +256,58 @@ pub fn convert(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     .map_err(|e| e.to_string())
 }
 
-/// Read a graph, dispatching on extension.
-pub fn read_graph(path: &str) -> Result<KnowledgeGraph, String> {
-    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    match extension(path) {
-        "bin" => kgraph::binio::from_bytes(&data).map_err(|e| format!("{path}: {e}")),
-        "tsv" | "txt" => {
-            let text = String::from_utf8(data).map_err(|e| format!("{path}: {e}"))?;
-            kgraph::io::from_tsv(&text).map_err(|e| format!("{path}: {e}"))
+/// Build the engine the way the flags ask: `--mmap SNAP` maps a
+/// compiled `.wsnap` read-only and serves zero-copy, `--graph FILE`
+/// parses into the heap. Exactly one of the two must be given; answers
+/// are byte-identical either way.
+pub fn open_engine(
+    args: &ParsedArgs,
+    backend: Backend,
+    shards: usize,
+) -> Result<WikiSearch, String> {
+    match (args.optional("mmap"), args.optional("graph")) {
+        (Some(_), Some(_)) => Err("--graph and --mmap are mutually exclusive".into()),
+        (Some(snap), None) => WikiSearch::open_snapshot_sharded(Path::new(snap), backend, shards),
+        (None, _) => {
+            Ok(WikiSearch::open_sharded(read_graph(args.required("graph")?)?, backend, shards))
         }
-        "nt" => {
-            let text = String::from_utf8(data).map_err(|e| format!("{path}: {e}"))?;
-            kgraph::io::from_ntriples(&text).map_err(|e| format!("{path}: {e}"))
-        }
-        other => Err(format!("{path}: unsupported extension {other:?} (use .tsv, .bin or .nt)")),
     }
 }
 
-/// Write a graph, dispatching on extension.
-pub fn write_graph(graph: &KnowledgeGraph, path: &str) -> Result<(), String> {
-    let bytes = match extension(path) {
-        "bin" => kgraph::binio::to_bytes(graph).to_vec(),
-        "tsv" | "txt" => kgraph::io::to_tsv(graph).into_bytes(),
-        other => return Err(format!("{path}: unsupported extension {other:?} (use .tsv or .bin)")),
-    };
-    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+/// `wikisearch build-snapshot`: compile a dataset (any loadable format)
+/// into one memory-mappable `.wsnap` file embedding the graph columns,
+/// the inverted index and the sampled average distance, ready for
+/// `search --mmap` / `serve --mmap`.
+pub fn build_snapshot(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.allow_only(&["in", "out"])?;
+    let src = args.required("in")?;
+    let dst = args.required("out")?.to_string();
+    if !dst.ends_with(".wsnap") {
+        return Err(format!("{dst}: snapshot output must use the .wsnap extension"));
+    }
+    let graph = read_graph(src)?;
+    let info = wikisearch_engine::compile_snapshot(&graph, Path::new(&dst))?;
+    writeln!(
+        out,
+        "compiled {src} -> {dst} ({} nodes, {} edges, {} terms, A={:.4}, {} bytes)",
+        info.nodes, info.edges, info.terms, info.average_distance, info.file_bytes
+    )
+    .map_err(|e| e.to_string())
 }
 
-fn extension(path: &str) -> &str {
-    Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("")
+/// Read a graph, dispatching on extension. Thin shim over the unified
+/// loader ([`kgraph::store::load_graph`]) — the CLI used to carry its
+/// own format dispatch, now there is exactly one.
+pub fn read_graph(path: &str) -> Result<KnowledgeGraph, String> {
+    kgraph::store::load_graph(Path::new(path))
+        .map(kgraph::GraphStore::into_graph)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Write a graph, dispatching on extension (see
+/// [`kgraph::store::save_graph`]).
+pub fn write_graph(graph: &KnowledgeGraph, path: &str) -> Result<(), String> {
+    kgraph::store::save_graph(graph, Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
         "stats" => commands::stats(&parsed, out),
         "search" => commands::search(&parsed, out),
         "convert" => commands::convert(&parsed, out),
+        "build-snapshot" => commands::build_snapshot(&parsed, out),
         "serve" => serve::serve(&parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", commands::HELP);

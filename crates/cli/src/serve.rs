@@ -88,7 +88,6 @@
 //! arming the log is observably free apart from the trace allocations.
 
 use crate::args::ParsedArgs;
-use crate::commands::read_graph;
 use central::metrics::{prometheus_counter, prometheus_gauge, prometheus_histogram};
 use central::{QueryBudget, QueryTrace, SearchError, TraceLevel};
 use parking_lot::Mutex;
@@ -193,6 +192,7 @@ struct Shared<'a> {
 pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     args.allow_only(&[
         "graph",
+        "mmap",
         "port",
         "backend",
         "threads",
@@ -243,8 +243,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         budget = budget.with_max_expansions(max_expansions);
     }
     let backend = Backend::parse(args.optional("backend").unwrap_or("cpu"), threads)?;
-    let graph = read_graph(args.required("graph")?)?;
-    let mut ws = WikiSearch::open_sharded(graph, backend, shards);
+    let mut ws = crate::commands::open_engine(args, backend, shards)?;
     let mut params = ws.params().clone();
     params.top_k = args.get_or("top-k", params.top_k)?;
     ws.set_params(params);
@@ -258,9 +257,14 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         Some(n) => format!(", {n} shards"),
         None => String::new(),
     };
+    let backing = if ws.is_memory_mapped() {
+        ", mmap-backed"
+    } else {
+        ""
+    };
     writeln!(
         out,
-        "wikisearch serving on 127.0.0.1:{} ({} nodes indexed, {workers} workers{sharding})",
+        "wikisearch serving on 127.0.0.1:{} ({} nodes indexed, {workers} workers{sharding}{backing})",
         addr.port(),
         ws.graph().num_nodes()
     )
@@ -559,6 +563,7 @@ fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Valu
     let lat = &m.latency_us;
     let exp = &m.expansions;
     serde_json::json!({
+        "memory_mapped": ws.is_memory_mapped(),
         "served": counters.served.load(Ordering::SeqCst),
         "shed": counters.shed.load(Ordering::SeqCst),
         "timeouts": counters.timeouts.load(Ordering::SeqCst),

@@ -89,6 +89,7 @@ fn stats_document_has_exactly_the_documented_key_set() {
             "engine",
             "expansions",
             "latency",
+            "memory_mapped",
             "oversized",
             "panics",
             "pool",

@@ -1,0 +1,152 @@
+//! Cold-start smoke test for `serve --mmap`: a server pointed at a
+//! compiled `.wsnap` snapshot answers its first query without rebuilding
+//! the index or re-reading the dataset — the snapshot is compiled once
+//! by `build-snapshot`, then served straight from the mapping — and its
+//! answers match a heap-backed server over the same graph byte for byte.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn run_cli(line: &str) -> (i32, String) {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let mut out = Vec::new();
+    let code = wikisearch_cli::run(&argv, &mut out);
+    (code, String::from_utf8(out).unwrap())
+}
+
+fn free_port() -> u16 {
+    let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = probe.local_addr().unwrap().port();
+    drop(probe);
+    port
+}
+
+/// Start `serve` with the given source flag in a background thread and
+/// wait for it to accept connections. `--max-requests` bounds its life.
+fn spawn_server(source: &str, max_requests: usize) -> u16 {
+    let port = free_port();
+    let line = format!(
+        "serve {source} --port {port} --backend seq --workers 2 --max-requests {max_requests}"
+    );
+    std::thread::spawn(move || {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let args = wikisearch_cli::args::parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let _ = wikisearch_cli::serve::serve(&args, &mut out);
+    });
+    for _ in 0..250 {
+        if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return port;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("server never came up on port {port}");
+}
+
+fn request_line(port: u16, line: &str) -> String {
+    let stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{line}").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("ws-serve-mmap-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn mmap_server_cold_starts_and_matches_the_heap_server() {
+    // Compile the dataset once.
+    let tsv = tmp("kb.tsv");
+    let snap = tmp("kb.wsnap");
+    let (code, out) =
+        run_cli(&format!("generate --dataset tiny --entities 250 --seed 11 --out {tsv}"));
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = run_cli(&format!("build-snapshot --in {tsv} --out {snap}"));
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("compiled"), "{out}");
+
+    // Cold start: the mmap server's very first request is a query, and
+    // it must be answered (no warm-up, no rebuild step in between).
+    let mmap_port = spawn_server(&format!("--mmap {snap}"), 3);
+    let first = request_line(mmap_port, "QUERY learning");
+    let first_doc: serde_json::Value = serde_json::from_str(&first).unwrap();
+    assert!(first_doc["answers"].is_array(), "first answer straight from the map: {first}");
+
+    // STATS reports the backing.
+    let stats = request_line(mmap_port, "STATS");
+    let stats_doc: serde_json::Value = serde_json::from_str(&stats).unwrap();
+    assert_eq!(stats_doc["memory_mapped"], serde_json::json!(true), "{stats}");
+
+    // A heap server over the same dataset answers identically.
+    let heap_port = spawn_server(&format!("--graph {tsv}"), 2);
+    let heap_stats = request_line(heap_port, "STATS");
+    let heap_doc: serde_json::Value = serde_json::from_str(&heap_stats).unwrap();
+    assert_eq!(heap_doc["memory_mapped"], serde_json::json!(false), "{heap_stats}");
+    for query in ["QUERY learning", "QUERY network language"] {
+        let mut a: serde_json::Value =
+            serde_json::from_str(&request_line(mmap_port, query)).unwrap();
+        let mut b: serde_json::Value =
+            serde_json::from_str(&request_line(heap_port, query)).unwrap();
+        // Wall-clock legitimately differs; every answer byte must not.
+        for doc in [&mut a, &mut b] {
+            if let serde_json::Value::Object(entries) = doc {
+                entries.retain(|(k, _)| k != "ms");
+            }
+        }
+        assert_eq!(a, b, "{query} diverged between backings");
+    }
+
+    let _ = std::fs::remove_file(tsv);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn mmap_and_graph_flags_are_mutually_exclusive() {
+    let (code, out) = run_cli("search --graph a.tsv --mmap b.wsnap --query x");
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("mutually exclusive"), "{out}");
+}
+
+#[test]
+fn build_snapshot_requires_the_wsnap_extension() {
+    let (code, out) = run_cli("build-snapshot --in a.tsv --out b.bin");
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains(".wsnap"), "{out}");
+}
+
+#[test]
+fn search_answers_identically_from_the_snapshot() {
+    let tsv = tmp("kb2.tsv");
+    let snap = tmp("kb2.wsnap");
+    run_cli(&format!("generate --dataset tiny --entities 200 --seed 3 --out {tsv}"));
+    let (code, out) = run_cli(&format!("build-snapshot --in {tsv} --out {snap}"));
+    assert_eq!(code, 0, "{out}");
+    let (code, heap_out) =
+        run_cli(&format!("search --graph {tsv} --query learning --backend seq --json true"));
+    assert_eq!(code, 0, "{heap_out}");
+    let (code, mmap_out) =
+        run_cli(&format!("search --mmap {snap} --query learning --backend seq --json true"));
+    assert_eq!(code, 0, "{mmap_out}");
+    let mut heap_doc: serde_json::Value = serde_json::from_str(&heap_out).unwrap();
+    let mut mmap_doc: serde_json::Value = serde_json::from_str(&mmap_out).unwrap();
+    // Timings legitimately differ; everything else must not.
+    let strip_timing = |doc: &mut serde_json::Value| {
+        if let serde_json::Value::Object(entries) = doc {
+            entries.retain(|(k, _)| k != "total_ms");
+        }
+    };
+    strip_timing(&mut heap_doc);
+    strip_timing(&mut mmap_doc);
+    assert_eq!(heap_doc, mmap_doc);
+    let _ = std::fs::remove_file(tsv);
+    let _ = std::fs::remove_file(snap);
+}

@@ -26,6 +26,9 @@
 #![warn(missing_docs)]
 
 pub mod render;
+pub mod snapshot;
+
+pub use snapshot::{compile_snapshot, SnapshotInfo, SEC_AVG_DISTANCE};
 
 use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SearchStats,
@@ -36,7 +39,7 @@ use central::{
     QueryBudget, QueryKey, QueryTrace, SearchError, SearchParams, SessionPool, ShardBackend,
     ShardedSearch, ShardedStats, TraceLevel,
 };
-use kgraph::{estimate_average_distance, KnowledgeGraph};
+use kgraph::KnowledgeGraph;
 use std::sync::Arc;
 use std::time::Instant;
 use textindex::{InvertedIndex, ParsedQuery};
@@ -191,13 +194,21 @@ impl WikiSearch {
     /// Build with an explicit backend.
     pub fn build_with(graph: KnowledgeGraph, backend: Backend) -> Self {
         let index = InvertedIndex::build(&graph);
-        let est = estimate_average_distance(&graph, 200, 32, 0xA11CE);
-        let a = if est.reachable_pairs == 0 {
-            3.68
-        } else {
-            est.mean
-        };
+        let a = snapshot::sampled_average_distance(&graph);
         let params = SearchParams::default().with_average_distance(a);
+        Self::assemble(graph, index, params, backend)
+    }
+
+    /// The one true constructor: every build path (heap build, snapshot
+    /// open) funnels through here once its graph, index and parameters
+    /// exist, so the session pool, cache, metrics and shard wiring can
+    /// never diverge between backings.
+    fn assemble(
+        graph: KnowledgeGraph,
+        index: InvertedIndex,
+        params: SearchParams,
+        backend: Backend,
+    ) -> Self {
         WikiSearch {
             graph,
             index,
@@ -209,6 +220,38 @@ impl WikiSearch {
             cache: None,
             metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Open a compiled `.wsnap` snapshot ([`compile_snapshot`]) with
+    /// zero-copy columns: the file is memory-mapped read-only, the header
+    /// page is validated, and the graph, inverted index and stored
+    /// average distance are assembled straight over the mapping — no
+    /// deserialization, no index rebuild, no distance re-sampling.
+    /// Answers are byte-identical to a heap-built engine over the same
+    /// graph.
+    pub fn open_snapshot(path: &std::path::Path, backend: Backend) -> Result<Self, String> {
+        let (graph, index, params) = snapshot::open_parts(path)?;
+        Ok(Self::assemble(graph, index, params, backend))
+    }
+
+    /// [`WikiSearch::open_snapshot`] plus in-process sharding
+    /// ([`WikiSearch::set_shards`]). The shard builder copies the
+    /// sub-graphs it cuts, so shards are heap-owned even when the source
+    /// columns are mapped.
+    pub fn open_snapshot_sharded(
+        path: &std::path::Path,
+        backend: Backend,
+        shards: usize,
+    ) -> Result<Self, String> {
+        let mut ws = Self::open_snapshot(path, backend)?;
+        ws.set_shards(shards);
+        Ok(ws)
+    }
+
+    /// `true` when the engine's graph columns point into a memory-mapped
+    /// snapshot rather than the heap.
+    pub fn is_memory_mapped(&self) -> bool {
+        self.graph.is_memory_mapped()
     }
 
     /// Build with an explicit backend over an in-process shard set:

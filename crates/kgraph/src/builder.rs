@@ -160,16 +160,16 @@ impl GraphBuilder {
         let normalized = weights::normalize(&raw);
 
         KnowledgeGraph {
-            offsets,
-            adj,
+            offsets: offsets.into(),
+            adj: adj.into(),
             num_directed_edges: m,
-            node_keys: self.node_keys,
-            node_texts: self.node_texts,
-            label_names: self.label_names,
-            in_degree,
-            out_degree,
-            weights_raw: raw,
-            weights: normalized,
+            node_keys: crate::column::StrTable::from_strings(&self.node_keys),
+            node_texts: crate::column::StrTable::from_strings(&self.node_texts),
+            label_names: crate::column::StrTable::from_strings(&self.label_names),
+            in_degree: in_degree.into(),
+            out_degree: out_degree.into(),
+            weights_raw: raw.into(),
+            weights: normalized.into(),
         }
     }
 }

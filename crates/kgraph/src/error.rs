@@ -23,6 +23,12 @@ pub enum KgraphError {
     Io(std::io::Error),
     /// A JSON (de)serialization failure.
     Json(String),
+    /// A malformed, truncated, corrupted or wrong-version `.wsnap`
+    /// snapshot file.
+    Snapshot {
+        /// What failed validation.
+        message: String,
+    },
     /// The builder was asked to create a graph that exceeds `u32` ids.
     TooLarge {
         /// Which id space overflowed ("nodes" or "labels").
@@ -42,6 +48,7 @@ impl fmt::Display for KgraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             KgraphError::Io(e) => write!(f, "i/o error: {e}"),
+            KgraphError::Snapshot { message } => write!(f, "snapshot error: {message}"),
             KgraphError::Json(e) => write!(f, "json error: {e}"),
             KgraphError::TooLarge { what, count } => {
                 write!(f, "{what} count {count} exceeds u32 id space")

@@ -11,6 +11,7 @@
 //! offset array plus one 8-byte `Adjacency` array, exactly the CSR storage
 //! the paper budgets in Table IV.
 
+use crate::column::{Column, Pod, StrTable};
 use crate::ids::{LabelId, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -20,11 +21,18 @@ const OUTGOING_BIT: u32 = 1 << 31;
 
 /// One adjacency entry: the neighbor, the edge label, and whether the edge
 /// is outgoing from the owning node. Packed into 8 bytes.
+///
+/// `repr(C)` pins the layout so adjacency arrays can be written to — and
+/// mapped back from — `.wsnap` snapshots without transformation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Adjacency {
     target: NodeId,
     label_dir: u32,
 }
+
+// Safety: two u32s, repr(C), no padding, every bit pattern valid.
+unsafe impl Pod for Adjacency {}
 
 impl Adjacency {
     /// Create an adjacency entry.
@@ -55,24 +63,28 @@ impl Adjacency {
 
 /// An immutable knowledge graph in CSR form.
 ///
-/// Construct with [`crate::GraphBuilder`]. Node and label ids are dense,
-/// so all per-node search state elsewhere in the workspace is held in flat
-/// arrays indexed by [`NodeId`].
+/// Construct with [`crate::GraphBuilder`] (heap-owned columns) or map one
+/// from a `.wsnap` snapshot via [`crate::snapshot::graph_from_snapshot`]
+/// (zero-copy columns over a read-only mapping). Node and label ids are
+/// dense, so all per-node search state elsewhere in the workspace is held
+/// in flat arrays indexed by [`NodeId`]. Every accessor behaves
+/// identically on either backing — the differential `mmap_equivalence`
+/// suite pins byte-identical search answers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct KnowledgeGraph {
-    pub(crate) offsets: Vec<u64>,
-    pub(crate) adj: Vec<Adjacency>,
+    pub(crate) offsets: Column<u64>,
+    pub(crate) adj: Column<Adjacency>,
     pub(crate) num_directed_edges: usize,
-    pub(crate) node_keys: Vec<String>,
-    pub(crate) node_texts: Vec<String>,
-    pub(crate) label_names: Vec<String>,
-    pub(crate) in_degree: Vec<u32>,
-    pub(crate) out_degree: Vec<u32>,
+    pub(crate) node_keys: StrTable,
+    pub(crate) node_texts: StrTable,
+    pub(crate) label_names: StrTable,
+    pub(crate) in_degree: Column<u32>,
+    pub(crate) out_degree: Column<u32>,
     /// Degree of summary per Eq. 2, before normalization.
-    pub(crate) weights_raw: Vec<f32>,
+    pub(crate) weights_raw: Column<f32>,
     /// Min–max normalized degree of summary in `[0, 1]` (the `w_i` used by
     /// the activation mapping, Sec. IV-A).
-    pub(crate) weights: Vec<f32>,
+    pub(crate) weights: Column<f32>,
 }
 
 impl KnowledgeGraph {
@@ -146,6 +158,120 @@ impl KnowledgeGraph {
         &self.weights
     }
 
+    /// The CSR offset array (`n + 1` entries), for snapshot writing.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The flat bi-directed adjacency array, for snapshot writing.
+    #[inline]
+    pub fn csr_adjacency(&self) -> &[Adjacency] {
+        &self.adj
+    }
+
+    /// The full per-node in-degree array.
+    #[inline]
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degree
+    }
+
+    /// The full per-node out-degree array.
+    #[inline]
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degree
+    }
+
+    /// The full raw (pre-normalization) weight array.
+    #[inline]
+    pub fn raw_weights(&self) -> &[f32] {
+        &self.weights_raw
+    }
+
+    /// The node-key string table.
+    #[inline]
+    pub fn node_keys_table(&self) -> &StrTable {
+        &self.node_keys
+    }
+
+    /// The node-text string table.
+    #[inline]
+    pub fn node_texts_table(&self) -> &StrTable {
+        &self.node_texts
+    }
+
+    /// The label-name string table.
+    #[inline]
+    pub fn label_names_table(&self) -> &StrTable {
+        &self.label_names
+    }
+
+    /// `true` when any column is served from a memory-mapped snapshot
+    /// rather than the heap. (After a copy-on-write
+    /// [`override_weights`][Self::override_weights] the weight columns are
+    /// owned, but the graph still reports mapped as long as its structural
+    /// columns are.)
+    pub fn is_memory_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.adj.is_mapped() || self.node_keys.is_mapped()
+    }
+
+    /// Assemble a graph directly from pre-built columns — the `.wsnap`
+    /// open path ([`crate::snapshot::graph_from_snapshot`]). Cheap
+    /// structural checks only (column lengths must agree, the final CSR
+    /// offset must cover the adjacency array); full invariants stay with
+    /// [`check_invariants`][Self::check_invariants], which deep tooling
+    /// and tests call explicitly, because eagerly scanning every column
+    /// would defeat lazy mapped opens.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        offsets: Column<u64>,
+        adj: Column<Adjacency>,
+        num_directed_edges: usize,
+        node_keys: StrTable,
+        node_texts: StrTable,
+        label_names: StrTable,
+        in_degree: Column<u32>,
+        out_degree: Column<u32>,
+        weights_raw: Column<f32>,
+        weights: Column<f32>,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offset column must hold at least one entry".into());
+        }
+        let n = offsets.len() - 1;
+        for (what, len) in [
+            ("node_keys", node_keys.len()),
+            ("node_texts", node_texts.len()),
+            ("in_degree", in_degree.len()),
+            ("out_degree", out_degree.len()),
+            ("weights_raw", weights_raw.len()),
+            ("weights", weights.len()),
+        ] {
+            if len != n {
+                return Err(format!("{what} holds {len} entries for a {n}-node graph"));
+            }
+        }
+        if *offsets.last().unwrap() as usize != adj.len() {
+            return Err(format!(
+                "final CSR offset {} does not cover {} adjacency entries",
+                offsets.last().unwrap(),
+                adj.len()
+            ));
+        }
+        Ok(KnowledgeGraph {
+            offsets,
+            adj,
+            num_directed_edges,
+            node_keys,
+            node_texts,
+            label_names,
+            in_degree,
+            out_degree,
+            weights_raw,
+            weights,
+        })
+    }
+
     /// Replace both weight arrays with externally computed values.
     ///
     /// `GraphBuilder::build` normalizes weights over the *local* maximum,
@@ -156,42 +282,47 @@ impl KnowledgeGraph {
     /// arrays must have one entry per node, and `normalized` must stay in
     /// `[0, 1]` — the same invariants `check_invariants` enforces.
     ///
+    /// On a memory-mapped graph this is copy-on-write: the snapshot file
+    /// stays untouched and only the two weight columns move to fresh
+    /// heap-owned storage; every other column keeps pointing into the
+    /// mapping. It never attempts to write through the read-only mapping.
+    ///
     /// # Panics
     /// Panics if either array's length differs from the node count.
     pub fn override_weights(&mut self, raw: Vec<f32>, normalized: Vec<f32>) {
         assert_eq!(raw.len(), self.num_nodes(), "raw weights: one entry per node");
         assert_eq!(normalized.len(), self.num_nodes(), "normalized weights: one entry per node");
-        self.weights_raw = raw;
-        self.weights = normalized;
+        self.weights_raw = raw.into();
+        self.weights = normalized.into();
     }
 
     /// Stable external key of a node (e.g. a Wikidata `Q...` id).
     #[inline]
     pub fn node_key(&self, v: NodeId) -> &str {
-        &self.node_keys[v.index()]
+        self.node_keys.get(v.index())
     }
 
     /// Human-readable text of a node — the string the text index tokenizes.
     #[inline]
     pub fn node_text(&self, v: NodeId) -> &str {
-        &self.node_texts[v.index()]
+        self.node_texts.get(v.index())
     }
 
     /// Human-readable name of an edge label.
     #[inline]
     pub fn label_name(&self, l: LabelId) -> &str {
-        &self.label_names[l.index()]
+        self.label_names.get(l.index())
     }
 
     /// Linear scan lookup of a node by its external key. Intended for tests
     /// and examples; production callers keep their own key map.
     pub fn find_node_by_key(&self, key: &str) -> Option<NodeId> {
-        self.node_keys.iter().position(|k| k == key).map(NodeId::from_index)
+        self.node_keys.position(key).map(NodeId::from_index)
     }
 
     /// Linear scan lookup of a node by its exact text.
     pub fn find_node_by_text(&self, text: &str) -> Option<NodeId> {
-        self.node_texts.iter().position(|t| t == text).map(NodeId::from_index)
+        self.node_texts.position(text).map(NodeId::from_index)
     }
 
     /// Iterator over all node ids.

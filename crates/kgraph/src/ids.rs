@@ -12,13 +12,22 @@ use std::fmt;
 /// Node ids are dense: a graph with `n` nodes uses exactly the ids
 /// `0..n`, which lets every per-node table in the search engine be a flat
 /// array indexed by `NodeId`.
+///
+/// `repr(transparent)` pins the layout to a bare `u32` so id arrays can
+/// live inside memory-mapped snapshots ([`crate::column::Pod`]).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 /// Identifier of an edge label (a Wikidata-style property such as
 /// `instance of` or `published in`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct LabelId(pub u32);
+
+// Safety: transparent u32 newtypes — no padding, all bit patterns valid.
+unsafe impl crate::column::Pod for NodeId {}
+unsafe impl crate::column::Pod for LabelId {}
 
 impl NodeId {
     /// The id as a `usize`, for indexing per-node arrays.

@@ -39,19 +39,26 @@
 
 pub mod binio;
 pub mod builder;
+pub mod column;
 pub mod error;
 pub mod graph;
 pub mod ids;
 pub mod io;
+pub mod mmap;
 pub mod sampling;
+pub mod snapshot;
 pub mod stats;
 pub mod storage;
+pub mod store;
 pub mod weights;
 
 pub use builder::GraphBuilder;
+pub use column::{Column, Pod, StrTable};
 pub use error::KgraphError;
 pub use graph::{Adjacency, KnowledgeGraph};
 pub use ids::{LabelId, NodeId};
 pub use sampling::{estimate_average_distance, DistanceEstimate};
+pub use snapshot::{Snapshot, SnapshotWriter};
 pub use stats::GraphStats;
 pub use storage::MemoryFootprint;
+pub use store::{load_graph, GraphFormat, GraphStore};

@@ -5,49 +5,94 @@
 //! approaches the engine needs **no** precomputed keyword–node distance
 //! structures — only these posting lists — which is exactly the paper's
 //! scalability argument against BLINKS on a 5M-keyword KB.
+//!
+//! The index is stored in one canonical columnar shape on both backings:
+//! a lexicographically sorted term table ([`StrTable`]) plus a CSR of
+//! posting lists (`posting_offsets` delimiting one flat [`NodeId`]
+//! column). Term lookup is a binary search over the sorted table. The
+//! same four columns serialize into `.wsnap` snapshot sections (ids
+//! 20–24) and map back zero-copy, so a heap-built index and a
+//! mapped one are structurally identical — the property the
+//! `mmap_equivalence` differential suite leans on.
 
 use crate::analyzer::analyze_unique;
-use kgraph::{KnowledgeGraph, NodeId};
+use kgraph::snapshot::{Snapshot, SnapshotWriter};
+use kgraph::{Column, KgraphError, KnowledgeGraph, NodeId, StrTable};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// Snapshot section: term string-table offsets (`num_terms + 1` × u64).
+pub const SEC_TERM_OFFSETS: u32 = 20;
+/// Snapshot section: term string-table UTF-8 arena.
+pub const SEC_TERM_BYTES: u32 = 21;
+/// Snapshot section: posting-list CSR offsets (`num_terms + 1` × u64).
+pub const SEC_POSTING_OFFSETS: u32 = 22;
+/// Snapshot section: flat posting lists (u32 node ids).
+pub const SEC_POSTINGS: u32 = 23;
+/// Snapshot section: index metadata (`num_nodes` as one u64).
+pub const SEC_INDEX_META: u32 = 24;
 
 /// Inverted index over a graph's node texts.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct InvertedIndex {
-    term_ids: HashMap<String, u32>,
-    term_names: Vec<String>,
-    postings: Vec<Vec<NodeId>>,
+    /// Distinct analyzed terms, lexicographically sorted.
+    terms: StrTable,
+    /// CSR offsets: posting list `i` is `postings[offsets[i]..offsets[i+1]]`.
+    posting_offsets: Column<u64>,
+    /// All posting lists, concatenated in term order; each list is a
+    /// sorted, deduplicated run of node ids.
+    postings: Column<NodeId>,
     num_nodes: usize,
 }
 
 impl InvertedIndex {
     /// Build the index by analyzing every node's text.
     pub fn build(g: &KnowledgeGraph) -> Self {
-        let mut idx = InvertedIndex { num_nodes: g.num_nodes(), ..Default::default() };
+        let mut by_term: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
         for v in g.nodes() {
             for term in analyze_unique(g.node_text(v)) {
-                let id = *idx.term_ids.entry(term.clone()).or_insert_with(|| {
-                    idx.term_names.push(term);
-                    idx.postings.push(Vec::new());
-                    (idx.term_names.len() - 1) as u32
-                });
-                idx.postings[id as usize].push(v);
+                by_term.entry(term).or_default().push(v);
             }
         }
         // Node texts are analyzed in node-id order with per-text dedup, so
         // each posting list is already sorted and unique.
-        debug_assert!(idx.postings.iter().all(|p| p.windows(2).all(|w| w[0] < w[1])));
-        idx
+        debug_assert!(by_term.values().all(|p| p.windows(2).all(|w| w[0] < w[1])));
+        let mut posting_offsets: Vec<u64> = vec![0];
+        let mut postings: Vec<NodeId> = Vec::new();
+        for list in by_term.values() {
+            postings.extend_from_slice(list);
+            posting_offsets.push(postings.len() as u64);
+        }
+        InvertedIndex {
+            terms: StrTable::from_strings(by_term.keys()),
+            posting_offsets: posting_offsets.into(),
+            postings: postings.into(),
+            num_nodes: g.num_nodes(),
+        }
     }
 
     /// Number of distinct analyzed terms.
     pub fn num_terms(&self) -> usize {
-        self.term_names.len()
+        self.terms.len()
     }
 
     /// Number of indexed nodes.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    /// Binary search for `term` in the sorted term table.
+    fn term_index(&self, term: &str) -> Option<usize> {
+        let (mut lo, mut hi) = (0usize, self.terms.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.terms.get(mid).cmp(term) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
     }
 
     /// Posting list for a *raw* (unanalyzed) term; the term is pushed
@@ -62,7 +107,10 @@ impl InvertedIndex {
 
     /// Posting list for an already-analyzed term.
     pub fn lookup_analyzed(&self, term: &str) -> Option<&[NodeId]> {
-        self.term_ids.get(term).map(|&id| self.postings[id as usize].as_slice())
+        let i = self.term_index(term)?;
+        let lo = self.posting_offsets[i] as usize;
+        let hi = self.posting_offsets[i + 1] as usize;
+        Some(&self.postings[lo..hi])
     }
 
     /// Document frequency of an analyzed term (0 if absent). This is the
@@ -87,17 +135,66 @@ impl InvertedIndex {
         }
     }
 
-    /// Iterator over `(term, document frequency)` pairs.
+    /// Iterator over `(term, document frequency)` pairs, in term order.
     pub fn term_frequencies(&self) -> impl Iterator<Item = (&str, usize)> + '_ {
-        self.term_names.iter().zip(&self.postings).map(|(t, p)| (t.as_str(), p.len()))
+        (0..self.terms.len()).map(move |i| {
+            let df = (self.posting_offsets[i + 1] - self.posting_offsets[i]) as usize;
+            (self.terms.get(i), df)
+        })
     }
 
-    /// Approximate heap bytes used by the index (postings + term table).
+    /// `true` when the index is served from a memory-mapped snapshot.
+    pub fn is_memory_mapped(&self) -> bool {
+        self.postings.is_mapped()
+    }
+
+    /// Approximate bytes used by the index (postings + term table),
+    /// whether heap-resident or mapped.
     pub fn approx_bytes(&self) -> usize {
-        let postings: usize =
-            self.postings.iter().map(|p| p.len() * std::mem::size_of::<NodeId>()).sum();
-        let terms: usize = self.term_names.iter().map(|t| t.len() + 24).sum();
-        postings + terms
+        self.postings.len() * std::mem::size_of::<NodeId>()
+            + self.posting_offsets.len() * std::mem::size_of::<u64>()
+            + self.terms.approx_bytes()
+    }
+
+    /// Write the index's four sections (ids 20–24) into `w`, alongside
+    /// whatever graph sections are already there.
+    pub fn write_snapshot_sections(&self, w: &mut SnapshotWriter) -> std::io::Result<()> {
+        w.section_str_table(SEC_TERM_OFFSETS, SEC_TERM_BYTES, &self.terms)?;
+        w.section_pod(SEC_POSTING_OFFSETS, &self.posting_offsets)?;
+        w.section_pod(SEC_POSTINGS, &self.postings)?;
+        w.section_pod(SEC_INDEX_META, &[self.num_nodes as u64])
+    }
+
+    /// Reassemble a zero-copy index over `snap`'s sections. Cheap length
+    /// cross-checks only, mirroring the graph open path.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<Self, KgraphError> {
+        let snap_err =
+            |m: String| KgraphError::Snapshot { message: format!("inverted index: {m}") };
+        let terms = snap.str_table(SEC_TERM_OFFSETS, SEC_TERM_BYTES)?;
+        let posting_offsets: Column<u64> = snap.column(SEC_POSTING_OFFSETS)?;
+        let postings: Column<NodeId> = snap.column(SEC_POSTINGS)?;
+        let meta: Column<u64> = snap.column(SEC_INDEX_META)?;
+        if meta.len() != 1 {
+            return Err(snap_err(format!("meta section holds {} values, expected 1", meta.len())));
+        }
+        if posting_offsets.len() != terms.len() + 1 {
+            return Err(snap_err(format!(
+                "{} posting offsets for {} terms",
+                posting_offsets.len(),
+                terms.len()
+            )));
+        }
+        match posting_offsets.last() {
+            Some(&last) if last as usize == postings.len() => {}
+            Some(&last) => {
+                return Err(snap_err(format!(
+                    "final posting offset {last} does not cover {} postings",
+                    postings.len()
+                )))
+            }
+            None => return Err(snap_err("empty posting offset section".into())),
+        }
+        Ok(InvertedIndex { terms, posting_offsets, postings, num_nodes: meta[0] as usize })
     }
 }
 
@@ -172,11 +269,55 @@ mod tests {
     }
 
     #[test]
+    fn terms_are_sorted_for_binary_search() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        let terms: Vec<&str> = idx.term_frequencies().map(|(t, _)| t).collect();
+        let mut sorted = terms.clone();
+        sorted.sort_unstable();
+        assert_eq!(terms, sorted);
+        for t in terms {
+            assert!(idx.lookup_analyzed(t).is_some());
+        }
+    }
+
+    #[test]
     fn duplicate_words_in_one_label_index_once() {
         let mut b = GraphBuilder::new();
         b.add_node("n", "data data data");
         let g = b.build();
         let idx = InvertedIndex::build(&g);
         assert_eq!(idx.frequency("data"), 1);
+    }
+
+    #[test]
+    fn empty_index_looks_up_nothing() {
+        let idx = InvertedIndex::build(&GraphBuilder::new().build());
+        assert_eq!(idx.num_terms(), 0);
+        assert!(idx.lookup("anything").is_none());
+        let d = InvertedIndex::default();
+        assert!(d.lookup_analyzed("x").is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_identical() {
+        let path =
+            std::env::temp_dir().join(format!("textindex-snap-{}.wsnap", std::process::id()));
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        idx.write_snapshot_sections(&mut w).unwrap();
+        w.finish().unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        snap.verify_checksums().unwrap();
+        let idx2 = InvertedIndex::from_snapshot(&snap).unwrap();
+        assert!(idx2.is_memory_mapped());
+        assert_eq!(idx2.num_terms(), idx.num_terms());
+        assert_eq!(idx2.num_nodes(), idx.num_nodes());
+        for (t, df) in idx.term_frequencies() {
+            assert_eq!(idx2.frequency(t), df);
+            assert_eq!(idx2.lookup_analyzed(t), idx.lookup_analyzed(t));
+        }
+        let _ = std::fs::remove_file(path);
     }
 }
