@@ -249,6 +249,8 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
             cache: None,
             session_id: None,
             session_queries: None,
+            batch_id: None,
+            co_batched: None,
             phase_ms: PhaseMillis::from(&profile),
         })
     });

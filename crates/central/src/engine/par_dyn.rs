@@ -355,6 +355,8 @@ impl KeywordSearchEngine for DynParEngine {
                 cache: None,
                 session_id: None,
                 session_queries: None,
+                batch_id: None,
+                co_batched: None,
                 phase_ms: PhaseMillis::from(&profile),
             })
         });

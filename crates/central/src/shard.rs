@@ -761,6 +761,8 @@ impl ShardedSearch {
                 cache: None,
                 session_id: None,
                 session_queries: None,
+                batch_id: None,
+                co_batched: None,
                 phase_ms: PhaseMillis::from(&profile),
             })
         });

@@ -38,18 +38,20 @@ use textindex::ParsedQuery;
 const VALUE_BITS: u32 = 8;
 /// Mask of the value byte.
 const VALUE_MASK: u32 = 0xFF;
-/// First epoch past the 24-bit range — triggers the hard reset.
-const EPOCH_LIMIT: u32 = 1 << (32 - VALUE_BITS);
+/// First epoch past the 24-bit range — triggers the hard reset. Shared
+/// with the multi-query [`crate::batch::BatchState`], which stamps its
+/// query-major cells with the same scheme.
+pub(crate) const EPOCH_LIMIT: u32 = 1 << (32 - VALUE_BITS);
 
 /// Pack an epoch stamp and a value byte into one cell word.
 #[inline]
-fn pack(epoch: u32, value: u8) -> u32 {
+pub(crate) fn pack(epoch: u32, value: u8) -> u32 {
     (epoch << VALUE_BITS) | u32::from(value)
 }
 
 /// The value byte of `cell` if its stamp matches `epoch`, else `default`.
 #[inline]
-fn unpack(cell: u32, epoch: u32, default: u8) -> u8 {
+pub(crate) fn unpack(cell: u32, epoch: u32, default: u8) -> u8 {
     if cell >> VALUE_BITS == epoch {
         (cell & VALUE_MASK) as u8
     } else {

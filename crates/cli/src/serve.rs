@@ -86,6 +86,28 @@
 //! file named by `--slow-query-log` (default `slow_queries.jsonl`).
 //! Tracing never changes answers (differential-tested in the engine), so
 //! arming the log is observably free apart from the trace allocations.
+//!
+//! ## Micro-batched execution
+//!
+//! `--batch-window-us N` (default 0 = off) arms the engine's
+//! micro-batcher (`central::batch`): cache-missing queries arriving
+//! within `N` µs of each other — up to `--batch-max` (default 16) — fuse
+//! into one multi-query frontier sweep, so one pass over the graph's
+//! node space serves every query in the batch. Responses are
+//! byte-identical to `--batch-window-us 0` (differential-tested over
+//! this very protocol); `STATS` gains a `batch` object and `METRICS`
+//! gains `ws_batch_*` series while batching is on. A drain closes any
+//! open collection window immediately, so shutdown never waits out a
+//! window.
+//!
+//! ## Async connection multiplexing
+//!
+//! `--async-io true` (default off) swaps the connection-per-worker model
+//! for a readiness-polled multiplexer: parked connections are owned by a
+//! muxer thread that polls them (`TcpStream::peek`) and dispatches only
+//! *ready* ones to the bounded worker pool, one request at a time, so an
+//! idle connection costs a socket — not a pinned worker thread. The
+//! protocol, counters, shedding and drain semantics are unchanged.
 
 use crate::args::ParsedArgs;
 use central::metrics::{prometheus_counter, prometheus_gauge, prometheus_histogram};
@@ -206,6 +228,9 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "slow-query-ms",
         "slow-query-log",
         "shards",
+        "batch-window-us",
+        "batch-max",
+        "async-io",
     ])?;
     let port: u16 = args.get_or("port", 7878)?;
     let threads: usize = args.get_or("threads", 4)?;
@@ -217,6 +242,9 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let max_expansions: u64 = args.get_or("max-expansions", 0)?;
     let max_queue: usize = args.get_or("max-queue", 64)?;
     let slow_query_ms: u64 = args.get_or("slow-query-ms", 0)?;
+    let batch_window_us: u64 = args.get_or("batch-window-us", 0)?;
+    let batch_max: usize = args.get_or("batch-max", 16)?;
+    let async_io: bool = args.get_or("async-io", false)?;
     if workers == 0 {
         return Err("--workers must be >= 1".into());
     }
@@ -225,6 +253,9 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     }
     if max_queue == 0 {
         return Err("--max-queue must be >= 1".into());
+    }
+    if !(1..=central::MAX_BATCH_LANES).contains(&batch_max) {
+        return Err(format!("--batch-max must be in 1..={}", central::MAX_BATCH_LANES));
     }
     if slow_query_ms == 0 && args.optional("slow-query-log").is_some() {
         return Err("--slow-query-log requires --slow-query-ms N (N >= 1)".into());
@@ -248,6 +279,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     params.top_k = args.get_or("top-k", params.top_k)?;
     ws.set_params(params);
     ws.set_cache_capacity(cache_capacity);
+    ws.set_batching(Duration::from_micros(batch_window_us), batch_max);
     let ws = Arc::new(ws);
 
     let listener = TcpListener::bind(("127.0.0.1", port))
@@ -262,9 +294,16 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     } else {
         ""
     };
+    let batching = if batch_window_us > 0 {
+        format!(", batching {batch_window_us}us x{batch_max}")
+    } else {
+        String::new()
+    };
+    let frontend = if async_io { ", async-io" } else { "" };
     writeln!(
         out,
-        "wikisearch serving on 127.0.0.1:{} ({} nodes indexed, {workers} workers{sharding}{backing})",
+        "wikisearch serving on 127.0.0.1:{} ({} nodes indexed, {workers} \
+         workers{sharding}{backing}{batching}{frontend})",
         addr.port(),
         ws.graph().num_nodes()
     )
@@ -281,6 +320,27 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         addr,
         slow,
     };
+    let accept_error = if async_io {
+        serve_async(&listener, &shared, workers, max_queue)
+    } else {
+        serve_sync(&listener, &shared, workers, max_queue)
+    };
+
+    if let Some(e) = accept_error {
+        return Err(e);
+    }
+    writeln!(out, "served {} queries, shutting down", counters.served.load(Ordering::SeqCst))
+        .map_err(|e| e.to_string())
+}
+
+/// The connection-per-worker serving loop: each accepted connection is
+/// owned by one worker until its peer quits or the server drains.
+fn serve_sync(
+    listener: &TcpListener,
+    shared: &Shared<'_>,
+    workers: usize,
+    max_queue: usize,
+) -> Option<String> {
     // Bounded handoff queue: when it is full, new connections are shed
     // instead of queueing without limit.
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(max_queue);
@@ -292,7 +352,6 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let shared = &shared;
             let rx = &rx;
             scope.spawn(move || loop {
                 // Hold the receiver lock only while dequeuing, so idle
@@ -304,7 +363,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
             });
         }
         for stream in listener.incoming() {
-            if draining.load(Ordering::SeqCst) {
+            if shared.draining.load(Ordering::SeqCst) {
                 break;
             }
             let stream = match stream {
@@ -316,7 +375,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
             };
             match tx.try_send(stream) {
                 Ok(()) => {}
-                Err(TrySendError::Full(stream)) => shed(stream, &counters),
+                Err(TrySendError::Full(stream)) => shed(stream, shared.counters),
                 Err(TrySendError::Disconnected(_)) => break,
             }
         }
@@ -324,12 +383,166 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         // exit; the scope joins them before returning.
         drop(tx);
     });
+    accept_error
+}
 
-    if let Some(e) = accept_error {
-        return Err(e);
+/// One multiplexed connection: the buffered reader travels with the
+/// socket, so request bytes a worker buffered but did not consume are
+/// still there when the muxer re-dispatches the connection.
+struct MuxConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// What the muxer's readiness probe saw on a parked connection.
+enum Readiness {
+    /// Bytes are waiting (buffered or on the socket) — dispatch it.
+    Ready,
+    /// Nothing to read; keep it parked. Costs one `peek`, not a thread.
+    Idle,
+    /// EOF or a socket error — drop the connection.
+    Gone,
+}
+
+/// Non-blocking readiness probe: buffered bytes count as ready (a
+/// pipelined request may already sit in the `BufReader`), otherwise one
+/// `peek` asks the socket without consuming anything.
+fn readiness(conn: &mut MuxConn) -> Readiness {
+    if !conn.reader.buffer().is_empty() {
+        return Readiness::Ready;
     }
-    writeln!(out, "served {} queries, shutting down", counters.served.load(Ordering::SeqCst))
-        .map_err(|e| e.to_string())
+    let mut probe = [0u8; 1];
+    match conn.writer.peek(&mut probe) {
+        Ok(0) => Readiness::Gone,
+        Ok(_) => Readiness::Ready,
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+            Readiness::Idle
+        }
+        Err(_) => Readiness::Gone,
+    }
+}
+
+/// How often the muxer sweeps its parked connections for readiness.
+const MUX_POLL: Duration = Duration::from_millis(1);
+
+/// The readiness-polled serving loop (`--async-io true`): a muxer thread
+/// owns every parked connection and hands only *ready* ones to the
+/// bounded worker pool, one request per dispatch, so idle connections
+/// never pin a worker. Workers return the connection to the muxer after
+/// answering (unless the peer quit or the server is done).
+fn serve_async(
+    listener: &TcpListener,
+    shared: &Shared<'_>,
+    workers: usize,
+    max_queue: usize,
+) -> Option<String> {
+    // park_tx: acceptor + workers hand connections (back) to the muxer.
+    // ready_tx: the muxer hands ready connections to the workers; bounded
+    // so a request flood applies backpressure at the muxer, which sheds.
+    let (park_tx, park_rx) = mpsc::channel::<MuxConn>();
+    let (ready_tx, ready_rx) = mpsc::sync_channel::<MuxConn>(max_queue);
+    let ready_rx = Mutex::new(ready_rx);
+    let mut accept_error = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let ready_rx = &ready_rx;
+            let park_tx = park_tx.clone();
+            scope.spawn(move || loop {
+                let next = ready_rx.lock().recv();
+                let Ok(mut conn) = next else { break };
+                // Blocking-with-timeout while the worker owns it: the
+                // request's bytes are (at least partially) there, and the
+                // timeout keeps a trickling client from pinning the
+                // worker through a drain.
+                let _ = conn.writer.set_nonblocking(false);
+                let _ = conn.writer.set_read_timeout(Some(DRAIN_POLL));
+                match serve_one_request(&mut conn.reader, &mut conn.writer, shared) {
+                    Served::Continue => {
+                        let _ = conn.writer.set_nonblocking(true);
+                        // A muxer that already exited drops the
+                        // connection here — drain semantics.
+                        let _ = park_tx.send(conn);
+                    }
+                    Served::Close => {}
+                }
+            });
+        }
+
+        // The muxer: sweep parked connections, dispatch the ready ones.
+        scope.spawn(move || {
+            let mut parked: Vec<MuxConn> = Vec::new();
+            let mut acceptor_done = false;
+            loop {
+                loop {
+                    match park_rx.try_recv() {
+                        Ok(conn) => parked.push(conn),
+                        Err(mpsc::TryRecvError::Empty) => break,
+                        Err(mpsc::TryRecvError::Disconnected) => {
+                            acceptor_done = true;
+                            break;
+                        }
+                    }
+                }
+                if shared.draining.load(Ordering::SeqCst) || acceptor_done {
+                    // Drain: parked (idle) connections are dropped; the
+                    // closing ready channel lets workers finish and exit.
+                    break;
+                }
+                let mut still_parked = Vec::with_capacity(parked.len());
+                for mut conn in parked.drain(..) {
+                    match readiness(&mut conn) {
+                        Readiness::Ready => match ready_tx.try_send(conn) {
+                            Ok(()) => {}
+                            // Every worker busy and the queue full: the
+                            // connection stays parked and is retried next
+                            // sweep — existing peers are never shed.
+                            Err(TrySendError::Full(conn)) => still_parked.push(conn),
+                            Err(TrySendError::Disconnected(_)) => {}
+                        },
+                        Readiness::Idle => still_parked.push(conn),
+                        Readiness::Gone => {}
+                    }
+                }
+                parked = still_parked;
+                std::thread::sleep(MUX_POLL);
+            }
+            drop(ready_tx);
+        });
+
+        for stream in listener.incoming() {
+            if shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    accept_error = Some(format!("accept: {e}"));
+                    break;
+                }
+            };
+            let Ok(peer) = stream.try_clone() else {
+                continue;
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            // New connections park first; the muxer dispatches them on
+            // their first request bytes. An unbounded park queue is safe:
+            // each entry is an accepted socket, bounded by the OS.
+            let conn = MuxConn { reader: BufReader::new(peer), writer: stream };
+            if park_tx.send(conn).is_err() {
+                break;
+            }
+        }
+        // The acceptor is gone (drain or accept error) — flip the drain
+        // flag so the muxer's next sweep shuts the pipeline down even on
+        // the error path, where no query ever flipped it.
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.ws.flush_batches();
+        drop(park_tx);
+    });
+    accept_error
 }
 
 /// Refuse one connection because every worker is busy and the queue is
@@ -429,10 +642,17 @@ fn discard_rest_of_line(reader: &mut BufReader<TcpStream>, draining: &AtomicBool
     }
 }
 
+/// Whether a connection should keep being served after one request.
+enum Served {
+    /// The request was answered (or skipped); the connection lives on.
+    Continue,
+    /// QUIT, EOF, a write failure, a drain, or `--max-requests` reached —
+    /// stop serving this peer.
+    Close,
+}
+
 /// Serve one connection until the peer quits, hangs up, or the server
-/// drains. Increments `served` per successful query; the query that
-/// reaches `max_requests` flips `draining` and dials the listener once
-/// to wake the blocked acceptor.
+/// drains — the connection-per-worker loop of the sync front end.
 fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
     // A finite read timeout lets the worker notice a drain even while its
     // client sits idle on an open connection.
@@ -442,97 +662,110 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
     };
     let mut reader = BufReader::new(peer);
     let mut writer = stream;
-    loop {
-        let raw = match read_request_line(&mut reader, shared.draining) {
-            LineRead::Line(raw) => raw,
-            LineRead::Oversized => {
-                shared.counters.oversized.fetch_add(1, Ordering::SeqCst);
-                let doc = format!(
-                    r#"{{"error":"oversized line","detail":"request lines are capped at {MAX_LINE} bytes"}}"#
-                );
-                if writeln!(writer, "{doc}").is_err() {
-                    break;
-                }
-                continue;
-            }
-            LineRead::Closed => break,
-        };
-        let Ok(line) = String::from_utf8(raw) else {
-            if writeln!(writer, r#"{{"error":"invalid utf-8"}}"#).is_err() {
-                break;
-            }
-            continue;
-        };
-        let request = line.trim();
-        if request.eq_ignore_ascii_case("QUIT") {
-            break;
+    while let Served::Continue = serve_one_request(&mut reader, &mut writer, shared) {}
+}
+
+/// Read and answer exactly one request line. Increments `served` per
+/// successful query; the query that reaches `max_requests` flips
+/// `draining`, closes any open batch-collection window, and dials the
+/// listener once to wake the blocked acceptor.
+fn serve_one_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    shared: &Shared<'_>,
+) -> Served {
+    let raw = match read_request_line(reader, shared.draining) {
+        LineRead::Line(raw) => raw,
+        LineRead::Oversized => {
+            shared.counters.oversized.fetch_add(1, Ordering::SeqCst);
+            let doc = format!(
+                r#"{{"error":"oversized line","detail":"request lines are capped at {MAX_LINE} bytes"}}"#
+            );
+            return if writeln!(writer, "{doc}").is_err() {
+                Served::Close
+            } else {
+                Served::Continue
+            };
         }
-        let mut done = false;
-        if request.eq_ignore_ascii_case("PING") {
-            if writeln!(writer, "PONG").is_err() {
-                break;
+        LineRead::Closed => return Served::Close,
+    };
+    let Ok(line) = String::from_utf8(raw) else {
+        return if writeln!(writer, r#"{{"error":"invalid utf-8"}}"#).is_err() {
+            Served::Close
+        } else {
+            Served::Continue
+        };
+    };
+    let request = line.trim();
+    if request.eq_ignore_ascii_case("QUIT") {
+        return Served::Close;
+    }
+    let mut done = false;
+    if request.eq_ignore_ascii_case("PING") {
+        if writeln!(writer, "PONG").is_err() {
+            return Served::Close;
+        }
+    } else if request.eq_ignore_ascii_case("STATS") {
+        let doc = stats_snapshot(shared.ws, shared.counters);
+        if writeln!(writer, "{doc}").is_err() {
+            return Served::Close;
+        }
+    } else if request.eq_ignore_ascii_case("METRICS") {
+        let text = metrics_exposition(shared.ws, shared.counters);
+        if writer.write_all(text.as_bytes()).is_err() {
+            return Served::Close;
+        }
+    } else if let Some(keywords) = verb_rest(request, "EXPLAIN") {
+        if keywords.is_empty() {
+            if writeln!(writer, r#"{{"error":"empty query"}}"#).is_err() {
+                return Served::Close;
             }
-        } else if request.eq_ignore_ascii_case("STATS") {
-            let doc = stats_snapshot(shared.ws, shared.counters);
+        } else {
+            let doc = explain_query(shared.ws, keywords, &shared.budget, shared.counters);
             if writeln!(writer, "{doc}").is_err() {
-                break;
+                return Served::Close;
             }
-        } else if request.eq_ignore_ascii_case("METRICS") {
-            let text = metrics_exposition(shared.ws, shared.counters);
-            if writer.write_all(text.as_bytes()).is_err() {
-                break;
+        }
+    } else if let Some(keywords) = query_keywords(request) {
+        if keywords.is_empty() {
+            if writeln!(writer, r#"{{"error":"empty query"}}"#).is_err() {
+                return Served::Close;
             }
-        } else if let Some(keywords) = verb_rest(request, "EXPLAIN") {
-            if keywords.is_empty() {
-                if writeln!(writer, r#"{{"error":"empty query"}}"#).is_err() {
-                    break;
-                }
-            } else {
-                let doc = explain_query(shared.ws, keywords, &shared.budget, shared.counters);
-                if writeln!(writer, "{doc}").is_err() {
-                    break;
-                }
+        } else {
+            let traced = shared.slow.is_some();
+            let answer = answer_query(shared.ws, keywords, &shared.budget, shared.counters, traced);
+            if let Some(slow) = &shared.slow {
+                slow.maybe_log(keywords, &answer, shared.counters);
             }
-        } else if let Some(keywords) = query_keywords(request) {
-            if keywords.is_empty() {
-                if writeln!(writer, r#"{{"error":"empty query"}}"#).is_err() {
-                    break;
-                }
-            } else {
-                let traced = shared.slow.is_some();
-                let answer =
-                    answer_query(shared.ws, keywords, &shared.budget, shared.counters, traced);
-                if let Some(slow) = &shared.slow {
-                    slow.maybe_log(keywords, &answer, shared.counters);
-                }
-                if answer.succeeded {
-                    let n = shared.counters.served.fetch_add(1, Ordering::SeqCst) + 1;
-                    if shared.max_requests > 0
-                        && n >= shared.max_requests
-                        && !shared.draining.swap(true, Ordering::SeqCst)
-                    {
-                        // Wake the acceptor blocked in accept() so it can
-                        // observe the drain; the throwaway connection is
-                        // dropped by whichever worker receives it.
-                        let _ = TcpStream::connect(shared.addr);
-                        done = true;
-                    }
-                }
-                if writeln!(writer, "{}", answer.doc).is_err() {
-                    break;
+            if answer.succeeded {
+                let n = shared.counters.served.fetch_add(1, Ordering::SeqCst) + 1;
+                if shared.max_requests > 0
+                    && n >= shared.max_requests
+                    && !shared.draining.swap(true, Ordering::SeqCst)
+                {
+                    // Close any open batch window so co-batched peers get
+                    // their answers now instead of waiting out the timer,
+                    // then wake the acceptor blocked in accept() so it can
+                    // observe the drain; the throwaway connection is
+                    // dropped by whichever worker receives it.
+                    shared.ws.flush_batches();
+                    let _ = TcpStream::connect(shared.addr);
+                    done = true;
                 }
             }
-        } else if writeln!(
-            writer,
-            r#"{{"error":"expected QUERY/EXPLAIN/PING/STATS/METRICS/QUIT"}}"#
-        )
+            if writeln!(writer, "{}", answer.doc).is_err() {
+                return Served::Close;
+            }
+        }
+    } else if writeln!(writer, r#"{{"error":"expected QUERY/EXPLAIN/PING/STATS/METRICS/QUIT"}}"#)
         .is_err()
-        {
-            break;
-        }
-        if done {
-            break;
-        }
+    {
+        return Served::Close;
+    }
+    if done {
+        Served::Close
+    } else {
+        Served::Continue
     }
 }
 
@@ -595,7 +828,36 @@ fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Valu
         "pool": ws.session_pool().stats(),
         "cache": ws.cache_stats(),
         "shards": ws.shard_stats(),
+        "batch": ws.batch_stats().map(|b| batch_block(&b)),
     })
+}
+
+/// The `batch` object of the `STATS` line: the batcher's counters plus
+/// size and fill-time percentiles (mirrors the `latency`/`expansions`
+/// rendering; built by hand — the vendored `json!` macro caps nesting).
+fn batch_block(b: &central::BatchStats) -> serde_json::Value {
+    let quantiles = |h: &central::HistogramSnapshot| {
+        serde_json::json!({
+            "count": h.count,
+            "mean": h.mean(),
+            "p50": h.percentile(0.50),
+            "p95": h.percentile(0.95),
+            "p99": h.percentile(0.99),
+        })
+    };
+    let mut doc = serde_json::json!({
+        "window_us": b.window_us,
+        "max_batch": b.max_batch,
+        "batches": b.batches,
+        "queries": b.queries,
+        "enqueued": b.enqueued,
+        "delivered": b.delivered,
+    });
+    if let serde_json::Value::Object(entries) = &mut doc {
+        entries.push(("size".to_owned(), quantiles(&b.size)));
+        entries.push(("fill_us".to_owned(), quantiles(&b.fill_us)));
+    }
+    doc
 }
 
 /// The `METRICS` response: the engine's metrics registry plus the pool,
@@ -732,6 +994,46 @@ fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters) -> String {
             "ws_shard_pool_quarantined_total",
             "Shard sessions destroyed after a panic.",
             shards.pools.quarantined,
+        );
+    }
+    if let Some(batch) = ws.batch_stats() {
+        prometheus_counter(
+            &mut out,
+            "ws_batch_batches_total",
+            "Micro-batches executed (a solo run counts as a batch of one).",
+            batch.batches,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_batch_queries_total",
+            "Queries fused into micro-batches.",
+            batch.queries,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_batch_enqueued_total",
+            "Queries submitted to the micro-batcher.",
+            batch.enqueued,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_batch_delivered_total",
+            "Outcomes demultiplexed back to submitters.",
+            batch.delivered,
+        );
+        prometheus_histogram(
+            &mut out,
+            "ws_batch_size",
+            "Queries per executed micro-batch.",
+            &batch.size,
+            1.0,
+        );
+        prometheus_histogram(
+            &mut out,
+            "ws_batch_fill_seconds",
+            "Collection-window fill time per batch.",
+            &batch.fill_us,
+            1e-6,
         );
     }
     prometheus_counter(

@@ -35,13 +35,14 @@ use central::engine::{
     SeqEngine,
 };
 use central::{
-    CacheOutcome, CacheStats, CentralGraph, MetricsRegistry, MetricsSnapshot, PhaseProfile,
-    QueryBudget, QueryKey, QueryTrace, SearchError, SearchParams, SessionPool, ShardBackend,
-    ShardedSearch, ShardedStats, TraceLevel,
+    BatchConfig, BatchExecutor, BatchRequest, BatchStats, Batcher, CacheOutcome, CacheStats,
+    CentralGraph, LaneOutcome, MetricsRegistry, MetricsSnapshot, PhaseProfile, QueryBudget,
+    QueryKey, QueryTrace, SearchError, SearchParams, SessionPool, ShardBackend, ShardedSearch,
+    ShardedStats, TraceLevel, MAX_BATCH_LANES,
 };
 use kgraph::KnowledgeGraph;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use textindex::{InvertedIndex, ParsedQuery};
 
 /// Which backend executes searches.
@@ -153,7 +154,20 @@ pub struct WikiSearch {
     /// answers are byte-identical either way.
     sharded: Option<ShardedSearch>,
     cache: Option<ResultCache>,
+    /// When `Some`, cache-missing searches flow through the micro-batcher
+    /// ([`central::batch`]): queries arriving within the window fuse into
+    /// one multi-query sweep. Answers are byte-identical either way; only
+    /// the trace's `batch_id`/`co_batched` annotations reveal the fusion.
+    batching: Option<BatchRuntime>,
     metrics: MetricsRegistry,
+}
+
+/// The facade's batching layer: the window-bounded collector plus the
+/// executor that runs each closed batch as one fused sweep (or, sharded,
+/// through the scatter-gather coordinator).
+struct BatchRuntime {
+    batcher: Batcher,
+    executor: BatchExecutor,
 }
 
 /// The engine's result cache: normalized-query + params key, `Arc`-shared
@@ -218,6 +232,7 @@ impl WikiSearch {
             sessions: SessionPool::new(),
             sharded: None,
             cache: None,
+            batching: None,
             metrics: MetricsRegistry::new(),
         }
     }
@@ -273,6 +288,45 @@ impl WikiSearch {
     pub fn set_shards(&mut self, shards: usize) {
         self.sharded = (shards > 1)
             .then(|| ShardedSearch::new(&self.graph, shard_backend(self.backend_kind), shards));
+        self.rebuild_batch_executor();
+    }
+
+    /// Enable micro-batched execution: cache-missing queries arriving
+    /// within `window` of each other (up to `max_batch`, clamped to
+    /// `1..=`[`MAX_BATCH_LANES`]) fuse into one multi-query sweep over a
+    /// shared frontier pass (see [`central::batch`]). A zero `window`
+    /// disables batching entirely and restores the exact unbatched path.
+    /// Answers, stats and traces stay byte-identical either way — only
+    /// the trace's `batch_id`/`co_batched` fields reveal the fusion.
+    pub fn set_batching(&mut self, window: Duration, max_batch: usize) {
+        self.batching = (!window.is_zero() && max_batch > 0).then(|| BatchRuntime {
+            batcher: Batcher::new(BatchConfig::new(window, max_batch.min(MAX_BATCH_LANES))),
+            executor: BatchExecutor::new(shard_backend(self.backend_kind)),
+        });
+    }
+
+    /// A snapshot of the batching-layer counters, `None` while batching
+    /// is disabled.
+    pub fn batch_stats(&self) -> Option<BatchStats> {
+        self.batching.as_ref().map(|b| b.batcher.stats())
+    }
+
+    /// Close any open collection window immediately and keep future
+    /// windows from waiting (server drain): pending submitters run at
+    /// whatever batch size has accumulated.
+    pub fn flush_batches(&self) {
+        if let Some(batching) = &self.batching {
+            batching.batcher.flush();
+        }
+    }
+
+    /// Rebuild the batch executor after a backend or shard change so its
+    /// kernels keep matching the solo path (the batcher and its counters
+    /// survive — collection policy is backend-independent).
+    fn rebuild_batch_executor(&mut self) {
+        if let Some(batching) = &mut self.batching {
+            batching.executor = BatchExecutor::new(shard_backend(self.backend_kind));
+        }
     }
 
     /// Swap the search backend. The result cache (if any) survives the
@@ -288,6 +342,7 @@ impl WikiSearch {
             let shards = sharded.num_shards();
             self.sharded = Some(ShardedSearch::new(&self.graph, shard_backend(backend), shards));
         }
+        self.rebuild_batch_executor();
     }
 
     /// Number of in-process shards searches scatter over, `None` on the
@@ -474,7 +529,36 @@ impl WikiSearch {
             }
             _ => None,
         };
-        let result = if let Some(sharded) = &self.sharded {
+        let result = if let (Some(batching), true) = (&self.batching, use_cache) {
+            // Micro-batched path: hand the query to the collector; the
+            // submitter that ends up leading runs the whole batch as one
+            // fused sweep (or lane-by-lane through the shard coordinator)
+            // and demuxes each lane's outcome back. EXPLAIN bypasses
+            // batching along with the cache (`use_cache == false`), so
+            // its trace stays a live unbatched one.
+            let req =
+                BatchRequest { query: query.clone(), params: params.clone(), budget: *budget };
+            let outcome = batching.batcher.submit(req, |reqs| match &self.sharded {
+                Some(sharded) => batching.executor.run_sharded_batch(sharded, &self.graph, &reqs),
+                None => batching.executor.run_batch(&self.graph, &reqs),
+            });
+            match outcome {
+                LaneOutcome::Done(result) => result.map(|mut outcome| {
+                    if let Some(trace) = outcome.trace.as_deref_mut() {
+                        trace.cache = Some(if key.is_some() {
+                            CacheOutcome::Miss
+                        } else {
+                            CacheOutcome::Bypass
+                        });
+                    }
+                    outcome
+                }),
+                // Re-raise a lane panic on the submitter's thread: the
+                // serving layer's catch_unwind accounting sees exactly
+                // what the unbatched path would have thrown at it.
+                LaneOutcome::Panicked(payload) => std::panic::resume_unwind(payload),
+            }
+        } else if let Some(sharded) = &self.sharded {
             // Sharded scatter-gather path: the coordinator owns one
             // session per shard in its own pools, so the facade pool is
             // not consulted (its counters stay zero; `shard_stats` has

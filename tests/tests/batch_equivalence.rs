@@ -1,0 +1,466 @@
+//! The batch-invariance differential property: fusing a stream of
+//! queries into one multi-query level-synchronous sweep through
+//! [`BatchExecutor`] is *byte-identical* to running each query alone —
+//! answers, score bits, statistics, and per-level traces — for all four
+//! backends, at every batch partition of the stream (window 0 ≡ solo
+//! engines, one-query batches, the whole stream fused), through the
+//! sharded coordinator at shard counts {1, 4}, and through the
+//! [`WikiSearch`] facade with the result cache on both the miss and the
+//! hit path.
+//!
+//! This is the batched form of `shard_equivalence`: the fused sweep's
+//! per-lane hitting levels must reproduce exactly the matrix each solo
+//! engine computes (Theorem V.2 makes the lane interleaving irrelevant),
+//! so every downstream artifact matches bit for bit. Traces are compared
+//! modulo the engine-name string and the batch annotations (`batch_id`,
+//! `co_batched`) that only the batched path stamps, and modulo wall-clock
+//! phase timings.
+
+use central::engine::{DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine};
+use central::{
+    BatchExecutor, BatchRequest, LaneOutcome, QueryBudget, QueryTrace, SearchOutcome, SearchParams,
+    ShardBackend, ShardedSearch, TraceLevel,
+};
+use kgraph::{GraphBuilder, KnowledgeGraph};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::time::Duration;
+use textindex::{InvertedIndex, ParsedQuery};
+use wikisearch_engine::{Backend, WikiSearch, WikiSearchResult};
+
+/// Same overlap-heavy pool the shard- and cache-equivalence suites use.
+const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "lambda"];
+
+/// Shard counts for the batched scatter-gather rounds; 1 pins the
+/// degenerate plan.
+const SHARD_COUNTS: &[usize] = &[1, 4];
+
+#[derive(Debug, Clone)]
+struct Case {
+    nodes: usize,
+    texts: Vec<Vec<usize>>,     // word indices per node
+    edges: Vec<(usize, usize)>, // node index pairs
+    activation: Vec<u8>,        // explicit per-node activation
+    /// The interleaved stream: each entry is one query's word indices.
+    queries: Vec<Vec<usize>>,
+    top_k: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..24).prop_flat_map(|nodes| {
+        let texts =
+            proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 1..3), nodes);
+        let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 1..50);
+        let activation = proptest::collection::vec(0u8..5, nodes);
+        let queries =
+            proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 2..4), 2..6);
+        let top_k = 1usize..8;
+        (texts, edges, activation, queries, top_k).prop_map(
+            move |(texts, edges, activation, queries, top_k)| Case {
+                nodes,
+                texts,
+                edges,
+                activation,
+                queries,
+                top_k,
+            },
+        )
+    })
+}
+
+fn build_graph(case: &Case) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    for (i, words) in case.texts.iter().enumerate() {
+        let text: Vec<&str> = words.iter().map(|&w| WORDS[w]).collect();
+        b.add_node(&format!("n{i}"), &text.join(" "));
+    }
+    for (idx, &(s, d)) in case.edges.iter().enumerate() {
+        if s != d {
+            let s = b.node(&format!("n{s}")).unwrap();
+            let d = b.node(&format!("n{d}")).unwrap();
+            b.add_edge(s, d, if idx % 3 == 0 { "p" } else { "q" });
+        }
+    }
+    let _ = case.nodes;
+    b.build()
+}
+
+/// The four batched backends paired with their solo references.
+fn backends() -> Vec<(ShardBackend, Box<dyn KeywordSearchEngine>)> {
+    vec![
+        (ShardBackend::Seq, Box::new(SeqEngine::new())),
+        (ShardBackend::ParCpu(3), Box::new(ParCpuEngine::new(3))),
+        (ShardBackend::GpuStyle(3), Box::new(GpuStyleEngine::new(3))),
+        (ShardBackend::DynPar(3), Box::new(DynParEngine::new(3))),
+    ]
+}
+
+/// A trace with the fields the batched path is *allowed* to differ on
+/// zeroed: the engine-name string (solo engines embed thread counts, the
+/// fused sweep reports the backend family), the batch annotations, and
+/// wall-clock phase timings. Everything else must match byte for byte.
+fn normalized_trace(out: &SearchOutcome) -> Option<QueryTrace> {
+    out.trace.as_deref().map(|t| {
+        let mut t = t.clone();
+        t.engine = String::new();
+        t.batch_id = None;
+        t.co_batched = None;
+        t.phase_ms = Default::default();
+        t
+    })
+}
+
+/// Byte-level comparison of a batched lane's outcome against its solo
+/// reference: answers (ids, paths, score *bits*), the statistics block
+/// including the per-level trace, and the normalized rich trace.
+fn assert_identical(batched: &SearchOutcome, reference: &SearchOutcome, label: &str) {
+    assert_eq!(batched.answers.len(), reference.answers.len(), "answer count: {label}");
+    for (a, b) in batched.answers.iter().zip(&reference.answers) {
+        assert_eq!(a.central, b.central, "central: {label}");
+        assert_eq!(a.depth, b.depth, "depth: {label}");
+        assert_eq!(a.nodes, b.nodes, "nodes: {label}");
+        assert_eq!(a.edges, b.edges, "edges: {label}");
+        assert_eq!(a.keyword_nodes, b.keyword_nodes, "keyword nodes: {label}");
+        assert_eq!(a.keyword_edges, b.keyword_edges, "keyword paths: {label}");
+        assert_eq!(a.score.to_bits(), b.score.to_bits(), "score bits: {label}");
+    }
+    assert_eq!(batched.stats.last_level, reference.stats.last_level, "last level: {label}");
+    assert_eq!(
+        batched.stats.central_candidates, reference.stats.central_candidates,
+        "cohort: {label}"
+    );
+    assert_eq!(
+        batched.stats.peak_frontier, reference.stats.peak_frontier,
+        "peak frontier: {label}"
+    );
+    assert_eq!(batched.stats.trace, reference.stats.trace, "level trace: {label}");
+    assert_eq!(normalized_trace(batched), normalized_trace(reference), "rich trace: {label}");
+}
+
+fn unwrap_done(outcome: LaneOutcome, label: &str) -> SearchOutcome {
+    match outcome {
+        LaneOutcome::Done(Ok(out)) => out,
+        LaneOutcome::Done(Err(e)) => panic!("{label}: lane failed: {e}"),
+        LaneOutcome::Panicked(_) => panic!("{label}: lane panicked"),
+    }
+}
+
+/// Parse the stream once; odd lanes run traced so a single fused batch
+/// carries mixed tracing.
+fn parse_stream(case: &Case, idx: &InvertedIndex) -> Vec<(ParsedQuery, SearchParams)> {
+    case.queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let raw: Vec<&str> = q.iter().map(|&w| WORDS[w]).collect();
+            let query = ParsedQuery::parse(idx, &raw.join(" "));
+            let mut params =
+                SearchParams { top_k: case.top_k, max_level: 12, ..SearchParams::default() }
+                    .with_explicit_activation(case.activation.clone());
+            if i % 2 == 1 {
+                params = params.with_trace(TraceLevel::Full);
+            }
+            (query, params)
+        })
+        .collect()
+}
+
+fn requests(parsed: &[(ParsedQuery, SearchParams)], budget: QueryBudget) -> Vec<BatchRequest> {
+    parsed
+        .iter()
+        .map(|(q, p)| BatchRequest { query: q.clone(), params: p.clone(), budget })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// The tentpole property: for arbitrary graphs, interleaved query
+    /// streams, explicit activation maps and top-k, every batch
+    /// partition of the stream on every backend returns exactly what
+    /// the solo engines return query by query — monolithic and through
+    /// the sharded coordinator at shard counts {1, 4}.
+    #[test]
+    fn batched_execution_is_byte_identical_to_one_at_a_time(case in case_strategy()) {
+        let graph = build_graph(&case);
+        let idx = InvertedIndex::build(&graph);
+        let budget = QueryBudget::unlimited();
+        let parsed = parse_stream(&case, &idx);
+
+        for (backend, reference_engine) in backends() {
+            // Window 0: each query alone on the solo engine — the
+            // reference every batched partition must reproduce.
+            let references: Vec<SearchOutcome> =
+                parsed.iter().map(|(q, p)| reference_engine.search(&graph, q, p)).collect();
+            let executor = BatchExecutor::new(backend);
+
+            // One-query windows: every lane is its own batch (the
+            // executor's degenerate path, distinct state epochs).
+            for (i, reference) in references.iter().enumerate() {
+                let outs = executor.run_batch(&graph, &requests(&parsed[i..=i], budget));
+                let label = format!("{} solo-batch q{i}", reference_engine.name());
+                assert_identical(&unwrap_done(outs.into_iter().next().unwrap(), &label), reference, &label);
+            }
+
+            // Full window: the whole stream fused into one sweep.
+            let outs = executor.run_batch(&graph, &requests(&parsed, budget));
+            prop_assert_eq!(outs.len(), references.len());
+            for (i, (out, reference)) in outs.into_iter().zip(&references).enumerate() {
+                let label = format!("{} fused q{i}/{}", reference_engine.name(), parsed.len());
+                assert_identical(&unwrap_done(out, &label), reference, &label);
+            }
+
+            // Batched scatter-gather rounds through the sharded
+            // coordinator, whole stream per batch.
+            for &shards in SHARD_COUNTS {
+                let coordinator = ShardedSearch::new(&graph, backend, shards);
+                let outs = executor.run_sharded_batch(&coordinator, &graph, &requests(&parsed, budget));
+                for (i, (out, reference)) in outs.into_iter().zip(&references).enumerate() {
+                    let label =
+                        format!("{} x {shards} shards batched q{i}", reference_engine.name());
+                    assert_identical(&unwrap_done(out, &label), reference, &label);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Facade-level: the result cache on the batched path.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct FacadeCase {
+    nodes: usize,
+    texts: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+    queries: Vec<Vec<usize>>,
+    /// The stream as base-query indices; repeats exercise the hit path.
+    stream: Vec<usize>,
+}
+
+fn facade_case_strategy() -> impl Strategy<Value = FacadeCase> {
+    (2usize..24, 1usize..4).prop_flat_map(|(nodes, nqueries)| {
+        let texts =
+            proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 1..3), nodes);
+        let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 1..50);
+        let queries = proptest::collection::vec(
+            proptest::collection::vec(0usize..WORDS.len(), 2..4),
+            nqueries,
+        );
+        let stream = proptest::collection::vec(0usize..nqueries, 3..7);
+        (texts, edges, queries, stream).prop_map(move |(texts, edges, queries, stream)| {
+            FacadeCase { nodes, texts, edges, queries, stream }
+        })
+    })
+}
+
+fn build_facade_graph(case: &FacadeCase) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    for (i, words) in case.texts.iter().enumerate() {
+        let text: Vec<&str> = words.iter().map(|&w| WORDS[w]).collect();
+        b.add_node(&format!("n{i}"), &text.join(" "));
+    }
+    for (idx, &(s, d)) in case.edges.iter().enumerate() {
+        if s != d {
+            let s = b.node(&format!("n{s}")).unwrap();
+            let d = b.node(&format!("n{d}")).unwrap();
+            b.add_edge(s, d, if idx % 3 == 0 { "p" } else { "q" });
+        }
+    }
+    let _ = case.nodes;
+    b.build()
+}
+
+/// Everything observable about one facade result except timing, as one
+/// comparable string (the cache-equivalence digest).
+fn digest(r: &WikiSearchResult) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "groups:{:?} unmatched:{:?} kwf:{} ",
+        r.query.groups, r.query.unmatched, r.kwf
+    )
+    .unwrap();
+    write!(
+        s,
+        "stats:{}/{}/{}/{:?} ",
+        r.stats.last_level, r.stats.central_candidates, r.stats.peak_frontier, r.stats.trace
+    )
+    .unwrap();
+    for a in &r.answers {
+        write!(
+            s,
+            "[c:{:?} d:{} n:{:?} e:{:?} kn:{:?} ke:{:?} s:{}]",
+            a.central,
+            a.depth,
+            a.nodes,
+            a.edges,
+            a.keyword_nodes,
+            a.keyword_edges,
+            a.score.to_bits()
+        )
+        .unwrap();
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Through the full facade — result cache in front, batcher behind
+    /// it — a batching-enabled `WikiSearch` is observably identical to a
+    /// plain one on every step of a repeat-heavy stream, for every
+    /// backend at shard counts {1, 4}, and the two facades' cache
+    /// accounting agrees exactly (batching fills per-query entries, so
+    /// hit/miss counts cannot drift).
+    #[test]
+    fn batched_facade_is_observably_identical_including_cache_hits(case in facade_case_strategy()) {
+        let backends =
+            [Backend::Sequential, Backend::ParCpu(3), Backend::GpuStyle(3), Backend::DynPar(3)];
+        for backend in backends {
+            for &shards in SHARD_COUNTS {
+                let mut plain = WikiSearch::build_with(build_facade_graph(&case), backend);
+                let mut batched = WikiSearch::build_with(build_facade_graph(&case), backend);
+                for ws in [&mut plain, &mut batched] {
+                    ws.set_cache_capacity(1 << 20);
+                    if shards > 1 {
+                        ws.set_shards(shards);
+                    }
+                }
+                // A short real window: sequential submits each lead
+                // their own batch, so determinism is untouched.
+                batched.set_batching(Duration::from_micros(200), 8);
+                let params = plain.params().clone();
+
+                // Force the hit path at least once per case.
+                let mut steps = case.stream.clone();
+                steps.push(steps[0]);
+
+                for (si, &qi) in steps.iter().enumerate() {
+                    let words: Vec<&str> =
+                        case.queries[qi].iter().map(|&w| WORDS[w]).collect();
+                    let raw = words.join(" ");
+                    let want = plain.search_with_params(&raw, &params);
+                    let got = batched.search_with_params(&raw, &params);
+                    prop_assert_eq!(
+                        digest(&got),
+                        digest(&want),
+                        "step {} diverged on {:?} ({:?}, {} shards)",
+                        si,
+                        raw,
+                        backend,
+                        shards
+                    );
+                }
+
+                let plain_stats = plain.cache_stats().unwrap();
+                let batched_stats = batched.cache_stats().unwrap();
+                prop_assert_eq!(batched_stats.hits, plain_stats.hits, "{:?}", backend);
+                prop_assert_eq!(batched_stats.misses, plain_stats.misses, "{:?}", backend);
+                // Every submitted query came back: the batcher never
+                // swallowed or duplicated a lane.
+                let bstats = batched.batch_stats().unwrap();
+                prop_assert_eq!(bstats.enqueued, bstats.delivered, "{:?}", backend);
+                prop_assert_eq!(bstats.size.count, bstats.batches, "{:?}", backend);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic edge cases a shrunken proptest case may never reach.
+// ---------------------------------------------------------------------
+
+/// Mixed matching / non-matching / empty queries fused into one batch
+/// must each reproduce their solo outcome, on every backend and through
+/// both shard counts.
+#[test]
+fn mixed_hit_miss_and_empty_queries_fuse_without_crosstalk() {
+    let mut b = GraphBuilder::new();
+    let a1 = b.add_node("a1", "alpha");
+    let a2 = b.add_node("a2", "beta");
+    let hub = b.add_node("hub", "gamma hub");
+    b.add_edge(a1, hub, "p");
+    b.add_edge(a2, hub, "q");
+    b.add_node("iso", "delta");
+    let graph = b.build();
+    let idx = InvertedIndex::build(&graph);
+    let budget = QueryBudget::unlimited();
+
+    let raws = ["alpha beta", "alpha delta", "", "omega sigma", "gamma"];
+    let parsed: Vec<(ParsedQuery, SearchParams)> = raws
+        .iter()
+        .enumerate()
+        .map(|(i, raw)| {
+            let query = ParsedQuery::parse(&idx, raw);
+            let mut params = SearchParams { max_level: 12, ..SearchParams::default() };
+            if i % 2 == 0 {
+                params = params.with_trace(TraceLevel::Full);
+            }
+            (query, params)
+        })
+        .collect();
+
+    for (backend, reference_engine) in backends() {
+        let references: Vec<SearchOutcome> =
+            parsed.iter().map(|(q, p)| reference_engine.search(&graph, q, p)).collect();
+        let executor = BatchExecutor::new(backend);
+
+        let outs = executor.run_batch(&graph, &requests(&parsed, budget));
+        for (i, (out, reference)) in outs.into_iter().zip(&references).enumerate() {
+            let label = format!("{} mixed fused q{i} ({:?})", reference_engine.name(), raws[i]);
+            assert_identical(&unwrap_done(out, &label), reference, &label);
+        }
+
+        for &shards in SHARD_COUNTS {
+            let coordinator = ShardedSearch::new(&graph, backend, shards);
+            let outs = executor.run_sharded_batch(&coordinator, &graph, &requests(&parsed, budget));
+            for (i, (out, reference)) in outs.into_iter().zip(&references).enumerate() {
+                let label = format!(
+                    "{} x {shards} shards mixed q{i} ({:?})",
+                    reference_engine.name(),
+                    raws[i]
+                );
+                assert_identical(&unwrap_done(out, &label), reference, &label);
+            }
+        }
+    }
+}
+
+/// A full 64-lane batch — the `MAX_BATCH_LANES` bitmask boundary — where
+/// every lane must still match its solo reference.
+#[test]
+fn a_full_width_batch_matches_its_solo_references() {
+    let mut b = GraphBuilder::new();
+    let x = b.add_node("x", "alpha");
+    let y = b.add_node("y", "beta bridge");
+    let z = b.add_node("z", "gamma");
+    b.add_edge(x, y, "p");
+    b.add_edge(z, y, "q");
+    let graph = b.build();
+    let idx = InvertedIndex::build(&graph);
+    let budget = QueryBudget::unlimited();
+
+    let pool = ["alpha gamma", "alpha beta", "beta gamma", "alpha beta gamma"];
+    let parsed: Vec<(ParsedQuery, SearchParams)> = (0..central::MAX_BATCH_LANES)
+        .map(|i| {
+            let query = ParsedQuery::parse(&idx, pool[i % pool.len()]);
+            let params =
+                SearchParams { top_k: 1 + i % 4, max_level: 12, ..SearchParams::default() };
+            (query, params)
+        })
+        .collect();
+
+    for (backend, reference_engine) in backends() {
+        let references: Vec<SearchOutcome> =
+            parsed.iter().map(|(q, p)| reference_engine.search(&graph, q, p)).collect();
+        let executor = BatchExecutor::new(backend);
+        let outs = executor.run_batch(&graph, &requests(&parsed, budget));
+        assert_eq!(outs.len(), central::MAX_BATCH_LANES);
+        for (i, (out, reference)) in outs.into_iter().zip(&references).enumerate() {
+            let label = format!("{} 64-wide q{i}", reference_engine.name());
+            assert_identical(&unwrap_done(out, &label), reference, &label);
+        }
+    }
+}
