@@ -28,6 +28,14 @@
 //! into a single multi-query sweep whose union frontier touches each
 //! node once for the whole batch, so qps at high client counts should
 //! rise well above the window-0 baseline (written to `BENCH_batch.json`).
+//!
+//! A fifth sweep runs the **remote axis**: the same volley driven over
+//! a fleet of TCP shard workers (`--shard-workers` equivalent, workers
+//! in-process on real loopback sockets) at fleet sizes {1,2,4}, each
+//! point paired with the in-process sharded engine at the same shard
+//! count — so the reported ratio is exactly the price of the wire:
+//! framing, JSON payloads, per-round RPCs and the supervision layer
+//! (written to `BENCH_remote.json`).
 
 use crate::{client_sweep, queries_per_point};
 use central::{HistogramSnapshot, LogHistogram};
@@ -157,6 +165,7 @@ pub fn run() -> serde_json::Value {
 
     let _ = run_shards(&ds.graph, &name, &queries, per_client, cores);
     let _ = run_batch(&ds.graph, &name, per_client, cores);
+    let _ = run_remote(per_client, cores);
 
     let record = json!({
         "experiment": "throughput",
@@ -297,6 +306,161 @@ fn run_shards(
             .collect::<Vec<_>>(),
     });
     if let Ok(path) = ExperimentSink::new().write("BENCH_shards", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}
+
+/// The remote axis in [`run_remote`]: TCP worker fleet sizes.
+const REMOTE_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// The remote axis: the same client volley driven over a fleet of TCP
+/// shard workers, each fleet size paired with the **in-process sharded
+/// engine at the same shard count** — identical partitions, identical
+/// kernels, identical answers (pinned by the remote-equivalence suite)
+/// — so `qps_vs_inprocess` isolates exactly what the wire costs:
+/// framing, JSON payloads, one RPC per shard per exchange round, and
+/// the retry/breaker bookkeeping. Workers run in-process threads on
+/// real loopback sockets (`ShardWorker::spawn_local`), which measures
+/// the full protocol path without process-spawn noise.
+///
+/// This axis runs on a 10%-scale graph: every exchange round ships the
+/// full hitting-level broadcast as a JSON payload, so wire cost grows
+/// with node count and the full wiki2017-sim takes seconds per query —
+/// the *ratio* is the measurement, and it needs both twins on the same
+/// graph, not a big one. Writes `BENCH_remote.json`.
+fn run_remote(per_client: usize, cores: usize) -> serde_json::Value {
+    let clients = 4usize;
+    let mut cfg = SyntheticConfig::wiki2017_sim();
+    cfg.name += "-10pc";
+    cfg.num_entities /= 10;
+    let ds = cfg.generate();
+    let graph = &ds.graph;
+    let dataset = ds.config.name.as_str();
+    let mut workload = QueryWorkload::new(6021);
+    let queries: Vec<String> = workload.batch(4, 16);
+    let queries = queries.as_slice();
+    println!(
+        "== throughput/remote: {clients} clients x {per_client} queries, \
+         CPU-Par(2), dataset {dataset}, TCP worker fleets {REMOTE_SWEEP:?} =="
+    );
+
+    struct RemotePoint {
+        shards: usize,
+        wall_ms: f64,
+        qps: f64,
+        inprocess_qps: f64,
+        latency_us: HistogramSnapshot,
+        inprocess_p95_us: u64,
+        rpcs: u64,
+        rounds: u64,
+        retries: u64,
+    }
+    let mut points: Vec<RemotePoint> = Vec::new();
+    for &shards in &REMOTE_SWEEP {
+        // The in-process twin: same partition count, same kernels.
+        let inproc = Arc::new(WikiSearch::open_sharded(graph.clone(), Backend::ParCpu(2), shards));
+        volley(&inproc, queries, clients, 2);
+        let (in_wall, in_latency) = volley(&inproc, queries, clients, per_client);
+
+        let addrs: Vec<std::net::SocketAddr> = (0..shards)
+            .map(|i| {
+                central::ShardWorker::spawn_local(
+                    graph,
+                    shards,
+                    i,
+                    central::shard::DEFAULT_PARTITION_SEED,
+                )
+            })
+            .collect();
+        let mut ws = WikiSearch::build_with(graph.clone(), Backend::ParCpu(2));
+        ws.set_remote_shards(
+            shards,
+            Arc::new(central::StaticAddrs(addrs)),
+            central::RemoteOptions::default(),
+        );
+        let ws = Arc::new(ws);
+        volley(&ws, queries, clients, 2); // warmup: dials + pools + page cache
+        let (wall, latency_us) = volley(&ws, queries, clients, per_client);
+        let remote = ws.remote_stats().expect("remote coordinator armed");
+        points.push(RemotePoint {
+            shards,
+            wall_ms: wall * 1e3,
+            qps: (clients * per_client) as f64 / wall,
+            inprocess_qps: (clients * per_client) as f64 / in_wall,
+            latency_us,
+            inprocess_p95_us: in_latency.percentile(0.95),
+            rpcs: remote.rpcs,
+            rounds: remote.rounds,
+            retries: remote.retries,
+        });
+    }
+
+    let ms = |us: u64| us as f64 / 1e3;
+    let mut table = Table::new(vec![
+        "fleet",
+        "wall(ms)",
+        "qps",
+        "qps/in-process",
+        "p50(ms)",
+        "p95(ms)",
+        "p95/in-process",
+        "rpcs",
+        "rounds",
+        "retries",
+    ]);
+    for p in &points {
+        let p95 = ms(p.latency_us.percentile(0.95));
+        let in_p95 = ms(p.inprocess_p95_us);
+        table.row(vec![
+            p.shards.to_string(),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.1}", p.qps),
+            format!("{:.2}", p.qps / p.inprocess_qps),
+            format!("{:.2}", ms(p.latency_us.percentile(0.50))),
+            format!("{:.2}", p95),
+            if in_p95 > 0.0 {
+                format!("{:.2}", p95 / in_p95)
+            } else {
+                "-".into()
+            },
+            p.rpcs.to_string(),
+            p.rounds.to_string(),
+            p.retries.to_string(),
+        ]);
+    }
+    table.print();
+
+    let record = json!({
+        "experiment": "remote",
+        "dataset": dataset,
+        "cores": cores,
+        "backend": "CPU-Par(2)",
+        "clients": clients,
+        "queries_per_client": per_client,
+        "points": points
+            .iter()
+            .map(|p| {
+                let p95 = ms(p.latency_us.percentile(0.95));
+                let in_p95 = ms(p.inprocess_p95_us);
+                json!({
+                    "fleet": p.shards,
+                    "wall_ms": p.wall_ms,
+                    "qps": p.qps,
+                    "inprocess_qps": p.inprocess_qps,
+                    "qps_vs_inprocess": p.qps / p.inprocess_qps,
+                    "latency_p50_ms": ms(p.latency_us.percentile(0.50)),
+                    "latency_p95_ms": p95,
+                    "p95_vs_inprocess": if in_p95 > 0.0 { p95 / in_p95 } else { 1.0 },
+                    "latency_p99_ms": ms(p.latency_us.percentile(0.99)),
+                    "rpcs": p.rpcs,
+                    "exchange_rounds": p.rounds,
+                    "retries": p.retries,
+                })
+            })
+            .collect::<Vec<_>>(),
+    });
+    if let Ok(path) = ExperimentSink::new().write("BENCH_remote", &record) {
         println!("json: {}", path.display());
     }
     record

@@ -29,6 +29,13 @@ pub enum SearchError {
         /// The expansion-unit allowance the query started with.
         limit: u64,
     },
+    /// A remote shard worker was unreachable past its retry budget and
+    /// the query was not allowed to degrade (see
+    /// [`crate::remote::RemoteOptions::degraded_answers`]).
+    ShardUnavailable {
+        /// The shard whose worker could not be reached.
+        shard: usize,
+    },
 }
 
 impl SearchError {
@@ -38,6 +45,7 @@ impl SearchError {
         match self {
             SearchError::DeadlineExceeded { .. } => "deadline_exceeded",
             SearchError::BudgetExhausted { .. } => "budget_exhausted",
+            SearchError::ShardUnavailable { .. } => "shard_unavailable",
         }
     }
 }
@@ -50,6 +58,9 @@ impl fmt::Display for SearchError {
             }
             SearchError::BudgetExhausted { limit } => {
                 write!(f, "search exhausted its budget of {limit} expansion units")
+            }
+            SearchError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} worker unavailable past its retry budget")
             }
         }
     }
@@ -65,9 +76,12 @@ mod tests {
     fn kinds_are_stable_protocol_codes() {
         let d = SearchError::DeadlineExceeded { limit: Duration::from_millis(250) };
         let b = SearchError::BudgetExhausted { limit: 1000 };
+        let s = SearchError::ShardUnavailable { shard: 3 };
         assert_eq!(d.kind(), "deadline_exceeded");
         assert_eq!(b.kind(), "budget_exhausted");
+        assert_eq!(s.kind(), "shard_unavailable");
         assert!(d.to_string().contains("250 ms"));
         assert!(b.to_string().contains("1000 expansion units"));
+        assert!(s.to_string().contains("shard 3"));
     }
 }

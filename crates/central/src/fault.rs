@@ -14,6 +14,18 @@
 //! | `fault0panic` | panics inside the search (after session checkout) |
 //! | `fault0sleep` / `fault0sleepNNN` | stalls `NNN` ms (default/cap 30 s), honouring the deadline cooperatively |
 //! | `fault0alloc` | allocates 1 MiB slabs, charging the expansion budget per byte |
+//! | `fault0drop` | a remote shard worker drops the connection at query start |
+//! | `fault0stall` / `fault0stallNNN` | a remote shard worker stalls `NNN` ms (default/cap 30 s) before replying |
+//! | `fault0garbage` | a remote shard worker answers with a garbage frame |
+//!
+//! The last three are *network-shaped*: they are interpreted by the
+//! remote shard worker ([`crate::remote`]) rather than by the in-process
+//! engines, so the chaos suite can drive real wire-level failures
+//! (connection drop, RPC stall, protocol corruption) through the ordinary
+//! query path. The issue-facing spellings `fault0stall-conn` and
+//! `fault0garbage-frame` work too: the tokenizer splits on the hyphen and
+//! the worker matches on the surviving prefix token (the residue —
+//! `conn`, `frame` — is an ordinary unmatched term).
 //!
 //! Tokens are chosen to survive the text pipeline unmangled: they contain
 //! a digit, so the tokenizer keeps them (not purely numeric) and the
@@ -37,6 +49,52 @@ pub const PANIC_TOKEN: &str = "fault0panic";
 pub const SLEEP_TOKEN: &str = "fault0sleep";
 /// Token that allocates until the expansion budget trips.
 pub const ALLOC_TOKEN: &str = "fault0alloc";
+/// Token that makes a remote shard worker drop the connection.
+pub const DROP_TOKEN: &str = "fault0drop";
+/// Token prefix that makes a remote shard worker stall before replying
+/// (optional trailing milliseconds).
+pub const STALL_TOKEN: &str = "fault0stall";
+/// Token that makes a remote shard worker emit a garbage frame.
+pub const GARBAGE_TOKEN: &str = "fault0garbage";
+
+/// A wire-level fault a remote shard worker should inject for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkFault {
+    /// Close the connection without replying (simulated crash).
+    Drop,
+    /// Sleep this long before replying (simulated stall / slow worker).
+    Stall(Duration),
+    /// Write a garbage frame instead of the real reply.
+    Garbage,
+}
+
+/// Inspect `query` for the network-shaped fault tokens. Called by the
+/// remote shard worker when it receives a query-start frame; the
+/// in-process engines ignore these tokens (they parse as ordinary
+/// unmatched terms).
+pub fn network_fault(query: &ParsedQuery) -> Option<NetworkFault> {
+    let tokens = query
+        .groups
+        .iter()
+        .map(|g| g.term.as_str())
+        .chain(query.unmatched.iter().map(String::as_str));
+    for token in tokens {
+        if token == DROP_TOKEN {
+            return Some(NetworkFault::Drop);
+        }
+        if token == GARBAGE_TOKEN {
+            return Some(NetworkFault::Garbage);
+        }
+        if let Some(ms) = token.strip_prefix(STALL_TOKEN) {
+            let total = match ms.parse::<u64>() {
+                Ok(ms) => Duration::from_millis(ms).min(MAX_SLEEP),
+                Err(_) => MAX_SLEEP,
+            };
+            return Some(NetworkFault::Stall(total));
+        }
+    }
+    None
+}
 
 /// Hard cap on an injected stall, so an uncapped sleep token cannot hang
 /// a suite forever.
@@ -107,10 +165,35 @@ mod tests {
 
     #[test]
     fn fault_tokens_survive_the_text_pipeline() {
-        for raw in [PANIC_TOKEN, "fault0sleep250", ALLOC_TOKEN] {
+        for raw in [PANIC_TOKEN, "fault0sleep250", ALLOC_TOKEN, DROP_TOKEN, GARBAGE_TOKEN] {
             let q = parse(raw);
             assert_eq!(q.unmatched, vec![raw.to_string()], "{raw} mangled by analyzer");
         }
+    }
+
+    #[test]
+    fn network_tokens_map_to_wire_faults() {
+        assert_eq!(network_fault(&parse(DROP_TOKEN)), Some(NetworkFault::Drop));
+        assert_eq!(network_fault(&parse(GARBAGE_TOKEN)), Some(NetworkFault::Garbage));
+        assert_eq!(
+            network_fault(&parse("fault0stall250")),
+            Some(NetworkFault::Stall(Duration::from_millis(250)))
+        );
+        assert_eq!(network_fault(&parse(STALL_TOKEN)), Some(NetworkFault::Stall(MAX_SLEEP)));
+        assert_eq!(network_fault(&parse("alpha beta")), None);
+        // In-process tokens are not network faults and vice versa.
+        assert_eq!(network_fault(&parse(PANIC_TOKEN)), None);
+    }
+
+    #[test]
+    fn hyphenated_issue_spellings_survive_as_prefix_tokens() {
+        // The tokenizer splits on hyphens; the fault prefix survives as
+        // its own token and the residue is ordinary unmatched noise.
+        let q = parse("fault0stall-conn");
+        assert!(q.unmatched.contains(&"fault0stall".to_string()), "{:?}", q.unmatched);
+        assert_eq!(network_fault(&q), Some(NetworkFault::Stall(MAX_SLEEP)));
+        let q = parse("fault0garbage-frame");
+        assert_eq!(network_fault(&q), Some(NetworkFault::Garbage));
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod metrics;
 pub mod model;
 pub mod pool;
 pub mod profile;
+pub mod remote;
 pub mod session;
 pub mod shard;
 pub mod state;
@@ -104,6 +105,10 @@ pub use metrics::{HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnaps
 pub use model::{CentralGraph, INFINITE_LEVEL};
 pub use pool::{PoolStats, PooledSession, SessionPool};
 pub use profile::PhaseProfile;
+pub use remote::{
+    RemoteOptions, RemoteOutcome, RemoteShardedSearch, RemoteStats, ShardAddrs, ShardWorker,
+    StaticAddrs,
+};
 pub use session::SearchSession;
 pub use shard::{ShardBackend, ShardPlan, ShardedSearch, ShardedStats};
 pub use trace::{CacheOutcome, QueryTrace, TraceLevel, TraceLevelRecord};

@@ -226,6 +226,9 @@ pub struct MetricsRegistry {
     pub deadline_exceeded: Counter,
     /// Queries aborted by their expansion cap.
     pub budget_exhausted: Counter,
+    /// Queries refused because a remote shard was unreachable past its
+    /// retry budget and degraded answers were not allowed.
+    pub shard_unavailable: Counter,
     /// End-to-end query latency in microseconds (successful queries).
     pub latency_us: LogHistogram,
     /// Expansion units per computed search (Algorithm 2 work items).
@@ -246,6 +249,7 @@ impl MetricsRegistry {
             cache_misses: self.cache_misses.get(),
             deadline_exceeded: self.deadline_exceeded.get(),
             budget_exhausted: self.budget_exhausted.get(),
+            shard_unavailable: self.shard_unavailable.get(),
             latency_us: self.latency_us.snapshot(),
             expansions: self.expansions.snapshot(),
         }
@@ -265,6 +269,9 @@ pub struct MetricsSnapshot {
     pub deadline_exceeded: u64,
     /// Queries aborted by their expansion cap.
     pub budget_exhausted: u64,
+    /// Queries refused because a remote shard was unreachable past its
+    /// retry budget and degraded answers were not allowed.
+    pub shard_unavailable: u64,
     /// End-to-end query latency in microseconds.
     pub latency_us: HistogramSnapshot,
     /// Expansion units per computed search.
@@ -284,6 +291,23 @@ pub fn prometheus_gauge(out: &mut String, name: &str, help: &str, value: f64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} gauge");
     let _ = writeln!(out, "{name} {value}");
+}
+
+/// Append one Prometheus gauge family with one labelled sample per entry.
+/// Each entry is a `(label-body, value)` pair; the label body goes inside
+/// the braces verbatim (e.g. `shard="0"`), so callers are responsible for
+/// escaping label values.
+pub fn prometheus_labeled_gauge(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    samples: &[(String, f64)],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (labels, value) in samples {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
 }
 
 /// Append one Prometheus histogram series in text exposition format:

@@ -1,0 +1,909 @@
+//! The coordinator side of the remote protocol: [`RemoteShardedSearch`]
+//! drives `N` shard-worker processes through the same level-synchronous
+//! round protocol the in-process [`crate::shard::ShardedSearch`] runs
+//! over rayon lanes, behind the same `try_search` seam — so the result
+//! cache, budgets, batching, tracing and the top-down extractor all run
+//! unchanged above it, and the remote-equivalence differential suite can
+//! pin the two byte-identical.
+//!
+//! ## Supervision
+//!
+//! Every worker interaction goes through three defensive layers:
+//!
+//! * **per-RPC deadlines** — each socket read/write is capped at
+//!   [`RemoteOptions::rpc_timeout`], further clamped by the query's own
+//!   wall-clock budget, so a stalled worker costs bounded time;
+//! * **bounded whole-query retry** — a query whose shard RPC fails is
+//!   retried from the top (the protocol is idempotent: `Start` re-arms
+//!   every worker's state) with exponential backoff + deterministic
+//!   jitter, up to [`RemoteOptions::attempts`] failures per shard, all
+//!   charged against the *same* budget tracker: the budget bounds total
+//!   work including recovery;
+//! * **a per-shard circuit breaker** ([`super::breaker`]) fed only by
+//!   *confirmed* worker failures: when a query RPC fails, the worker is
+//!   probed out-of-band first, and a surviving probe attributes the
+//!   failure to the query itself — a fault-injecting query can therefore
+//!   never open the breaker and shed its well-behaved neighbours.
+//!
+//! ## Degradation
+//!
+//! When a shard stays unreachable past its retry budget the policy knob
+//! [`RemoteOptions::degraded_answers`] decides: shed the query with a
+//! structured [`SearchError::ShardUnavailable`] (default), or serve a
+//! best-effort answer from the live shards with the explicit `degraded`
+//! marker set ([`RemoteOutcome::degraded`]) — never silently wrong. A
+//! degraded search skips the dead shards in every phase and lets the live
+//! shards' halo replicas stand in for the dead owners' rows during
+//! collection (replicas are exact by the round-boundary sync invariant;
+//! only expansions that had to run *inside* the dead shard are lost).
+
+use super::breaker::{BreakerState, CircuitBreaker};
+use super::frame::write_frame;
+use super::wire;
+use super::worker::expect_frame;
+use crate::activation::{ActivationConfig, ActivationMap};
+use crate::bottom_up::{LevelTrace, TerminationReason};
+use crate::budget::{BudgetTracker, QueryBudget};
+use crate::engine::{SearchOutcome, SearchStats};
+use crate::error::SearchError;
+use crate::metrics::{HistogramSnapshot, LogHistogram};
+use crate::model::{CentralGraph, INFINITE_LEVEL};
+use crate::shard::{ShardBackend, DEFAULT_PARTITION_SEED};
+use crate::state::HitLevels;
+use crate::top_down;
+use crate::trace::{PhaseMillis, QueryTrace, TraceLevelRecord};
+use crate::SearchParams;
+use kgraph::{KnowledgeGraph, NodeId};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Address directory of the worker fleet. The coordinator re-reads it on
+/// every dial, so a supervisor can move a respawned worker to a new port;
+/// bumping [`ShardAddrs::generation`] invalidates pooled connections to
+/// the old incarnation.
+pub trait ShardAddrs: Send + Sync {
+    /// Current address of `shard`'s worker, or `None` while it is down.
+    fn addr(&self, shard: usize) -> Option<SocketAddr>;
+    /// Incarnation counter of `shard`'s worker. Connections remember the
+    /// generation they were dialed under and are discarded when it moves.
+    fn generation(&self, _shard: usize) -> u64 {
+        0
+    }
+}
+
+/// A fixed address per shard — external workers that never move.
+pub struct StaticAddrs(pub Vec<SocketAddr>);
+
+impl ShardAddrs for StaticAddrs {
+    fn addr(&self, shard: usize) -> Option<SocketAddr> {
+        self.0.get(shard).copied()
+    }
+}
+
+/// Supervision and degradation knobs of a [`RemoteShardedSearch`].
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteOptions {
+    /// Cap on each RPC's socket read/write (further clamped by the
+    /// query's wall-clock budget).
+    pub rpc_timeout: Duration,
+    /// Cap on establishing a worker connection.
+    pub connect_timeout: Duration,
+    /// Confirmed failures per shard before a query gives up on it.
+    pub attempts: u32,
+    /// First retry backoff; doubles per failure.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff.
+    pub backoff_cap: Duration,
+    /// Consecutive confirmed failures that open the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds before admitting a probe.
+    pub breaker_cooldown: Duration,
+    /// Interval of the background health-probe thread; `None` disables
+    /// it (deterministic tests drive probes through queries instead).
+    pub heartbeat: Option<Duration>,
+    /// `true`: serve best-effort answers from live shards (marked
+    /// `degraded`); `false`: shed with `shard_unavailable`.
+    pub degraded_answers: bool,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            rpc_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(1),
+            attempts: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            heartbeat: Some(Duration::from_secs(1)),
+            degraded_answers: false,
+        }
+    }
+}
+
+/// A successful remote search: the outcome plus the explicit degradation
+/// marker the wire protocol surfaces.
+#[derive(Debug)]
+pub struct RemoteOutcome {
+    /// The search outcome, byte-identical to the in-process sharded path
+    /// when no shard was lost.
+    pub outcome: SearchOutcome,
+    /// `true` iff at least one shard was skipped — the answer is
+    /// best-effort and explicitly marked so, never silently wrong.
+    pub degraded: bool,
+}
+
+/// Monitoring snapshot of a [`RemoteShardedSearch`] (STATS `remote`
+/// block).
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct RemoteStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// RPCs issued (all kinds, including handshakes and probes).
+    pub rpcs: u64,
+    /// Worker dials (fresh connections, including respawn re-dials).
+    pub dials: u64,
+    /// Whole-query retries after a shard RPC failure.
+    pub retries: u64,
+    /// Out-of-band health probes sent (failure attribution + heartbeat).
+    pub probes: u64,
+    /// Probes that failed (confirmed worker failures).
+    pub probe_failures: u64,
+    /// Times a breaker transitioned to open.
+    pub breaker_opens: u64,
+    /// Queries answered degraded (at least one shard skipped).
+    pub degraded_queries: u64,
+    /// Expansion/exchange rounds executed across all queries.
+    pub rounds: u64,
+    /// Unique boundary notifications broadcast across all queries.
+    pub notifications: u64,
+    /// Boundary notifications suppressed by the monotone-bound dedup.
+    pub notifications_suppressed: u64,
+    /// Current breaker state per shard (`closed` / `open` / `half_open`).
+    pub breaker: Vec<String>,
+    /// RPC latency distribution, microseconds.
+    pub rpc_latency_us: HistogramSnapshot,
+}
+
+#[derive(Default)]
+struct RemoteCounters {
+    rpcs: AtomicU64,
+    dials: AtomicU64,
+    retries: AtomicU64,
+    probes: AtomicU64,
+    probe_failures: AtomicU64,
+    breaker_opens: AtomicU64,
+    degraded_queries: AtomicU64,
+    rounds: AtomicU64,
+    notifications: AtomicU64,
+    suppressed: AtomicU64,
+    /// Nonce of the deterministic backoff jitter.
+    jitter_nonce: AtomicU64,
+}
+
+/// State shared with the heartbeat thread.
+struct Core {
+    shards: usize,
+    seed: u64,
+    num_nodes: u64,
+    addrs: Arc<dyn ShardAddrs>,
+    opts: RemoteOptions,
+    breakers: Vec<CircuitBreaker>,
+    counters: RemoteCounters,
+    latency: LogHistogram,
+}
+
+/// One pooled worker connection, tagged with the address generation it
+/// was dialed under.
+struct Channel {
+    stream: TcpStream,
+    generation: u64,
+}
+
+impl Core {
+    /// The handshake this fleet must agree to.
+    fn hello(&self, shard: usize) -> wire::Hello {
+        wire::Hello {
+            version: wire::PROTOCOL_VERSION,
+            shards: self.shards as u32,
+            shard_index: shard as u32,
+            num_nodes: self.num_nodes,
+            seed: self.seed,
+        }
+    }
+
+    /// One RPC on an established channel: write the request frame, read
+    /// the reply, map worker error frames and wrong opcodes to
+    /// `InvalidData`.
+    fn call(
+        &self,
+        chan: &mut Channel,
+        op: u8,
+        payload: &[u8],
+        expect: u8,
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        chan.stream.set_read_timeout(Some(timeout))?;
+        chan.stream.set_write_timeout(Some(timeout))?;
+        let t = Instant::now();
+        write_frame(&mut chan.stream, op, payload)?;
+        let (got, body) = expect_frame(&mut chan.stream)?;
+        self.counters.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(t.elapsed().as_micros() as u64);
+        if got == wire::OP_ERROR {
+            let e: wire::WireError = wire::decode(&body)
+                .unwrap_or(wire::WireError { code: "undecodable".into(), message: String::new() });
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("worker error {}: {}", e.code, e.message),
+            ));
+        }
+        if got != expect {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected opcode {expect}, worker sent {got}"),
+            ));
+        }
+        Ok(body)
+    }
+
+    /// Dial + handshake a fresh channel to `shard`.
+    fn dial(&self, shard: usize) -> io::Result<Channel> {
+        let addr = self.addrs.addr(shard).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no address for shard {shard}"))
+        })?;
+        let generation = self.addrs.generation(shard);
+        let stream = TcpStream::connect_timeout(&addr, self.opts.connect_timeout)?;
+        let _ = stream.set_nodelay(true);
+        self.counters.dials.fetch_add(1, Ordering::Relaxed);
+        let mut chan = Channel { stream, generation };
+        let body = self.call(
+            &mut chan,
+            wire::OP_HELLO,
+            &wire::encode(&self.hello(shard)),
+            wire::OP_HELLO_OK,
+            self.opts.rpc_timeout,
+        )?;
+        let ok: wire::HelloOk =
+            wire::decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if ok.shard_index != shard as u32 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("dialed shard {shard}, worker claims {}", ok.shard_index),
+            ));
+        }
+        Ok(chan)
+    }
+
+    /// Out-of-band health probe: fresh dial + ping. Returns the probed
+    /// channel on success so it can be pooled.
+    fn probe(&self, shard: usize) -> Option<Channel> {
+        self.counters.probes.fetch_add(1, Ordering::Relaxed);
+        let attempt = || -> io::Result<Channel> {
+            let mut chan = self.dial(shard)?;
+            self.call(&mut chan, wire::OP_PING, &[], wire::OP_PONG, self.opts.rpc_timeout)?;
+            Ok(chan)
+        };
+        match attempt() {
+            Ok(chan) => Some(chan),
+            Err(_) => {
+                self.counters.probe_failures.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record a confirmed worker failure on the breaker, counting
+    /// open transitions.
+    fn confirmed_failure(&self, shard: usize) {
+        let was_open = self.breakers[shard].state() == BreakerState::Open;
+        self.breakers[shard].record_failure(self.opts.breaker_threshold);
+        if !was_open && self.breakers[shard].state() == BreakerState::Open {
+            self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Deterministic backoff jitter in `[0, base)` — splitmix64 over a
+    /// process-local nonce, no RNG dependency.
+    fn jitter(&self, base: Duration) -> Duration {
+        let nonce = self.counters.jitter_nonce.fetch_add(1, Ordering::Relaxed);
+        let mut x = nonce.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        base.mul_f64((x % 1000) as f64 / 2000.0) // 0 – 50 % of base
+    }
+}
+
+/// Coordinator for a fleet of remote shard workers; the remote
+/// counterpart of [`crate::shard::ShardedSearch`], exposing the same
+/// `try_search` contract plus the degradation marker.
+pub struct RemoteShardedSearch {
+    core: Arc<Core>,
+    backend: ShardBackend,
+    name: String,
+    /// Per-shard connection freelist.
+    channels: Vec<Mutex<Vec<Channel>>>,
+    heartbeat_stop: Arc<AtomicBool>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Why one query attempt stopped.
+enum AttemptError {
+    /// The query's own budget tripped: surfaces directly.
+    Budget(SearchError),
+    /// A shard RPC failed: retry / degrade / shed.
+    ShardIo { shard: usize },
+    /// A shard's breaker refused admission: degrade / shed, no probe.
+    ShardShed { shard: usize },
+}
+
+impl RemoteShardedSearch {
+    /// Build a coordinator for an `N = shards` fleet addressed by
+    /// `addrs`, partitioned from `graph` under the default seed (the
+    /// workers must be built from the same graph, shard count and seed;
+    /// the handshake enforces it).
+    pub fn new(
+        graph: &KnowledgeGraph,
+        backend: ShardBackend,
+        shards: usize,
+        addrs: Arc<dyn ShardAddrs>,
+        opts: RemoteOptions,
+    ) -> RemoteShardedSearch {
+        assert!(shards >= 1, "remote sharded search needs at least one shard");
+        let core = Arc::new(Core {
+            shards,
+            seed: DEFAULT_PARTITION_SEED,
+            num_nodes: graph.num_nodes() as u64,
+            addrs,
+            opts,
+            breakers: (0..shards).map(|_| CircuitBreaker::new()).collect(),
+            counters: RemoteCounters::default(),
+            latency: LogHistogram::new(),
+        });
+        let name = format!("{}[shards={shards}]", backend.base_name());
+        let heartbeat_stop = Arc::new(AtomicBool::new(false));
+        let heartbeat = opts.heartbeat.map(|interval| {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&heartbeat_stop);
+            std::thread::Builder::new()
+                .name("remote-shard-heartbeat".into())
+                .spawn(move || heartbeat_loop(&core, &stop, interval))
+                .expect("spawning the heartbeat thread")
+        });
+        RemoteShardedSearch {
+            core,
+            backend,
+            name,
+            channels: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            heartbeat_stop,
+            heartbeat,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.core.shards
+    }
+
+    /// Engine display name carried on traces (`"CPU-Par[shards=4]"` —
+    /// identical to the in-process sharded name, as the byte-identity
+    /// contract requires).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monitoring snapshot.
+    pub fn stats(&self) -> RemoteStats {
+        let c = &self.core.counters;
+        RemoteStats {
+            shards: self.core.shards,
+            rpcs: c.rpcs.load(Ordering::Relaxed),
+            dials: c.dials.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            probes: c.probes.load(Ordering::Relaxed),
+            probe_failures: c.probe_failures.load(Ordering::Relaxed),
+            breaker_opens: c.breaker_opens.load(Ordering::Relaxed),
+            degraded_queries: c.degraded_queries.load(Ordering::Relaxed),
+            rounds: c.rounds.load(Ordering::Relaxed),
+            notifications: c.notifications.load(Ordering::Relaxed),
+            notifications_suppressed: c.suppressed.load(Ordering::Relaxed),
+            breaker: self.core.breakers.iter().map(|b| b.state().name().to_string()).collect(),
+            rpc_latency_us: self.core.latency.snapshot(),
+        }
+    }
+
+    /// Current breaker state per shard.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.core.breakers.iter().map(|b| b.state()).collect()
+    }
+
+    /// Run one budgeted remote search. Same contract as
+    /// [`crate::shard::ShardedSearch::try_search`], plus the explicit
+    /// [`RemoteOutcome::degraded`] marker.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`SearchParams::validate`].
+    pub fn try_search(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &textindex::ParsedQuery,
+        params: &SearchParams,
+        budget: &QueryBudget,
+    ) -> Result<RemoteOutcome, SearchError> {
+        if let Err(e) = params.validate() {
+            panic!("invalid search parameters: {e}");
+        }
+        let tracker = if params.trace.enabled() {
+            budget.start_counting()
+        } else {
+            budget.start()
+        };
+        tracker.checkpoint()?;
+        #[cfg(feature = "fault-inject")]
+        crate::fault::inject(query, &tracker)?;
+        if query.is_empty() {
+            let mut out = SearchOutcome::default();
+            if params.trace.enabled() {
+                out.trace = Some(Box::new(QueryTrace {
+                    engine: self.name.clone(),
+                    ..QueryTrace::default()
+                }));
+            }
+            return Ok(RemoteOutcome { outcome: out, degraded: false });
+        }
+
+        let opts = &self.core.opts;
+        let deadline = budget.timeout.map(|t| Instant::now() + t);
+        let mut dead = vec![false; self.core.shards];
+        let mut failures = vec![0u32; self.core.shards];
+        // Bounded supervision loop: every iteration either returns,
+        // burns one of a shard's finite attempts, or marks a shard dead.
+        let max_rounds = (self.core.shards as u32 * (opts.attempts + 1) + 1) as usize;
+        for _ in 0..max_rounds {
+            match self.attempt(graph, query, params, &tracker, deadline, &dead) {
+                Ok(outcome) => {
+                    let degraded = dead.iter().any(|&d| d);
+                    if degraded {
+                        self.core.counters.degraded_queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    for (s, b) in self.core.breakers.iter().enumerate() {
+                        if !dead[s] {
+                            b.record_success();
+                        }
+                    }
+                    return Ok(RemoteOutcome { outcome, degraded });
+                }
+                Err(AttemptError::Budget(e)) => return Err(e),
+                Err(AttemptError::ShardShed { shard }) => {
+                    // The breaker is shedding this shard: confirmed-dead
+                    // already, no probe needed.
+                    if !opts.degraded_answers {
+                        return Err(SearchError::ShardUnavailable { shard });
+                    }
+                    dead[shard] = true;
+                }
+                Err(AttemptError::ShardIo { shard }) => {
+                    // The query's own budget may be the real cause (an
+                    // RPC clamped by the wall-clock deadline): first
+                    // cause wins, exactly like the in-process path.
+                    tracker.poll_deadline();
+                    if let Some(e) = tracker.error() {
+                        return Err(e);
+                    }
+                    failures[shard] += 1;
+                    // Failure attribution: probe the worker out-of-band.
+                    // A surviving probe blames the query (e.g. a fault
+                    // token), leaving the breaker untouched.
+                    match self.core.probe(shard) {
+                        Some(chan) => self.checkin(shard, chan),
+                        None => self.core.confirmed_failure(shard),
+                    }
+                    let gone = failures[shard] >= opts.attempts
+                        || self.core.breakers[shard].state() == BreakerState::Open;
+                    if gone {
+                        if !opts.degraded_answers {
+                            return Err(SearchError::ShardUnavailable { shard });
+                        }
+                        dead[shard] = true;
+                        continue;
+                    }
+                    self.core.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    let exp = opts
+                        .backoff_base
+                        .saturating_mul(1u32 << (failures[shard] - 1).min(16))
+                        .min(opts.backoff_cap);
+                    std::thread::sleep(exp + self.core.jitter(exp));
+                }
+            }
+        }
+        // Unreachable with finite attempts; report the first live shard.
+        Err(SearchError::ShardUnavailable { shard: dead.iter().position(|&d| !d).unwrap_or(0) })
+    }
+
+    /// Pooled-connection checkout: reuse a same-generation channel or
+    /// dial a fresh one.
+    fn checkout(&self, shard: usize) -> io::Result<Channel> {
+        let current = self.core.addrs.generation(shard);
+        while let Some(chan) = self.channels[shard].lock().unwrap().pop() {
+            if chan.generation == current {
+                return Ok(chan);
+            }
+            // Stale incarnation: drop and keep looking.
+        }
+        self.core.dial(shard)
+    }
+
+    fn checkin(&self, shard: usize, chan: Channel) {
+        if chan.generation == self.core.addrs.generation(shard) {
+            self.channels[shard].lock().unwrap().push(chan);
+        }
+    }
+
+    /// Per-RPC socket timeout: the configured cap, clamped by what is
+    /// left of the query's wall-clock budget.
+    fn rpc_timeout(&self, deadline: Option<Instant>) -> Duration {
+        let cap = self.core.opts.rpc_timeout;
+        match deadline {
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                cap.min(left).max(Duration::from_millis(1))
+            }
+            None => cap,
+        }
+    }
+
+    /// One full pass of the round protocol over the live shards.
+    #[allow(clippy::too_many_lines)]
+    fn attempt(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &textindex::ParsedQuery,
+        params: &SearchParams,
+        tracker: &BudgetTracker,
+        deadline: Option<Instant>,
+        dead: &[bool],
+    ) -> Result<SearchOutcome, AttemptError> {
+        let core = &self.core;
+        let live: Vec<usize> = (0..core.shards).filter(|&s| !dead[s]).collect();
+        // Admission: an open breaker sheds the shard before any dialing.
+        for &s in &live {
+            if !core.breakers[s].allow(core.opts.breaker_cooldown) {
+                return Err(AttemptError::ShardShed { shard: s });
+            }
+        }
+        let mut profile = crate::profile::PhaseProfile::default();
+        let q = query.num_keywords();
+        let traced = params.trace.enabled();
+
+        // Checkout one exclusive channel per live shard. On any failure
+        // the erroring channel is dropped (it may hold undrained reply
+        // bytes); the healthy ones go back to the pool.
+        let mut chans: Vec<Option<Channel>> = (0..core.shards).map(|_| None).collect();
+        let mut fail: Option<usize> = None;
+        for &s in &live {
+            match self.checkout(s) {
+                Ok(c) => chans[s] = Some(c),
+                Err(_) => {
+                    fail = Some(s);
+                    break;
+                }
+            }
+        }
+        let finish = |chans: Vec<Option<Channel>>| {
+            for (s, c) in chans.into_iter().enumerate() {
+                if let Some(c) = c {
+                    self.checkin(s, c);
+                }
+            }
+        };
+        if let Some(shard) = fail {
+            finish(chans);
+            return Err(AttemptError::ShardIo { shard });
+        }
+
+        // The per-shard RPC helper for this attempt. On failure the
+        // erroring channel is dropped (it may hold undrained reply
+        // bytes); the healthy ones go back to the pool.
+        macro_rules! rpc {
+            ($s:expr, $op:expr, $payload:expr, $expect:expr) => {{
+                let chan = chans[$s].as_mut().expect("live shard has a channel");
+                match core.call(chan, $op, $payload, $expect, self.rpc_timeout(deadline)) {
+                    Ok(body) => body,
+                    Err(_) => {
+                        chans[$s] = None; // poisoned: drop it
+                        finish(chans);
+                        return Err(AttemptError::ShardIo { shard: $s });
+                    }
+                }
+            }};
+        }
+        macro_rules! budget_check {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(err) => {
+                        finish(chans);
+                        return Err(AttemptError::Budget(err));
+                    }
+                }
+            };
+        }
+        // Decode helper: a malformed reply is a shard failure.
+        macro_rules! decode {
+            ($s:expr, $body:expr) => {
+                match wire::decode(&$body) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        chans[$s] = None; // protocol corruption: drop it
+                        finish(chans);
+                        return Err(AttemptError::ShardIo { shard: $s });
+                    }
+                }
+            };
+        }
+
+        // Scatter: Start re-arms every live worker's state for this
+        // query (idempotent across retries).
+        let t = Instant::now();
+        let start = wire::Start {
+            query: wire::WireQuery::from_query(query),
+            params: params.clone(),
+            activation: params.explicit_activation.as_deref().cloned(),
+            backend: self.backend.base_name().to_string(),
+            threads: self.backend.threads() as u32,
+        };
+        let start_payload = wire::encode(&start);
+        for &s in &live {
+            let body = rpc!(s, wire::OP_START, &start_payload, wire::OP_START_OK);
+            let ok: wire::StartOk = decode!(s, body);
+            debug_assert_eq!(ok.keywords as usize, q);
+        }
+        profile.init = t.elapsed();
+
+        // The level-synchronous round loop — the in-process fork-join
+        // phases, each fork replaced by a sweep of shard RPCs.
+        let max_level = params.max_level.min(254);
+        let mut cohort: Vec<(NodeId, u8)> = Vec::new();
+        let mut level_trace: Vec<LevelTrace> = Vec::new();
+        let mut records: Option<Vec<TraceLevelRecord>> = traced.then(Vec::new);
+        let mut peak_frontier = 0usize;
+        let mut level: u8 = 0;
+        let terminated = loop {
+            budget_check!(tracker.checkpoint());
+            let t = Instant::now();
+            let mut frontier_total = 0usize;
+            for &s in &live {
+                let body = rpc!(s, wire::OP_ENQUEUE, &[], wire::OP_ENQUEUE_OK);
+                let ok: wire::EnqueueOk = decode!(s, body);
+                frontier_total += ok.frontier as usize;
+            }
+            profile.enqueue += t.elapsed();
+            peak_frontier = peak_frontier.max(frontier_total);
+            if frontier_total == 0 {
+                break TerminationReason::FrontierExhausted;
+            }
+
+            let t = Instant::now();
+            let identify = wire::encode(&wire::Identify { level, traced });
+            let mut newly: Vec<u32> = Vec::new();
+            let (mut new_hits, mut deferred) = (0usize, 0usize);
+            for &s in &live {
+                let body = rpc!(s, wire::OP_IDENTIFY, &identify, wire::OP_IDENTIFY_OK);
+                let ok: wire::IdentifyOk = decode!(s, body);
+                newly.extend_from_slice(&ok.newly);
+                new_hits += ok.new_hits as usize;
+                deferred += ok.deferred as usize;
+            }
+            newly.sort_unstable();
+            profile.identify += t.elapsed();
+            level_trace.push(LevelTrace {
+                level,
+                frontier: frontier_total,
+                identified: newly.len(),
+            });
+            if let Some(recs) = records.as_mut() {
+                recs.push(TraceLevelRecord {
+                    level: u32::from(level),
+                    frontier: frontier_total,
+                    identified: newly.len(),
+                    new_hits,
+                    activation_deferred: deferred,
+                    expansions: 0, // filled in after this level's expansion
+                    budget_remaining: tracker.remaining(),
+                });
+            }
+            cohort.extend(newly.iter().map(|&v| (NodeId(v), level)));
+            if cohort.len() >= params.top_k {
+                break TerminationReason::EnoughCentralNodes;
+            }
+            if level >= max_level {
+                break TerminationReason::LevelCap;
+            }
+
+            let charged_before = if records.is_some() {
+                tracker.expansions()
+            } else {
+                0
+            };
+            let t = Instant::now();
+            let expand = wire::encode(&wire::Expand { level });
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            let mut charged_total = 0u64;
+            for &s in &live {
+                let body = rpc!(s, wire::OP_EXPAND, &expand, wire::OP_EXPAND_OK);
+                let ok: wire::ExpandOk = decode!(s, body);
+                pairs.extend_from_slice(&ok.outbox);
+                charged_total += ok.charged;
+            }
+            // The workers metered this level's kernels; charge the sum
+            // here — the same cumulative totals, at the same sequence
+            // point, as the in-process driver.
+            tracker.charge(charged_total);
+            let sent = pairs.len();
+            pairs.sort_unstable();
+            pairs.dedup();
+            core.counters.rounds.fetch_add(1, Ordering::Relaxed);
+            core.counters.notifications.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+            core.counters
+                .suppressed
+                .fetch_add((sent - pairs.len()) as u64, Ordering::Relaxed);
+            let apply = wire::encode(&wire::Apply { level, pairs });
+            for &s in &live {
+                let _body = rpc!(s, wire::OP_APPLY, &apply, wire::OP_APPLY_OK);
+            }
+            profile.expansion += t.elapsed();
+            if let Some(last) = records.as_mut().and_then(|r| r.last_mut()) {
+                last.expansions = tracker.expansions() - charged_before;
+                last.budget_remaining = tracker.remaining();
+            }
+            level += 1;
+        };
+        let last_level = level;
+
+        // Collect: ship every informative row and run the unchanged
+        // top-down stage over the global graph. Owner rows are
+        // authoritative; under degradation the live shards' halo
+        // replicas stand in for dead owners.
+        let include_halos = live.len() < core.shards;
+        let collect = wire::encode(&wire::Collect { include_halos });
+        // Owner rows are authoritative (only the owner's replica carries
+        // `central_depth`); halo replicas — shipped only when degraded —
+        // fill the gaps a dead owner left. The wire does not distinguish
+        // the two, so replay the ownership hash per row.
+        let owner_of = |v: u32| -> usize {
+            (crate::shard::splitmix64(core.seed ^ u64::from(v)) % core.shards as u64) as usize
+        };
+        let mut rows: HashMap<u32, wire::WireRow> = HashMap::new();
+        let mut halo_rows: Vec<wire::WireRow> = Vec::new();
+        for &s in &live {
+            let body = rpc!(s, wire::OP_COLLECT, &collect, wire::OP_COLLECT_OK);
+            let ok: wire::CollectOk = decode!(s, body);
+            for row in ok.rows {
+                if owner_of(row.node) == s {
+                    rows.insert(row.node, row);
+                } else {
+                    halo_rows.push(row);
+                }
+            }
+        }
+        finish(chans);
+        for row in halo_rows {
+            rows.entry(row.node).or_insert(row);
+        }
+
+        cohort.truncate(params.max_candidates);
+        let config =
+            ActivationConfig { alpha: params.alpha, average_distance: params.average_distance };
+        let global_act = match &params.explicit_activation {
+            Some(levels) => ActivationMap::Explicit(levels),
+            None => ActivationMap::Computed { graph, config },
+        };
+        let hits = RemoteHitLevels { rows, q };
+        let t = Instant::now();
+        let mut candidates: Vec<CentralGraph> = Vec::with_capacity(cohort.len());
+        for &(c, d) in &cohort {
+            if tracker.should_stop() {
+                let err =
+                    tracker.error().expect("a stopped top-down stage implies a tripped budget");
+                return Err(AttemptError::Budget(err));
+            }
+            let e = top_down::extract(graph, &global_act, &hits, c.0, d);
+            candidates.push(top_down::prune_and_score(graph, &hits, &e, params));
+        }
+        let answers = top_down::select_top_k(candidates, params);
+        profile.top_down = t.elapsed();
+
+        let trace = records.take().map(|levels| {
+            Box::new(QueryTrace {
+                engine: self.name.clone(),
+                keywords: q,
+                total_expansions: tracker.expansions(),
+                terminated: terminated == TerminationReason::LevelCap,
+                levels,
+                cache: None,
+                session_id: None,
+                session_queries: None,
+                batch_id: None,
+                co_batched: None,
+                phase_ms: PhaseMillis::from(&profile),
+            })
+        });
+        Ok(SearchOutcome {
+            answers,
+            profile,
+            stats: SearchStats {
+                last_level,
+                central_candidates: cohort.len(),
+                peak_frontier,
+                trace: level_trace,
+            },
+            trace,
+        })
+    }
+}
+
+impl Drop for RemoteShardedSearch {
+    fn drop(&mut self) {
+        self.heartbeat_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Background health probing: keeps breaker states honest between
+/// queries and closes the loop after a worker respawn (the cooldown-
+/// elapsed probe is what re-closes an open breaker).
+fn heartbeat_loop(core: &Core, stop: &AtomicBool, interval: Duration) {
+    let tick = Duration::from_millis(20).min(interval);
+    let mut last: Option<Instant> = None; // first probe fires immediately
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if last.is_none_or(|t| t.elapsed() >= interval) {
+            last = Some(Instant::now());
+            for s in 0..core.shards {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !core.breakers[s].allow(core.opts.breaker_cooldown) {
+                    continue; // open and cooling down: shed
+                }
+                match core.probe(s) {
+                    Some(_chan) => core.breakers[s].record_success(),
+                    None => core.confirmed_failure(s),
+                }
+            }
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// Routes top-down reads to the collected worker rows; untouched nodes
+/// default to "never hit", exactly like a fresh in-process state row.
+struct RemoteHitLevels {
+    rows: HashMap<u32, wire::WireRow>,
+    q: usize,
+}
+
+impl HitLevels for RemoteHitLevels {
+    fn num_keywords(&self) -> usize {
+        self.q
+    }
+    fn hit(&self, v: u32, i: usize) -> u8 {
+        self.rows.get(&v).map_or(INFINITE_LEVEL, |r| r.hits[i])
+    }
+    fn is_keyword_node(&self, v: u32) -> bool {
+        self.rows.get(&v).is_some_and(|r| r.keyword)
+    }
+    fn central_depth(&self, v: u32) -> Option<u8> {
+        self.rows.get(&v).and_then(|r| r.central)
+    }
+}

@@ -1,0 +1,225 @@
+//! Length-prefixed binary framing for the shard-worker wire protocol.
+//!
+//! Every message on a worker connection is one frame:
+//!
+//! ```text
+//! ┌────────────┬─────────┬──────────────────────┐
+//! │ len: u32 LE│ op: u8  │ payload: len bytes   │
+//! └────────────┴─────────┴──────────────────────┘
+//! ```
+//!
+//! `len` counts the payload only (the 5-byte header is fixed), and is
+//! hard-capped at [`MAX_FRAME`]: a peer-supplied length can never make
+//! the decoder allocate more than the cap, no matter what bytes arrive.
+//! Payloads are JSON documents (see [`super::wire`]) — self-describing,
+//! diffable in a packet capture, and served by the vendored serde shim.
+//!
+//! The decoder has two faces:
+//!
+//! * [`read_frame`] / [`write_frame`] — the blocking I/O path the worker
+//!   and coordinator actually run, built on `read_exact`;
+//! * [`FrameDecoder`] — an incremental push-parser over arbitrary byte
+//!   chunks, the target of the frame-robustness property suite: any byte
+//!   stream either yields well-formed frames or exactly one structured
+//!   [`FrameError`], never a panic and never an over-allocation.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame payload: 16 MiB. A decoder never allocates more
+/// than this on behalf of a peer-supplied length.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Fixed frame header size: 4-byte little-endian length + 1-byte opcode.
+pub const HEADER_LEN: usize = 5;
+
+/// A structured framing failure. Fatal for the connection that produced
+/// it: binary frames carry no resync point, so the peer replies with one
+/// error frame (when it still can) and closes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header declared a payload larger than [`MAX_FRAME`].
+    Oversized {
+        /// The declared payload length.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "frame payload of {len} bytes exceeds the {MAX_FRAME} byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Write one frame. `payload.len()` must not exceed [`MAX_FRAME`]
+/// (internal callers never produce an oversized frame; this guards
+/// against bugs, not peers).
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "refusing to write an oversized frame");
+    let mut hdr = [0u8; HEADER_LEN];
+    hdr[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    hdr[4] = opcode;
+    w.write_all(&hdr)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary; EOF mid-frame and an over-cap length are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut hdr = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut hdr[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF mid frame header"))
+            };
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { len: len as u64 }.into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((hdr[4], payload)))
+}
+
+/// Incremental frame decoder over arbitrary byte chunks.
+///
+/// Feed bytes with [`FrameDecoder::push`], drain complete frames with
+/// [`FrameDecoder::next_frame`]. A declared length over [`MAX_FRAME`]
+/// surfaces as exactly one [`FrameError`] and poisons the decoder (every
+/// later call returns the same error — the connection is dead); the
+/// decoder's own buffering never exceeds the cap plus one header.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer a chunk of received bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(chunk);
+        }
+    }
+
+    /// The next complete frame, if the buffer holds one.
+    ///
+    /// `Ok(None)` means "need more bytes". An over-cap header yields
+    /// `Err` now and forever (the decoder is poisoned).
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            let e = FrameError::Oversized { len: len as u64 };
+            self.buf = Vec::new(); // drop the buffer: the stream is dead
+            self.poisoned = Some(e.clone());
+            return Err(e);
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let opcode = self.buf[4];
+        let payload = self.buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+        self.buf.drain(..HEADER_LEN + len);
+        Ok(Some((opcode, payload)))
+    }
+
+    /// Bytes currently buffered (bounded by [`MAX_FRAME`] + header + the
+    /// last pushed chunk; the robustness suite asserts the bound).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_cursor() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 7, b"hello").unwrap();
+        write_frame(&mut wire, 9, b"").unwrap();
+        let mut r = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap(), Some((7, b"hello".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((9, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at a boundary");
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.push(1);
+        let err = read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 7, b"hello").unwrap();
+        wire.truncate(wire.len() - 2);
+        let err = read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn decoder_reassembles_across_arbitrary_chunking() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 3, b"abc").unwrap();
+        write_frame(&mut wire, 4, b"defg").unwrap();
+        for chunk in [1usize, 2, 3, wire.len()] {
+            let mut d = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                d.push(piece);
+                while let Some(f) = d.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, vec![(3, b"abc".to_vec()), (4, b"defg".to_vec())], "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn decoder_poisons_on_oversized_and_stays_poisoned() {
+        let mut d = FrameDecoder::new();
+        d.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        d.push(&[0]);
+        let e = d.next_frame().unwrap_err();
+        assert!(matches!(e, FrameError::Oversized { .. }));
+        d.push(b"more bytes");
+        assert_eq!(d.next_frame().unwrap_err(), e, "poisoned decoders repeat the error");
+        assert_eq!(d.buffered(), 0, "poisoning drops the buffer");
+    }
+}

@@ -1,0 +1,283 @@
+//! Multi-process sharded search: shard-worker processes speaking a
+//! length-prefixed binary frame protocol, driven by a supervised
+//! coordinator behind the same seam as the in-process sharded engine.
+//!
+//! This is phase 2 of the DKWS-style distributed design
+//! (arXiv:2309.01199): [`crate::shard`] proved the round protocol
+//! (scatter → local BFS rounds → boundary-notification exchange → merge)
+//! answer-identical to the monolithic engines inside one process; this
+//! module splits the same protocol across processes without changing a
+//! byte of the answers. The layers:
+//!
+//! * [`frame`] — the wire framing: `[u32 len LE][u8 opcode][payload]`,
+//!   hard-capped, with an incremental decoder hardened against arbitrary
+//!   byte streams;
+//! * [`wire`] — the JSON message schema, one request/response pair per
+//!   round-protocol phase;
+//! * [`worker`] — [`worker::ShardWorker`]: owns one partition (derived
+//!   locally from the `(shards, seed)` contract — sub-graphs never travel)
+//!   and serves phase RPCs over TCP, one connection per coordinator
+//!   channel;
+//! * [`coordinator`] — [`coordinator::RemoteShardedSearch`]: drives the
+//!   fleet over persistent connections with per-RPC deadlines, bounded
+//!   retry with backoff + jitter, probe-based failure attribution, and
+//!   per-shard circuit breakers ([`breaker`]), degrading or shedding per
+//!   [`coordinator::RemoteOptions::degraded_answers`] when a shard stays
+//!   down.
+//!
+//! The equivalence and failure contracts are pinned by three suites: the
+//! `remote_equivalence` differential proptest (remote == in-process,
+//! byte-identical, all four backends), the frame-robustness proptest
+//! (arbitrary bytes never panic or over-allocate the decoder), and the
+//! process-level chaos suite in the CLI crate (worker kill / stall /
+//! garbage under concurrent well-behaved load).
+
+pub mod breaker;
+pub mod coordinator;
+pub mod frame;
+pub mod wire;
+pub mod worker;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use coordinator::{
+    RemoteOptions, RemoteOutcome, RemoteShardedSearch, RemoteStats, ShardAddrs, StaticAddrs,
+};
+pub use frame::{FrameDecoder, FrameError, MAX_FRAME};
+pub use worker::ShardWorker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{KeywordSearchEngine, SeqEngine};
+    use crate::shard::{ShardBackend, ShardedSearch, DEFAULT_PARTITION_SEED};
+    use crate::{QueryBudget, SearchParams};
+    use kgraph::{GraphBuilder, KnowledgeGraph};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use textindex::{InvertedIndex, ParsedQuery};
+
+    fn fixture() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("hub", "junction");
+        for i in 0..5 {
+            let a = b.add_node(&format!("a{i}"), "alpha");
+            b.add_edge(a, hub, "p");
+        }
+        for i in 0..5 {
+            let z = b.add_node(&format!("z{i}"), "omega");
+            b.add_edge(hub, z, if i % 2 == 0 { "p" } else { "q" });
+        }
+        b.add_node("lone", "isolated");
+        b.build()
+    }
+
+    /// Spin up an in-process worker fleet and a coordinator over it, with
+    /// deterministic supervision knobs (no heartbeat, no retry waits).
+    fn remote(g: &KnowledgeGraph, backend: ShardBackend, shards: usize) -> RemoteShardedSearch {
+        let addrs: Vec<_> = (0..shards)
+            .map(|s| ShardWorker::spawn_local(g, shards, s, DEFAULT_PARTITION_SEED))
+            .collect();
+        let opts = RemoteOptions {
+            heartbeat: None,
+            backoff_base: Duration::from_millis(1),
+            ..RemoteOptions::default()
+        };
+        RemoteShardedSearch::new(g, backend, shards, Arc::new(StaticAddrs(addrs)), opts)
+    }
+
+    fn digest(out: &crate::engine::SearchOutcome) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "stats:{}/{}/{}/{:?} ",
+            out.stats.last_level,
+            out.stats.central_candidates,
+            out.stats.peak_frontier,
+            out.stats.trace
+        );
+        for a in &out.answers {
+            let _ = write!(
+                s,
+                "[c:{} d:{} n:{:?} e:{:?} kn:{:?} ke:{:?} s:{}]",
+                a.central.0,
+                a.depth,
+                a.nodes,
+                a.edges,
+                a.keyword_nodes,
+                a.keyword_edges,
+                a.score.to_bits()
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn remote_search_matches_the_monolithic_engine() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let params = SearchParams::default().with_average_distance(1.0);
+        for raw in ["alpha omega", "alpha junction", "omega"] {
+            let query = ParsedQuery::parse(&idx, raw);
+            let mono = SeqEngine::new().search(&g, &query, &params);
+            for shards in [1, 2, 3] {
+                let r = remote(&g, ShardBackend::Seq, shards);
+                let out = r
+                    .try_search(&g, &query, &params, &QueryBudget::unlimited())
+                    .expect("unlimited budget");
+                assert!(!out.degraded);
+                assert_eq!(digest(&out.outcome), digest(&mono), "query {raw:?}, {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn remote_traces_match_the_in_process_sharded_traces() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let params = SearchParams::default()
+            .with_average_distance(1.0)
+            .with_trace(crate::trace::TraceLevel::Full);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let sharded = ShardedSearch::new(&g, ShardBackend::GpuStyle(2), 3);
+        let local = sharded
+            .try_search(&g, &query, &params, &QueryBudget::unlimited())
+            .expect("unlimited budget");
+        let r = remote(&g, ShardBackend::GpuStyle(2), 3);
+        let out = r.try_search(&g, &query, &params, &QueryBudget::unlimited()).expect("unlimited");
+        assert_eq!(digest(&out.outcome), digest(&local));
+        let (lt, rt) = (local.trace.unwrap(), out.outcome.trace.unwrap());
+        assert_eq!(rt.levels, lt.levels);
+        assert_eq!(rt.total_expansions, lt.total_expansions);
+        assert_eq!(rt.engine, lt.engine, "remote reuses the sharded engine name");
+    }
+
+    #[test]
+    fn budget_error_classes_survive_the_wire() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let r = remote(&g, ShardBackend::Seq, 2);
+        let err = r
+            .try_search(
+                &g,
+                &query,
+                &SearchParams::default(),
+                &QueryBudget::unlimited().with_timeout(Duration::ZERO),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        let err = r
+            .try_search(
+                &g,
+                &query,
+                &SearchParams::default().with_average_distance(1.0),
+                &QueryBudget::unlimited().with_max_expansions(1),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "budget_exhausted");
+        // The in-process sharded engine agrees on both classes.
+        let sharded = ShardedSearch::new(&g, ShardBackend::Seq, 2);
+        let err = sharded
+            .try_search(
+                &g,
+                &query,
+                &SearchParams::default().with_average_distance(1.0),
+                &QueryBudget::unlimited().with_max_expansions(1),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "budget_exhausted");
+    }
+
+    #[test]
+    fn unreachable_fleet_sheds_or_degrades_by_policy() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let params = SearchParams::default().with_average_distance(1.0);
+        // A port from the ephemeral range that nothing listens on: bind
+        // then drop to learn a free one.
+        let free = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let live = ShardWorker::spawn_local(&g, 2, 0, DEFAULT_PARTITION_SEED);
+        let opts = RemoteOptions {
+            heartbeat: None,
+            attempts: 2,
+            connect_timeout: Duration::from_millis(200),
+            backoff_base: Duration::from_millis(1),
+            degraded_answers: false,
+            ..RemoteOptions::default()
+        };
+        let shed = RemoteShardedSearch::new(
+            &g,
+            ShardBackend::Seq,
+            2,
+            Arc::new(StaticAddrs(vec![live, free])),
+            opts,
+        );
+        let err = shed.try_search(&g, &query, &params, &QueryBudget::unlimited()).unwrap_err();
+        assert_eq!(err, crate::SearchError::ShardUnavailable { shard: 1 });
+        assert_eq!(err.kind(), "shard_unavailable");
+
+        let degraded = RemoteShardedSearch::new(
+            &g,
+            ShardBackend::Seq,
+            2,
+            Arc::new(StaticAddrs(vec![live, free])),
+            RemoteOptions { degraded_answers: true, ..opts },
+        );
+        let out = degraded
+            .try_search(&g, &query, &params, &QueryBudget::unlimited())
+            .expect("degrades");
+        assert!(out.degraded, "lost shard must be explicitly marked");
+        assert_eq!(degraded.stats().degraded_queries, 1);
+    }
+
+    #[test]
+    fn empty_query_short_circuits_without_any_rpc() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let query = ParsedQuery::parse(&idx, "zzznothing");
+        // No workers at all: the empty query never touches the network.
+        let opts = RemoteOptions { heartbeat: None, ..RemoteOptions::default() };
+        let r =
+            RemoteShardedSearch::new(&g, ShardBackend::Seq, 2, Arc::new(StaticAddrs(vec![])), opts);
+        let out = r
+            .try_search(&g, &query, &SearchParams::default(), &QueryBudget::unlimited())
+            .expect("no network needed");
+        assert!(out.outcome.answers.is_empty());
+        assert!(!out.degraded);
+        assert_eq!(r.stats().rpcs, 0);
+    }
+
+    #[test]
+    fn handshake_rejects_a_mismatched_partition_contract() {
+        let g = fixture();
+        // Worker built for a 3-shard partition; coordinator expects 2.
+        let addr = ShardWorker::spawn_local(&g, 3, 0, DEFAULT_PARTITION_SEED);
+        let opts = RemoteOptions {
+            heartbeat: None,
+            attempts: 1,
+            backoff_base: Duration::from_millis(1),
+            ..RemoteOptions::default()
+        };
+        let r = RemoteShardedSearch::new(
+            &g,
+            ShardBackend::Seq,
+            2,
+            Arc::new(StaticAddrs(vec![addr, addr])),
+            opts,
+        );
+        let idx = InvertedIndex::build(&g);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let err = r
+            .try_search(
+                &g,
+                &query,
+                &SearchParams::default().with_average_distance(1.0),
+                &QueryBudget::unlimited(),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "shard_unavailable", "contract mismatch = unusable worker");
+    }
+}

@@ -1,0 +1,470 @@
+//! The shard-worker side of the remote protocol.
+//!
+//! A [`ShardWorker`] owns exactly one [`ShardPart`] of the deterministic
+//! partition — built locally via [`ShardPlan::build_part`] from the
+//! `(shards, seed)` contract, never shipped over the wire — and serves
+//! coordinator connections over TCP, one thread and one
+//! [`SearchState`] per connection. Each connection executes at most one
+//! query at a time as a sequence of phase RPCs (see [`super::wire`]);
+//! the handlers are line-for-line the per-shard bodies of the in-process
+//! fork-join phases in [`crate::shard::ShardedSearch`], which is what the
+//! remote-equivalence differential suite leans on.
+//!
+//! The worker never enforces query budgets itself: it runs an unlimited
+//! counting tracker and reports per-level expansion charges back to the
+//! coordinator, which owns the query's real [`crate::QueryBudget`] and
+//! polls deadlines/caps at exactly the sequence points the in-process
+//! driver does. A stalled or runaway worker is therefore bounded by the
+//! coordinator's per-RPC timeouts, not by its own cooperation.
+//!
+//! Any protocol violation — undecodable payload, out-of-sequence opcode,
+//! oversized frame — earns one structured [`wire::WireError`] reply
+//! (when the stream is still writable) and the connection closes; the
+//! framing has no resync point. A worker connection failing can never
+//! corrupt another: every connection's state is private.
+
+use super::frame::{read_frame, write_frame};
+use super::wire::{self, Hello};
+use crate::activation::{ActivationConfig, ActivationMap};
+use crate::bottom_up::{self, ExpandCtx};
+use crate::model::INFINITE_LEVEL;
+use crate::shard::{ShardBackend, ShardPart, ShardPlan};
+use crate::state::SearchState;
+use crate::QueryBudget;
+use kgraph::{KnowledgeGraph, NodeId};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// One shard's worker: the materialized part plus the partition contract
+/// it validates handshakes against.
+pub struct ShardWorker {
+    part: ShardPart,
+    shards: u32,
+    index: u32,
+    seed: u64,
+    num_nodes: u64,
+}
+
+impl ShardWorker {
+    /// Build the worker for shard `index` of an `N = shards` partition of
+    /// `graph` under `seed`. Materializes only this shard's part.
+    ///
+    /// # Panics
+    /// Panics when `index >= shards` (same contract as
+    /// [`ShardPlan::build_part`]).
+    pub fn new(graph: &KnowledgeGraph, shards: usize, index: usize, seed: u64) -> ShardWorker {
+        ShardWorker {
+            part: ShardPlan::build_part(graph, shards, seed, index),
+            shards: shards as u32,
+            index: index as u32,
+            seed,
+            num_nodes: graph.num_nodes() as u64,
+        }
+    }
+
+    /// Owned-node count of this worker's part.
+    pub fn num_owned(&self) -> u32 {
+        self.part.num_owned
+    }
+
+    /// Serve coordinator connections on `listener` until the listener
+    /// fails (for a process worker: until the process exits). One thread
+    /// per connection; connection failures are contained to their thread.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { return };
+            let worker = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("shard-worker-{}-conn", self.index))
+                .spawn(move || worker.handle_connection(stream))
+                .expect("spawning a worker connection thread");
+        }
+    }
+
+    /// Bind an ephemeral localhost listener, serve it on a detached
+    /// thread, and return the bound address. The in-process test harness
+    /// for the remote path.
+    pub fn spawn_local(
+        graph: &KnowledgeGraph,
+        shards: usize,
+        index: usize,
+        seed: u64,
+    ) -> SocketAddr {
+        let worker = Arc::new(ShardWorker::new(graph, shards, index, seed));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binding a worker listener");
+        let addr = listener.local_addr().expect("listener has a local addr");
+        std::thread::Builder::new()
+            .name(format!("shard-worker-{index}"))
+            .spawn(move || worker.serve(listener))
+            .expect("spawning a worker accept thread");
+        addr
+    }
+
+    /// Drive one coordinator connection to completion. Public so process
+    /// workers and in-process test workers share one code path.
+    pub fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn::new(self);
+        let mut stream = stream;
+        loop {
+            let (opcode, payload) = match read_frame(&mut stream) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return, // clean coordinator disconnect
+                Err(e) => {
+                    if e.kind() == io::ErrorKind::InvalidData {
+                        send_error(&mut stream, "bad_frame", &e.to_string());
+                    }
+                    return;
+                }
+            };
+            match conn.handle(&mut stream, opcode, &payload) {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::Close) => return,
+                Err(e) => {
+                    send_error(&mut stream, e.code, &e.message);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort structured error reply; the connection closes either way.
+fn send_error(stream: &mut TcpStream, code: &str, message: &str) {
+    let err = wire::WireError { code: code.to_string(), message: message.to_string() };
+    let _ = write_frame(stream, wire::OP_ERROR, &wire::encode(&err));
+}
+
+/// Whether the connection keeps serving after a frame.
+enum Flow {
+    Continue,
+    // Only the fault-injection arms close a healthy connection mid-stream.
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    Close,
+}
+
+/// A protocol failure that earns one error frame before closing.
+struct ConnError {
+    code: &'static str,
+    message: String,
+}
+
+impl ConnError {
+    fn new(code: &'static str, message: impl Into<String>) -> ConnError {
+        ConnError { code, message: message.into() }
+    }
+}
+
+/// Per-connection state: the search state plus the per-query execution
+/// knobs remembered from the last `Start`.
+struct Conn<'w> {
+    worker: &'w ShardWorker,
+    greeted: bool,
+    state: SearchState,
+    query: Option<QueryCtx>,
+    /// Lazily built kernel pool, rebuilt when a query asks for a
+    /// different thread count.
+    pool: Option<(usize, rayon::ThreadPool)>,
+}
+
+/// Execution knobs of the in-flight query on a connection.
+struct QueryCtx {
+    q: usize,
+    backend: ShardBackend,
+    config: ActivationConfig,
+    /// Explicit activation table remapped onto this shard's locals.
+    local_act: Option<Vec<u8>>,
+    tracker: crate::budget::BudgetTracker,
+    charged_mark: u64,
+    frontiers: Vec<u32>,
+}
+
+impl<'w> Conn<'w> {
+    fn new(worker: &'w ShardWorker) -> Conn<'w> {
+        Conn { worker, greeted: false, state: SearchState::empty(), query: None, pool: None }
+    }
+
+    fn handle(
+        &mut self,
+        stream: &mut TcpStream,
+        opcode: u8,
+        payload: &[u8],
+    ) -> Result<Flow, ConnError> {
+        match opcode {
+            wire::OP_HELLO => self.on_hello(stream, payload),
+            wire::OP_PING => {
+                reply(stream, wire::OP_PONG, &[])?;
+                Ok(Flow::Continue)
+            }
+            wire::OP_START => self.on_start(stream, payload),
+            wire::OP_ENQUEUE => self.on_enqueue(stream),
+            wire::OP_IDENTIFY => self.on_identify(stream, payload),
+            wire::OP_EXPAND => self.on_expand(stream, payload),
+            wire::OP_APPLY => self.on_apply(stream, payload),
+            wire::OP_COLLECT => self.on_collect(stream, payload),
+            other => Err(ConnError::new("bad_frame", format!("unknown opcode {other}"))),
+        }
+    }
+
+    fn on_hello(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+        let hello: Hello = decode(payload)?;
+        let w = self.worker;
+        let expect = Hello {
+            version: wire::PROTOCOL_VERSION,
+            shards: w.shards,
+            shard_index: w.index,
+            num_nodes: w.num_nodes,
+            seed: w.seed,
+        };
+        if hello != expect {
+            return Err(ConnError::new(
+                "bad_handshake",
+                format!("partition contract mismatch: got {hello:?}, serving {expect:?}"),
+            ));
+        }
+        self.greeted = true;
+        let ok = wire::HelloOk { shard_index: w.index, num_owned: w.part.num_owned };
+        reply(stream, wire::OP_HELLO_OK, &wire::encode(&ok))?;
+        Ok(Flow::Continue)
+    }
+
+    fn on_start(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+        if !self.greeted {
+            return Err(ConnError::new("bad_sequence", "START before HELLO"));
+        }
+        let start: wire::Start = decode(payload)?;
+        let query = start.query.to_query();
+
+        // Network-shaped fault injection (test builds only): the chaos
+        // suite asks this worker to misbehave at the wire level.
+        #[cfg(feature = "fault-inject")]
+        if let Some(fault) = crate::fault::network_fault(&query) {
+            match fault {
+                crate::fault::NetworkFault::Drop => return Ok(Flow::Close),
+                crate::fault::NetworkFault::Stall(d) => std::thread::sleep(d),
+                crate::fault::NetworkFault::Garbage => {
+                    // An over-cap length header: the coordinator's frame
+                    // decoder rejects it deterministically.
+                    use std::io::Write as _;
+                    let _ = stream.write_all(&[0xFF, 0xFF, 0xFF, 0xFF, 0xEE]);
+                    return Ok(Flow::Close);
+                }
+            }
+        }
+
+        let part = &self.worker.part;
+        let local = part.localize_query(&query);
+        self.state.begin_query(part.graph.num_nodes(), &local);
+        let threads = (start.threads as usize).max(1);
+        let backend = match start.backend.as_str() {
+            "Seq" => ShardBackend::Seq,
+            "CPU-Par" => ShardBackend::ParCpu(threads),
+            "GPU-Par" => ShardBackend::GpuStyle(threads),
+            "CPU-Par-d" => ShardBackend::DynPar(threads),
+            other => {
+                return Err(ConnError::new("bad_sequence", format!("unknown backend {other:?}")))
+            }
+        };
+        let local_act = start
+            .activation
+            .as_ref()
+            .map(|levels| part.locals.iter().map(|&v| levels[v as usize]).collect());
+        self.query = Some(QueryCtx {
+            q: query.num_keywords(),
+            backend,
+            config: ActivationConfig {
+                alpha: start.params.alpha,
+                average_distance: start.params.average_distance,
+            },
+            local_act,
+            // Unlimited counting tracker: budgets are the coordinator's
+            // job; this one only meters charges for `ExpandOk::charged`.
+            tracker: QueryBudget::unlimited().start_counting(),
+            charged_mark: 0,
+            frontiers: Vec::new(),
+        });
+        let ok = wire::StartOk { keywords: query.num_keywords() as u32 };
+        reply(stream, wire::OP_START_OK, &wire::encode(&ok))?;
+        Ok(Flow::Continue)
+    }
+
+    fn query_mut(&mut self) -> Result<(&'w ShardPart, &SearchState, &mut QueryCtx), ConnError> {
+        let part = &self.worker.part;
+        match self.query.as_mut() {
+            Some(ctx) => Ok((part, &self.state, ctx)),
+            None => Err(ConnError::new("bad_sequence", "phase RPC before START")),
+        }
+    }
+
+    fn on_enqueue(&mut self, stream: &mut TcpStream) -> Result<Flow, ConnError> {
+        let (part, state, ctx) = self.query_mut()?;
+        // Owned nodes only: each global frontier node is drained exactly
+        // once, by its owner.
+        ctx.frontiers.clear();
+        for v in 0..part.num_owned {
+            if state.take_frontier_flag(v) {
+                ctx.frontiers.push(v);
+            }
+        }
+        let ok = wire::EnqueueOk { frontier: ctx.frontiers.len() as u64 };
+        reply(stream, wire::OP_ENQUEUE_OK, &wire::encode(&ok))?;
+        Ok(Flow::Continue)
+    }
+
+    fn on_identify(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+        let req: wire::Identify = decode(payload)?;
+        let (part, state, ctx) = self.query_mut()?;
+        let mut newly_local = Vec::new();
+        bottom_up::identify_sequential(state, &ctx.frontiers, req.level, &mut newly_local);
+        let (mut new_hits, mut deferred) = (0usize, 0usize);
+        if req.traced {
+            let act = activation(part, ctx);
+            new_hits = ctx
+                .frontiers
+                .iter()
+                .map(|&f| (0..ctx.q).filter(|&i| state.hit(f, i) == req.level).count())
+                .sum();
+            deferred = ctx.frontiers.iter().filter(|&&f| act.level(NodeId(f)) > req.level).count();
+        }
+        let ok = wire::IdentifyOk {
+            newly: newly_local.iter().map(|&l| part.locals[l as usize]).collect(),
+            new_hits: new_hits as u64,
+            deferred: deferred as u64,
+        };
+        reply(stream, wire::OP_IDENTIFY_OK, &wire::encode(&ok))?;
+        Ok(Flow::Continue)
+    }
+
+    fn on_expand(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+        use rayon::prelude::*;
+        let req: wire::Expand = decode(payload)?;
+        let backend = match &self.query {
+            Some(ctx) => ctx.backend,
+            None => return Err(ConnError::new("bad_sequence", "phase RPC before START")),
+        };
+        // Parallel kernels run inside a worker-local pool sized to the
+        // query's thread request, (re)built only when the size changes.
+        let threads = backend.threads();
+        let pooled = !matches!(backend, ShardBackend::Seq | ShardBackend::DynPar(_));
+        if pooled && self.pool.as_ref().map(|(t, _)| *t) != Some(threads) {
+            self.pool = Some((threads, crate::engine::build_pool(threads)));
+        }
+        let part = &self.worker.part;
+        let state = &self.state;
+        let ctx = self.query.as_mut().expect("checked above");
+        let level = req.level;
+        let act = activation(part, ctx);
+        let expand_ctx = ExpandCtx { graph: &part.graph, act: &act, state, budget: &ctx.tracker };
+        let q = ctx.q;
+        let frontiers = &ctx.frontiers;
+        match backend {
+            ShardBackend::Seq | ShardBackend::DynPar(_) => {
+                for &f in frontiers {
+                    bottom_up::expand_frontier(&expand_ctx, f, level);
+                }
+            }
+            ShardBackend::ParCpu(_) => {
+                let pool = &self.pool.as_ref().expect("pool built above").1;
+                pool.install(|| {
+                    frontiers
+                        .par_iter()
+                        .for_each(|&f| bottom_up::expand_frontier(&expand_ctx, f, level));
+                });
+            }
+            ShardBackend::GpuStyle(_) => {
+                let pool = &self.pool.as_ref().expect("pool built above").1;
+                pool.install(|| {
+                    (0..frontiers.len() * q).into_par_iter().for_each(|w| {
+                        bottom_up::expand_work_item(&expand_ctx, frontiers[w / q], w % q, level);
+                    });
+                });
+            }
+        }
+        // Boundary scan: cells that became `level + 1` this round.
+        let mut outbox = Vec::new();
+        for &bl in &part.boundary {
+            for i in 0..q {
+                if state.hit(bl, i) == level + 1 {
+                    outbox.push((part.locals[bl as usize], i as u32));
+                }
+            }
+        }
+        let total = ctx.tracker.expansions();
+        let charged = total - ctx.charged_mark;
+        ctx.charged_mark = total;
+        let ok = wire::ExpandOk { outbox, charged };
+        reply(stream, wire::OP_EXPAND_OK, &wire::encode(&ok))?;
+        Ok(Flow::Continue)
+    }
+
+    fn on_apply(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+        let req: wire::Apply = decode(payload)?;
+        let (part, state, _ctx) = self.query_mut()?;
+        // Membership filtering over the broadcast union — equivalent to
+        // the in-process holders routing: a pair reaches exactly the
+        // shards holding a replica, and only still-∞ cells accept it.
+        // Frontier flags rise only on owned replicas, the only ones
+        // whose flags are ever scanned.
+        for &(v, i) in &req.pairs {
+            if let Some(&l) = part.local_index.get(&v) {
+                if state.hit(l, i as usize) == INFINITE_LEVEL {
+                    state.set_hit(l, i as usize, req.level + 1);
+                    if l < part.num_owned {
+                        state.mark_frontier(l);
+                    }
+                }
+            }
+        }
+        reply(stream, wire::OP_APPLY_OK, &[])?;
+        Ok(Flow::Continue)
+    }
+
+    fn on_collect(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+        let req: wire::Collect = decode(payload)?;
+        let (part, state, ctx) = self.query_mut()?;
+        let limit = if req.include_halos {
+            part.locals.len()
+        } else {
+            part.num_owned as usize
+        };
+        let mut rows = Vec::new();
+        for l in 0..limit as u32 {
+            let hits: Vec<u8> = (0..ctx.q).map(|i| state.hit(l, i)).collect();
+            if hits.iter().all(|&h| h == INFINITE_LEVEL) {
+                continue; // untouched row: the coordinator defaults it
+            }
+            rows.push(wire::WireRow {
+                node: part.locals[l as usize],
+                hits,
+                keyword: state.is_keyword_node(l),
+                central: state.central_depth(l),
+            });
+        }
+        reply(stream, wire::OP_COLLECT_OK, &wire::encode(&wire::CollectOk { rows }))?;
+        Ok(Flow::Continue)
+    }
+}
+
+/// The activation map for the in-flight query on this shard.
+fn activation<'a>(part: &'a ShardPart, ctx: &'a QueryCtx) -> ActivationMap<'a> {
+    match &ctx.local_act {
+        Some(table) => ActivationMap::Explicit(table),
+        None => ActivationMap::Computed { graph: &part.graph, config: ctx.config },
+    }
+}
+
+fn decode<T: serde::Deserialize>(payload: &[u8]) -> Result<T, ConnError> {
+    wire::decode(payload).map_err(|e| ConnError::new("bad_frame", e))
+}
+
+fn reply(stream: &mut TcpStream, opcode: u8, payload: &[u8]) -> Result<(), ConnError> {
+    write_frame(stream, opcode, payload)
+        .map_err(|e| ConnError::new("internal", format!("reply failed: {e}")))
+}
+
+/// Read one frame, failing on EOF (used by clients that expect a reply).
+pub(super) fn expect_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    read_frame(r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid conversation"))
+}

@@ -116,9 +116,11 @@ use textindex::{KeywordGroup, ParsedQuery};
 pub const DEFAULT_PARTITION_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The splitmix64 finalizer — a cheap, well-mixed hash for node→shard
-/// assignment. Deterministic across runs and platforms.
+/// assignment. Deterministic across runs and platforms. Shared with the
+/// remote coordinator, which replays the ownership hash when merging
+/// degraded-mode row collections.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -152,7 +154,7 @@ impl ShardPart {
     /// sets restricted to the replicas — owned *and* halo — present
     /// here. Halo sources must be seeded too, or a shard expanding into
     /// an unseeded source replica would treat it as unhit.
-    fn localize_query(&self, query: &ParsedQuery) -> ParsedQuery {
+    pub(crate) fn localize_query(&self, query: &ParsedQuery) -> ParsedQuery {
         ParsedQuery {
             groups: query
                 .groups
@@ -187,91 +189,127 @@ pub struct ShardPlan {
     pub holders: HashMap<u32, Vec<u32>>,
 }
 
+/// The assignment phase of partitioning, shared by [`ShardPlan::build`]
+/// (which materializes every part) and [`ShardPlan::build_part`] (which
+/// materializes exactly one — what a remote shard worker does, so a
+/// worker never pays for the other `N − 1` sub-graphs). Deterministic in
+/// `(graph, shards, seed)`.
+struct Assignment {
+    owner: Vec<u32>,
+    halos: Vec<std::collections::BTreeSet<u32>>,
+    holders: HashMap<u32, Vec<u32>>,
+}
+
+fn assign(graph: &KnowledgeGraph, shards: usize, seed: u64) -> Assignment {
+    assert!(shards >= 1, "a plan needs at least one shard");
+    let n = graph.num_nodes();
+    let owner: Vec<u32> =
+        (0..n as u64).map(|v| (splitmix64(seed ^ v) % shards as u64) as u32).collect();
+
+    // Halo sets: v is a halo of shard s iff owner[v] != s and v is
+    // adjacent to a node owned by s. The bi-directed CSR lists every
+    // incident edge from both endpoints, so one pass over all
+    // adjacency covers both directions.
+    let mut halos: Vec<std::collections::BTreeSet<u32>> =
+        (0..shards).map(|_| Default::default()).collect();
+    for v in 0..n as u32 {
+        let ov = owner[v as usize];
+        for adj in graph.neighbors(NodeId(v)) {
+            let ou = owner[adj.target().index()];
+            if ou != ov {
+                halos[ou as usize].insert(v);
+            }
+        }
+    }
+
+    // Replica holders: owner first, then halo shards in ascending
+    // shard order. Only replicated nodes get an entry.
+    let mut holders: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (s, halo) in halos.iter().enumerate() {
+        for &v in halo {
+            holders.entry(v).or_insert_with(|| vec![owner[v as usize]]).push(s as u32);
+        }
+    }
+    Assignment { owner, halos, holders }
+}
+
+impl Assignment {
+    /// Materialize shard `s`'s part: local id maps, sub-graph, weights
+    /// and boundary table.
+    fn materialize(&self, graph: &KnowledgeGraph, s: usize) -> ShardPart {
+        let n = graph.num_nodes();
+        let owned: Vec<u32> =
+            (0..n as u32).filter(|&v| self.owner[v as usize] == s as u32).collect();
+        let num_owned = owned.len() as u32;
+        let mut locals = owned;
+        locals.extend(self.halos[s].iter().copied());
+        let local_index: HashMap<u32, u32> =
+            locals.iter().enumerate().map(|(l, &v)| (v, l as u32)).collect();
+
+        // Local sub-graph: every node in local order, every global
+        // directed edge incident to an owned node. A non-owned
+        // endpoint of such an edge is by definition a halo, so both
+        // endpoints are always present. Halo↔halo edges are omitted —
+        // halos are never expanded, so their adjacency is never read.
+        let mut b = GraphBuilder::with_capacity(locals.len(), locals.len() * 4);
+        let ids: Vec<NodeId> = locals
+            .iter()
+            .map(|&v| b.add_node(graph.node_key(NodeId(v)), graph.node_text(NodeId(v))))
+            .collect();
+        for (l, &v) in locals.iter().enumerate().take(num_owned as usize) {
+            for adj in graph.neighbors(NodeId(v)) {
+                let t = local_index[&adj.target().0];
+                let label = graph.label_name(adj.label());
+                if adj.is_outgoing() {
+                    b.add_edge(ids[l], ids[t as usize], label);
+                } else if self.owner[adj.target().index()] != s as u32 {
+                    // Incoming edge from a halo source; owned→owned
+                    // edges are already covered by the source's
+                    // outgoing pass (the builder would dedup them
+                    // anyway, but skipping keeps the pass linear).
+                    b.add_edge(ids[t as usize], ids[l], label);
+                }
+            }
+        }
+        let mut local_graph = b.build();
+        // Global weights, not re-normalized over the shard-local max.
+        let raw = locals.iter().map(|&v| graph.raw_weight(NodeId(v))).collect();
+        let norm = locals.iter().map(|&v| graph.weight(NodeId(v))).collect();
+        local_graph.override_weights(raw, norm);
+
+        let boundary: Vec<u32> = locals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| self.holders.contains_key(v))
+            .map(|(l, _)| l as u32)
+            .collect();
+        ShardPart { graph: local_graph, locals, local_index, num_owned, boundary }
+    }
+}
+
 impl ShardPlan {
     /// Partition `graph` into `shards` parts under `seed`. Handles
     /// `shards` exceeding the node count (some parts are simply empty)
     /// and the empty graph.
     pub fn build(graph: &KnowledgeGraph, shards: usize, seed: u64) -> ShardPlan {
-        assert!(shards >= 1, "a plan needs at least one shard");
-        let n = graph.num_nodes();
-        let owner: Vec<u32> =
-            (0..n as u64).map(|v| (splitmix64(seed ^ v) % shards as u64) as u32).collect();
+        let a = assign(graph, shards, seed);
+        let parts = (0..shards).map(|s| a.materialize(graph, s)).collect();
+        ShardPlan { shards, seed, owner: a.owner, parts, holders: a.holders }
+    }
 
-        // Halo sets: v is a halo of shard s iff owner[v] != s and v is
-        // adjacent to a node owned by s. The bi-directed CSR lists every
-        // incident edge from both endpoints, so one pass over all
-        // adjacency covers both directions.
-        let mut halos: Vec<std::collections::BTreeSet<u32>> =
-            (0..shards).map(|_| Default::default()).collect();
-        for v in 0..n as u32 {
-            let ov = owner[v as usize];
-            for adj in graph.neighbors(NodeId(v)) {
-                let ou = owner[adj.target().index()];
-                if ou != ov {
-                    halos[ou as usize].insert(v);
-                }
-            }
-        }
-
-        // Replica holders: owner first, then halo shards in ascending
-        // shard order. Only replicated nodes get an entry.
-        let mut holders: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (s, halo) in halos.iter().enumerate() {
-            for &v in halo {
-                holders.entry(v).or_insert_with(|| vec![owner[v as usize]]).push(s as u32);
-            }
-        }
-
-        let mut parts = Vec::with_capacity(shards);
-        for (s, halo) in halos.iter().enumerate() {
-            let owned: Vec<u32> =
-                (0..n as u32).filter(|&v| owner[v as usize] == s as u32).collect();
-            let num_owned = owned.len() as u32;
-            let mut locals = owned;
-            locals.extend(halo.iter().copied());
-            let local_index: HashMap<u32, u32> =
-                locals.iter().enumerate().map(|(l, &v)| (v, l as u32)).collect();
-
-            // Local sub-graph: every node in local order, every global
-            // directed edge incident to an owned node. A non-owned
-            // endpoint of such an edge is by definition a halo, so both
-            // endpoints are always present. Halo↔halo edges are omitted —
-            // halos are never expanded, so their adjacency is never read.
-            let mut b = GraphBuilder::with_capacity(locals.len(), locals.len() * 4);
-            let ids: Vec<NodeId> = locals
-                .iter()
-                .map(|&v| b.add_node(graph.node_key(NodeId(v)), graph.node_text(NodeId(v))))
-                .collect();
-            for (l, &v) in locals.iter().enumerate().take(num_owned as usize) {
-                for adj in graph.neighbors(NodeId(v)) {
-                    let t = local_index[&adj.target().0];
-                    let label = graph.label_name(adj.label());
-                    if adj.is_outgoing() {
-                        b.add_edge(ids[l], ids[t as usize], label);
-                    } else if owner[adj.target().index()] != s as u32 {
-                        // Incoming edge from a halo source; owned→owned
-                        // edges are already covered by the source's
-                        // outgoing pass (the builder would dedup them
-                        // anyway, but skipping keeps the pass linear).
-                        b.add_edge(ids[t as usize], ids[l], label);
-                    }
-                }
-            }
-            let mut local_graph = b.build();
-            // Global weights, not re-normalized over the shard-local max.
-            let raw = locals.iter().map(|&v| graph.raw_weight(NodeId(v))).collect();
-            let norm = locals.iter().map(|&v| graph.weight(NodeId(v))).collect();
-            local_graph.override_weights(raw, norm);
-
-            let boundary: Vec<u32> = locals
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| holders.contains_key(v))
-                .map(|(l, _)| l as u32)
-                .collect();
-            parts.push(ShardPart { graph: local_graph, locals, local_index, num_owned, boundary });
-        }
-        ShardPlan { shards, seed, owner, parts, holders }
+    /// Materialize only shard `index`'s part of the partition — the same
+    /// [`ShardPart`] that [`ShardPlan::build`] would put at
+    /// `parts[index]`, without building the other `N − 1` sub-graphs. A
+    /// remote shard worker calls this at startup: every worker derives
+    /// its partition independently from the shared `(shards, seed)`
+    /// contract, so the coordinator never ships sub-graphs over the
+    /// wire.
+    ///
+    /// # Panics
+    /// Panics when `index >= shards`.
+    pub fn build_part(graph: &KnowledgeGraph, shards: usize, seed: u64, index: usize) -> ShardPart {
+        assert!(index < shards, "shard index {index} out of range for {shards} shards");
+        assign(graph, shards, seed).materialize(graph, index)
     }
 }
 
@@ -878,6 +916,33 @@ mod tests {
             let replicated: HashSet<u32> =
                 part.locals.iter().copied().filter(|v| plan.holders.contains_key(v)).collect();
             assert_eq!(from_boundary, replicated);
+        }
+    }
+
+    #[test]
+    fn build_part_matches_the_full_plan() {
+        let g = fixture();
+        for shards in [1, 2, 3, 4, 8] {
+            let plan = ShardPlan::build(&g, shards, DEFAULT_PARTITION_SEED);
+            for s in 0..shards {
+                let part = ShardPlan::build_part(&g, shards, DEFAULT_PARTITION_SEED, s);
+                let full = &plan.parts[s];
+                assert_eq!(part.locals, full.locals, "{shards} shards, part {s}");
+                assert_eq!(part.num_owned, full.num_owned);
+                assert_eq!(part.boundary, full.boundary);
+                assert_eq!(part.local_index, full.local_index);
+                assert_eq!(
+                    part.graph.num_directed_edges(),
+                    full.graph.num_directed_edges(),
+                    "{shards} shards, part {s}: sub-graph differs"
+                );
+                for (l, &v) in part.locals.iter().enumerate() {
+                    assert_eq!(
+                        part.graph.weight(NodeId(l as u32)).to_bits(),
+                        g.weight(NodeId(v)).to_bits()
+                    );
+                }
+            }
         }
     }
 

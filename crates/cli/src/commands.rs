@@ -67,6 +67,32 @@ commands:
                                            memory-maps a compiled .wsnap
                                            snapshot and is ready without
                                            rebuilding the index)
+           [--shard-workers N | --shard-addr HOST:PORT,…]
+           [--degraded-answers true] [--rpc-timeout-ms MS]
+           [--rpc-retries N] [--heartbeat-ms MS]
+                                           remote shard serving:
+                                           --shard-workers N forks and
+                                           supervises N shard-worker
+                                           processes (respawned if they
+                                           die); --shard-addr attaches to
+                                           externally managed workers;
+                                           a query with an unreachable
+                                           shard is refused with
+                                           `shard_unavailable` unless
+                                           --degraded-answers true, which
+                                           serves best-effort answers
+                                           marked `degraded`
+  shard-worker --graph FILE|--mmap SNAP --shards N --shard-index I
+           [--port P] [--watch-stdin true]
+                                           serve one shard of the
+                                           deterministic N-way partition
+                                           to a remote coordinator;
+                                           prints `READY <addr> …` once
+                                           listening (--port 0 picks an
+                                           ephemeral port); with
+                                           --watch-stdin true the worker
+                                           exits at stdin EOF so a dead
+                                           supervisor never leaks it
   help                                    this text
 
 graph files by extension: .tsv (line format), .bin (compact binary),

@@ -9,6 +9,11 @@
 //! wikisearch convert  --in kb.tsv --out kb.bin
 //! wikisearch serve    --graph kb.tsv [--port P] [--backend …]
 //!                     [--workers W] [--max-requests N]
+//!                     [--shard-workers N | --shard-addr a,b,…]
+//!                     [--degraded-answers true] [--rpc-timeout-ms MS]
+//!                     [--rpc-retries N] [--heartbeat-ms MS]
+//! wikisearch shard-worker --graph kb.tsv --shards N --shard-index I
+//!                     [--port P] [--watch-stdin true]
 //! wikisearch help
 //! ```
 //!
@@ -20,6 +25,8 @@
 pub mod args;
 pub mod commands;
 pub mod serve;
+pub mod supervisor;
+pub mod worker;
 
 use args::parse;
 
@@ -41,6 +48,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
         "convert" => commands::convert(&parsed, out),
         "build-snapshot" => commands::build_snapshot(&parsed, out),
         "serve" => serve::serve(&parsed, out),
+        "shard-worker" => worker::shard_worker(&parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", commands::HELP);
             Ok(())

@@ -100,6 +100,24 @@
 //! open collection window immediately, so shutdown never waits out a
 //! window.
 //!
+//! ## Remote shard workers
+//!
+//! `--shard-workers N` forks `N` supervised `wikisearch shard-worker`
+//! processes over the same dataset and answers every query through the
+//! fault-tolerant remote coordinator (`central::remote`):
+//! per-RPC deadlines from the query budget, bounded retry with
+//! exponential backoff, heartbeat probes driving a per-shard circuit
+//! breaker, and automatic respawn of dead workers. `--shard-addr
+//! a,b,…` instead attaches to externally managed workers (no
+//! supervision). When a shard stays unreachable past its retry budget a
+//! query is refused with `{"error":"shard_unavailable"}` — unless
+//! `--degraded-answers true`, in which case the reachable shards answer
+//! best-effort and the response is marked `"degraded": true` (degraded
+//! answers never populate the cache). `--rpc-timeout-ms`,
+//! `--rpc-retries` and `--heartbeat-ms` tune the supervision knobs.
+//! `STATS` gains a `remote` object and `METRICS` gains `ws_remote_*`
+//! series while remote serving is on.
+//!
 //! ## Async connection multiplexing
 //!
 //! `--async-io true` (default off) swaps the connection-per-worker model
@@ -110,8 +128,10 @@
 //! protocol, counters, shedding and drain semantics are unchanged.
 
 use crate::args::ParsedArgs;
-use central::metrics::{prometheus_counter, prometheus_gauge, prometheus_histogram};
-use central::{QueryBudget, QueryTrace, SearchError, TraceLevel};
+use central::metrics::{
+    prometheus_counter, prometheus_gauge, prometheus_histogram, prometheus_labeled_gauge,
+};
+use central::{QueryBudget, QueryTrace, RemoteOptions, SearchError, StaticAddrs, TraceLevel};
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -149,6 +169,9 @@ struct ServeCounters {
     oversized: AtomicU64,
     /// Queries at or over the `--slow-query-ms` threshold (logged).
     slow_queries: AtomicU64,
+    /// Queries refused with `shard_unavailable` (remote serving, a shard
+    /// down past its retry budget, degraded answers not allowed).
+    shard_unavailable: AtomicU64,
 }
 
 /// The armed slow-query log: a threshold and an append-mode file handle.
@@ -207,6 +230,9 @@ struct Shared<'a> {
     /// `Some` when `--slow-query-ms` armed the slow-query log; queries
     /// then run traced so the log line can carry the execution trace.
     slow: Option<SlowLog>,
+    /// `Some` when `--shard-workers` forked a supervised worker fleet;
+    /// surfaces live PIDs and the respawn count on `STATS`.
+    supervisor: Option<&'a crate::supervisor::Supervisor>,
 }
 
 /// Run the server until `max_requests` queries have been answered (or
@@ -231,6 +257,12 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "batch-window-us",
         "batch-max",
         "async-io",
+        "shard-workers",
+        "shard-addr",
+        "degraded-answers",
+        "rpc-timeout-ms",
+        "rpc-retries",
+        "heartbeat-ms",
     ])?;
     let port: u16 = args.get_or("port", 7878)?;
     let threads: usize = args.get_or("threads", 4)?;
@@ -245,6 +277,12 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let batch_window_us: u64 = args.get_or("batch-window-us", 0)?;
     let batch_max: usize = args.get_or("batch-max", 16)?;
     let async_io: bool = args.get_or("async-io", false)?;
+    let shard_workers: usize = args.get_or("shard-workers", 0)?;
+    let shard_addr = args.optional("shard-addr");
+    let degraded_answers: bool = args.get_or("degraded-answers", false)?;
+    let rpc_timeout_ms: u64 = args.get_or("rpc-timeout-ms", 5000)?;
+    let rpc_retries: u32 = args.get_or("rpc-retries", 3)?;
+    let heartbeat_ms: u64 = args.get_or("heartbeat-ms", 1000)?;
     if workers == 0 {
         return Err("--workers must be >= 1".into());
     }
@@ -259,6 +297,33 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     }
     if slow_query_ms == 0 && args.optional("slow-query-log").is_some() {
         return Err("--slow-query-log requires --slow-query-ms N (N >= 1)".into());
+    }
+    let remote = shard_workers > 0 || shard_addr.is_some();
+    if shard_workers > 0 && shard_addr.is_some() {
+        return Err("--shard-workers and --shard-addr are mutually exclusive".into());
+    }
+    if remote && shards > 1 {
+        return Err(
+            "remote shard serving replaces --shards; drop --shards or the remote flags".into()
+        );
+    }
+    if remote && batch_window_us > 0 {
+        return Err("--batch-window-us is not supported with remote shard serving".into());
+    }
+    if !remote {
+        for flag in ["degraded-answers", "rpc-timeout-ms", "rpc-retries", "heartbeat-ms"] {
+            if args.optional(flag).is_some() {
+                return Err(format!(
+                    "--{flag} requires remote shard serving (--shard-workers or --shard-addr)"
+                ));
+            }
+        }
+    }
+    if remote && rpc_timeout_ms == 0 {
+        return Err("--rpc-timeout-ms must be >= 1".into());
+    }
+    if remote && rpc_retries == 0 {
+        return Err("--rpc-retries must be >= 1".into());
     }
     let slow = if slow_query_ms > 0 {
         let path = args.optional("slow-query-log").unwrap_or("slow_queries.jsonl");
@@ -280,14 +345,62 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     ws.set_params(params);
     ws.set_cache_capacity(cache_capacity);
     ws.set_batching(Duration::from_micros(batch_window_us), batch_max);
+    let remote_opts = RemoteOptions {
+        rpc_timeout: Duration::from_millis(rpc_timeout_ms),
+        attempts: rpc_retries,
+        heartbeat: if heartbeat_ms > 0 {
+            Some(Duration::from_millis(heartbeat_ms))
+        } else {
+            None
+        },
+        degraded_answers,
+        ..RemoteOptions::default()
+    };
+    let supervisor = if shard_workers > 0 {
+        let source = if let Some(path) = args.optional("mmap") {
+            ("--mmap".to_string(), path.to_string())
+        } else {
+            ("--graph".to_string(), args.required("graph")?.to_string())
+        };
+        let sup = crate::supervisor::Supervisor::launch(source, shard_workers)?;
+        ws.set_remote_shards(shard_workers, sup.addrs(), remote_opts);
+        Some(sup)
+    } else if let Some(list) = shard_addr {
+        let addrs: Vec<SocketAddr> = list
+            .split(',')
+            .map(|a| a.trim().parse::<SocketAddr>().map_err(|e| format!("--shard-addr {a:?}: {e}")))
+            .collect::<Result<_, _>>()?;
+        if addrs.is_empty() {
+            return Err("--shard-addr needs at least one address".into());
+        }
+        let n = addrs.len();
+        ws.set_remote_shards(n, Arc::new(StaticAddrs(addrs)), remote_opts);
+        None
+    } else {
+        None
+    };
     let ws = Arc::new(ws);
 
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
-    let sharding = match ws.num_shards() {
-        Some(n) => format!(", {n} shards"),
-        None => String::new(),
+    let sharding = if let Some(n) = ws.num_remote_shards() {
+        let how = if supervisor.is_some() {
+            "supervised"
+        } else {
+            "attached"
+        };
+        let policy = if degraded_answers {
+            ", degraded-answers"
+        } else {
+            ""
+        };
+        format!(", {n} remote shards ({how}){policy}")
+    } else {
+        match ws.num_shards() {
+            Some(n) => format!(", {n} shards"),
+            None => String::new(),
+        }
     };
     let backing = if ws.is_memory_mapped() {
         ", mmap-backed"
@@ -319,6 +432,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         draining: &draining,
         addr,
         slow,
+        supervisor: supervisor.as_ref(),
     };
     let accept_error = if async_io {
         serve_async(&listener, &shared, workers, max_queue)
@@ -706,7 +820,7 @@ fn serve_one_request(
             return Served::Close;
         }
     } else if request.eq_ignore_ascii_case("STATS") {
-        let doc = stats_snapshot(shared.ws, shared.counters);
+        let doc = stats_snapshot(shared.ws, shared.counters, shared.supervisor);
         if writeln!(writer, "{doc}").is_err() {
             return Served::Close;
         }
@@ -788,10 +902,15 @@ fn query_keywords(request: &str) -> Option<&str> {
 }
 
 /// One `STATS` response line: serving counters, the engine's metrics
-/// counters, latency/expansion percentiles, plus live pool, cache and
-/// shard snapshots. `cache` is JSON `null` when `--cache-capacity 0`;
-/// `shards` is JSON `null` when serving unsharded (`--shards 1`).
-fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Value {
+/// counters, latency/expansion percentiles, plus live pool, cache,
+/// shard and remote snapshots. `cache` is JSON `null` when
+/// `--cache-capacity 0`; `shards` is JSON `null` when serving unsharded
+/// (`--shards 1`); `remote` is JSON `null` without remote workers.
+fn stats_snapshot(
+    ws: &WikiSearch,
+    counters: &ServeCounters,
+    supervisor: Option<&crate::supervisor::Supervisor>,
+) -> serde_json::Value {
     let m = ws.metrics_snapshot();
     let lat = &m.latency_us;
     let exp = &m.expansions;
@@ -804,12 +923,14 @@ fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Valu
         "panics": counters.panics.load(Ordering::SeqCst),
         "oversized": counters.oversized.load(Ordering::SeqCst),
         "slow_queries": counters.slow_queries.load(Ordering::SeqCst),
+        "shard_unavailable": counters.shard_unavailable.load(Ordering::SeqCst),
         "engine": {
             "queries": m.queries,
             "cache_hits": m.cache_hits,
             "cache_misses": m.cache_misses,
             "deadline_exceeded": m.deadline_exceeded,
             "budget_exhausted": m.budget_exhausted,
+            "shard_unavailable": m.shard_unavailable,
         },
         "latency": {
             "count": lat.count,
@@ -829,7 +950,57 @@ fn stats_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Valu
         "cache": ws.cache_stats(),
         "shards": ws.shard_stats(),
         "batch": ws.batch_stats().map(|b| batch_block(&b)),
+        "remote": ws.remote_stats().map(|r| remote_block(&r, supervisor)),
     })
+}
+
+/// The `remote` object of the `STATS` line: the remote coordinator's
+/// counters, per-shard breaker states, RPC latency percentiles, and —
+/// under `--shard-workers` — the supervised fleet's live PIDs and
+/// respawn count (built by hand — the vendored `json!` macro caps
+/// nesting).
+fn remote_block(
+    r: &central::RemoteStats,
+    supervisor: Option<&crate::supervisor::Supervisor>,
+) -> serde_json::Value {
+    let mut doc = serde_json::json!({
+        "shards": r.shards,
+        "rpcs": r.rpcs,
+        "dials": r.dials,
+        "retries": r.retries,
+        "probes": r.probes,
+        "probe_failures": r.probe_failures,
+        "breaker_opens": r.breaker_opens,
+        "degraded_queries": r.degraded_queries,
+        "rounds": r.rounds,
+        "notifications": r.notifications,
+        "notifications_suppressed": r.notifications_suppressed,
+        "breaker": r.breaker,
+    });
+    if let serde_json::Value::Object(entries) = &mut doc {
+        let lat = &r.rpc_latency_us;
+        entries.push((
+            "rpc_latency_us".to_owned(),
+            serde_json::json!({
+                "count": lat.count,
+                "mean": lat.mean(),
+                "p50": lat.percentile(0.50),
+                "p95": lat.percentile(0.95),
+                "p99": lat.percentile(0.99),
+            }),
+        ));
+        entries.push((
+            "workers".to_owned(),
+            match supervisor {
+                Some(sup) => serde_json::json!({
+                    "pids": sup.pids(),
+                    "respawns": sup.respawns(),
+                }),
+                None => serde_json::Value::Null,
+            },
+        ));
+    }
+    doc
 }
 
 /// The `batch` object of the `STATS` line: the batcher's counters plus
@@ -891,6 +1062,12 @@ fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters) -> String {
         "ws_budget_exhausted_total",
         "Queries aborted by their expansion cap.",
         m.budget_exhausted,
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_shard_unavailable_total",
+        "Queries refused because a remote shard was unreachable.",
+        m.shard_unavailable,
     );
     prometheus_histogram(
         &mut out,
@@ -1036,6 +1213,82 @@ fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters) -> String {
             1e-6,
         );
     }
+    if let Some(remote) = ws.remote_stats() {
+        prometheus_gauge(
+            &mut out,
+            "ws_remote_shards",
+            "Remote shard workers behind the coordinator.",
+            remote.shards as f64,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_remote_rpcs_total",
+            "RPCs issued to remote shard workers (queries, handshakes, probes).",
+            remote.rpcs,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_remote_dials_total",
+            "Fresh worker connections dialed (including respawn re-dials).",
+            remote.dials,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_remote_retries_total",
+            "Whole-query retries after a shard RPC failure.",
+            remote.retries,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_remote_probes_total",
+            "Out-of-band health probes sent to workers.",
+            remote.probes,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_remote_probe_failures_total",
+            "Health probes that confirmed a worker failure.",
+            remote.probe_failures,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_remote_breaker_opens_total",
+            "Per-shard circuit-breaker open transitions.",
+            remote.breaker_opens,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_remote_degraded_queries_total",
+            "Queries answered best-effort with at least one shard skipped.",
+            remote.degraded_queries,
+        );
+        prometheus_counter(
+            &mut out,
+            "ws_remote_rounds_total",
+            "Cross-shard frontier-exchange rounds over the wire.",
+            remote.rounds,
+        );
+        prometheus_histogram(
+            &mut out,
+            "ws_remote_rpc_seconds",
+            "Per-RPC round-trip latency to remote shard workers.",
+            &remote.rpc_latency_us,
+            1e-6,
+        );
+        if let Some(states) = ws.remote_breaker_states() {
+            let samples: Vec<(String, f64)> = states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (format!("shard=\"{i}\""), s.gauge()))
+                .collect();
+            prometheus_labeled_gauge(
+                &mut out,
+                "ws_remote_breaker_state",
+                "Per-shard breaker state (0 closed, 1 half-open, 2 open).",
+                &samples,
+            );
+        }
+    }
     prometheus_counter(
         &mut out,
         "ws_server_served_total",
@@ -1065,6 +1318,12 @@ fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters) -> String {
         "ws_server_slow_queries_total",
         "Queries at or over the slow-query threshold.",
         counters.slow_queries.load(Ordering::SeqCst),
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_server_shard_unavailable_total",
+        "Queries refused at the server because a remote shard was down.",
+        counters.shard_unavailable.load(Ordering::SeqCst),
     );
     out.push_str("# EOF\n");
     out
@@ -1133,6 +1392,9 @@ fn answer_query(
                 SearchError::BudgetExhausted { .. } => {
                     counters.budget_exhausted.fetch_add(1, Ordering::SeqCst)
                 }
+                SearchError::ShardUnavailable { .. } => {
+                    counters.shard_unavailable.fetch_add(1, Ordering::SeqCst)
+                }
             };
             let doc = serde_json::json!({
                 "error": e.kind(),
@@ -1170,6 +1432,7 @@ fn answer_document(
         "answers": answers,
         "unmatched": result.query.unmatched,
         "ms": result.profile.total().as_secs_f64() * 1e3,
+        "degraded": result.degraded,
     })
 }
 
@@ -1216,6 +1479,9 @@ fn explain_query(
                 }
                 SearchError::BudgetExhausted { .. } => {
                     counters.budget_exhausted.fetch_add(1, Ordering::SeqCst)
+                }
+                SearchError::ShardUnavailable { .. } => {
+                    counters.shard_unavailable.fetch_add(1, Ordering::SeqCst)
                 }
             };
             serde_json::json!({

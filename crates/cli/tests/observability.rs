@@ -94,7 +94,9 @@ fn stats_document_has_exactly_the_documented_key_set() {
             "oversized",
             "panics",
             "pool",
+            "remote",
             "served",
+            "shard_unavailable",
             "shards",
             "shed",
             "slow_queries",
@@ -103,9 +105,11 @@ fn stats_document_has_exactly_the_documented_key_set() {
         "{response}"
     );
     // This server runs unsharded: the key is present but null, like a
-    // disabled cache. Batching is off by default, so its block is null too.
+    // disabled cache. Batching is off by default, so its block is null
+    // too, and so is the remote-worker block.
     assert!(doc["shards"].is_null(), "{response}");
     assert!(doc["batch"].is_null(), "{response}");
+    assert!(doc["remote"].is_null(), "{response}");
 
     // The nested metrics blocks carry their full documented key sets too.
     let block_keys = |v: &serde_json::Value| -> Vec<String> {
@@ -115,7 +119,14 @@ fn stats_document_has_exactly_the_documented_key_set() {
     };
     assert_eq!(
         block_keys(&doc["engine"]),
-        vec!["budget_exhausted", "cache_hits", "cache_misses", "deadline_exceeded", "queries"]
+        vec![
+            "budget_exhausted",
+            "cache_hits",
+            "cache_misses",
+            "deadline_exceeded",
+            "queries",
+            "shard_unavailable"
+        ]
     );
     assert_eq!(
         block_keys(&doc["latency"]),
@@ -190,14 +201,17 @@ fn metrics_verb_emits_valid_prometheus_exposition() {
         "ws_pool_queries_total",
         "ws_pool_idle_sessions",
         "ws_cache_entries",
+        "ws_shard_unavailable_total",
         "ws_server_served_total",
         "ws_server_slow_queries_total",
+        "ws_server_shard_unavailable_total",
     ] {
         assert!(text.contains(series), "missing series {series}:\n{text}");
     }
     // Batching is off on this server, so its series are absent entirely
-    // (mirrors the null STATS block).
+    // (mirrors the null STATS block) — likewise the remote-worker series.
     assert!(!text.contains("ws_batch_"), "unexpected batch series:\n{text}");
+    assert!(!text.contains("ws_remote_"), "unexpected remote series:\n{text}");
     // The connection still serves requests after the multi-line response.
     let response = request_line(&mut stream, &mut reader, "PING");
     assert_eq!(response.trim(), "PONG");
@@ -408,6 +422,147 @@ fn batched_server_exposes_batch_counters() {
         "ws_batch_fill_seconds_bucket",
         "ws_batch_fill_seconds_sum",
         "ws_batch_fill_seconds_count",
+    ] {
+        assert!(text.contains(series), "missing series {series}:\n{text}");
+    }
+    writeln!(stream, "QUIT").unwrap();
+}
+
+#[test]
+fn remote_server_exposes_per_shard_breaker_and_rpc_counters() {
+    // A dedicated remote server attached (--shard-addr) to two
+    // in-process shard workers over the same dataset: the STATS `remote`
+    // block carries exactly the documented keys and METRICS gains the
+    // ws_remote_* series — including the labeled per-shard breaker
+    // gauge — still under the same exposition grammar.
+    let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = probe.local_addr().unwrap().port();
+    drop(probe);
+    let path = std::env::temp_dir()
+        .join(format!("ws-observability-remote-{}.tsv", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut b = kgraph::GraphBuilder::new();
+    let x = b.add_node("x", "xml");
+    let q = b.add_node("q", "query language");
+    let s = b.add_node("s", "sql");
+    let r = b.add_node("r", "rdf");
+    b.add_edge(x, q, "rel");
+    b.add_edge(s, q, "rel");
+    b.add_edge(r, q, "rel");
+    let graph = b.build();
+    std::fs::write(&path, kgraph::io::to_tsv(&graph)).unwrap();
+
+    // Two in-process workers over the same dataset (the worker threads
+    // are leaked, like the server thread; they die with the process).
+    let w0 =
+        central::ShardWorker::spawn_local(&graph, 2, 0, central::shard::DEFAULT_PARTITION_SEED);
+    let w1 =
+        central::ShardWorker::spawn_local(&graph, 2, 1, central::shard::DEFAULT_PARTITION_SEED);
+
+    std::thread::spawn(move || {
+        let argv: Vec<String> = format!(
+            "serve --graph {path} --port {port} --backend seq --workers 2 \
+             --shard-addr {w0},{w1} --heartbeat-ms 0"
+        )
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+        let args = wikisearch_cli::args::parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let _ = wikisearch_cli::serve::serve(&args, &mut out);
+    });
+    let mut stream = {
+        let mut connected = None;
+        for _ in 0..150 {
+            if let Ok(s) = TcpStream::connect(("127.0.0.1", port)) {
+                connected = Some(s);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        connected.expect("remote observability server never came up")
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let answer = request_line(&mut stream, &mut reader, "QUERY xml sql rdf");
+    assert!(answer.contains("answers"), "{answer}");
+    // Remote answers over a healthy fleet are full-fidelity.
+    let doc: serde_json::Value = serde_json::from_str(&answer).unwrap();
+    assert_eq!(doc["degraded"], false, "{answer}");
+
+    let response = request_line(&mut stream, &mut reader, "STATS");
+    let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+    let remote = &doc["remote"];
+    let mut keys: Vec<&str> = remote.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    keys.sort_unstable();
+    assert_eq!(
+        keys,
+        vec![
+            "breaker",
+            "breaker_opens",
+            "degraded_queries",
+            "dials",
+            "notifications",
+            "notifications_suppressed",
+            "probe_failures",
+            "probes",
+            "retries",
+            "rounds",
+            "rpc_latency_us",
+            "rpcs",
+            "shards",
+            "workers",
+        ],
+        "{response}"
+    );
+    assert_eq!(remote["shards"], 2u64, "{response}");
+    assert!(remote["rpcs"].as_u64().unwrap() >= 2, "{response}");
+    assert_eq!(remote["degraded_queries"], 0u64, "{response}");
+    assert_eq!(remote["breaker"], serde_json::json!(["closed", "closed"]), "{response}");
+    // Attached (unsupervised) workers: no fleet block.
+    assert!(remote["workers"].is_null(), "{response}");
+    let mut ks: Vec<&str> = remote["rpc_latency_us"]
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    ks.sort_unstable();
+    assert_eq!(ks, vec!["count", "mean", "p50", "p95", "p99"], "{response}");
+    // Remote serving replaces the in-process shard set and session pool.
+    assert!(doc["shards"].is_null(), "{response}");
+    assert_eq!(doc["pool"]["queries_run"], 0u64, "{response}");
+
+    writeln!(stream, "METRICS").unwrap();
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end().to_string();
+        if line == "# EOF" {
+            break;
+        }
+        lines.push(line);
+    }
+    assert_prometheus_grammar(&lines);
+    let text = lines.join("\n");
+    for series in [
+        "ws_remote_shards",
+        "ws_remote_rpcs_total",
+        "ws_remote_dials_total",
+        "ws_remote_retries_total",
+        "ws_remote_probes_total",
+        "ws_remote_probe_failures_total",
+        "ws_remote_breaker_opens_total",
+        "ws_remote_degraded_queries_total",
+        "ws_remote_rounds_total",
+        "ws_remote_rpc_seconds_bucket",
+        "ws_remote_rpc_seconds_sum",
+        "ws_remote_rpc_seconds_count",
+        "ws_remote_breaker_state{shard=\"0\"}",
+        "ws_remote_breaker_state{shard=\"1\"}",
     ] {
         assert!(text.contains(series), "missing series {series}:\n{text}");
     }

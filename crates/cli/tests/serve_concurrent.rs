@@ -44,6 +44,7 @@ fn expected_response(ws: &WikiSearch, q: &str) -> String {
         "query": q,
         "answers": answers,
         "unmatched": result.query.unmatched,
+        "degraded": result.degraded,
     }))
 }
 

@@ -34,11 +34,13 @@ use central::engine::{
     DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SearchOutcome, SearchStats,
     SeqEngine,
 };
+use central::remote::BreakerState;
 use central::{
     BatchConfig, BatchExecutor, BatchRequest, BatchStats, Batcher, CacheOutcome, CacheStats,
     CentralGraph, LaneOutcome, MetricsRegistry, MetricsSnapshot, PhaseProfile, QueryBudget,
-    QueryKey, QueryTrace, SearchError, SearchParams, SessionPool, ShardBackend, ShardedSearch,
-    ShardedStats, TraceLevel, MAX_BATCH_LANES,
+    QueryKey, QueryTrace, RemoteOptions, RemoteShardedSearch, RemoteStats, SearchError,
+    SearchParams, SessionPool, ShardAddrs, ShardBackend, ShardedSearch, ShardedStats, TraceLevel,
+    MAX_BATCH_LANES,
 };
 use kgraph::KnowledgeGraph;
 use std::sync::Arc;
@@ -116,6 +118,11 @@ pub struct WikiSearchResult {
     /// Rich per-query execution trace, present only when the request
     /// asked for tracing (`params.trace`, or [`WikiSearch::explain`]).
     pub trace: Option<Box<QueryTrace>>,
+    /// `true` iff this answer was computed with at least one remote shard
+    /// unavailable ([`WikiSearch::set_remote_shards`] with
+    /// [`RemoteOptions::degraded_answers`]): it is best-effort, never
+    /// silently wrong — always `false` outside remote serving.
+    pub degraded: bool,
 }
 
 /// The WikiSearch engine: graph + index + backend + defaults.
@@ -159,6 +166,15 @@ pub struct WikiSearch {
     /// one multi-query sweep. Answers are byte-identical either way; only
     /// the trace's `batch_id`/`co_batched` annotations reveal the fusion.
     batching: Option<BatchRuntime>,
+    /// When `Some`, searches are driven across a fleet of out-of-process
+    /// shard workers ([`central::remote`]) instead of any in-process
+    /// executor. Takes precedence over `sharded` and `batching` (the
+    /// serving layer rejects those combinations at configuration time).
+    remote: Option<RemoteShardedSearch>,
+    /// Rebuild recipe for `remote` — shard count, address source and
+    /// policy knobs — kept so [`WikiSearch::set_backend`] can rebuild the
+    /// coordinator with the new kernels against the same fleet.
+    remote_config: Option<(usize, Arc<dyn ShardAddrs>, RemoteOptions)>,
     metrics: MetricsRegistry,
 }
 
@@ -233,6 +249,8 @@ impl WikiSearch {
             sharded: None,
             cache: None,
             batching: None,
+            remote: None,
+            remote_config: None,
             metrics: MetricsRegistry::new(),
         }
     }
@@ -334,7 +352,8 @@ impl WikiSearch {
     /// `(query, params)` — the workspace's central property — so entries
     /// computed by one engine are valid answers for every other. On a
     /// sharded engine the shard set is rebuilt with the new backend's
-    /// kernels (same partition — the plan seed is fixed).
+    /// kernels (same partition — the plan seed is fixed); on a remote
+    /// engine the coordinator is rebuilt against the same worker fleet.
     pub fn set_backend(&mut self, backend: Backend) {
         self.backend = make_backend(backend);
         self.backend_kind = backend;
@@ -342,7 +361,68 @@ impl WikiSearch {
             let shards = sharded.num_shards();
             self.sharded = Some(ShardedSearch::new(&self.graph, shard_backend(backend), shards));
         }
+        if let Some((shards, addrs, opts)) = &self.remote_config {
+            self.remote = Some(RemoteShardedSearch::new(
+                &self.graph,
+                shard_backend(backend),
+                *shards,
+                Arc::clone(addrs),
+                *opts,
+            ));
+        }
         self.rebuild_batch_executor();
+    }
+
+    /// Drive every search across a fleet of out-of-process shard workers
+    /// ([`central::remote`]): each worker owns one partition of the same
+    /// deterministic edge-cut plan the in-process sharded path uses, and
+    /// answers stay byte-identical to [`WikiSearch::set_shards`] while
+    /// every worker is healthy (the remote-equivalence suite pins this).
+    /// `addrs` names the workers — a [`central::StaticAddrs`] list for an
+    /// externally managed fleet, or a supervisor's live address table —
+    /// and `opts` sets the retry/backoff, circuit-breaker, heartbeat and
+    /// degraded-answer policy. Incompatible with micro-batching and
+    /// in-process sharding; the serving layer rejects those flag
+    /// combinations, and this facade gives `remote` precedence.
+    pub fn set_remote_shards(
+        &mut self,
+        shards: usize,
+        addrs: Arc<dyn ShardAddrs>,
+        opts: RemoteOptions,
+    ) {
+        self.remote = Some(RemoteShardedSearch::new(
+            &self.graph,
+            shard_backend(self.backend_kind),
+            shards,
+            Arc::clone(&addrs),
+            opts,
+        ));
+        self.remote_config = Some((shards, addrs, opts));
+    }
+
+    /// Return to in-process execution: drop the remote coordinator (and
+    /// its heartbeat thread) and forget the rebuild recipe.
+    pub fn clear_remote_shards(&mut self) {
+        self.remote = None;
+        self.remote_config = None;
+    }
+
+    /// Number of remote shard workers searches are driven across, `None`
+    /// outside remote serving.
+    pub fn num_remote_shards(&self) -> Option<usize> {
+        self.remote.as_ref().map(RemoteShardedSearch::num_shards)
+    }
+
+    /// Counters of the remote coordinator (RPCs, retries, breaker flips,
+    /// degraded answers, RPC latency), `None` outside remote serving.
+    pub fn remote_stats(&self) -> Option<RemoteStats> {
+        self.remote.as_ref().map(RemoteShardedSearch::stats)
+    }
+
+    /// Live circuit-breaker state per remote shard, `None` outside remote
+    /// serving.
+    pub fn remote_breaker_states(&self) -> Option<Vec<BreakerState>> {
+        self.remote.as_ref().map(RemoteShardedSearch::breaker_states)
     }
 
     /// Number of in-process shards searches scatter over, `None` on the
@@ -521,6 +601,7 @@ impl WikiSearch {
                             kwf,
                             stats: entry.stats.clone(),
                             trace,
+                            degraded: false,
                         });
                     }
                 }
@@ -529,7 +610,25 @@ impl WikiSearch {
             }
             _ => None,
         };
-        let result = if let (Some(batching), true) = (&self.batching, use_cache) {
+        let mut degraded = false;
+        let result = if let Some(remote) = &self.remote {
+            // Remote fleet path: the coordinator scatter-gathers over
+            // out-of-process workers and reports whether any shard had to
+            // be skipped; a degraded answer is surfaced with its marker
+            // and never enters the result cache below.
+            remote.try_search(&self.graph, &query, params, budget).map(|r| {
+                degraded = r.degraded;
+                let mut outcome = r.outcome;
+                if let Some(trace) = outcome.trace.as_deref_mut() {
+                    trace.cache = Some(if key.is_some() {
+                        CacheOutcome::Miss
+                    } else {
+                        CacheOutcome::Bypass
+                    });
+                }
+                outcome
+            })
+        } else if let (Some(batching), true) = (&self.batching, use_cache) {
             // Micro-batched path: hand the query to the collector; the
             // submitter that ends up leading runs the whole batch as one
             // fused sweep (or lane-by-lane through the shard coordinator)
@@ -599,13 +698,16 @@ impl WikiSearch {
                 match e.kind() {
                     "deadline_exceeded" => self.metrics.deadline_exceeded.inc(),
                     "budget_exhausted" => self.metrics.budget_exhausted.inc(),
+                    "shard_unavailable" => self.metrics.shard_unavailable.inc(),
                     _ => {}
                 }
                 return Err(e);
             }
         };
         let SearchOutcome { answers, profile, stats, trace } = outcome;
-        if let (Some(cache), Some(key)) = (&self.cache, key) {
+        // A degraded answer is best-effort: caching it would let a later
+        // healthy-fleet query serve it as authoritative.
+        if let (Some(cache), Some(key), false) = (&self.cache, key, degraded) {
             let entry = CachedSearch {
                 group_terms: query.groups.iter().map(|g| g.term.clone()).collect(),
                 answers: answers.clone(),
@@ -622,7 +724,7 @@ impl WikiSearch {
         let frontier_sum: u64 = stats.trace.iter().map(|t| t.frontier as u64).sum();
         self.metrics.expansions.record(frontier_sum * q);
         self.metrics.latency_us.record(elapsed_us(started));
-        Ok(WikiSearchResult { query, answers, profile, kwf, stats, trace })
+        Ok(WikiSearchResult { query, answers, profile, kwf, stats, trace, degraded })
     }
 
     /// Backwards-compatible alias of [`WikiSearch::search_with_params`].
@@ -1294,5 +1396,105 @@ mod tests {
         assert_eq!(ws.num_shards(), Some(3), "shard count survives the swap");
         let par = ws.search("xml sql rdf");
         assert_eq!(digest(&ws, &seq), digest(&ws, &par));
+    }
+
+    use central::shard::DEFAULT_PARTITION_SEED;
+    use central::{ShardWorker, StaticAddrs};
+
+    /// Snappy retry/backoff knobs and no heartbeat thread, so tests
+    /// exercising dead shards stay fast and deterministic.
+    fn test_remote_opts() -> RemoteOptions {
+        RemoteOptions {
+            attempts: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            connect_timeout: Duration::from_millis(200),
+            heartbeat: None,
+            ..RemoteOptions::default()
+        }
+    }
+
+    /// `small_engine` driven over an in-process-spawned remote worker
+    /// fleet of `shards` workers.
+    fn small_remote(backend: Backend, shards: usize) -> WikiSearch {
+        let mut ws = small_engine(backend);
+        let addrs: Vec<_> = (0..shards)
+            .map(|s| ShardWorker::spawn_local(ws.graph(), shards, s, DEFAULT_PARTITION_SEED))
+            .collect();
+        ws.set_remote_shards(shards, Arc::new(StaticAddrs(addrs)), test_remote_opts());
+        ws
+    }
+
+    /// An address nothing listens on (bound then released).
+    fn dead_addr() -> std::net::SocketAddr {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        addr
+    }
+
+    #[test]
+    fn remote_searches_are_byte_identical_to_monolithic() {
+        for backend in [Backend::Sequential, Backend::GpuStyle(2)] {
+            let mono = small_engine(backend);
+            for shards in [1, 2, 3] {
+                let ws = small_remote(backend, shards);
+                assert_eq!(ws.num_remote_shards(), Some(shards));
+                for raw in ["xml sql rdf", "xml sql", "xml warpdrive", ""] {
+                    let a = ws.search(raw);
+                    let b = mono.search(raw);
+                    assert!(!a.degraded, "healthy fleet must not degrade");
+                    assert_eq!(
+                        digest(&ws, &a),
+                        digest(&mono, &b),
+                        "{backend:?} × {shards} workers, query {raw:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remote_backend_swap_rebuilds_the_coordinator_on_the_same_fleet() {
+        let mut ws = small_remote(Backend::Sequential, 2);
+        let seq = ws.search("xml sql rdf");
+        ws.set_backend(Backend::GpuStyle(2));
+        assert_eq!(ws.num_remote_shards(), Some(2), "fleet survives the swap");
+        let gpu = ws.search("xml sql rdf");
+        assert_eq!(digest(&ws, &seq), digest(&ws, &gpu));
+    }
+
+    #[test]
+    fn unreachable_fleet_surfaces_shard_unavailable_and_counts_it() {
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_remote_shards(2, Arc::new(StaticAddrs(vec![dead_addr(), dead_addr()])), {
+            let mut o = test_remote_opts();
+            o.degraded_answers = false;
+            o
+        });
+        let err = ws.try_search("xml sql rdf", &QueryBudget::unlimited()).unwrap_err();
+        assert_eq!(err.kind(), "shard_unavailable");
+        assert_eq!(ws.metrics_snapshot().shard_unavailable, 1);
+    }
+
+    #[test]
+    fn degraded_answers_are_marked_and_never_cached() {
+        // Shard 0 lives, shard 1 is dead; degraded answers are allowed.
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        let live = ShardWorker::spawn_local(ws.graph(), 2, 0, DEFAULT_PARTITION_SEED);
+        ws.set_remote_shards(2, Arc::new(StaticAddrs(vec![live, dead_addr()])), {
+            let mut o = test_remote_opts();
+            o.degraded_answers = true;
+            o
+        });
+        let out = ws.try_search("xml sql rdf", &QueryBudget::unlimited()).unwrap();
+        assert!(out.degraded, "a missing shard must mark the answer");
+        let stats = ws.cache_stats().unwrap();
+        assert_eq!(stats.entries, 0, "degraded answers must never populate the cache");
+        assert_eq!(ws.remote_stats().unwrap().degraded_queries, 1);
+        // Healthy-fleet results stay unmarked and cache normally.
+        let healthy = small_remote(Backend::Sequential, 2);
+        assert!(!healthy.search("xml sql rdf").degraded);
     }
 }

@@ -1,0 +1,291 @@
+//! The remote-invariance property: answering through the fault-tolerant
+//! multi-process coordinator (`central::remote`) — every shard behind a
+//! real TCP connection to a worker speaking the length-prefixed frame
+//! protocol — is *byte-identical* to the monolithic engine: answers,
+//! score bits, statistics, and the per-level trace, for every backend
+//! and for fleet sizes {1, 2, 4}.
+//!
+//! This is the remote form of `shard_equivalence`: serialization, the
+//! per-round frontier exchange over the wire, and the retry/supervision
+//! machinery must all be invisible in the answer bytes. Error semantics
+//! travel too — a budget that trips remotely must surface the same
+//! structured error class the monolithic engine raises.
+
+use central::engine::{DynParEngine, GpuStyleEngine, KeywordSearchEngine, ParCpuEngine, SeqEngine};
+use central::shard::DEFAULT_PARTITION_SEED;
+use central::{
+    QueryBudget, RemoteOptions, RemoteShardedSearch, SearchError, SearchParams, ShardBackend,
+    ShardWorker, StaticAddrs,
+};
+use kgraph::{GraphBuilder, KnowledgeGraph};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use textindex::{InvertedIndex, ParsedQuery};
+
+/// Small word pool; several words per node text creates overlapping
+/// keyword groups and co-occurrence nodes.
+const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "lambda"];
+
+/// The fleet sizes every property runs under; 1 pins the degenerate
+/// single-worker fleet, 4 usually exceeds the per-shard node count.
+const FLEET_SIZES: &[usize] = &[1, 2, 4];
+
+/// Deterministic supervision knobs for in-process fleets: no background
+/// heartbeat thread (probes would race the assertions) and a minimal
+/// retry budget — a healthy loopback fleet never needs retries anyway.
+fn test_opts() -> RemoteOptions {
+    RemoteOptions {
+        attempts: 1,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(2),
+        connect_timeout: Duration::from_millis(500),
+        heartbeat: None,
+        ..RemoteOptions::default()
+    }
+}
+
+/// Spawn an in-process worker fleet over `graph` and return a
+/// coordinator attached to it.
+fn remote_fleet(
+    graph: &KnowledgeGraph,
+    backend: ShardBackend,
+    shards: usize,
+) -> RemoteShardedSearch {
+    let addrs: Vec<std::net::SocketAddr> = (0..shards)
+        .map(|i| ShardWorker::spawn_local(graph, shards, i, DEFAULT_PARTITION_SEED))
+        .collect();
+    RemoteShardedSearch::new(graph, backend, shards, Arc::new(StaticAddrs(addrs)), test_opts())
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    nodes: usize,
+    texts: Vec<Vec<usize>>,     // word indices per node
+    edges: Vec<(usize, usize)>, // node index pairs
+    activation: Vec<u8>,        // explicit per-node activation
+    query: Vec<usize>,          // word indices
+    top_k: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..20).prop_flat_map(|nodes| {
+        let texts =
+            proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 1..3), nodes);
+        let edges = proptest::collection::vec((0usize..nodes, 0usize..nodes), 1..40);
+        let activation = proptest::collection::vec(0u8..5, nodes);
+        let query = proptest::collection::vec(0usize..WORDS.len(), 2..4);
+        let top_k = 1usize..8;
+        (texts, edges, activation, query, top_k).prop_map(
+            move |(texts, edges, activation, query, top_k)| Case {
+                nodes,
+                texts,
+                edges,
+                activation,
+                query,
+                top_k,
+            },
+        )
+    })
+}
+
+fn build_graph(case: &Case) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    for (i, words) in case.texts.iter().enumerate() {
+        let text: Vec<&str> = words.iter().map(|&w| WORDS[w]).collect();
+        b.add_node(&format!("n{i}"), &text.join(" "));
+    }
+    for (idx, &(s, d)) in case.edges.iter().enumerate() {
+        if s != d {
+            let s = b.node(&format!("n{s}")).unwrap();
+            let d = b.node(&format!("n{d}")).unwrap();
+            b.add_edge(s, d, if idx % 3 == 0 { "p" } else { "q" });
+        }
+    }
+    let _ = case.nodes;
+    b.build()
+}
+
+/// The four remote backends paired with their monolithic references.
+/// Thread counts are modest: every proptest case spawns fresh fleets.
+fn backends() -> Vec<(ShardBackend, Box<dyn KeywordSearchEngine>)> {
+    vec![
+        (ShardBackend::Seq, Box::new(SeqEngine::new())),
+        (ShardBackend::ParCpu(2), Box::new(ParCpuEngine::new(2))),
+        (ShardBackend::GpuStyle(2), Box::new(GpuStyleEngine::new(2))),
+        (ShardBackend::DynPar(2), Box::new(DynParEngine::new(2))),
+    ]
+}
+
+/// Byte-level comparison of a remote outcome against its monolithic
+/// reference: answers (ids, paths, score *bits*) and the search
+/// statistics including the per-level trace.
+fn assert_identical(
+    remote: &central::SearchOutcome,
+    reference: &central::SearchOutcome,
+    label: &str,
+) {
+    assert_eq!(remote.answers.len(), reference.answers.len(), "answer count: {label}");
+    for (a, b) in remote.answers.iter().zip(&reference.answers) {
+        assert_eq!(a.central, b.central, "central: {label}");
+        assert_eq!(a.depth, b.depth, "depth: {label}");
+        assert_eq!(a.nodes, b.nodes, "nodes: {label}");
+        assert_eq!(a.edges, b.edges, "edges: {label}");
+        assert_eq!(a.keyword_nodes, b.keyword_nodes, "keyword nodes: {label}");
+        assert_eq!(a.keyword_edges, b.keyword_edges, "keyword paths: {label}");
+        assert_eq!(a.score.to_bits(), b.score.to_bits(), "score bits: {label}");
+    }
+    assert_eq!(remote.stats.last_level, reference.stats.last_level, "last level: {label}");
+    assert_eq!(
+        remote.stats.central_candidates, reference.stats.central_candidates,
+        "cohort: {label}"
+    );
+    assert_eq!(
+        remote.stats.peak_frontier, reference.stats.peak_frontier,
+        "peak frontier: {label}"
+    );
+    assert_eq!(remote.stats.trace, reference.stats.trace, "level trace: {label}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The tentpole property: for arbitrary graphs, queries, explicit
+    /// activation maps and top-k, every backend at every fleet size
+    /// answers over real worker processes¹ exactly what its monolithic
+    /// counterpart answers — and never degrades on a healthy fleet.
+    ///
+    /// ¹ in-process worker threads on real TCP sockets: the full frame
+    ///   protocol without the process-spawn latency.
+    #[test]
+    fn remote_search_is_byte_identical_to_unsharded(case in case_strategy()) {
+        let graph = build_graph(&case);
+        let idx = InvertedIndex::build(&graph);
+        let raw: Vec<&str> = case.query.iter().map(|&w| WORDS[w]).collect();
+        let query = ParsedQuery::parse(&idx, &raw.join(" "));
+        let params = SearchParams {
+            top_k: case.top_k,
+            max_level: 12,
+            ..SearchParams::default()
+        }
+        .with_explicit_activation(case.activation.clone());
+        let budget = QueryBudget::unlimited();
+
+        for (backend, reference_engine) in backends() {
+            let reference = reference_engine.search(&graph, &query, &params);
+            for &shards in FLEET_SIZES {
+                let coordinator = remote_fleet(&graph, backend, shards);
+                let out = coordinator
+                    .try_search(&graph, &query, &params, &budget)
+                    .expect("healthy fleet under an unlimited budget cannot fail");
+                prop_assert!(!out.degraded, "healthy fleet degraded: {}", coordinator.name());
+                let label = format!("{} x {shards} remote shards", reference_engine.name());
+                assert_identical(&out.outcome, &reference, &label);
+            }
+        }
+    }
+}
+
+/// Monolithic reference digests compared against every backend × fleet
+/// size for one fixed graph and query set (cheap deterministic edge
+/// cases that a shrunken proptest case may never reach).
+fn assert_all_fleets_match(graph: &KnowledgeGraph, queries: &[&str]) {
+    let idx = InvertedIndex::build(graph);
+    let params = SearchParams { max_level: 12, ..SearchParams::default() };
+    let budget = QueryBudget::unlimited();
+    for (backend, reference_engine) in backends() {
+        for q in queries {
+            let query = ParsedQuery::parse(&idx, q);
+            let reference = reference_engine.search(graph, &query, &params);
+            for &shards in FLEET_SIZES {
+                let coordinator = remote_fleet(graph, backend, shards);
+                let out = coordinator
+                    .try_search(graph, &query, &params, &budget)
+                    .expect("healthy fleet under an unlimited budget cannot fail");
+                assert!(!out.degraded, "healthy fleet degraded on {q:?}");
+                let label =
+                    format!("{} x {shards} remote shards on {q:?}", reference_engine.name());
+                assert_identical(&out.outcome, &reference, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_node_graphs_survive_any_fleet_size() {
+    let mut b = GraphBuilder::new();
+    b.add_node("solo", "alpha beta");
+    let graph = b.build();
+    assert_all_fleets_match(&graph, &["alpha beta", "alpha", "gamma", ""]);
+}
+
+#[test]
+fn disconnected_graphs_survive_any_fleet_size() {
+    // Two components plus two isolated nodes: cross-component queries
+    // must fail identically, intra-component ones must answer
+    // identically, at every fleet size.
+    let mut b = GraphBuilder::new();
+    let a1 = b.add_node("a1", "alpha");
+    let a2 = b.add_node("a2", "beta");
+    let a3 = b.add_node("a3", "gamma hub");
+    b.add_edge(a1, a3, "p");
+    b.add_edge(a2, a3, "q");
+    let b1 = b.add_node("b1", "delta");
+    let b2 = b.add_node("b2", "omega");
+    b.add_edge(b1, b2, "p");
+    b.add_node("iso1", "sigma");
+    b.add_node("iso2", "kappa");
+    let graph = b.build();
+    assert_all_fleets_match(
+        &graph,
+        &["alpha beta", "delta omega", "alpha delta", "sigma kappa", "sigma"],
+    );
+}
+
+#[test]
+fn more_workers_than_nodes_is_byte_identical() {
+    // 3 nodes, a 4-worker fleet: most workers own nothing and must stay
+    // inert without perturbing the merged answers.
+    let mut b = GraphBuilder::new();
+    let x = b.add_node("x", "alpha");
+    let y = b.add_node("y", "beta bridge");
+    let z = b.add_node("z", "gamma");
+    b.add_edge(x, y, "p");
+    b.add_edge(z, y, "q");
+    let graph = b.build();
+    assert_all_fleets_match(&graph, &["alpha gamma", "alpha beta gamma", "beta"]);
+}
+
+#[test]
+fn budget_errors_surface_the_same_class_remotely() {
+    // A chain long enough that a 1-expansion budget trips mid-search:
+    // the remote coordinator must raise the same structured error class
+    // the monolithic path raises — never a wire-level error, never a
+    // silent partial answer.
+    let mut b = GraphBuilder::new();
+    let mut prev = b.add_node("n0", "alpha");
+    for i in 1..12 {
+        let next = b.add_node(&format!("n{i}"), if i == 11 { "omega" } else { "filler" });
+        b.add_edge(prev, next, "p");
+        prev = next;
+    }
+    let graph = b.build();
+    let idx = InvertedIndex::build(&graph);
+    let query = ParsedQuery::parse(&idx, "alpha omega");
+    let params = SearchParams { max_level: 16, ..SearchParams::default() };
+    let tight = QueryBudget::unlimited().with_max_expansions(1);
+
+    let coordinator = remote_fleet(&graph, ShardBackend::Seq, 2);
+    let remote_err = coordinator
+        .try_search(&graph, &query, &params, &tight)
+        .expect_err("a 1-expansion budget must trip on a 12-node chain");
+    let local = central::ShardedSearch::new(&graph, ShardBackend::Seq, 2);
+    let local_err = local
+        .try_search(&graph, &query, &params, &tight)
+        .expect_err("the in-process coordinator must trip identically");
+    assert_eq!(remote_err.kind(), local_err.kind(), "error class diverged");
+    assert!(
+        matches!(remote_err, SearchError::BudgetExhausted { .. }),
+        "expected budget_exhausted, got {remote_err:?}"
+    );
+}
