@@ -36,17 +36,37 @@
 //! count — so the reported ratio is exactly the price of the wire:
 //! framing, JSON payloads, per-round RPCs and the supervision layer
 //! (written to `BENCH_remote.json`).
+//!
+//! A sixth sweep runs the **telemetry axis**: the 8-client volley with
+//! the full observability surface armed — per-query fleet-wide qid
+//! issuance, the recent-query ring, and a background sampler snapshotting
+//! the metrics registry at 10× the serve default cadence — interleaved
+//! A/B against a bare engine. The guard asserts telemetry costs < 2% qps
+//! (written to `BENCH_telemetry.json`; `WIKISEARCH_ENFORCE_GUARDS=1`
+//! turns a guard failure into a hard bench failure for CI).
+//!
+//! `WIKISEARCH_AXIS={clients,shards,batch,remote,telemetry}` restricts a
+//! run to one axis (default: all).
 
 use crate::{client_sweep, queries_per_point};
-use central::{HistogramSnapshot, LogHistogram};
+use central::{HistogramSnapshot, LogHistogram, QueryBudget, TelemetrySample};
 use datagen::synthetic::SyntheticConfig;
 use datagen::QueryWorkload;
 use eval::runner::ExperimentSink;
 use eval::Table;
 use serde_json::json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wikisearch_engine::{Backend, WikiSearch};
+
+/// `WIKISEARCH_AXIS` filter: `true` when the named axis should run.
+fn axis_wanted(name: &str) -> bool {
+    match std::env::var("WIKISEARCH_AXIS") {
+        Ok(axis) => axis == name,
+        Err(_) => true,
+    }
+}
 
 /// One measured datapoint.
 struct Point {
@@ -112,9 +132,12 @@ pub fn run() -> serde_json::Value {
     let queries: Vec<String> = workload.batch(4, 16);
 
     let mut points: Vec<Point> = Vec::new();
-    for (backend_name, backend) in
-        [("Seq", Backend::Sequential), ("CPU-Par(2)", Backend::ParCpu(2))]
-    {
+    let backend_sweep: &[(&'static str, Backend)] = if axis_wanted("clients") {
+        &[("Seq", Backend::Sequential), ("CPU-Par(2)", Backend::ParCpu(2))]
+    } else {
+        &[]
+    };
+    for &(backend_name, backend) in backend_sweep {
         let ws = Arc::new(WikiSearch::build_with(ds.graph.clone(), backend));
         // Warmup: populate the session pool up to the largest client
         // count so measured volleys are allocation-free.
@@ -163,9 +186,18 @@ pub fn run() -> serde_json::Value {
         }
     }
 
-    let _ = run_shards(&ds.graph, &name, &queries, per_client, cores);
-    let _ = run_batch(&ds.graph, &name, per_client, cores);
-    let _ = run_remote(per_client, cores);
+    if axis_wanted("shards") {
+        let _ = run_shards(&ds.graph, &name, &queries, per_client, cores);
+    }
+    if axis_wanted("batch") {
+        let _ = run_batch(&ds.graph, &name, per_client, cores);
+    }
+    if axis_wanted("remote") {
+        let _ = run_remote(per_client, cores);
+    }
+    if axis_wanted("telemetry") {
+        let _ = run_telemetry(&ds.graph, &name, &queries, per_client, cores);
+    }
 
     let record = json!({
         "experiment": "throughput",
@@ -621,6 +653,201 @@ fn run_batch(
             .collect::<Vec<_>>(),
     });
     if let Ok(path) = ExperimentSink::new().write("BENCH_batch", &record) {
+        println!("json: {}", path.display());
+    }
+    record
+}
+
+/// The telemetry axis: the 8-client point, sampler cadence (10× the
+/// serve default of 1000 ms, so the guard over-reports the shipped
+/// cost — but not 100×, which on a single-core runner turns the
+/// sampler into a compute rival rather than an observer), A/B
+/// repetitions, and the guard floor (telemetry-on qps must stay within
+/// 2% of telemetry-off).
+const TELEMETRY_CLIENTS: usize = 8;
+const TELEMETRY_SAMPLE_MS: u64 = 100;
+const TELEMETRY_REPS: usize = 3;
+const TELEMETRY_GUARD_MIN_RATIO: f64 = 0.98;
+
+/// [`volley`] with the telemetry surface in the loop: every query draws
+/// a fleet-wide qid and runs through the tagged entry point (feeding
+/// the recent-query ring), and each completion bumps the shared
+/// `served` counter the background sampler snapshots.
+fn volley_tagged(
+    ws: &Arc<WikiSearch>,
+    queries: &[String],
+    clients: usize,
+    per_client: usize,
+    served: &Arc<AtomicU64>,
+) -> (f64, HistogramSnapshot) {
+    let latency = LogHistogram::new();
+    let params = ws.params().clone();
+    let budget = QueryBudget::unlimited();
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let ws = Arc::clone(ws);
+            let served = Arc::clone(served);
+            let (latency, params, budget) = (&latency, &params, &budget);
+            scope.spawn(move || {
+                for j in 0..per_client {
+                    let q = &queries[(client + j) % queries.len()];
+                    let qid = ws.issue_query_id();
+                    let started = Instant::now();
+                    let result = ws.try_search_with_params_tagged(q, params, budget, qid);
+                    let us = started.elapsed().as_micros();
+                    latency.record(u64::try_from(us).unwrap_or(u64::MAX));
+                    served.fetch_add(1, Ordering::Relaxed);
+                    std::hint::black_box(result.map_or(0, |r| r.answers.len()));
+                }
+            });
+        }
+    });
+    (t.elapsed().as_secs_f64(), latency.snapshot())
+}
+
+/// The telemetry axis: the same 8-client volley on two engines over the
+/// same graph — one bare, one with the full always-on observability
+/// surface armed (fleet-wide qid issuance per query, the recent-query
+/// ring behind `TOP`'s `slowest_recent`, and a background sampler
+/// thread snapshotting the whole metrics registry every
+/// [`TELEMETRY_SAMPLE_MS`] ms, 10× the serve default cadence). Arms
+/// are interleaved A/B for [`TELEMETRY_REPS`] rounds and compared
+/// best-of, so a one-off scheduler hiccup cannot fail the guard; the
+/// guard then asserts the telemetry-on rate stays within 2% of bare
+/// ([`TELEMETRY_GUARD_MIN_RATIO`]). Tracing stays off in both arms —
+/// that is the point: this is the tax every query pays, not the opt-in
+/// EXPLAIN path. Writes `BENCH_telemetry.json`; with
+/// `WIKISEARCH_ENFORCE_GUARDS=1` a guard failure panics the bench.
+fn run_telemetry(
+    graph: &kgraph::KnowledgeGraph,
+    dataset: &str,
+    queries: &[String],
+    per_client: usize,
+    cores: usize,
+) -> serde_json::Value {
+    let clients = TELEMETRY_CLIENTS;
+    println!(
+        "== throughput/telemetry: {clients} clients x {per_client} queries, Seq, \
+         sampler every {TELEMETRY_SAMPLE_MS}ms vs off, best of {TELEMETRY_REPS} =="
+    );
+
+    let ws_off = Arc::new(WikiSearch::build_with(graph.clone(), Backend::Sequential));
+    let mut ws_on = WikiSearch::build_with(graph.clone(), Backend::Sequential);
+    ws_on.set_telemetry(TELEMETRY_SAMPLE_MS, 512);
+    let ws_on = Arc::new(ws_on);
+
+    // The background sampler, exactly serve's shape: snapshot the full
+    // registry + served count into the ring at a fixed cadence, for the
+    // whole lifetime of the measured volleys.
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let sampler = {
+        let (ws, stop, served) = (Arc::clone(&ws_on), Arc::clone(&stop), Arc::clone(&served));
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                ws.telemetry().record_sample(&TelemetrySample {
+                    t_us: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    served: served.load(Ordering::Relaxed),
+                    snapshot: ws.metrics_snapshot(),
+                });
+                std::thread::sleep(Duration::from_millis(TELEMETRY_SAMPLE_MS));
+            }
+        })
+    };
+
+    // Warmup both arms (pools + page cache), then interleave A/B reps.
+    volley(&ws_off, queries, clients, 2);
+    volley_tagged(&ws_on, queries, clients, clients.min(per_client), &served);
+    struct Rep {
+        off_qps: f64,
+        on_qps: f64,
+        off_p95_us: u64,
+        on_p95_us: u64,
+    }
+    let total = clients * per_client;
+    let mut reps: Vec<Rep> = Vec::new();
+    for _ in 0..TELEMETRY_REPS {
+        let (off_wall, off_latency) = volley(&ws_off, queries, clients, per_client);
+        let (on_wall, on_latency) = volley_tagged(&ws_on, queries, clients, per_client, &served);
+        reps.push(Rep {
+            off_qps: total as f64 / off_wall,
+            on_qps: total as f64 / on_wall,
+            off_p95_us: off_latency.percentile(0.95),
+            on_p95_us: on_latency.percentile(0.95),
+        });
+    }
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().expect("sampler thread");
+
+    // The observed engine really was observed — otherwise the guard
+    // would be measuring nothing.
+    let samples = ws_on.telemetry().samples();
+    let qids = ws_on.query_ids_issued();
+    assert!(samples > 0, "sampler never recorded");
+    assert!(qids >= total as u64, "tagged volleys issued {qids} qids, expected >= {total}");
+
+    let ms = |us: u64| us as f64 / 1e3;
+    let mut table =
+        Table::new(vec!["rep", "off qps", "on qps", "on/off", "off p95(ms)", "on p95(ms)"]);
+    for (i, r) in reps.iter().enumerate() {
+        table.row(vec![
+            (i + 1).to_string(),
+            format!("{:.1}", r.off_qps),
+            format!("{:.1}", r.on_qps),
+            format!("{:.3}", r.on_qps / r.off_qps),
+            format!("{:.2}", ms(r.off_p95_us)),
+            format!("{:.2}", ms(r.on_p95_us)),
+        ]);
+    }
+    table.print();
+
+    let best_off = reps.iter().map(|r| r.off_qps).fold(0.0, f64::max);
+    let best_on = reps.iter().map(|r| r.on_qps).fold(0.0, f64::max);
+    let ratio = best_on / best_off;
+    let pass = ratio >= TELEMETRY_GUARD_MIN_RATIO;
+    println!(
+        "guard: telemetry-on qps {:.3}x off (floor {TELEMETRY_GUARD_MIN_RATIO}) — {} \
+         [{samples} samples, {qids} qids]",
+        ratio,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass && std::env::var("WIKISEARCH_ENFORCE_GUARDS").is_ok() {
+        panic!(
+            "telemetry overhead guard failed: on/off qps ratio {ratio:.3} \
+             below floor {TELEMETRY_GUARD_MIN_RATIO}"
+        );
+    }
+
+    let record = json!({
+        "experiment": "telemetry",
+        "dataset": dataset,
+        "cores": cores,
+        "backend": "Seq",
+        "clients": clients,
+        "queries_per_client": per_client,
+        "sampler_interval_ms": TELEMETRY_SAMPLE_MS,
+        "reps": reps
+            .iter()
+            .map(|r| {
+                json!({
+                    "off_qps": r.off_qps,
+                    "on_qps": r.on_qps,
+                    "ratio": r.on_qps / r.off_qps,
+                    "off_p95_ms": ms(r.off_p95_us),
+                    "on_p95_ms": ms(r.on_p95_us),
+                })
+            })
+            .collect::<Vec<_>>(),
+        "best_off_qps": best_off,
+        "best_on_qps": best_on,
+        "ratio": ratio,
+        "samples_recorded": samples,
+        "qids_issued": qids,
+        "guard": { "min_ratio": TELEMETRY_GUARD_MIN_RATIO, "pass": pass },
+    });
+    if let Ok(path) = ExperimentSink::new().write("BENCH_telemetry", &record) {
         println!("json: {}", path.display());
     }
     record

@@ -959,6 +959,9 @@ impl BatchExecutor {
                 batch_id: None, // stamped by `annotate` with the batch id
                 co_batched: None,
                 phase_ms: PhaseMillis::from(&lane.profile),
+                qid: None,
+                cache_source_qid: None,
+                shard_timelines: None,
             })
         });
         Ok(SearchOutcome {

@@ -252,6 +252,9 @@ pub(crate) fn run_matrix_search<S: ExecStrategy>(
             batch_id: None,
             co_batched: None,
             phase_ms: PhaseMillis::from(&profile),
+            qid: None,
+            cache_source_qid: None,
+            shard_timelines: None,
         })
     });
     Ok(SearchOutcome {

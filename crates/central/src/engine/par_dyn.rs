@@ -358,6 +358,9 @@ impl KeywordSearchEngine for DynParEngine {
                 batch_id: None,
                 co_batched: None,
                 phase_ms: PhaseMillis::from(&profile),
+                qid: None,
+                cache_source_qid: None,
+                shard_timelines: None,
             })
         });
         Ok(SearchOutcome {

@@ -86,6 +86,7 @@ pub mod remote;
 pub mod session;
 pub mod shard;
 pub mod state;
+pub mod telemetry;
 pub mod top_down;
 pub mod trace;
 
@@ -111,4 +112,9 @@ pub use remote::{
 };
 pub use session::SearchSession;
 pub use shard::{ShardBackend, ShardPlan, ShardedSearch, ShardedStats};
-pub use trace::{CacheOutcome, QueryTrace, TraceLevel, TraceLevelRecord};
+pub use telemetry::{
+    InFlight, QueryIdGen, SampleRing, Telemetry, TelemetrySample, WindowDelta, SAMPLE_WIDTH,
+};
+pub use trace::{
+    CacheOutcome, PhaseMillis, QueryTrace, ShardSpan, ShardTimeline, TraceLevel, TraceLevelRecord,
+};

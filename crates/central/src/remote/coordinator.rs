@@ -51,7 +51,7 @@ use crate::model::{CentralGraph, INFINITE_LEVEL};
 use crate::shard::{ShardBackend, DEFAULT_PARTITION_SEED};
 use crate::state::HitLevels;
 use crate::top_down;
-use crate::trace::{PhaseMillis, QueryTrace, TraceLevelRecord};
+use crate::trace::{PhaseMillis, QueryTrace, ShardSpan, ShardTimeline, TraceLevelRecord};
 use crate::SearchParams;
 use kgraph::{KnowledgeGraph, NodeId};
 use std::collections::HashMap;
@@ -206,10 +206,11 @@ struct Channel {
 }
 
 impl Core {
-    /// The handshake this fleet must agree to.
-    fn hello(&self, shard: usize) -> wire::Hello {
+    /// The handshake this fleet must agree to, at a given protocol
+    /// revision.
+    fn hello(&self, shard: usize, version: u32) -> wire::Hello {
         wire::Hello {
-            version: wire::PROTOCOL_VERSION,
+            version,
             shards: self.shards as u32,
             shard_index: shard as u32,
             num_nodes: self.num_nodes,
@@ -252,8 +253,29 @@ impl Core {
         Ok(body)
     }
 
-    /// Dial + handshake a fresh channel to `shard`.
+    /// Dial + handshake a fresh channel to `shard`, negotiating the
+    /// protocol revision downward when the fleet is older than this
+    /// coordinator: dial at [`wire::PROTOCOL_VERSION`] first and — only
+    /// on a handshake rejection — redial once at
+    /// [`wire::MIN_PROTOCOL_VERSION`]. A v1 worker did full-struct
+    /// `Hello` equality (version included), so the fallback is what lets
+    /// a v2 coordinator drive it; the degradation is implicit in the
+    /// wire schema (a v1 worker simply never echoes qids or ships
+    /// spans, both optional fields).
     fn dial(&self, shard: usize) -> io::Result<Channel> {
+        match self.dial_at(shard, wire::PROTOCOL_VERSION) {
+            Err(e)
+                if wire::MIN_PROTOCOL_VERSION < wire::PROTOCOL_VERSION
+                    && e.kind() == io::ErrorKind::InvalidData
+                    && e.to_string().starts_with("worker error bad_handshake") =>
+            {
+                self.dial_at(shard, wire::MIN_PROTOCOL_VERSION)
+            }
+            other => other,
+        }
+    }
+
+    fn dial_at(&self, shard: usize, version: u32) -> io::Result<Channel> {
         let addr = self.addrs.addr(shard).ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, format!("no address for shard {shard}"))
         })?;
@@ -265,7 +287,7 @@ impl Core {
         let body = self.call(
             &mut chan,
             wire::OP_HELLO,
-            &wire::encode(&self.hello(shard)),
+            &wire::encode(&self.hello(shard, version)),
             wire::OP_HELLO_OK,
             self.opts.rpc_timeout,
         )?;
@@ -436,6 +458,21 @@ impl RemoteShardedSearch {
         params: &SearchParams,
         budget: &QueryBudget,
     ) -> Result<RemoteOutcome, SearchError> {
+        self.try_search_tagged(graph, query, params, budget, None)
+    }
+
+    /// [`Self::try_search`] tagged with a fleet-wide query ID: the qid
+    /// rides every `Start` frame, is echoed back on `CollectOk`, and is
+    /// stamped on the trace and its stitched shard timelines so
+    /// worker-side observations join with the coordinator's.
+    pub fn try_search_tagged(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &textindex::ParsedQuery,
+        params: &SearchParams,
+        budget: &QueryBudget,
+        qid: Option<u64>,
+    ) -> Result<RemoteOutcome, SearchError> {
         if let Err(e) = params.validate() {
             panic!("invalid search parameters: {e}");
         }
@@ -452,6 +489,7 @@ impl RemoteShardedSearch {
             if params.trace.enabled() {
                 out.trace = Some(Box::new(QueryTrace {
                     engine: self.name.clone(),
+                    qid,
                     ..QueryTrace::default()
                 }));
             }
@@ -466,7 +504,7 @@ impl RemoteShardedSearch {
         // burns one of a shard's finite attempts, or marks a shard dead.
         let max_rounds = (self.core.shards as u32 * (opts.attempts + 1) + 1) as usize;
         for _ in 0..max_rounds {
-            match self.attempt(graph, query, params, &tracker, deadline, &dead) {
+            match self.attempt(graph, query, params, &tracker, deadline, &dead, qid) {
                 Ok(outcome) => {
                     let degraded = dead.iter().any(|&d| d);
                     if degraded {
@@ -559,7 +597,7 @@ impl RemoteShardedSearch {
     }
 
     /// One full pass of the round protocol over the live shards.
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn attempt(
         &self,
         graph: &KnowledgeGraph,
@@ -568,6 +606,7 @@ impl RemoteShardedSearch {
         tracker: &BudgetTracker,
         deadline: Option<Instant>,
         dead: &[bool],
+        qid: Option<u64>,
     ) -> Result<SearchOutcome, AttemptError> {
         let core = &self.core;
         let live: Vec<usize> = (0..core.shards).filter(|&s| !dead[s]).collect();
@@ -607,14 +646,27 @@ impl RemoteShardedSearch {
             return Err(AttemptError::ShardIo { shard });
         }
 
+        // Per-shard RPC accounting for this attempt: every successful
+        // RPC's coordinator-observed wall time, by shard. This is the
+        // outer envelope the stitched timelines reconcile worker spans
+        // against (worker intervals nest inside it, so
+        // `rpc_us >= worker_us` and the difference is wire time).
+        let mut shard_rpcs = vec![0u64; core.shards];
+        let mut shard_rpc_us = vec![0u64; core.shards];
+
         // The per-shard RPC helper for this attempt. On failure the
         // erroring channel is dropped (it may hold undrained reply
         // bytes); the healthy ones go back to the pool.
         macro_rules! rpc {
             ($s:expr, $op:expr, $payload:expr, $expect:expr) => {{
                 let chan = chans[$s].as_mut().expect("live shard has a channel");
+                let t_rpc = Instant::now();
                 match core.call(chan, $op, $payload, $expect, self.rpc_timeout(deadline)) {
-                    Ok(body) => body,
+                    Ok(body) => {
+                        shard_rpcs[$s] += 1;
+                        shard_rpc_us[$s] += t_rpc.elapsed().as_micros() as u64;
+                        body
+                    }
                     Err(_) => {
                         chans[$s] = None; // poisoned: drop it
                         finish(chans);
@@ -657,6 +709,11 @@ impl RemoteShardedSearch {
             activation: params.explicit_activation.as_deref().cloned(),
             backend: self.backend.base_name().to_string(),
             threads: self.backend.threads() as u32,
+            qid,
+            // v1 workers ignore both fields (unknown keys are skipped);
+            // span-less replies degrade the stitched timeline, never the
+            // answer.
+            spans: Some(traced),
         };
         let start_payload = wire::encode(&start);
         for &s in &live {
@@ -781,10 +838,33 @@ impl RemoteShardedSearch {
         };
         let mut rows: HashMap<u32, wire::WireRow> = HashMap::new();
         let mut halo_rows: Vec<wire::WireRow> = Vec::new();
+        // Stitch worker-reported spans into per-shard timelines. All
+        // quantities are monotonic durations measured on one host each —
+        // the coordinator's clock for `rpc_us`, the worker's for the
+        // span phases — never cross-host timestamp comparisons.
+        let mut timelines: Option<Vec<ShardTimeline>> = traced.then(Vec::new);
         for &s in &live {
             let body = rpc!(s, wire::OP_COLLECT, &collect, wire::OP_COLLECT_OK);
             let ok: wire::CollectOk = decode!(s, body);
-            for row in ok.rows {
+            let wire::CollectOk { rows: shard_rows, qid: shard_qid, spans } = ok;
+            if let Some(tls) = timelines.as_mut() {
+                // A span-less reply (v1 worker) still earns a timeline:
+                // the RPC envelope is coordinator-side truth; only the
+                // worker-side breakdown is missing.
+                let spans = spans.unwrap_or_default();
+                let worker_us: u64 = spans.iter().map(ShardSpan::worker_us).sum();
+                let rpc_us = shard_rpc_us[s];
+                tls.push(ShardTimeline {
+                    shard: s,
+                    qid: shard_qid,
+                    rpcs: shard_rpcs[s],
+                    rpc_us,
+                    worker_us,
+                    wire_us: rpc_us.saturating_sub(worker_us),
+                    spans,
+                });
+            }
+            for row in shard_rows {
                 if owner_of(row.node) == s {
                     rows.insert(row.node, row);
                 } else {
@@ -832,6 +912,9 @@ impl RemoteShardedSearch {
                 batch_id: None,
                 co_batched: None,
                 phase_ms: PhaseMillis::from(&profile),
+                qid,
+                cache_source_qid: None,
+                shard_timelines: timelines,
             })
         });
         Ok(SearchOutcome {

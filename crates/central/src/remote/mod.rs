@@ -251,6 +251,99 @@ mod tests {
     }
 
     #[test]
+    fn traced_remote_queries_stitch_per_shard_timelines() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let params = SearchParams::default()
+            .with_average_distance(1.0)
+            .with_trace(crate::trace::TraceLevel::Full);
+        let shards = 3;
+        let r = remote(&g, ShardBackend::Seq, shards);
+        let out = r
+            .try_search_tagged(&g, &query, &params, &QueryBudget::unlimited(), Some(42))
+            .expect("unlimited budget");
+        let trace = out.outcome.trace.expect("traced query carries a trace");
+        assert_eq!(trace.qid, Some(42));
+        let timelines = trace.shard_timelines.expect("remote traces stitch timelines");
+        assert_eq!(timelines.len(), shards, "one timeline per live shard");
+        let levels: Vec<u32> = trace.levels.iter().map(|l| l.level).collect();
+        for tl in &timelines {
+            assert_eq!(tl.qid, Some(42), "worker echoes the fleet-wide qid");
+            assert!(tl.rpcs > 0, "every shard served RPCs");
+            assert!(!tl.spans.is_empty(), "v2 workers ship spans");
+            assert_eq!(
+                tl.worker_us,
+                tl.spans.iter().map(crate::trace::ShardSpan::worker_us).sum::<u64>(),
+                "worker total is the sum of its spans"
+            );
+            assert!(tl.rpc_us >= tl.worker_us, "worker intervals nest inside the RPC envelope");
+            assert_eq!(tl.wire_us, tl.rpc_us - tl.worker_us);
+            // Per-level spans reconcile with the coordinator's level
+            // records: every expand the worker saw is a level the
+            // coordinator drove (the final level may stop before expand).
+            assert_eq!(tl.spans.iter().filter(|s| s.op == "start").count(), 1);
+            assert_eq!(tl.spans.iter().filter(|s| s.op == "collect").count(), 1);
+            for span in tl.spans.iter().filter(|s| s.op == "expand") {
+                let level = span.level.expect("expand spans are level-tagged");
+                assert!(levels.contains(&level), "span level {level} not in {levels:?}");
+            }
+            let enqueues = tl.spans.iter().filter(|s| s.op == "enqueue").count();
+            assert_eq!(enqueues, levels.len() + 1, "one enqueue per level plus the empty round");
+        }
+    }
+
+    #[test]
+    fn v2_coordinator_degrades_gracefully_against_a_v1_fleet() {
+        let g = fixture();
+        let idx = InvertedIndex::build(&g);
+        let query = ParsedQuery::parse(&idx, "alpha omega");
+        let params = SearchParams::default()
+            .with_average_distance(1.0)
+            .with_trace(crate::trace::TraceLevel::Full);
+        let shards = 2;
+        // A fleet pinned to protocol 1: strict full-struct handshake,
+        // no span support. The v2 coordinator must fall back per channel
+        // and still produce byte-identical answers.
+        let addrs: Vec<_> = (0..shards)
+            .map(|s| {
+                ShardWorker::spawn_local_worker(
+                    ShardWorker::new(&g, shards, s, DEFAULT_PARTITION_SEED).with_protocol(1),
+                )
+            })
+            .collect();
+        let opts = RemoteOptions {
+            heartbeat: None,
+            backoff_base: Duration::from_millis(1),
+            ..RemoteOptions::default()
+        };
+        let r = RemoteShardedSearch::new(
+            &g,
+            ShardBackend::Seq,
+            shards,
+            Arc::new(StaticAddrs(addrs)),
+            opts,
+        );
+        let out = r
+            .try_search_tagged(&g, &query, &params, &QueryBudget::unlimited(), Some(7))
+            .expect("v1 fleet still serves");
+        assert!(!out.degraded);
+        let mono = SeqEngine::new().search(&g, &query, &params);
+        assert_eq!(digest(&out.outcome), digest(&mono), "answers identical across versions");
+        let trace = out.outcome.trace.expect("traced query carries a trace");
+        assert_eq!(trace.qid, Some(7), "the coordinator stamps its own qid regardless");
+        let timelines = trace.shard_timelines.expect("RPC envelopes are coordinator-side truth");
+        assert_eq!(timelines.len(), shards);
+        for tl in &timelines {
+            assert_eq!(tl.qid, None, "v1 workers cannot echo qids");
+            assert!(tl.spans.is_empty(), "v1 workers never ship spans");
+            assert_eq!(tl.worker_us, 0);
+            assert_eq!(tl.wire_us, tl.rpc_us, "without spans the whole envelope is wire time");
+            assert!(tl.rpcs > 0);
+        }
+    }
+
+    #[test]
     fn handshake_rejects_a_mismatched_partition_contract() {
         let g = fixture();
         // Worker built for a 3-shard partition; coordinator expects 2.

@@ -23,13 +23,23 @@
 //! validated by the handshake, and the per-query payloads carry only
 //! global node ids.
 
+use crate::trace::ShardSpan;
 use crate::SearchParams;
 use serde::{Deserialize, Serialize};
 use textindex::{KeywordGroup, ParsedQuery};
 
-/// Protocol revision; bumped on any incompatible schema change. The
-/// handshake rejects a mismatch.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol revision. Version 2 added the optional telemetry fields
+/// (`qid`/`spans` on [`Start`], span piggybacking on [`CollectOk`], the
+/// `version` echo on [`HelloOk`]) — all `Option`s that decode as absent
+/// under the v1 schema, so v1 and v2 interoperate in both directions and
+/// the handshake only rejects versions outside
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`].
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest coordinator protocol revision a worker still accepts. The v2
+/// additions are optional fields, so v1 peers remain fully functional —
+/// they simply never see query IDs or spans.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Handshake request.
 pub const OP_HELLO: u8 = 1;
@@ -102,6 +112,10 @@ pub struct HelloOk {
     /// Owned-node count of the worker's part — a partition fingerprint
     /// the coordinator can sanity-check.
     pub num_owned: u32,
+    /// The worker's protocol revision. Absent from v1 workers (the field
+    /// did not exist), so `None` reads as version 1; the coordinator uses
+    /// it to decide whether this channel may carry qids and spans.
+    pub version: Option<u32>,
 }
 
 /// One keyword group of a query, in global node ids.
@@ -172,6 +186,14 @@ pub struct Start {
     pub backend: String,
     /// Worker threads the kernel was configured with.
     pub threads: u32,
+    /// Fleet-wide query ID, echoed back on [`CollectOk`] so worker-side
+    /// observations can be joined with the coordinator's. Optional since
+    /// protocol v2; v1 workers ignore it.
+    pub qid: Option<u64>,
+    /// Ask the worker to record per-RPC spans for this query and
+    /// piggyback them on [`CollectOk`]. Optional since protocol v2
+    /// (absent = off); v1 workers ignore it.
+    pub spans: Option<bool>,
 }
 
 /// Query accepted.
@@ -269,6 +291,14 @@ pub struct WireRow {
 pub struct CollectOk {
     /// Rows with at least one finite hitting level.
     pub rows: Vec<WireRow>,
+    /// The query ID from [`Start`], echoed back (protocol v2, spans on).
+    pub qid: Option<u64>,
+    /// Per-RPC worker spans for this query, in RPC order — monotonic
+    /// *durations* measured on the worker's clock, never absolute
+    /// timestamps (protocol v2, spans on). The final `collect` span
+    /// reports `encode_us = 0`: its own encode cannot observe itself and
+    /// is attributed to wire time by the coordinator.
+    pub spans: Option<Vec<ShardSpan>>,
 }
 
 /// Structured protocol failure. After sending one of these the worker
@@ -298,8 +328,33 @@ mod tests {
         assert_eq!(back, ok);
 
         let row = WireRow { node: 5, hits: vec![0, 255], keyword: true, central: Some(1) };
-        let back: CollectOk = decode(&encode(&CollectOk { rows: vec![row.clone()] })).unwrap();
-        assert_eq!(back.rows, vec![row]);
+        let ok = CollectOk {
+            rows: vec![row.clone()],
+            qid: Some(9),
+            spans: Some(vec![ShardSpan { op: "collect".into(), ..ShardSpan::default() }]),
+        };
+        let back: CollectOk = decode(&encode(&ok)).unwrap();
+        assert_eq!(back, ok);
+    }
+
+    #[test]
+    fn v1_payloads_without_telemetry_fields_still_decode() {
+        // A v1 worker's CollectOk has no qid/spans keys at all; a v1
+        // coordinator's Start has no qid/spans either. Both sides must
+        // read the absent fields as None — this is the compatibility
+        // contract behind the Hello version range.
+        let ok: CollectOk = decode(br#"{"rows":[]}"#).unwrap();
+        assert_eq!(ok.qid, None);
+        assert_eq!(ok.spans, None);
+        let hello_ok: HelloOk = decode(br#"{"shard_index":1,"num_owned":10}"#).unwrap();
+        assert_eq!(hello_ok.version, None, "absent version reads as a v1 worker");
+        let params = serde_json::to_string(&SearchParams::default()).unwrap();
+        let v1_start = format!(
+            r#"{{"query":{{"groups":[],"unmatched":[]}},"params":{params},"activation":null,"backend":"Seq","threads":1}}"#
+        );
+        let start: Start = decode(v1_start.as_bytes()).unwrap();
+        assert_eq!(start.qid, None);
+        assert_eq!(start.spans, None);
     }
 
     #[test]
@@ -333,6 +388,8 @@ mod tests {
             params,
             backend: "CPU-Par".into(),
             threads: 4,
+            qid: Some(3),
+            spans: Some(true),
         };
         let back: Start = decode(&encode(&start)).unwrap();
         assert_eq!(back.params.top_k, 7);

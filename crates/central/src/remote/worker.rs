@@ -30,11 +30,13 @@ use crate::bottom_up::{self, ExpandCtx};
 use crate::model::INFINITE_LEVEL;
 use crate::shard::{ShardBackend, ShardPart, ShardPlan};
 use crate::state::SearchState;
+use crate::trace::ShardSpan;
 use crate::QueryBudget;
 use kgraph::{KnowledgeGraph, NodeId};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One shard's worker: the materialized part plus the partition contract
 /// it validates handshakes against.
@@ -44,6 +46,10 @@ pub struct ShardWorker {
     index: u32,
     seed: u64,
     num_nodes: u64,
+    /// Protocol revision this worker speaks. Normally
+    /// [`wire::PROTOCOL_VERSION`]; pinned lower by [`Self::with_protocol`]
+    /// to reproduce an old worker bit-for-bit in compatibility tests.
+    protocol: u32,
 }
 
 impl ShardWorker {
@@ -60,7 +66,17 @@ impl ShardWorker {
             index: index as u32,
             seed,
             num_nodes: graph.num_nodes() as u64,
+            protocol: wire::PROTOCOL_VERSION,
         }
+    }
+
+    /// Pin the worker to an older protocol revision. A `version`-1 worker
+    /// reproduces the v1 handshake bit-for-bit (strict version equality,
+    /// no `version` echo) and never records or ships spans — the
+    /// coordinator's compatibility fallback is tested against this.
+    pub fn with_protocol(mut self, version: u32) -> ShardWorker {
+        self.protocol = version.clamp(wire::MIN_PROTOCOL_VERSION, wire::PROTOCOL_VERSION);
+        self
     }
 
     /// Owned-node count of this worker's part.
@@ -91,7 +107,14 @@ impl ShardWorker {
         index: usize,
         seed: u64,
     ) -> SocketAddr {
-        let worker = Arc::new(ShardWorker::new(graph, shards, index, seed));
+        Self::spawn_local_worker(ShardWorker::new(graph, shards, index, seed))
+    }
+
+    /// [`Self::spawn_local`] for an already-configured worker (e.g. one
+    /// pinned to an older protocol via [`Self::with_protocol`]).
+    pub fn spawn_local_worker(worker: ShardWorker) -> SocketAddr {
+        let index = worker.index;
+        let worker = Arc::new(worker);
         let listener = TcpListener::bind("127.0.0.1:0").expect("binding a worker listener");
         let addr = listener.local_addr().expect("listener has a local addr");
         std::thread::Builder::new()
@@ -118,7 +141,10 @@ impl ShardWorker {
                     return;
                 }
             };
-            match conn.handle(&mut stream, opcode, &payload) {
+            // The frame is fully read at this point: span wait time is
+            // worker-side dispatch latency, never coordinator think time.
+            let ready = Instant::now();
+            match conn.handle(&mut stream, opcode, &payload, ready) {
                 Ok(Flow::Continue) => {}
                 Ok(Flow::Close) => return,
                 Err(e) => {
@@ -178,6 +204,17 @@ struct QueryCtx {
     tracker: crate::budget::BudgetTracker,
     charged_mark: u64,
     frontiers: Vec<u32>,
+    /// Fleet-wide query ID from `Start` (protocol v2), echoed on collect.
+    qid: Option<u64>,
+    /// Per-RPC span accumulator, armed when the coordinator asked for
+    /// spans and this worker's protocol carries them. Shipped (taken)
+    /// with the collect reply.
+    spans: Option<Vec<ShardSpan>>,
+}
+
+/// Microseconds between two monotonic instants, saturating at zero.
+fn micros(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros() as u64
 }
 
 impl<'w> Conn<'w> {
@@ -190,6 +227,7 @@ impl<'w> Conn<'w> {
         stream: &mut TcpStream,
         opcode: u8,
         payload: &[u8],
+        ready: Instant,
     ) -> Result<Flow, ConnError> {
         match opcode {
             wire::OP_HELLO => self.on_hello(stream, payload),
@@ -197,43 +235,93 @@ impl<'w> Conn<'w> {
                 reply(stream, wire::OP_PONG, &[])?;
                 Ok(Flow::Continue)
             }
-            wire::OP_START => self.on_start(stream, payload),
-            wire::OP_ENQUEUE => self.on_enqueue(stream),
-            wire::OP_IDENTIFY => self.on_identify(stream, payload),
-            wire::OP_EXPAND => self.on_expand(stream, payload),
-            wire::OP_APPLY => self.on_apply(stream, payload),
-            wire::OP_COLLECT => self.on_collect(stream, payload),
+            wire::OP_START => self.on_start(stream, payload, ready),
+            wire::OP_ENQUEUE => self.on_enqueue(stream, ready),
+            wire::OP_IDENTIFY => self.on_identify(stream, payload, ready),
+            wire::OP_EXPAND => self.on_expand(stream, payload, ready),
+            wire::OP_APPLY => self.on_apply(stream, payload, ready),
+            wire::OP_COLLECT => self.on_collect(stream, payload, ready),
             other => Err(ConnError::new("bad_frame", format!("unknown opcode {other}"))),
         }
+    }
+
+    /// Send a phase reply and, when the query is span-traced, finish the
+    /// RPC's span with the measured encode+write time and record it. The
+    /// borrow of the query context is re-taken here so handlers can build
+    /// their reply payloads with the context borrowed.
+    fn finish(
+        &mut self,
+        stream: &mut TcpStream,
+        opcode: u8,
+        payload: &[u8],
+        span: Option<ShardSpan>,
+        encode_from: Instant,
+    ) -> Result<Flow, ConnError> {
+        reply(stream, opcode, payload)?;
+        if let Some(mut span) = span {
+            span.encode_us = micros(encode_from, Instant::now());
+            if let Some(spans) = self.query.as_mut().and_then(|ctx| ctx.spans.as_mut()) {
+                spans.push(span);
+            }
+        }
+        Ok(Flow::Continue)
     }
 
     fn on_hello(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
         let hello: Hello = decode(payload)?;
         let w = self.worker;
-        let expect = Hello {
-            version: wire::PROTOCOL_VERSION,
-            shards: w.shards,
-            shard_index: w.index,
-            num_nodes: w.num_nodes,
-            seed: w.seed,
+        // The partition contract is strict — a worker must never serve a
+        // differently-cut partition. The protocol version is a *range*:
+        // every revision in `MIN..=self` speaks a compatible base schema
+        // (the v2 additions are optional fields), so a newer coordinator
+        // degrades to the base schema instead of being refused. A worker
+        // pinned to protocol 1 reproduces the historical strict-equality
+        // check, version included.
+        let version_ok = if w.protocol == 1 {
+            hello.version == 1
+        } else {
+            (wire::MIN_PROTOCOL_VERSION..=w.protocol).contains(&hello.version)
         };
-        if hello != expect {
+        let contract_ok = hello.shards == w.shards
+            && hello.shard_index == w.index
+            && hello.num_nodes == w.num_nodes
+            && hello.seed == w.seed;
+        if !version_ok || !contract_ok {
+            let expect = Hello {
+                version: w.protocol,
+                shards: w.shards,
+                shard_index: w.index,
+                num_nodes: w.num_nodes,
+                seed: w.seed,
+            };
             return Err(ConnError::new(
                 "bad_handshake",
                 format!("partition contract mismatch: got {hello:?}, serving {expect:?}"),
             ));
         }
         self.greeted = true;
-        let ok = wire::HelloOk { shard_index: w.index, num_owned: w.part.num_owned };
+        let ok = wire::HelloOk {
+            shard_index: w.index,
+            num_owned: w.part.num_owned,
+            // A v1 worker's HelloOk had no version field at all.
+            version: (w.protocol >= 2).then_some(w.protocol),
+        };
         reply(stream, wire::OP_HELLO_OK, &wire::encode(&ok))?;
         Ok(Flow::Continue)
     }
 
-    fn on_start(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+    fn on_start(
+        &mut self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+        ready: Instant,
+    ) -> Result<Flow, ConnError> {
         if !self.greeted {
             return Err(ConnError::new("bad_sequence", "START before HELLO"));
         }
+        let decode_from = Instant::now();
         let start: wire::Start = decode(payload)?;
+        let decode_done = Instant::now();
         let query = start.query.to_query();
 
         // Network-shaped fault injection (test builds only): the chaos
@@ -270,6 +358,9 @@ impl<'w> Conn<'w> {
             .activation
             .as_ref()
             .map(|levels| part.locals.iter().map(|&v| levels[v as usize]).collect());
+        // Spans are recorded only when the coordinator asked for them AND
+        // this worker's protocol revision can ship them on collect.
+        let traced = self.worker.protocol >= 2 && start.spans == Some(true);
         self.query = Some(QueryCtx {
             q: query.num_keywords(),
             backend,
@@ -283,10 +374,25 @@ impl<'w> Conn<'w> {
             tracker: QueryBudget::unlimited().start_counting(),
             charged_mark: 0,
             frontiers: Vec::new(),
+            // A v1 worker predates the qid field entirely: never echo it.
+            qid: if self.worker.protocol >= 2 {
+                start.qid
+            } else {
+                None
+            },
+            spans: traced.then(Vec::new),
         });
         let ok = wire::StartOk { keywords: query.num_keywords() as u32 };
-        reply(stream, wire::OP_START_OK, &wire::encode(&ok))?;
-        Ok(Flow::Continue)
+        let exec_done = Instant::now();
+        let span = traced.then(|| ShardSpan {
+            op: "start".to_string(),
+            level: None,
+            wait_us: micros(ready, decode_from),
+            decode_us: micros(decode_from, decode_done),
+            exec_us: micros(decode_done, exec_done),
+            encode_us: 0,
+        });
+        self.finish(stream, wire::OP_START_OK, &wire::encode(&ok), span, exec_done)
     }
 
     fn query_mut(&mut self) -> Result<(&'w ShardPart, &SearchState, &mut QueryCtx), ConnError> {
@@ -297,7 +403,8 @@ impl<'w> Conn<'w> {
         }
     }
 
-    fn on_enqueue(&mut self, stream: &mut TcpStream) -> Result<Flow, ConnError> {
+    fn on_enqueue(&mut self, stream: &mut TcpStream, ready: Instant) -> Result<Flow, ConnError> {
+        let entered = Instant::now();
         let (part, state, ctx) = self.query_mut()?;
         // Owned nodes only: each global frontier node is drained exactly
         // once, by its owner.
@@ -307,13 +414,29 @@ impl<'w> Conn<'w> {
                 ctx.frontiers.push(v);
             }
         }
+        let traced = ctx.spans.is_some();
         let ok = wire::EnqueueOk { frontier: ctx.frontiers.len() as u64 };
-        reply(stream, wire::OP_ENQUEUE_OK, &wire::encode(&ok))?;
-        Ok(Flow::Continue)
+        let exec_done = Instant::now();
+        let span = traced.then(|| ShardSpan {
+            op: "enqueue".to_string(),
+            level: None,
+            wait_us: micros(ready, entered),
+            decode_us: 0,
+            exec_us: micros(entered, exec_done),
+            encode_us: 0,
+        });
+        self.finish(stream, wire::OP_ENQUEUE_OK, &wire::encode(&ok), span, exec_done)
     }
 
-    fn on_identify(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+    fn on_identify(
+        &mut self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+        ready: Instant,
+    ) -> Result<Flow, ConnError> {
+        let decode_from = Instant::now();
         let req: wire::Identify = decode(payload)?;
+        let decode_done = Instant::now();
         let (part, state, ctx) = self.query_mut()?;
         let mut newly_local = Vec::new();
         bottom_up::identify_sequential(state, &ctx.frontiers, req.level, &mut newly_local);
@@ -327,18 +450,34 @@ impl<'w> Conn<'w> {
                 .sum();
             deferred = ctx.frontiers.iter().filter(|&&f| act.level(NodeId(f)) > req.level).count();
         }
+        let traced = ctx.spans.is_some();
         let ok = wire::IdentifyOk {
             newly: newly_local.iter().map(|&l| part.locals[l as usize]).collect(),
             new_hits: new_hits as u64,
             deferred: deferred as u64,
         };
-        reply(stream, wire::OP_IDENTIFY_OK, &wire::encode(&ok))?;
-        Ok(Flow::Continue)
+        let exec_done = Instant::now();
+        let span = traced.then(|| ShardSpan {
+            op: "identify".to_string(),
+            level: Some(req.level.into()),
+            wait_us: micros(ready, decode_from),
+            decode_us: micros(decode_from, decode_done),
+            exec_us: micros(decode_done, exec_done),
+            encode_us: 0,
+        });
+        self.finish(stream, wire::OP_IDENTIFY_OK, &wire::encode(&ok), span, exec_done)
     }
 
-    fn on_expand(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+    fn on_expand(
+        &mut self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+        ready: Instant,
+    ) -> Result<Flow, ConnError> {
         use rayon::prelude::*;
+        let decode_from = Instant::now();
         let req: wire::Expand = decode(payload)?;
+        let decode_done = Instant::now();
         let backend = match &self.query {
             Some(ctx) => ctx.backend,
             None => return Err(ConnError::new("bad_sequence", "phase RPC before START")),
@@ -393,14 +532,30 @@ impl<'w> Conn<'w> {
         let total = ctx.tracker.expansions();
         let charged = total - ctx.charged_mark;
         ctx.charged_mark = total;
+        let traced = ctx.spans.is_some();
         let ok = wire::ExpandOk { outbox, charged };
-        reply(stream, wire::OP_EXPAND_OK, &wire::encode(&ok))?;
-        Ok(Flow::Continue)
+        let exec_done = Instant::now();
+        let span = traced.then(|| ShardSpan {
+            op: "expand".to_string(),
+            level: Some(level.into()),
+            wait_us: micros(ready, decode_from),
+            decode_us: micros(decode_from, decode_done),
+            exec_us: micros(decode_done, exec_done),
+            encode_us: 0,
+        });
+        self.finish(stream, wire::OP_EXPAND_OK, &wire::encode(&ok), span, exec_done)
     }
 
-    fn on_apply(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+    fn on_apply(
+        &mut self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+        ready: Instant,
+    ) -> Result<Flow, ConnError> {
+        let decode_from = Instant::now();
         let req: wire::Apply = decode(payload)?;
-        let (part, state, _ctx) = self.query_mut()?;
+        let decode_done = Instant::now();
+        let (part, state, ctx) = self.query_mut()?;
         // Membership filtering over the broadcast union — equivalent to
         // the in-process holders routing: a pair reaches exactly the
         // shards holding a replica, and only still-∞ cells accept it.
@@ -416,12 +571,28 @@ impl<'w> Conn<'w> {
                 }
             }
         }
-        reply(stream, wire::OP_APPLY_OK, &[])?;
-        Ok(Flow::Continue)
+        let traced = ctx.spans.is_some();
+        let exec_done = Instant::now();
+        let span = traced.then(|| ShardSpan {
+            op: "apply".to_string(),
+            level: Some(req.level.into()),
+            wait_us: micros(ready, decode_from),
+            decode_us: micros(decode_from, decode_done),
+            exec_us: micros(decode_done, exec_done),
+            encode_us: 0,
+        });
+        self.finish(stream, wire::OP_APPLY_OK, &[], span, exec_done)
     }
 
-    fn on_collect(&mut self, stream: &mut TcpStream, payload: &[u8]) -> Result<Flow, ConnError> {
+    fn on_collect(
+        &mut self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+        ready: Instant,
+    ) -> Result<Flow, ConnError> {
+        let decode_from = Instant::now();
         let req: wire::Collect = decode(payload)?;
+        let decode_done = Instant::now();
         let (part, state, ctx) = self.query_mut()?;
         let limit = if req.include_halos {
             part.locals.len()
@@ -441,7 +612,24 @@ impl<'w> Conn<'w> {
                 central: state.central_depth(l),
             });
         }
-        reply(stream, wire::OP_COLLECT_OK, &wire::encode(&wire::CollectOk { rows }))?;
+        let qid = ctx.qid;
+        let mut spans = ctx.spans.take();
+        let exec_done = Instant::now();
+        if let Some(spans) = spans.as_mut() {
+            spans.push(ShardSpan {
+                op: "collect".to_string(),
+                level: None,
+                wait_us: micros(ready, decode_from),
+                decode_us: micros(decode_from, decode_done),
+                exec_us: micros(decode_done, exec_done),
+                // This span ships inside the reply it measures, so its own
+                // encode+write time cannot be self-reported; the
+                // coordinator attributes it to wire time.
+                encode_us: 0,
+            });
+        }
+        let ok = wire::CollectOk { rows, qid, spans };
+        reply(stream, wire::OP_COLLECT_OK, &wire::encode(&ok))?;
         Ok(Flow::Continue)
     }
 }

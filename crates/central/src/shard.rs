@@ -802,6 +802,9 @@ impl ShardedSearch {
                 batch_id: None,
                 co_batched: None,
                 phase_ms: PhaseMillis::from(&profile),
+                qid: None,
+                cache_source_qid: None,
+                shard_timelines: None,
             })
         });
         Ok(SearchOutcome {

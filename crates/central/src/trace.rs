@@ -147,6 +147,67 @@ impl From<&PhaseProfile> for PhaseMillis {
     }
 }
 
+/// One worker-side span for one RPC of a remote query, measured with the
+/// worker's monotonic clock and reported in microseconds. Spans never
+/// carry absolute timestamps: two hosts' clocks are never compared —
+/// only *durations* travel, and the coordinator attributes the remainder
+/// of its own observed round-trip to the wire.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpan {
+    /// The round-protocol phase this RPC served (`"start"`, `"enqueue"`,
+    /// `"identify"`, `"expand"`, `"apply"`, `"collect"`).
+    pub op: String,
+    /// BFS level the RPC operated on, when the phase is per-level.
+    pub level: Option<u32>,
+    /// Worker-side wait between finishing the previous RPC of this query
+    /// and this request's frame becoming available (read/dispatch time on
+    /// the worker; coordinator think-time is *not* included — the read
+    /// loop only starts counting once bytes arrive).
+    pub wait_us: u64,
+    /// Decoding the request payload into its typed message.
+    pub decode_us: u64,
+    /// Executing the phase (for `expand` this is the worker's local BFS
+    /// over its partition — the per-level slice of `PhaseProfile`).
+    pub exec_us: u64,
+    /// Encoding and writing the response frame. Measured after the send
+    /// completes and reported with the *next* span of the query, so the
+    /// final `collect` span reports 0 (its encode is attributed to wire
+    /// time by construction).
+    pub encode_us: u64,
+}
+
+impl ShardSpan {
+    /// Worker-side total for this RPC (everything but coordinator wire
+    /// time).
+    pub fn worker_us(&self) -> u64 {
+        self.wait_us + self.decode_us + self.exec_us + self.encode_us
+    }
+}
+
+/// One shard's stitched timeline for a remote query: the worker-reported
+/// spans plus the coordinator-side attribution. Wire time is computed,
+/// never measured: `rpc_us` (coordinator's monotonic clock around its
+/// RPCs) minus `worker_us` (worker's monotonic clock inside them) — the
+/// worker interval nests inside the coordinator's, so the subtraction is
+/// sound without any cross-host clock comparison.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTimeline {
+    /// Shard index this timeline describes.
+    pub shard: usize,
+    /// The query ID the worker echoed back (`None` from a v1 worker).
+    pub qid: Option<u64>,
+    /// RPCs the coordinator issued to this shard for this query.
+    pub rpcs: u64,
+    /// Coordinator-observed total round-trip time across those RPCs, µs.
+    pub rpc_us: u64,
+    /// Worker-reported total across the piggybacked spans, µs.
+    pub worker_us: u64,
+    /// `rpc_us − worker_us`, saturating: framing, kernel, and wire.
+    pub wire_us: u64,
+    /// The worker's per-RPC spans, in RPC order.
+    pub spans: Vec<ShardSpan>,
+}
+
 /// The full execution trace of one query, carried on `SearchOutcome`
 /// when [`TraceLevel::Full`] is requested and surfaced verbatim by the
 /// server's `EXPLAIN` verb and the slow-query log.
@@ -179,6 +240,16 @@ pub struct QueryTrace {
     pub co_batched: Option<usize>,
     /// Phase wall-times in milliseconds.
     pub phase_ms: PhaseMillis,
+    /// Fleet-wide query ID assigned at accept (`None` for traces
+    /// produced outside the serving/facade path).
+    pub qid: Option<u64>,
+    /// On a cache hit: the query ID that populated the entry being
+    /// served, so a stale or wrong cached answer can be traced back to
+    /// the query that computed it.
+    pub cache_source_qid: Option<u64>,
+    /// Per-shard stitched timelines for a remote query (`None` for
+    /// local queries or when the workers predate the span protocol).
+    pub shard_timelines: Option<Vec<ShardTimeline>>,
 }
 
 impl QueryTrace {
@@ -225,9 +296,28 @@ mod tests {
             batch_id: Some(11),
             co_batched: Some(3),
             phase_ms: PhaseMillis::default(),
+            qid: Some(77),
+            cache_source_qid: Some(41),
+            shard_timelines: Some(vec![ShardTimeline {
+                shard: 1,
+                qid: Some(77),
+                rpcs: 4,
+                rpc_us: 900,
+                worker_us: 700,
+                wire_us: 200,
+                spans: vec![ShardSpan {
+                    op: "expand".into(),
+                    level: Some(2),
+                    wait_us: 5,
+                    decode_us: 10,
+                    exec_us: 600,
+                    encode_us: 85,
+                }],
+            }]),
         };
         let json = serde_json::to_string(&t).unwrap();
         assert!(json.contains("\"cache\":\"miss\""));
+        assert!(json.contains("\"qid\":77"));
         let back: QueryTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
     }
@@ -240,5 +330,21 @@ mod tests {
         assert_eq!(back.cache, None);
         assert_eq!(back.batch_id, None);
         assert_eq!(back.co_batched, None);
+        assert_eq!(back.qid, None);
+        assert_eq!(back.cache_source_qid, None);
+        assert_eq!(back.shard_timelines, None);
+    }
+
+    #[test]
+    fn shard_span_worker_total_sums_all_phases() {
+        let s = ShardSpan {
+            op: "enqueue".into(),
+            level: Some(0),
+            wait_us: 1,
+            decode_us: 2,
+            exec_us: 3,
+            encode_us: 4,
+        };
+        assert_eq!(s.worker_us(), 10);
     }
 }

@@ -42,7 +42,9 @@ commands:
   serve    --graph FILE|--mmap SNAP [--port P] [--backend B] [--top-k K]
            [--workers W] [--max-requests N] [--cache-capacity BYTES]
            [--timeout-ms MS] [--max-expansions N] [--max-queue Q]
-           [--slow-query-ms MS] [--slow-query-log PATH] [--shards N]
+           [--slow-query-ms MS] [--slow-query-log PATH]
+           [--slow-query-trace off|on] [--telemetry-interval-ms MS]
+           [--shards N]
                                            TCP line-protocol query service
                                            (W concurrent connection workers;
                                            result cache sized by BYTES with
@@ -54,12 +56,25 @@ commands:
                                            an `overloaded` error; verbs:
                                            QUERY, EXPLAIN (query + trace),
                                            PING, STATS (JSON counters +
-                                           latency percentiles), METRICS
-                                           (Prometheus text, ends with
-                                           `# EOF`), QUIT; --slow-query-ms
-                                           appends a JSON trace line per
-                                           over-threshold query to PATH,
-                                           default slow_queries.jsonl;
+                                           latency percentiles),
+                                           STATS WINDOW S (rates and
+                                           percentile deltas over the last
+                                           S seconds), TOP (one-line live
+                                           summary: qps, in-flight, cache
+                                           hit rate, slowest recent qid),
+                                           METRICS (Prometheus text, ends
+                                           with `# EOF`), QUIT; every
+                                           QUERY/EXPLAIN response carries a
+                                           fleet-wide \"qid\";
+                                           --slow-query-ms appends a JSON
+                                           line per over-threshold query
+                                           (qid + phase timings) to PATH,
+                                           default slow_queries.jsonl, and
+                                           --slow-query-trace on adds the
+                                           full per-level trace;
+                                           --telemetry-interval-ms sets the
+                                           windowed-snapshot cadence,
+                                           default 1000, 0 disables;
                                            --shards N > 1 serves through
                                            the sharded scatter-gather
                                            coordinator, byte-identical

@@ -14,9 +14,23 @@
 //!   `panics`, `oversized`, `slow_queries`), the engine's metrics
 //!   counters, latency and expansion percentiles from the metrics
 //!   histograms, the session-pool snapshot, the result-cache
-//!   snapshot (`null` when the cache is disabled), and the
-//!   shard-coordinator snapshot (`null` when serving unsharded).
+//!   snapshot (`null` when the cache is disabled), the
+//!   shard-coordinator snapshot (`null` when serving unsharded), and a
+//!   `telemetry` object (sampler state, in-flight gauge, query IDs
+//!   issued, slowest recent query).
 //!   Diagnostic — does not count toward `--max-requests`;
+//! * `STATS WINDOW <seconds>` → one JSON line with *windowed* rates and
+//!   percentiles over (up to) the last N seconds, computed by
+//!   subtracting two periodic telemetry samples — qps, cache hit rate
+//!   and last-N-seconds latency/expansion quantiles instead of the
+//!   since-boot tail. Needs the background sampler
+//!   (`--telemetry-interval-ms`, on by default) and two live samples;
+//!   answers a structured error until then. Diagnostic;
+//! * `TOP` → one JSON line with the operator's at-a-glance view:
+//!   queries in flight right now, qps and cache hit rate over the last
+//!   ten seconds (when the sampler has two samples), query IDs issued,
+//!   the slowest recently answered query (`{"qid", "wall_ms"}`), and
+//!   per-shard breaker gauges under remote serving. Diagnostic;
 //! * `METRICS` → the metrics registry in Prometheus text exposition
 //!   format — multiple lines, terminated by a literal `# EOF` line so a
 //!   line-protocol client knows where the response ends. Diagnostic;
@@ -77,15 +91,45 @@
 //! coordinator unchanged. `STATS` gains a `shards` object and
 //! `METRICS` gains `ws_shard_*` series when sharded.
 //!
+//! ## Query IDs
+//!
+//! Every `QUERY`/`EXPLAIN` request is assigned a fleet-wide query ID at
+//! admission (`u64`, dense from 1) and carries it as `"qid"` in its
+//! response — answer documents *and* error documents alike, so a client
+//! report ("qid 4812 was slow") joins against the slow-query log, the
+//! `EXPLAIN` trace (`trace.qid`), the per-shard timelines of remote
+//! serving (the qid rides the frame protocol, Hello-gated), and `TOP`'s
+//! slowest-recent view. A cache hit reports its own qid plus
+//! `trace.cache_source_qid` — the qid of the query that computed the
+//! cached answer.
+//!
 //! ## Slow-query log
 //!
-//! `--slow-query-ms N` arms a slow-query log: every `QUERY` runs with
-//! tracing enabled, the server measures its own wall time around the
-//! search, and a query at or over the threshold appends one JSON line —
-//! `{"ts_ms", "query", "ms", "threshold_ms", "error", "trace"}` — to the
-//! file named by `--slow-query-log` (default `slow_queries.jsonl`).
-//! Tracing never changes answers (differential-tested in the engine), so
-//! arming the log is observably free apart from the trace allocations.
+//! `--slow-query-ms N` arms a slow-query log: the server measures its
+//! own wall time around each search and a query at or over the
+//! threshold appends one JSON line — `{"ts_ms", "qid", "query", "ms",
+//! "threshold_ms", "error", "phase_ms", "trace"}` — to the file named
+//! by `--slow-query-log` (default `slow_queries.jsonl`). By default the
+//! line carries the query ID and the per-phase wall-time profile only
+//! (`"trace"` is `null`): the phase profile is measured by every search
+//! anyway, so the default log is free of trace allocations.
+//! `--slow-query-trace on` additionally runs every query with full
+//! tracing so the log line carries the complete per-level execution
+//! trace. Tracing never changes answers (differential-tested in the
+//! engine), so turning it on is observably free apart from the trace
+//! allocations.
+//!
+//! ## Windowed telemetry
+//!
+//! A background sampler publishes one snapshot of the metrics registry
+//! every `--telemetry-interval-ms` (default 1000, `0` disables) into a
+//! lock-free ring of the last ~5 minutes of samples. `STATS WINDOW N`
+//! subtracts the two samples spanning the last N seconds — rates and
+//! percentiles *of the window*, not since boot — and `TOP` reads the
+//! same ring for its ten-second pulse. Sampling is off the query hot
+//! path entirely: queries never write the ring (only the sampler
+//! thread does), and a differential proptest pins that telemetry on vs
+//! off leaves answers, scores, stats and error classes byte-identical.
 //!
 //! ## Micro-batched execution
 //!
@@ -131,7 +175,10 @@ use crate::args::ParsedArgs;
 use central::metrics::{
     prometheus_counter, prometheus_gauge, prometheus_histogram, prometheus_labeled_gauge,
 };
-use central::{QueryBudget, QueryTrace, RemoteOptions, SearchError, StaticAddrs, TraceLevel};
+use central::{
+    PhaseMillis, QueryBudget, QueryTrace, RemoteOptions, SearchError, StaticAddrs, TelemetrySample,
+    TraceLevel,
+};
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -140,7 +187,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
-use wikisearch_engine::{Backend, WikiSearch};
+use wikisearch_engine::{Backend, WikiSearch, DEFAULT_TELEMETRY_SAMPLES};
 
 /// How often a blocked worker wakes up to check for drain.
 const DRAIN_POLL: Duration = Duration::from_millis(50);
@@ -179,6 +226,11 @@ struct SlowLog {
     /// Queries taking at least this many wall-clock milliseconds
     /// (measured by the server around the whole search) are logged.
     threshold_ms: u64,
+    /// Whether queries run fully traced so the log line can carry the
+    /// per-level execution trace (`--slow-query-trace on`). Off by
+    /// default: the line then carries the qid and the per-phase profile,
+    /// which every search measures anyway.
+    traced: bool,
     /// Appended one JSON line per slow query; the mutex serializes
     /// writers so lines never interleave.
     file: Mutex<std::fs::File>,
@@ -186,13 +238,13 @@ struct SlowLog {
 
 impl SlowLog {
     /// Open (append/create) the log file.
-    fn open(path: &str, threshold_ms: u64) -> Result<SlowLog, String> {
+    fn open(path: &str, threshold_ms: u64, traced: bool) -> Result<SlowLog, String> {
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| format!("--slow-query-log {path}: {e}"))?;
-        Ok(SlowLog { threshold_ms, file: Mutex::new(file) })
+        Ok(SlowLog { threshold_ms, traced, file: Mutex::new(file) })
     }
 
     /// Append one line for `answer` if it crossed the threshold.
@@ -207,15 +259,30 @@ impl SlowLog {
             .unwrap_or(0);
         let doc = serde_json::json!({
             "ts_ms": ts_ms,
+            "qid": answer.qid,
             "query": q,
             "ms": answer.wall_ms,
             "threshold_ms": self.threshold_ms,
             "error": answer.error,
+            "phase_ms": answer.phase_ms.as_ref().map(serde_json::to_value),
             "trace": answer.trace.as_deref().map(serde_json::to_value),
         });
         let mut file = self.file.lock();
         let _ = writeln!(file, "{doc}");
     }
+}
+
+/// Static identity of this serving process, surfaced as the
+/// `ws_build_info` info-gauge and the `ws_uptime_seconds` gauge.
+struct ServeInfo {
+    /// Crate version (`CARGO_PKG_VERSION`).
+    version: &'static str,
+    /// The backend flag as the operator spelled it (`seq`, `cpu`, …).
+    backend: String,
+    /// Shards served (remote workers, in-process shards, or 1).
+    shards: usize,
+    /// When the server started, for `ws_uptime_seconds`.
+    started: Instant,
 }
 
 /// Everything a worker needs to serve connections, shared by reference
@@ -227,12 +294,13 @@ struct Shared<'a> {
     max_requests: usize,
     draining: &'a AtomicBool,
     addr: SocketAddr,
-    /// `Some` when `--slow-query-ms` armed the slow-query log; queries
-    /// then run traced so the log line can carry the execution trace.
+    /// `Some` when `--slow-query-ms` armed the slow-query log.
     slow: Option<SlowLog>,
     /// `Some` when `--shard-workers` forked a supervised worker fleet;
     /// surfaces live PIDs and the respawn count on `STATS`.
     supervisor: Option<&'a crate::supervisor::Supervisor>,
+    /// Build/runtime identity for `METRICS`.
+    info: ServeInfo,
 }
 
 /// Run the server until `max_requests` queries have been answered (or
@@ -253,6 +321,8 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         "max-queue",
         "slow-query-ms",
         "slow-query-log",
+        "slow-query-trace",
+        "telemetry-interval-ms",
         "shards",
         "batch-window-us",
         "batch-max",
@@ -274,6 +344,12 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     let max_expansions: u64 = args.get_or("max-expansions", 0)?;
     let max_queue: usize = args.get_or("max-queue", 64)?;
     let slow_query_ms: u64 = args.get_or("slow-query-ms", 0)?;
+    let telemetry_interval_ms: u64 = args.get_or("telemetry-interval-ms", 1000)?;
+    let slow_query_trace = match args.optional("slow-query-trace").unwrap_or("off") {
+        "off" => false,
+        "on" => true,
+        other => return Err(format!("--slow-query-trace must be `off` or `on`, got {other:?}")),
+    };
     let batch_window_us: u64 = args.get_or("batch-window-us", 0)?;
     let batch_max: usize = args.get_or("batch-max", 16)?;
     let async_io: bool = args.get_or("async-io", false)?;
@@ -297,6 +373,9 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     }
     if slow_query_ms == 0 && args.optional("slow-query-log").is_some() {
         return Err("--slow-query-log requires --slow-query-ms N (N >= 1)".into());
+    }
+    if slow_query_ms == 0 && args.optional("slow-query-trace").is_some() {
+        return Err("--slow-query-trace requires --slow-query-ms N (N >= 1)".into());
     }
     let remote = shard_workers > 0 || shard_addr.is_some();
     if shard_workers > 0 && shard_addr.is_some() {
@@ -327,7 +406,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     }
     let slow = if slow_query_ms > 0 {
         let path = args.optional("slow-query-log").unwrap_or("slow_queries.jsonl");
-        Some(SlowLog::open(path, slow_query_ms)?)
+        Some(SlowLog::open(path, slow_query_ms, slow_query_trace)?)
     } else {
         None
     };
@@ -345,6 +424,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     ws.set_params(params);
     ws.set_cache_capacity(cache_capacity);
     ws.set_batching(Duration::from_micros(batch_window_us), batch_max);
+    ws.set_telemetry(telemetry_interval_ms, DEFAULT_TELEMETRY_SAMPLES);
     let remote_opts = RemoteOptions {
         rpc_timeout: Duration::from_millis(rpc_timeout_ms),
         attempts: rpc_retries,
@@ -422,17 +502,34 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
 
-    let counters = ServeCounters::default();
+    let counters_arc = Arc::new(ServeCounters::default());
+    let counters = Arc::clone(&counters_arc);
     let draining = AtomicBool::new(false);
+    // The background sampler: one metrics snapshot per interval into the
+    // telemetry ring, entirely off the query path. It stops (promptly —
+    // it sleeps in DRAIN_POLL ticks) once serving ends.
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let sampler = (telemetry_interval_ms > 0).then(|| {
+        let ws = Arc::clone(&ws);
+        let counters = Arc::clone(&counters);
+        let stop = Arc::clone(&sampler_stop);
+        std::thread::spawn(move || run_sampler(&ws, &counters, &stop))
+    });
     let shared = Shared {
         ws: &ws,
-        counters: &counters,
+        counters: &counters_arc,
         budget,
         max_requests,
         draining: &draining,
         addr,
         slow,
         supervisor: supervisor.as_ref(),
+        info: ServeInfo {
+            version: env!("CARGO_PKG_VERSION"),
+            backend: args.optional("backend").unwrap_or("cpu").to_string(),
+            shards: ws.num_remote_shards().or(ws.num_shards()).unwrap_or(1),
+            started: Instant::now(),
+        },
     };
     let accept_error = if async_io {
         serve_async(&listener, &shared, workers, max_queue)
@@ -440,11 +537,42 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         serve_sync(&listener, &shared, workers, max_queue)
     };
 
+    sampler_stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = sampler {
+        let _ = handle.join();
+    }
     if let Some(e) = accept_error {
         return Err(e);
     }
     writeln!(out, "served {} queries, shutting down", counters.served.load(Ordering::SeqCst))
         .map_err(|e| e.to_string())
+}
+
+/// The background sampler loop: publish one [`TelemetrySample`] (a
+/// monotonic timestamp, the served counter, and the full metrics
+/// snapshot) per `--telemetry-interval-ms` into the engine's telemetry
+/// ring. Sleeps in [`DRAIN_POLL`] ticks so shutdown never waits out a
+/// long interval; publishes a boot sample immediately so `STATS WINDOW`
+/// has a subtraction base one interval in.
+fn run_sampler(ws: &WikiSearch, counters: &ServeCounters, stop: &AtomicBool) {
+    let telemetry = ws.telemetry();
+    let interval = Duration::from_millis(telemetry.interval_ms.max(1));
+    let started = Instant::now();
+    let sample = || TelemetrySample {
+        t_us: started.elapsed().as_micros() as u64,
+        served: counters.served.load(Ordering::SeqCst) as u64,
+        snapshot: ws.metrics_snapshot(),
+    };
+    telemetry.record_sample(&sample());
+    let mut due = interval;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(DRAIN_POLL.min(interval));
+        if started.elapsed() < due {
+            continue;
+        }
+        telemetry.record_sample(&sample());
+        due = started.elapsed() + interval;
+    }
 }
 
 /// The connection-per-worker serving loop: each accepted connection is
@@ -824,8 +952,23 @@ fn serve_one_request(
         if writeln!(writer, "{doc}").is_err() {
             return Served::Close;
         }
+    } else if request.eq_ignore_ascii_case("TOP") {
+        let doc = top_snapshot(shared.ws, shared.counters);
+        if writeln!(writer, "{doc}").is_err() {
+            return Served::Close;
+        }
+    } else if let Some(rest) = verb_rest(request, "STATS") {
+        // Plain `STATS` matched above; this is `STATS <something>` —
+        // only `STATS WINDOW <seconds>` is in the grammar.
+        let doc = match stats_window_seconds(rest) {
+            Ok(secs) => stats_window(shared.ws, secs),
+            Err(msg) => serde_json::json!({ "error": msg }),
+        };
+        if writeln!(writer, "{doc}").is_err() {
+            return Served::Close;
+        }
     } else if request.eq_ignore_ascii_case("METRICS") {
-        let text = metrics_exposition(shared.ws, shared.counters);
+        let text = metrics_exposition(shared.ws, shared.counters, &shared.info);
         if writer.write_all(text.as_bytes()).is_err() {
             return Served::Close;
         }
@@ -835,7 +978,8 @@ fn serve_one_request(
                 return Served::Close;
             }
         } else {
-            let doc = explain_query(shared.ws, keywords, &shared.budget, shared.counters);
+            let qid = shared.ws.issue_query_id();
+            let doc = explain_query(shared.ws, keywords, &shared.budget, shared.counters, qid);
             if writeln!(writer, "{doc}").is_err() {
                 return Served::Close;
             }
@@ -846,8 +990,12 @@ fn serve_one_request(
                 return Served::Close;
             }
         } else {
-            let traced = shared.slow.is_some();
-            let answer = answer_query(shared.ws, keywords, &shared.budget, shared.counters, traced);
+            // Admission: the query's fleet-wide ID is allocated before
+            // anything can fail, so even error documents carry it.
+            let qid = shared.ws.issue_query_id();
+            let traced = shared.slow.as_ref().is_some_and(|s| s.traced);
+            let answer =
+                answer_query(shared.ws, keywords, &shared.budget, shared.counters, traced, qid);
             if let Some(slow) = &shared.slow {
                 slow.maybe_log(keywords, &answer, shared.counters);
             }
@@ -871,8 +1019,11 @@ fn serve_one_request(
                 return Served::Close;
             }
         }
-    } else if writeln!(writer, r#"{{"error":"expected QUERY/EXPLAIN/PING/STATS/METRICS/QUIT"}}"#)
-        .is_err()
+    } else if writeln!(
+        writer,
+        r#"{{"error":"expected QUERY/EXPLAIN/PING/STATS/STATS WINDOW/TOP/METRICS/QUIT"}}"#
+    )
+    .is_err()
     {
         return Served::Close;
     }
@@ -899,6 +1050,109 @@ fn verb_rest<'a>(request: &'a str, verb: &str) -> Option<&'a str> {
 /// keyword list (answered with an error, not ignored).
 fn query_keywords(request: &str) -> Option<&str> {
     verb_rest(request, "QUERY")
+}
+
+/// Parse the tail of a `STATS …` request as `WINDOW <seconds>`. The
+/// grammar is strict: exactly one argument, a positive integer.
+fn stats_window_seconds(rest: &str) -> Result<u64, &'static str> {
+    let grammar = "expected STATS WINDOW <seconds>";
+    let secs = verb_rest(rest, "WINDOW").ok_or(grammar)?;
+    match secs.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err("STATS WINDOW takes a whole number of seconds >= 1"),
+    }
+}
+
+/// One `STATS WINDOW <seconds>` response line: counters, rates and
+/// latency/expansion percentiles *of the window* — the newest telemetry
+/// sample minus the newest sample at least that much older. A structured
+/// error until the sampler has published two samples.
+fn stats_window(ws: &WikiSearch, secs: u64) -> serde_json::Value {
+    let telemetry = ws.telemetry();
+    let Some(w) = telemetry.window(secs.saturating_mul(1_000_000)) else {
+        return serde_json::json!({
+            "error": "window unavailable",
+            "detail": "the windowed view needs two telemetry samples; \
+                       is --telemetry-interval-ms > 0?",
+        });
+    };
+    let lat = &w.latency_us;
+    let exp = &w.expansions;
+    serde_json::json!({
+        "window_s": secs,
+        "span_ms": w.span_us as f64 / 1e3,
+        "samples": w.samples as u64,
+        "queries": w.queries,
+        "served": w.served,
+        "qps": w.qps(),
+        "cache_hits": w.cache_hits,
+        "cache_misses": w.cache_misses,
+        "cache_hit_rate": w.cache_hit_rate(),
+        "deadline_exceeded": w.deadline_exceeded,
+        "budget_exhausted": w.budget_exhausted,
+        "shard_unavailable": w.shard_unavailable,
+        "latency": {
+            "count": lat.count,
+            "mean_ms": lat.mean() / 1e3,
+            "p50_ms": lat.percentile(0.50) as f64 / 1e3,
+            "p95_ms": lat.percentile(0.95) as f64 / 1e3,
+            "p99_ms": lat.percentile(0.99) as f64 / 1e3,
+        },
+        "expansions": {
+            "count": exp.count,
+            "mean": exp.mean(),
+            "p50": exp.percentile(0.50),
+            "p95": exp.percentile(0.95),
+            "p99": exp.percentile(0.99),
+        },
+    })
+}
+
+/// One `TOP` response line: the operator's at-a-glance view. `qps` and
+/// `cache_hit_rate` cover the last ten seconds and are `null` until the
+/// sampler has two samples; `slowest_recent` is `null` until a query
+/// has been answered; `breakers` is `null` without remote serving
+/// (gauge values: 0 closed, 1 half-open, 2 open).
+fn top_snapshot(ws: &WikiSearch, counters: &ServeCounters) -> serde_json::Value {
+    let telemetry = ws.telemetry();
+    let window = telemetry.window(10_000_000);
+    let mut doc = serde_json::json!({
+        "in_flight": telemetry.in_flight().current(),
+        "served": counters.served.load(Ordering::SeqCst) as u64,
+        "qids_issued": ws.query_ids_issued(),
+        "samples": telemetry.samples(),
+    });
+    if let serde_json::Value::Object(entries) = &mut doc {
+        entries.push((
+            "qps".to_owned(),
+            window.as_ref().map_or(serde_json::Value::Null, |w| serde_json::json!(w.qps())),
+        ));
+        entries.push((
+            "cache_hit_rate".to_owned(),
+            window
+                .as_ref()
+                .map_or(serde_json::Value::Null, |w| serde_json::json!(w.cache_hit_rate())),
+        ));
+        entries.push((
+            "slowest_recent".to_owned(),
+            match telemetry.slowest_recent() {
+                Some((qid, wall_us)) => {
+                    serde_json::json!({ "qid": qid, "wall_ms": wall_us as f64 / 1e3 })
+                }
+                None => serde_json::Value::Null,
+            },
+        ));
+        entries.push((
+            "breakers".to_owned(),
+            match ws.remote_breaker_states() {
+                Some(states) => {
+                    serde_json::json!(states.iter().map(|s| s.gauge()).collect::<Vec<f64>>())
+                }
+                None => serde_json::Value::Null,
+            },
+        ));
+    }
+    doc
 }
 
 /// One `STATS` response line: serving counters, the engine's metrics
@@ -951,7 +1205,34 @@ fn stats_snapshot(
         "shards": ws.shard_stats(),
         "batch": ws.batch_stats().map(|b| batch_block(&b)),
         "remote": ws.remote_stats().map(|r| remote_block(&r, supervisor)),
+        "telemetry": telemetry_block(ws),
     })
+}
+
+/// The `telemetry` object of the `STATS` line: sampler state, the
+/// in-flight gauge, query IDs issued, and the slowest recently answered
+/// query (built by hand — the vendored `json!` macro caps nesting).
+fn telemetry_block(ws: &WikiSearch) -> serde_json::Value {
+    let telemetry = ws.telemetry();
+    let mut doc = serde_json::json!({
+        "interval_ms": telemetry.interval_ms,
+        "samples": telemetry.samples(),
+        "capacity": telemetry.capacity() as u64,
+        "in_flight": telemetry.in_flight().current(),
+        "qids_issued": ws.query_ids_issued(),
+    });
+    if let serde_json::Value::Object(entries) = &mut doc {
+        entries.push((
+            "slowest_recent".to_owned(),
+            match telemetry.slowest_recent() {
+                Some((qid, wall_us)) => {
+                    serde_json::json!({ "qid": qid, "wall_ms": wall_us as f64 / 1e3 })
+                }
+                None => serde_json::Value::Null,
+            },
+        ));
+    }
+    doc
 }
 
 /// The `remote` object of the `STATS` line: the remote coordinator's
@@ -1032,12 +1313,33 @@ fn batch_block(b: &central::BatchStats) -> serde_json::Value {
 }
 
 /// The `METRICS` response: the engine's metrics registry plus the pool,
-/// cache and serving counters in Prometheus text exposition format,
-/// terminated by a literal `# EOF` line (the line-protocol framing for
-/// this one multi-line response).
-fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters) -> String {
+/// cache, telemetry and serving counters in Prometheus text exposition
+/// format, terminated by a literal `# EOF` line (the line-protocol
+/// framing for this one multi-line response).
+fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters, info: &ServeInfo) -> String {
     let m = ws.metrics_snapshot();
     let mut out = String::new();
+    prometheus_labeled_gauge(
+        &mut out,
+        "ws_build_info",
+        "Build/runtime identity (the value is always 1; the labels carry the facts).",
+        &[(
+            format!(
+                "version=\"{}\",backend=\"{}\",shards=\"{}\",mmap=\"{}\"",
+                info.version,
+                info.backend,
+                info.shards,
+                ws.is_memory_mapped()
+            ),
+            1.0,
+        )],
+    );
+    prometheus_gauge(
+        &mut out,
+        "ws_uptime_seconds",
+        "Seconds since the server started.",
+        info.started.elapsed().as_secs_f64(),
+    );
     prometheus_counter(&mut out, "ws_queries_total", "Queries answered by the engine.", m.queries);
     prometheus_counter(
         &mut out,
@@ -1289,6 +1591,37 @@ fn metrics_exposition(ws: &WikiSearch, counters: &ServeCounters) -> String {
             );
         }
     }
+    let telemetry = ws.telemetry();
+    prometheus_gauge(
+        &mut out,
+        "ws_telemetry_interval_ms",
+        "Background sampler period (0 = disabled).",
+        telemetry.interval_ms as f64,
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_telemetry_samples_total",
+        "Periodic telemetry samples published.",
+        telemetry.samples(),
+    );
+    prometheus_gauge(
+        &mut out,
+        "ws_telemetry_ring_capacity",
+        "Telemetry sample-ring capacity (slots).",
+        telemetry.capacity() as f64,
+    );
+    prometheus_gauge(
+        &mut out,
+        "ws_telemetry_in_flight",
+        "Queries executing right now.",
+        telemetry.in_flight().current() as f64,
+    );
+    prometheus_counter(
+        &mut out,
+        "ws_telemetry_query_ids_total",
+        "Fleet-wide query IDs issued.",
+        ws.query_ids_issued(),
+    );
     prometheus_counter(
         &mut out,
         "ws_server_served_total",
@@ -1339,6 +1672,11 @@ struct Answer {
     succeeded: bool,
     /// Server-measured wall time around the whole search, in ms.
     wall_ms: f64,
+    /// The fleet-wide query ID assigned at admission.
+    qid: u64,
+    /// Per-phase wall times, when the search completed (measured by
+    /// every search; the slow-query log's default payload).
+    phase_ms: Option<PhaseMillis>,
     /// The execution trace, when the query ran traced.
     trace: Option<Box<QueryTrace>>,
     /// The error kind (`"internal"`, `"deadline_exceeded"`,
@@ -1349,13 +1687,15 @@ struct Answer {
 /// One response line for one query, under the server's budget and panic
 /// isolation. With `traced`, the search runs with [`TraceLevel::Full`]
 /// so the slow-query log can attach the execution trace (tracing never
-/// changes answers).
+/// changes answers). `qid` was assigned at admission and rides the
+/// response — error documents included.
 fn answer_query(
     ws: &WikiSearch,
     q: &str,
     budget: &QueryBudget,
     counters: &ServeCounters,
     traced: bool,
+    qid: u64,
 ) -> Answer {
     let started = Instant::now();
     // Panic isolation boundary: a panicking search unwinds through the
@@ -1364,9 +1704,9 @@ fn answer_query(
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if traced {
             let params = ws.params().clone().with_trace(TraceLevel::Full);
-            ws.try_search_with_params(q, &params, budget)
+            ws.try_search_with_params_tagged(q, &params, budget, qid)
         } else {
-            ws.try_search(q, budget)
+            ws.try_search_with_params_tagged(q, ws.params(), budget, qid)
         }
     }));
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -1378,8 +1718,17 @@ fn answer_query(
                 "error": "internal",
                 "detail": "query execution panicked; its session was quarantined",
                 "query": q,
+                "qid": qid,
             });
-            return Answer { doc, succeeded: false, wall_ms, trace: None, error: Some("internal") };
+            return Answer {
+                doc,
+                succeeded: false,
+                wall_ms,
+                qid,
+                phase_ms: None,
+                trace: None,
+                error: Some("internal"),
+            };
         }
     };
     let mut result = match result {
@@ -1400,12 +1749,29 @@ fn answer_query(
                 "error": e.kind(),
                 "detail": e.to_string(),
                 "query": q,
+                "qid": qid,
             });
-            return Answer { doc, succeeded: false, wall_ms, trace: None, error: Some(e.kind()) };
+            return Answer {
+                doc,
+                succeeded: false,
+                wall_ms,
+                qid,
+                phase_ms: None,
+                trace: None,
+                error: Some(e.kind()),
+            };
         }
     };
     let doc = answer_document(ws, q, &result);
-    Answer { doc, succeeded: true, wall_ms, trace: result.trace.take(), error: None }
+    Answer {
+        doc,
+        succeeded: true,
+        wall_ms,
+        qid,
+        phase_ms: Some(PhaseMillis::from(&result.profile)),
+        trace: result.trace.take(),
+        error: None,
+    }
 }
 
 /// The success-path JSON document shared by `QUERY` and `EXPLAIN`.
@@ -1429,6 +1795,7 @@ fn answer_document(
         .collect();
     serde_json::json!({
         "query": q,
+        "qid": result.qid,
         "answers": answers,
         "unmatched": result.query.unmatched,
         "ms": result.profile.total().as_secs_f64() * 1e3,
@@ -1446,8 +1813,11 @@ fn explain_query(
     q: &str,
     budget: &QueryBudget,
     counters: &ServeCounters,
+    qid: u64,
 ) -> serde_json::Value {
-    let result = std::panic::catch_unwind(AssertUnwindSafe(|| ws.explain(q, budget)));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        ws.explain_with_params_tagged(q, ws.params(), budget, qid)
+    }));
     let result = match result {
         Ok(result) => result,
         Err(_panic) => {
@@ -1456,6 +1826,7 @@ fn explain_query(
                 "error": "internal",
                 "detail": "query execution panicked; its session was quarantined",
                 "query": q,
+                "qid": qid,
             });
         }
     };
@@ -1488,6 +1859,7 @@ fn explain_query(
                 "error": e.kind(),
                 "detail": e.to_string(),
                 "query": q,
+                "qid": qid,
             })
         }
     }
@@ -1722,15 +2094,19 @@ mod tests {
         let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
         let counters = ServeCounters::default();
         let budget = QueryBudget::unlimited().with_timeout(Duration::ZERO);
-        let answer = answer_query(&ws, "xml sql", &budget, &counters, false);
+        let answer = answer_query(&ws, "xml sql", &budget, &counters, false, 11);
         assert!(!answer.succeeded);
         assert_eq!(answer.doc["error"], "deadline_exceeded");
+        assert_eq!(answer.doc["qid"], 11u64, "error documents carry the qid");
         assert_eq!(answer.error, Some("deadline_exceeded"));
+        assert!(answer.phase_ms.is_none(), "failed queries have no phase profile");
         assert_eq!(counters.timeouts.load(Ordering::SeqCst), 1);
         // And an unlimited budget still answers.
-        let answer = answer_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters, false);
+        let answer = answer_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters, false, 12);
         assert!(answer.succeeded, "{}", answer.doc);
+        assert_eq!(answer.doc["qid"], 12u64, "answer documents carry the qid");
         assert!(answer.trace.is_none(), "untraced queries carry no trace");
+        assert!(answer.phase_ms.is_some(), "every completed search has a phase profile");
         assert_eq!(counters.served.load(Ordering::SeqCst), 0, "served is counted by the caller");
     }
 
@@ -1745,8 +2121,8 @@ mod tests {
         let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
         let counters = ServeCounters::default();
         let budget = QueryBudget::unlimited();
-        let plain = answer_query(&ws, "xml sql", &budget, &counters, false);
-        let traced = answer_query(&ws, "xml sql", &budget, &counters, true);
+        let plain = answer_query(&ws, "xml sql", &budget, &counters, false, 1);
+        let traced = answer_query(&ws, "xml sql", &budget, &counters, true, 2);
         assert!(traced.succeeded);
         let trace = traced.trace.expect("traced query carries its trace");
         assert!(!trace.levels.is_empty(), "per-level records present");
@@ -1767,14 +2143,17 @@ mod tests {
         b.add_edge(s, q, "rel");
         let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
         let counters = ServeCounters::default();
-        let doc = explain_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters);
+        let doc = explain_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters, 7);
         assert_eq!(doc["answers"][0]["central"], "query language", "{doc}");
+        assert_eq!(doc["qid"], 7u64, "{doc}");
         assert!(doc["trace"]["levels"].is_array(), "{doc}");
+        assert_eq!(doc["trace"]["qid"], 7u64, "the trace joins on the same qid: {doc}");
         assert_eq!(doc["trace"]["keywords"], 2u64, "{doc}");
         // EXPLAIN under an expired deadline reports the structured error.
         let budget = QueryBudget::unlimited().with_timeout(Duration::ZERO);
-        let doc = explain_query(&ws, "xml sql", &budget, &counters);
+        let doc = explain_query(&ws, "xml sql", &budget, &counters, 8);
         assert_eq!(doc["error"], "deadline_exceeded", "{doc}");
+        assert_eq!(doc["qid"], 8u64, "{doc}");
         assert_eq!(counters.timeouts.load(Ordering::SeqCst), 1);
     }
 
@@ -1785,12 +2164,14 @@ mod tests {
             .to_string_lossy()
             .into_owned();
         let _ = std::fs::remove_file(&path);
-        let slow = SlowLog::open(&path, 50).unwrap();
+        let slow = SlowLog::open(&path, 50, true).unwrap();
         let counters = ServeCounters::default();
         let fast = Answer {
             doc: serde_json::json!({}),
             succeeded: true,
             wall_ms: 1.0,
+            qid: 1,
+            phase_ms: Some(PhaseMillis::default()),
             trace: None,
             error: None,
         };
@@ -1799,6 +2180,8 @@ mod tests {
             doc: serde_json::json!({}),
             succeeded: true,
             wall_ms: 80.0,
+            qid: 2,
+            phase_ms: Some(PhaseMillis::default()),
             trace: Some(Box::new(QueryTrace::default())),
             error: None,
         };
@@ -1809,9 +2192,112 @@ mod tests {
         assert_eq!(lines.len(), 1, "only the over-threshold query is logged: {text}");
         let doc: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
         assert_eq!(doc["query"], "laggard");
+        assert_eq!(doc["qid"], 2u64, "the slow-query line joins on the qid: {doc}");
         assert_eq!(doc["threshold_ms"], 50u64);
+        assert!(doc["phase_ms"]["expansion_ms"].is_number(), "{doc}");
         assert!(doc["trace"]["levels"].is_array(), "{doc}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn untraced_slow_log_lines_carry_qid_and_phases_but_no_trace() {
+        let path = std::env::temp_dir()
+            .join(format!("ws-slowlog-unit2-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&path);
+        // The default (--slow-query-trace off): queries run untraced, so
+        // a logged line carries the qid + phase profile and a null trace.
+        let slow = SlowLog::open(&path, 50, false).unwrap();
+        assert!(!slow.traced);
+        let counters = ServeCounters::default();
+        let answer = Answer {
+            doc: serde_json::json!({}),
+            succeeded: true,
+            wall_ms: 80.0,
+            qid: 9,
+            phase_ms: Some(PhaseMillis { expansion_ms: 33.0, ..PhaseMillis::default() }),
+            trace: None,
+            error: None,
+        };
+        slow.maybe_log("laggard", &answer, &counters);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(doc["qid"], 9u64, "{doc}");
+        assert_eq!(doc["phase_ms"]["expansion_ms"], 33.0, "{doc}");
+        assert!(doc["trace"].is_null(), "untraced lines have no trace: {doc}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_window_grammar_is_strict() {
+        assert_eq!(stats_window_seconds("WINDOW 5"), Ok(5));
+        assert_eq!(stats_window_seconds("WINDOW   30"), Ok(30));
+        assert!(stats_window_seconds("WINDOW").is_err(), "seconds are required");
+        assert!(stats_window_seconds("WINDOW 0").is_err(), "zero-width windows are refused");
+        assert!(stats_window_seconds("WINDOW five").is_err());
+        assert!(stats_window_seconds("WINDOW 5 6").is_err(), "exactly one argument");
+        assert!(stats_window_seconds("WINDOWS 5").is_err(), "WINDOWS is not WINDOW");
+        assert!(stats_window_seconds("PANE 5").is_err());
+    }
+
+    #[test]
+    fn top_reports_in_flight_and_the_slowest_recent_query() {
+        let mut b = kgraph::GraphBuilder::new();
+        let x = b.add_node("x", "xml");
+        let q = b.add_node("q", "query language");
+        let s = b.add_node("s", "sql");
+        b.add_edge(x, q, "rel");
+        b.add_edge(s, q, "rel");
+        let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
+        let counters = ServeCounters::default();
+        // Before any query: gauges at zero, the optional views null.
+        let doc = top_snapshot(&ws, &counters);
+        assert_eq!(doc["in_flight"], 0u64, "{doc}");
+        assert_eq!(doc["qids_issued"], 0u64, "{doc}");
+        assert!(doc["slowest_recent"].is_null(), "{doc}");
+        assert!(doc["qps"].is_null(), "no samples yet: {doc}");
+        assert!(doc["breakers"].is_null(), "not serving remotely: {doc}");
+        // After a served query the recent ring and the qid counter move.
+        let qid = ws.issue_query_id();
+        let answer = answer_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters, false, qid);
+        assert!(answer.succeeded);
+        let doc = top_snapshot(&ws, &counters);
+        assert_eq!(doc["qids_issued"], 1u64, "{doc}");
+        assert_eq!(doc["slowest_recent"]["qid"], qid, "{doc}");
+        assert!(doc["slowest_recent"]["wall_ms"].is_number(), "{doc}");
+    }
+
+    #[test]
+    fn stats_window_needs_two_samples_then_subtracts_them() {
+        let mut b = kgraph::GraphBuilder::new();
+        let x = b.add_node("x", "xml");
+        let s = b.add_node("s", "sql");
+        b.add_edge(x, s, "rel");
+        let ws = WikiSearch::build_with(b.build(), Backend::Sequential);
+        let doc = stats_window(&ws, 5);
+        assert_eq!(doc["error"], "window unavailable", "{doc}");
+        // Feed the ring by hand the way the sampler does: a boot sample,
+        // some queries, a second sample one "second" later.
+        let snap = |t_us: u64, served: u64| TelemetrySample {
+            t_us,
+            served,
+            snapshot: ws.metrics_snapshot(),
+        };
+        ws.telemetry().record_sample(&snap(0, 0));
+        let counters = ServeCounters::default();
+        for _ in 0..3 {
+            let qid = ws.issue_query_id();
+            let a = answer_query(&ws, "xml sql", &QueryBudget::unlimited(), &counters, false, qid);
+            assert!(a.succeeded);
+        }
+        ws.telemetry().record_sample(&snap(1_000_000, 3));
+        let doc = stats_window(&ws, 5);
+        assert_eq!(doc["queries"], 3u64, "{doc}");
+        assert_eq!(doc["served"], 3u64, "{doc}");
+        assert_eq!(doc["window_s"], 5u64, "{doc}");
+        assert!(doc["qps"].is_number(), "{doc}");
+        assert_eq!(doc["latency"]["count"], 3u64, "{doc}");
     }
 
     #[test]

@@ -71,17 +71,19 @@ fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, request:
     line.trim_end().to_string()
 }
 
-/// A query response with its volatile timing field removed, re-serialized
-/// deterministically (objects keep insertion order, and both runs build
-/// the response through the same code), so two runs of the same query can
-/// be compared byte for byte.
+/// A query response with its volatile fields removed — the wall-clock
+/// `ms` and the fleet-wide `qid`, which depends on how many queries any
+/// other client slipped in first — re-serialized deterministically
+/// (objects keep insertion order, and both runs build the response
+/// through the same code), so two runs of the same query can be
+/// compared byte for byte.
 fn normalized(response: &str) -> String {
     let mut doc: serde_json::Value =
         serde_json::from_str(response).unwrap_or_else(|e| panic!("bad JSON {response:?}: {e}"));
     let serde_json::Value::Object(entries) = &mut doc else {
         panic!("non-object response {response:?}");
     };
-    entries.retain(|(key, _)| key != "ms");
+    entries.retain(|(key, _)| key != "ms" && key != "qid");
     serde_json::to_string(&doc).unwrap()
 }
 

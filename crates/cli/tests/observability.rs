@@ -100,6 +100,7 @@ fn stats_document_has_exactly_the_documented_key_set() {
             "shards",
             "shed",
             "slow_queries",
+            "telemetry",
             "timeouts",
         ],
         "{response}"
@@ -133,6 +134,23 @@ fn stats_document_has_exactly_the_documented_key_set() {
         vec!["count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"]
     );
     assert_eq!(block_keys(&doc["expansions"]), vec!["count", "mean", "p50", "p95", "p99"]);
+    assert_eq!(
+        block_keys(&doc["telemetry"]),
+        vec![
+            "capacity",
+            "in_flight",
+            "interval_ms",
+            "qids_issued",
+            "samples",
+            "slowest_recent"
+        ]
+    );
+    // This server runs the default sampler cadence, and the query above
+    // was tagged with a fleet-wide qid and entered the recent-query ring.
+    assert_eq!(doc["telemetry"]["interval_ms"], 1000u64, "{response}");
+    assert!(doc["telemetry"]["qids_issued"].as_u64().unwrap() >= 1, "{response}");
+    assert_eq!(doc["telemetry"]["in_flight"], 0u64, "{response}");
+    assert!(doc["telemetry"]["slowest_recent"]["qid"].as_u64().unwrap() >= 1, "{response}");
 
     // Sanity on the values: the query above was observed.
     assert!(doc["engine"]["queries"].as_u64().unwrap() >= 1, "{response}");
@@ -205,6 +223,13 @@ fn metrics_verb_emits_valid_prometheus_exposition() {
         "ws_server_served_total",
         "ws_server_slow_queries_total",
         "ws_server_shard_unavailable_total",
+        "ws_build_info",
+        "ws_uptime_seconds",
+        "ws_telemetry_interval_ms",
+        "ws_telemetry_samples_total",
+        "ws_telemetry_ring_capacity",
+        "ws_telemetry_in_flight",
+        "ws_telemetry_query_ids_total",
     ] {
         assert!(text.contains(series), "missing series {series}:\n{text}");
     }
@@ -216,6 +241,165 @@ fn metrics_verb_emits_valid_prometheus_exposition() {
     let response = request_line(&mut stream, &mut reader, "PING");
     assert_eq!(response.trim(), "PONG");
     writeln!(stream, "QUIT").unwrap();
+}
+
+#[test]
+fn query_and_explain_responses_carry_monotonic_query_ids() {
+    let (mut stream, mut reader) = connect();
+    let answer = request_line(&mut stream, &mut reader, "QUERY xml sql");
+    let doc: serde_json::Value = serde_json::from_str(&answer).unwrap();
+    let qid = doc["qid"].as_u64().unwrap_or_else(|| panic!("no qid in {answer}"));
+    assert!(qid >= 1, "{answer}");
+    // EXPLAIN draws from the same fleet-wide generator, and its trace is
+    // tagged with the same id the response document carries.
+    let explained = request_line(&mut stream, &mut reader, "EXPLAIN xml sql");
+    let doc: serde_json::Value = serde_json::from_str(&explained).unwrap();
+    let explain_qid = doc["qid"].as_u64().unwrap_or_else(|| panic!("no qid in {explained}"));
+    assert!(explain_qid > qid, "ids must be monotonic: {qid} then {explained}");
+    assert_eq!(doc["trace"]["qid"], explain_qid, "{explained}");
+    writeln!(stream, "QUIT").unwrap();
+}
+
+#[test]
+fn top_verb_summarizes_the_live_server_on_one_line() {
+    let (mut stream, mut reader) = connect();
+    let answer = request_line(&mut stream, &mut reader, "QUERY xml sql rdf");
+    assert!(answer.contains("answers"), "{answer}");
+
+    let response = request_line(&mut stream, &mut reader, "TOP");
+    let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+    let mut keys: Vec<&str> = doc.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    keys.sort_unstable();
+    assert_eq!(
+        keys,
+        vec![
+            "breakers",
+            "cache_hit_rate",
+            "in_flight",
+            "qids_issued",
+            "qps",
+            "samples",
+            "served",
+            "slowest_recent"
+        ],
+        "{response}"
+    );
+    assert_eq!(doc["in_flight"], 0u64, "{response}");
+    assert!(doc["served"].as_u64().unwrap() >= 1, "{response}");
+    assert!(doc["qids_issued"].as_u64().unwrap() >= 1, "{response}");
+    // The query above entered the recent ring, so the slowest-recent
+    // pointer names a real qid with a real wall time.
+    assert!(doc["slowest_recent"]["qid"].as_u64().unwrap() >= 1, "{response}");
+    assert!(doc["slowest_recent"]["wall_ms"].as_f64().unwrap() >= 0.0, "{response}");
+    // This server is not remote, so there are no breakers to report.
+    assert!(doc["breakers"].is_null(), "{response}");
+    // TOP is case-insensitive like the other bare verbs.
+    let response = request_line(&mut stream, &mut reader, "top");
+    assert!(response.contains("qids_issued"), "{response}");
+    writeln!(stream, "QUIT").unwrap();
+}
+
+#[test]
+fn stats_window_grammar_is_enforced_over_the_wire() {
+    let (mut stream, mut reader) = connect();
+    for bad in ["STATS WINDOW", "STATS WINDOW 0", "STATS WINDOW five", "STATS WINDOWS 5"] {
+        let response = request_line(&mut stream, &mut reader, bad);
+        let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+        assert!(doc["error"].as_str().is_some(), "{bad:?} must be rejected: {response}");
+    }
+    // A well-formed window request answers either the windowed document
+    // or the structured "window unavailable" refusal — never a grammar
+    // error — depending on whether the sampler has two samples yet.
+    let response = request_line(&mut stream, &mut reader, "STATS WINDOW 5");
+    let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+    if doc.get("error").is_some() {
+        assert_eq!(doc["error"], "window unavailable", "{response}");
+    } else {
+        assert_eq!(doc["window_s"], 5u64, "{response}");
+    }
+    writeln!(stream, "QUIT").unwrap();
+}
+
+#[test]
+fn stats_window_reports_recent_rates_not_lifetime_totals() {
+    // A dedicated server with a fast sampler: load in the distant past
+    // (more than one window ago) must age out of `STATS WINDOW 1` while
+    // cumulative STATS keeps counting it forever.
+    let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = probe.local_addr().unwrap().port();
+    drop(probe);
+    let path = std::env::temp_dir()
+        .join(format!("ws-observability-window-{}.tsv", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut b = kgraph::GraphBuilder::new();
+    let x = b.add_node("x", "xml");
+    let q = b.add_node("q", "query language");
+    let s = b.add_node("s", "sql");
+    let r = b.add_node("r", "rdf");
+    b.add_edge(x, q, "rel");
+    b.add_edge(s, q, "rel");
+    b.add_edge(r, q, "rel");
+    std::fs::write(&path, kgraph::io::to_tsv(&b.build())).unwrap();
+    let graph_arg = path.clone();
+    std::thread::spawn(move || {
+        let argv: Vec<String> = format!(
+            "serve --graph {graph_arg} --port {port} --backend seq --workers 2 \
+             --telemetry-interval-ms 50 --cache-capacity 0"
+        )
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+        let args = wikisearch_cli::args::parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let _ = wikisearch_cli::serve::serve(&args, &mut out);
+    });
+    let mut stream = {
+        let mut connected = None;
+        for _ in 0..150 {
+            if let Ok(s) = TcpStream::connect(("127.0.0.1", port)) {
+                connected = Some(s);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        connected.expect("windowed observability server never came up")
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // A burst of old load, then let it age past the 1-second window.
+    for _ in 0..6 {
+        let answer = request_line(&mut stream, &mut reader, "QUERY xml sql rdf");
+        assert!(answer.contains("answers"), "{answer}");
+    }
+    std::thread::sleep(Duration::from_millis(1400));
+
+    // Fresh load inside the window, plus one sampler tick to capture it.
+    for _ in 0..2 {
+        let answer = request_line(&mut stream, &mut reader, "QUERY xml sql");
+        assert!(answer.contains("answers"), "{answer}");
+    }
+    std::thread::sleep(Duration::from_millis(150));
+
+    let windowed: serde_json::Value =
+        serde_json::from_str(&request_line(&mut stream, &mut reader, "STATS WINDOW 1")).unwrap();
+    let cumulative: serde_json::Value =
+        serde_json::from_str(&request_line(&mut stream, &mut reader, "STATS")).unwrap();
+
+    let window_queries = windowed["queries"].as_u64().unwrap_or_else(|| panic!("{windowed}"));
+    let total_queries = cumulative["engine"]["queries"].as_u64().unwrap();
+    assert!(total_queries >= 8, "{cumulative}");
+    assert!(window_queries >= 2, "fresh load missing from the window: {windowed}");
+    assert!(
+        window_queries < total_queries,
+        "a 1-second window must shed the old burst: window {windowed} vs cumulative {cumulative}"
+    );
+    // The windowed latency histogram covers the windowed queries only.
+    assert_eq!(windowed["latency"]["count"], windowed["queries"], "{windowed}");
+    assert!(windowed["qps"].as_f64().unwrap() > 0.0, "{windowed}");
+    writeln!(stream, "QUIT").unwrap();
+    let _ = std::fs::remove_file(path);
 }
 
 #[test]

@@ -67,7 +67,8 @@ fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, request:
     line.trim_end().to_string()
 }
 
-/// A response with only the wall-clock `ms` removed, re-serialized
+/// A response with the wall-clock `ms` and the fleet-wide `qid` (which
+/// depends on arrival order under concurrency) removed, re-serialized
 /// deterministically. Everything else — EXPLAIN traces included — must
 /// match byte for byte: EXPLAIN bypasses the batcher by design (its
 /// trace must describe a live run), so even `batch_id`/`co_batched`
@@ -78,14 +79,18 @@ fn normalized(response: &str) -> String {
     let serde_json::Value::Object(entries) = &mut doc else {
         panic!("non-object response {response:?}");
     };
-    entries.retain(|(key, _)| key != "ms");
+    entries.retain(|(key, _)| key != "ms" && key != "qid");
     if let Some((_, serde_json::Value::Object(trace))) =
         entries.iter_mut().find(|(key, _)| key == "trace")
     {
         // Session identity differs run to run (pool scheduling), phase
-        // timings are wall clock; both are volatile on any server pair.
+        // timings are wall clock, query ids follow arrival order; all
+        // are volatile on any server pair.
         trace.retain(|(key, _)| {
-            !matches!(key.as_str(), "session_id" | "session_queries" | "phase_ms")
+            !matches!(
+                key.as_str(),
+                "session_id" | "session_queries" | "phase_ms" | "qid" | "cache_source_qid"
+            )
         });
     }
     serde_json::to_string(&doc).unwrap()

@@ -10,13 +10,14 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use wikisearch_engine::{Backend, WikiSearch};
 
-/// Serialize a response document with its timing field removed, so two
-/// docs can be compared byte-for-byte.
+/// Serialize a response document with its volatile fields removed (the
+/// `ms` timing and the arrival-ordered `qid`), so two docs can be
+/// compared byte-for-byte.
 fn without_ms(doc: &serde_json::Value) -> String {
     match doc {
         serde_json::Value::Object(entries) => {
             let kept: Vec<(String, serde_json::Value)> =
-                entries.iter().filter(|(k, _)| k != "ms").cloned().collect();
+                entries.iter().filter(|(k, _)| k != "ms" && k != "qid").cloned().collect();
             serde_json::Value::Object(kept).to_string()
         }
         other => other.to_string(),
@@ -205,7 +206,7 @@ fn error_paths_and_stats_are_one_line_json() {
 
     // Unknown command and empty query: JSON errors, never dropped.
     let doc = send("FROB 1");
-    assert_eq!(doc["error"], "expected QUERY/EXPLAIN/PING/STATS/METRICS/QUIT");
+    assert_eq!(doc["error"], "expected QUERY/EXPLAIN/PING/STATS/STATS WINDOW/TOP/METRICS/QUIT");
     let doc = send("QUERY");
     assert_eq!(doc["error"], "empty query");
 

@@ -96,10 +96,11 @@ fn mmap_server_cold_starts_and_matches_the_heap_server() {
             serde_json::from_str(&request_line(mmap_port, query)).unwrap();
         let mut b: serde_json::Value =
             serde_json::from_str(&request_line(heap_port, query)).unwrap();
-        // Wall-clock legitimately differs; every answer byte must not.
+        // Wall-clock and per-server query ids legitimately differ; every
+        // answer byte must not.
         for doc in [&mut a, &mut b] {
             if let serde_json::Value::Object(entries) = doc {
-                entries.retain(|(k, _)| k != "ms");
+                entries.retain(|(k, _)| k != "ms" && k != "qid");
             }
         }
         assert_eq!(a, b, "{query} diverged between backings");

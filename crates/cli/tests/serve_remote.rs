@@ -68,15 +68,16 @@ fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, request:
     line.trim_end().to_string()
 }
 
-/// A query response with its volatile timing field removed, so two runs
-/// of the same query can be compared byte for byte.
+/// A query response with its volatile fields removed — wall time and
+/// the per-query fleet-wide id — so two runs of the same query can be
+/// compared byte for byte.
 fn normalized(response: &str) -> String {
     let mut doc: serde_json::Value =
         serde_json::from_str(response).unwrap_or_else(|e| panic!("bad JSON {response:?}: {e}"));
     let serde_json::Value::Object(entries) = &mut doc else {
         panic!("non-object response {response:?}");
     };
-    entries.retain(|(key, _)| key != "ms");
+    entries.retain(|(key, _)| key != "ms" && key != "qid");
     serde_json::to_string(&doc).unwrap()
 }
 
@@ -211,6 +212,130 @@ fn killed_worker_is_respawned_and_no_process_outlives_the_drain() {
     // No orphans: every worker PID ever reported — the murdered one, its
     // replacement, and the untouched peer — is gone.
     for pid in &all_pids {
+        for _ in 0..100 {
+            if !pid_alive(*pid) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(!pid_alive(*pid), "worker {pid} outlived the drain");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+/// The acceptance scenario for cross-process span stitching: a real
+/// `serve --shard-workers 2` subprocess answers EXPLAIN with a
+/// per-shard timeline stitched from worker-reported spans — one
+/// timeline per shard, the worker-echoed qid matching the response's,
+/// wire time the exact remainder of the coordinator's RPC envelope,
+/// and the per-level spans reconciling with the trace's level records.
+#[test]
+fn remote_explain_stitches_per_shard_timelines_across_processes() {
+    let path = graph_file("stitch");
+    let port = free_port();
+    let mut server = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_wikisearch"))
+            .args([
+                "serve",
+                "--graph",
+                &path,
+                "--port",
+                &port.to_string(),
+                "--backend",
+                "seq",
+                "--workers",
+                "2",
+                "--shard-workers",
+                "2",
+                "--heartbeat-ms",
+                "0",
+                "--cache-capacity",
+                "0",
+                "--max-requests",
+                "1",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning the serve subprocess"),
+    );
+    let (mut stream, mut reader) = connect(port);
+
+    let response = roundtrip(&mut stream, &mut reader, "EXPLAIN xml sql rdf");
+    let doc: serde_json::Value = serde_json::from_str(&response).unwrap();
+    assert_eq!(doc["answers"][0]["central"], "query language", "{response}");
+    let qid = doc["qid"].as_u64().unwrap_or_else(|| panic!("no qid in {response}"));
+    assert_eq!(doc["trace"]["qid"], qid, "{response}");
+
+    let levels: Vec<u64> = doc["trace"]["levels"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|l| l["level"].as_u64().unwrap())
+        .collect();
+    assert!(!levels.is_empty(), "{response}");
+
+    let timelines = doc["trace"]["shard_timelines"]
+        .as_array()
+        .unwrap_or_else(|| panic!("remote EXPLAIN must stitch timelines: {response}"));
+    assert_eq!(timelines.len(), 2, "one timeline per shard: {response}");
+    for (shard, tl) in timelines.iter().enumerate() {
+        assert_eq!(tl["shard"].as_u64().unwrap(), shard as u64, "{response}");
+        // The worker process echoed the coordinator's fleet-wide qid.
+        assert_eq!(tl["qid"].as_u64().unwrap(), qid, "{response}");
+        assert!(tl["rpcs"].as_u64().unwrap() >= 2, "{response}");
+        let rpc_us = tl["rpc_us"].as_u64().unwrap();
+        let worker_us = tl["worker_us"].as_u64().unwrap();
+        let wire_us = tl["wire_us"].as_u64().unwrap();
+        // Durations only, never cross-host clocks. The wire share is a
+        // saturating subtraction rather than an exact one: on a loaded
+        // host a worker's measured sections can overlap the other
+        // shard's RPC window, leaving worker_us slightly above rpc_us.
+        assert!(rpc_us > 0 && worker_us > 0, "{response}");
+        assert_eq!(wire_us, rpc_us.saturating_sub(worker_us), "{response}");
+        let spans = tl["spans"].as_array().unwrap();
+        let span_sum: u64 = spans
+            .iter()
+            .map(|s| {
+                ["wait_us", "decode_us", "exec_us", "encode_us"]
+                    .iter()
+                    .map(|f| s[*f].as_u64().unwrap())
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(worker_us, span_sum, "worker total is the sum of its spans: {response}");
+        // Reconciliation with the coordinator's level records: exactly
+        // one start and one collect, one enqueue per level plus the
+        // final empty round, and every expand tagged with a driven level.
+        let ops = |op: &str| spans.iter().filter(|s| s["op"] == op).count();
+        assert_eq!(ops("start"), 1, "{response}");
+        assert_eq!(ops("collect"), 1, "{response}");
+        assert_eq!(ops("enqueue"), levels.len() + 1, "{response}");
+        for span in spans.iter().filter(|s| s["op"] == "expand") {
+            let level = span["level"].as_u64().expect("expand spans are level-tagged");
+            assert!(levels.contains(&level), "span level {level} not in {levels:?}: {response}");
+        }
+    }
+
+    // One served query reaches --max-requests: collect the fleet PIDs,
+    // drain, and verify the workers went with the server.
+    let stats: serde_json::Value =
+        serde_json::from_str(&roundtrip(&mut stream, &mut reader, "STATS")).unwrap();
+    let pids = fleet_pids(&stats);
+    let answer = roundtrip(&mut stream, &mut reader, "QUERY xml sql rdf");
+    assert!(answer.contains("answers"), "{answer}");
+    let status = {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = server.0.try_wait().unwrap() {
+                break status;
+            }
+            assert!(Instant::now() < deadline, "server did not drain after --max-requests");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+    assert!(status.success(), "server exited with {status:?}");
+    for pid in &pids {
         for _ in 0..100 {
             if !pid_alive(*pid) {
                 break;

@@ -86,12 +86,20 @@ fn normalized(response: &str) -> String {
     let serde_json::Value::Object(entries) = &mut doc else {
         panic!("non-object response {response:?}");
     };
-    entries.retain(|(key, _)| key != "ms");
+    entries.retain(|(key, _)| key != "ms" && key != "qid");
     if let Some((_, serde_json::Value::Object(trace))) =
         entries.iter_mut().find(|(key, _)| key == "trace")
     {
         trace.retain(|(key, _)| {
-            !matches!(key.as_str(), "engine" | "session_id" | "session_queries" | "phase_ms")
+            !matches!(
+                key.as_str(),
+                "engine"
+                    | "session_id"
+                    | "session_queries"
+                    | "phase_ms"
+                    | "qid"
+                    | "cache_source_qid"
+            )
         });
     }
     serde_json::to_string(&doc).unwrap()

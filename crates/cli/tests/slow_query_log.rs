@@ -61,7 +61,7 @@ fn slow_queries_are_logged_once_with_a_trace_and_accurate_timing() {
 
     let argv_line = format!(
         "serve --graph {graph} --port {port} --backend seq --workers 2 --max-requests 4 \
-         --slow-query-ms 100 --slow-query-log {log_path}"
+         --slow-query-ms 100 --slow-query-log {log_path} --slow-query-trace on"
     );
     let server = std::thread::spawn(move || {
         let argv: Vec<String> = argv_line.split_whitespace().map(String::from).collect();
@@ -119,6 +119,11 @@ fn slow_queries_are_logged_once_with_a_trace_and_accurate_timing() {
     assert!(entry["ts_ms"].as_u64().unwrap() > 0, "{text}");
     assert!(entry["trace"].is_object(), "slow line carries the trace: {text}");
     assert!(entry["trace"]["levels"].is_array(), "{text}");
+    // The stalled query's fleet-wide id and phase profile are logged
+    // too: queries 1 and 2 were the fast warm-ups, so the stall is qid 3.
+    assert_eq!(entry["qid"], 3u64, "{text}");
+    assert_eq!(entry["trace"]["qid"], 3u64, "{text}");
+    assert!(entry["phase_ms"]["expansion_ms"].is_number(), "{text}");
 
     // The logged server-side wall time brackets the injected 300 ms
     // stall and agrees with the client-visible latency within a generous

@@ -38,14 +38,22 @@ use central::remote::BreakerState;
 use central::{
     BatchConfig, BatchExecutor, BatchRequest, BatchStats, Batcher, CacheOutcome, CacheStats,
     CentralGraph, LaneOutcome, MetricsRegistry, MetricsSnapshot, PhaseProfile, QueryBudget,
-    QueryKey, QueryTrace, RemoteOptions, RemoteShardedSearch, RemoteStats, SearchError,
-    SearchParams, SessionPool, ShardAddrs, ShardBackend, ShardedSearch, ShardedStats, TraceLevel,
-    MAX_BATCH_LANES,
+    QueryIdGen, QueryKey, QueryTrace, RemoteOptions, RemoteShardedSearch, RemoteStats, SearchError,
+    SearchParams, SessionPool, ShardAddrs, ShardBackend, ShardedSearch, ShardedStats, Telemetry,
+    TraceLevel, MAX_BATCH_LANES,
 };
 use kgraph::KnowledgeGraph;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use textindex::{InvertedIndex, ParsedQuery};
+
+/// Periodic telemetry samples the engine's ring retains by default
+/// (~5 minutes of history at a 1-sample-per-second cadence).
+pub const DEFAULT_TELEMETRY_SAMPLES: usize = 300;
+
+/// Recently answered queries the engine remembers for `TOP`'s
+/// slowest-recent view.
+pub const DEFAULT_RECENT_QUERIES: usize = 64;
 
 /// Which backend executes searches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +113,11 @@ impl std::str::FromStr for Backend {
 /// One search's result: the parsed query, the ranked answers, and timing.
 #[derive(Clone, Debug)]
 pub struct WikiSearchResult {
+    /// Fleet-wide query ID of this search. Assigned at admission (or
+    /// passed in by the serving layer via the `_tagged` entry points) and
+    /// carried on the trace, the slow-query log, and every wire response,
+    /// so one query can be followed across layers and processes.
+    pub qid: u64,
     /// The analyzed query (matched groups + unmatched terms).
     pub query: ParsedQuery,
     /// Ranked Central Graph answers, best first.
@@ -176,6 +189,16 @@ pub struct WikiSearch {
     /// coordinator with the new kernels against the same fleet.
     remote_config: Option<(usize, Arc<dyn ShardAddrs>, RemoteOptions)>,
     metrics: MetricsRegistry,
+    /// Fleet-wide query-ID allocator: every search through this engine
+    /// gets a qid, whether the serving layer tagged it or not.
+    qids: QueryIdGen,
+    /// Telemetry hub: the windowed sample ring (fed by the serving
+    /// layer's sampler thread), the recent-query ring, and the in-flight
+    /// gauge (maintained here, around every search path).
+    telemetry: Telemetry,
+    /// Serializes [`Telemetry::note_query`]: the recent-query ring is
+    /// single-writer, and searches complete on arbitrary threads.
+    recent_note: std::sync::Mutex<()>,
 }
 
 /// The facade's batching layer: the window-bounded collector plus the
@@ -201,6 +224,9 @@ type ResultCache = central::ShardedLruCache<QueryKey, Arc<CachedSearch>>;
 /// near-duplicate can permute the per-keyword fields back into the
 /// request's keyword order (see [`reorient_answers`]).
 struct CachedSearch {
+    /// Fleet-wide qid of the search that populated this entry, so a
+    /// traced hit can name its provenance (`cache_source_qid`).
+    qid: u64,
     /// Matched keyword terms in the populating query's group order.
     group_terms: Vec<String>,
     answers: Vec<CentralGraph>,
@@ -252,6 +278,9 @@ impl WikiSearch {
             remote: None,
             remote_config: None,
             metrics: MetricsRegistry::new(),
+            qids: QueryIdGen::new(),
+            telemetry: Telemetry::new(0, DEFAULT_TELEMETRY_SAMPLES, DEFAULT_RECENT_QUERIES),
+            recent_note: std::sync::Mutex::new(()),
         }
     }
 
@@ -536,7 +565,21 @@ impl WikiSearch {
         params: &SearchParams,
         budget: &QueryBudget,
     ) -> Result<WikiSearchResult, SearchError> {
-        self.run_search(raw_query, params, budget, true)
+        self.run_search(raw_query, params, budget, true, None)
+    }
+
+    /// [`WikiSearch::try_search_with_params`] under a caller-assigned
+    /// fleet-wide query ID (the serving layer allocates qids at request
+    /// admission via [`WikiSearch::issue_query_id`] so error documents
+    /// can carry them too).
+    pub fn try_search_with_params_tagged(
+        &self,
+        raw_query: &str,
+        params: &SearchParams,
+        budget: &QueryBudget,
+        qid: u64,
+    ) -> Result<WikiSearchResult, SearchError> {
+        self.run_search(raw_query, params, budget, true, Some(qid))
     }
 
     /// Run `raw_query` with full tracing and the result cache bypassed,
@@ -560,7 +603,20 @@ impl WikiSearch {
         budget: &QueryBudget,
     ) -> Result<WikiSearchResult, SearchError> {
         let params = params.clone().with_trace(TraceLevel::Full);
-        self.run_search(raw_query, &params, budget, false)
+        self.run_search(raw_query, &params, budget, false, None)
+    }
+
+    /// [`WikiSearch::explain_with_params`] under a caller-assigned
+    /// fleet-wide query ID.
+    pub fn explain_with_params_tagged(
+        &self,
+        raw_query: &str,
+        params: &SearchParams,
+        budget: &QueryBudget,
+        qid: u64,
+    ) -> Result<WikiSearchResult, SearchError> {
+        let params = params.clone().with_trace(TraceLevel::Full);
+        self.run_search(raw_query, &params, budget, false, Some(qid))
     }
 
     /// The one fallible spine: cache consultation (unless bypassed),
@@ -572,8 +628,11 @@ impl WikiSearch {
         params: &SearchParams,
         budget: &QueryBudget,
         use_cache: bool,
+        qid: Option<u64>,
     ) -> Result<WikiSearchResult, SearchError> {
         let started = Instant::now();
+        let qid = qid.unwrap_or_else(|| self.qids.next());
+        let _flight = self.telemetry.in_flight().enter();
         self.metrics.queries.inc();
         let query = ParsedQuery::parse(&self.index, raw_query);
         let kwf = query.avg_keyword_frequency();
@@ -590,11 +649,17 @@ impl WikiSearch {
                                 engine: "cache".to_string(),
                                 keywords: query.num_keywords(),
                                 cache: Some(CacheOutcome::Hit),
+                                qid: Some(qid),
+                                // Provenance: the qid of the search that
+                                // computed the answer being served.
+                                cache_source_qid: Some(entry.qid),
                                 ..QueryTrace::default()
                             })
                         });
                         self.metrics.latency_us.record(elapsed_us(started));
+                        self.note_recent(qid, started);
                         return Ok(WikiSearchResult {
+                            qid,
                             query,
                             answers,
                             profile: entry.profile,
@@ -616,18 +681,20 @@ impl WikiSearch {
             // out-of-process workers and reports whether any shard had to
             // be skipped; a degraded answer is surfaced with its marker
             // and never enters the result cache below.
-            remote.try_search(&self.graph, &query, params, budget).map(|r| {
-                degraded = r.degraded;
-                let mut outcome = r.outcome;
-                if let Some(trace) = outcome.trace.as_deref_mut() {
-                    trace.cache = Some(if key.is_some() {
-                        CacheOutcome::Miss
-                    } else {
-                        CacheOutcome::Bypass
-                    });
-                }
-                outcome
-            })
+            remote
+                .try_search_tagged(&self.graph, &query, params, budget, Some(qid))
+                .map(|r| {
+                    degraded = r.degraded;
+                    let mut outcome = r.outcome;
+                    if let Some(trace) = outcome.trace.as_deref_mut() {
+                        trace.cache = Some(if key.is_some() {
+                            CacheOutcome::Miss
+                        } else {
+                            CacheOutcome::Bypass
+                        });
+                    }
+                    outcome
+                })
         } else if let (Some(batching), true) = (&self.batching, use_cache) {
             // Micro-batched path: hand the query to the collector; the
             // submitter that ends up leading runs the whole batch as one
@@ -701,14 +768,24 @@ impl WikiSearch {
                     "shard_unavailable" => self.metrics.shard_unavailable.inc(),
                     _ => {}
                 }
+                // Failed queries count on the recent ring too — a
+                // deadline-exceeded query is slow by definition.
+                self.note_recent(qid, started);
                 return Err(e);
             }
         };
-        let SearchOutcome { answers, profile, stats, trace } = outcome;
+        let SearchOutcome { answers, profile, stats, mut trace } = outcome;
+        // Stamp the qid on every trace uniformly, whichever path computed
+        // it (the remote path already carries it from the wire; the value
+        // is identical).
+        if let Some(t) = trace.as_deref_mut() {
+            t.qid = Some(qid);
+        }
         // A degraded answer is best-effort: caching it would let a later
         // healthy-fleet query serve it as authoritative.
         if let (Some(cache), Some(key), false) = (&self.cache, key, degraded) {
             let entry = CachedSearch {
+                qid,
                 group_terms: query.groups.iter().map(|g| g.term.clone()).collect(),
                 answers: answers.clone(),
                 stats: stats.clone(),
@@ -724,7 +801,8 @@ impl WikiSearch {
         let frontier_sum: u64 = stats.trace.iter().map(|t| t.frontier as u64).sum();
         self.metrics.expansions.record(frontier_sum * q);
         self.metrics.latency_us.record(elapsed_us(started));
-        Ok(WikiSearchResult { query, answers, profile, kwf, stats, trace, degraded })
+        self.note_recent(qid, started);
+        Ok(WikiSearchResult { qid, query, answers, profile, kwf, stats, trace, degraded })
     }
 
     /// Backwards-compatible alias of [`WikiSearch::search_with_params`].
@@ -755,6 +833,42 @@ impl WikiSearch {
     /// `STATS` and `METRICS` verbs are rendered from.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Allocate the next fleet-wide query ID. The serving layer calls
+    /// this at request admission so even a request that fails before
+    /// reaching the engine (oversized line, bad verb payload) has a qid
+    /// to report; the ID is then passed down via the `_tagged` search
+    /// entry points. Searches that arrive untagged allocate their own.
+    pub fn issue_query_id(&self) -> u64 {
+        self.qids.next()
+    }
+
+    /// Total query IDs issued so far (0 before the first).
+    pub fn query_ids_issued(&self) -> u64 {
+        self.qids.last()
+    }
+
+    /// The engine's telemetry hub: the windowed sample ring, the
+    /// recent-query ring, and the in-flight gauge. The serving layer's
+    /// sampler thread publishes periodic [`central::TelemetrySample`]s
+    /// through it; `STATS WINDOW` and `TOP` read it.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Rebuild the telemetry hub with a sampler period of `interval_ms`
+    /// (0 disables periodic sampling; the recent-query ring and in-flight
+    /// gauge still run) and a ring of `samples` slots.
+    pub fn set_telemetry(&mut self, interval_ms: u64, samples: usize) {
+        self.telemetry = Telemetry::new(interval_ms, samples, DEFAULT_RECENT_QUERIES);
+    }
+
+    /// Note one completed query (answered *or* failed) on the
+    /// recent-query ring, serialized for the single-writer ring.
+    fn note_recent(&self, qid: u64, started: Instant) {
+        let _guard = self.recent_note.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.telemetry.note_query(qid, elapsed_us(started));
     }
 
     /// Parse a query without searching (used by harnesses for kwf stats).
@@ -1231,6 +1345,46 @@ mod tests {
         assert_eq!(trace.engine, "cache");
         assert_eq!(trace.cache, Some(CacheOutcome::Hit));
         assert!(trace.levels.is_empty(), "a hit runs no levels");
+    }
+
+    #[test]
+    fn query_ids_thread_into_traces_and_cache_provenance() {
+        let mut ws = small_engine(Backend::Sequential);
+        ws.set_cache_capacity(1 << 20);
+        let traced = ws.params().clone().with_trace(TraceLevel::Full);
+        let miss = ws.search_with_params("xml sql", &traced);
+        assert!(miss.qid >= 1, "every search gets a qid");
+        let mt = miss.trace.as_deref().unwrap();
+        assert_eq!(mt.qid, Some(miss.qid));
+        assert_eq!(mt.cache_source_qid, None, "a computed answer has no cache provenance");
+        // A reordered duplicate hits the cache and names its source.
+        let hit = ws.search_with_params("sql xml", &traced);
+        assert!(hit.qid > miss.qid, "qids are strictly increasing");
+        let ht = hit.trace.as_deref().unwrap();
+        assert_eq!(ht.engine, "cache");
+        assert_eq!(ht.qid, Some(hit.qid));
+        assert_eq!(ht.cache_source_qid, Some(miss.qid), "the hit names the populating query");
+        // The serving layer's pre-assigned ID is honored verbatim.
+        let tagged = ws
+            .try_search_with_params_tagged("rdf", &traced, &QueryBudget::unlimited(), 999)
+            .unwrap();
+        assert_eq!(tagged.qid, 999);
+        assert_eq!(tagged.trace.as_deref().unwrap().qid, Some(999));
+        // Telemetry observed all three completions; nothing is in flight.
+        assert!(ws.telemetry().slowest_recent().is_some());
+        assert_eq!(ws.telemetry().in_flight().current(), 0);
+        assert!(ws.query_ids_issued() >= 2);
+    }
+
+    #[test]
+    fn failed_searches_still_reach_the_recent_query_ring() {
+        let ws = small_engine(Backend::Sequential);
+        let starved = QueryBudget::unlimited().with_max_expansions(1);
+        let err = ws.try_search("xml sql rdf", &starved).unwrap_err();
+        assert_eq!(err.kind(), "budget_exhausted");
+        let (qid, _wall) = ws.telemetry().slowest_recent().expect("the failure was noted");
+        assert_eq!(qid, ws.query_ids_issued(), "the failed query's qid is on the ring");
+        assert_eq!(ws.telemetry().in_flight().current(), 0, "the flight guard survived the error");
     }
 
     #[test]
